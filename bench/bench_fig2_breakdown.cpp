@@ -1,0 +1,94 @@
+// Reproduces paper Figure 2 (a and b): power footprint of the baseline
+// cluster (§2.1) split by component class, per phase, in relative and
+// absolute terms, plus the energy-efficiency bars.
+//
+// Paper reference values: network ~12% of average power; GPU&server 88.1% of
+// the computation phase; network energy efficiency ~11%.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "netpp/analysis/report.h"
+#include "netpp/cluster/cluster.h"
+
+namespace {
+
+using namespace netpp;
+
+void print_figure2() {
+  const ClusterModel cluster{ClusterConfig{}};
+
+  const PowerBreakdown comp = cluster.phase_power(Phase::kComputation);
+  const PowerBreakdown comm = cluster.phase_power(Phase::kCommunication);
+  const PowerBreakdown avg = cluster.average_power();
+
+  netpp::bench::print_banner(
+      "Figure 2a: relative power breakdown per phase (baseline cluster)");
+  Table rel{{"Phase", "GPU&Server", "NICs", "Switches", "Transceiver",
+             "Idle"}};
+  const auto rel_row = [&](const char* name, const PowerBreakdown& b) {
+    const double t = b.total().value();
+    rel.add_row({name, fmt_percent(b.gpu.value() / t),
+                 fmt_percent(b.nics.value() / t),
+                 fmt_percent(b.switches.value() / t),
+                 fmt_percent(b.transceivers.value() / t),
+                 fmt_percent(b.idle.value() / t)});
+  };
+  rel_row("Computation", comp);
+  rel_row("Average", avg);
+  rel_row("Communication", comm);
+  std::printf("%s", rel.to_ascii().c_str());
+  std::printf("Paper: GPU&Server = 88.1%% of the computation phase.\n\n");
+
+  netpp::bench::print_banner(
+      "Figure 2b: absolute power per phase and energy efficiency");
+  Table abs{{"Phase", "Compute (MW)", "Network (MW)", "Total (MW)"}};
+  const double r = cluster.config().communication_ratio;
+  const auto net = cluster.network_envelope();
+  const auto gpu = cluster.compute_envelope();
+  abs.add_row({"Computation (90% of time)",
+               fmt(gpu.max_power().megawatts(), 2),
+               fmt(net.idle_power().megawatts(), 2),
+               fmt((gpu.max_power() + net.idle_power()).megawatts(), 2)});
+  abs.add_row({"Communication (10% of time)",
+               fmt(gpu.idle_power().megawatts(), 2),
+               fmt(net.max_power().megawatts(), 2),
+               fmt((gpu.idle_power() + net.max_power()).megawatts(), 2)});
+  abs.add_row({"Average", fmt(gpu.duty_cycle_average(1.0 - r).megawatts(), 2),
+               fmt(net.duty_cycle_average(r).megawatts(), 2),
+               fmt(cluster.average_total_power().megawatts(), 2)});
+  std::printf("%s", abs.to_ascii().c_str());
+
+  Table eff{{"Side", "Energy efficiency"}};
+  eff.add_row({"Compute", fmt_percent(cluster.compute_energy_efficiency())});
+  eff.add_row({"Network", fmt_percent(cluster.network_energy_efficiency())});
+  std::printf("%s", eff.to_ascii().c_str());
+  std::printf(
+      "Paper: network = 12%% of average power, network efficiency = 11%%.\n"
+      "This model: network share of average = %s.\n\n",
+      fmt_percent(cluster.network_share_of_average()).c_str());
+}
+
+void BM_ClusterModelConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    ClusterModel cluster{ClusterConfig{}};
+    benchmark::DoNotOptimize(cluster.average_total_power());
+  }
+}
+BENCHMARK(BM_ClusterModelConstruction);
+
+void BM_PhaseBreakdown(benchmark::State& state) {
+  const ClusterModel cluster{ClusterConfig{}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster.average_power());
+  }
+}
+BENCHMARK(BM_PhaseBreakdown);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure2();
+  return netpp::bench::run_benchmarks(argc, argv);
+}

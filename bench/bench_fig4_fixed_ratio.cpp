@@ -1,0 +1,67 @@
+// Reproduces paper Figure 4: iteration-time speedup (%) with a fixed 10%
+// communication ratio under a fixed power budget, relative to a network with
+// zero power proportionality at the same bandwidth.
+//
+// Paper claims to reproduce: higher bandwidth gains more from
+// proportionality; 50% proportionality on an 800 G network enables a ~10%
+// speedup.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "netpp/analysis/report.h"
+#include "netpp/analysis/speedup.h"
+
+namespace {
+
+using namespace netpp;
+using namespace netpp::literals;
+
+const std::vector<Gbps> kBandwidths = {100_Gbps, 200_Gbps, 400_Gbps, 800_Gbps,
+                                       1600_Gbps};
+
+std::vector<double> proportionality_sweep() {
+  std::vector<double> out;
+  for (int i = 0; i <= 20; ++i) out.push_back(i * 0.05);
+  return out;
+}
+
+void print_figure4() {
+  netpp::bench::print_banner(
+      "Figure 4: fixed comm ratio (10%) - speedup vs 0% proportionality");
+
+  const BudgetSolver solver = BudgetSolver::paper_baseline();
+  const auto props = proportionality_sweep();
+  const auto series = fixed_ratio_speedup(solver, kBandwidths, props);
+
+  Table table{{"Proportionality", "100G", "200G", "400G", "800G", "1600G"}};
+  for (std::size_t i = 0; i < props.size(); ++i) {
+    std::vector<std::string> row{fmt_percent(props[i], 0)};
+    for (const auto& s : series) {
+      row.push_back(fmt_percent(s.points[i].speedup));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s", table.to_ascii().c_str());
+  std::printf(
+      "Expected shape: monotone in proportionality; higher bandwidth gains\n"
+      "more; 800G @ 50%% proportionality ~ 10%% speedup (paper).\n\n");
+}
+
+void BM_FixedRatioSolve(benchmark::State& state) {
+  const BudgetSolver solver = BudgetSolver::paper_baseline();
+  for (auto _ : state) {
+    auto c = solver.solve(800_Gbps, 0.5, BudgetScenario::kFixedCommRatio);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_FixedRatioSolve);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure4();
+  return netpp::bench::run_benchmarks(argc, argv);
+}

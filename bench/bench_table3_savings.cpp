@@ -1,0 +1,77 @@
+// Reproduces paper Table 3: relative power savings of the total ML cluster
+// vs today's network (10% power proportionality), for per-GPU bandwidths
+// 100..1600 G and proportionalities 10/20/50/85/100%. Also reproduces the
+// §3.2 cost estimate for the 400 G / 50% cell (~365 kW avg reduction,
+// ~$416k/yr electricity, ~$125k/yr cooling in the paper).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "netpp/analysis/report.h"
+#include "netpp/analysis/savings.h"
+
+namespace {
+
+using namespace netpp;
+using namespace netpp::literals;
+
+const std::vector<Gbps> kBandwidths = {100_Gbps, 200_Gbps, 400_Gbps, 800_Gbps,
+                                       1600_Gbps};
+const std::vector<double> kProps = {0.10, 0.20, 0.50, 0.85, 1.00};
+
+void print_table3() {
+  netpp::bench::print_banner(
+      "Table 3: total-cluster power savings vs 10%-proportional network");
+
+  const auto rows = savings_table(ClusterConfig{}, kBandwidths, kProps, 0.10);
+
+  Table table{{"Bandwidth (per GPU)", "10%", "20%", "50%", "85%", "100%"}};
+  for (const auto& row : rows) {
+    std::vector<std::string> cells{fmt(row.bandwidth.value(), 0) + "G"};
+    for (const auto& cell : row.cells) {
+      cells.push_back(fmt_percent(cell.savings_fraction));
+    }
+    table.add_row(std::move(cells));
+  }
+  std::printf("%s", table.to_ascii().c_str());
+  std::printf(
+      "Paper row 400G: 0.0%% / 1.2%% / 4.7%% / 8.8%% / 10.6%%\n"
+      "Paper row 1600G: 0.0%% / 3.9%% / 15.6%% / 29.3%% / 35.1%%\n\n");
+
+  // §3.2 cost estimate for 400 G at 50% proportionality.
+  const SavingsCell cell = savings_at(ClusterConfig{}, 400_Gbps, 0.50, 0.10);
+  const CostModel cost;
+  netpp::bench::print_banner("Sec. 3.2 cost estimate (400G @ 50% prop)");
+  std::printf(
+      "Average power reduction: %.0f kW (paper: ~365 kW)\n"
+      "Electricity savings:     $%.0fk/year (paper: ~$416k/year)\n"
+      "Cooling savings:         $%.0fk/year (paper: ~$125k/year)\n\n",
+      cell.absolute_savings.kilowatts(),
+      cost.annual_electricity_savings(cell.absolute_savings).value() / 1e3,
+      cost.annual_cooling_savings(cell.absolute_savings).value() / 1e3);
+}
+
+void BM_SavingsTable(benchmark::State& state) {
+  for (auto _ : state) {
+    auto rows = savings_table(ClusterConfig{}, kBandwidths, kProps, 0.10);
+    benchmark::DoNotOptimize(rows);
+  }
+}
+BENCHMARK(BM_SavingsTable);
+
+void BM_SavingsCell(benchmark::State& state) {
+  for (auto _ : state) {
+    auto cell = savings_at(ClusterConfig{}, 400_Gbps, 0.50, 0.10);
+    benchmark::DoNotOptimize(cell);
+  }
+}
+BENCHMARK(BM_SavingsCell);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table3();
+  return netpp::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,28 @@
+// Shared helpers for the reproduction benches: every bench binary first
+// prints the paper artifact it regenerates (same rows/series as the paper),
+// then runs google-benchmark timings of the underlying computation.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+namespace netpp::bench {
+
+inline void print_banner(const std::string& title) {
+  std::string rule(title.size() + 4, '=');
+  std::printf("%s\n= %s =\n%s\n", rule.c_str(), title.c_str(), rule.c_str());
+}
+
+/// Prints the reproduction table, then hands over to google-benchmark.
+/// Call from main() after registering benchmarks.
+inline int run_benchmarks(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace netpp::bench

@@ -1,0 +1,78 @@
+// Pipeline parking end-to-end demo (paper §4.4): run ML training traffic
+// over a simulated fat tree, record one edge switch's load, and compare
+// reactive vs schedule-driven predictive parking including the buffering
+// cost of wake latency.
+//
+//   ./build/examples/pipeline_parking_demo
+#include <cstdio>
+
+#include "netpp/mech/parking.h"
+#include "netpp/mech/trace_recorder.h"
+#include "netpp/topo/builders.h"
+#include "netpp/traffic/generators.h"
+
+int main() {
+  using namespace netpp;
+  using namespace netpp::literals;
+
+  const auto topo = build_fat_tree(4, 100_Gbps);
+  SimEngine engine;
+  Router router{topo.graph};
+  FlowSimulator sim{topo.graph, router, engine};
+
+  MlTrafficConfig traffic_cfg;
+  traffic_cfg.compute_time = 0.9_s;
+  traffic_cfg.comm_allowance = 0.1_s;
+  traffic_cfg.iterations = 6;
+  traffic_cfg.volume_per_host = Bits::from_gigabits(2.0);
+  const auto traffic = make_ml_training_traffic(topo.hosts, traffic_cfg);
+
+  const NodeId edge = topo.graph.nodes_at_tier(1).front();
+  NodeLoadRecorder recorder{sim, {edge}};
+  sim.set_load_listener(recorder.listener());
+  recorder.sample(0.0_s);
+  for (const auto& flow : traffic.flows) sim.submit(flow);
+  engine.run();
+  const Seconds horizon{6.0};
+  engine.run_until(horizon);
+
+  std::printf("ML job: %d iterations, %zu flows, all %zu completed\n\n",
+              traffic_cfg.iterations, traffic.flows.size(),
+              sim.completed().size());
+
+  const auto trace = recorder.aggregate_trace(edge, horizon);
+  std::printf("Edge switch %s load trace (%zu segments):\n",
+              topo.graph.node(edge).name.c_str(), trace.loads.size());
+  for (std::size_t i = 0; i < trace.times.size() && i < 8; ++i) {
+    std::printf("  t=%.3fs  load=%.1f%%\n", trace.times[i].value(),
+                100.0 * trace.loads[i]);
+  }
+  std::printf("  ...\n\n");
+
+  ParkingConfig cfg;
+  cfg.model = SwitchPowerModel{};
+  cfg.switch_capacity = Gbps{4 * 100.0};  // this edge switch: 4 x 100 G
+  std::vector<LoadForecast> forecast;
+  for (const auto& w : traffic.schedule) {
+    forecast.push_back(LoadForecast{w.compute_begin, 0.0});
+    forecast.push_back(LoadForecast{w.comm_begin, 1.0});
+  }
+
+  std::printf("%-12s %-10s %-10s %-14s %-12s\n", "wake", "reactive",
+              "predictive", "react. buffer", "react. drop");
+  for (double wake_ms : {0.1, 1.0, 10.0}) {
+    cfg.wake_latency = Seconds::from_milliseconds(wake_ms);
+    const auto reactive = simulate_parking_reactive(trace, cfg);
+    const auto predictive = simulate_parking_predictive(trace, forecast, cfg);
+    std::printf("%8.1f ms  %8.1f%%  %8.1f%%  %11.2f MB  %9.2f MB\n", wake_ms,
+                100.0 * reactive.savings_vs_all_on,
+                100.0 * predictive.savings_vs_all_on,
+                reactive.max_buffered.value() / 8e6,
+                reactive.dropped.value() / 8e6);
+  }
+  std::printf(
+      "\nThe predictive policy pre-wakes pipelines from the job schedule,\n"
+      "so its buffering and loss stay at zero regardless of wake latency -\n"
+      "exactly the predictability argument of paper Sec. 4.4.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Quickstart: model the paper's baseline ML cluster and ask the two
+// headline what-if questions (paper §3):
+//   1. How much total power does better network proportionality save?
+//   2. What does that mean in dollars per year?
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "netpp/analysis/savings.h"
+#include "netpp/cluster/cluster.h"
+
+int main() {
+  using namespace netpp;
+  using namespace netpp::literals;
+
+  // The paper's baseline pod (§2.1): 15k H100 GPUs, 400 G per GPU, a fat
+  // tree of 51.2 Tbps switches, 10% communication ratio, and today's ~10%
+  // network power proportionality. ClusterConfig's defaults are exactly
+  // that; every field can be overridden.
+  ClusterConfig config;
+  const ClusterModel cluster{config};
+
+  std::printf("=== Baseline cluster (paper Sec. 2.1) ===\n");
+  std::printf("GPUs: %.0f at %s per GPU\n", config.num_gpus,
+              to_string(config.bandwidth_per_gpu).c_str());
+  std::printf("Fat tree: %.0f switches (%d tiers), %.0f transceivers\n",
+              cluster.network().tree.switches, cluster.network().tree.tiers,
+              cluster.network().transceivers);
+  std::printf("Compute envelope: %s max / %s idle\n",
+              to_string(cluster.compute_envelope().max_power()).c_str(),
+              to_string(cluster.compute_envelope().idle_power()).c_str());
+  std::printf("Network envelope: %s max / %s idle\n",
+              to_string(cluster.network_envelope().max_power()).c_str(),
+              to_string(cluster.network_envelope().idle_power()).c_str());
+  std::printf("Average cluster power: %s\n",
+              to_string(cluster.average_total_power()).c_str());
+  std::printf("Network share of average power: %.1f%% (paper: ~12%%)\n",
+              100.0 * cluster.network_share_of_average());
+  std::printf("Network energy efficiency: %.1f%% (paper: ~11%%)\n\n",
+              100.0 * cluster.network_energy_efficiency());
+
+  std::printf("=== What-if: better network power proportionality ===\n");
+  const CostModel cost;
+  for (double proportionality : {0.20, 0.50, 0.85, 1.00}) {
+    const SavingsCell cell =
+        savings_at(config, config.bandwidth_per_gpu, proportionality);
+    std::printf(
+        "proportionality %3.0f%%: save %4.1f%% of cluster power "
+        "(%7.0f kW, $%.0fk/year incl. cooling)\n",
+        100.0 * proportionality, 100.0 * cell.savings_fraction,
+        cell.absolute_savings.kilowatts(),
+        cost.annual_total_savings(cell.absolute_savings).value() / 1e3);
+  }
+  std::printf(
+      "\nThe paper's headline: ~5%% at 50%% proportionality, ~9%% when the\n"
+      "network matches the compute's 85%%.\n");
+  return 0;
+}

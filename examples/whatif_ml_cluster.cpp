@@ -1,0 +1,107 @@
+// What-if explorer for custom ML clusters: size your own cluster, then
+// sweep network bandwidth and power proportionality to see total power,
+// savings, and the fixed-power-budget speedup (paper §3.3).
+//
+// Usage:
+//   whatif_ml_cluster [num_gpus] [gbps_per_gpu] [comm_ratio] [--csv]
+// e.g.
+//   ./build/examples/whatif_ml_cluster 8192 800 0.15
+//   ./build/examples/whatif_ml_cluster 8192 800 0.15 --csv > sweep.csv
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "netpp/analysis/report.h"
+#include "netpp/analysis/savings.h"
+#include "netpp/analysis/speedup.h"
+
+int main(int argc, char** argv) {
+  using namespace netpp;
+  using namespace netpp::literals;
+
+  double num_gpus = 15000.0;
+  double gbps = 400.0;
+  double ratio = 0.10;
+  bool csv = false;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) {
+      csv = true;
+      continue;
+    }
+    const double value = std::atof(argv[i]);
+    if (value <= 0.0) {
+      std::fprintf(stderr,
+                   "usage: %s [num_gpus] [gbps_per_gpu] [comm_ratio] [--csv]\n",
+                   argv[0]);
+      return 1;
+    }
+    switch (positional++) {
+      case 0: num_gpus = value; break;
+      case 1: gbps = value; break;
+      case 2: ratio = value; break;
+      default:
+        std::fprintf(stderr, "too many arguments\n");
+        return 1;
+    }
+  }
+
+  ClusterConfig config;
+  config.num_gpus = num_gpus;
+  config.bandwidth_per_gpu = Gbps{gbps};
+  config.communication_ratio = ratio;
+
+  const ClusterModel cluster{config};
+  if (!csv) {
+    std::printf("Cluster: %.0f GPUs, %s/GPU, comm ratio %.0f%%\n", num_gpus,
+                to_string(config.bandwidth_per_gpu).c_str(), ratio * 100.0);
+    std::printf("Average power: %s | network share: %.1f%% | "
+                "network efficiency: %.1f%%\n\n",
+                to_string(cluster.average_total_power()).c_str(),
+                100.0 * cluster.network_share_of_average(),
+                100.0 * cluster.network_energy_efficiency());
+  }
+
+  // Proportionality sweep: savings and fixed-budget speedup.
+  const WorkloadModel workload{
+      IterationProfile{Seconds{1.0 - ratio}, Seconds{ratio}}, num_gpus,
+      Gbps{gbps}};
+  const BudgetSolver solver{config, workload};
+
+  Table table{{"proportionality", "cluster_power_kw", "savings_pct",
+               "budget_gpus", "speedup_pct"}};
+  for (int p = 0; p <= 100; p += 10) {
+    const double proportionality = p / 100.0;
+    const auto cell =
+        savings_at(config, config.bandwidth_per_gpu, proportionality,
+                   config.network_proportionality);
+    const auto budgeted = solver.solve(config.bandwidth_per_gpu,
+                                       proportionality,
+                                       BudgetScenario::kFixedCommRatio);
+    const auto baseline = solver.solve(config.bandwidth_per_gpu,
+                                       config.network_proportionality,
+                                       BudgetScenario::kFixedCommRatio);
+    const double speedup =
+        solver.speedup_vs(budgeted, baseline.iteration.iteration_time());
+    const ClusterModel at_p =
+        cluster.with_network_proportionality(proportionality);
+    table.add_row({fmt(proportionality, 2),
+                   fmt(at_p.average_total_power().kilowatts(), 1),
+                   fmt(100.0 * cell.savings_fraction, 2),
+                   fmt(budgeted.num_gpus, 0), fmt(100.0 * speedup, 2)});
+  }
+
+  if (csv) {
+    std::printf("%s", table.to_csv().c_str());
+  } else {
+    std::printf("%s", table.to_ascii().c_str());
+    std::printf(
+        "\nsavings_pct: total cluster power saved vs today's %.0f%% network\n"
+        "proportionality. budget_gpus / speedup_pct: GPUs affordable and\n"
+        "iteration speedup under a fixed power budget (Sec. 3.3, fixed\n"
+        "communication ratio).\n",
+        100.0 * config.network_proportionality);
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Compute/communication overlap extension (paper §3.4).
+//
+// The main analysis assumes no overlap: the network idles during the whole
+// computation phase. §3.4 notes that "if we relax our assumption and allow
+// computation and communication to overlap during training, as is done in
+// other training schemes, there is still underutilization".
+//
+// This model splits one iteration into three intervals:
+//
+//   compute-only:  Tc - o*Tm   (GPUs max, network idle)
+//   overlap:       o*Tm        (GPUs max AND network max)
+//   comm-only:     (1-o)*Tm    (GPUs idle, network max)
+//
+// where o in [0,1] is the fraction of the communication hidden behind
+// computation. Overlap shortens the iteration (faster training) and reduces
+// the network's idle time — but the network still idles during most of the
+// compute phase, so proportionality still pays. The analysis quantifies how
+// the Table-3 savings shrink as overlap grows.
+#pragma once
+
+#include "netpp/cluster/cluster.h"
+#include "netpp/units.h"
+#include "netpp/workload/phase_model.h"
+
+namespace netpp {
+
+/// One iteration under partial overlap.
+struct OverlappedIteration {
+  Seconds compute_only{};
+  Seconds overlap{};
+  Seconds comm_only{};
+
+  [[nodiscard]] constexpr Seconds iteration_time() const {
+    return compute_only + overlap + comm_only;
+  }
+  /// Fraction of the iteration during which the network is active.
+  [[nodiscard]] constexpr double network_active_fraction() const {
+    const double t = iteration_time().value();
+    return t > 0.0 ? (overlap + comm_only).value() / t : 0.0;
+  }
+  /// Fraction of the iteration during which the GPUs are active.
+  [[nodiscard]] constexpr double compute_active_fraction() const {
+    const double t = iteration_time().value();
+    return t > 0.0 ? (compute_only + overlap).value() / t : 0.0;
+  }
+};
+
+class OverlapModel {
+ public:
+  /// `profile` gives the non-overlapped phase durations (paper Fig. 1);
+  /// `overlap_fraction` in [0, 1] is the share of communication hidden
+  /// behind computation. Requires overlap*comm <= compute (cannot hide more
+  /// communication than there is computation).
+  OverlapModel(IterationProfile profile, double overlap_fraction);
+
+  [[nodiscard]] const OverlappedIteration& iteration() const {
+    return iteration_;
+  }
+  [[nodiscard]] double overlap_fraction() const { return overlap_; }
+
+  /// Speedup of the iteration vs the non-overlapped schedule.
+  [[nodiscard]] double iteration_speedup() const;
+
+  /// Average total power of `cluster` under this schedule (the cluster's
+  /// own communication_ratio is ignored; this schedule governs duty).
+  [[nodiscard]] Watts average_power(const ClusterModel& cluster) const;
+
+  /// Network energy efficiency under this schedule (paper §3.1 metric).
+  [[nodiscard]] double network_efficiency(const ClusterModel& cluster) const;
+
+  /// Fraction of total average power saved when the network proportionality
+  /// improves from the cluster's configured value to `proportionality`.
+  [[nodiscard]] double savings_fraction(const ClusterModel& cluster,
+                                        double proportionality) const;
+
+ private:
+  IterationProfile profile_;
+  double overlap_;
+  OverlappedIteration iteration_;
+};
+
+}  // namespace netpp

@@ -1,0 +1,40 @@
+// Peak-power analysis (paper §3.2: "There would be other benefits, such as
+// the flattening of the peak power demand, which reduces the strain on the
+// power delivery system, though those are harder to quantify").
+//
+// We quantify it: a cluster's peak draw occurs during the computation phase
+// (all GPUs at max plus the network's *idle* draw). Improving network
+// proportionality lowers that idle draw one-for-one, so every point of
+// proportionality flattens the provisioned peak — and conversely shrinks
+// the peak-to-average ratio the power delivery system must be built for.
+#pragma once
+
+#include <vector>
+
+#include "netpp/cluster/cluster.h"
+#include "netpp/units.h"
+
+namespace netpp {
+
+struct PeakPowerPoint {
+  double proportionality = 0.0;
+  Watts peak{};
+  Watts average{};
+  /// peak / average — the provisioning headroom the facility must carry.
+  double peak_to_average = 0.0;
+  /// Fraction of peak power shaved vs the baseline proportionality.
+  double peak_reduction = 0.0;
+};
+
+/// Sweeps network proportionality and reports peak/average/provisioning
+/// figures relative to `base`'s configured proportionality.
+[[nodiscard]] std::vector<PeakPowerPoint> peak_power_sweep(
+    const ClusterConfig& base, const std::vector<double>& proportionalities);
+
+/// GPUs that the shaved peak headroom could host at the same provisioned
+/// power (each extra GPU adds its max power plus the marginal network).
+/// A simpler, peak-based counterpart of the §3.3 budget solver.
+[[nodiscard]] double extra_gpus_from_peak_headroom(const ClusterConfig& base,
+                                                   double proportionality);
+
+}  // namespace netpp

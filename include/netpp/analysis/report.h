@@ -1,0 +1,49 @@
+// Minimal tabular/series reporting used by the benchmark binaries and
+// examples to print paper-style tables and figure series, and to dump CSV
+// for external plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace netpp {
+
+/// A rectangular table of strings with a header row, rendered either as an
+/// aligned ASCII table or as CSV.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t num_columns() const { return header_.size(); }
+  [[nodiscard]] const std::vector<std::string>& header() const {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const {
+    return rows_.at(i);
+  }
+
+  /// Aligned, boxed ASCII rendering.
+  [[nodiscard]] std::string to_ascii() const;
+
+  /// RFC-4180-ish CSV (quotes fields containing commas/quotes/newlines).
+  [[nodiscard]] std::string to_csv() const;
+
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimal places.
+[[nodiscard]] std::string fmt(double value, int digits = 2);
+
+/// Formats a fraction as a percentage string, e.g. 0.047 -> "4.7%".
+[[nodiscard]] std::string fmt_percent(double fraction, int digits = 1);
+
+}  // namespace netpp

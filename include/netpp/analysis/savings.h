@@ -1,0 +1,80 @@
+// Power-savings analysis (paper §3.2, Table 3) and the operating-cost model
+// used in the text of §3.2 (electricity + cooling savings in $/year).
+#pragma once
+
+#include <vector>
+
+#include "netpp/cluster/cluster.h"
+#include "netpp/units.h"
+
+namespace netpp {
+
+/// One cell of Table 3.
+struct SavingsCell {
+  Gbps bandwidth{};
+  double proportionality = 0.0;
+  /// Fraction of total average cluster power saved vs the baseline
+  /// proportionality at the same bandwidth (Table 3 reports this in %).
+  double savings_fraction = 0.0;
+  /// Absolute average power reduction.
+  Watts absolute_savings{};
+};
+
+/// One row of Table 3: a bandwidth and its savings across proportionalities.
+struct SavingsRow {
+  Gbps bandwidth{};
+  std::vector<SavingsCell> cells;
+};
+
+/// Computes Table 3: relative total-cluster power savings when the network
+/// proportionality improves from `baseline_proportionality` (10% in the
+/// paper) to each value in `proportionalities`, for each bandwidth.
+/// All other cluster parameters come from `base` (GPU count, ratio, catalog).
+[[nodiscard]] std::vector<SavingsRow> savings_table(
+    const ClusterConfig& base, const std::vector<Gbps>& bandwidths,
+    const std::vector<double>& proportionalities,
+    double baseline_proportionality = 0.10);
+
+/// Single savings cell (also usable standalone).
+[[nodiscard]] SavingsCell savings_at(const ClusterConfig& base, Gbps bandwidth,
+                                     double proportionality,
+                                     double baseline_proportionality = 0.10);
+
+/// Dollar and carbon value of an average power reduction (§3.2):
+/// electricity at the US commercial rate, the induced cooling-power
+/// reduction, and the avoided CO2 (the paper's "sustainable digital
+/// future" framing, quantified).
+class CostModel {
+ public:
+  struct Config {
+    double usd_per_kwh = 0.13;       ///< US commercial average [11]
+    double cooling_overhead = 0.30;  ///< cooling ~30% of cluster power [35]
+    double hours_per_year = 24.0 * 365.0;
+    /// Grid carbon intensity; ~369 gCO2e/kWh is the 2023 US average.
+    double grams_co2_per_kwh = 369.0;
+  };
+
+  CostModel() : CostModel(Config{}) {}
+  explicit CostModel(Config config) : config_(config) {}
+
+  /// Annual electricity-bill reduction for an average power reduction
+  /// (excluding cooling).
+  [[nodiscard]] Dollars annual_electricity_savings(Watts reduction) const;
+
+  /// Additional annual savings from reduced cooling load.
+  [[nodiscard]] Dollars annual_cooling_savings(Watts reduction) const;
+
+  /// Electricity + cooling.
+  [[nodiscard]] Dollars annual_total_savings(Watts reduction) const;
+
+  /// Avoided CO2 emissions per year, in metric tons, including the cooling
+  /// share.
+  [[nodiscard]] double annual_co2_savings_tons(Watts reduction) const;
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace netpp

@@ -1,0 +1,63 @@
+// One-at-a-time sensitivity analysis over the paper's modeling assumptions.
+//
+// The paper's headline numbers (network = 12% of cluster power, 11%
+// efficiency, ~5% savings at 50% proportionality, ~9% at 85%) rest on a
+// handful of assumptions: the compute-side proportionality (85%), the
+// communication ratio (10%), datasheet device powers, and network-sizing
+// details. This module perturbs each assumption over a plausible range and
+// reports how the headlines move — the robustness check a reviewer would
+// ask for.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "netpp/cluster/cluster.h"
+
+namespace netpp {
+
+/// The paper's headline metrics for one cluster configuration.
+struct HeadlineMetrics {
+  double network_share = 0.0;        ///< network / total average power
+  double network_efficiency = 0.0;   ///< §3.1 metric
+  double savings_at_50 = 0.0;        ///< vs the config's own baseline prop
+  double savings_at_85 = 0.0;
+};
+
+/// Computes the headline metrics for a configuration (savings relative to
+/// the configuration's own network_proportionality).
+[[nodiscard]] HeadlineMetrics headline_metrics(const ClusterConfig& config);
+
+/// One row of a sensitivity sweep: a parameter, the value it took, and the
+/// metrics under it.
+struct SensitivityPoint {
+  std::string parameter;
+  double value = 0.0;
+  HeadlineMetrics metrics;
+};
+
+/// A named parameter sweep: applies `set(value)` to a copy of the base
+/// config (possibly with a derived catalog) and evaluates the headlines.
+struct SensitivityParameter {
+  std::string name;
+  std::vector<double> values;
+  /// Returns the perturbed config for one value. The function owns any
+  /// derived catalog it needs (see make_paper_sensitivity_suite).
+  std::function<ClusterConfig(double)> configure;
+};
+
+/// Runs all parameters of a suite against the metrics.
+[[nodiscard]] std::vector<SensitivityPoint> run_sensitivity(
+    const std::vector<SensitivityParameter>& suite);
+
+/// The paper's assumption suite:
+///   - compute proportionality 0.70..0.95 (paper: 0.85)
+///   - communication ratio 0.05..0.30 (paper: 0.10)
+///   - switch max power 525..975 W (paper: 750 W, +-30%)
+///   - NIC power scale 0.7..1.3x (Table 2 values)
+///   - transceiver power scale 0.7..1.3x
+/// Catalogs derived for the sweeps are kept alive by the returned suite.
+[[nodiscard]] std::vector<SensitivityParameter> make_paper_sensitivity_suite();
+
+}  // namespace netpp

@@ -1,0 +1,118 @@
+// Performance-speedup analysis under a fixed power budget (paper §3.3,
+// Figures 3 and 4).
+//
+// Data centers are power-limited: every watt the network stops wasting can
+// buy more GPUs. Given a bandwidth and a network proportionality, the solver
+// finds the GPU count whose cluster draws exactly the fixed budget — the
+// network is re-sized for that GPU count, so GPU count and network power are
+// coupled and the solution is found by bisection (cluster average power is
+// monotone increasing in the GPU count).
+//
+// Budget semantics: the budget is the *average* power of the baseline
+// cluster. This reproduces the paper's qualitative results (see DESIGN.md):
+// at poor proportionality lower bandwidths win; 200 G beats 400 G even at
+// 50% proportionality; 800/1600 G win only above ~90%.
+//
+// Two scenarios:
+//  - Fixed workload (Fig. 3): communication time scales with 1/bandwidth;
+//    speedups are relative to the baseline cluster (400 G @ 10%).
+//  - Fixed communication ratio (Fig. 4): the communication volume grows with
+//    bandwidth; speedups are relative to zero proportionality at the *same*
+//    bandwidth.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "netpp/cluster/cluster.h"
+#include "netpp/units.h"
+#include "netpp/workload/phase_model.h"
+
+namespace netpp {
+
+/// Scenario selector for the §3.3 analysis.
+enum class BudgetScenario {
+  kFixedWorkload,    ///< Fig. 3
+  kFixedCommRatio,   ///< Fig. 4
+};
+
+/// Result of sizing one cluster under the power budget.
+struct BudgetedCluster {
+  double num_gpus = 0.0;
+  Gbps bandwidth{};
+  double network_proportionality = 0.0;
+  IterationProfile iteration{};
+  Watts average_power{};  ///< should equal the budget (up to tolerance)
+};
+
+/// Fixed-power-budget cluster solver.
+class BudgetSolver {
+ public:
+  /// `base` supplies the catalog and is the cluster whose configuration the
+  /// baseline/budget is derived from; `workload` anchors the scaling rules.
+  BudgetSolver(ClusterConfig base, WorkloadModel workload);
+
+  /// The paper's setup: baseline cluster §2.1, normalized workload.
+  static BudgetSolver paper_baseline();
+
+  /// The fixed budget: average power of the baseline cluster.
+  [[nodiscard]] Watts budget() const { return budget_; }
+
+  [[nodiscard]] const ClusterConfig& base_config() const { return base_; }
+  [[nodiscard]] const WorkloadModel& workload() const { return workload_; }
+
+  /// Average power of a candidate cluster with `gpus` GPUs in the given
+  /// scenario (exposed for testing; phase durations set the duty cycle).
+  [[nodiscard]] Watts average_power(double gpus, Gbps bandwidth,
+                                    double proportionality,
+                                    BudgetScenario scenario) const;
+
+  /// Solves for the GPU count that exactly consumes the budget.
+  [[nodiscard]] BudgetedCluster solve(Gbps bandwidth, double proportionality,
+                                      BudgetScenario scenario) const;
+
+  /// Iteration-time speedup (in fraction, +0.05 == 5% faster) of the solved
+  /// cluster relative to `reference_iteration_time`.
+  [[nodiscard]] double speedup_vs(const BudgetedCluster& cluster,
+                                  Seconds reference_iteration_time) const;
+
+ private:
+  ClusterConfig base_;
+  WorkloadModel workload_;
+  Watts budget_{};
+};
+
+/// One point of a Fig. 3 / Fig. 4 series.
+struct SpeedupPoint {
+  double proportionality = 0.0;
+  double speedup = 0.0;  ///< fraction; paper plots percent
+  double num_gpus = 0.0;
+};
+
+/// One curve (bandwidth) of Fig. 3 / Fig. 4.
+struct SpeedupSeries {
+  Gbps bandwidth{};
+  std::vector<SpeedupPoint> points;
+};
+
+/// Fig. 3: fixed workload, speedups vs the baseline cluster (400 G @ 10%).
+[[nodiscard]] std::vector<SpeedupSeries> fixed_workload_speedup(
+    const BudgetSolver& solver, const std::vector<Gbps>& bandwidths,
+    const std::vector<double>& proportionalities);
+
+/// Fig. 4: fixed communication ratio, speedups vs zero proportionality at
+/// the same bandwidth.
+[[nodiscard]] std::vector<SpeedupSeries> fixed_ratio_speedup(
+    const BudgetSolver& solver, const std::vector<Gbps>& bandwidths,
+    const std::vector<double>& proportionalities);
+
+/// The crossover the paper's Fig. 3 narrates ("800 and 1600 Gbps ... only
+/// at very high proportionality values"): the minimum network
+/// proportionality at which `bandwidth` matches the baseline cluster's
+/// iteration time in the fixed-workload scenario. Returns nullopt if the
+/// bandwidth cannot match the baseline even at 100% proportionality, and
+/// 0.0 if it already matches at zero.
+[[nodiscard]] std::optional<double> proportionality_to_match_baseline(
+    const BudgetSolver& solver, Gbps bandwidth);
+
+}  // namespace netpp

@@ -1,0 +1,124 @@
+// Whole-cluster power model (paper §2.1, §2.3, §3.1).
+//
+// Composes the device catalog, the fat-tree sizing model, and the phase
+// workload model into per-phase and average power figures for an ML training
+// cluster: N GPUs, each with a B-Gbps NIC, connected by a full-bisection fat
+// tree of 51.2 Tbps switches, with optical transceivers on every
+// inter-switch link.
+#pragma once
+
+#include <string>
+
+#include "netpp/power/catalog.h"
+#include "netpp/power/envelope.h"
+#include "netpp/topomodel/fattree.h"
+#include "netpp/units.h"
+
+namespace netpp {
+
+/// Which phase of the iteration (paper Fig. 1) power is evaluated for.
+enum class Phase {
+  kComputation,    ///< GPUs at max, network idle
+  kCommunication,  ///< GPUs idle, network at max
+};
+
+/// Cluster parameters; defaults are the paper's baseline (§2.1).
+struct ClusterConfig {
+  double num_gpus = 15000.0;
+  Gbps bandwidth_per_gpu{400.0};
+  /// Fraction of the iteration spent in the communication phase.
+  double communication_ratio = 0.10;
+  /// Network power proportionality (applies to switches, NICs, and
+  /// transceivers alike). The paper's baseline is 10%.
+  double network_proportionality = 0.10;
+  /// Device catalog; must outlive the ClusterModel. Null selects the paper
+  /// baseline catalog.
+  const DeviceCatalog* catalog = nullptr;
+};
+
+/// Count and max power of each network component class.
+struct NetworkInventory {
+  FatTreeSize tree;         ///< switch/port/link accounting
+  double nics = 0.0;        ///< one per GPU
+  double transceivers = 0.0;
+
+  Watts switch_power{};      ///< total across all switches, at max
+  Watts nic_power{};         ///< total across all NICs, at max
+  Watts transceiver_power{};  ///< total across all transceivers, at max
+
+  [[nodiscard]] Watts max_power() const {
+    return switch_power + nic_power + transceiver_power;
+  }
+};
+
+/// Power attributed to each component class at one instant. Devices that are
+/// idle contribute to `idle` rather than to their own bucket, matching the
+/// categories of the paper's Fig. 2a.
+struct PowerBreakdown {
+  Watts gpu{};          ///< GPUs + server share, when computing
+  Watts switches{};     ///< switches, when communicating
+  Watts nics{};         ///< NICs, when communicating
+  Watts transceivers{};  ///< transceivers, when communicating
+  Watts idle{};         ///< idle draw of whichever side is inactive
+
+  [[nodiscard]] Watts total() const {
+    return gpu + switches + nics + transceivers + idle;
+  }
+  [[nodiscard]] Watts network_active() const {
+    return switches + nics + transceivers;
+  }
+};
+
+/// The paper's cluster-level what-if model.
+class ClusterModel {
+ public:
+  explicit ClusterModel(ClusterConfig config);
+
+  [[nodiscard]] const ClusterConfig& config() const { return config_; }
+  [[nodiscard]] const DeviceCatalog& catalog() const { return *catalog_; }
+
+  /// Network component counts and max powers.
+  [[nodiscard]] const NetworkInventory& network() const { return inventory_; }
+
+  /// Aggregate two-state envelope of the whole network side at the
+  /// configured proportionality.
+  [[nodiscard]] PowerEnvelope network_envelope() const { return network_env_; }
+
+  /// Aggregate two-state envelope of all GPUs + server shares.
+  [[nodiscard]] PowerEnvelope compute_envelope() const { return compute_env_; }
+
+  /// Instantaneous power during one phase, split by component (Fig. 2).
+  [[nodiscard]] PowerBreakdown phase_power(Phase phase) const;
+
+  /// Duty-cycle-weighted average over one iteration (Fig. 2 "Average").
+  [[nodiscard]] PowerBreakdown average_power() const;
+
+  /// Average total power (compute + network) over one iteration.
+  [[nodiscard]] Watts average_total_power() const;
+
+  /// Peak total power (max over the two phases); relevant for power
+  /// provisioning discussions (§3.2 "flattening of the peak power demand").
+  [[nodiscard]] Watts peak_total_power() const;
+
+  /// Network share of the average total power (~12% for the baseline).
+  [[nodiscard]] double network_share_of_average() const;
+
+  /// Energy efficiency of the network side (~11% for the baseline, §3.1):
+  /// ideally-proportional energy / actual energy over one iteration.
+  [[nodiscard]] double network_energy_efficiency() const;
+
+  /// Energy efficiency of the compute side (~98% for the baseline).
+  [[nodiscard]] double compute_energy_efficiency() const;
+
+  /// Convenience: same cluster with a different network proportionality.
+  [[nodiscard]] ClusterModel with_network_proportionality(double p) const;
+
+ private:
+  ClusterConfig config_;
+  const DeviceCatalog* catalog_;
+  NetworkInventory inventory_;
+  PowerEnvelope network_env_;
+  PowerEnvelope compute_env_;
+};
+
+}  // namespace netpp

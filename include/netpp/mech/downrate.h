@@ -1,0 +1,67 @@
+// §4.3 link down-rating for backbone/ISP links.
+//
+// "Another possibility is to configure an interface to a lower speed, e.g.,
+// set a 100G-capable interface at 10G, which may save power by enabling
+// turning off some of the interface's SerDes lines. This has been observed
+// [15], but down-rating is not widely supported, and savings are limited —
+// supposedly because few components are powered off."
+//
+// This module evaluates down-rating a single link over a utilization trace
+// (e.g. an ISP diurnal cycle, §3.4): a policy steps the link speed among a
+// configured ladder with headroom and hysteresis; each transition costs a
+// brief outage during renegotiation; running below the offered load counts
+// as a capacity violation. Power per step comes from a speed->power table
+// (transceiver + SerDes share), with a knob for how *well* down-rating
+// gates components — modelling the paper's "savings are limited" complaint
+// as a gating-effectiveness factor.
+#pragma once
+
+#include <vector>
+
+#include "netpp/mech/parking.h"  // AggregateLoadTrace
+#include "netpp/power/catalog.h"
+#include "netpp/units.h"
+
+namespace netpp {
+
+struct DownrateConfig {
+  /// The link's nominal speed (trace loads are fractions of this).
+  Gbps nominal{400.0};
+  /// Allowed speed steps in Gbps, ascending; must include the nominal.
+  std::vector<double> ladder = {100.0, 200.0, 400.0};
+  /// Per-end power at each ladder speed (both ends charged). Defaults to
+  /// the paper's transceiver table.
+  PowerTable end_power{std::map<double, double>{
+      {100.0, 4.0}, {200.0, 6.5}, {400.0, 10.0}}};
+  /// Fraction of the ideal power delta actually realized when stepping
+  /// down (1.0 = perfect gating, 0.0 = the paper's complaint: nothing
+  /// really turns off).
+  double gating_effectiveness = 1.0;
+  /// Choose the smallest step >= load * (1 + headroom).
+  double headroom = 0.25;
+  /// Step down only if the target has been sufficient for this long.
+  Seconds down_dwell{60.0};
+  /// Renegotiation outage per speed change.
+  Seconds transition_outage{Seconds::from_milliseconds(50.0)};
+};
+
+struct DownrateResult {
+  Joules energy{};
+  Joules nominal_energy{};  ///< always at nominal speed
+  double savings_fraction = 0.0;
+  std::size_t transitions = 0;
+  /// Total time the configured speed was below the offered load (traffic
+  /// would have been queued/dropped) — headroom/dwell tuning errors.
+  Seconds violation_time{};
+  /// Total renegotiation outage time.
+  Seconds outage_time{};
+  /// Time-weighted mean configured speed.
+  Gbps mean_speed{};
+};
+
+/// Simulates the down-rating policy over the trace (loads are fractions of
+/// `config.nominal`).
+[[nodiscard]] DownrateResult simulate_downrating(
+    const AggregateLoadTrace& trace, const DownrateConfig& config);
+
+}  // namespace netpp

@@ -1,0 +1,68 @@
+// Energy Efficient Ethernet (IEEE 802.3az) link model — the historical
+// baseline the paper revisits ("link sleeping ... implemented in the EEE
+// standard in the 2010's ... became effectively obsolete" at high speeds).
+//
+// A link with Low Power Idle (LPI) support transitions to a low-power state
+// when its transmit queue drains, and must wake before transmitting again.
+// The model is a deterministic FIFO fluid simulation over a frame arrival
+// trace:
+//
+//   ACTIVE --(queue empty, after sleep_time)--> LPI
+//   LPI --(frame arrives [+ optional coalescing timer])--> waking
+//   waking --(after wake_time)--> ACTIVE
+//
+// Energy: active/wake/sleep transitions draw active power; LPI draws
+// `lpi_power_fraction` of it. Latency: each frame's added delay vs an
+// always-on link is reported. Frame coalescing (holding the wake-up until a
+// timer expires) trades latency for fewer transitions — the classic EEE
+// tuning knob.
+#pragma once
+
+#include <vector>
+
+#include "netpp/units.h"
+
+namespace netpp {
+
+struct EeeFrame {
+  Seconds arrival{};
+  Bits size{};
+};
+
+struct EeeConfig {
+  Gbps link_rate{100.0};
+  Watts active_power{4.0};  ///< e.g. one transceiver end
+  /// LPI power as a fraction of active power (~10% per 802.3az studies).
+  double lpi_power_fraction = 0.10;
+  /// Time to enter LPI once idle (Ts) and to wake (Tw). Defaults are the
+  /// 802.3az microsecond-scale orders of magnitude.
+  Seconds sleep_time{Seconds::from_microseconds(2.88)};
+  Seconds wake_time{Seconds::from_microseconds(4.48)};
+  /// Coalescing: after the first frame arrives in LPI, wait this long (or
+  /// until `coalesce_frames` are buffered) before waking. 0 disables.
+  Seconds coalescing_timer{0.0};
+  std::size_t coalesce_frames = 0;  ///< 0 = no frame-count trigger
+};
+
+struct EeeResult {
+  Joules energy{};
+  Joules always_on_energy{};
+  /// 1 - energy / always_on_energy.
+  double energy_savings_fraction = 0.0;
+  /// Fraction of the horizon spent in LPI.
+  double lpi_time_fraction = 0.0;
+  /// Added per-frame delay vs an always-on link (mean / max).
+  Seconds mean_added_delay{};
+  Seconds max_added_delay{};
+  /// Number of LPI->active wake transitions.
+  std::size_t wake_transitions = 0;
+  std::size_t frames = 0;
+};
+
+/// Simulates one EEE link over `frames` (must be sorted by arrival time)
+/// until `horizon` (>= last departure). Throws on unsorted input.
+[[nodiscard]] EeeResult simulate_eee_link(const EeeConfig& config,
+                                          const std::vector<EeeFrame>& frames,
+                                          Seconds horizon);
+
+}  // namespace netpp

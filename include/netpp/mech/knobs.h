@@ -1,0 +1,99 @@
+// §4.1 "Static Opt. #1: Exposing Power Knobs".
+//
+// Models a router as an inventory of gateable components (pipelines, memory
+// banks, SerDes groups, optional protocol engines...). Given the set of
+// features a deployment actually needs (e.g. plain L2 forwarding with a
+// partial routing table), the model computes the power the router *could*
+// draw if unused components were gated — versus what it draws today, where
+// the OS exposes no such knobs.
+//
+// The model also captures the paper's observation that even exposed knobs
+// can be broken: "even though the ports are off in software, they may still
+// be powered on in hardware" [15, 24]. `GatingQuality` selects between
+// fixed gating (off = 0 W), today's buggy gating (off in software saves
+// nothing), and partial gating.
+//
+// Finally, `SwitchCState` provides the paper's proposed "networking
+// equivalent of C-states": pre-defined low-power modes that bundle feature
+// sets without exposing hardware details.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netpp/units.h"
+
+namespace netpp {
+
+/// One gateable (or not) component of a router.
+struct RouterComponent {
+  std::string name;
+  Watts power{};
+  /// Feature this component provides. The empty feature marks base
+  /// components (chassis, fans, control CPU) that are always needed.
+  std::string feature;
+  /// Whether the hardware supports power-gating this component at all.
+  bool gateable = true;
+};
+
+/// How well power gating works when a component is turned "off".
+enum class GatingQuality {
+  kFixed,   ///< off means 0 W (the paper: "can (and should) be fixed")
+  kBuggy,   ///< off in software, still powered in hardware: saves nothing
+  kPartial,  ///< off saves only half its power (imperfect gating)
+};
+
+/// The paper's proposed C-state-like presets.
+enum class SwitchCState {
+  kC0FullRouter,   ///< everything on: L2+L3, full tables, all ports
+  kC1LeanRouter,   ///< L3 with reduced tables (route-reflector deployment)
+  kC2L2Only,       ///< pure L2 forwarding: all L3 machinery off
+  kC3Standby,      ///< control plane alive, data plane parked
+};
+
+/// Feature set needed by a deployment.
+using FeatureSet = std::vector<std::string>;
+
+/// Features required by each C-state preset.
+[[nodiscard]] FeatureSet features_for_cstate(SwitchCState state);
+
+class RouterComponentModel {
+ public:
+  explicit RouterComponentModel(std::vector<RouterComponent> components);
+
+  /// A reference big-router inventory summing to the paper's 750 W switch:
+  /// chassis/control base, 4 packet pipelines, L3 lookup engines, full-table
+  /// routing memory, buffer memory, 4 SerDes port groups, telemetry engine.
+  static RouterComponentModel reference_router();
+
+  [[nodiscard]] const std::vector<RouterComponent>& components() const {
+    return components_;
+  }
+
+  /// Power with everything on (today's default).
+  [[nodiscard]] Watts total_power() const;
+
+  /// Power when only base components plus the components providing
+  /// `features` are kept on, under the given gating quality. Unknown
+  /// features are ignored (they simply match no component).
+  [[nodiscard]] Watts power_for_features(const FeatureSet& features,
+                                         GatingQuality quality) const;
+
+  /// Convenience: total - power_for_features.
+  [[nodiscard]] Watts savings_for_features(const FeatureSet& features,
+                                           GatingQuality quality) const;
+
+  /// Power in a C-state preset.
+  [[nodiscard]] Watts power_in_cstate(SwitchCState state,
+                                      GatingQuality quality) const;
+
+  /// Effective power proportionality knob-gating gives this router for a
+  /// deployment needing `features`: (total - gated) / total.
+  [[nodiscard]] double gating_headroom(const FeatureSet& features,
+                                       GatingQuality quality) const;
+
+ private:
+  std::vector<RouterComponent> components_;
+};
+
+}  // namespace netpp

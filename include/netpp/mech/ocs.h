@@ -1,0 +1,97 @@
+// §4.2 "Static Opt. #2: Scheduling Network Jobs" — topology tailoring with
+// optical circuit switches.
+//
+// ML training traffic patterns are known when the job starts, so instead of
+// keeping a full fat tree powered, an OCS layer can stitch a job-specific
+// topology that uses as few packet switches as possible; the rest are turned
+// off (or kept in standby for faster reaction).
+//
+// `tailor_topology` takes an explicit topology and a demand matrix and
+// greedily powers off switches — least-loaded first — as long as every
+// demand remains routable and the max-min fair allocation still satisfies
+// all demands. This is the practical heuristic version of the paper's "where
+// should OCSs be added?" optimization question.
+//
+// `OcsOverheadModel` answers the reconfiguration-cost side: off-the-shelf
+// OCSs reconfigure in tens of milliseconds, which is negligible for jobs
+// lasting hours or days (the paper's argument against needing RotorNet/
+// Sirius-class nanosecond switching).
+#pragma once
+
+#include <vector>
+
+#include "netpp/netsim/fairshare.h"
+#include "netpp/topo/builders.h"
+#include "netpp/topo/routing.h"
+#include "netpp/units.h"
+
+namespace netpp {
+
+/// A steady-state demand between two hosts.
+struct TrafficDemand {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  Gbps rate{};
+};
+
+struct TailorConfig {
+  /// Demands are satisfied if each flow's max-min rate reaches this fraction
+  /// of its demand (1.0 = exactly; <1 allows slack).
+  double satisfaction = 0.999;
+  /// Number of ECMP paths considered per demand.
+  std::size_t max_ecmp_paths = 8;
+  /// Switches in this list are never powered off (e.g. ToRs that are a
+  /// host's only attachment are always protected automatically).
+  std::vector<NodeId> pinned;
+};
+
+struct TailorResult {
+  std::vector<NodeId> powered_on;
+  std::vector<NodeId> powered_off;
+  /// Fraction of switches turned off.
+  double switches_off_fraction = 0.0;
+  /// Whether the initial (full) topology satisfied the demands at all.
+  bool feasible = false;
+};
+
+/// Greedy tailoring: route demands on the full topology, then repeatedly try
+/// to power off the least-loaded remaining switch, keeping it off only if
+/// all demands stay satisfied. Deterministic.
+[[nodiscard]] TailorResult tailor_topology(
+    const BuiltTopology& topology, const std::vector<TrafficDemand>& demands,
+    const TailorConfig& config = TailorConfig());
+
+/// Checks whether `demands` are satisfiable on the graph as currently
+/// enabled in `router` (ECMP routing + max-min fair rates >= satisfaction *
+/// demand). Exposed for testing and for reactive re-checks.
+[[nodiscard]] bool demands_satisfiable(const Router& router,
+                                       const std::vector<TrafficDemand>& demands,
+                                       const TailorConfig& config);
+
+/// Amortized cost of OCS reconfiguration for batch jobs.
+class OcsOverheadModel {
+ public:
+  struct Config {
+    Seconds reconfiguration_time{Seconds::from_milliseconds(25.0)};
+    Watts ocs_power{50.0};  ///< free-space OCS: mirrors only
+    int reconfigurations_per_job = 1;
+  };
+
+  OcsOverheadModel() : OcsOverheadModel(Config{}) {}
+  explicit OcsOverheadModel(Config config) : config_(config) {}
+
+  /// Fraction of the job time lost to reconfiguration.
+  [[nodiscard]] double time_overhead(Seconds job_duration) const;
+
+  /// Net average power saving: `switch_savings` (from tailoring) minus the
+  /// OCS devices' own draw.
+  [[nodiscard]] Watts net_power_savings(Watts switch_savings,
+                                        int num_ocs_devices) const;
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace netpp

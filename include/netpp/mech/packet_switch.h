@@ -1,0 +1,128 @@
+// Packet-level switch simulator for the §4.4 latency-cost question.
+//
+// "What is the latency cost? Ports taking turns being connected to the
+// pipeline induces some delay during which incoming packets must be
+// buffered."
+//
+// The flow-level models answer the energy side; this simulator answers the
+// packet side. A switch has `num_ports` ports statically grouped onto
+// `num_pipelines` port groups (the conventional fixed mapping). A circuit
+// switch in front of the pipelines lets `active_pipelines` (<= groups) serve
+// all groups by *time multiplexing*: the connected set rotates round-robin
+// every `dwell`, with a short `reconfig` pause per rotation during which no
+// packet starts service. Packets arriving on a disconnected group's port
+// wait in that port's bounded buffer.
+//
+// Outputs: per-packet latency statistics (summary + histogram for tail
+// quantiles), drops, throughput, per-pipeline busy fractions, and energy
+// via the component-level SwitchPowerModel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netpp/power/switch_model.h"
+#include "netpp/sim/engine.h"
+#include "netpp/sim/stats.h"
+#include "netpp/units.h"
+
+namespace netpp {
+
+struct PacketSwitchConfig {
+  int num_ports = 8;
+  int num_pipelines = 4;  ///< also the number of port groups
+  Gbps port_rate{100.0};
+  /// Pipelines serving packets; the rest are parked. In [1, num_pipelines].
+  int active_pipelines = 4;
+  /// Clock fraction of the active pipelines (rate adaptation), in (0, 1].
+  /// A pipeline's service rate is ports_per_group * port_rate * frequency.
+  double pipeline_frequency = 1.0;
+  /// Time-multiplexing dwell: how long a pipeline stays on one group before
+  /// rotating (only relevant when active_pipelines < num_pipelines).
+  Seconds dwell{Seconds::from_microseconds(50.0)};
+  /// Service pause while the circuit switch remaps.
+  Seconds reconfig{Seconds::from_microseconds(1.0)};
+  /// Per-port buffer.
+  Bits port_buffer{Bits::from_bytes(1e6)};
+  /// Power model; its pipeline/port counts need not match (we only use the
+  /// per-component power curves).
+  SwitchPowerModel power{};
+  /// Latency histogram range (upper bound) for quantile queries.
+  Seconds histogram_max{Seconds::from_milliseconds(2.0)};
+};
+
+struct PacketSwitchResult {
+  std::uint64_t injected = 0;
+  std::uint64_t served = 0;
+  std::uint64_t dropped = 0;
+  SummaryStat latency;       ///< seconds
+  Histogram latency_hist;    ///< seconds, for p99/p999
+  /// Mean busy fraction across active pipelines over the run.
+  double mean_pipeline_busy = 0.0;
+  Joules energy{};
+  Watts average_power{};
+
+  explicit PacketSwitchResult(Seconds histogram_max)
+      : latency_hist(0.0, histogram_max.value(), 2048) {}
+
+  [[nodiscard]] Seconds p50() const {
+    return Seconds{latency_hist.quantile(0.50)};
+  }
+  [[nodiscard]] Seconds p99() const {
+    return Seconds{latency_hist.quantile(0.99)};
+  }
+  [[nodiscard]] Seconds p999() const {
+    return Seconds{latency_hist.quantile(0.999)};
+  }
+};
+
+/// Event-driven packet switch. Inject packets (sorted or not — they are
+/// scheduled on the engine), then run the engine and collect results.
+class PacketSwitchSim {
+ public:
+  PacketSwitchSim(SimEngine& engine, PacketSwitchConfig config);
+
+  /// Schedules a packet arrival on `port` at absolute time `at`.
+  void inject(int port, Seconds at, Bits size);
+
+  /// Finalizes accounting at `horizon` (>= last event) and returns results.
+  /// Call after engine.run().
+  [[nodiscard]] PacketSwitchResult finish(Seconds horizon);
+
+  [[nodiscard]] const PacketSwitchConfig& config() const { return config_; }
+  [[nodiscard]] int ports_per_group() const { return ports_per_group_; }
+
+ private:
+  struct Packet {
+    double arrival;
+    double size_bits;
+  };
+  struct Port {
+    std::vector<Packet> queue;  // FIFO (index 0 = head)
+    double buffered_bits = 0.0;
+  };
+  struct Pipeline {
+    int group = -1;       ///< currently connected group
+    bool busy = false;
+    bool paused = false;  ///< in reconfig pause
+    bool rotate_pending = false;  ///< rotation deferred behind in-flight pkt
+    TimeWeighted busy_tw{0.0, Seconds{0.0}};
+  };
+
+  void on_arrival(int port, Bits size);
+  void try_serve(int pipeline);
+  void rotate(int pipeline);
+  void do_rotate(int pipeline);
+  [[nodiscard]] int next_port_with_traffic(int group) const;
+
+  SimEngine& engine_;
+  PacketSwitchConfig config_;
+  int ports_per_group_;
+  double service_rate_bps_;
+  std::vector<Port> ports_;
+  std::vector<Pipeline> pipelines_;
+  PacketSwitchResult result_;
+  bool finished_ = false;
+};
+
+}  // namespace netpp

@@ -1,0 +1,96 @@
+// §4.4 "Dynamic Opt. #2: Turning off Pipelines".
+//
+// A circuit switch (electrical, with small buffers) sits between the
+// physical ports and the ASIC pipelines, decoupling the fixed port->pipeline
+// mapping. Traffic can then be concentrated onto a subset of pipelines and
+// the rest powered off entirely — killing their leakage, which rate
+// adaptation cannot (§4.3 keeps most components powered).
+//
+// The simulator consumes an aggregate offered-load trace (fraction of the
+// whole switch's capacity) and a policy:
+//
+//   - Reactive: keep enough pipelines on so that the load fits under a
+//     target utilization; hysteresis thresholds avoid flapping. Waking a
+//     pipeline takes `wake_latency`; while capacity is short, the excess is
+//     buffered in the circuit switch (bounded buffer -> possible loss) and
+//     drained once capacity returns.
+//   - Predictive (the paper: "leverage the predictability of ML training
+//     workloads"): a known schedule of (time, required pipelines) is
+//     followed, pre-waking `wake_latency` early so capacity is ready when
+//     the burst starts.
+//
+// Energy accounts the powered pipelines (at their served load), the chassis
+// and ports (always on), and the circuit switch's own overhead — the
+// "is the addition worth it?" question of §4.4.
+#pragma once
+
+#include <vector>
+
+#include "netpp/power/switch_model.h"
+#include "netpp/units.h"
+
+namespace netpp {
+
+/// Piecewise-constant aggregate offered load, as a fraction of the whole
+/// switch's nominal capacity. Same timing conventions as PipelineLoadTrace.
+struct AggregateLoadTrace {
+  std::vector<Seconds> times;
+  std::vector<double> loads;
+  Seconds end{};
+
+  void validate() const;
+  [[nodiscard]] Seconds duration() const { return end - times.front(); }
+};
+
+struct ParkingConfig {
+  SwitchPowerModel model{};
+  /// Extra power drawn by the circuit switch / indirection layer.
+  Watts circuit_switch_power{20.0};
+  /// Time to power a parked pipeline back on.
+  Seconds wake_latency{Seconds::from_milliseconds(1.0)};
+  /// Reactive policy: wake another pipeline when load exceeds
+  /// `hi_threshold` of the active capacity; park one when load falls below
+  /// `lo_threshold` of what the remaining pipelines could carry.
+  double hi_threshold = 0.85;
+  double lo_threshold = 0.60;
+  int min_active = 1;
+  /// Circuit-switch buffer absorbing excess while pipelines wake.
+  Bits buffer_capacity{Bits::from_bytes(64e6)};
+  /// Switch nominal capacity (to convert load fractions to bits).
+  Gbps switch_capacity{Gbps::from_tbps(51.2)};
+};
+
+/// One entry of a predictive schedule: from `at`, the workload needs
+/// `required_load` (fraction of switch capacity).
+struct LoadForecast {
+  Seconds at{};
+  double required_load = 0.0;
+};
+
+struct ParkingResult {
+  Joules energy{};
+  Watts average_power{};
+  /// 1 - energy / energy(all pipelines always on) over the same trace.
+  double savings_vs_all_on = 0.0;
+  double mean_active_pipelines = 0.0;
+  std::size_t wake_transitions = 0;
+  std::size_t park_transitions = 0;
+  /// Buffering at the circuit switch while capacity was short.
+  Bits max_buffered{};
+  Bits dropped{};
+  /// Worst-case extra delay a buffered bit experienced (buffer/capacity).
+  Seconds max_added_delay{};
+};
+
+/// Reactive threshold policy over the trace.
+[[nodiscard]] ParkingResult simulate_parking_reactive(
+    const AggregateLoadTrace& trace, const ParkingConfig& config);
+
+/// Predictive policy: follows `forecast` (sorted by time), pre-waking
+/// `wake_latency` before each capacity increase. The trace supplies the
+/// actual offered load (forecast errors show up as buffering/loss).
+[[nodiscard]] ParkingResult simulate_parking_predictive(
+    const AggregateLoadTrace& trace, const std::vector<LoadForecast>& forecast,
+    const ParkingConfig& config);
+
+}  // namespace netpp

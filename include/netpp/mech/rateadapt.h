@@ -1,0 +1,74 @@
+// §4.3 "Dynamic Opt. #1: Rate Adaptation".
+//
+// Evaluates frequency scaling of a switch's packet pipelines over a
+// piecewise-constant load trace, at three capability levels:
+//
+//   kNone         - today's default: everything at nominal frequency;
+//   kGlobalAsic   - what some routers support today: ONE clock for the
+//                   whole ASIC, set to cover the most loaded pipeline;
+//   kPerPipeline  - the paper's proposal: each pipeline is clocked
+//                   independently to match its own load.
+//
+// Optionally, SerDes down-rating (§4.3: "set a 100G-capable interface at
+// 10G") scales port lane power to the smallest allowed step that covers the
+// load. Policies apply headroom (run slightly faster than the load) and
+// hysteresis with a minimum dwell time to avoid clock-flapping; the result
+// reports how many frequency transitions the policy incurred.
+#pragma once
+
+#include <vector>
+
+#include "netpp/power/switch_model.h"
+#include "netpp/units.h"
+
+namespace netpp {
+
+/// Piecewise-constant per-pipeline offered load. `times[i]` is the start of
+/// segment i, which holds `pipeline_loads[i]` (one entry per pipeline, each
+/// in [0, 1] of a pipeline's nominal capacity) until `times[i+1]` (or `end`
+/// for the last segment). times[0] defines the trace start.
+struct PipelineLoadTrace {
+  std::vector<Seconds> times;
+  std::vector<std::vector<double>> pipeline_loads;
+  Seconds end{};
+
+  void validate(int num_pipelines) const;
+  [[nodiscard]] Seconds duration() const;
+};
+
+enum class RateAdaptMode {
+  kNone,
+  kGlobalAsic,
+  kPerPipeline,
+};
+
+struct RateAdaptConfig {
+  SwitchPowerModel model{};
+  /// Run the clock at load * (1 + headroom).
+  double headroom = 0.10;
+  /// Clocks cannot go below this fraction of nominal.
+  double min_frequency = 0.25;
+  /// A new target frequency is only applied if it differs from the current
+  /// one by more than this (hysteresis band).
+  double hysteresis = 0.05;
+  /// Down-rate SerDes lanes to the smallest step covering the pipeline's
+  /// load. Empty disables down-rating (ports stay at full lanes).
+  std::vector<double> lane_steps;  ///< e.g. {0.25, 0.5, 1.0}
+};
+
+struct RateAdaptResult {
+  Joules energy{};
+  Watts average_power{};
+  /// 1 - energy / energy(kNone) over the same trace.
+  double savings_vs_none = 0.0;
+  std::size_t frequency_transitions = 0;
+  /// Time-weighted mean frequency across pipelines.
+  double mean_frequency = 1.0;
+};
+
+/// Simulates one switch over the trace in the given mode.
+[[nodiscard]] RateAdaptResult simulate_rate_adaptation(
+    const PipelineLoadTrace& trace, const RateAdaptConfig& config,
+    RateAdaptMode mode);
+
+}  // namespace netpp

@@ -1,0 +1,102 @@
+// §4.5 "Going further: Redesigning the ASIC".
+//
+// Two what-if models for a clean-slate, power-first ASIC design:
+//
+// 1. GranularPipelineModel — "A design with more but smaller units makes it
+//    easier to turn some of them off to match the current load." With n
+//    pipelines and ideal parking, the pipeline budget quantizes to
+//    ceil(load * n) / n; finer granularity tracks load better but pays a
+//    duplication overhead (control logic, crossbar ports, clock roots) per
+//    doubling beyond the baseline pipeline count. The model exposes the
+//    resulting power-vs-load curve and the achievable effective
+//    proportionality, quantifying the sweet spot the paper hints at.
+//
+// 2. CpoRetrofit — co-packaged optics / silicon photonics: the O/E
+//    conversion moves from pluggable transceivers into the package,
+//    reducing per-port optical power and making it gateable with the port.
+//    The model rewrites the cluster's transceiver inventory and reports the
+//    total-cluster savings in the same terms as Table 3.
+#pragma once
+
+#include "netpp/cluster/cluster.h"
+#include "netpp/units.h"
+
+namespace netpp {
+
+class GranularPipelineModel {
+ public:
+  struct Config {
+    Watts max_power{750.0};
+    double chassis_fraction = 0.30;    ///< never gateable
+    double serdes_fraction = 0.30;     ///< stays with the ports
+    double pipelines_fraction = 0.40;  ///< divided among n pipelines
+    int baseline_pipelines = 4;        ///< today's granularity
+    /// Extra pipeline-budget fraction per *doubling* beyond the baseline
+    /// count (duplicated control, clock roots, crossbar ports).
+    double overhead_per_doubling = 0.05;
+  };
+
+  GranularPipelineModel() : GranularPipelineModel(Config{}) {}
+  explicit GranularPipelineModel(Config config);
+
+  /// Total pipeline power budget at granularity n (>= 1), including the
+  /// duplication overhead (monotone non-decreasing in n).
+  [[nodiscard]] Watts pipeline_budget(int n) const;
+
+  /// Switch power at `load` (fraction of capacity, [0,1]) with n pipelines
+  /// and ideal parking: ceil(load * n) pipelines powered, each fully busy.
+  [[nodiscard]] Watts power_at_load(int n, double load) const;
+
+  /// Effective proportionality achieved by parking at granularity n:
+  /// (P(full) - P(idle)) / P(full).
+  [[nodiscard]] double effective_proportionality(int n) const;
+
+  /// Duty-cycle average for the paper's phase model: `active` fraction of
+  /// time at `load_when_active`, rest idle. Quantization (ceil to the next
+  /// pipeline) shows up at partial loads, where fine granularity pays off.
+  [[nodiscard]] Watts duty_cycle_average(int n, double active,
+                                         double load_when_active = 1.0) const;
+
+  /// The granularity (power-of-two multiple of the baseline, up to `max_n`)
+  /// that minimizes the duty-cycle average power — tracking vs overhead.
+  [[nodiscard]] int best_granularity(double active,
+                                     double load_when_active = 1.0,
+                                     int max_n = 256) const;
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+};
+
+/// Co-packaged-optics retrofit of a cluster (§4.5).
+class CpoRetrofit {
+ public:
+  struct Config {
+    /// CPO optical power per port relative to the pluggable transceiver it
+    /// replaces (silicon photonics roadmaps target well below 1).
+    double power_factor = 0.6;
+    /// Proportionality of the optical engine itself: in-package optics can
+    /// gate with the port, unlike always-on pluggables.
+    double optics_proportionality = 0.8;
+  };
+
+  CpoRetrofit() : CpoRetrofit(Config{}) {}
+  explicit CpoRetrofit(Config config);
+
+  /// Average total-cluster power after replacing all optical transceivers
+  /// with CPO, keeping everything else at `base`'s settings. The returned
+  /// model owns its own catalog internally; only aggregate numbers are
+  /// exposed.
+  [[nodiscard]] Watts average_cluster_power(const ClusterConfig& base) const;
+
+  /// Fraction of total average cluster power saved vs `base` unmodified.
+  [[nodiscard]] double savings_fraction(const ClusterConfig& base) const;
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace netpp

@@ -1,0 +1,96 @@
+// §4.2 "Inspiration from Compute": energy-aware job scheduling.
+//
+// "In compute clusters, a job scheduler ... can be used to concentrate the
+// workload on as few servers as possible. This frees up the other servers to
+// be run in low-power modes or, ideally, be turned off. ... Applied to
+// networking, this approach would concentrate the network traffic on as few
+// devices as possible."
+//
+// This module implements that substrate: a rack-structured cluster (hosts
+// grouped under ToR switches), a stream of jobs (GPU count, arrival,
+// duration), and placement policies:
+//
+//   kSpread      - load-balancing placement (today's default): pick the
+//                  least-loaded racks first; traffic touches many ToRs.
+//   kConcentrate - energy-aware placement: pack jobs into the fewest racks
+//                  (best-fit on remaining capacity); empty racks' ToRs can
+//                  be powered off.
+//
+// The simulator tracks rack occupancy over time and charges each ToR
+// switch's idle power whenever its rack hosts at least one job slot (or
+// always, if `allow_switch_off` is false — the paper's point that the knob
+// must exist to matter).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netpp/power/envelope.h"
+#include "netpp/units.h"
+
+namespace netpp {
+
+struct Job {
+  std::uint64_t id = 0;
+  int gpus = 0;
+  Seconds arrival{};
+  Seconds duration{};
+};
+
+enum class PlacementPolicy {
+  kSpread,
+  kConcentrate,
+};
+
+struct SchedulerConfig {
+  int racks = 32;
+  int gpus_per_rack = 16;
+  /// ToR switch envelope used to charge rack network power.
+  PowerEnvelope tor_envelope =
+      PowerEnvelope::from_proportionality(Watts{750.0}, 0.10);
+  /// Duty share of communication for an occupied rack's ToR (paper §2.2):
+  /// occupied ToR power = idle + (max - idle) * communication_ratio.
+  double communication_ratio = 0.10;
+  /// Whether an empty rack's ToR can be powered off (the §4.1/§4.2 knob).
+  bool allow_switch_off = true;
+  /// Delay to power a ToR back on when a job lands on an empty rack; jobs
+  /// are delayed by this much if their rack was off.
+  Seconds switch_wake_time{Seconds::from_milliseconds(100.0)};
+};
+
+struct ScheduleResult {
+  /// Jobs that could not be placed (not enough total free GPUs at arrival;
+  /// no queueing in this model — rejected jobs are counted, not retried).
+  std::size_t rejected_jobs = 0;
+  std::size_t placed_jobs = 0;
+  /// Time-averaged number of racks with at least one job.
+  double mean_occupied_racks = 0.0;
+  /// Total ToR network energy over the horizon.
+  Joules tor_energy{};
+  /// Energy if every ToR stayed on at idle the whole time, jobs' active
+  /// share included (the no-knob baseline).
+  Joules always_on_tor_energy{};
+  /// 1 - tor_energy / always_on_tor_energy.
+  double tor_energy_savings = 0.0;
+  /// Total job-start delay induced by switch wake-ups.
+  Seconds total_wake_delay{};
+  /// Number of ToR power-on events.
+  std::size_t tor_wakeups = 0;
+};
+
+/// Simulates placing `jobs` (sorted by arrival; validated) on the cluster
+/// under `policy`, until every placed job has finished.
+[[nodiscard]] ScheduleResult simulate_schedule(const SchedulerConfig& config,
+                                               std::vector<Job> jobs,
+                                               PlacementPolicy policy);
+
+/// Deterministic synthetic job trace: Poisson-ish arrivals (exponential
+/// inter-arrival with the given mean), GPU demands uniform in
+/// [1, max_gpus_per_job], durations exponential with the given mean.
+[[nodiscard]] std::vector<Job> make_job_trace(int count,
+                                              Seconds mean_interarrival,
+                                              Seconds mean_duration,
+                                              int max_gpus_per_job,
+                                              std::uint64_t seed = 1);
+
+}  // namespace netpp

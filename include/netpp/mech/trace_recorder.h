@@ -1,0 +1,61 @@
+// Records per-switch load traces from a running FlowSimulator and converts
+// them into the trace formats the §4 mechanism simulators consume:
+// AggregateLoadTrace (whole-switch load, for pipeline parking) and
+// PipelineLoadTrace (per-pipeline load, for rate adaptation), with the
+// switch's ports assigned to pipelines round-robin — the fixed port->
+// pipeline mapping of a conventional ASIC (§4.4).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "netpp/mech/parking.h"
+#include "netpp/mech/rateadapt.h"
+#include "netpp/netsim/flowsim.h"
+#include "netpp/topo/graph.h"
+
+namespace netpp {
+
+class NodeLoadRecorder {
+ public:
+  /// Records loads of `nodes` (typically switches). Attach `on_load_change`
+  /// as the simulator's load listener (or call sample() manually).
+  NodeLoadRecorder(const FlowSimulator& sim, std::vector<NodeId> nodes);
+
+  /// Samples the current per-incident-directed-link utilization of every
+  /// tracked node. Consecutive samples at the same time overwrite.
+  void sample(Seconds now);
+
+  /// Convenience adapter for FlowSimulator::set_load_listener.
+  [[nodiscard]] FlowSimulator::LoadListener listener();
+
+  /// Whole-node load trace: carried bits over incident capacity, in [0, 1].
+  [[nodiscard]] AggregateLoadTrace aggregate_trace(NodeId node,
+                                                   Seconds end) const;
+
+  /// Per-pipeline trace: the node's incident directed links are assigned to
+  /// `num_pipelines` pipelines round-robin; a pipeline's load is its links'
+  /// carried rate over their capacity.
+  [[nodiscard]] PipelineLoadTrace pipeline_trace(NodeId node,
+                                                 int num_pipelines,
+                                                 Seconds end) const;
+
+  [[nodiscard]] const std::vector<NodeId>& nodes() const { return nodes_; }
+  [[nodiscard]] std::size_t num_samples() const { return times_.size(); }
+
+ private:
+  struct NodeInfo {
+    /// Directed-link indices incident to the node (both directions).
+    std::vector<std::size_t> directed_indices;
+    std::vector<double> capacities_bps;
+  };
+
+  const FlowSimulator& sim_;
+  std::vector<NodeId> nodes_;
+  std::map<NodeId, NodeInfo> info_;
+  std::vector<Seconds> times_;
+  /// samples_[node][sample_index][link_position] = carried bps.
+  std::map<NodeId, std::vector<std::vector<double>>> samples_;
+};
+
+}  // namespace netpp

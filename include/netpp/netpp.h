@@ -1,0 +1,60 @@
+// Umbrella header: includes the whole netpp public API.
+//
+// Prefer the individual headers in production code; this exists for
+// exploration, examples, and quick prototypes.
+//
+//   core     — the paper's Sec. 2-3 analytical models
+//   sim      — discrete-event substrate (engine, RNG, stats, energy)
+//   topo     — explicit topologies, routing, max flow
+//   netsim   — flow-level network simulation + fabric energy tracking
+//   traffic  — workload generators and the closed training loop
+//   mech     — Sec. 4 mechanism models
+#pragma once
+
+// core
+#include "netpp/analysis/overlap.h"
+#include "netpp/analysis/peak_power.h"
+#include "netpp/analysis/report.h"
+#include "netpp/analysis/savings.h"
+#include "netpp/analysis/sensitivity.h"
+#include "netpp/analysis/speedup.h"
+#include "netpp/cluster/cluster.h"
+#include "netpp/power/catalog.h"
+#include "netpp/power/envelope.h"
+#include "netpp/power/switch_model.h"
+#include "netpp/topomodel/fattree.h"
+#include "netpp/units.h"
+#include "netpp/workload/phase_model.h"
+
+// sim
+#include "netpp/sim/energy.h"
+#include "netpp/sim/engine.h"
+#include "netpp/sim/random.h"
+#include "netpp/sim/stats.h"
+
+// topo
+#include "netpp/topo/builders.h"
+#include "netpp/topo/graph.h"
+#include "netpp/topo/maxflow.h"
+#include "netpp/topo/routing.h"
+
+// netsim
+#include "netpp/netsim/energy_tracker.h"
+#include "netpp/netsim/fairshare.h"
+#include "netpp/netsim/flowsim.h"
+
+// traffic
+#include "netpp/traffic/generators.h"
+#include "netpp/traffic/training_loop.h"
+
+// mech
+#include "netpp/mech/downrate.h"
+#include "netpp/mech/eee.h"
+#include "netpp/mech/knobs.h"
+#include "netpp/mech/ocs.h"
+#include "netpp/mech/packet_switch.h"
+#include "netpp/mech/parking.h"
+#include "netpp/mech/rateadapt.h"
+#include "netpp/mech/redesign.h"
+#include "netpp/mech/scheduler.h"
+#include "netpp/mech/trace_recorder.h"

@@ -1,0 +1,28 @@
+// Max-min fair bandwidth allocation (progressive filling / water-filling).
+//
+// The flow-level simulator models TCP-like bandwidth sharing: each active
+// flow gets its max-min fair rate given the capacities of the directed links
+// it crosses. Progressive filling: repeatedly find the most contended link,
+// freeze its flows at the link's equal share, subtract, repeat.
+#pragma once
+
+#include <vector>
+
+namespace netpp {
+
+/// One flow's demand: the indices of the (directed) resources it uses.
+/// An empty set means the flow is unconstrained (gets +inf -> callers clamp).
+struct FairShareFlow {
+  std::vector<std::size_t> resources;
+  /// Optional per-flow rate cap (e.g. the sender NIC). <= 0 means uncapped.
+  double cap = 0.0;
+};
+
+/// Computes max-min fair rates.
+/// `capacities[r]` is the capacity of resource r (> 0).
+/// Returns one rate per flow, in the input order.
+[[nodiscard]] std::vector<double> max_min_fair_rates(
+    const std::vector<FairShareFlow>& flows,
+    const std::vector<double>& capacities);
+
+}  // namespace netpp

@@ -1,0 +1,152 @@
+// Event-driven flow-level network simulator.
+//
+// Flows (src host, dst host, size) arrive over time, are ECMP-routed over
+// the topology, and share link bandwidth max-min fairly. On every arrival or
+// completion the allocation is recomputed and the earliest completion is
+// (re)scheduled. The simulator tracks per-directed-link utilization over
+// time and per-switch load, and notifies a listener after every
+// reallocation — the hook the §4 power mechanisms attach to.
+//
+// This is a fluid model (no packets): standard practice for
+// utilization/energy studies at cluster scale.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "netpp/sim/engine.h"
+#include "netpp/sim/stats.h"
+#include "netpp/topo/graph.h"
+#include "netpp/topo/routing.h"
+#include "netpp/units.h"
+
+namespace netpp {
+
+using FlowId = std::uint64_t;
+
+/// A flow to inject.
+struct FlowSpec {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  Bits size{};
+  Seconds start{};
+  /// Caller tag carried through to the completion record (e.g. iteration
+  /// number, job id).
+  std::uint64_t tag = 0;
+};
+
+/// Completion record.
+struct FlowRecord {
+  FlowId id = 0;
+  FlowSpec spec;
+  Seconds finished{};
+  /// Flow completion time (finished - spec.start).
+  [[nodiscard]] Seconds fct() const { return finished - spec.start; }
+};
+
+/// Directed link index: each undirected Link has two directions.
+/// Direction 0 carries a->b traffic, 1 carries b->a.
+struct DirectedLink {
+  LinkId link = kInvalidLink;
+  int direction = 0;
+
+  [[nodiscard]] std::size_t index() const {
+    return static_cast<std::size_t>(link) * 2 + direction;
+  }
+};
+
+class FlowSimulator {
+ public:
+  struct Config {
+    std::size_t max_ecmp_paths = 16;
+    /// Per-flow rate cap; 0 disables (flows are then only link-limited).
+    Gbps flow_rate_cap{0.0};
+  };
+
+  /// `graph`, `router`, and `engine` must outlive the simulator. The router
+  /// is shared so that mechanisms can disable nodes/links and have the
+  /// simulator route around them (affects flows admitted afterwards).
+  FlowSimulator(const Graph& graph, Router& router, SimEngine& engine,
+                Config config);
+  /// Default configuration.
+  FlowSimulator(const Graph& graph, Router& router, SimEngine& engine);
+
+  /// Submits a flow for injection at `spec.start` (>= now). Returns its id.
+  FlowId submit(const FlowSpec& spec);
+
+  /// Listener called after every reallocation (arrival or completion).
+  using LoadListener = std::function<void(Seconds now)>;
+  void set_load_listener(LoadListener listener) {
+    listener_ = std::move(listener);
+  }
+
+  /// Listener called once per completed flow (before the post-completion
+  /// reallocation), e.g. to drive closed-loop workloads.
+  using CompletionListener = std::function<void(const FlowRecord&)>;
+  void set_completion_listener(CompletionListener listener) {
+    completion_listener_ = std::move(listener);
+  }
+
+  /// Current rate carried by a directed link (sum over flows), in Gbps.
+  [[nodiscard]] Gbps directed_link_rate(DirectedLink dl) const;
+
+  /// Current utilization of a directed link in [0, 1].
+  [[nodiscard]] double directed_link_utilization(DirectedLink dl) const;
+
+  /// Current load of a node in [0, 1]: total incident traffic (both
+  /// directions of all incident links) over total incident capacity.
+  [[nodiscard]] double node_load(NodeId id) const;
+
+  /// Time-weighted average utilization of a directed link up to now.
+  [[nodiscard]] double average_link_utilization(DirectedLink dl) const;
+
+  [[nodiscard]] std::size_t active_flows() const { return active_.size(); }
+  [[nodiscard]] const std::vector<FlowRecord>& completed() const {
+    return completed_;
+  }
+  /// Flows that could not be routed (disconnected src/dst).
+  [[nodiscard]] std::size_t unroutable_flows() const { return unroutable_; }
+
+  /// Summary of flow completion times so far.
+  [[nodiscard]] const SummaryStat& fct_stats() const { return fct_; }
+
+  [[nodiscard]] const Graph& graph() const { return graph_; }
+  [[nodiscard]] SimEngine& engine() { return engine_; }
+
+ private:
+  struct ActiveFlow {
+    FlowId id;
+    FlowSpec spec;
+    std::vector<std::size_t> directed_indices;  // fair-share resources
+    double remaining_bits;
+    double rate_bps = 0.0;
+    Seconds admitted{};
+  };
+
+  void admit(FlowSpec spec, FlowId id);
+  void settle_progress(Seconds now);
+  void reallocate(Seconds now);
+  void schedule_next_completion();
+  void complete_due_flows(Seconds now);
+
+  const Graph& graph_;
+  Router& router_;
+  SimEngine& engine_;
+  Config config_;
+
+  std::vector<ActiveFlow> active_;
+  std::vector<FlowRecord> completed_;
+  std::vector<double> directed_capacity_bps_;   // 2 per link
+  std::vector<TimeWeighted> directed_rate_bps_;  // current carried rate
+  SummaryStat fct_;
+  std::size_t unroutable_ = 0;
+  FlowId next_id_ = 1;
+  Seconds last_settle_{};
+  std::optional<SimEngine::EventId> completion_event_;
+  LoadListener listener_;
+  CompletionListener completion_listener_;
+};
+
+}  // namespace netpp

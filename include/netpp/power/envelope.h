@@ -1,0 +1,100 @@
+// Two-state power envelopes and power proportionality (paper §2.3).
+//
+// The paper models every device as being either `idle` or running at `max`
+// power; power proportionality is defined (eq. 1) as
+//
+//     proportionality = (max_power - idle_power) / max_power
+//
+// i.e. 1.0 for an ideally proportional device (zero idle draw) and 0.0 for a
+// device that draws full power regardless of load. `PowerEnvelope` captures
+// the (max, idle) pair; `at_load` additionally provides the standard linear
+// interpolation used by the flow-level simulator for partially loaded
+// devices.
+#pragma once
+
+#include <stdexcept>
+
+#include "netpp/units.h"
+
+namespace netpp {
+
+/// A device's two-state power envelope.
+class PowerEnvelope {
+ public:
+  constexpr PowerEnvelope() = default;
+
+  /// Constructs from explicit max/idle powers.
+  /// Requires 0 <= idle <= max.
+  constexpr PowerEnvelope(Watts max_power, Watts idle_power)
+      : max_(max_power), idle_(idle_power) {
+    if (idle_.value() < 0.0 || max_.value() < idle_.value()) {
+      throw std::invalid_argument(
+          "PowerEnvelope requires 0 <= idle_power <= max_power");
+    }
+  }
+
+  /// Constructs from a max power and a proportionality in [0, 1]
+  /// (paper eq. 1 solved for idle power).
+  static constexpr PowerEnvelope from_proportionality(Watts max_power,
+                                                      double proportionality) {
+    if (proportionality < 0.0 || proportionality > 1.0) {
+      throw std::invalid_argument("proportionality must be in [0, 1]");
+    }
+    return PowerEnvelope{max_power, max_power * (1.0 - proportionality)};
+  }
+
+  [[nodiscard]] constexpr Watts max_power() const { return max_; }
+  [[nodiscard]] constexpr Watts idle_power() const { return idle_; }
+
+  /// Paper eq. 1. A zero-max envelope is conventionally fully proportional.
+  [[nodiscard]] constexpr double proportionality() const {
+    if (max_.value() == 0.0) return 1.0;
+    return (max_ - idle_) / max_;
+  }
+
+  /// Linear power-vs-load interpolation: idle at load 0, max at load 1.
+  /// `load` is clamped to [0, 1].
+  [[nodiscard]] constexpr Watts at_load(double load) const {
+    if (load < 0.0) load = 0.0;
+    if (load > 1.0) load = 1.0;
+    return idle_ + (max_ - idle_) * load;
+  }
+
+  /// Duty-cycle average: fraction `active` of the time at max, rest idle.
+  [[nodiscard]] constexpr Watts duty_cycle_average(double active) const {
+    return at_load(active);
+  }
+
+  /// Envelope of `n` identical devices.
+  [[nodiscard]] constexpr PowerEnvelope scaled(double n) const {
+    return PowerEnvelope{max_ * n, idle_ * n};
+  }
+
+  /// Sum of two envelopes (devices operated in lockstep).
+  friend constexpr PowerEnvelope operator+(const PowerEnvelope& a,
+                                           const PowerEnvelope& b) {
+    return PowerEnvelope{a.max_ + b.max_, a.idle_ + b.idle_};
+  }
+
+  constexpr bool operator==(const PowerEnvelope&) const = default;
+
+ private:
+  Watts max_{};
+  Watts idle_{};
+};
+
+/// Energy efficiency of a duty-cycled device (paper §3.1).
+///
+/// Defined as the energy an ideally power-proportional device (same max
+/// power, zero idle power) would consume over the duty cycle, divided by the
+/// energy the actual device consumes. The paper's baseline network — active
+/// 10% of the time with 10% proportionality — scores ~11%.
+[[nodiscard]] constexpr double energy_efficiency(const PowerEnvelope& env,
+                                                 double active_fraction) {
+  const Watts actual = env.duty_cycle_average(active_fraction);
+  if (actual.value() == 0.0) return 1.0;
+  const Watts ideal = env.max_power() * active_fraction;
+  return ideal / actual;
+}
+
+}  // namespace netpp

@@ -1,0 +1,100 @@
+// Component-level switch power model.
+//
+// The cluster analysis treats a switch as a two-state envelope; the §4
+// mechanism simulators need to know *where* the watts go so that knobs can
+// gate them. Following the decomposition in router power studies the paper
+// cites (Vishwanath et al., the IMC'25 router-energy model, Juniper's
+// pipeline power-gating posts), a switch's max power splits into:
+//
+//   - chassis: fans, PSUs, control-plane CPU — always on, not gateable by
+//     data-plane mechanisms;
+//   - packet pipelines: leakage (goes away only when a pipeline is powered
+//     off), clock-tree power (scales with frequency), and switching power
+//     (scales with frequency x utilization);
+//   - SerDes/ports: per-port power, gateable per port, scalable by the
+//     fraction of active lanes (down-rating, §4.3).
+//
+// The default fractions are chosen so that a fully-on idle switch draws 90%
+// of max — the paper's 10% baseline proportionality.
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+#include "netpp/units.h"
+
+namespace netpp {
+
+struct SwitchPowerConfig {
+  Watts max_power{750.0};  ///< paper Table 1 (51.2 Tbps switch)
+  int num_pipelines = 4;
+  int num_ports = 64;
+
+  // Top-level split (must sum to 1).
+  double chassis_fraction = 0.30;
+  double pipelines_fraction = 0.40;
+  double serdes_fraction = 0.30;
+
+  // Within one pipeline (must sum to 1).
+  double pipeline_leakage_fraction = 0.40;   ///< gone only when powered off
+  double pipeline_clock_fraction = 0.35;     ///< ~ frequency
+  double pipeline_switching_fraction = 0.25;  ///< ~ frequency x utilization
+};
+
+/// The power state of one pipeline.
+struct PipelineState {
+  bool powered = true;
+  /// Clock frequency as a fraction of nominal, in (0, 1]. Ignored when the
+  /// pipeline is powered off.
+  double frequency = 1.0;
+  /// Offered load as a fraction of the pipeline's capacity *at nominal
+  /// frequency*, in [0, 1]. Utilization relative to the scaled clock is
+  /// load/frequency (a pipeline at half clock and half load is fully busy).
+  double load = 0.0;
+};
+
+/// The power state of one port's SerDes.
+struct PortState {
+  bool powered = true;
+  /// Fraction of the port's SerDes lanes that are active (down-rating a
+  /// 400 G port to 100 G keeps 1/4 of the lanes), in (0, 1].
+  double lane_fraction = 1.0;
+};
+
+class SwitchPowerModel {
+ public:
+  SwitchPowerModel() : SwitchPowerModel(SwitchPowerConfig{}) {}
+  explicit SwitchPowerModel(SwitchPowerConfig config);
+
+  [[nodiscard]] const SwitchPowerConfig& config() const { return config_; }
+
+  [[nodiscard]] Watts chassis_power() const;
+
+  /// Power of one pipeline in the given state. `state.load` must not exceed
+  /// `state.frequency` (a slowed pipeline cannot serve more than its clock).
+  [[nodiscard]] Watts pipeline_power(const PipelineState& state) const;
+
+  /// Power of one port in the given state.
+  [[nodiscard]] Watts port_power(const PortState& state) const;
+
+  /// Total switch power for explicit per-pipeline / per-port states.
+  /// Sizes must match the config.
+  [[nodiscard]] Watts total_power(const std::vector<PipelineState>& pipelines,
+                                  const std::vector<PortState>& ports) const;
+
+  /// Convenience: all components on at nominal frequency, uniform load.
+  [[nodiscard]] Watts at_uniform_load(double load) const;
+
+  /// Idle (all on, zero load) and max (all on, full load) powers, and the
+  /// resulting envelope proportionality (~10% with default fractions).
+  [[nodiscard]] Watts idle_power() const { return at_uniform_load(0.0); }
+  [[nodiscard]] Watts max_power() const { return at_uniform_load(1.0); }
+  [[nodiscard]] double proportionality() const;
+
+ private:
+  SwitchPowerConfig config_;
+  Watts per_pipeline_max_{};
+  Watts per_port_max_{};
+};
+
+}  // namespace netpp

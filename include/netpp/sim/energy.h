@@ -1,0 +1,94 @@
+// Energy accounting for simulated devices.
+//
+// An EnergyMeter integrates a device's instantaneous power draw over
+// simulated time. Devices report power-state changes (e.g. "pipeline 2 went
+// to sleep at t=1.25 s"); the meter accumulates joules and exposes the
+// energy-efficiency metric of paper §3.1 (ideal-proportional energy over
+// actual energy).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netpp/power/envelope.h"
+#include "netpp/sim/stats.h"
+#include "netpp/units.h"
+
+namespace netpp {
+
+/// Integrates one device's power over time.
+class EnergyMeter {
+ public:
+  /// `max_power` is the device's nameplate max, used for the efficiency
+  /// metric; the meter starts at `initial_power` at time `start`.
+  EnergyMeter(Watts max_power, Watts initial_power,
+              Seconds start = Seconds{0.0});
+
+  /// Records a new instantaneous power draw at time `at` (monotone).
+  void set_power(Seconds at, Watts power);
+
+  /// Records useful work: the device was actively serving load `load`
+  /// (in [0,1] of capacity) starting at `at`. Used for the efficiency
+  /// denominator; optional.
+  void set_load(Seconds at, double load);
+
+  [[nodiscard]] Watts current_power() const {
+    return Watts{power_.current()};
+  }
+  [[nodiscard]] double current_load() const { return load_.current(); }
+
+  /// Total energy consumed up to `until`.
+  [[nodiscard]] Joules energy(Seconds until) const;
+
+  /// Average power over the metered interval.
+  [[nodiscard]] Watts average_power(Seconds until) const;
+
+  /// Time-weighted average load over the metered interval.
+  [[nodiscard]] double average_load(Seconds until) const;
+
+  /// Paper §3.1 energy efficiency: energy an ideally proportional device
+  /// (max_power at load, zero when idle) would have used, over the actual
+  /// energy. 1.0 when no energy was consumed.
+  [[nodiscard]] double efficiency(Seconds until) const;
+
+  [[nodiscard]] Watts max_power() const { return max_power_; }
+
+ private:
+  Watts max_power_;
+  TimeWeighted power_;
+  TimeWeighted load_;
+};
+
+/// Named collection of meters — a "power rail" view of a simulated system.
+class EnergyLedger {
+ public:
+  /// Adds a meter and returns its index.
+  std::size_t add(std::string name, Watts max_power, Watts initial_power,
+                  Seconds start = Seconds{0.0});
+
+  [[nodiscard]] EnergyMeter& meter(std::size_t idx) {
+    return meters_.at(idx).meter;
+  }
+  [[nodiscard]] const EnergyMeter& meter(std::size_t idx) const {
+    return meters_.at(idx).meter;
+  }
+  [[nodiscard]] const std::string& name(std::size_t idx) const {
+    return meters_.at(idx).name;
+  }
+  [[nodiscard]] std::size_t size() const { return meters_.size(); }
+
+  /// Sum of all meters' energy up to `until`.
+  [[nodiscard]] Joules total_energy(Seconds until) const;
+
+  /// Sum of all meters' average power up to `until`.
+  [[nodiscard]] Watts total_average_power(Seconds until) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    EnergyMeter meter;
+  };
+  std::vector<Entry> meters_;
+};
+
+}  // namespace netpp

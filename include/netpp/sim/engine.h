@@ -1,0 +1,75 @@
+// Discrete-event simulation engine.
+//
+// A minimal, deterministic event-queue engine used by the flow-level network
+// simulator and the §4 mechanism models. Events are closures scheduled at
+// absolute simulated times; ties are broken by insertion order (FIFO), which
+// keeps runs reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "netpp/units.h"
+
+namespace netpp {
+
+/// Discrete-event engine. Not thread-safe; one engine per simulation.
+class SimEngine {
+ public:
+  using Callback = std::function<void()>;
+  /// Handle used to cancel a scheduled event. Valid until the event fires.
+  using EventId = std::uint64_t;
+
+  SimEngine() = default;
+  SimEngine(const SimEngine&) = delete;
+  SimEngine& operator=(const SimEngine&) = delete;
+
+  /// Current simulated time. Starts at 0.
+  [[nodiscard]] Seconds now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `at` (>= now).
+  EventId schedule_at(Seconds at, Callback fn);
+
+  /// Schedules `fn` to run `delay` (>= 0) after the current time.
+  EventId schedule_after(Seconds delay, Callback fn);
+
+  /// Cancels a pending event. Returns false if it already fired or was
+  /// cancelled before.
+  bool cancel(EventId id);
+
+  /// Runs until the queue drains. Returns the number of events executed.
+  std::size_t run();
+
+  /// Runs events up to and including time `until`; the clock is left at
+  /// `until` even if the queue drained earlier. Returns events executed.
+  std::size_t run_until(Seconds until);
+
+  /// Executes the single next event, if any. Returns whether one ran.
+  bool step();
+
+  [[nodiscard]] bool empty() const { return pending_.empty(); }
+  [[nodiscard]] std::size_t pending_events() const { return pending_.size(); }
+
+ private:
+  struct Entry {
+    double at;
+    std::uint64_t seq;  // FIFO tie-break and cancellation handle
+    Callback fn;
+    bool operator>(const Entry& other) const {
+      if (at != other.at) return at > other.at;
+      return seq > other.seq;
+    }
+  };
+
+  bool pop_and_run();
+
+  Seconds now_{};
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_set<EventId> pending_;  // scheduled, not yet fired/cancelled
+};
+
+}  // namespace netpp

@@ -1,0 +1,43 @@
+// Topology builders: classic k-ary fat tree, 2-tier leaf-spine, and a
+// linear ISP-style backbone. These produce explicit graphs for the flow
+// simulator; the closed-form FatTreeModel in core/topomodel covers the
+// analytic sizing.
+#pragma once
+
+#include "netpp/topo/graph.h"
+
+namespace netpp {
+
+/// Result of a topology build: the graph plus the host list in a canonical
+/// order (useful for traffic generators).
+struct BuiltTopology {
+  Graph graph;
+  std::vector<NodeId> hosts;
+  std::vector<NodeId> switches;  ///< all switch-kind nodes, tier ascending
+};
+
+/// Classic 3-tier k-ary fat tree (Al-Fares et al.): k pods, k^3/4 hosts,
+/// k^2/2 edge + k^2/2 aggregation + k^2/4 core switches. `k` must be even
+/// and >= 2. Host links run at `host_speed`; inter-switch links at
+/// `fabric_speed` and are marked optical.
+[[nodiscard]] BuiltTopology build_fat_tree(int k, Gbps host_speed,
+                                           Gbps fabric_speed);
+
+/// Convenience: all link speeds equal (the paper's setting — the per-GPU
+/// NIC speed matches the fabric port speed).
+[[nodiscard]] BuiltTopology build_fat_tree(int k, Gbps speed);
+
+/// 2-tier leaf-spine: `leaves` leaf switches, `spines` spine switches,
+/// `hosts_per_leaf` hosts per leaf; every leaf connects to every spine.
+[[nodiscard]] BuiltTopology build_leaf_spine(int leaves, int spines,
+                                             int hosts_per_leaf,
+                                             Gbps host_speed,
+                                             Gbps fabric_speed);
+
+/// ISP-style backbone ring of `pops` router nodes with `chords` extra
+/// shortcut links, one access host hanging off each PoP (traffic source/
+/// sink). Deterministic chord placement (i -> i + pops/2 ... ).
+[[nodiscard]] BuiltTopology build_backbone_ring(int pops, int chords,
+                                                Gbps link_speed);
+
+}  // namespace netpp

@@ -1,0 +1,87 @@
+// Explicit network topology graph.
+//
+// Where the core analysis uses closed-form switch *counts*, the simulators
+// (§4 mechanisms) need a real graph: hosts, switches, optical circuit
+// switches, and capacitated links. Links are full-duplex; the flow simulator
+// accounts each direction separately.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netpp/units.h"
+
+namespace netpp {
+
+using NodeId = std::uint32_t;
+using LinkId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+inline constexpr LinkId kInvalidLink = static_cast<LinkId>(-1);
+
+enum class NodeKind : std::uint8_t {
+  kHost,
+  kSwitch,
+  kOpticalCircuitSwitch,
+};
+
+struct Node {
+  NodeId id = kInvalidNode;
+  NodeKind kind = NodeKind::kHost;
+  /// Tier in a layered topology (0 = host, 1 = ToR/leaf, 2 = agg/spine, ...).
+  int tier = 0;
+  std::string name;
+};
+
+struct Link {
+  LinkId id = kInvalidLink;
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  Gbps capacity{};
+  bool optical = false;  ///< inter-switch optical link (carries transceivers)
+
+  /// The endpoint that is not `from` (precondition: `from` is an endpoint).
+  [[nodiscard]] NodeId other(NodeId from) const { return from == a ? b : a; }
+};
+
+/// An adjacency entry: the link and the neighbor it reaches.
+struct Adjacency {
+  LinkId link = kInvalidLink;
+  NodeId neighbor = kInvalidNode;
+};
+
+class Graph {
+ public:
+  NodeId add_node(NodeKind kind, int tier = 0, std::string name = {});
+  LinkId add_link(NodeId a, NodeId b, Gbps capacity, bool optical = false);
+
+  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t num_links() const { return links_.size(); }
+
+  [[nodiscard]] const Node& node(NodeId id) const { return nodes_.at(id); }
+  [[nodiscard]] const Link& link(LinkId id) const { return links_.at(id); }
+  [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
+  [[nodiscard]] const std::vector<Link>& links() const { return links_; }
+
+  [[nodiscard]] std::span<const Adjacency> neighbors(NodeId id) const {
+    return adjacency_.at(id);
+  }
+  [[nodiscard]] std::size_t degree(NodeId id) const {
+    return adjacency_.at(id).size();
+  }
+
+  /// All node ids of a given kind (convenience for tests/generators).
+  [[nodiscard]] std::vector<NodeId> nodes_of_kind(NodeKind kind) const;
+
+  /// All node ids at a given tier.
+  [[nodiscard]] std::vector<NodeId> nodes_at_tier(int tier) const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::vector<std::vector<Adjacency>> adjacency_;
+};
+
+}  // namespace netpp

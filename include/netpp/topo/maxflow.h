@@ -1,0 +1,43 @@
+// Max-flow and bisection-bandwidth analysis over explicit topologies.
+//
+// Used to verify structural properties the power analyses rely on — e.g.
+// that the fat-tree builder really produces a full-bisection fabric (the
+// paper's §4.2 observation that such fabrics are over-provisioned for most
+// ML jobs is what makes OCS tailoring attractive) — and to quantify how
+// much capacity survives when switches are powered off.
+//
+// Links are full duplex: each undirected link contributes an independent
+// arc of its capacity in each direction. Implementation: Edmonds-Karp.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "netpp/topo/builders.h"
+#include "netpp/topo/graph.h"
+#include "netpp/topo/routing.h"
+#include "netpp/units.h"
+
+namespace netpp {
+
+/// Max flow from `src` to `dst`. If `router` is given, its disabled nodes
+/// and links are excluded (disabled nodes block transit; src/dst always
+/// participate).
+[[nodiscard]] Gbps max_flow(const Graph& graph, NodeId src, NodeId dst,
+                            const Router* router = nullptr);
+
+/// Max aggregate flow from the `sources` set to the `sinks` set
+/// (super-source/super-sink construction; sets must be disjoint and
+/// non-empty).
+[[nodiscard]] Gbps max_flow(const Graph& graph,
+                            const std::vector<NodeId>& sources,
+                            const std::vector<NodeId>& sinks,
+                            const Router* router = nullptr);
+
+/// Bisection bandwidth estimate: hosts split into two halves by index
+/// (first half vs second half), set-to-set max flow. For the symmetric
+/// builders in this library the index split is a worst-case cut.
+[[nodiscard]] Gbps bisection_bandwidth(const BuiltTopology& topology,
+                                       const Router* router = nullptr);
+
+}  // namespace netpp

@@ -1,0 +1,66 @@
+// Routing over explicit topologies: BFS shortest paths, ECMP path
+// enumeration, and deterministic flow-to-path assignment by hash.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "netpp/topo/graph.h"
+
+namespace netpp {
+
+/// A path as the sequence of links from src to dst (nodes are implied).
+struct Path {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  std::vector<LinkId> links;
+
+  [[nodiscard]] std::size_t hops() const { return links.size(); }
+  [[nodiscard]] bool empty() const { return links.empty(); }
+
+  /// The node sequence src, ..., dst implied by the links.
+  [[nodiscard]] std::vector<NodeId> nodes(const Graph& g) const;
+};
+
+/// Routing engine with optional link/node masks so that mechanisms can
+/// "turn off" switches or links and re-route around them.
+class Router {
+ public:
+  explicit Router(const Graph& graph);
+
+  /// Marks a node usable/unusable (unusable nodes cannot be transited;
+  /// endpoints are always allowed).
+  void set_node_enabled(NodeId id, bool enabled);
+  /// Marks a link usable/unusable.
+  void set_link_enabled(LinkId id, bool enabled);
+
+  [[nodiscard]] bool node_enabled(NodeId id) const {
+    return node_enabled_.at(id);
+  }
+  [[nodiscard]] bool link_enabled(LinkId id) const {
+    return link_enabled_.at(id);
+  }
+
+  /// One shortest path (BFS, hop count), or nullopt if disconnected.
+  [[nodiscard]] std::optional<Path> shortest_path(NodeId src,
+                                                  NodeId dst) const;
+
+  /// All shortest paths up to `max_paths` (ECMP set), deterministic order.
+  [[nodiscard]] std::vector<Path> ecmp_paths(NodeId src, NodeId dst,
+                                             std::size_t max_paths = 16) const;
+
+  /// Picks one of the ECMP paths by hashing (src, dst, flow_id) — the
+  /// standard 5-tuple-hash stand-in. Returns nullopt if disconnected.
+  [[nodiscard]] std::optional<Path> ecmp_route(NodeId src, NodeId dst,
+                                               std::uint64_t flow_id) const;
+
+  [[nodiscard]] const Graph& graph() const { return graph_; }
+
+ private:
+  const Graph& graph_;
+  std::vector<bool> node_enabled_;
+  std::vector<bool> link_enabled_;
+};
+
+}  // namespace netpp

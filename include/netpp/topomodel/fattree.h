@@ -1,0 +1,70 @@
+// Closed-form fat-tree sizing (paper §2.4).
+//
+// The analysis needs the number of switches (and inter-switch links /
+// transceivers) required to connect N hosts at a given per-host port speed,
+// using fixed-radix switches. We use the generalized full-bisection fat-tree
+// (folded Clos) closed form:
+//
+//   an n-tier fat tree built from radix-R switches supports
+//       H(n) = 2 * (R/2)^n      hosts, using
+//       S(n) = (2n - 1) * (R/2)^(n-1)   switches.
+//
+//   (n=2 gives the familiar leaf/spine R^2/2 hosts with 3R/2 switches;
+//    n=3 gives the k-ary fat tree's k^3/4 hosts with 5k^2/4 switches.)
+//
+// For host counts strictly between two tiers' capacities, the paper
+// "interpolates"; we implement a continuous, monotone geometric (log-space)
+// interpolation between the bracketing (H, S) points — tier capacities grow
+// geometrically, so log-linear is the natural interpolant — which reproduces
+// the paper's Table 3 to within ~0.1 pp on the measured-NIC rows (see
+// EXPERIMENTS.md).
+//
+// Port/link/transceiver accounting: a fractional switch count `S` of
+// radix-R switches exposes S*R ports; N of them face hosts, the remainder
+// form inter-switch links (2 ports each), every inter-switch link carrying
+// one optical transceiver per end (host links are electrical, ~0 W, §2.3.2).
+#pragma once
+
+#include <cstdint>
+
+#include "netpp/units.h"
+
+namespace netpp {
+
+/// Sizing results for connecting a given number of hosts.
+struct FatTreeSize {
+  double switches = 0.0;          ///< fractional switch count (interpolated)
+  int tiers = 0;                  ///< number of tiers of the bracketing tree
+  double total_ports = 0.0;       ///< switches * radix
+  double host_ports = 0.0;        ///< ports facing hosts (== hosts)
+  double inter_switch_links = 0.0;  ///< (total_ports - host_ports) / 2
+  double transceivers = 0.0;      ///< 2 per inter-switch link
+};
+
+/// Closed-form full-bisection fat-tree model for one switch radix.
+class FatTreeModel {
+ public:
+  /// `radix` is the per-switch port count; must be an even number >= 2
+  /// (each tier splits ports evenly between up and down links).
+  explicit FatTreeModel(int radix);
+
+  [[nodiscard]] int radix() const { return radix_; }
+
+  /// H(n): hosts supported by a full n-tier tree. n >= 1.
+  [[nodiscard]] double hosts_at_tier(int n) const;
+
+  /// S(n): switches used by a full n-tier tree. n >= 1.
+  [[nodiscard]] double switches_at_tier(int n) const;
+
+  /// Smallest tier count n with H(n) >= hosts. hosts >= 1.
+  [[nodiscard]] int tiers_for_hosts(double hosts) const;
+
+  /// Continuous interpolated sizing for an arbitrary host count (>= 1).
+  [[nodiscard]] FatTreeSize size_for_hosts(double hosts) const;
+
+ private:
+  int radix_;
+  double half_;  // R/2
+};
+
+}  // namespace netpp

@@ -1,0 +1,114 @@
+// Synthetic traffic generators.
+//
+// The paper's §4 proposals are evaluated against two traffic regimes it
+// discusses:
+//   - ML training (§2.2, §4.2): highly predictable phase-structured traffic;
+//     compute phases with an idle network alternating with communication
+//     bursts (we model the collective as a ring all-reduce: each host sends
+//     2(n-1)/n of the gradient volume to its ring successor).
+//   - ISP/backbone traffic (§3.4): unpredictable, diurnal, never fully idle
+//     — "links are more likely to be underutilized rather than completely
+//     unused".
+// Generators are pure functions of a seed: they pre-compute deterministic
+// flow lists that are then submitted to the FlowSimulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netpp/netsim/flowsim.h"
+#include "netpp/sim/random.h"
+#include "netpp/topo/graph.h"
+#include "netpp/units.h"
+
+namespace netpp {
+
+/// Collective communication pattern used for the gradient exchange.
+enum class CollectiveKind {
+  /// Ring all-reduce: host i -> host i+1, volume 2(n-1)/n * V per link.
+  kRing,
+  /// Recursive halving/doubling all-reduce: log2(n) rounds; in round r,
+  /// host i exchanges V/2^(r+1)-ish volume with host i XOR 2^r. We emit one
+  /// flow per partner per round with the exact per-round volume; total
+  /// volume per host matches the ring's 2(n-1)/n * V. Requires n a power
+  /// of two.
+  kHalvingDoubling,
+  /// All-to-all (expert/embedding shuffles): host i sends V/(n-1) to every
+  /// other host.
+  kAllToAll,
+};
+
+/// Phase-structured ML training traffic over a host list.
+struct MlTrafficConfig {
+  /// Duration of one computation phase (network idle).
+  Seconds compute_time{0.9};
+  /// Gradient volume exchanged per host per iteration; the collective
+  /// determines how it is split into flows (each collective moves the same
+  /// 2(n-1)/n * V total per host).
+  Bits volume_per_host{Bits::from_gigabits(40.0)};
+  CollectiveKind collective = CollectiveKind::kRing;
+  /// Scheduled length of the communication window: iteration k's compute
+  /// phase begins at start + k * (compute_time + comm_allowance). With the
+  /// paper's baseline ratio (10%), allowance = compute_time / 9.
+  Seconds comm_allowance{0.1};
+  int iterations = 5;
+  /// Starting offset of the first computation phase.
+  Seconds start{0.0};
+};
+
+/// One iteration's phase boundaries (for predictive power policies, which
+/// exploit exactly this schedule knowledge — §4.4).
+struct PhaseWindow {
+  int iteration = 0;
+  Seconds compute_begin{};
+  Seconds comm_begin{};  ///< == compute_begin + compute_time
+};
+
+struct MlTraffic {
+  std::vector<FlowSpec> flows;
+  std::vector<PhaseWindow> schedule;
+};
+
+/// Generates collective traffic: in iteration k, at the end of the compute
+/// phase, hosts exchange gradients per the configured collective. Flow tags
+/// carry the iteration number. Requires >= 2 hosts (power of two for
+/// halving/doubling).
+[[nodiscard]] MlTraffic make_ml_training_traffic(
+    const std::vector<NodeId>& hosts, const MlTrafficConfig& config);
+
+/// Poisson flow arrivals with bounded-Pareto sizes between uniformly random
+/// distinct host pairs.
+struct PoissonTrafficConfig {
+  double arrivals_per_second = 100.0;
+  /// Bounded-Pareto size distribution (heavy-tailed mice/elephants mix).
+  double pareto_alpha = 1.2;
+  Bits min_size{Bits::from_bytes(10e3)};
+  Bits max_size{Bits::from_gigabits(10.0)};
+  Seconds duration{10.0};
+  std::uint64_t seed = 42;
+};
+
+[[nodiscard]] std::vector<FlowSpec> make_poisson_traffic(
+    const std::vector<NodeId>& hosts, const PoissonTrafficConfig& config);
+
+/// ISP-style diurnal traffic: Poisson arrivals whose rate follows a sinus
+/// over the day (peak at `peak_hour`), sizes bounded-Pareto. Time is
+/// compressed: one simulated "day" lasts `day_duration`.
+struct DiurnalTrafficConfig {
+  double peak_arrivals_per_second = 200.0;
+  /// Trough-to-peak ratio in (0, 1]: 0.25 means the night rate is 25% of
+  /// the peak rate.
+  double trough_ratio = 0.25;
+  double peak_hour = 20.0;  ///< of a 24 h cycle
+  Seconds day_duration{24.0};  ///< compressed day length in sim time
+  int days = 1;
+  double pareto_alpha = 1.3;
+  Bits min_size{Bits::from_bytes(10e3)};
+  Bits max_size{Bits::from_gigabits(4.0)};
+  std::uint64_t seed = 7;
+};
+
+[[nodiscard]] std::vector<FlowSpec> make_diurnal_traffic(
+    const std::vector<NodeId>& hosts, const DiurnalTrafficConfig& config);
+
+}  // namespace netpp

@@ -1,0 +1,90 @@
+// Closed-loop training simulation (paper Fig. 1, simulated rather than
+// assumed).
+//
+// The paper's workload model *postulates* that communication time scales
+// with 1/bandwidth and that iterations are compute-then-communicate. This
+// module closes the loop in the flow simulator: iteration k's communication
+// starts when its compute phase ends, and iteration k+1's compute starts
+// only when every collective flow of iteration k has *actually* finished.
+// The measured per-iteration communication times validate the analytic
+// scaling (tests/bench) and expose effects the closed form hides (ECMP
+// collisions stretching the collective).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "netpp/netsim/flowsim.h"
+#include "netpp/traffic/generators.h"
+#include "netpp/units.h"
+
+namespace netpp {
+
+struct TrainingLoopConfig {
+  Seconds compute_time{0.9};
+  Bits volume_per_host{Bits::from_gigabits(10.0)};
+  CollectiveKind collective = CollectiveKind::kRing;
+  int iterations = 5;
+};
+
+/// One completed iteration, as measured in the simulator.
+struct IterationRecord {
+  int iteration = 0;
+  Seconds compute_begin{};
+  Seconds comm_begin{};
+  Seconds comm_end{};
+
+  [[nodiscard]] Seconds communication_time() const {
+    return comm_end - comm_begin;
+  }
+  [[nodiscard]] Seconds iteration_time() const {
+    return comm_end - compute_begin;
+  }
+  [[nodiscard]] double communication_ratio() const {
+    const double t = iteration_time().value();
+    return t > 0.0 ? communication_time().value() / t : 0.0;
+  }
+};
+
+/// Drives a training job through the flow simulator. Installs itself as the
+/// simulator's completion listener (the slot must be free) and schedules
+/// phases on the simulator's engine. Single job per simulator.
+class TrainingLoopSim {
+ public:
+  /// `sim` and `hosts` must outlive the loop. Requires >= 2 hosts and a
+  /// topology where all host pairs used by the collective are connected
+  /// (unroutable flows would deadlock the loop; they throw instead).
+  TrainingLoopSim(FlowSimulator& sim, std::vector<NodeId> hosts,
+                  TrainingLoopConfig config);
+
+  /// Schedules the first compute phase at the engine's current time. Run
+  /// the engine afterwards.
+  void start();
+
+  /// Completed iterations so far (all of them once the engine drains).
+  [[nodiscard]] const std::vector<IterationRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] bool finished() const {
+    return records_.size() ==
+           static_cast<std::size_t>(config_.iterations);
+  }
+
+  /// Mean measured communication time across completed iterations.
+  [[nodiscard]] Seconds mean_communication_time() const;
+
+ private:
+  void begin_compute();
+  void begin_communication();
+  void on_flow_complete(const FlowRecord& record);
+
+  FlowSimulator& sim_;
+  std::vector<NodeId> hosts_;
+  TrainingLoopConfig config_;
+  std::vector<IterationRecord> records_;
+  IterationRecord current_{};
+  int current_iteration_ = -1;
+  std::size_t outstanding_flows_ = 0;
+};
+
+}  // namespace netpp

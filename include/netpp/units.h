@@ -1,0 +1,240 @@
+// Strong unit types used throughout netpp.
+//
+// All quantities are stored as double in a canonical unit (watts, gigabits
+// per second, seconds, joules, US dollars). The wrappers exist to prevent
+// accidental unit mixing at API boundaries (e.g. passing a bandwidth where a
+// power is expected) while staying trivially cheap: every type is a single
+// double, constexpr-friendly, and totally ordered.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace netpp {
+
+namespace detail {
+
+// CRTP base providing the arithmetic shared by all scalar unit types.
+// `Derived` must be constructible from double.
+template <typename Derived>
+struct UnitOps {
+  // Empty base; defaulted so derived classes can default their own <=>.
+  constexpr auto operator<=>(const UnitOps&) const = default;
+
+  friend constexpr Derived operator+(Derived a, Derived b) {
+    return Derived{a.value() + b.value()};
+  }
+  friend constexpr Derived operator-(Derived a, Derived b) {
+    return Derived{a.value() - b.value()};
+  }
+  friend constexpr Derived operator*(Derived a, double s) {
+    return Derived{a.value() * s};
+  }
+  friend constexpr Derived operator*(double s, Derived a) {
+    return Derived{a.value() * s};
+  }
+  friend constexpr Derived operator/(Derived a, double s) {
+    return Derived{a.value() / s};
+  }
+  // Ratio of two like quantities is dimensionless.
+  friend constexpr double operator/(Derived a, Derived b) {
+    return a.value() / b.value();
+  }
+  friend constexpr Derived operator-(Derived a) { return Derived{-a.value()}; }
+
+  constexpr Derived& operator+=(Derived other) {
+    auto& self = static_cast<Derived&>(*this);
+    self = self + other;
+    return self;
+  }
+  constexpr Derived& operator-=(Derived other) {
+    auto& self = static_cast<Derived&>(*this);
+    self = self - other;
+    return self;
+  }
+  constexpr Derived& operator*=(double s) {
+    auto& self = static_cast<Derived&>(*this);
+    self = self * s;
+    return self;
+  }
+  constexpr Derived& operator/=(double s) {
+    auto& self = static_cast<Derived&>(*this);
+    self = self / s;
+    return self;
+  }
+};
+
+}  // namespace detail
+
+/// Electrical power, canonical unit: watt.
+class Watts : public detail::UnitOps<Watts> {
+ public:
+  constexpr Watts() = default;
+  constexpr explicit Watts(double w) : w_(w) {}
+  [[nodiscard]] constexpr double value() const { return w_; }
+  [[nodiscard]] constexpr double kilowatts() const { return w_ / 1e3; }
+  [[nodiscard]] constexpr double megawatts() const { return w_ / 1e6; }
+  constexpr auto operator<=>(const Watts&) const = default;
+
+  static constexpr Watts from_kilowatts(double kw) { return Watts{kw * 1e3}; }
+  static constexpr Watts from_megawatts(double mw) { return Watts{mw * 1e6}; }
+
+ private:
+  double w_ = 0.0;
+};
+
+/// Data rate, canonical unit: gigabit per second.
+class Gbps : public detail::UnitOps<Gbps> {
+ public:
+  constexpr Gbps() = default;
+  constexpr explicit Gbps(double g) : g_(g) {}
+  [[nodiscard]] constexpr double value() const { return g_; }
+  [[nodiscard]] constexpr double tbps() const { return g_ / 1e3; }
+  [[nodiscard]] constexpr double bits_per_second() const { return g_ * 1e9; }
+  constexpr auto operator<=>(const Gbps&) const = default;
+
+  static constexpr Gbps from_tbps(double t) { return Gbps{t * 1e3}; }
+
+ private:
+  double g_ = 0.0;
+};
+
+/// Time span, canonical unit: second.
+class Seconds : public detail::UnitOps<Seconds> {
+ public:
+  constexpr Seconds() = default;
+  constexpr explicit Seconds(double s) : s_(s) {}
+  [[nodiscard]] constexpr double value() const { return s_; }
+  [[nodiscard]] constexpr double hours() const { return s_ / 3600.0; }
+  constexpr auto operator<=>(const Seconds&) const = default;
+
+  static constexpr Seconds from_hours(double h) { return Seconds{h * 3600.0}; }
+  static constexpr Seconds from_milliseconds(double ms) {
+    return Seconds{ms / 1e3};
+  }
+  static constexpr Seconds from_microseconds(double us) {
+    return Seconds{us / 1e6};
+  }
+  static constexpr Seconds from_nanoseconds(double ns) {
+    return Seconds{ns / 1e9};
+  }
+
+ private:
+  double s_ = 0.0;
+};
+
+/// Energy, canonical unit: joule.
+class Joules : public detail::UnitOps<Joules> {
+ public:
+  constexpr Joules() = default;
+  constexpr explicit Joules(double j) : j_(j) {}
+  [[nodiscard]] constexpr double value() const { return j_; }
+  [[nodiscard]] constexpr double kilowatt_hours() const {
+    return j_ / 3.6e6;
+  }
+  constexpr auto operator<=>(const Joules&) const = default;
+
+  static constexpr Joules from_kilowatt_hours(double kwh) {
+    return Joules{kwh * 3.6e6};
+  }
+
+ private:
+  double j_ = 0.0;
+};
+
+/// Data volume, canonical unit: bit.
+class Bits : public detail::UnitOps<Bits> {
+ public:
+  constexpr Bits() = default;
+  constexpr explicit Bits(double b) : b_(b) {}
+  [[nodiscard]] constexpr double value() const { return b_; }
+  [[nodiscard]] constexpr double gigabits() const { return b_ / 1e9; }
+  constexpr auto operator<=>(const Bits&) const = default;
+
+  static constexpr Bits from_gigabits(double gb) { return Bits{gb * 1e9}; }
+  static constexpr Bits from_bytes(double bytes) { return Bits{bytes * 8.0}; }
+
+ private:
+  double b_ = 0.0;
+};
+
+/// Money, canonical unit: US dollar.
+class Dollars : public detail::UnitOps<Dollars> {
+ public:
+  constexpr Dollars() = default;
+  constexpr explicit Dollars(double d) : d_(d) {}
+  [[nodiscard]] constexpr double value() const { return d_; }
+  constexpr auto operator<=>(const Dollars&) const = default;
+
+ private:
+  double d_ = 0.0;
+};
+
+// Cross-unit relations.
+constexpr Joules operator*(Watts p, Seconds t) {
+  return Joules{p.value() * t.value()};
+}
+constexpr Joules operator*(Seconds t, Watts p) { return p * t; }
+constexpr Watts operator/(Joules e, Seconds t) {
+  return Watts{e.value() / t.value()};
+}
+constexpr Seconds operator/(Joules e, Watts p) {
+  return Seconds{e.value() / p.value()};
+}
+constexpr Bits operator*(Gbps r, Seconds t) {
+  return Bits{r.bits_per_second() * t.value()};
+}
+constexpr Bits operator*(Seconds t, Gbps r) { return r * t; }
+constexpr Seconds operator/(Bits v, Gbps r) {
+  return Seconds{v.value() / r.bits_per_second()};
+}
+constexpr Gbps operator/(Bits v, Seconds t) {
+  return Gbps{v.value() / t.value() / 1e9};
+}
+
+// User-defined literals: 400.0_W, 51.2_Tbps, 10.0_ms, ...
+namespace literals {
+constexpr Watts operator""_W(long double w) {
+  return Watts{static_cast<double>(w)};
+}
+constexpr Watts operator""_W(unsigned long long w) {
+  return Watts{static_cast<double>(w)};
+}
+constexpr Watts operator""_kW(long double kw) {
+  return Watts::from_kilowatts(static_cast<double>(kw));
+}
+constexpr Watts operator""_MW(long double mw) {
+  return Watts::from_megawatts(static_cast<double>(mw));
+}
+constexpr Gbps operator""_Gbps(long double g) {
+  return Gbps{static_cast<double>(g)};
+}
+constexpr Gbps operator""_Gbps(unsigned long long g) {
+  return Gbps{static_cast<double>(g)};
+}
+constexpr Gbps operator""_Tbps(long double t) {
+  return Gbps::from_tbps(static_cast<double>(t));
+}
+constexpr Seconds operator""_s(long double s) {
+  return Seconds{static_cast<double>(s)};
+}
+constexpr Seconds operator""_s(unsigned long long s) {
+  return Seconds{static_cast<double>(s)};
+}
+constexpr Seconds operator""_ms(long double ms) {
+  return Seconds::from_milliseconds(static_cast<double>(ms));
+}
+constexpr Seconds operator""_us(long double us) {
+  return Seconds::from_microseconds(static_cast<double>(us));
+}
+}  // namespace literals
+
+/// Human-readable formatting helpers ("1.23 MW", "416.5 k$", ...).
+std::string to_string(Watts p);
+std::string to_string(Gbps r);
+std::string to_string(Seconds t);
+std::string to_string(Joules e);
+std::string to_string(Dollars d);
+
+}  // namespace netpp

@@ -1,0 +1,69 @@
+// Phase-based ML training workload model (paper §2.2, Fig. 1).
+//
+// A training job is a sequence of iterations; each iteration is one
+// computation phase followed by one communication phase, with no overlap:
+// during computation the GPUs run at full speed and the network idles, and
+// vice versa. The model scales linearly with resources:
+//   - computation time is inversely proportional to the number of GPUs,
+//   - communication time is inversely proportional to the network bandwidth.
+// Distribution overhead and latency are neglected (§2.2).
+#pragma once
+
+#include <stdexcept>
+
+#include "netpp/units.h"
+
+namespace netpp {
+
+/// One iteration's phase durations.
+struct IterationProfile {
+  Seconds computation{};
+  Seconds communication{};
+
+  [[nodiscard]] constexpr Seconds iteration_time() const {
+    return computation + communication;
+  }
+  /// Fraction of the iteration spent communicating (paper §2.2).
+  [[nodiscard]] constexpr double communication_ratio() const {
+    const double total = iteration_time().value();
+    return total > 0.0 ? communication.value() / total : 0.0;
+  }
+};
+
+/// A workload anchored at a reference resource point (the baseline cluster),
+/// scalable to other GPU counts and bandwidths.
+class WorkloadModel {
+ public:
+  /// `reference` is the iteration profile observed with `reference_gpus`
+  /// GPUs and `reference_bandwidth` per-GPU network bandwidth.
+  WorkloadModel(IterationProfile reference, double reference_gpus,
+                Gbps reference_bandwidth);
+
+  /// The paper's baseline workload: normalized 1 s iteration with a 10%
+  /// communication ratio, on 15k GPUs at 400 G each (§2.1).
+  static WorkloadModel paper_baseline();
+
+  [[nodiscard]] const IterationProfile& reference() const {
+    return reference_;
+  }
+  [[nodiscard]] double reference_gpus() const { return reference_gpus_; }
+  [[nodiscard]] Gbps reference_bandwidth() const {
+    return reference_bandwidth_;
+  }
+
+  /// Fixed-workload scaling (§3.3, Fig. 3): the job is unchanged; computation
+  /// shrinks with more GPUs, communication shrinks with more bandwidth.
+  [[nodiscard]] IterationProfile scaled(double gpus, Gbps bandwidth) const;
+
+  /// Fixed-communication-ratio scaling (§3.3, Fig. 4): the communication
+  /// volume grows with bandwidth so that the ratio stays at the reference
+  /// value; computation still shrinks with more GPUs.
+  [[nodiscard]] IterationProfile scaled_fixed_ratio(double gpus) const;
+
+ private:
+  IterationProfile reference_;
+  double reference_gpus_;
+  Gbps reference_bandwidth_;
+};
+
+}  // namespace netpp

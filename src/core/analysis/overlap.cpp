@@ -1,0 +1,59 @@
+#include "netpp/analysis/overlap.h"
+
+#include <stdexcept>
+
+namespace netpp {
+
+OverlapModel::OverlapModel(IterationProfile profile, double overlap_fraction)
+    : profile_(profile), overlap_(overlap_fraction) {
+  if (overlap_fraction < 0.0 || overlap_fraction > 1.0) {
+    throw std::invalid_argument("overlap fraction must be in [0, 1]");
+  }
+  const Seconds hidden = profile.communication * overlap_fraction;
+  if (hidden > profile.computation + Seconds{1e-15}) {
+    throw std::invalid_argument(
+        "cannot hide more communication than there is computation");
+  }
+  iteration_.compute_only = profile.computation - hidden;
+  iteration_.overlap = hidden;
+  iteration_.comm_only = profile.communication - hidden;
+}
+
+double OverlapModel::iteration_speedup() const {
+  const double t = iteration_.iteration_time().value();
+  if (t <= 0.0) throw std::logic_error("iteration time must be positive");
+  return profile_.iteration_time().value() / t - 1.0;
+}
+
+Watts OverlapModel::average_power(const ClusterModel& cluster) const {
+  const double t = iteration_.iteration_time().value();
+  if (t <= 0.0) throw std::logic_error("iteration time must be positive");
+  const auto& gpu = cluster.compute_envelope();
+  const auto& net = cluster.network_envelope();
+
+  const double e =
+      (gpu.max_power() + net.idle_power()).value() *
+          iteration_.compute_only.value() +
+      (gpu.max_power() + net.max_power()).value() *
+          iteration_.overlap.value() +
+      (gpu.idle_power() + net.max_power()).value() *
+          iteration_.comm_only.value();
+  return Watts{e / t};
+}
+
+double OverlapModel::network_efficiency(const ClusterModel& cluster) const {
+  const auto& net = cluster.network_envelope();
+  const double active = iteration_.network_active_fraction();
+  return energy_efficiency(net, active);
+}
+
+double OverlapModel::savings_fraction(const ClusterModel& cluster,
+                                      double proportionality) const {
+  const Watts before = average_power(cluster);
+  const ClusterModel improved =
+      cluster.with_network_proportionality(proportionality);
+  const Watts after = average_power(improved);
+  return before.value() > 0.0 ? 1.0 - after / before : 0.0;
+}
+
+}  // namespace netpp

@@ -1,0 +1,64 @@
+#include "netpp/analysis/peak_power.h"
+
+#include <stdexcept>
+
+namespace netpp {
+
+std::vector<PeakPowerPoint> peak_power_sweep(
+    const ClusterConfig& base, const std::vector<double>& proportionalities) {
+  const ClusterModel baseline{base};
+  const Watts base_peak = baseline.peak_total_power();
+
+  std::vector<PeakPowerPoint> out;
+  out.reserve(proportionalities.size());
+  for (double p : proportionalities) {
+    const ClusterModel cluster = baseline.with_network_proportionality(p);
+    PeakPowerPoint point;
+    point.proportionality = p;
+    point.peak = cluster.peak_total_power();
+    point.average = cluster.average_total_power();
+    point.peak_to_average =
+        point.average.value() > 0.0 ? point.peak / point.average : 0.0;
+    point.peak_reduction =
+        base_peak.value() > 0.0 ? 1.0 - point.peak / base_peak : 0.0;
+    out.push_back(point);
+  }
+  return out;
+}
+
+double extra_gpus_from_peak_headroom(const ClusterConfig& base,
+                                     double proportionality) {
+  const ClusterModel baseline{base};
+  const Watts budget = baseline.peak_total_power();
+
+  // Bisection on GPU count: the improved-proportionality cluster (network
+  // re-sized per GPU count) whose peak equals the baseline peak.
+  const auto peak_at = [&](double gpus) {
+    ClusterConfig cfg = base;
+    cfg.num_gpus = gpus;
+    cfg.network_proportionality = proportionality;
+    return ClusterModel{cfg}.peak_total_power();
+  };
+
+  double lo = base.num_gpus;
+  if (peak_at(lo) > budget) return 0.0;  // worse proportionality: no headroom
+  double hi = base.num_gpus * 2.0;
+  int expansions = 0;
+  while (peak_at(hi) < budget) {
+    hi *= 2.0;
+    if (++expansions > 20) {
+      throw std::runtime_error("peak headroom search did not converge");
+    }
+  }
+  for (int i = 0; i < 100; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (peak_at(mid) < budget) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi) - base.num_gpus;
+}
+
+}  // namespace netpp

@@ -1,0 +1,101 @@
+#include "netpp/analysis/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace netpp {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) {
+    throw std::invalid_argument("table header must not be empty");
+  }
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("row arity does not match header");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::to_ascii() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  const auto rule = [&] {
+    os << '+';
+    for (auto w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  const auto emit = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c] << std::string(widths[c] - row[c].size(), ' ')
+         << " |";
+    }
+    os << '\n';
+  };
+
+  rule();
+  emit(header_);
+  rule();
+  for (const auto& row : rows_) emit(row);
+  rule();
+  return os.str();
+}
+
+namespace {
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char ch : field) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  write_csv(os);
+  return os.str();
+}
+
+void Table::write_csv(std::ostream& os) const {
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << csv_escape(row[c]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string fmt(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string fmt_percent(double fraction, int digits) {
+  return fmt(fraction * 100.0, digits) + "%";
+}
+
+}  // namespace netpp

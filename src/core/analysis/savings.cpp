@@ -1,0 +1,67 @@
+#include "netpp/analysis/savings.h"
+
+namespace netpp {
+
+SavingsCell savings_at(const ClusterConfig& base, Gbps bandwidth,
+                       double proportionality,
+                       double baseline_proportionality) {
+  ClusterConfig cfg = base;
+  cfg.bandwidth_per_gpu = bandwidth;
+
+  cfg.network_proportionality = baseline_proportionality;
+  const ClusterModel baseline{cfg};
+  cfg.network_proportionality = proportionality;
+  const ClusterModel improved{cfg};
+
+  const Watts before = baseline.average_total_power();
+  const Watts after = improved.average_total_power();
+
+  SavingsCell cell;
+  cell.bandwidth = bandwidth;
+  cell.proportionality = proportionality;
+  cell.absolute_savings = before - after;
+  cell.savings_fraction = before.value() > 0.0 ? (before - after) / before : 0.0;
+  return cell;
+}
+
+std::vector<SavingsRow> savings_table(
+    const ClusterConfig& base, const std::vector<Gbps>& bandwidths,
+    const std::vector<double>& proportionalities,
+    double baseline_proportionality) {
+  std::vector<SavingsRow> rows;
+  rows.reserve(bandwidths.size());
+  for (Gbps bw : bandwidths) {
+    SavingsRow row;
+    row.bandwidth = bw;
+    row.cells.reserve(proportionalities.size());
+    for (double p : proportionalities) {
+      row.cells.push_back(savings_at(base, bw, p, baseline_proportionality));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Dollars CostModel::annual_electricity_savings(Watts reduction) const {
+  const double kwh =
+      reduction.kilowatts() * config_.hours_per_year;
+  return Dollars{kwh * config_.usd_per_kwh};
+}
+
+Dollars CostModel::annual_cooling_savings(Watts reduction) const {
+  return annual_electricity_savings(reduction * config_.cooling_overhead);
+}
+
+Dollars CostModel::annual_total_savings(Watts reduction) const {
+  return annual_electricity_savings(reduction) +
+         annual_cooling_savings(reduction);
+}
+
+double CostModel::annual_co2_savings_tons(Watts reduction) const {
+  const double kwh = reduction.kilowatts() *
+                     (1.0 + config_.cooling_overhead) *
+                     config_.hours_per_year;
+  return kwh * config_.grams_co2_per_kwh / 1e6;
+}
+
+}  // namespace netpp

@@ -1,0 +1,110 @@
+#include "netpp/analysis/sensitivity.h"
+
+#include <memory>
+
+#include "netpp/analysis/savings.h"
+
+namespace netpp {
+
+HeadlineMetrics headline_metrics(const ClusterConfig& config) {
+  const ClusterModel cluster{config};
+  HeadlineMetrics out;
+  out.network_share = cluster.network_share_of_average();
+  out.network_efficiency = cluster.network_energy_efficiency();
+  out.savings_at_50 = savings_at(config, config.bandwidth_per_gpu, 0.50,
+                                 config.network_proportionality)
+                          .savings_fraction;
+  out.savings_at_85 = savings_at(config, config.bandwidth_per_gpu, 0.85,
+                                 config.network_proportionality)
+                          .savings_fraction;
+  return out;
+}
+
+std::vector<SensitivityPoint> run_sensitivity(
+    const std::vector<SensitivityParameter>& suite) {
+  std::vector<SensitivityPoint> out;
+  for (const auto& param : suite) {
+    for (double value : param.values) {
+      SensitivityPoint point;
+      point.parameter = param.name;
+      point.value = value;
+      point.metrics = headline_metrics(param.configure(value));
+      out.push_back(std::move(point));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Keeps catalogs created during a sweep alive for the suite's lifetime.
+using CatalogCache = std::vector<std::unique_ptr<DeviceCatalog>>;
+
+const DeviceCatalog* cache_catalog(const std::shared_ptr<CatalogCache>& cache,
+                                   DeviceCatalog::Config cfg) {
+  cache->push_back(std::make_unique<DeviceCatalog>(std::move(cfg)));
+  return cache->back().get();
+}
+
+}  // namespace
+
+std::vector<SensitivityParameter> make_paper_sensitivity_suite() {
+  std::vector<SensitivityParameter> suite;
+
+  suite.push_back(SensitivityParameter{
+      "compute proportionality",
+      {0.70, 0.75, 0.80, 0.85, 0.90, 0.95},
+      [cache = std::make_shared<CatalogCache>()](double v) {
+        DeviceCatalog::Config cat;
+        cat.compute_proportionality = v;
+        ClusterConfig config;
+        config.catalog = cache_catalog(cache, std::move(cat));
+        return config;
+      }});
+
+  suite.push_back(SensitivityParameter{
+      "communication ratio",
+      {0.05, 0.10, 0.15, 0.20, 0.30},
+      [](double v) {
+        ClusterConfig config;
+        config.communication_ratio = v;
+        return config;
+      }});
+
+  suite.push_back(SensitivityParameter{
+      "switch max power (W)",
+      {525.0, 650.0, 750.0, 850.0, 975.0},
+      [cache = std::make_shared<CatalogCache>()](double v) {
+        DeviceCatalog::Config cat;
+        cat.switch_max = Watts{v};
+        ClusterConfig config;
+        config.catalog = cache_catalog(cache, std::move(cat));
+        return config;
+      }});
+
+  suite.push_back(SensitivityParameter{
+      "NIC power scale",
+      {0.7, 0.85, 1.0, 1.15, 1.3},
+      [cache = std::make_shared<CatalogCache>()](double v) {
+        DeviceCatalog::Config cat;
+        for (auto& [speed, watts] : cat.nic_watts) watts *= v;
+        ClusterConfig config;
+        config.catalog = cache_catalog(cache, std::move(cat));
+        return config;
+      }});
+
+  suite.push_back(SensitivityParameter{
+      "transceiver power scale",
+      {0.7, 0.85, 1.0, 1.15, 1.3},
+      [cache = std::make_shared<CatalogCache>()](double v) {
+        DeviceCatalog::Config cat;
+        for (auto& [speed, watts] : cat.transceiver_watts) watts *= v;
+        ClusterConfig config;
+        config.catalog = cache_catalog(cache, std::move(cat));
+        return config;
+      }});
+
+  return suite;
+}
+
+}  // namespace netpp

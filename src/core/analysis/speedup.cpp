@@ -1,0 +1,172 @@
+#include "netpp/analysis/speedup.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace netpp {
+
+BudgetSolver::BudgetSolver(ClusterConfig base, WorkloadModel workload)
+    : base_(base), workload_(std::move(workload)) {
+  budget_ = ClusterModel{base_}.average_total_power();
+}
+
+BudgetSolver BudgetSolver::paper_baseline() {
+  return BudgetSolver{ClusterConfig{}, WorkloadModel::paper_baseline()};
+}
+
+Watts BudgetSolver::average_power(double gpus, Gbps bandwidth,
+                                  double proportionality,
+                                  BudgetScenario scenario) const {
+  const IterationProfile profile =
+      scenario == BudgetScenario::kFixedWorkload
+          ? workload_.scaled(gpus, bandwidth)
+          : workload_.scaled_fixed_ratio(gpus);
+
+  ClusterConfig cfg = base_;
+  cfg.num_gpus = gpus;
+  cfg.bandwidth_per_gpu = bandwidth;
+  cfg.network_proportionality = proportionality;
+  cfg.communication_ratio = profile.communication_ratio();
+  return ClusterModel{cfg}.average_total_power();
+}
+
+BudgetedCluster BudgetSolver::solve(Gbps bandwidth, double proportionality,
+                                    BudgetScenario scenario) const {
+  // Cluster average power is monotone increasing in the GPU count (more
+  // GPUs means more compute power, more NICs, and a larger fat tree), so
+  // bisection on the GPU count converges. Bracket: [1, hi], expanding hi
+  // until the budget is exceeded.
+  const auto power = [&](double gpus) {
+    return average_power(gpus, bandwidth, proportionality, scenario);
+  };
+
+  double lo = 1.0;
+  if (power(lo) > budget_) {
+    throw std::runtime_error(
+        "power budget too small for even a single GPU at this bandwidth");
+  }
+  double hi = base_.num_gpus;
+  int expansions = 0;
+  while (power(hi) < budget_) {
+    hi *= 2.0;
+    if (++expansions > 40) {
+      throw std::runtime_error("budget bracket expansion did not converge");
+    }
+  }
+
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (power(mid) < budget_) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-6 * hi) break;
+  }
+
+  BudgetedCluster out;
+  out.num_gpus = 0.5 * (lo + hi);
+  out.bandwidth = bandwidth;
+  out.network_proportionality = proportionality;
+  out.iteration = scenario == BudgetScenario::kFixedWorkload
+                      ? workload_.scaled(out.num_gpus, bandwidth)
+                      : workload_.scaled_fixed_ratio(out.num_gpus);
+  out.average_power = power(out.num_gpus);
+  return out;
+}
+
+double BudgetSolver::speedup_vs(const BudgetedCluster& cluster,
+                                Seconds reference_iteration_time) const {
+  const double t = cluster.iteration.iteration_time().value();
+  if (t <= 0.0) throw std::logic_error("iteration time must be positive");
+  return reference_iteration_time.value() / t - 1.0;
+}
+
+std::vector<SpeedupSeries> fixed_workload_speedup(
+    const BudgetSolver& solver, const std::vector<Gbps>& bandwidths,
+    const std::vector<double>& proportionalities) {
+  // Reference: the baseline cluster's iteration time. By construction the
+  // baseline exactly consumes the budget, so its speedup is zero; solving it
+  // through the same numerics keeps that exact.
+  const BudgetedCluster baseline = solver.solve(
+      solver.base_config().bandwidth_per_gpu,
+      solver.base_config().network_proportionality,
+      BudgetScenario::kFixedWorkload);
+  const Seconds reference_time = baseline.iteration.iteration_time();
+
+  std::vector<SpeedupSeries> series;
+  series.reserve(bandwidths.size());
+  for (Gbps bw : bandwidths) {
+    SpeedupSeries s;
+    s.bandwidth = bw;
+    s.points.reserve(proportionalities.size());
+    for (double p : proportionalities) {
+      const BudgetedCluster c =
+          solver.solve(bw, p, BudgetScenario::kFixedWorkload);
+      SpeedupPoint point;
+      point.proportionality = p;
+      point.num_gpus = c.num_gpus;
+      point.speedup = solver.speedup_vs(c, reference_time);
+      s.points.push_back(point);
+    }
+    series.push_back(std::move(s));
+  }
+  return series;
+}
+
+std::vector<SpeedupSeries> fixed_ratio_speedup(
+    const BudgetSolver& solver, const std::vector<Gbps>& bandwidths,
+    const std::vector<double>& proportionalities) {
+  std::vector<SpeedupSeries> series;
+  series.reserve(bandwidths.size());
+  for (Gbps bw : bandwidths) {
+    const BudgetedCluster reference =
+        solver.solve(bw, 0.0, BudgetScenario::kFixedCommRatio);
+    SpeedupSeries s;
+    s.bandwidth = bw;
+    s.points.reserve(proportionalities.size());
+    for (double p : proportionalities) {
+      const BudgetedCluster c =
+          solver.solve(bw, p, BudgetScenario::kFixedCommRatio);
+      SpeedupPoint point;
+      point.proportionality = p;
+      point.num_gpus = c.num_gpus;
+      point.speedup =
+          solver.speedup_vs(c, reference.iteration.iteration_time());
+      s.points.push_back(point);
+    }
+    series.push_back(std::move(s));
+  }
+  return series;
+}
+
+std::optional<double> proportionality_to_match_baseline(
+    const BudgetSolver& solver, Gbps bandwidth) {
+  const BudgetedCluster baseline = solver.solve(
+      solver.base_config().bandwidth_per_gpu,
+      solver.base_config().network_proportionality,
+      BudgetScenario::kFixedWorkload);
+  const Seconds reference = baseline.iteration.iteration_time();
+
+  const auto speedup_at = [&](double p) {
+    const auto c = solver.solve(bandwidth, p, BudgetScenario::kFixedWorkload);
+    return solver.speedup_vs(c, reference);
+  };
+
+  // Speedup is monotone increasing in proportionality (more budget for
+  // GPUs), so bisection on the sign of the speedup finds the crossover.
+  if (speedup_at(0.0) >= 0.0) return 0.0;
+  if (speedup_at(1.0) < 0.0) return std::nullopt;
+  double lo = 0.0, hi = 1.0;
+  for (int i = 0; i < 60; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (speedup_at(mid) < 0.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace netpp

@@ -1,0 +1,107 @@
+#include "netpp/cluster/cluster.h"
+
+#include <stdexcept>
+
+namespace netpp {
+
+ClusterModel::ClusterModel(ClusterConfig config)
+    : config_(config),
+      catalog_(config.catalog ? config.catalog
+                              : &DeviceCatalog::paper_baseline()) {
+  if (config_.num_gpus < 1.0) {
+    throw std::invalid_argument("cluster needs at least one GPU");
+  }
+  if (config_.bandwidth_per_gpu.value() <= 0.0) {
+    throw std::invalid_argument("per-GPU bandwidth must be positive");
+  }
+  if (config_.communication_ratio < 0.0 ||
+      config_.communication_ratio > 1.0) {
+    throw std::invalid_argument("communication ratio must be in [0, 1]");
+  }
+  if (config_.network_proportionality < 0.0 ||
+      config_.network_proportionality > 1.0) {
+    throw std::invalid_argument("network proportionality must be in [0, 1]");
+  }
+
+  const int radix = catalog_->switch_radix(config_.bandwidth_per_gpu);
+  const FatTreeModel tree_model{radix};
+  inventory_.tree = tree_model.size_for_hosts(config_.num_gpus);
+  inventory_.nics = config_.num_gpus;  // one NIC port per GPU (§2.1)
+  inventory_.transceivers = inventory_.tree.transceivers;
+
+  inventory_.switch_power =
+      catalog_->switch_max_power() * inventory_.tree.switches;
+  inventory_.nic_power =
+      catalog_->nic_power(config_.bandwidth_per_gpu) * inventory_.nics;
+  inventory_.transceiver_power =
+      catalog_->transceiver_power(config_.bandwidth_per_gpu) *
+      inventory_.transceivers;
+
+  network_env_ = PowerEnvelope::from_proportionality(
+      inventory_.max_power(), config_.network_proportionality);
+  compute_env_ = catalog_->gpu_envelope().scaled(config_.num_gpus);
+}
+
+PowerBreakdown ClusterModel::phase_power(Phase phase) const {
+  PowerBreakdown out;
+  if (phase == Phase::kComputation) {
+    out.gpu = compute_env_.max_power();
+    out.idle = network_env_.idle_power();
+  } else {
+    // Network components all run at max; attribute per component class.
+    out.switches = inventory_.switch_power;
+    out.nics = inventory_.nic_power;
+    out.transceivers = inventory_.transceiver_power;
+    out.idle = compute_env_.idle_power();
+  }
+  return out;
+}
+
+PowerBreakdown ClusterModel::average_power() const {
+  const double r = config_.communication_ratio;
+  const PowerBreakdown comp = phase_power(Phase::kComputation);
+  const PowerBreakdown comm = phase_power(Phase::kCommunication);
+  PowerBreakdown out;
+  out.gpu = comp.gpu * (1.0 - r) + comm.gpu * r;
+  out.switches = comp.switches * (1.0 - r) + comm.switches * r;
+  out.nics = comp.nics * (1.0 - r) + comm.nics * r;
+  out.transceivers = comp.transceivers * (1.0 - r) + comm.transceivers * r;
+  out.idle = comp.idle * (1.0 - r) + comm.idle * r;
+  return out;
+}
+
+Watts ClusterModel::average_total_power() const {
+  const double r = config_.communication_ratio;
+  return compute_env_.duty_cycle_average(1.0 - r) +
+         network_env_.duty_cycle_average(r);
+}
+
+Watts ClusterModel::peak_total_power() const {
+  const Watts comp = phase_power(Phase::kComputation).total();
+  const Watts comm = phase_power(Phase::kCommunication).total();
+  return comp > comm ? comp : comm;
+}
+
+double ClusterModel::network_share_of_average() const {
+  const double r = config_.communication_ratio;
+  const Watts net = network_env_.duty_cycle_average(r);
+  const Watts total = average_total_power();
+  return total.value() > 0.0 ? net / total : 0.0;
+}
+
+double ClusterModel::network_energy_efficiency() const {
+  return energy_efficiency(network_env_, config_.communication_ratio);
+}
+
+double ClusterModel::compute_energy_efficiency() const {
+  return energy_efficiency(compute_env_, 1.0 - config_.communication_ratio);
+}
+
+ClusterModel ClusterModel::with_network_proportionality(double p) const {
+  ClusterConfig cfg = config_;
+  cfg.network_proportionality = p;
+  cfg.catalog = catalog_;
+  return ClusterModel{cfg};
+}
+
+}  // namespace netpp

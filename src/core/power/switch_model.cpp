@@ -1,0 +1,87 @@
+#include "netpp/power/switch_model.h"
+
+#include <cmath>
+
+namespace netpp {
+
+SwitchPowerModel::SwitchPowerModel(SwitchPowerConfig config)
+    : config_(config) {
+  if (config_.max_power.value() <= 0.0) {
+    throw std::invalid_argument("switch max power must be positive");
+  }
+  if (config_.num_pipelines < 1 || config_.num_ports < 1) {
+    throw std::invalid_argument("need at least one pipeline and one port");
+  }
+  const double top = config_.chassis_fraction + config_.pipelines_fraction +
+                     config_.serdes_fraction;
+  if (std::fabs(top - 1.0) > 1e-9) {
+    throw std::invalid_argument("top-level power fractions must sum to 1");
+  }
+  const double pipe = config_.pipeline_leakage_fraction +
+                      config_.pipeline_clock_fraction +
+                      config_.pipeline_switching_fraction;
+  if (std::fabs(pipe - 1.0) > 1e-9) {
+    throw std::invalid_argument("pipeline power fractions must sum to 1");
+  }
+  per_pipeline_max_ = config_.max_power * config_.pipelines_fraction /
+                      static_cast<double>(config_.num_pipelines);
+  per_port_max_ = config_.max_power * config_.serdes_fraction /
+                  static_cast<double>(config_.num_ports);
+}
+
+Watts SwitchPowerModel::chassis_power() const {
+  return config_.max_power * config_.chassis_fraction;
+}
+
+Watts SwitchPowerModel::pipeline_power(const PipelineState& state) const {
+  if (!state.powered) return Watts{0.0};
+  if (state.frequency <= 0.0 || state.frequency > 1.0) {
+    throw std::invalid_argument("pipeline frequency must be in (0, 1]");
+  }
+  if (state.load < 0.0 || state.load > state.frequency + 1e-12) {
+    throw std::invalid_argument(
+        "pipeline load must be in [0, frequency] (clock limits throughput)");
+  }
+  const double fraction = config_.pipeline_leakage_fraction +
+                          config_.pipeline_clock_fraction * state.frequency +
+                          config_.pipeline_switching_fraction * state.load;
+  return per_pipeline_max_ * fraction;
+}
+
+Watts SwitchPowerModel::port_power(const PortState& state) const {
+  if (!state.powered) return Watts{0.0};
+  if (state.lane_fraction <= 0.0 || state.lane_fraction > 1.0) {
+    throw std::invalid_argument("lane fraction must be in (0, 1]");
+  }
+  return per_port_max_ * state.lane_fraction;
+}
+
+Watts SwitchPowerModel::total_power(
+    const std::vector<PipelineState>& pipelines,
+    const std::vector<PortState>& ports) const {
+  if (pipelines.size() != static_cast<std::size_t>(config_.num_pipelines) ||
+      ports.size() != static_cast<std::size_t>(config_.num_ports)) {
+    throw std::invalid_argument("state vector sizes must match the config");
+  }
+  Watts total = chassis_power();
+  for (const auto& p : pipelines) total += pipeline_power(p);
+  for (const auto& p : ports) total += port_power(p);
+  return total;
+}
+
+Watts SwitchPowerModel::at_uniform_load(double load) const {
+  if (load < 0.0 || load > 1.0) {
+    throw std::invalid_argument("load must be in [0, 1]");
+  }
+  const std::vector<PipelineState> pipelines(
+      config_.num_pipelines, PipelineState{true, 1.0, load});
+  const std::vector<PortState> ports(config_.num_ports, PortState{});
+  return total_power(pipelines, ports);
+}
+
+double SwitchPowerModel::proportionality() const {
+  const Watts max = max_power();
+  return (max - idle_power()) / max;
+}
+
+}  // namespace netpp

@@ -1,0 +1,70 @@
+#include "netpp/topomodel/fattree.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace netpp {
+
+FatTreeModel::FatTreeModel(int radix) : radix_(radix), half_(radix / 2.0) {
+  if (radix < 2 || radix % 2 != 0) {
+    throw std::invalid_argument("fat-tree radix must be an even number >= 2");
+  }
+}
+
+double FatTreeModel::hosts_at_tier(int n) const {
+  if (n < 1) throw std::invalid_argument("tier count must be >= 1");
+  return 2.0 * std::pow(half_, n);
+}
+
+double FatTreeModel::switches_at_tier(int n) const {
+  if (n < 1) throw std::invalid_argument("tier count must be >= 1");
+  return (2.0 * n - 1.0) * std::pow(half_, n - 1);
+}
+
+int FatTreeModel::tiers_for_hosts(double hosts) const {
+  if (hosts < 1.0) throw std::invalid_argument("host count must be >= 1");
+  int n = 1;
+  while (hosts_at_tier(n) < hosts) {
+    ++n;
+    if (n > 64) throw std::invalid_argument("host count out of range");
+  }
+  return n;
+}
+
+FatTreeSize FatTreeModel::size_for_hosts(double hosts) const {
+  const int n = tiers_for_hosts(hosts);
+
+  FatTreeSize out;
+  out.tiers = n;
+  if (hosts == hosts_at_tier(n) || n == 1) {
+    // Exact fit, or within a single switch: scale the single-tier "tree"
+    // (one switch) as-is; a 1-tier tree is one switch regardless of fill.
+    out.switches = (n == 1) ? 1.0
+                            : switches_at_tier(n);
+  } else {
+    // Geometric (log-space) interpolation between the bracketing tiers:
+    // tier capacities grow geometrically (factor R/2 per tier), so the
+    // natural interpolant is linear in (log hosts, log switches). This
+    // reproduces the paper's Table 3 almost exactly (see EXPERIMENTS.md).
+    const double h_lo = hosts_at_tier(n - 1);
+    const double h_hi = hosts_at_tier(n);
+    const double s_lo = switches_at_tier(n - 1);
+    const double s_hi = switches_at_tier(n);
+    const double t = std::log(hosts / h_lo) / std::log(h_hi / h_lo);
+    out.switches = s_lo * std::pow(s_hi / s_lo, t);
+  }
+
+  out.total_ports = out.switches * radix_;
+  out.host_ports = hosts;
+  if (n == 1) {
+    // A single switch: leftover ports are simply unused, not links.
+    out.inter_switch_links = 0.0;
+  } else {
+    out.inter_switch_links = (out.total_ports - out.host_ports) / 2.0;
+    if (out.inter_switch_links < 0.0) out.inter_switch_links = 0.0;
+  }
+  out.transceivers = 2.0 * out.inter_switch_links;
+  return out;
+}
+
+}  // namespace netpp

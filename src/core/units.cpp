@@ -1,0 +1,47 @@
+#include "netpp/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace netpp {
+namespace {
+
+// Scales `v` into an SI-prefixed string with 3 significant-ish digits.
+std::string si_format(double v, const char* unit) {
+  struct Scale {
+    double factor;
+    const char* prefix;
+  };
+  static constexpr Scale kScales[] = {
+      {1e9, "G"}, {1e6, "M"}, {1e3, "k"}, {1.0, ""}, {1e-3, "m"}, {1e-6, "u"},
+  };
+  const double mag = std::fabs(v);
+  for (const auto& s : kScales) {
+    if (mag >= s.factor || (&s == &kScales[5])) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.3g %s%s", v / s.factor, s.prefix,
+                    unit);
+      return buf;
+    }
+  }
+  return "0 " + std::string(unit);
+}
+
+}  // namespace
+
+std::string to_string(Watts p) { return si_format(p.value(), "W"); }
+
+std::string to_string(Gbps r) {
+  if (r.value() >= 1e3) return si_format(r.value() * 1e9, "bps");
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3g Gbps", r.value());
+  return buf;
+}
+
+std::string to_string(Seconds t) { return si_format(t.value(), "s"); }
+
+std::string to_string(Joules e) { return si_format(e.value(), "J"); }
+
+std::string to_string(Dollars d) { return si_format(d.value(), "$"); }
+
+}  // namespace netpp

@@ -1,0 +1,48 @@
+#include "netpp/workload/phase_model.h"
+
+namespace netpp {
+
+WorkloadModel::WorkloadModel(IterationProfile reference, double reference_gpus,
+                             Gbps reference_bandwidth)
+    : reference_(reference),
+      reference_gpus_(reference_gpus),
+      reference_bandwidth_(reference_bandwidth) {
+  if (reference_gpus <= 0.0) {
+    throw std::invalid_argument("reference GPU count must be positive");
+  }
+  if (reference_bandwidth.value() <= 0.0) {
+    throw std::invalid_argument("reference bandwidth must be positive");
+  }
+  if (reference.computation.value() < 0.0 ||
+      reference.communication.value() < 0.0) {
+    throw std::invalid_argument("phase durations must be non-negative");
+  }
+}
+
+WorkloadModel WorkloadModel::paper_baseline() {
+  using namespace literals;
+  return WorkloadModel{IterationProfile{0.9_s, 0.1_s}, 15000.0, 400.0_Gbps};
+}
+
+IterationProfile WorkloadModel::scaled(double gpus, Gbps bandwidth) const {
+  if (gpus <= 0.0) throw std::invalid_argument("GPU count must be positive");
+  if (bandwidth.value() <= 0.0) {
+    throw std::invalid_argument("bandwidth must be positive");
+  }
+  return IterationProfile{
+      reference_.computation * (reference_gpus_ / gpus),
+      reference_.communication * (reference_bandwidth_ / bandwidth)};
+}
+
+IterationProfile WorkloadModel::scaled_fixed_ratio(double gpus) const {
+  if (gpus <= 0.0) throw std::invalid_argument("GPU count must be positive");
+  const double ratio = reference_.communication_ratio();
+  const Seconds comp = reference_.computation * (reference_gpus_ / gpus);
+  // ratio = comm / (comp + comm)  =>  comm = comp * ratio / (1 - ratio).
+  if (ratio >= 1.0) {
+    throw std::logic_error("fixed-ratio scaling requires ratio < 1");
+  }
+  return IterationProfile{comp, comp * (ratio / (1.0 - ratio))};
+}
+
+}  // namespace netpp

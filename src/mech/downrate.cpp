@@ -1,0 +1,106 @@
+#include "netpp/mech/downrate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace netpp {
+namespace {
+
+/// Smallest ladder step whose speed covers `needed_gbps`; falls back to the
+/// top step.
+double pick_step(const std::vector<double>& ladder, double needed_gbps) {
+  for (double step : ladder) {
+    if (step >= needed_gbps - 1e-12) return step;
+  }
+  return ladder.back();
+}
+
+}  // namespace
+
+DownrateResult simulate_downrating(const AggregateLoadTrace& trace,
+                                   const DownrateConfig& config) {
+  trace.validate();
+  if (config.ladder.empty()) {
+    throw std::invalid_argument("speed ladder must not be empty");
+  }
+  if (!std::is_sorted(config.ladder.begin(), config.ladder.end())) {
+    throw std::invalid_argument("speed ladder must be ascending");
+  }
+  for (double s : config.ladder) {
+    if (s <= 0.0) throw std::invalid_argument("ladder speeds must be positive");
+  }
+  if (std::fabs(config.ladder.back() - config.nominal.value()) > 1e-9) {
+    throw std::invalid_argument("ladder must top out at the nominal speed");
+  }
+  if (config.gating_effectiveness < 0.0 ||
+      config.gating_effectiveness > 1.0) {
+    throw std::invalid_argument("gating effectiveness must be in [0, 1]");
+  }
+  if (config.headroom < 0.0) {
+    throw std::invalid_argument("headroom must be non-negative");
+  }
+
+  // Per-end power at a step, degraded by gating effectiveness: the realized
+  // power is nominal_power - effectiveness * (nominal_power - step_power).
+  const double nominal_power_w =
+      config.end_power.at(config.nominal).value() * 2.0;  // both ends
+  const auto power_at = [&](double step) {
+    const double ideal = config.end_power.at(Gbps{step}).value() * 2.0;
+    return nominal_power_w -
+           config.gating_effectiveness * (nominal_power_w - ideal);
+  };
+
+  DownrateResult result;
+  double speed = config.nominal.value();
+  double sufficient_since = trace.times.front().value();  // for down-dwell
+  double energy = 0.0;
+  double speed_time = 0.0;
+
+  const double t_end = trace.end.value();
+  for (std::size_t i = 0; i < trace.times.size(); ++i) {
+    const double seg_start = trace.times[i].value();
+    const double seg_end =
+        (i + 1 < trace.times.size()) ? trace.times[i + 1].value() : t_end;
+    const double load_gbps = trace.loads[i] * config.nominal.value();
+    const double wanted =
+        pick_step(config.ladder, load_gbps * (1.0 + config.headroom));
+
+    if (wanted > speed + 1e-12) {
+      // Step up immediately (load must be served).
+      speed = wanted;
+      ++result.transitions;
+      result.outage_time += config.transition_outage;
+      sufficient_since = seg_start;
+    } else if (wanted < speed - 1e-12) {
+      // Step down only after the dwell at a sufficient lower step.
+      if (seg_start - sufficient_since >= config.down_dwell.value()) {
+        speed = wanted;
+        ++result.transitions;
+        result.outage_time += config.transition_outage;
+        sufficient_since = seg_start;
+      }
+    } else {
+      sufficient_since = seg_start;
+    }
+
+    const double dt = seg_end - seg_start;
+    energy += power_at(speed) * dt;
+    speed_time += speed * dt;
+    if (load_gbps > speed + 1e-9) {
+      result.violation_time += Seconds{dt};
+    }
+  }
+
+  const double duration = trace.duration().value();
+  result.energy = Joules{energy};
+  result.nominal_energy = Joules{nominal_power_w * duration};
+  result.savings_fraction =
+      result.nominal_energy.value() > 0.0
+          ? 1.0 - energy / result.nominal_energy.value()
+          : 0.0;
+  result.mean_speed = Gbps{speed_time / duration};
+  return result;
+}
+
+}  // namespace netpp

@@ -1,0 +1,132 @@
+#include "netpp/mech/eee.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace netpp {
+namespace {
+
+/// FIFO departure times for an always-on link (no wake penalties).
+std::vector<double> always_on_departures(const std::vector<EeeFrame>& frames,
+                                         double rate_bps) {
+  std::vector<double> departs(frames.size());
+  double t_free = 0.0;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    const double start = std::max(frames[i].arrival.value(), t_free);
+    t_free = start + frames[i].size.value() / rate_bps;
+    departs[i] = t_free;
+  }
+  return departs;
+}
+
+}  // namespace
+
+EeeResult simulate_eee_link(const EeeConfig& config,
+                            const std::vector<EeeFrame>& frames,
+                            Seconds horizon) {
+  if (config.link_rate.value() <= 0.0) {
+    throw std::invalid_argument("link rate must be positive");
+  }
+  if (config.active_power.value() <= 0.0) {
+    throw std::invalid_argument("active power must be positive");
+  }
+  if (config.lpi_power_fraction < 0.0 || config.lpi_power_fraction > 1.0) {
+    throw std::invalid_argument("lpi power fraction must be in [0, 1]");
+  }
+  if (config.sleep_time.value() < 0.0 || config.wake_time.value() < 0.0 ||
+      config.coalescing_timer.value() < 0.0) {
+    throw std::invalid_argument("times must be non-negative");
+  }
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    if (frames[i].size.value() <= 0.0) {
+      throw std::invalid_argument("frame sizes must be positive");
+    }
+    if (i > 0 && frames[i].arrival < frames[i - 1].arrival) {
+      throw std::invalid_argument("frames must be sorted by arrival");
+    }
+  }
+
+  const double rate_bps = config.link_rate.bits_per_second();
+  const double ts = config.sleep_time.value();
+  const double tw = config.wake_time.value();
+
+  EeeResult result;
+  result.frames = frames.size();
+
+  double t_free = 0.0;   // link has drained all accepted work
+  double lpi_time = 0.0;
+  std::vector<double> departs(frames.size());
+
+  std::size_t i = 0;
+  while (i < frames.size()) {
+    const double a = frames[i].arrival.value();
+    const double sleep_begin = t_free + ts;
+    if (a >= sleep_begin) {
+      // The link fell asleep before this frame arrived: decide the wake
+      // point, possibly coalescing subsequent arrivals.
+      double wake_start = a;
+      if (config.coalescing_timer.value() > 0.0 ||
+          config.coalesce_frames > 1) {
+        const double deadline =
+            config.coalescing_timer.value() > 0.0
+                ? a + config.coalescing_timer.value()
+                : std::numeric_limits<double>::infinity();
+        std::size_t count = 1;
+        std::size_t j = i + 1;
+        double trigger = deadline;
+        while (j < frames.size() && frames[j].arrival.value() <= deadline) {
+          ++count;
+          if (config.coalesce_frames > 1 && count >= config.coalesce_frames) {
+            trigger = frames[j].arrival.value();
+            break;
+          }
+          ++j;
+        }
+        wake_start = std::isfinite(trigger) ? trigger : a;
+      }
+      lpi_time += wake_start - sleep_begin;
+      ++result.wake_transitions;
+      t_free = wake_start + tw;
+    }
+    const double start = std::max(a, t_free);
+    t_free = start + frames[i].size.value() / rate_bps;
+    departs[i] = t_free;
+    ++i;
+  }
+
+  // Tail: the link sleeps once the final busy period drains.
+  if (horizon.value() < t_free) {
+    throw std::invalid_argument("horizon must cover the last departure");
+  }
+  const double tail_sleep = t_free + ts;
+  if (horizon.value() > tail_sleep) {
+    lpi_time += horizon.value() - tail_sleep;
+  }
+
+  const double active_time = horizon.value() - lpi_time;
+  result.energy =
+      Joules{config.active_power.value() *
+             (active_time + lpi_time * config.lpi_power_fraction)};
+  result.always_on_energy =
+      Joules{config.active_power.value() * horizon.value()};
+  result.energy_savings_fraction =
+      1.0 - result.energy / result.always_on_energy;
+  result.lpi_time_fraction = lpi_time / horizon.value();
+
+  const auto baseline = always_on_departures(frames, rate_bps);
+  double sum_added = 0.0, max_added = 0.0;
+  for (std::size_t k = 0; k < frames.size(); ++k) {
+    const double added = departs[k] - baseline[k];
+    sum_added += added;
+    max_added = std::max(max_added, added);
+  }
+  result.mean_added_delay =
+      frames.empty() ? Seconds{0.0}
+                     : Seconds{sum_added / static_cast<double>(frames.size())};
+  result.max_added_delay = Seconds{max_added};
+  return result;
+}
+
+}  // namespace netpp

@@ -1,0 +1,110 @@
+#include "netpp/mech/knobs.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace netpp {
+
+FeatureSet features_for_cstate(SwitchCState state) {
+  switch (state) {
+    case SwitchCState::kC0FullRouter:
+      return {"pipelines", "l3-lookup", "full-routing-table", "deep-buffers",
+              "ports", "telemetry"};
+    case SwitchCState::kC1LeanRouter:
+      // Route-reflector deployment: L3 with a small table, light telemetry.
+      return {"pipelines", "l3-lookup", "ports"};
+    case SwitchCState::kC2L2Only:
+      return {"pipelines", "ports"};
+    case SwitchCState::kC3Standby:
+      return {};
+  }
+  throw std::invalid_argument("unknown C-state");
+}
+
+RouterComponentModel::RouterComponentModel(
+    std::vector<RouterComponent> components)
+    : components_(std::move(components)) {
+  if (components_.empty()) {
+    throw std::invalid_argument("component inventory must not be empty");
+  }
+  for (const auto& c : components_) {
+    if (c.power.value() < 0.0) {
+      throw std::invalid_argument("component power must be non-negative");
+    }
+  }
+}
+
+RouterComponentModel RouterComponentModel::reference_router() {
+  // 750 W total (paper Table 1), decomposed in line with the
+  // SwitchPowerModel fractions: 30% chassis/control, 40% pipelines + lookup
+  // + memory, 30% SerDes — further split into gateable functional blocks.
+  std::vector<RouterComponent> inventory = {
+      {"chassis-fans-psu", Watts{150.0}, "", false},
+      {"control-cpu", Watts{75.0}, "", false},
+      {"pipeline-0", Watts{45.0}, "pipelines", true},
+      {"pipeline-1", Watts{45.0}, "pipelines", true},
+      {"pipeline-2", Watts{45.0}, "pipelines", true},
+      {"pipeline-3", Watts{45.0}, "pipelines", true},
+      {"l3-lookup-engine", Watts{45.0}, "l3-lookup", true},
+      {"full-fib-memory", Watts{30.0}, "full-routing-table", true},
+      {"deep-buffer-memory", Watts{30.0}, "deep-buffers", true},
+      {"serdes-group-0", Watts{52.5}, "ports", true},
+      {"serdes-group-1", Watts{52.5}, "ports", true},
+      {"serdes-group-2", Watts{52.5}, "ports", true},
+      {"serdes-group-3", Watts{52.5}, "ports", true},
+      {"telemetry-engine", Watts{30.0}, "telemetry", true},
+  };
+  return RouterComponentModel{std::move(inventory)};
+}
+
+Watts RouterComponentModel::total_power() const {
+  Watts total{};
+  for (const auto& c : components_) total += c.power;
+  return total;
+}
+
+Watts RouterComponentModel::power_for_features(const FeatureSet& features,
+                                               GatingQuality quality) const {
+  const auto needed = [&](const RouterComponent& c) {
+    if (c.feature.empty()) return true;  // base component
+    return std::find(features.begin(), features.end(), c.feature) !=
+           features.end();
+  };
+  Watts total{};
+  for (const auto& c : components_) {
+    if (needed(c) || !c.gateable) {
+      total += c.power;
+      continue;
+    }
+    switch (quality) {
+      case GatingQuality::kFixed:
+        break;  // truly off
+      case GatingQuality::kBuggy:
+        total += c.power;  // off in software, powered in hardware
+        break;
+      case GatingQuality::kPartial:
+        total += c.power * 0.5;
+        break;
+    }
+  }
+  return total;
+}
+
+Watts RouterComponentModel::savings_for_features(const FeatureSet& features,
+                                                 GatingQuality quality) const {
+  return total_power() - power_for_features(features, quality);
+}
+
+Watts RouterComponentModel::power_in_cstate(SwitchCState state,
+                                            GatingQuality quality) const {
+  return power_for_features(features_for_cstate(state), quality);
+}
+
+double RouterComponentModel::gating_headroom(const FeatureSet& features,
+                                             GatingQuality quality) const {
+  const Watts total = total_power();
+  if (total.value() <= 0.0) return 0.0;
+  return savings_for_features(features, quality) / total;
+}
+
+}  // namespace netpp

@@ -1,0 +1,155 @@
+#include "netpp/mech/ocs.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace netpp {
+namespace {
+
+/// Routes all demands on the currently-enabled graph and returns per-flow
+/// max-min rates (empty if any demand is unroutable). Also accumulates the
+/// carried bits/s per switch into `switch_load` when non-null.
+std::vector<double> route_and_allocate(
+    const Router& router, const std::vector<TrafficDemand>& demands,
+    const TailorConfig& config, std::map<NodeId, double>* switch_load) {
+  const Graph& g = router.graph();
+  std::vector<FairShareFlow> flows;
+  std::vector<double> capacities(g.num_links() * 2);
+  for (const auto& link : g.links()) {
+    capacities[link.id * 2] = link.capacity.bits_per_second();
+    capacities[link.id * 2 + 1] = link.capacity.bits_per_second();
+  }
+
+  std::vector<std::vector<NodeId>> transit_nodes;
+  flows.reserve(demands.size());
+  for (std::size_t d = 0; d < demands.size(); ++d) {
+    auto paths = router.ecmp_paths(demands[d].src, demands[d].dst,
+                                   config.max_ecmp_paths);
+    if (paths.empty()) return {};
+    // Deterministic spread of demands across their ECMP sets.
+    std::uint64_t h = d + 0x9e3779b97f4a7c15ULL;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    const auto path =
+        std::optional<Path>{std::move(paths[h % paths.size()])};
+    FairShareFlow flow;
+    flow.cap = demands[d].rate.bits_per_second();
+    NodeId at = path->src;
+    std::vector<NodeId> transits;
+    for (LinkId lid : path->links) {
+      const Link& link = g.link(lid);
+      const int dir = (at == link.a) ? 0 : 1;
+      flow.resources.push_back(static_cast<std::size_t>(lid) * 2 + dir);
+      at = link.other(at);
+      if (at != path->dst && g.node(at).kind != NodeKind::kHost) {
+        transits.push_back(at);
+      }
+    }
+    flows.push_back(std::move(flow));
+    transit_nodes.push_back(std::move(transits));
+  }
+
+  auto rates = max_min_fair_rates(flows, capacities);
+  if (switch_load) {
+    for (std::size_t d = 0; d < demands.size(); ++d) {
+      // First hop switch (the ToR) plus transit switches carry this flow.
+      for (NodeId sw : transit_nodes[d]) (*switch_load)[sw] += rates[d];
+    }
+  }
+  return rates;
+}
+
+}  // namespace
+
+bool demands_satisfiable(const Router& router,
+                         const std::vector<TrafficDemand>& demands,
+                         const TailorConfig& config) {
+  const auto rates = route_and_allocate(router, demands, config, nullptr);
+  if (rates.empty() && !demands.empty()) return false;
+  for (std::size_t d = 0; d < demands.size(); ++d) {
+    if (rates[d] + 1e-9 <
+        config.satisfaction * demands[d].rate.bits_per_second()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TailorResult tailor_topology(const BuiltTopology& topology,
+                             const std::vector<TrafficDemand>& demands,
+                             const TailorConfig& config) {
+  for (const auto& d : demands) {
+    if (d.rate.value() <= 0.0) {
+      throw std::invalid_argument("demand rates must be positive");
+    }
+  }
+  const Graph& g = topology.graph;
+  Router router{g};
+
+  TailorResult result;
+  result.feasible = demands_satisfiable(router, demands, config);
+  if (!result.feasible) {
+    result.powered_on = topology.switches;
+    return result;
+  }
+
+  // Protect pinned switches and every host's sole attachment point.
+  std::vector<bool> protected_switch(g.num_nodes(), false);
+  for (NodeId pinned : config.pinned) protected_switch.at(pinned) = true;
+  for (NodeId host : topology.hosts) {
+    if (g.degree(host) == 1) {
+      protected_switch[g.neighbors(host)[0].neighbor] = true;
+    }
+  }
+
+  // Initial load per switch on the full topology, for the greedy order
+  // (least-loaded switches are the cheapest to lose).
+  std::map<NodeId, double> load;
+  for (NodeId sw : topology.switches) load[sw] = 0.0;
+  route_and_allocate(router, demands, config, &load);
+
+  std::vector<NodeId> order = topology.switches;
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    if (load[a] != load[b]) return load[a] < load[b];
+    return a < b;
+  });
+
+  for (NodeId sw : order) {
+    if (protected_switch[sw]) continue;
+    router.set_node_enabled(sw, false);
+    if (demands_satisfiable(router, demands, config)) {
+      result.powered_off.push_back(sw);
+    } else {
+      router.set_node_enabled(sw, true);
+    }
+  }
+
+  for (NodeId sw : topology.switches) {
+    if (router.node_enabled(sw)) result.powered_on.push_back(sw);
+  }
+  result.switches_off_fraction =
+      topology.switches.empty()
+          ? 0.0
+          : static_cast<double>(result.powered_off.size()) /
+                static_cast<double>(topology.switches.size());
+  return result;
+}
+
+double OcsOverheadModel::time_overhead(Seconds job_duration) const {
+  if (job_duration.value() <= 0.0) {
+    throw std::invalid_argument("job duration must be positive");
+  }
+  const double lost = config_.reconfiguration_time.value() *
+                      config_.reconfigurations_per_job;
+  return lost / (lost + job_duration.value());
+}
+
+Watts OcsOverheadModel::net_power_savings(Watts switch_savings,
+                                          int num_ocs_devices) const {
+  if (num_ocs_devices < 0) {
+    throw std::invalid_argument("device count must be non-negative");
+  }
+  return switch_savings - config_.ocs_power * num_ocs_devices;
+}
+
+}  // namespace netpp

@@ -1,0 +1,189 @@
+#include "netpp/mech/packet_switch.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace netpp {
+
+PacketSwitchSim::PacketSwitchSim(SimEngine& engine, PacketSwitchConfig config)
+    : engine_(engine),
+      config_(std::move(config)),
+      ports_per_group_(0),
+      service_rate_bps_(0.0),
+      result_(config_.histogram_max) {
+  if (config_.num_ports < 1 || config_.num_pipelines < 1) {
+    throw std::invalid_argument("need at least one port and one pipeline");
+  }
+  if (config_.num_ports % config_.num_pipelines != 0) {
+    throw std::invalid_argument(
+        "ports must divide evenly into pipeline groups");
+  }
+  if (config_.active_pipelines < 1 ||
+      config_.active_pipelines > config_.num_pipelines) {
+    throw std::invalid_argument(
+        "active_pipelines must be in [1, num_pipelines]");
+  }
+  if (config_.pipeline_frequency <= 0.0 || config_.pipeline_frequency > 1.0) {
+    throw std::invalid_argument("pipeline frequency must be in (0, 1]");
+  }
+  if (config_.port_rate.value() <= 0.0) {
+    throw std::invalid_argument("port rate must be positive");
+  }
+  if (config_.dwell.value() <= 0.0 || config_.reconfig.value() < 0.0) {
+    throw std::invalid_argument("dwell must be positive, reconfig >= 0");
+  }
+
+  // Align the power model's component counts with this switch.
+  SwitchPowerConfig pcfg = config_.power.config();
+  pcfg.num_pipelines = config_.num_pipelines;
+  pcfg.num_ports = config_.num_ports;
+  config_.power = SwitchPowerModel{pcfg};
+
+  ports_per_group_ = config_.num_ports / config_.num_pipelines;
+  service_rate_bps_ = ports_per_group_ *
+                      config_.port_rate.bits_per_second() *
+                      config_.pipeline_frequency;
+
+  ports_.resize(static_cast<std::size_t>(config_.num_ports));
+  pipelines_.resize(static_cast<std::size_t>(config_.active_pipelines));
+  const int groups = config_.num_pipelines;
+  for (int p = 0; p < config_.active_pipelines; ++p) {
+    pipelines_[p].group = p % groups;
+    pipelines_[p].busy_tw = TimeWeighted{0.0, engine_.now()};
+    if (config_.active_pipelines < groups) {
+      // Round-robin over the groups this pipeline covers.
+      engine_.schedule_after(config_.dwell, [this, p] { rotate(p); });
+    }
+  }
+}
+
+void PacketSwitchSim::inject(int port, Seconds at, Bits size) {
+  if (port < 0 || port >= config_.num_ports) {
+    throw std::out_of_range("port index out of range");
+  }
+  if (size.value() <= 0.0) {
+    throw std::invalid_argument("packet size must be positive");
+  }
+  engine_.schedule_at(at, [this, port, size] { on_arrival(port, size); });
+}
+
+void PacketSwitchSim::on_arrival(int port, Bits size) {
+  ++result_.injected;
+  Port& p = ports_[static_cast<std::size_t>(port)];
+  if (p.buffered_bits + size.value() > config_.port_buffer.value()) {
+    ++result_.dropped;
+    return;
+  }
+  p.queue.push_back(Packet{engine_.now().value(), size.value()});
+  p.buffered_bits += size.value();
+
+  const int group = port / ports_per_group_;
+  for (int i = 0; i < config_.active_pipelines; ++i) {
+    if (pipelines_[i].group == group && !pipelines_[i].busy &&
+        !pipelines_[i].paused) {
+      try_serve(i);
+      break;
+    }
+  }
+}
+
+int PacketSwitchSim::next_port_with_traffic(int group) const {
+  // FIFO across the group's ports: earliest head-of-line arrival wins.
+  int best = -1;
+  double best_arrival = 0.0;
+  for (int k = 0; k < ports_per_group_; ++k) {
+    const int port = group * ports_per_group_ + k;
+    const auto& queue = ports_[static_cast<std::size_t>(port)].queue;
+    if (queue.empty()) continue;
+    if (best < 0 || queue.front().arrival < best_arrival) {
+      best = port;
+      best_arrival = queue.front().arrival;
+    }
+  }
+  return best;
+}
+
+void PacketSwitchSim::try_serve(int pipeline) {
+  Pipeline& pipe = pipelines_[static_cast<std::size_t>(pipeline)];
+  if (pipe.busy || pipe.paused) return;
+  const int port = next_port_with_traffic(pipe.group);
+  if (port < 0) return;
+
+  Port& src = ports_[static_cast<std::size_t>(port)];
+  const Packet packet = src.queue.front();
+  src.queue.erase(src.queue.begin());
+  src.buffered_bits -= packet.size_bits;
+
+  pipe.busy = true;
+  pipe.busy_tw.set(engine_.now(), 1.0);
+  const Seconds service{packet.size_bits / service_rate_bps_};
+  engine_.schedule_after(service, [this, pipeline, packet] {
+    Pipeline& done = pipelines_[static_cast<std::size_t>(pipeline)];
+    done.busy = false;
+    done.busy_tw.set(engine_.now(), 0.0);
+    const double latency = engine_.now().value() - packet.arrival;
+    result_.latency.add(latency);
+    result_.latency_hist.add(latency);
+    ++result_.served;
+    if (done.rotate_pending) {
+      done.rotate_pending = false;
+      do_rotate(pipeline);
+    } else {
+      try_serve(pipeline);
+    }
+  });
+}
+
+void PacketSwitchSim::rotate(int pipeline) {
+  Pipeline& pipe = pipelines_[static_cast<std::size_t>(pipeline)];
+  if (pipe.busy) {
+    // Non-preemptive: the in-flight packet's completion performs the
+    // rotation.
+    pipe.rotate_pending = true;
+    return;
+  }
+  do_rotate(pipeline);
+}
+
+void PacketSwitchSim::do_rotate(int pipeline) {
+  // Reconfiguration pause, then advance to this pipeline's next group.
+  pipelines_[static_cast<std::size_t>(pipeline)].paused = true;
+  engine_.schedule_after(config_.reconfig, [this, pipeline] {
+    Pipeline& p = pipelines_[static_cast<std::size_t>(pipeline)];
+    p.paused = false;
+    p.group = (p.group + config_.active_pipelines) % config_.num_pipelines;
+    try_serve(pipeline);
+    engine_.schedule_after(config_.dwell, [this, pipeline] {
+      rotate(pipeline);
+    });
+  });
+}
+
+PacketSwitchResult PacketSwitchSim::finish(Seconds horizon) {
+  if (finished_) throw std::logic_error("finish() already called");
+  finished_ = true;
+
+  double busy_sum = 0.0;
+  std::vector<PipelineState> states(
+      static_cast<std::size_t>(config_.num_pipelines),
+      PipelineState{false, 1.0, 0.0});
+  for (int i = 0; i < config_.active_pipelines; ++i) {
+    const double busy = pipelines_[static_cast<std::size_t>(i)]
+                            .busy_tw.average(horizon);
+    busy_sum += busy;
+    states[static_cast<std::size_t>(i)] =
+        PipelineState{true, config_.pipeline_frequency,
+                      config_.pipeline_frequency * busy};
+  }
+  result_.mean_pipeline_busy =
+      busy_sum / static_cast<double>(config_.active_pipelines);
+
+  const std::vector<PortState> port_states(
+      static_cast<std::size_t>(config_.num_ports), PortState{});
+  const Watts power = config_.power.total_power(states, port_states);
+  result_.average_power = power;
+  result_.energy = power * horizon;
+  return std::move(result_);
+}
+
+}  // namespace netpp

@@ -1,0 +1,150 @@
+#include "netpp/mech/rateadapt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace netpp {
+
+void PipelineLoadTrace::validate(int num_pipelines) const {
+  if (times.empty() || times.size() != pipeline_loads.size()) {
+    throw std::invalid_argument(
+        "trace needs matching, non-empty times and loads");
+  }
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    if (i > 0 && times[i] <= times[i - 1]) {
+      throw std::invalid_argument("trace times must be strictly increasing");
+    }
+    if (pipeline_loads[i].size() != static_cast<std::size_t>(num_pipelines)) {
+      throw std::invalid_argument("trace arity != pipeline count");
+    }
+    for (double load : pipeline_loads[i]) {
+      if (load < 0.0 || load > 1.0) {
+        throw std::invalid_argument("loads must be in [0, 1]");
+      }
+    }
+  }
+  if (end <= times.back()) {
+    throw std::invalid_argument("trace end must be after the last segment");
+  }
+}
+
+Seconds PipelineLoadTrace::duration() const {
+  return end - times.front();
+}
+
+namespace {
+
+double pick_lane_step(const std::vector<double>& steps, double load) {
+  // Smallest allowed step >= load; steps are fractions of full lanes.
+  double best = 1.0;
+  bool found = false;
+  for (double s : steps) {
+    if (s >= load - 1e-12 && (!found || s < best)) {
+      best = s;
+      found = true;
+    }
+  }
+  return found ? best : 1.0;
+}
+
+}  // namespace
+
+RateAdaptResult simulate_rate_adaptation(const PipelineLoadTrace& trace,
+                                         const RateAdaptConfig& config,
+                                         RateAdaptMode mode) {
+  const auto& model = config.model;
+  const int pipes = model.config().num_pipelines;
+  trace.validate(pipes);
+  if (config.min_frequency <= 0.0 || config.min_frequency > 1.0) {
+    throw std::invalid_argument("min_frequency must be in (0, 1]");
+  }
+  if (config.headroom < 0.0) {
+    throw std::invalid_argument("headroom must be non-negative");
+  }
+
+  const auto target_frequency = [&](double load) {
+    return std::clamp(load * (1.0 + config.headroom), config.min_frequency,
+                      1.0);
+  };
+
+  std::vector<double> current_freq(pipes, 1.0);
+  std::vector<PortState> ports(model.config().num_ports, PortState{});
+
+  RateAdaptResult result;
+  double energy_j = 0.0;
+  double none_energy_j = 0.0;
+  double freq_time = 0.0;  // integral of mean frequency
+
+  for (std::size_t i = 0; i < trace.times.size(); ++i) {
+    const Seconds seg_end =
+        (i + 1 < trace.times.size()) ? trace.times[i + 1] : trace.end;
+    const double dt = (seg_end - trace.times[i]).value();
+    const auto& loads = trace.pipeline_loads[i];
+
+    // Decide frequencies for this segment.
+    std::vector<double> want(pipes, 1.0);
+    switch (mode) {
+      case RateAdaptMode::kNone:
+        break;
+      case RateAdaptMode::kGlobalAsic: {
+        const double max_load = *std::max_element(loads.begin(), loads.end());
+        std::fill(want.begin(), want.end(), target_frequency(max_load));
+        break;
+      }
+      case RateAdaptMode::kPerPipeline:
+        for (int p = 0; p < pipes; ++p) want[p] = target_frequency(loads[p]);
+        break;
+    }
+    if (mode != RateAdaptMode::kNone) {
+      for (int p = 0; p < pipes; ++p) {
+        if (std::fabs(want[p] - current_freq[p]) > config.hysteresis ||
+            want[p] > current_freq[p]) {
+          // Always honor upward moves (load must be served); downward moves
+          // only beyond the hysteresis band.
+          if (want[p] != current_freq[p]) {
+            current_freq[p] = want[p];
+            ++result.frequency_transitions;
+          }
+        }
+      }
+    }
+
+    // Build per-pipeline states; loads are relative to nominal capacity and
+    // must be <= frequency (guaranteed: frequency >= load by construction,
+    // except kNone where frequency is 1).
+    std::vector<PipelineState> states(pipes);
+    std::vector<PipelineState> none_states(pipes);
+    double freq_sum = 0.0;
+    for (int p = 0; p < pipes; ++p) {
+      states[p] = PipelineState{true, current_freq[p], loads[p]};
+      none_states[p] = PipelineState{true, 1.0, loads[p]};
+      freq_sum += current_freq[p];
+    }
+
+    // Optional SerDes down-rating: scale every port group's lanes to the
+    // switch-wide mean load step (ports are not modeled individually here).
+    std::vector<PortState> seg_ports = ports;
+    if (!config.lane_steps.empty() && mode != RateAdaptMode::kNone) {
+      double mean_load = 0.0;
+      for (double l : loads) mean_load += l;
+      mean_load /= static_cast<double>(pipes);
+      const double lane = pick_lane_step(config.lane_steps, mean_load);
+      for (auto& port : seg_ports) port.lane_fraction = lane;
+    }
+
+    energy_j += model.total_power(states, seg_ports).value() * dt;
+    none_energy_j += model.total_power(none_states, ports).value() * dt;
+    freq_time += (freq_sum / static_cast<double>(pipes)) * dt;
+  }
+
+  const double duration = trace.duration().value();
+  result.energy = Joules{energy_j};
+  result.average_power = Watts{energy_j / duration};
+  result.savings_vs_none =
+      none_energy_j > 0.0 ? 1.0 - energy_j / none_energy_j : 0.0;
+  result.mean_frequency = freq_time / duration;
+  return result;
+}
+
+}  // namespace netpp

@@ -1,0 +1,110 @@
+#include "netpp/mech/redesign.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace netpp {
+
+GranularPipelineModel::GranularPipelineModel(Config config)
+    : config_(config) {
+  if (config_.max_power.value() <= 0.0) {
+    throw std::invalid_argument("max power must be positive");
+  }
+  const double top = config_.chassis_fraction + config_.serdes_fraction +
+                     config_.pipelines_fraction;
+  if (std::fabs(top - 1.0) > 1e-9) {
+    throw std::invalid_argument("power fractions must sum to 1");
+  }
+  if (config_.baseline_pipelines < 1) {
+    throw std::invalid_argument("baseline pipeline count must be >= 1");
+  }
+  if (config_.overhead_per_doubling < 0.0) {
+    throw std::invalid_argument("overhead must be non-negative");
+  }
+}
+
+Watts GranularPipelineModel::pipeline_budget(int n) const {
+  if (n < 1) throw std::invalid_argument("pipeline count must be >= 1");
+  const Watts base = config_.max_power * config_.pipelines_fraction;
+  const double doublings =
+      n > config_.baseline_pipelines
+          ? std::log2(static_cast<double>(n) / config_.baseline_pipelines)
+          : 0.0;
+  return base * (1.0 + config_.overhead_per_doubling * doublings);
+}
+
+Watts GranularPipelineModel::power_at_load(int n, double load) const {
+  if (load < 0.0 || load > 1.0) {
+    throw std::invalid_argument("load must be in [0, 1]");
+  }
+  const Watts fixed = config_.max_power *
+                      (config_.chassis_fraction + config_.serdes_fraction);
+  const double active = std::ceil(load * n - 1e-12);
+  return fixed + pipeline_budget(n) * (active / static_cast<double>(n));
+}
+
+double GranularPipelineModel::effective_proportionality(int n) const {
+  const Watts full = power_at_load(n, 1.0);
+  const Watts idle = power_at_load(n, 0.0);
+  return (full - idle) / full;
+}
+
+Watts GranularPipelineModel::duty_cycle_average(
+    int n, double active, double load_when_active) const {
+  if (active < 0.0 || active > 1.0) {
+    throw std::invalid_argument("active fraction must be in [0, 1]");
+  }
+  return power_at_load(n, load_when_active) * active +
+         power_at_load(n, 0.0) * (1.0 - active);
+}
+
+int GranularPipelineModel::best_granularity(double active,
+                                            double load_when_active,
+                                            int max_n) const {
+  if (max_n < config_.baseline_pipelines) {
+    throw std::invalid_argument("max_n must cover the baseline");
+  }
+  int best = config_.baseline_pipelines;
+  Watts best_power = duty_cycle_average(best, active, load_when_active);
+  for (int n = config_.baseline_pipelines * 2; n <= max_n; n *= 2) {
+    const Watts power = duty_cycle_average(n, active, load_when_active);
+    if (power < best_power) {
+      best_power = power;
+      best = n;
+    }
+  }
+  return best;
+}
+
+CpoRetrofit::CpoRetrofit(Config config) : config_(config) {
+  if (config_.power_factor <= 0.0) {
+    throw std::invalid_argument("power factor must be positive");
+  }
+  if (config_.optics_proportionality < 0.0 ||
+      config_.optics_proportionality > 1.0) {
+    throw std::invalid_argument("optics proportionality must be in [0, 1]");
+  }
+}
+
+Watts CpoRetrofit::average_cluster_power(const ClusterConfig& base) const {
+  const ClusterModel cluster{base};
+  const double r = base.communication_ratio;
+  const auto& inv = cluster.network();
+
+  const auto electronics = PowerEnvelope::from_proportionality(
+      inv.switch_power + inv.nic_power, base.network_proportionality);
+  const auto optics = PowerEnvelope::from_proportionality(
+      inv.transceiver_power * config_.power_factor,
+      config_.optics_proportionality);
+
+  return cluster.compute_envelope().duty_cycle_average(1.0 - r) +
+         electronics.duty_cycle_average(r) + optics.duty_cycle_average(r);
+}
+
+double CpoRetrofit::savings_fraction(const ClusterConfig& base) const {
+  const Watts before = ClusterModel{base}.average_total_power();
+  const Watts after = average_cluster_power(base);
+  return before.value() > 0.0 ? 1.0 - after / before : 0.0;
+}
+
+}  // namespace netpp

@@ -1,0 +1,194 @@
+#include "netpp/mech/scheduler.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+#include "netpp/sim/random.h"
+#include "netpp/sim/stats.h"
+
+namespace netpp {
+namespace {
+
+struct Allocation {
+  int rack;
+  int gpus;
+};
+
+struct RunningJob {
+  double end;
+  std::vector<Allocation> allocations;
+  bool operator>(const RunningJob& other) const { return end > other.end; }
+};
+
+}  // namespace
+
+ScheduleResult simulate_schedule(const SchedulerConfig& config,
+                                 std::vector<Job> jobs,
+                                 PlacementPolicy policy) {
+  if (config.racks < 1 || config.gpus_per_rack < 1) {
+    throw std::invalid_argument("cluster dimensions must be positive");
+  }
+  if (config.communication_ratio < 0.0 || config.communication_ratio > 1.0) {
+    throw std::invalid_argument("communication ratio must be in [0, 1]");
+  }
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (jobs[i].gpus < 1 || jobs[i].duration.value() <= 0.0) {
+      throw std::invalid_argument("jobs need positive GPU count and duration");
+    }
+    if (i > 0 && jobs[i].arrival < jobs[i - 1].arrival) {
+      throw std::invalid_argument("jobs must be sorted by arrival");
+    }
+  }
+
+  const double occupied_power =
+      config.tor_envelope.duty_cycle_average(config.communication_ratio)
+          .value();
+  const double empty_power =
+      config.allow_switch_off ? 0.0
+                              : config.tor_envelope.idle_power().value();
+  const double always_on_empty = config.tor_envelope.idle_power().value();
+
+  std::vector<int> used(config.racks, 0);
+  std::vector<TimeWeighted> rack_power(
+      config.racks, TimeWeighted{empty_power, Seconds{0.0}});
+  TimeWeighted occupied_racks{0.0, Seconds{0.0}};
+  TimeWeighted empty_racks{static_cast<double>(config.racks), Seconds{0.0}};
+
+  std::priority_queue<RunningJob, std::vector<RunningJob>, std::greater<>>
+      running;
+  ScheduleResult result;
+
+  int occupied_count = 0;
+  const auto set_rack_state = [&](int rack, bool occupied, double at) {
+    rack_power[rack].set(Seconds{at}, occupied ? occupied_power : empty_power);
+    occupied_count += occupied ? 1 : -1;
+    occupied_racks.set(Seconds{at}, occupied_count);
+    empty_racks.set(Seconds{at},
+                    static_cast<double>(config.racks - occupied_count));
+  };
+
+  const auto drain_until = [&](double t) {
+    while (!running.empty() && running.top().end <= t) {
+      const RunningJob done = running.top();
+      running.pop();
+      for (const auto& alloc : done.allocations) {
+        used[alloc.rack] -= alloc.gpus;
+        if (used[alloc.rack] == 0) {
+          set_rack_state(alloc.rack, false, done.end);
+        }
+      }
+    }
+  };
+
+  for (const auto& job : jobs) {
+    const double at = job.arrival.value();
+    drain_until(at);
+
+    const int total_free = std::accumulate(
+        used.begin(), used.end(), config.racks * config.gpus_per_rack,
+        [&](int acc, int u) { return acc - u; });
+    if (job.gpus > total_free) {
+      ++result.rejected_jobs;
+      continue;
+    }
+
+    // Rack visit order per policy.
+    std::vector<int> order(config.racks);
+    std::iota(order.begin(), order.end(), 0);
+    if (policy == PlacementPolicy::kSpread) {
+      // Most-free first (load balancing).
+      std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return used[a] < used[b];
+      });
+    } else {
+      // Concentrate: occupied racks first, fullest (least free) first;
+      // empty racks last.
+      std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        const bool a_occ = used[a] > 0, b_occ = used[b] > 0;
+        if (a_occ != b_occ) return a_occ;
+        return used[a] > used[b];
+      });
+    }
+
+    RunningJob run;
+    int remaining = job.gpus;
+    bool woke_any = false;
+    for (int rack : order) {
+      if (remaining == 0) break;
+      const int free = config.gpus_per_rack - used[rack];
+      if (free <= 0) continue;
+      const int take = std::min(free, remaining);
+      if (used[rack] == 0) {
+        set_rack_state(rack, true, at);
+        if (config.allow_switch_off) {
+          woke_any = true;
+          ++result.tor_wakeups;
+        }
+      }
+      used[rack] += take;
+      remaining -= take;
+      run.allocations.push_back(Allocation{rack, take});
+    }
+
+    const double delay =
+        woke_any ? config.switch_wake_time.value() : 0.0;
+    result.total_wake_delay += Seconds{delay};
+    run.end = at + delay + job.duration.value();
+    running.push(std::move(run));
+    ++result.placed_jobs;
+  }
+  // Drain everything.
+  drain_until(std::numeric_limits<double>::infinity());
+
+  // Horizon: the last state change across trackers.
+  double horizon = occupied_racks.last_change().value();
+  for (const auto& rp : rack_power) {
+    horizon = std::max(horizon, rp.last_change().value());
+  }
+  if (horizon <= 0.0) horizon = 1.0;  // no jobs: any horizon works
+  const Seconds end{horizon};
+
+  double energy = 0.0;
+  for (const auto& rp : rack_power) energy += rp.integral(end);
+  result.tor_energy = Joules{energy};
+
+  // Always-on counterfactual: empty racks draw idle power instead of
+  // empty_power.
+  const double empty_time = empty_racks.integral(end);
+  const double always_on =
+      energy + (always_on_empty - empty_power) * empty_time;
+  result.always_on_tor_energy = Joules{always_on};
+  result.tor_energy_savings =
+      always_on > 0.0 ? 1.0 - energy / always_on : 0.0;
+  result.mean_occupied_racks = occupied_racks.average(end);
+  return result;
+}
+
+std::vector<Job> make_job_trace(int count, Seconds mean_interarrival,
+                                Seconds mean_duration, int max_gpus_per_job,
+                                std::uint64_t seed) {
+  if (count < 0 || mean_interarrival.value() <= 0.0 ||
+      mean_duration.value() <= 0.0 || max_gpus_per_job < 1) {
+    throw std::invalid_argument("invalid job trace parameters");
+  }
+  Rng rng{seed};
+  std::vector<Job> jobs;
+  jobs.reserve(static_cast<std::size_t>(count));
+  double t = 0.0;
+  for (int i = 0; i < count; ++i) {
+    t += rng.exponential(1.0 / mean_interarrival.value());
+    Job job;
+    job.id = static_cast<std::uint64_t>(i);
+    job.gpus = static_cast<int>(rng.uniform_int(1, max_gpus_per_job));
+    job.arrival = Seconds{t};
+    job.duration =
+        Seconds{rng.exponential(1.0 / mean_duration.value())};
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+}  // namespace netpp

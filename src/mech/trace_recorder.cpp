@@ -1,0 +1,128 @@
+#include "netpp/mech/trace_recorder.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace netpp {
+
+NodeLoadRecorder::NodeLoadRecorder(const FlowSimulator& sim,
+                                   std::vector<NodeId> nodes)
+    : sim_(sim), nodes_(std::move(nodes)) {
+  if (nodes_.empty()) {
+    throw std::invalid_argument("recorder needs at least one node");
+  }
+  const Graph& g = sim_.graph();
+  for (NodeId node : nodes_) {
+    NodeInfo info;
+    for (const auto& adj : g.neighbors(node)) {
+      for (int dir = 0; dir < 2; ++dir) {
+        info.directed_indices.push_back(DirectedLink{adj.link, dir}.index());
+        info.capacities_bps.push_back(
+            g.link(adj.link).capacity.bits_per_second());
+      }
+    }
+    info_[node] = std::move(info);
+    samples_[node] = {};
+  }
+}
+
+void NodeLoadRecorder::sample(Seconds now) {
+  const bool overwrite = !times_.empty() && times_.back() == now;
+  if (!overwrite && !times_.empty() && now < times_.back()) {
+    throw std::invalid_argument("samples must be taken in time order");
+  }
+  if (!overwrite) times_.push_back(now);
+
+  for (NodeId node : nodes_) {
+    const auto& info = info_.at(node);
+    std::vector<double> carried(info.directed_indices.size());
+    for (std::size_t i = 0; i < info.directed_indices.size(); ++i) {
+      const auto idx = info.directed_indices[i];
+      const DirectedLink dl{static_cast<LinkId>(idx / 2),
+                            static_cast<int>(idx % 2)};
+      carried[i] = sim_.directed_link_rate(dl).bits_per_second();
+    }
+    auto& series = samples_.at(node);
+    if (overwrite) {
+      series.back() = std::move(carried);
+    } else {
+      series.push_back(std::move(carried));
+    }
+  }
+}
+
+FlowSimulator::LoadListener NodeLoadRecorder::listener() {
+  return [this](Seconds now) { sample(now); };
+}
+
+AggregateLoadTrace NodeLoadRecorder::aggregate_trace(NodeId node,
+                                                     Seconds end) const {
+  const auto it = samples_.find(node);
+  if (it == samples_.end()) {
+    throw std::out_of_range("node is not tracked by this recorder");
+  }
+  if (times_.empty()) {
+    throw std::logic_error("no samples recorded");
+  }
+  const auto& info = info_.at(node);
+  double total_capacity = 0.0;
+  for (double c : info.capacities_bps) total_capacity += c;
+
+  AggregateLoadTrace trace;
+  trace.end = end;
+  for (std::size_t s = 0; s < times_.size(); ++s) {
+    double carried = 0.0;
+    for (double rate : it->second[s]) carried += rate;
+    const double load =
+        total_capacity > 0.0 ? std::min(1.0, carried / total_capacity) : 0.0;
+    // Collapse repeated values to keep the trace compact.
+    if (!trace.loads.empty() && trace.loads.back() == load) continue;
+    trace.times.push_back(times_[s]);
+    trace.loads.push_back(load);
+  }
+  return trace;
+}
+
+PipelineLoadTrace NodeLoadRecorder::pipeline_trace(NodeId node,
+                                                   int num_pipelines,
+                                                   Seconds end) const {
+  if (num_pipelines < 1) {
+    throw std::invalid_argument("need at least one pipeline");
+  }
+  const auto it = samples_.find(node);
+  if (it == samples_.end()) {
+    throw std::out_of_range("node is not tracked by this recorder");
+  }
+  if (times_.empty()) {
+    throw std::logic_error("no samples recorded");
+  }
+  const auto& info = info_.at(node);
+
+  // Round-robin assignment of directed links to pipelines.
+  std::vector<double> pipe_capacity(num_pipelines, 0.0);
+  for (std::size_t i = 0; i < info.capacities_bps.size(); ++i) {
+    pipe_capacity[i % num_pipelines] += info.capacities_bps[i];
+  }
+
+  PipelineLoadTrace trace;
+  trace.end = end;
+  for (std::size_t s = 0; s < times_.size(); ++s) {
+    std::vector<double> loads(num_pipelines, 0.0);
+    for (std::size_t i = 0; i < it->second[s].size(); ++i) {
+      loads[i % num_pipelines] += it->second[s][i];
+    }
+    for (int p = 0; p < num_pipelines; ++p) {
+      loads[p] = pipe_capacity[p] > 0.0
+                     ? std::min(1.0, loads[p] / pipe_capacity[p])
+                     : 0.0;
+    }
+    if (!trace.pipeline_loads.empty() && trace.pipeline_loads.back() == loads) {
+      continue;
+    }
+    trace.times.push_back(times_[s]);
+    trace.pipeline_loads.push_back(std::move(loads));
+  }
+  return trace;
+}
+
+}  // namespace netpp

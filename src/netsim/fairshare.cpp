@@ -1,0 +1,100 @@
+#include "netpp/netsim/fairshare.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace netpp {
+
+std::vector<double> max_min_fair_rates(
+    const std::vector<FairShareFlow>& flows,
+    const std::vector<double>& capacities) {
+  for (double c : capacities) {
+    if (c <= 0.0) throw std::invalid_argument("capacities must be positive");
+  }
+  const std::size_t num_flows = flows.size();
+  const std::size_t num_res = capacities.size();
+
+  std::vector<double> rate(num_flows, 0.0);
+  std::vector<bool> frozen(num_flows, false);
+  std::vector<double> residual = capacities;
+  std::vector<std::size_t> active_on(num_res, 0);
+
+  std::vector<std::vector<std::size_t>> flows_on(num_res);
+  for (std::size_t f = 0; f < num_flows; ++f) {
+    for (std::size_t r : flows[f].resources) {
+      if (r >= num_res) throw std::out_of_range("resource index out of range");
+      flows_on[r].push_back(f);
+      ++active_on[r];
+    }
+  }
+
+  // Flows with a cap participate in filling until the fill level reaches
+  // their cap, at which point they freeze at the cap. Iterate: the next
+  // binding constraint is either the tightest link's equal share or the
+  // smallest unfrozen cap.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::size_t remaining = num_flows;
+
+  // Unconstrained, uncapped flows never freeze via links; give them inf-like
+  // treatment by freezing them at the end. Track them now.
+  while (remaining > 0) {
+    // Fill level candidate from links.
+    double link_share = kInf;
+    std::size_t tight_link = num_res;
+    for (std::size_t r = 0; r < num_res; ++r) {
+      if (active_on[r] == 0) continue;
+      const double share = residual[r] / static_cast<double>(active_on[r]);
+      if (share < link_share) {
+        link_share = share;
+        tight_link = r;
+      }
+    }
+    // Fill level candidate from caps.
+    double cap_level = kInf;
+    std::size_t capped_flow = num_flows;
+    for (std::size_t f = 0; f < num_flows; ++f) {
+      if (frozen[f]) continue;
+      if (flows[f].cap > 0.0 && flows[f].cap < cap_level) {
+        cap_level = flows[f].cap;
+        capped_flow = f;
+      }
+    }
+
+    if (tight_link == num_res && capped_flow == num_flows) {
+      // Remaining flows are uncapped and cross no capacitated resource:
+      // conventionally give them zero (callers treat empty paths specially).
+      break;
+    }
+
+    if (cap_level <= link_share) {
+      // Freeze the capped flow at its cap and release its share.
+      frozen[capped_flow] = true;
+      rate[capped_flow] = cap_level;
+      --remaining;
+      for (std::size_t r : flows[capped_flow].resources) {
+        residual[r] -= cap_level;
+        if (residual[r] < 0.0) residual[r] = 0.0;
+        --active_on[r];
+      }
+      continue;
+    }
+
+    // Freeze every unfrozen flow on the tightest link at the link share.
+    for (std::size_t f : flows_on[tight_link]) {
+      if (frozen[f]) continue;
+      frozen[f] = true;
+      rate[f] = link_share;
+      --remaining;
+      for (std::size_t r : flows[f].resources) {
+        residual[r] -= link_share;
+        if (residual[r] < 0.0) residual[r] = 0.0;
+        --active_on[r];
+      }
+    }
+  }
+
+  return rate;
+}
+
+}  // namespace netpp

@@ -1,0 +1,185 @@
+#include "netpp/netsim/flowsim.h"
+
+#include <cmath>
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "netpp/netsim/fairshare.h"
+
+namespace netpp {
+
+namespace {
+constexpr double kEpsBits = 1.0;  // flows within 1 bit of done are done
+}
+
+FlowSimulator::FlowSimulator(const Graph& graph, Router& router,
+                             SimEngine& engine, Config config)
+    : graph_(graph), router_(router), engine_(engine), config_(config) {
+  directed_capacity_bps_.reserve(graph.num_links() * 2);
+  directed_rate_bps_.reserve(graph.num_links() * 2);
+  for (const auto& link : graph.links()) {
+    for (int dir = 0; dir < 2; ++dir) {
+      directed_capacity_bps_.push_back(link.capacity.bits_per_second());
+      directed_rate_bps_.emplace_back(0.0, engine.now());
+    }
+  }
+}
+
+FlowSimulator::FlowSimulator(const Graph& graph, Router& router,
+                             SimEngine& engine)
+    : FlowSimulator(graph, router, engine, Config{}) {}
+
+FlowId FlowSimulator::submit(const FlowSpec& spec) {
+  if (spec.src >= graph_.num_nodes() || spec.dst >= graph_.num_nodes()) {
+    throw std::out_of_range("flow endpoint does not exist");
+  }
+  if (spec.src == spec.dst) {
+    throw std::invalid_argument("flow src == dst");
+  }
+  if (spec.size.value() <= 0.0) {
+    throw std::invalid_argument("flow size must be positive");
+  }
+  const FlowId id = next_id_++;
+  engine_.schedule_at(spec.start, [this, spec, id] { admit(spec, id); });
+  return id;
+}
+
+void FlowSimulator::admit(FlowSpec spec, FlowId id) {
+  const Seconds now = engine_.now();
+  const auto path = router_.ecmp_route(spec.src, spec.dst, id);
+  if (!path) {
+    ++unroutable_;
+    return;
+  }
+
+  ActiveFlow flow;
+  flow.id = id;
+  flow.spec = spec;
+  flow.remaining_bits = spec.size.value();
+  flow.admitted = now;
+  NodeId at = path->src;
+  for (LinkId lid : path->links) {
+    const Link& link = graph_.link(lid);
+    const int dir = (at == link.a) ? 0 : 1;
+    flow.directed_indices.push_back(DirectedLink{lid, dir}.index());
+    at = link.other(at);
+  }
+
+  settle_progress(now);
+  active_.push_back(std::move(flow));
+  reallocate(now);
+}
+
+void FlowSimulator::settle_progress(Seconds now) {
+  const double dt = (now - last_settle_).value();
+  if (dt > 0.0) {
+    for (auto& flow : active_) {
+      flow.remaining_bits -= flow.rate_bps * dt;
+      if (flow.remaining_bits < 0.0) flow.remaining_bits = 0.0;
+    }
+  }
+  last_settle_ = now;
+}
+
+void FlowSimulator::reallocate(Seconds now) {
+  // Build the fair-share problem over directed links.
+  std::vector<FairShareFlow> problem;
+  problem.reserve(active_.size());
+  const double cap_bps = config_.flow_rate_cap.bits_per_second();
+  for (const auto& flow : active_) {
+    FairShareFlow f;
+    f.resources = flow.directed_indices;
+    f.cap = cap_bps > 0.0 ? cap_bps : 0.0;
+    problem.push_back(std::move(f));
+  }
+  const auto rates = max_min_fair_rates(problem, directed_capacity_bps_);
+
+  std::vector<double> carried(directed_capacity_bps_.size(), 0.0);
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    active_[i].rate_bps = rates[i];
+    for (std::size_t r : active_[i].directed_indices) {
+      carried[r] += rates[i];
+    }
+  }
+  for (std::size_t r = 0; r < carried.size(); ++r) {
+    directed_rate_bps_[r].set(now, carried[r]);
+  }
+
+  schedule_next_completion();
+  if (listener_) listener_(now);
+}
+
+void FlowSimulator::schedule_next_completion() {
+  if (completion_event_) {
+    engine_.cancel(*completion_event_);
+    completion_event_.reset();
+  }
+  double earliest = std::numeric_limits<double>::infinity();
+  for (const auto& flow : active_) {
+    if (flow.rate_bps <= 0.0) continue;  // stalled (fully contended/disabled)
+    const double t = flow.remaining_bits / flow.rate_bps;
+    earliest = std::min(earliest, t);
+  }
+  if (!std::isfinite(earliest)) return;
+  completion_event_ = engine_.schedule_after(
+      Seconds{earliest}, [this] { complete_due_flows(engine_.now()); });
+}
+
+void FlowSimulator::complete_due_flows(Seconds now) {
+  completion_event_.reset();
+  settle_progress(now);
+  bool any = false;
+  for (auto it = active_.begin(); it != active_.end();) {
+    if (it->remaining_bits <= kEpsBits) {
+      FlowRecord record;
+      record.id = it->id;
+      record.spec = it->spec;
+      record.finished = now;
+      fct_.add(record.fct().value());
+      completed_.push_back(record);
+      it = active_.erase(it);
+      any = true;
+      if (completion_listener_) completion_listener_(completed_.back());
+    } else {
+      ++it;
+    }
+  }
+  if (any) {
+    reallocate(now);
+  } else {
+    // Numerical guard: nothing finished (should not happen); reschedule.
+    schedule_next_completion();
+  }
+}
+
+Gbps FlowSimulator::directed_link_rate(DirectedLink dl) const {
+  return Gbps{directed_rate_bps_.at(dl.index()).current() / 1e9};
+}
+
+double FlowSimulator::directed_link_utilization(DirectedLink dl) const {
+  const auto idx = dl.index();
+  return directed_rate_bps_.at(idx).current() / directed_capacity_bps_.at(idx);
+}
+
+double FlowSimulator::node_load(NodeId id) const {
+  double carried = 0.0;
+  double capacity = 0.0;
+  for (const auto& adj : graph_.neighbors(id)) {
+    for (int dir = 0; dir < 2; ++dir) {
+      const auto idx = DirectedLink{adj.link, dir}.index();
+      carried += directed_rate_bps_.at(idx).current();
+      capacity += directed_capacity_bps_.at(idx);
+    }
+  }
+  return capacity > 0.0 ? carried / capacity : 0.0;
+}
+
+double FlowSimulator::average_link_utilization(DirectedLink dl) const {
+  const auto idx = dl.index();
+  return directed_rate_bps_.at(idx).average(engine_.now()) /
+         directed_capacity_bps_.at(idx);
+}
+
+}  // namespace netpp

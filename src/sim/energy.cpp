@@ -1,0 +1,70 @@
+#include "netpp/sim/energy.h"
+
+#include <stdexcept>
+
+namespace netpp {
+
+EnergyMeter::EnergyMeter(Watts max_power, Watts initial_power, Seconds start)
+    : max_power_(max_power),
+      power_(initial_power.value(), start),
+      load_(0.0, start) {
+  if (max_power.value() < 0.0 || initial_power.value() < 0.0) {
+    throw std::invalid_argument("powers must be non-negative");
+  }
+}
+
+void EnergyMeter::set_power(Seconds at, Watts power) {
+  if (power.value() < 0.0) {
+    throw std::invalid_argument("power must be non-negative");
+  }
+  power_.set(at, power.value());
+}
+
+void EnergyMeter::set_load(Seconds at, double load) {
+  if (load < 0.0 || load > 1.0) {
+    throw std::invalid_argument("load must be in [0, 1]");
+  }
+  load_.set(at, load);
+}
+
+Joules EnergyMeter::energy(Seconds until) const {
+  return Joules{power_.integral(until)};
+}
+
+Watts EnergyMeter::average_power(Seconds until) const {
+  return Watts{power_.average(until)};
+}
+
+double EnergyMeter::average_load(Seconds until) const {
+  return load_.average(until);
+}
+
+double EnergyMeter::efficiency(Seconds until) const {
+  const double actual = power_.integral(until);
+  if (actual <= 0.0) return 1.0;
+  const double ideal = max_power_.value() * load_.integral(until);
+  return ideal / actual;
+}
+
+std::size_t EnergyLedger::add(std::string name, Watts max_power,
+                              Watts initial_power, Seconds start) {
+  meters_.push_back(
+      Entry{std::move(name), EnergyMeter{max_power, initial_power, start}});
+  return meters_.size() - 1;
+}
+
+Joules EnergyLedger::total_energy(Seconds until) const {
+  Joules total{};
+  for (const auto& entry : meters_) total += entry.meter.energy(until);
+  return total;
+}
+
+Watts EnergyLedger::total_average_power(Seconds until) const {
+  Watts total{};
+  for (const auto& entry : meters_) {
+    total += entry.meter.average_power(until);
+  }
+  return total;
+}
+
+}  // namespace netpp

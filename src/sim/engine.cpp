@@ -1,0 +1,69 @@
+#include "netpp/sim/engine.h"
+
+#include <stdexcept>
+
+namespace netpp {
+
+SimEngine::EventId SimEngine::schedule_at(Seconds at, Callback fn) {
+  if (at < now_) {
+    throw std::invalid_argument("cannot schedule an event in the past");
+  }
+  if (!fn) throw std::invalid_argument("event callback must not be empty");
+  const EventId id = next_seq_++;
+  queue_.push(Entry{at.value(), id, std::move(fn)});
+  pending_.insert(id);
+  return id;
+}
+
+SimEngine::EventId SimEngine::schedule_after(Seconds delay, Callback fn) {
+  if (delay.value() < 0.0) {
+    throw std::invalid_argument("delay must be non-negative");
+  }
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool SimEngine::cancel(EventId id) {
+  // Lazy cancellation: the queue entry is skipped when popped.
+  return pending_.erase(id) > 0;
+}
+
+bool SimEngine::pop_and_run() {
+  while (!queue_.empty()) {
+    Entry top = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    if (pending_.erase(top.seq) == 0) continue;  // was cancelled
+    now_ = Seconds{top.at};
+    top.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t SimEngine::run() {
+  std::size_t executed = 0;
+  while (pop_and_run()) ++executed;
+  return executed;
+}
+
+std::size_t SimEngine::run_until(Seconds until) {
+  if (until < now_) {
+    throw std::invalid_argument("cannot run to a time in the past");
+  }
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    const Entry& top = queue_.top();
+    if (pending_.find(top.seq) == pending_.end()) {
+      queue_.pop();  // cancelled entry; discard
+      continue;
+    }
+    if (top.at > until.value()) break;
+    pop_and_run();
+    ++executed;
+  }
+  now_ = until;
+  return executed;
+}
+
+bool SimEngine::step() { return pop_and_run(); }
+
+}  // namespace netpp

@@ -1,0 +1,140 @@
+#include "netpp/topo/builders.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace netpp {
+
+BuiltTopology build_fat_tree(int k, Gbps host_speed, Gbps fabric_speed) {
+  if (k < 2 || k % 2 != 0) {
+    throw std::invalid_argument("fat-tree k must be even and >= 2");
+  }
+  BuiltTopology out;
+  Graph& g = out.graph;
+  const int half = k / 2;
+
+  // Core switches: (k/2)^2, tier 3.
+  std::vector<NodeId> core;
+  core.reserve(half * half);
+  for (int i = 0; i < half * half; ++i) {
+    core.push_back(
+        g.add_node(NodeKind::kSwitch, 3, "core-" + std::to_string(i)));
+  }
+
+  for (int pod = 0; pod < k; ++pod) {
+    std::vector<NodeId> aggs, edges;
+    for (int a = 0; a < half; ++a) {
+      aggs.push_back(g.add_node(
+          NodeKind::kSwitch, 2,
+          "agg-" + std::to_string(pod) + "-" + std::to_string(a)));
+    }
+    for (int e = 0; e < half; ++e) {
+      edges.push_back(g.add_node(
+          NodeKind::kSwitch, 1,
+          "edge-" + std::to_string(pod) + "-" + std::to_string(e)));
+    }
+    // Edge <-> agg: full bipartite within the pod.
+    for (NodeId edge : edges) {
+      for (NodeId agg : aggs) {
+        g.add_link(edge, agg, fabric_speed, /*optical=*/true);
+      }
+    }
+    // Agg <-> core: agg j connects to core group j.
+    for (int a = 0; a < half; ++a) {
+      for (int c = 0; c < half; ++c) {
+        g.add_link(aggs[a], core[a * half + c], fabric_speed,
+                   /*optical=*/true);
+      }
+    }
+    // Hosts.
+    for (int e = 0; e < half; ++e) {
+      for (int h = 0; h < half; ++h) {
+        const NodeId host = g.add_node(
+            NodeKind::kHost, 0,
+            "host-" + std::to_string(pod) + "-" + std::to_string(e) + "-" +
+                std::to_string(h));
+        g.add_link(edges[e], host, host_speed, /*optical=*/false);
+        out.hosts.push_back(host);
+      }
+    }
+  }
+
+  for (const auto& node : g.nodes()) {
+    if (node.kind == NodeKind::kSwitch) out.switches.push_back(node.id);
+  }
+  return out;
+}
+
+BuiltTopology build_fat_tree(int k, Gbps speed) {
+  return build_fat_tree(k, speed, speed);
+}
+
+BuiltTopology build_leaf_spine(int leaves, int spines, int hosts_per_leaf,
+                               Gbps host_speed, Gbps fabric_speed) {
+  if (leaves < 1 || spines < 1 || hosts_per_leaf < 0) {
+    throw std::invalid_argument("leaf-spine dimensions must be positive");
+  }
+  BuiltTopology out;
+  Graph& g = out.graph;
+
+  std::vector<NodeId> spine_ids, leaf_ids;
+  for (int s = 0; s < spines; ++s) {
+    spine_ids.push_back(
+        g.add_node(NodeKind::kSwitch, 2, "spine-" + std::to_string(s)));
+  }
+  for (int l = 0; l < leaves; ++l) {
+    leaf_ids.push_back(
+        g.add_node(NodeKind::kSwitch, 1, "leaf-" + std::to_string(l)));
+    for (NodeId spine : spine_ids) {
+      g.add_link(leaf_ids.back(), spine, fabric_speed, /*optical=*/true);
+    }
+    for (int h = 0; h < hosts_per_leaf; ++h) {
+      const NodeId host =
+          g.add_node(NodeKind::kHost, 0,
+                     "host-" + std::to_string(l) + "-" + std::to_string(h));
+      g.add_link(leaf_ids[l], host, host_speed, /*optical=*/false);
+      out.hosts.push_back(host);
+    }
+  }
+  for (const auto& node : g.nodes()) {
+    if (node.kind == NodeKind::kSwitch) out.switches.push_back(node.id);
+  }
+  return out;
+}
+
+BuiltTopology build_backbone_ring(int pops, int chords, Gbps link_speed) {
+  if (pops < 3) throw std::invalid_argument("backbone needs >= 3 PoPs");
+  if (chords < 0) throw std::invalid_argument("chords must be >= 0");
+  BuiltTopology out;
+  Graph& g = out.graph;
+
+  std::vector<NodeId> routers;
+  for (int i = 0; i < pops; ++i) {
+    routers.push_back(
+        g.add_node(NodeKind::kSwitch, 1, "pop-" + std::to_string(i)));
+  }
+  for (int i = 0; i < pops; ++i) {
+    g.add_link(routers[i], routers[(i + 1) % pops], link_speed,
+               /*optical=*/true);
+  }
+  // Deterministic chords: spread start points around the ring, each jumping
+  // roughly half way (avoiding duplicates of ring edges).
+  for (int c = 0; c < chords; ++c) {
+    const int from = (c * pops) / std::max(chords, 1) % pops;
+    const int to = (from + pops / 2) % pops;
+    if (to != from && (to + 1) % pops != from && (from + 1) % pops != to) {
+      g.add_link(routers[from], routers[to], link_speed, /*optical=*/true);
+    }
+  }
+  // One access host per PoP.
+  for (int i = 0; i < pops; ++i) {
+    const NodeId host =
+        g.add_node(NodeKind::kHost, 0, "access-" + std::to_string(i));
+    g.add_link(routers[i], host, link_speed, /*optical=*/false);
+    out.hosts.push_back(host);
+  }
+  out.switches = routers;
+  return out;
+}
+
+}  // namespace netpp

@@ -1,0 +1,45 @@
+#include "netpp/topo/graph.h"
+
+#include <stdexcept>
+
+namespace netpp {
+
+NodeId Graph::add_node(NodeKind kind, int tier, std::string name) {
+  const auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(Node{id, kind, tier, std::move(name)});
+  adjacency_.emplace_back();
+  return id;
+}
+
+LinkId Graph::add_link(NodeId a, NodeId b, Gbps capacity, bool optical) {
+  if (a >= nodes_.size() || b >= nodes_.size()) {
+    throw std::out_of_range("link endpoint does not exist");
+  }
+  if (a == b) throw std::invalid_argument("self-links are not allowed");
+  if (capacity.value() <= 0.0) {
+    throw std::invalid_argument("link capacity must be positive");
+  }
+  const auto id = static_cast<LinkId>(links_.size());
+  links_.push_back(Link{id, a, b, capacity, optical});
+  adjacency_[a].push_back(Adjacency{id, b});
+  adjacency_[b].push_back(Adjacency{id, a});
+  return id;
+}
+
+std::vector<NodeId> Graph::nodes_of_kind(NodeKind kind) const {
+  std::vector<NodeId> out;
+  for (const auto& node : nodes_) {
+    if (node.kind == kind) out.push_back(node.id);
+  }
+  return out;
+}
+
+std::vector<NodeId> Graph::nodes_at_tier(int tier) const {
+  std::vector<NodeId> out;
+  for (const auto& node : nodes_) {
+    if (node.tier == tier) out.push_back(node.id);
+  }
+  return out;
+}
+
+}  // namespace netpp

@@ -1,0 +1,147 @@
+#include "netpp/topo/maxflow.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+namespace netpp {
+namespace {
+
+/// Compact arc-based residual graph for Edmonds-Karp.
+class ResidualGraph {
+ public:
+  explicit ResidualGraph(std::size_t nodes) : head_(nodes) {}
+
+  void add_edge(std::size_t from, std::size_t to, double capacity) {
+    head_[from].push_back(arcs_.size());
+    arcs_.push_back(Arc{to, capacity});
+    head_[to].push_back(arcs_.size());
+    arcs_.push_back(Arc{from, 0.0});  // residual
+  }
+
+  double run(std::size_t source, std::size_t sink) {
+    double total = 0.0;
+    while (true) {
+      // BFS for a shortest augmenting path.
+      std::vector<std::size_t> via(head_.size(),
+                                   std::numeric_limits<std::size_t>::max());
+      std::vector<bool> seen(head_.size(), false);
+      std::deque<std::size_t> queue;
+      seen[source] = true;
+      queue.push_back(source);
+      while (!queue.empty() && !seen[sink]) {
+        const std::size_t at = queue.front();
+        queue.pop_front();
+        for (std::size_t arc : head_[at]) {
+          if (arcs_[arc].capacity <= 1e-12) continue;
+          const std::size_t next = arcs_[arc].to;
+          if (seen[next]) continue;
+          seen[next] = true;
+          via[next] = arc;
+          queue.push_back(next);
+        }
+      }
+      if (!seen[sink]) break;
+
+      // Bottleneck along the path.
+      double bottleneck = std::numeric_limits<double>::infinity();
+      for (std::size_t at = sink; at != source;) {
+        const std::size_t arc = via[at];
+        bottleneck = std::min(bottleneck, arcs_[arc].capacity);
+        at = arcs_[arc ^ 1].to;
+      }
+      for (std::size_t at = sink; at != source;) {
+        const std::size_t arc = via[at];
+        arcs_[arc].capacity -= bottleneck;
+        arcs_[arc ^ 1].capacity += bottleneck;
+        at = arcs_[arc ^ 1].to;
+      }
+      total += bottleneck;
+    }
+    return total;
+  }
+
+ private:
+  struct Arc {
+    std::size_t to;
+    double capacity;
+  };
+  std::vector<Arc> arcs_;
+  std::vector<std::vector<std::size_t>> head_;
+};
+
+constexpr double kInfiniteCapacity = 1e18;
+
+ResidualGraph build_residual(const Graph& graph, const Router* router,
+                             const std::vector<NodeId>& endpoints,
+                             std::size_t extra_nodes) {
+  ResidualGraph residual{graph.num_nodes() + extra_nodes};
+  const auto endpoint = [&](NodeId id) {
+    return std::find(endpoints.begin(), endpoints.end(), id) !=
+           endpoints.end();
+  };
+  for (const auto& link : graph.links()) {
+    if (router && !router->link_enabled(link.id)) continue;
+    // Transit through disabled nodes is blocked by zeroing their incident
+    // arcs unless the node is an endpoint.
+    const bool a_ok = !router || router->node_enabled(link.a) ||
+                      endpoint(link.a);
+    const bool b_ok = !router || router->node_enabled(link.b) ||
+                      endpoint(link.b);
+    if (!a_ok || !b_ok) continue;
+    residual.add_edge(link.a, link.b, link.capacity.value());
+    residual.add_edge(link.b, link.a, link.capacity.value());
+  }
+  return residual;
+}
+
+}  // namespace
+
+Gbps max_flow(const Graph& graph, NodeId src, NodeId dst,
+              const Router* router) {
+  if (src >= graph.num_nodes() || dst >= graph.num_nodes()) {
+    throw std::out_of_range("max_flow endpoint does not exist");
+  }
+  if (src == dst) throw std::invalid_argument("max_flow: src == dst");
+  auto residual = build_residual(graph, router, {src, dst}, 0);
+  return Gbps{residual.run(src, dst)};
+}
+
+Gbps max_flow(const Graph& graph, const std::vector<NodeId>& sources,
+              const std::vector<NodeId>& sinks, const Router* router) {
+  if (sources.empty() || sinks.empty()) {
+    throw std::invalid_argument("max_flow: empty endpoint set");
+  }
+  for (NodeId s : sources) {
+    if (std::find(sinks.begin(), sinks.end(), s) != sinks.end()) {
+      throw std::invalid_argument("max_flow: sets must be disjoint");
+    }
+  }
+  std::vector<NodeId> endpoints = sources;
+  endpoints.insert(endpoints.end(), sinks.begin(), sinks.end());
+  auto residual = build_residual(graph, router, endpoints, 2);
+  const std::size_t super_source = graph.num_nodes();
+  const std::size_t super_sink = graph.num_nodes() + 1;
+  for (NodeId s : sources) {
+    residual.add_edge(super_source, s, kInfiniteCapacity);
+  }
+  for (NodeId t : sinks) {
+    residual.add_edge(t, super_sink, kInfiniteCapacity);
+  }
+  return Gbps{residual.run(super_source, super_sink)};
+}
+
+Gbps bisection_bandwidth(const BuiltTopology& topology,
+                         const Router* router) {
+  const auto& hosts = topology.hosts;
+  if (hosts.size() < 2) {
+    throw std::invalid_argument("bisection needs at least 2 hosts");
+  }
+  const std::size_t half = hosts.size() / 2;
+  const std::vector<NodeId> left(hosts.begin(), hosts.begin() + half);
+  const std::vector<NodeId> right(hosts.begin() + half, hosts.end());
+  return max_flow(topology.graph, left, right, router);
+}
+
+}  // namespace netpp

@@ -1,0 +1,113 @@
+#include "netpp/topo/routing.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+namespace netpp {
+
+std::vector<NodeId> Path::nodes(const Graph& g) const {
+  std::vector<NodeId> out;
+  out.reserve(links.size() + 1);
+  out.push_back(src);
+  NodeId at = src;
+  for (LinkId lid : links) {
+    at = g.link(lid).other(at);
+    out.push_back(at);
+  }
+  return out;
+}
+
+Router::Router(const Graph& graph)
+    : graph_(graph),
+      node_enabled_(graph.num_nodes(), true),
+      link_enabled_(graph.num_links(), true) {}
+
+void Router::set_node_enabled(NodeId id, bool enabled) {
+  node_enabled_.at(id) = enabled;
+}
+
+void Router::set_link_enabled(LinkId id, bool enabled) {
+  link_enabled_.at(id) = enabled;
+}
+
+std::optional<Path> Router::shortest_path(NodeId src, NodeId dst) const {
+  auto paths = ecmp_paths(src, dst, 1);
+  if (paths.empty()) return std::nullopt;
+  return std::move(paths.front());
+}
+
+std::vector<Path> Router::ecmp_paths(NodeId src, NodeId dst,
+                                     std::size_t max_paths) const {
+  if (src >= graph_.num_nodes() || dst >= graph_.num_nodes()) {
+    throw std::out_of_range("routing endpoint does not exist");
+  }
+  if (src == dst) return {Path{src, dst, {}}};
+  if (max_paths == 0) return {};
+
+  // BFS from src recording hop distances; transit through disabled nodes or
+  // links is forbidden, but src/dst themselves are always usable.
+  constexpr auto kInf = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> dist(graph_.num_nodes(), kInf);
+  std::deque<NodeId> queue;
+  dist[src] = 0;
+  queue.push_back(src);
+  while (!queue.empty()) {
+    const NodeId at = queue.front();
+    queue.pop_front();
+    if (at == dst) continue;  // no need to expand beyond the target
+    for (const auto& adj : graph_.neighbors(at)) {
+      if (!link_enabled_[adj.link]) continue;
+      const NodeId next = adj.neighbor;
+      if (next != dst && !node_enabled_[next]) continue;
+      if (dist[next] != kInf) continue;
+      dist[next] = dist[at] + 1;
+      queue.push_back(next);
+    }
+  }
+  if (dist[dst] == kInf) return {};
+
+  // Enumerate shortest paths by DFS along strictly-decreasing distances
+  // from dst back to src; deterministic by adjacency order.
+  std::vector<Path> out;
+  std::vector<LinkId> stack;
+  // Depth-first from dst towards src over predecessors.
+  auto dfs = [&](auto&& self, NodeId at) -> void {
+    if (out.size() >= max_paths) return;
+    if (at == src) {
+      Path p{src, dst, {}};
+      p.links.assign(stack.rbegin(), stack.rend());
+      out.push_back(std::move(p));
+      return;
+    }
+    for (const auto& adj : graph_.neighbors(at)) {
+      if (!link_enabled_[adj.link]) continue;
+      const NodeId prev = adj.neighbor;
+      if (prev != src && !node_enabled_[prev]) continue;
+      if (dist[prev] == kInf || dist[prev] + 1 != dist[at]) continue;
+      stack.push_back(adj.link);
+      self(self, prev);
+      stack.pop_back();
+      if (out.size() >= max_paths) return;
+    }
+  };
+  dfs(dfs, dst);
+  return out;
+}
+
+std::optional<Path> Router::ecmp_route(NodeId src, NodeId dst,
+                                       std::uint64_t flow_id) const {
+  auto paths = ecmp_paths(src, dst);
+  if (paths.empty()) return std::nullopt;
+  // SplitMix-style avalanche over (src, dst, flow_id).
+  std::uint64_t h = flow_id;
+  h ^= (static_cast<std::uint64_t>(src) << 32) | dst;
+  h += 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return std::move(paths[h % paths.size()]);
+}
+
+}  // namespace netpp

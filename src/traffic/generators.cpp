@@ -1,0 +1,184 @@
+#include "netpp/traffic/generators.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace netpp {
+
+MlTraffic make_ml_training_traffic(const std::vector<NodeId>& hosts,
+                                   const MlTrafficConfig& config) {
+  if (hosts.size() < 2) {
+    throw std::invalid_argument("ML traffic needs at least 2 hosts");
+  }
+  if (config.iterations < 1) {
+    throw std::invalid_argument("need at least one iteration");
+  }
+  if (config.compute_time.value() < 0.0) {
+    throw std::invalid_argument("compute time must be non-negative");
+  }
+  if (config.volume_per_host.value() <= 0.0) {
+    throw std::invalid_argument("volume per host must be positive");
+  }
+
+  const auto n = static_cast<double>(hosts.size());
+  // Every collective moves the same total per host: 2(n-1)/n * V (the
+  // bandwidth-optimal all-reduce volume).
+  const Bits total_per_host = config.volume_per_host * (2.0 * (n - 1.0) / n);
+  if (config.collective == CollectiveKind::kHalvingDoubling &&
+      (hosts.size() & (hosts.size() - 1)) != 0) {
+    throw std::invalid_argument(
+        "halving/doubling requires a power-of-two host count");
+  }
+
+  MlTraffic out;
+  out.flows.reserve(hosts.size() * static_cast<std::size_t>(config.iterations));
+  out.schedule.reserve(static_cast<std::size_t>(config.iterations));
+
+  // Iterations follow a fixed schedule: the generator cannot know the
+  // achieved communication duration (it depends on network speed), so the
+  // caller provisions a communication window (comm_allowance) and flows are
+  // tagged with their iteration so analysis can recover achieved comm times.
+  Seconds t = config.start;
+  for (int k = 0; k < config.iterations; ++k) {
+    PhaseWindow window;
+    window.iteration = k;
+    window.compute_begin = t;
+    window.comm_begin = t + config.compute_time;
+    out.schedule.push_back(window);
+
+    const auto emit = [&](NodeId src, NodeId dst, Bits size) {
+      FlowSpec flow;
+      flow.src = src;
+      flow.dst = dst;
+      flow.size = size;
+      flow.start = window.comm_begin;
+      flow.tag = static_cast<std::uint64_t>(k);
+      out.flows.push_back(flow);
+    };
+
+    switch (config.collective) {
+      case CollectiveKind::kRing:
+        for (std::size_t i = 0; i < hosts.size(); ++i) {
+          emit(hosts[i], hosts[(i + 1) % hosts.size()], total_per_host);
+        }
+        break;
+      case CollectiveKind::kHalvingDoubling: {
+        // log2(n) rounds; reduce-scatter round r exchanges V/2^(r+1) with
+        // partner i XOR 2^r, and the all-gather mirrors it, so we emit one
+        // flow of 2 * V/2^(r+1) per round. Per-host total:
+        // 2V * (1 - 1/n) = 2(n-1)/n * V — identical to the ring.
+        std::size_t rounds = 0;
+        for (std::size_t m = hosts.size(); m > 1; m >>= 1) ++rounds;
+        for (std::size_t r = 0; r < rounds; ++r) {
+          const Bits round_size =
+              config.volume_per_host *
+              (1.0 / static_cast<double>(std::size_t{2} << r));
+          const std::size_t stride = std::size_t{1} << r;
+          for (std::size_t i = 0; i < hosts.size(); ++i) {
+            emit(hosts[i], hosts[i ^ stride], round_size * 2.0);
+          }
+        }
+        break;
+      }
+      case CollectiveKind::kAllToAll:
+        for (std::size_t i = 0; i < hosts.size(); ++i) {
+          for (std::size_t j = 0; j < hosts.size(); ++j) {
+            if (i == j) continue;
+            emit(hosts[i], hosts[j], total_per_host / (n - 1.0));
+          }
+        }
+        break;
+    }
+    t = window.comm_begin + config.comm_allowance;
+  }
+  return out;
+}
+
+std::vector<FlowSpec> make_poisson_traffic(const std::vector<NodeId>& hosts,
+                                           const PoissonTrafficConfig& config) {
+  if (hosts.size() < 2) {
+    throw std::invalid_argument("traffic needs at least 2 hosts");
+  }
+  if (config.arrivals_per_second <= 0.0 || config.duration.value() <= 0.0) {
+    throw std::invalid_argument("need positive rate and duration");
+  }
+  Rng rng{config.seed};
+  std::vector<FlowSpec> out;
+  double t = 0.0;
+  const double end = config.duration.value();
+  while (true) {
+    t += rng.exponential(config.arrivals_per_second);
+    if (t >= end) break;
+    FlowSpec flow;
+    const auto src_idx = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(hosts.size()) - 1));
+    auto dst_idx = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(hosts.size()) - 2));
+    if (dst_idx >= src_idx) ++dst_idx;
+    flow.src = hosts[src_idx];
+    flow.dst = hosts[dst_idx];
+    flow.size = Bits{rng.bounded_pareto(config.pareto_alpha,
+                                        config.min_size.value(),
+                                        config.max_size.value())};
+    flow.start = Seconds{t};
+    out.push_back(flow);
+  }
+  return out;
+}
+
+std::vector<FlowSpec> make_diurnal_traffic(const std::vector<NodeId>& hosts,
+                                           const DiurnalTrafficConfig& config) {
+  if (hosts.size() < 2) {
+    throw std::invalid_argument("traffic needs at least 2 hosts");
+  }
+  if (config.peak_arrivals_per_second <= 0.0 ||
+      config.day_duration.value() <= 0.0 || config.days < 1) {
+    throw std::invalid_argument("need positive rate, day length, and days");
+  }
+  if (config.trough_ratio <= 0.0 || config.trough_ratio > 1.0) {
+    throw std::invalid_argument("trough_ratio must be in (0, 1]");
+  }
+
+  Rng rng{config.seed};
+  std::vector<FlowSpec> out;
+  const double day = config.day_duration.value();
+  const double end = day * config.days;
+  const double peak = config.peak_arrivals_per_second;
+  const double trough = peak * config.trough_ratio;
+  const double mid = 0.5 * (peak + trough);
+  const double amp = 0.5 * (peak - trough);
+
+  const auto rate_at = [&](double t) {
+    const double hour = std::fmod(t, day) / day * 24.0;
+    return mid +
+           amp * std::cos(2.0 * std::numbers::pi * (hour - config.peak_hour) /
+                          24.0);
+  };
+
+  // Thinning (Lewis-Shedler): sample at the peak rate, accept with
+  // probability rate(t)/peak.
+  double t = 0.0;
+  while (true) {
+    t += rng.exponential(peak);
+    if (t >= end) break;
+    if (!rng.bernoulli(rate_at(t) / peak)) continue;
+    FlowSpec flow;
+    const auto src_idx = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(hosts.size()) - 1));
+    auto dst_idx = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(hosts.size()) - 2));
+    if (dst_idx >= src_idx) ++dst_idx;
+    flow.src = hosts[src_idx];
+    flow.dst = hosts[dst_idx];
+    flow.size = Bits{rng.bounded_pareto(config.pareto_alpha,
+                                        config.min_size.value(),
+                                        config.max_size.value())};
+    flow.start = Seconds{t};
+    flow.tag = static_cast<std::uint64_t>(t / day);  // day index
+    out.push_back(flow);
+  }
+  return out;
+}
+
+}  // namespace netpp

@@ -1,0 +1,91 @@
+#include "netpp/traffic/training_loop.h"
+
+#include <stdexcept>
+
+namespace netpp {
+
+TrainingLoopSim::TrainingLoopSim(FlowSimulator& sim, std::vector<NodeId> hosts,
+                                 TrainingLoopConfig config)
+    : sim_(sim), hosts_(std::move(hosts)), config_(config) {
+  if (hosts_.size() < 2) {
+    throw std::invalid_argument("training loop needs at least 2 hosts");
+  }
+  if (config_.iterations < 1) {
+    throw std::invalid_argument("need at least one iteration");
+  }
+  if (config_.compute_time.value() < 0.0) {
+    throw std::invalid_argument("compute time must be non-negative");
+  }
+  if (config_.volume_per_host.value() <= 0.0) {
+    throw std::invalid_argument("volume per host must be positive");
+  }
+  sim_.set_completion_listener(
+      [this](const FlowRecord& record) { on_flow_complete(record); });
+}
+
+void TrainingLoopSim::start() {
+  current_iteration_ = 0;
+  begin_compute();
+}
+
+void TrainingLoopSim::begin_compute() {
+  current_ = IterationRecord{};
+  current_.iteration = current_iteration_;
+  current_.compute_begin = sim_.engine().now();
+  sim_.engine().schedule_after(config_.compute_time,
+                               [this] { begin_communication(); });
+}
+
+void TrainingLoopSim::begin_communication() {
+  current_.comm_begin = sim_.engine().now();
+
+  // Reuse the open-loop generator for one iteration's flow set, starting
+  // right now.
+  MlTrafficConfig gen;
+  gen.compute_time = Seconds{0.0};
+  gen.comm_allowance = Seconds{1.0};  // unused (single iteration)
+  gen.iterations = 1;
+  gen.volume_per_host = config_.volume_per_host;
+  gen.collective = config_.collective;
+  gen.start = sim_.engine().now();
+  const auto traffic = make_ml_training_traffic(hosts_, gen);
+
+  const std::size_t unroutable_before = sim_.unroutable_flows();
+  outstanding_flows_ = traffic.flows.size();
+  for (auto flow : traffic.flows) {
+    flow.tag = static_cast<std::uint64_t>(current_iteration_);
+    sim_.submit(flow);
+  }
+  // Admission happens via engine events at the same timestamp; schedule a
+  // zero-delay check for unroutable flows so a deadlock becomes an error.
+  sim_.engine().schedule_after(Seconds{0.0}, [this, unroutable_before] {
+    if (sim_.unroutable_flows() != unroutable_before) {
+      throw std::runtime_error(
+          "training collective has unroutable flows; topology disconnected");
+    }
+  });
+}
+
+void TrainingLoopSim::on_flow_complete(const FlowRecord& record) {
+  if (record.spec.tag != static_cast<std::uint64_t>(current_iteration_)) {
+    return;  // stale flow from another source sharing the simulator
+  }
+  if (outstanding_flows_ == 0) return;
+  if (--outstanding_flows_ > 0) return;
+
+  current_.comm_end = sim_.engine().now();
+  records_.push_back(current_);
+  ++current_iteration_;
+  if (current_iteration_ < config_.iterations) {
+    begin_compute();
+  }
+}
+
+Seconds TrainingLoopSim::mean_communication_time() const {
+  if (records_.empty()) return Seconds{0.0};
+  Seconds total{};
+  for (const auto& r : records_) total += r.communication_time();
+  return total / static_cast<double>(records_.size());
+}
+
+}  // namespace netpp

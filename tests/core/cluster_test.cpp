@@ -1,0 +1,176 @@
+#include "netpp/cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+namespace netpp {
+namespace {
+
+using namespace netpp::literals;
+
+TEST(ClusterModel, BaselineComputeEnvelope) {
+  const ClusterModel cluster{ClusterConfig{}};
+  EXPECT_DOUBLE_EQ(cluster.compute_envelope().max_power().megawatts(), 7.5);
+  EXPECT_DOUBLE_EQ(cluster.compute_envelope().idle_power().megawatts(),
+                   1.125);
+}
+
+TEST(ClusterModel, BaselineNetworkInventory) {
+  const ClusterModel cluster{ClusterConfig{}};
+  const auto& net = cluster.network();
+  EXPECT_DOUBLE_EQ(net.nics, 15000.0);
+  EXPECT_NEAR(net.tree.switches, 380.0, 5.0);
+  EXPECT_GT(net.transceivers, 0.0);
+  // NICs: 15000 * 25.4 W = 381 kW.
+  EXPECT_NEAR(net.nic_power.kilowatts(), 381.0, 0.1);
+}
+
+TEST(ClusterModel, BaselineNetworkShareNearTwelvePercent) {
+  const ClusterModel cluster{ClusterConfig{}};
+  // Paper §3.1: the network accounts for ~12% of average cluster power.
+  EXPECT_NEAR(cluster.network_share_of_average(), 0.12, 0.01);
+}
+
+TEST(ClusterModel, BaselineNetworkEfficiencyNearElevenPercent) {
+  const ClusterModel cluster{ClusterConfig{}};
+  EXPECT_NEAR(cluster.network_energy_efficiency(), 0.11, 0.005);
+}
+
+TEST(ClusterModel, BaselineComputeShareOfComputationPhase) {
+  // Paper Fig. 2a: GPU&Server ~ 88.1% of the computation-phase power.
+  const ClusterModel cluster{ClusterConfig{}};
+  const auto comp = cluster.phase_power(Phase::kComputation);
+  EXPECT_NEAR(comp.gpu / comp.total(), 0.881, 0.02);
+}
+
+TEST(ClusterModel, CommunicationPhaseRoughlyEvenSplit) {
+  // Paper Fig. 2a: close to 50/50 during communication.
+  const ClusterModel cluster{ClusterConfig{}};
+  const auto comm = cluster.phase_power(Phase::kCommunication);
+  const double network_share = comm.network_active() / comm.total();
+  const double compute_share = comm.idle / comm.total();
+  EXPECT_NEAR(network_share + compute_share, 1.0, 1e-12);
+  EXPECT_NEAR(network_share, 0.5, 0.1);
+}
+
+TEST(ClusterModel, AveragePowerIsDutyWeighted) {
+  const ClusterModel cluster{ClusterConfig{}};
+  const auto comp = cluster.phase_power(Phase::kComputation).total();
+  const auto comm = cluster.phase_power(Phase::kCommunication).total();
+  const double r = cluster.config().communication_ratio;
+  EXPECT_NEAR(cluster.average_total_power().value(),
+              (comp * (1.0 - r) + comm * r).value(), 1e-6);
+  EXPECT_NEAR(cluster.average_power().total().value(),
+              cluster.average_total_power().value(), 1e-6);
+}
+
+TEST(ClusterModel, PeakIsComputationPhaseForBaseline) {
+  const ClusterModel cluster{ClusterConfig{}};
+  EXPECT_DOUBLE_EQ(
+      cluster.peak_total_power().value(),
+      cluster.phase_power(Phase::kComputation).total().value());
+}
+
+TEST(ClusterModel, ProportionalityOnlyAffectsIdleNetworkPower) {
+  const ClusterModel base{ClusterConfig{}};
+  const ClusterModel better = base.with_network_proportionality(0.85);
+  EXPECT_DOUBLE_EQ(better.network_envelope().max_power().value(),
+                   base.network_envelope().max_power().value());
+  EXPECT_LT(better.network_envelope().idle_power().value(),
+            base.network_envelope().idle_power().value());
+  EXPECT_LT(better.average_total_power().value(),
+            base.average_total_power().value());
+}
+
+TEST(ClusterModel, HigherBandwidthMeansBiggerNetworkPower) {
+  ClusterConfig cfg;
+  double prev = 0.0;
+  for (double bw : {100.0, 200.0, 400.0, 800.0, 1600.0}) {
+    cfg.bandwidth_per_gpu = Gbps{bw};
+    const ClusterModel cluster{cfg};
+    const double net = cluster.network().max_power().value();
+    EXPECT_GT(net, prev) << "bw=" << bw;
+    prev = net;
+  }
+}
+
+TEST(ClusterModel, InvalidConfigsThrow) {
+  ClusterConfig cfg;
+  cfg.num_gpus = 0.0;
+  EXPECT_THROW(ClusterModel{cfg}, std::invalid_argument);
+  cfg = ClusterConfig{};
+  cfg.bandwidth_per_gpu = Gbps{0.0};
+  EXPECT_THROW(ClusterModel{cfg}, std::invalid_argument);
+  cfg = ClusterConfig{};
+  cfg.communication_ratio = 1.5;
+  EXPECT_THROW(ClusterModel{cfg}, std::invalid_argument);
+  cfg = ClusterConfig{};
+  cfg.communication_ratio = -0.1;
+  EXPECT_THROW(ClusterModel{cfg}, std::invalid_argument);
+  cfg = ClusterConfig{};
+  cfg.network_proportionality = 1.01;
+  EXPECT_THROW(ClusterModel{cfg}, std::invalid_argument);
+}
+
+TEST(ClusterModel, CustomCatalogIsUsed) {
+  DeviceCatalog::Config cat_cfg;
+  cat_cfg.switch_max = Watts{1500.0};  // twice as hungry
+  const DeviceCatalog catalog{cat_cfg};
+  ClusterConfig cfg;
+  cfg.catalog = &catalog;
+  const ClusterModel custom{cfg};
+  const ClusterModel standard{ClusterConfig{}};
+  EXPECT_NEAR(custom.network().switch_power.value(),
+              2.0 * standard.network().switch_power.value(), 1e-6);
+}
+
+// Parameterized: across bandwidths and proportionalities, phase powers are
+// internally consistent.
+struct ClusterParam {
+  double bandwidth;
+  double proportionality;
+};
+
+class ClusterConsistency : public ::testing::TestWithParam<ClusterParam> {};
+
+TEST_P(ClusterConsistency, BreakdownSumsToEnvelopeTotals) {
+  ClusterConfig cfg;
+  cfg.bandwidth_per_gpu = Gbps{GetParam().bandwidth};
+  cfg.network_proportionality = GetParam().proportionality;
+  const ClusterModel cluster{cfg};
+
+  const auto comp = cluster.phase_power(Phase::kComputation);
+  EXPECT_NEAR(comp.total().value(),
+              (cluster.compute_envelope().max_power() +
+               cluster.network_envelope().idle_power())
+                  .value(),
+              1e-6);
+
+  const auto comm = cluster.phase_power(Phase::kCommunication);
+  EXPECT_NEAR(comm.total().value(),
+              (cluster.compute_envelope().idle_power() +
+               cluster.network_envelope().max_power())
+                  .value(),
+              1e-6);
+}
+
+TEST_P(ClusterConsistency, NetworkEnvelopeMatchesInventory) {
+  ClusterConfig cfg;
+  cfg.bandwidth_per_gpu = Gbps{GetParam().bandwidth};
+  cfg.network_proportionality = GetParam().proportionality;
+  const ClusterModel cluster{cfg};
+  EXPECT_NEAR(cluster.network_envelope().max_power().value(),
+              cluster.network().max_power().value(), 1e-6);
+  EXPECT_NEAR(cluster.network_envelope().proportionality(),
+              GetParam().proportionality, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ClusterConsistency,
+    ::testing::Values(ClusterParam{100.0, 0.0}, ClusterParam{100.0, 0.5},
+                      ClusterParam{200.0, 0.1}, ClusterParam{400.0, 0.1},
+                      ClusterParam{400.0, 0.85}, ClusterParam{800.0, 0.2},
+                      ClusterParam{800.0, 1.0}, ClusterParam{1600.0, 0.5},
+                      ClusterParam{1600.0, 1.0}));
+
+}  // namespace
+}  // namespace netpp

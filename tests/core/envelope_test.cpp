@@ -1,0 +1,121 @@
+#include "netpp/power/envelope.h"
+
+#include <gtest/gtest.h>
+
+namespace netpp {
+namespace {
+
+TEST(PowerEnvelope, ProportionalityDefinition) {
+  // Paper eq. 1 on the paper's own example: 500 W max, 85% proportional
+  // compute => 75 W idle.
+  const auto env = PowerEnvelope::from_proportionality(Watts{500.0}, 0.85);
+  EXPECT_DOUBLE_EQ(env.idle_power().value(), 75.0);
+  EXPECT_DOUBLE_EQ(env.proportionality(), 0.85);
+}
+
+TEST(PowerEnvelope, ZeroProportionalityMeansConstantPower) {
+  const auto env = PowerEnvelope::from_proportionality(Watts{750.0}, 0.0);
+  EXPECT_DOUBLE_EQ(env.idle_power().value(), 750.0);
+  EXPECT_DOUBLE_EQ(env.at_load(0.0).value(), 750.0);
+  EXPECT_DOUBLE_EQ(env.at_load(1.0).value(), 750.0);
+}
+
+TEST(PowerEnvelope, FullProportionalityMeansZeroIdle) {
+  const auto env = PowerEnvelope::from_proportionality(Watts{750.0}, 1.0);
+  EXPECT_DOUBLE_EQ(env.idle_power().value(), 0.0);
+  EXPECT_DOUBLE_EQ(env.proportionality(), 1.0);
+}
+
+TEST(PowerEnvelope, AtLoadInterpolatesAndClamps) {
+  const PowerEnvelope env{Watts{100.0}, Watts{20.0}};
+  EXPECT_DOUBLE_EQ(env.at_load(0.0).value(), 20.0);
+  EXPECT_DOUBLE_EQ(env.at_load(0.5).value(), 60.0);
+  EXPECT_DOUBLE_EQ(env.at_load(1.0).value(), 100.0);
+  EXPECT_DOUBLE_EQ(env.at_load(-1.0).value(), 20.0);
+  EXPECT_DOUBLE_EQ(env.at_load(2.0).value(), 100.0);
+}
+
+TEST(PowerEnvelope, ScaledMultipliesBothStates) {
+  const PowerEnvelope env{Watts{100.0}, Watts{10.0}};
+  const PowerEnvelope big = env.scaled(15000.0);
+  EXPECT_DOUBLE_EQ(big.max_power().value(), 1.5e6);
+  EXPECT_DOUBLE_EQ(big.idle_power().value(), 1.5e5);
+  EXPECT_DOUBLE_EQ(big.proportionality(), env.proportionality());
+}
+
+TEST(PowerEnvelope, SumAddsStates) {
+  const PowerEnvelope a{Watts{100.0}, Watts{10.0}};
+  const PowerEnvelope b{Watts{50.0}, Watts{40.0}};
+  const PowerEnvelope sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.max_power().value(), 150.0);
+  EXPECT_DOUBLE_EQ(sum.idle_power().value(), 50.0);
+}
+
+TEST(PowerEnvelope, InvalidArgumentsThrow) {
+  EXPECT_THROW((PowerEnvelope{Watts{10.0}, Watts{20.0}}),
+               std::invalid_argument);
+  EXPECT_THROW((PowerEnvelope{Watts{10.0}, Watts{-1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(PowerEnvelope::from_proportionality(Watts{10.0}, -0.1),
+               std::invalid_argument);
+  EXPECT_THROW(PowerEnvelope::from_proportionality(Watts{10.0}, 1.1),
+               std::invalid_argument);
+}
+
+TEST(PowerEnvelope, ZeroMaxIsFullyProportional) {
+  const PowerEnvelope env{Watts{0.0}, Watts{0.0}};
+  EXPECT_DOUBLE_EQ(env.proportionality(), 1.0);
+}
+
+TEST(EnergyEfficiency, PaperBaselineNetworkIsElevenPercent) {
+  // 10%-proportional network active 10% of the time (paper §3.1: "the
+  // energy efficiency of the network infrastructure reaches an appallingly
+  // low value of 11%").
+  const auto net = PowerEnvelope::from_proportionality(Watts{1.0}, 0.10);
+  EXPECT_NEAR(energy_efficiency(net, 0.10), 0.11, 0.001);
+}
+
+TEST(EnergyEfficiency, IdealDeviceIsAlwaysFullyEfficient) {
+  const auto ideal = PowerEnvelope::from_proportionality(Watts{1.0}, 1.0);
+  for (double active : {0.0, 0.1, 0.5, 1.0}) {
+    EXPECT_DOUBLE_EQ(energy_efficiency(ideal, active), 1.0);
+  }
+}
+
+TEST(EnergyEfficiency, AlwaysActiveDeviceIsFullyEfficient) {
+  const auto env = PowerEnvelope::from_proportionality(Watts{1.0}, 0.3);
+  EXPECT_DOUBLE_EQ(energy_efficiency(env, 1.0), 1.0);
+}
+
+// Property sweep: efficiency is monotone increasing in both proportionality
+// and activity.
+class EfficiencyMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(EfficiencyMonotonicity, IncreasesWithProportionality) {
+  const double active = GetParam();
+  double prev = -1.0;
+  for (double p = 0.0; p <= 1.0001; p += 0.05) {
+    const auto env =
+        PowerEnvelope::from_proportionality(Watts{1.0}, std::min(p, 1.0));
+    const double eff = energy_efficiency(env, active);
+    EXPECT_GE(eff, prev) << "p=" << p << " active=" << active;
+    prev = eff;
+  }
+}
+
+TEST_P(EfficiencyMonotonicity, IncreasesWithActivity) {
+  const double p = GetParam();
+  const auto env = PowerEnvelope::from_proportionality(Watts{1.0}, p);
+  double prev = -1.0;
+  for (double active = 0.0; active <= 1.0001; active += 0.05) {
+    const double eff = energy_efficiency(env, std::min(active, 1.0));
+    EXPECT_GE(eff, prev) << "p=" << p << " active=" << active;
+    prev = eff;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EfficiencyMonotonicity,
+                         ::testing::Values(0.05, 0.1, 0.25, 0.5, 0.75, 0.95));
+
+}  // namespace
+}  // namespace netpp

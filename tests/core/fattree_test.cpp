@@ -1,0 +1,135 @@
+#include "netpp/topomodel/fattree.h"
+
+#include <gtest/gtest.h>
+
+namespace netpp {
+namespace {
+
+TEST(FatTreeModel, ClassicKaryFatTreeClosedForm) {
+  // k-ary fat tree: k^3/4 hosts, 5k^2/4 switches. k = 48 is the canonical
+  // textbook example: 27648 hosts, 2880 switches.
+  const FatTreeModel model{48};
+  EXPECT_DOUBLE_EQ(model.hosts_at_tier(3), 27648.0);
+  EXPECT_DOUBLE_EQ(model.switches_at_tier(3), 2880.0);
+}
+
+TEST(FatTreeModel, LeafSpineClosedForm) {
+  // 2-tier: R^2/2 hosts with 3R/2 switches.
+  const FatTreeModel model{128};
+  EXPECT_DOUBLE_EQ(model.hosts_at_tier(2), 8192.0);
+  EXPECT_DOUBLE_EQ(model.switches_at_tier(2), 192.0);
+}
+
+TEST(FatTreeModel, SingleTier) {
+  const FatTreeModel model{128};
+  EXPECT_DOUBLE_EQ(model.hosts_at_tier(1), 128.0);
+  EXPECT_DOUBLE_EQ(model.switches_at_tier(1), 1.0);
+}
+
+TEST(FatTreeModel, TiersForHosts) {
+  const FatTreeModel model{128};
+  EXPECT_EQ(model.tiers_for_hosts(1.0), 1);
+  EXPECT_EQ(model.tiers_for_hosts(128.0), 1);
+  EXPECT_EQ(model.tiers_for_hosts(129.0), 2);
+  EXPECT_EQ(model.tiers_for_hosts(8192.0), 2);
+  EXPECT_EQ(model.tiers_for_hosts(8193.0), 3);
+  EXPECT_EQ(model.tiers_for_hosts(15000.0), 3);
+  EXPECT_EQ(model.tiers_for_hosts(524288.0), 3);
+  EXPECT_EQ(model.tiers_for_hosts(524289.0), 4);
+}
+
+TEST(FatTreeModel, ExactTierBoundariesUseClosedForm) {
+  const FatTreeModel model{128};
+  EXPECT_DOUBLE_EQ(model.size_for_hosts(8192.0).switches, 192.0);
+  EXPECT_DOUBLE_EQ(model.size_for_hosts(524288.0).switches, 20480.0);
+}
+
+TEST(FatTreeModel, SingleSwitchForTinyClusters) {
+  const FatTreeModel model{128};
+  const auto size = model.size_for_hosts(10.0);
+  EXPECT_DOUBLE_EQ(size.switches, 1.0);
+  EXPECT_EQ(size.tiers, 1);
+  EXPECT_DOUBLE_EQ(size.inter_switch_links, 0.0);
+  EXPECT_DOUBLE_EQ(size.transceivers, 0.0);
+}
+
+TEST(FatTreeModel, PaperBaselineSizing) {
+  // 15000 hosts at 400 G on 51.2 Tbps switches (radix 128): between the
+  // 2-tier (8192 hosts) and 3-tier (524288 hosts) capacities.
+  const FatTreeModel model{128};
+  const auto size = model.size_for_hosts(15000.0);
+  EXPECT_EQ(size.tiers, 3);
+  EXPECT_GT(size.switches, 192.0);
+  EXPECT_LT(size.switches, 20480.0);
+  // Geometric interpolation: ~380 switches (validated against Table 3).
+  EXPECT_NEAR(size.switches, 380.0, 5.0);
+}
+
+TEST(FatTreeModel, InterpolationIsContinuousAtBoundaries) {
+  const FatTreeModel model{32};
+  // Just below / at / just above the 2-tier boundary (512 hosts).
+  const double at = model.size_for_hosts(512.0).switches;
+  const double below = model.size_for_hosts(511.999).switches;
+  const double above = model.size_for_hosts(512.001).switches;
+  EXPECT_NEAR(below, at, 0.01);
+  EXPECT_NEAR(above, at, 0.01);
+}
+
+TEST(FatTreeModel, PortAccounting) {
+  const FatTreeModel model{128};
+  const auto size = model.size_for_hosts(8192.0);
+  EXPECT_DOUBLE_EQ(size.total_ports, 192.0 * 128.0);
+  EXPECT_DOUBLE_EQ(size.host_ports, 8192.0);
+  // Full 2-tier tree: every leaf has 64 up ports -> 8192 inter-switch links.
+  EXPECT_DOUBLE_EQ(size.inter_switch_links, (192.0 * 128.0 - 8192.0) / 2.0);
+  EXPECT_DOUBLE_EQ(size.transceivers, 2.0 * size.inter_switch_links);
+}
+
+TEST(FatTreeModel, InvalidArgumentsThrow) {
+  EXPECT_THROW(FatTreeModel{0}, std::invalid_argument);
+  EXPECT_THROW(FatTreeModel{-4}, std::invalid_argument);
+  EXPECT_THROW(FatTreeModel{7}, std::invalid_argument);  // odd radix
+  const FatTreeModel model{8};
+  EXPECT_THROW((void)model.hosts_at_tier(0), std::invalid_argument);
+  EXPECT_THROW((void)model.switches_at_tier(-1), std::invalid_argument);
+  EXPECT_THROW((void)model.size_for_hosts(0.5), std::invalid_argument);
+}
+
+// Property sweep across radices: sizing is monotone in host count, and the
+// interpolated switch count always lies between the bracketing tiers.
+class FatTreeProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(FatTreeProperties, SwitchCountMonotoneInHosts) {
+  const FatTreeModel model{GetParam()};
+  double prev = 0.0;
+  for (double hosts = 1.0; hosts <= 100000.0; hosts *= 1.37) {
+    const double s = model.size_for_hosts(hosts).switches;
+    EXPECT_GE(s, prev) << "hosts=" << hosts << " radix=" << GetParam();
+    prev = s;
+  }
+}
+
+TEST_P(FatTreeProperties, InterpolationStaysWithinBrackets) {
+  const FatTreeModel model{GetParam()};
+  for (double hosts = 2.0; hosts <= 200000.0; hosts *= 1.61) {
+    const auto size = model.size_for_hosts(hosts);
+    if (size.tiers == 1) continue;
+    EXPECT_GE(size.switches, model.switches_at_tier(size.tiers - 1));
+    EXPECT_LE(size.switches, model.switches_at_tier(size.tiers));
+  }
+}
+
+TEST_P(FatTreeProperties, EnoughPortsForHostsAndLinks) {
+  const FatTreeModel model{GetParam()};
+  for (double hosts = 2.0; hosts <= 200000.0; hosts *= 2.3) {
+    const auto size = model.size_for_hosts(hosts);
+    EXPECT_GE(size.total_ports,
+              size.host_ports + 2.0 * size.inter_switch_links - 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Radices, FatTreeProperties,
+                         ::testing::Values(4, 8, 16, 32, 64, 128, 256, 512));
+
+}  // namespace
+}  // namespace netpp

@@ -1,0 +1,102 @@
+#include "netpp/analysis/overlap.h"
+
+#include <gtest/gtest.h>
+
+namespace netpp {
+namespace {
+
+using namespace netpp::literals;
+
+const IterationProfile kBaseline{0.9_s, 0.1_s};
+
+TEST(OverlapModel, ZeroOverlapMatchesPhaseModel) {
+  const OverlapModel model{kBaseline, 0.0};
+  EXPECT_DOUBLE_EQ(model.iteration().compute_only.value(), 0.9);
+  EXPECT_DOUBLE_EQ(model.iteration().overlap.value(), 0.0);
+  EXPECT_DOUBLE_EQ(model.iteration().comm_only.value(), 0.1);
+  EXPECT_DOUBLE_EQ(model.iteration_speedup(), 0.0);
+
+  const ClusterModel cluster{ClusterConfig{}};
+  EXPECT_NEAR(model.average_power(cluster).value(),
+              cluster.average_total_power().value(), 1e-6);
+  EXPECT_NEAR(model.network_efficiency(cluster),
+              cluster.network_energy_efficiency(), 1e-12);
+}
+
+TEST(OverlapModel, FullOverlapHidesAllCommunication) {
+  const OverlapModel model{kBaseline, 1.0};
+  EXPECT_DOUBLE_EQ(model.iteration().comm_only.value(), 0.0);
+  EXPECT_DOUBLE_EQ(model.iteration().iteration_time().value(), 0.9);
+  EXPECT_NEAR(model.iteration_speedup(), 1.0 / 0.9 - 1.0, 1e-12);
+}
+
+TEST(OverlapModel, IntervalsSumToIterationTime) {
+  for (double o : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const OverlapModel model{kBaseline, o};
+    const auto& it = model.iteration();
+    EXPECT_NEAR(it.iteration_time().value(), 1.0 - 0.1 * o, 1e-12);
+    EXPECT_NEAR(it.compute_only.value() + it.overlap.value(), 0.9, 1e-12);
+  }
+}
+
+TEST(OverlapModel, NetworkActiveFractionGrowsWithOverlap) {
+  double prev = 0.0;
+  for (double o : {0.0, 0.3, 0.6, 1.0}) {
+    const OverlapModel model{kBaseline, o};
+    const double active = model.iteration().network_active_fraction();
+    EXPECT_GE(active, prev);
+    prev = active;
+  }
+  // With full overlap the network works 0.1 of a 0.9 iteration.
+  const OverlapModel full{kBaseline, 1.0};
+  EXPECT_NEAR(full.iteration().network_active_fraction(), 0.1 / 0.9, 1e-12);
+}
+
+TEST(OverlapModel, EfficiencyImprovesWithOverlap) {
+  // More network-active time = better utilization of the fixed idle draw.
+  const ClusterModel cluster{ClusterConfig{}};
+  double prev = 0.0;
+  for (double o : {0.0, 0.5, 1.0}) {
+    const OverlapModel model{kBaseline, o};
+    const double eff = model.network_efficiency(cluster);
+    EXPECT_GT(eff, prev) << "o=" << o;
+    prev = eff;
+  }
+}
+
+TEST(OverlapModel, SavingsStillSubstantialUnderOverlap) {
+  // §3.4's claim: overlap reduces but does not eliminate the opportunity.
+  const ClusterModel cluster{ClusterConfig{}};
+  const OverlapModel none{kBaseline, 0.0};
+  const OverlapModel half{kBaseline, 0.5};
+  const OverlapModel full{kBaseline, 1.0};
+  const double s_none = none.savings_fraction(cluster, 0.85);
+  const double s_half = half.savings_fraction(cluster, 0.85);
+  const double s_full = full.savings_fraction(cluster, 0.85);
+  EXPECT_GT(s_none, s_half);
+  EXPECT_GT(s_half, s_full);
+  // Even fully-overlapped training keeps most of the savings: the network
+  // still idles through (compute - comm) of each iteration.
+  EXPECT_GT(s_full, 0.5 * s_none);
+}
+
+TEST(OverlapModel, AveragePowerRisesWithOverlap) {
+  // Overlap shortens the iteration: the same energy-ish in less time.
+  const ClusterModel cluster{ClusterConfig{}};
+  const OverlapModel none{kBaseline, 0.0};
+  const OverlapModel full{kBaseline, 1.0};
+  EXPECT_GT(full.average_power(cluster).value(),
+            none.average_power(cluster).value());
+}
+
+TEST(OverlapModel, InvalidInputsThrow) {
+  EXPECT_THROW((OverlapModel{kBaseline, -0.1}), std::invalid_argument);
+  EXPECT_THROW((OverlapModel{kBaseline, 1.1}), std::invalid_argument);
+  // More communication than computation cannot be fully hidden.
+  const IterationProfile comm_heavy{0.1_s, 0.9_s};
+  EXPECT_THROW((OverlapModel{comm_heavy, 1.0}), std::invalid_argument);
+  EXPECT_NO_THROW((OverlapModel{comm_heavy, 0.1}));
+}
+
+}  // namespace
+}  // namespace netpp

@@ -1,0 +1,65 @@
+#include "netpp/analysis/peak_power.h"
+
+#include <gtest/gtest.h>
+
+namespace netpp {
+namespace {
+
+TEST(PeakPower, BaselinePointIsReference) {
+  const auto points = peak_power_sweep(ClusterConfig{}, {0.10});
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_DOUBLE_EQ(points[0].peak_reduction, 0.0);
+  const ClusterModel cluster{ClusterConfig{}};
+  EXPECT_NEAR(points[0].peak.value(), cluster.peak_total_power().value(),
+              1e-6);
+}
+
+TEST(PeakPower, ProportionalityFlattensThePeak) {
+  const auto points =
+      peak_power_sweep(ClusterConfig{}, {0.10, 0.50, 0.85, 1.00});
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LT(points[i].peak.value(), points[i - 1].peak.value());
+    EXPECT_GT(points[i].peak_reduction, points[i - 1].peak_reduction);
+  }
+  // At full proportionality the network draws nothing during computation:
+  // peak = compute max = 7.5 MW; baseline peak ~ 7.5 MW + idle network.
+  EXPECT_NEAR(points.back().peak.megawatts(), 7.5, 0.01);
+}
+
+TEST(PeakPower, ReductionMatchesIdleDrawShaved) {
+  // Peak reduction = network idle at 10% minus idle at p, over the baseline
+  // peak.
+  const ClusterModel cluster{ClusterConfig{}};
+  const double net_max = cluster.network_envelope().max_power().value();
+  const double base_peak = cluster.peak_total_power().value();
+  const auto points = peak_power_sweep(ClusterConfig{}, {0.50});
+  const double expected = net_max * (0.50 - 0.10) / base_peak;
+  EXPECT_NEAR(points[0].peak_reduction, expected, 1e-9);
+}
+
+TEST(PeakPower, PeakToAverageAboveOne) {
+  const auto points = peak_power_sweep(ClusterConfig{}, {0.10, 0.85});
+  for (const auto& p : points) {
+    EXPECT_GT(p.peak_to_average, 1.0);
+  }
+}
+
+TEST(PeakPower, HeadroomBuysGpus) {
+  const double extra = extra_gpus_from_peak_headroom(ClusterConfig{}, 0.85);
+  // Shaved idle ~ 0.75 * ~900 kW ~ 675 kW; a GPU (plus its marginal
+  // network) costs a bit over 500 W -> several hundred extra GPUs.
+  EXPECT_GT(extra, 400.0);
+  EXPECT_LT(extra, 1500.0);
+}
+
+TEST(PeakPower, NoHeadroomAtBaselineProportionality) {
+  EXPECT_NEAR(extra_gpus_from_peak_headroom(ClusterConfig{}, 0.10), 0.0,
+              1.0);
+}
+
+TEST(PeakPower, WorseProportionalityGivesZero) {
+  EXPECT_DOUBLE_EQ(extra_gpus_from_peak_headroom(ClusterConfig{}, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace netpp

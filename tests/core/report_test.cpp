@@ -1,0 +1,70 @@
+#include "netpp/analysis/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace netpp {
+namespace {
+
+TEST(Table, AsciiRendering) {
+  Table t{{"a", "bb"}};
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  const std::string ascii = t.to_ascii();
+  EXPECT_NE(ascii.find("| a   | bb |"), std::string::npos);
+  EXPECT_NE(ascii.find("| 333 | 4  |"), std::string::npos);
+  EXPECT_NE(ascii.find("+-----+----+"), std::string::npos);
+}
+
+TEST(Table, CsvRendering) {
+  Table t{{"name", "value"}};
+  t.add_row({"plain", "1"});
+  t.add_row({"with,comma", "2"});
+  t.add_row({"with\"quote", "3"});
+  EXPECT_EQ(t.to_csv(),
+            "name,value\n"
+            "plain,1\n"
+            "\"with,comma\",2\n"
+            "\"with\"\"quote\",3\n");
+}
+
+TEST(Table, WriteCsvToStream) {
+  Table t{{"x"}};
+  t.add_row({"1"});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "x\n1\n");
+}
+
+TEST(Table, Accessors) {
+  Table t{{"a", "b"}};
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.num_columns(), 2u);
+  EXPECT_EQ(t.row(0)[1], "2");
+  EXPECT_THROW((void)t.row(5), std::out_of_range);
+}
+
+TEST(Table, ArityMismatchThrows) {
+  Table t{{"a", "b"}};
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), std::invalid_argument);
+  EXPECT_THROW(Table{std::vector<std::string>{}}, std::invalid_argument);
+}
+
+TEST(Fmt, Doubles) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 0), "3");
+  EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+}
+
+TEST(Fmt, Percent) {
+  EXPECT_EQ(fmt_percent(0.047), "4.7%");
+  EXPECT_EQ(fmt_percent(0.351), "35.1%");
+  EXPECT_EQ(fmt_percent(1.0, 0), "100%");
+  EXPECT_EQ(fmt_percent(-0.278), "-27.8%");
+}
+
+}  // namespace
+}  // namespace netpp

@@ -1,0 +1,131 @@
+#include "netpp/analysis/savings.h"
+
+#include <gtest/gtest.h>
+
+namespace netpp {
+namespace {
+
+using namespace netpp::literals;
+
+TEST(Savings, BaselineCellIsZero) {
+  const auto cell = savings_at(ClusterConfig{}, 400_Gbps, 0.10, 0.10);
+  EXPECT_DOUBLE_EQ(cell.savings_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(cell.absolute_savings.value(), 0.0);
+}
+
+TEST(Savings, PaperHeadlineNumbers) {
+  // §3.2: ~5% savings at 50% proportionality, ~9% at 85% (400 G cluster).
+  const auto at50 = savings_at(ClusterConfig{}, 400_Gbps, 0.50);
+  const auto at85 = savings_at(ClusterConfig{}, 400_Gbps, 0.85);
+  EXPECT_NEAR(at50.savings_fraction, 0.047, 0.005);
+  EXPECT_NEAR(at85.savings_fraction, 0.088, 0.005);
+}
+
+TEST(Savings, PaperAbsoluteSavings400G50) {
+  // §3.2: "5% power savings convert to an average power draw reduction of
+  // 365 kW" for the 400 G case.
+  const auto cell = savings_at(ClusterConfig{}, 400_Gbps, 0.50);
+  EXPECT_NEAR(cell.absolute_savings.kilowatts(), 365.0, 15.0);
+}
+
+TEST(Savings, Table3ShapeHolds) {
+  const std::vector<Gbps> bws = {100_Gbps, 200_Gbps, 400_Gbps, 800_Gbps,
+                                 1600_Gbps};
+  const std::vector<double> props = {0.10, 0.20, 0.50, 0.85, 1.00};
+  const auto rows = savings_table(ClusterConfig{}, bws, props);
+  ASSERT_EQ(rows.size(), 5u);
+
+  // Within a row, savings grow with proportionality.
+  for (const auto& row : rows) {
+    ASSERT_EQ(row.cells.size(), 5u);
+    for (std::size_t i = 1; i < row.cells.size(); ++i) {
+      EXPECT_GT(row.cells[i].savings_fraction,
+                row.cells[i - 1].savings_fraction)
+          << "bw=" << row.bandwidth.value();
+    }
+  }
+  // Within a column (beyond baseline), savings grow with bandwidth.
+  for (std::size_t c = 1; c < props.size(); ++c) {
+    for (std::size_t r = 1; r < rows.size(); ++r) {
+      EXPECT_GT(rows[r].cells[c].savings_fraction,
+                rows[r - 1].cells[c].savings_fraction)
+          << "col=" << c;
+    }
+  }
+}
+
+TEST(Savings, Table3SelectedCellsMatchPaper) {
+  struct Expected {
+    double bw, prop, paper;
+  };
+  // Paper Table 3 values; tolerance 2 pp absolute (our fat-tree sizing is
+  // a reconstruction; orderings are exact, magnitudes within ~2 pp).
+  const Expected cells[] = {
+      {100.0, 0.20, 0.003},  {100.0, 0.50, 0.012},  {100.0, 1.00, 0.027},
+      {200.0, 0.50, 0.025},  {200.0, 0.85, 0.048},  {400.0, 0.20, 0.012},
+      {400.0, 0.50, 0.047},  {400.0, 0.85, 0.088},  {400.0, 1.00, 0.106},
+      {800.0, 0.50, 0.087},  {800.0, 0.85, 0.164},  {1600.0, 0.50, 0.156},
+      {1600.0, 0.85, 0.293}, {1600.0, 1.00, 0.351},
+  };
+  for (const auto& e : cells) {
+    const auto cell = savings_at(ClusterConfig{}, Gbps{e.bw}, e.prop);
+    EXPECT_NEAR(cell.savings_fraction, e.paper, 0.02)
+        << "bw=" << e.bw << " prop=" << e.prop;
+  }
+}
+
+TEST(Savings, LowerBaselineProportionalityMeansBiggerSavings) {
+  const auto vs10 = savings_at(ClusterConfig{}, 400_Gbps, 0.85, 0.10);
+  const auto vs0 = savings_at(ClusterConfig{}, 400_Gbps, 0.85, 0.0);
+  EXPECT_GT(vs0.savings_fraction, vs10.savings_fraction);
+}
+
+TEST(CostModel, PaperDollarFigures) {
+  // §3.2: 365 kW reduction -> ~$416k/year electricity at 13 c/kWh,
+  // plus ~30% cooling -> ~$125k/year.
+  const CostModel cost;
+  const Watts reduction = Watts::from_kilowatts(365.0);
+  EXPECT_NEAR(cost.annual_electricity_savings(reduction).value(), 416000.0,
+              1000.0);
+  EXPECT_NEAR(cost.annual_cooling_savings(reduction).value(), 125000.0,
+              1000.0);
+  EXPECT_NEAR(cost.annual_total_savings(reduction).value(), 541000.0, 2000.0);
+}
+
+TEST(CostModel, ScalesLinearly) {
+  const CostModel cost;
+  const auto one = cost.annual_total_savings(Watts{1000.0});
+  const auto ten = cost.annual_total_savings(Watts{10000.0});
+  EXPECT_NEAR(ten.value(), 10.0 * one.value(), 1e-6);
+}
+
+TEST(CostModel, CarbonSavings) {
+  // 365 kW avg reduction + 30% cooling at 369 g/kWh:
+  // 365 * 1.3 * 8760 kWh * 369 g = ~1534 t CO2e per year.
+  const CostModel cost;
+  EXPECT_NEAR(cost.annual_co2_savings_tons(Watts::from_kilowatts(365.0)),
+              365.0 * 1.3 * 8760.0 * 369.0 / 1e6, 1e-6);
+  EXPECT_NEAR(cost.annual_co2_savings_tons(Watts::from_kilowatts(365.0)),
+              1534.0, 5.0);
+}
+
+TEST(CostModel, CarbonScalesWithIntensity) {
+  CostModel::Config cfg;
+  cfg.grams_co2_per_kwh = 0.0;  // fully renewable grid
+  const CostModel green{cfg};
+  EXPECT_DOUBLE_EQ(green.annual_co2_savings_tons(Watts{1e6}), 0.0);
+}
+
+TEST(CostModel, CustomRates) {
+  CostModel::Config cfg;
+  cfg.usd_per_kwh = 0.26;  // e.g. European rates
+  cfg.cooling_overhead = 0.0;
+  const CostModel cost{cfg};
+  const Watts reduction = Watts::from_kilowatts(100.0);
+  EXPECT_NEAR(cost.annual_electricity_savings(reduction).value(),
+              100.0 * 8760.0 * 0.26, 1e-6);
+  EXPECT_DOUBLE_EQ(cost.annual_cooling_savings(reduction).value(), 0.0);
+}
+
+}  // namespace
+}  // namespace netpp

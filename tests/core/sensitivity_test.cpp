@@ -1,0 +1,97 @@
+#include "netpp/analysis/sensitivity.h"
+
+#include <gtest/gtest.h>
+
+namespace netpp {
+namespace {
+
+TEST(Sensitivity, BaselineHeadlines) {
+  const auto metrics = headline_metrics(ClusterConfig{});
+  EXPECT_NEAR(metrics.network_share, 0.12, 0.01);
+  EXPECT_NEAR(metrics.network_efficiency, 0.11, 0.005);
+  EXPECT_NEAR(metrics.savings_at_50, 0.047, 0.005);
+  EXPECT_NEAR(metrics.savings_at_85, 0.088, 0.005);
+}
+
+TEST(Sensitivity, SuiteCoversPaperAssumptions) {
+  const auto suite = make_paper_sensitivity_suite();
+  ASSERT_EQ(suite.size(), 5u);
+  for (const auto& param : suite) {
+    EXPECT_FALSE(param.values.empty()) << param.name;
+    EXPECT_TRUE(param.configure) << param.name;
+  }
+}
+
+TEST(Sensitivity, RunProducesOnePointPerValue) {
+  const auto suite = make_paper_sensitivity_suite();
+  const auto points = run_sensitivity(suite);
+  std::size_t expected = 0;
+  for (const auto& p : suite) expected += p.values.size();
+  EXPECT_EQ(points.size(), expected);
+}
+
+TEST(Sensitivity, PaperValuesReproduceBaseline) {
+  // Each sweep contains the paper's nominal value; headline metrics there
+  // must match the unperturbed baseline.
+  const auto base = headline_metrics(ClusterConfig{});
+  const auto suite = make_paper_sensitivity_suite();
+  const double nominal[] = {0.85, 0.10, 750.0, 1.0, 1.0};
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const auto metrics = headline_metrics(suite[i].configure(nominal[i]));
+    EXPECT_NEAR(metrics.network_share, base.network_share, 1e-9)
+        << suite[i].name;
+    EXPECT_NEAR(metrics.savings_at_85, base.savings_at_85, 1e-9)
+        << suite[i].name;
+  }
+}
+
+TEST(Sensitivity, DirectionsAreAsExpected) {
+  const auto suite = make_paper_sensitivity_suite();
+  const auto by_name = [&](const std::string& name) -> const auto& {
+    for (const auto& p : suite) {
+      if (p.name == name) return p;
+    }
+    throw std::out_of_range(name);
+  };
+
+  // Worse compute proportionality -> higher compute idle draw -> smaller
+  // network share -> smaller relative savings.
+  {
+    const auto& p = by_name("compute proportionality");
+    const auto low = headline_metrics(p.configure(0.70));
+    const auto high = headline_metrics(p.configure(0.95));
+    EXPECT_LT(low.savings_at_85, high.savings_at_85);
+  }
+  // Higher communication ratio -> network busier -> better efficiency,
+  // and lower compute average -> larger network share.
+  {
+    const auto& p = by_name("communication ratio");
+    const auto low = headline_metrics(p.configure(0.05));
+    const auto high = headline_metrics(p.configure(0.30));
+    EXPECT_GT(high.network_efficiency, low.network_efficiency);
+    EXPECT_GT(high.network_share, low.network_share);
+  }
+  // Hungrier switches -> larger share and savings.
+  {
+    const auto& p = by_name("switch max power (W)");
+    const auto low = headline_metrics(p.configure(525.0));
+    const auto high = headline_metrics(p.configure(975.0));
+    EXPECT_GT(high.network_share, low.network_share);
+    EXPECT_GT(high.savings_at_85, low.savings_at_85);
+  }
+}
+
+TEST(Sensitivity, HeadlinesAreRobust) {
+  // Across the whole suite, the qualitative story holds: the network is a
+  // sizeable share (>6%) and 85% proportionality saves >4%.
+  const auto points = run_sensitivity(make_paper_sensitivity_suite());
+  for (const auto& point : points) {
+    EXPECT_GT(point.metrics.network_share, 0.06)
+        << point.parameter << "=" << point.value;
+    EXPECT_GT(point.metrics.savings_at_85, 0.04)
+        << point.parameter << "=" << point.value;
+  }
+}
+
+}  // namespace
+}  // namespace netpp

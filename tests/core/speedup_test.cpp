@@ -1,0 +1,187 @@
+#include "netpp/analysis/speedup.h"
+
+#include <gtest/gtest.h>
+
+namespace netpp {
+namespace {
+
+using namespace netpp::literals;
+
+TEST(BudgetSolver, BudgetEqualsBaselineAveragePower) {
+  const auto solver = BudgetSolver::paper_baseline();
+  const ClusterModel baseline{ClusterConfig{}};
+  EXPECT_NEAR(solver.budget().value(),
+              baseline.average_total_power().value(), 1e-6);
+}
+
+TEST(BudgetSolver, BaselineOperatingPointSolvesToBaselineGpuCount) {
+  const auto solver = BudgetSolver::paper_baseline();
+  const auto c =
+      solver.solve(400_Gbps, 0.10, BudgetScenario::kFixedWorkload);
+  EXPECT_NEAR(c.num_gpus, 15000.0, 1.0);
+  EXPECT_NEAR(c.iteration.iteration_time().value(), 1.0, 1e-3);
+}
+
+TEST(BudgetSolver, SolvedClusterConsumesTheBudget) {
+  const auto solver = BudgetSolver::paper_baseline();
+  for (double bw : {100.0, 400.0, 1600.0}) {
+    for (double p : {0.0, 0.5, 1.0}) {
+      const auto c =
+          solver.solve(Gbps{bw}, p, BudgetScenario::kFixedWorkload);
+      EXPECT_NEAR(c.average_power.value() / solver.budget().value(), 1.0,
+                  1e-4)
+          << "bw=" << bw << " p=" << p;
+    }
+  }
+}
+
+TEST(BudgetSolver, BetterProportionalityBuysMoreGpus) {
+  const auto solver = BudgetSolver::paper_baseline();
+  for (auto scenario : {BudgetScenario::kFixedWorkload,
+                        BudgetScenario::kFixedCommRatio}) {
+    double prev = 0.0;
+    for (double p = 0.0; p <= 1.0001; p += 0.25) {
+      const auto c = solver.solve(800_Gbps, std::min(p, 1.0), scenario);
+      EXPECT_GT(c.num_gpus, prev) << "p=" << p;
+      prev = c.num_gpus;
+    }
+  }
+}
+
+TEST(BudgetSolver, AveragePowerMonotoneInGpus) {
+  const auto solver = BudgetSolver::paper_baseline();
+  for (auto scenario : {BudgetScenario::kFixedWorkload,
+                        BudgetScenario::kFixedCommRatio}) {
+    double prev = 0.0;
+    for (double gpus = 1000.0; gpus <= 64000.0; gpus *= 2.0) {
+      const double p =
+          solver.average_power(gpus, 400_Gbps, 0.1, scenario).value();
+      EXPECT_GT(p, prev) << "gpus=" << gpus;
+      prev = p;
+    }
+  }
+}
+
+TEST(Figure3, BaselineSpeedupIsZero) {
+  const auto solver = BudgetSolver::paper_baseline();
+  const auto series =
+      fixed_workload_speedup(solver, {400_Gbps}, {0.10});
+  ASSERT_EQ(series.size(), 1u);
+  ASSERT_EQ(series[0].points.size(), 1u);
+  EXPECT_NEAR(series[0].points[0].speedup, 0.0, 1e-4);
+}
+
+TEST(Figure3, PaperQualitativeClaims) {
+  const auto solver = BudgetSolver::paper_baseline();
+  const std::vector<Gbps> bws = {100_Gbps, 200_Gbps, 400_Gbps, 800_Gbps,
+                                 1600_Gbps};
+  const auto series = fixed_workload_speedup(solver, bws, {0.0, 0.5, 1.0});
+  ASSERT_EQ(series.size(), 5u);
+  const auto speedup = [&](int bw_idx, int p_idx) {
+    return series[bw_idx].points[p_idx].speedup;
+  };
+
+  // At 0% proportionality, lower bandwidths beat higher ones; high
+  // bandwidths lose badly (1600 G around -30%).
+  EXPECT_GT(speedup(1, 0), speedup(2, 0));  // 200 > 400
+  EXPECT_GT(speedup(2, 0), speedup(3, 0));  // 400 > 800
+  EXPECT_GT(speedup(3, 0), speedup(4, 0));  // 800 > 1600
+  EXPECT_LT(speedup(4, 0), -0.20);
+  EXPECT_GT(speedup(4, 0), -0.40);
+
+  // "Even at 50% proportionality, a 200 Gbps network is still faster than a
+  // 400 Gbps one."
+  EXPECT_GT(speedup(1, 1), speedup(2, 1));
+
+  // At 100% proportionality the highest bandwidths win.
+  EXPECT_GT(speedup(4, 2), speedup(2, 2));
+  EXPECT_GT(speedup(3, 2), speedup(2, 2));
+}
+
+TEST(Figure3, SpeedupMonotoneInProportionality) {
+  const auto solver = BudgetSolver::paper_baseline();
+  const auto series = fixed_workload_speedup(
+      solver, {100_Gbps, 800_Gbps}, {0.0, 0.25, 0.5, 0.75, 1.0});
+  for (const auto& s : series) {
+    for (std::size_t i = 1; i < s.points.size(); ++i) {
+      EXPECT_GT(s.points[i].speedup, s.points[i - 1].speedup)
+          << "bw=" << s.bandwidth.value() << " i=" << i;
+    }
+  }
+}
+
+TEST(Figure4, ZeroProportionalityReferenceIsZero) {
+  const auto solver = BudgetSolver::paper_baseline();
+  const auto series = fixed_ratio_speedup(solver, {400_Gbps}, {0.0});
+  EXPECT_NEAR(series[0].points[0].speedup, 0.0, 1e-6);
+}
+
+TEST(Figure4, PaperQualitativeClaims) {
+  const auto solver = BudgetSolver::paper_baseline();
+  const std::vector<Gbps> bws = {100_Gbps, 200_Gbps, 400_Gbps, 800_Gbps,
+                                 1600_Gbps};
+  const auto series = fixed_ratio_speedup(solver, bws, {0.5});
+  // Higher bandwidth gains more from proportionality.
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GT(series[i].points[0].speedup, series[i - 1].points[0].speedup);
+  }
+  // "a network power proportionality of 50% on a 800 Gbps network would
+  // enable a 10% speedup" (we land at ~11%).
+  EXPECT_NEAR(series[3].points[0].speedup, 0.10, 0.03);
+}
+
+TEST(Figure4, FixedRatioKeepsCommunicationRatio) {
+  const auto solver = BudgetSolver::paper_baseline();
+  const auto c = solver.solve(1600_Gbps, 0.7, BudgetScenario::kFixedCommRatio);
+  EXPECT_NEAR(c.iteration.communication_ratio(), 0.10, 1e-9);
+}
+
+TEST(Crossover, BaselineBandwidthCrossesAtItsOwnProportionality) {
+  const auto solver = BudgetSolver::paper_baseline();
+  const auto needed = proportionality_to_match_baseline(solver, 400_Gbps);
+  ASSERT_TRUE(needed.has_value());
+  EXPECT_NEAR(*needed, 0.10, 1e-3);
+}
+
+TEST(Crossover, HigherBandwidthsNeedMoreProportionality) {
+  const auto solver = BudgetSolver::paper_baseline();
+  const auto at800 = proportionality_to_match_baseline(solver, 800_Gbps);
+  const auto at1600 = proportionality_to_match_baseline(solver, 1600_Gbps);
+  ASSERT_TRUE(at800 && at1600);
+  EXPECT_GT(*at800, 0.30);
+  EXPECT_GT(*at1600, *at800);
+  EXPECT_LT(*at1600, 1.0);
+}
+
+TEST(Crossover, TwoHundredGigAlreadyWinsAtZero) {
+  const auto solver = BudgetSolver::paper_baseline();
+  const auto needed = proportionality_to_match_baseline(solver, 200_Gbps);
+  ASSERT_TRUE(needed.has_value());
+  EXPECT_DOUBLE_EQ(*needed, 0.0);
+}
+
+TEST(BudgetSolver, SolvesAtTheTinyEnd) {
+  // A budget derived from a single-GPU cluster solves back to ~1 GPU when
+  // the workload reference matches that cluster.
+  ClusterConfig tiny;
+  tiny.num_gpus = 1.0;
+  const WorkloadModel wl{IterationProfile{0.9_s, 0.1_s}, 1.0, 400_Gbps};
+  const BudgetSolver solver{tiny, wl};
+  const auto c = solver.solve(400_Gbps, 0.10, BudgetScenario::kFixedWorkload);
+  EXPECT_NEAR(c.num_gpus, 1.0, 0.01);
+}
+
+TEST(BudgetSolver, ThrowsWhenBudgetCannotHostOneGpu) {
+  // A 1-GPU budget with the paper's 15000-GPU reference workload: a single
+  // GPU then computes ~15000x longer, its duty cycle approaches pure
+  // computation, and the average power exceeds the baseline's (which spends
+  // 10% of its time in the low-power communication phase).
+  ClusterConfig tiny;
+  tiny.num_gpus = 1.0;
+  const BudgetSolver solver{tiny, WorkloadModel::paper_baseline()};
+  EXPECT_THROW((void)solver.solve(400_Gbps, 0.10, BudgetScenario::kFixedWorkload),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace netpp

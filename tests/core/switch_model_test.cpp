@@ -1,0 +1,124 @@
+#include "netpp/power/switch_model.h"
+
+#include <gtest/gtest.h>
+
+namespace netpp {
+namespace {
+
+TEST(SwitchPowerModel, DefaultsMatchPaperBaseline) {
+  const SwitchPowerModel model;
+  EXPECT_DOUBLE_EQ(model.max_power().value(), 750.0);
+  // Default fractions give 10% proportionality — the paper's baseline.
+  EXPECT_NEAR(model.proportionality(), 0.10, 1e-9);
+  EXPECT_NEAR(model.idle_power().value(), 675.0, 1e-9);
+}
+
+TEST(SwitchPowerModel, ChassisIsThirtyPercent) {
+  const SwitchPowerModel model;
+  EXPECT_NEAR(model.chassis_power().value(), 225.0, 1e-9);
+}
+
+TEST(SwitchPowerModel, PipelinePowerComponents) {
+  const SwitchPowerModel model;
+  // Per pipeline: 750 * 0.40 / 4 = 75 W max.
+  const double max = 75.0;
+  EXPECT_NEAR(model.pipeline_power({true, 1.0, 1.0}).value(), max, 1e-9);
+  // Idle at full clock: leakage + clock = (0.4 + 0.35) * 75.
+  EXPECT_NEAR(model.pipeline_power({true, 1.0, 0.0}).value(), 0.75 * max,
+              1e-9);
+  // Half clock, idle: leakage + 0.5 * clock.
+  EXPECT_NEAR(model.pipeline_power({true, 0.5, 0.0}).value(),
+              (0.4 + 0.35 * 0.5) * max, 1e-9);
+  // Powered off: zero (leakage gone — §4.4's advantage over rate scaling).
+  EXPECT_DOUBLE_EQ(model.pipeline_power({false, 1.0, 0.0}).value(), 0.0);
+}
+
+TEST(SwitchPowerModel, PipelineLoadCannotExceedClock) {
+  const SwitchPowerModel model;
+  EXPECT_THROW((void)model.pipeline_power({true, 0.5, 0.8}), std::invalid_argument);
+  EXPECT_NO_THROW((void)model.pipeline_power({true, 0.5, 0.5}));
+}
+
+TEST(SwitchPowerModel, PortPower) {
+  const SwitchPowerModel model;
+  // Per port: 750 * 0.30 / 64.
+  const double per_port = 750.0 * 0.30 / 64.0;
+  EXPECT_NEAR(model.port_power({true, 1.0}).value(), per_port, 1e-9);
+  EXPECT_NEAR(model.port_power({true, 0.25}).value(), per_port / 4.0, 1e-9);
+  EXPECT_DOUBLE_EQ(model.port_power({false, 1.0}).value(), 0.0);
+  EXPECT_THROW((void)model.port_power({true, 0.0}), std::invalid_argument);
+  EXPECT_THROW((void)model.port_power({true, 1.5}), std::invalid_argument);
+}
+
+TEST(SwitchPowerModel, TotalPowerComposes) {
+  const SwitchPowerModel model;
+  const auto& cfg = model.config();
+  std::vector<PipelineState> pipelines(cfg.num_pipelines,
+                                       PipelineState{true, 1.0, 1.0});
+  std::vector<PortState> ports(cfg.num_ports, PortState{});
+  EXPECT_NEAR(model.total_power(pipelines, ports).value(), 750.0, 1e-9);
+
+  // Park half the pipelines: lose half the pipeline budget.
+  pipelines[0].powered = false;
+  pipelines[1].powered = false;
+  pipelines[2].load = 1.0;
+  pipelines[3].load = 1.0;
+  EXPECT_NEAR(model.total_power(pipelines, ports).value(), 750.0 - 150.0,
+              1e-9);
+}
+
+TEST(SwitchPowerModel, StateVectorSizeMismatchThrows) {
+  const SwitchPowerModel model;
+  std::vector<PipelineState> few(2, PipelineState{});
+  std::vector<PortState> ports(model.config().num_ports, PortState{});
+  EXPECT_THROW((void)model.total_power(few, ports), std::invalid_argument);
+}
+
+TEST(SwitchPowerModel, UniformLoadIsLinear) {
+  const SwitchPowerModel model;
+  const double p0 = model.at_uniform_load(0.0).value();
+  const double p5 = model.at_uniform_load(0.5).value();
+  const double p1 = model.at_uniform_load(1.0).value();
+  EXPECT_NEAR(p5, (p0 + p1) / 2.0, 1e-9);
+  EXPECT_THROW((void)model.at_uniform_load(1.5), std::invalid_argument);
+}
+
+TEST(SwitchPowerModel, InvalidConfigsThrow) {
+  SwitchPowerConfig cfg;
+  cfg.chassis_fraction = 0.5;  // sums to 1.2
+  EXPECT_THROW(SwitchPowerModel{cfg}, std::invalid_argument);
+  cfg = SwitchPowerConfig{};
+  cfg.pipeline_leakage_fraction = 0.9;  // pipeline split sums to 1.5
+  EXPECT_THROW(SwitchPowerModel{cfg}, std::invalid_argument);
+  cfg = SwitchPowerConfig{};
+  cfg.num_pipelines = 0;
+  EXPECT_THROW(SwitchPowerModel{cfg}, std::invalid_argument);
+  cfg = SwitchPowerConfig{};
+  cfg.max_power = Watts{0.0};
+  EXPECT_THROW(SwitchPowerModel{cfg}, std::invalid_argument);
+}
+
+// Proportionality sweep: adjusting the gateable fractions changes the
+// envelope as expected.
+class SwitchModelFractions
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(SwitchModelFractions, ProportionalityMatchesSwitchingShare) {
+  const auto [switching, clock] = GetParam();
+  SwitchPowerConfig cfg;
+  cfg.pipeline_switching_fraction = switching;
+  cfg.pipeline_clock_fraction = clock;
+  cfg.pipeline_leakage_fraction = 1.0 - switching - clock;
+  const SwitchPowerModel model{cfg};
+  // Only switching power scales with load when everything stays on.
+  EXPECT_NEAR(model.proportionality(),
+              cfg.pipelines_fraction * switching, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SwitchModelFractions,
+    ::testing::Values(std::make_tuple(0.25, 0.35), std::make_tuple(0.1, 0.5),
+                      std::make_tuple(0.5, 0.2), std::make_tuple(0.0, 0.5)));
+
+}  // namespace
+}  // namespace netpp

@@ -1,0 +1,29 @@
+// Compile-and-smoke test of the umbrella header: every public module is
+// reachable from one include and the core objects compose.
+#include "netpp/netpp.h"
+
+#include <gtest/gtest.h>
+
+namespace netpp {
+namespace {
+
+TEST(Umbrella, CoreTypesCompose) {
+  using namespace netpp::literals;
+  const ClusterModel cluster{ClusterConfig{}};
+  const auto cell = savings_at(ClusterConfig{}, 400_Gbps, 0.85);
+  EXPECT_GT(cell.savings_fraction, 0.0);
+  EXPECT_GT(cluster.network_share_of_average(), 0.0);
+
+  SimEngine engine;
+  const auto topo = build_leaf_spine(2, 2, 2, 100_Gbps, 100_Gbps);
+  Router router{topo.graph};
+  FlowSimulator sim{topo.graph, router, engine};
+  sim.submit(FlowSpec{topo.hosts[0], topo.hosts[2],
+                      Bits::from_gigabits(1.0), Seconds{0.0}, 0});
+  engine.run();
+  EXPECT_EQ(sim.completed().size(), 1u);
+  EXPECT_GT(bisection_bandwidth(topo).value(), 0.0);
+}
+
+}  // namespace
+}  // namespace netpp

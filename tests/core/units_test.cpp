@@ -1,0 +1,99 @@
+#include "netpp/units.h"
+
+#include <gtest/gtest.h>
+
+namespace netpp {
+namespace {
+
+using namespace netpp::literals;
+
+TEST(Units, WattsArithmetic) {
+  const Watts a{100.0};
+  const Watts b{50.0};
+  EXPECT_DOUBLE_EQ((a + b).value(), 150.0);
+  EXPECT_DOUBLE_EQ((a - b).value(), 50.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).value(), 200.0);
+  EXPECT_DOUBLE_EQ((2.0 * a).value(), 200.0);
+  EXPECT_DOUBLE_EQ((a / 4.0).value(), 25.0);
+  EXPECT_DOUBLE_EQ(a / b, 2.0);
+  EXPECT_DOUBLE_EQ((-a).value(), -100.0);
+}
+
+TEST(Units, CompoundAssignment) {
+  Watts w{10.0};
+  w += Watts{5.0};
+  EXPECT_DOUBLE_EQ(w.value(), 15.0);
+  w -= Watts{3.0};
+  EXPECT_DOUBLE_EQ(w.value(), 12.0);
+  w *= 2.0;
+  EXPECT_DOUBLE_EQ(w.value(), 24.0);
+  w /= 4.0;
+  EXPECT_DOUBLE_EQ(w.value(), 6.0);
+}
+
+TEST(Units, Comparisons) {
+  EXPECT_LT(Watts{1.0}, Watts{2.0});
+  EXPECT_GT(Gbps{400.0}, Gbps{100.0});
+  EXPECT_EQ(Seconds{1.0}, Seconds{1.0});
+  EXPECT_LE(Joules{3.0}, Joules{3.0});
+}
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(Watts::from_kilowatts(1.5).value(), 1500.0);
+  EXPECT_DOUBLE_EQ(Watts::from_megawatts(2.0).kilowatts(), 2000.0);
+  EXPECT_DOUBLE_EQ(Watts{750.0}.megawatts(), 0.00075);
+  EXPECT_DOUBLE_EQ(Gbps::from_tbps(51.2).value(), 51200.0);
+  EXPECT_DOUBLE_EQ(Gbps{400.0}.tbps(), 0.4);
+  EXPECT_DOUBLE_EQ(Gbps{1.0}.bits_per_second(), 1e9);
+  EXPECT_DOUBLE_EQ(Seconds::from_hours(2.0).value(), 7200.0);
+  EXPECT_DOUBLE_EQ(Seconds::from_milliseconds(1.0).value(), 1e-3);
+  EXPECT_DOUBLE_EQ(Seconds::from_microseconds(1.0).value(), 1e-6);
+  EXPECT_DOUBLE_EQ(Seconds::from_nanoseconds(1.0).value(), 1e-9);
+  EXPECT_DOUBLE_EQ(Joules::from_kilowatt_hours(1.0).value(), 3.6e6);
+  EXPECT_DOUBLE_EQ(Joules{3.6e6}.kilowatt_hours(), 1.0);
+  EXPECT_DOUBLE_EQ(Bits::from_gigabits(2.0).value(), 2e9);
+  EXPECT_DOUBLE_EQ(Bits::from_bytes(1.0).value(), 8.0);
+}
+
+TEST(Units, CrossUnitRelations) {
+  // 1 kW for 1 hour = 1 kWh.
+  const Joules e = Watts::from_kilowatts(1.0) * Seconds::from_hours(1.0);
+  EXPECT_DOUBLE_EQ(e.kilowatt_hours(), 1.0);
+  EXPECT_DOUBLE_EQ((e / Seconds::from_hours(1.0)).kilowatts(), 1.0);
+  EXPECT_DOUBLE_EQ((e / Watts::from_kilowatts(1.0)).hours(), 1.0);
+
+  // 400 Gbps for 1 s moves 400 Gbit.
+  const Bits v = Gbps{400.0} * Seconds{1.0};
+  EXPECT_DOUBLE_EQ(v.gigabits(), 400.0);
+  EXPECT_DOUBLE_EQ((v / Gbps{400.0}).value(), 1.0);
+  EXPECT_DOUBLE_EQ((v / Seconds{2.0}).value(), 200.0);
+}
+
+TEST(Units, Literals) {
+  EXPECT_DOUBLE_EQ((400.0_W).value(), 400.0);
+  EXPECT_DOUBLE_EQ((400_W).value(), 400.0);
+  EXPECT_DOUBLE_EQ((1.5_kW).value(), 1500.0);
+  EXPECT_DOUBLE_EQ((2.0_MW).value(), 2e6);
+  EXPECT_DOUBLE_EQ((51.2_Tbps).value(), 51200.0);
+  EXPECT_DOUBLE_EQ((400_Gbps).value(), 400.0);
+  EXPECT_DOUBLE_EQ((1.0_ms).value(), 1e-3);
+  EXPECT_DOUBLE_EQ((5.0_us).value(), 5e-6);
+  EXPECT_DOUBLE_EQ((3_s).value(), 3.0);
+}
+
+TEST(Units, Formatting) {
+  EXPECT_EQ(to_string(Watts{1.5e6}), "1.5 MW");
+  EXPECT_EQ(to_string(Watts{750.0}), "750 W");
+  EXPECT_EQ(to_string(Gbps{400.0}), "400 Gbps");
+  EXPECT_EQ(to_string(Seconds{0.001}), "1 ms");
+}
+
+TEST(Units, DefaultIsZero) {
+  EXPECT_DOUBLE_EQ(Watts{}.value(), 0.0);
+  EXPECT_DOUBLE_EQ(Gbps{}.value(), 0.0);
+  EXPECT_DOUBLE_EQ(Seconds{}.value(), 0.0);
+  EXPECT_DOUBLE_EQ(Joules{}.value(), 0.0);
+}
+
+}  // namespace
+}  // namespace netpp

@@ -1,0 +1,201 @@
+// Cross-cutting invariants: conservation, determinism, and stress behaviour
+// of the simulation substrate under randomized (but seeded) inputs.
+#include <gtest/gtest.h>
+
+#include "netpp/netsim/fairshare.h"
+#include "netpp/netsim/flowsim.h"
+#include "netpp/sim/random.h"
+#include "netpp/topo/builders.h"
+
+namespace netpp {
+namespace {
+
+using namespace netpp::literals;
+
+// --- Flow simulator -------------------------------------------------------
+
+std::vector<FlowSpec> random_flows(const BuiltTopology& topo, int count,
+                                   std::uint64_t seed) {
+  Rng rng{seed};
+  std::vector<FlowSpec> flows;
+  for (int i = 0; i < count; ++i) {
+    FlowSpec f;
+    const auto a = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(topo.hosts.size()) - 1));
+    auto b = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(topo.hosts.size()) - 2));
+    if (b >= a) ++b;
+    f.src = topo.hosts[a];
+    f.dst = topo.hosts[b];
+    f.size = Bits::from_gigabits(rng.uniform(0.1, 5.0));
+    f.start = Seconds{rng.uniform(0.0, 2.0)};
+    f.tag = static_cast<std::uint64_t>(i);
+    flows.push_back(f);
+  }
+  return flows;
+}
+
+class FlowSimInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlowSimInvariants, AllBitsAreConserved) {
+  const auto topo = build_fat_tree(4, 100_Gbps);
+  SimEngine engine;
+  Router router{topo.graph};
+  FlowSimulator sim{topo.graph, router, engine};
+  const auto flows = random_flows(topo, 80, GetParam());
+  double injected_bits = 0.0;
+  for (const auto& f : flows) {
+    sim.submit(f);
+    injected_bits += f.size.value();
+  }
+  engine.run();
+  ASSERT_EQ(sim.completed().size(), flows.size());
+  double completed_bits = 0.0;
+  for (const auto& r : sim.completed()) completed_bits += r.spec.size.value();
+  EXPECT_NEAR(completed_bits, injected_bits, injected_bits * 1e-12);
+  EXPECT_EQ(sim.active_flows(), 0u);
+}
+
+TEST_P(FlowSimInvariants, CompletionsAreCausal) {
+  const auto topo = build_fat_tree(4, 100_Gbps);
+  SimEngine engine;
+  Router router{topo.graph};
+  FlowSimulator sim{topo.graph, router, engine};
+  for (const auto& f : random_flows(topo, 60, GetParam())) sim.submit(f);
+  engine.run();
+  for (const auto& r : sim.completed()) {
+    // A flow cannot finish before its start plus its line-rate service time
+    // (access links are 100 G).
+    const double min_fct = r.spec.size.value() / 100e9;
+    EXPECT_GE(r.fct().value(), min_fct - 1e-9);
+  }
+  // Completion list is ordered by finish time.
+  for (std::size_t i = 1; i < sim.completed().size(); ++i) {
+    EXPECT_GE(sim.completed()[i].finished.value(),
+              sim.completed()[i - 1].finished.value());
+  }
+}
+
+TEST_P(FlowSimInvariants, RunsAreDeterministic) {
+  const auto run_once = [&](std::uint64_t seed) {
+    const auto topo = build_fat_tree(4, 100_Gbps);
+    SimEngine engine;
+    Router router{topo.graph};
+    FlowSimulator sim{topo.graph, router, engine};
+    for (const auto& f : random_flows(topo, 50, seed)) sim.submit(f);
+    engine.run();
+    std::vector<std::pair<std::uint64_t, double>> out;
+    for (const auto& r : sim.completed()) {
+      out.emplace_back(r.spec.tag, r.finished.value());
+    }
+    return out;
+  };
+  const auto a = run_once(GetParam());
+  const auto b = run_once(GetParam());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].first, b[i].first);
+    EXPECT_DOUBLE_EQ(a[i].second, b[i].second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowSimInvariants,
+                         ::testing::Values(1u, 7u, 42u, 1337u));
+
+// --- Fair share ------------------------------------------------------------
+
+class FairShareInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FairShareInvariants, FeasibleAndMaximal) {
+  Rng rng{GetParam()};
+  const std::size_t num_res = 12;
+  std::vector<double> caps(num_res);
+  for (auto& c : caps) c = rng.uniform(10.0, 100.0);
+
+  std::vector<FairShareFlow> flows;
+  for (int f = 0; f < 30; ++f) {
+    FairShareFlow flow;
+    const int hops = static_cast<int>(rng.uniform_int(1, 4));
+    for (int h = 0; h < hops; ++h) {
+      const auto r = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(num_res) - 1));
+      if (std::find(flow.resources.begin(), flow.resources.end(), r) ==
+          flow.resources.end()) {
+        flow.resources.push_back(r);
+      }
+    }
+    if (rng.bernoulli(0.3)) flow.cap = rng.uniform(1.0, 20.0);
+    flows.push_back(std::move(flow));
+  }
+
+  const auto rates = max_min_fair_rates(flows, caps);
+
+  // Feasibility.
+  std::vector<double> used(num_res, 0.0);
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    EXPECT_GE(rates[f], 0.0);
+    if (flows[f].cap > 0.0) {
+      EXPECT_LE(rates[f], flows[f].cap + 1e-9);
+    }
+    for (auto r : flows[f].resources) used[r] += rates[f];
+  }
+  for (std::size_t r = 0; r < num_res; ++r) {
+    EXPECT_LE(used[r], caps[r] + 1e-9) << "resource " << r;
+  }
+
+  // Maximality: every flow is pinned by its cap or by a saturated resource.
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    if (flows[f].cap > 0.0 && rates[f] >= flows[f].cap - 1e-9) continue;
+    bool pinned = false;
+    for (auto r : flows[f].resources) {
+      if (used[r] >= caps[r] - 1e-6) pinned = true;
+    }
+    EXPECT_TRUE(pinned) << "flow " << f << " could still grow";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FairShareInvariants,
+                         ::testing::Values(3u, 11u, 99u, 12345u, 777u));
+
+// --- Engine stress ----------------------------------------------------------
+
+TEST(EngineStress, TenThousandRandomEventsExecuteInOrder) {
+  SimEngine engine;
+  Rng rng{2024};
+  double last = -1.0;
+  int executed = 0;
+  for (int i = 0; i < 10000; ++i) {
+    engine.schedule_at(Seconds{rng.uniform(0.0, 100.0)}, [&, i] {
+      const double now = engine.now().value();
+      EXPECT_GE(now, last);
+      last = now;
+      ++executed;
+      // Occasionally spawn follow-up work.
+      if (i % 97 == 0) {
+        engine.schedule_after(Seconds{0.5}, [&] { ++executed; });
+      }
+    });
+  }
+  engine.run();
+  EXPECT_GE(executed, 10000);
+  EXPECT_TRUE(engine.empty());
+}
+
+TEST(EngineStress, MassCancellation) {
+  SimEngine engine;
+  std::vector<SimEngine::EventId> ids;
+  int executed = 0;
+  for (int i = 0; i < 5000; ++i) {
+    ids.push_back(engine.schedule_at(Seconds{static_cast<double>(i)},
+                                     [&] { ++executed; }));
+  }
+  // Cancel every other event.
+  for (std::size_t i = 0; i < ids.size(); i += 2) {
+    EXPECT_TRUE(engine.cancel(ids[i]));
+  }
+  EXPECT_EQ(engine.run(), 2500u);
+  EXPECT_EQ(executed, 2500);
+}
+
+}  // namespace
+}  // namespace netpp

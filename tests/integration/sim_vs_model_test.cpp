@@ -1,0 +1,137 @@
+// Cross-validation test: on a topology both can describe exactly (k=4 fat
+// tree, 16 hosts), the flow-level simulator's measured network power must
+// match the closed-form §2 cluster model at the paper's baseline operating
+// point, and never exceed it (the model charges the whole fabric at max
+// during communication; the simulator only the devices on flow paths).
+#include <gtest/gtest.h>
+
+#include "netpp/cluster/cluster.h"
+#include "netpp/netsim/energy_tracker.h"
+#include "netpp/topo/builders.h"
+#include "netpp/traffic/generators.h"
+
+namespace netpp {
+namespace {
+
+using namespace netpp::literals;
+
+constexpr double kSwitchMaxW = 180.0;
+constexpr double kNicMaxW = 8.6;
+constexpr double kTransceiverMaxW = 4.0;
+
+DeviceCatalog small_catalog() {
+  DeviceCatalog::Config cfg;
+  cfg.switch_max = Watts{kSwitchMaxW};
+  cfg.switch_capacity = Gbps{400.0};
+  cfg.nic_watts = {{100.0, kNicMaxW}};
+  cfg.transceiver_watts = {{100.0, kTransceiverMaxW}};
+  return DeviceCatalog{cfg};
+}
+
+Watts simulate_average_network_power(double proportionality,
+                                     double* efficiency = nullptr) {
+  const auto topo = build_fat_tree(4, 100_Gbps);
+  SimEngine engine;
+  Router router{topo.graph};
+  FlowSimulator sim{topo.graph, router, engine};
+
+  FabricEnergyTracker::Config tcfg;
+  tcfg.network_proportionality = proportionality;
+  tcfg.switch_max = Watts{kSwitchMaxW};
+  tcfg.nic_max = Watts{kNicMaxW};
+  tcfg.transceiver_max = Watts{kTransceiverMaxW};
+  FabricEnergyTracker tracker{sim, tcfg};
+  sim.set_load_listener(tracker.listener());
+  tracker.on_load_change(0.0_s);
+
+  MlTrafficConfig mcfg;
+  mcfg.compute_time = 0.9_s;
+  mcfg.comm_allowance = 0.1_s;
+  mcfg.iterations = 10;
+  mcfg.volume_per_host = Bits::from_gigabits(10.0 * 16.0 / 30.0);
+  const auto traffic = make_ml_training_traffic(topo.hosts, mcfg);
+  for (const auto& flow : traffic.flows) sim.submit(flow);
+  engine.run();
+  const Seconds horizon{10.0};
+  engine.run_until(horizon);
+  tracker.on_load_change(horizon);
+  if (efficiency) *efficiency = tracker.network_energy_efficiency(horizon);
+  return tracker.average_network_power(horizon);
+}
+
+TEST(SimVsModel, InventoriesAgreeExactly) {
+  const DeviceCatalog catalog = small_catalog();
+  ClusterConfig cfg;
+  cfg.num_gpus = 16.0;
+  cfg.bandwidth_per_gpu = 100_Gbps;
+  cfg.catalog = &catalog;
+  const ClusterModel cluster{cfg};
+  const auto topo = build_fat_tree(4, 100_Gbps);
+
+  EXPECT_DOUBLE_EQ(cluster.network().tree.switches,
+                   static_cast<double>(topo.switches.size()));
+  std::size_t optical = 0;
+  for (const auto& link : topo.graph.links()) {
+    if (link.optical) ++optical;
+  }
+  EXPECT_DOUBLE_EQ(cluster.network().transceivers,
+                   static_cast<double>(2 * optical));
+}
+
+TEST(SimVsModel, BaselinePowerMatchesWithinOnePercent) {
+  const DeviceCatalog catalog = small_catalog();
+  ClusterConfig cfg;
+  cfg.num_gpus = 16.0;
+  cfg.bandwidth_per_gpu = 100_Gbps;
+  cfg.communication_ratio = 0.10;
+  cfg.network_proportionality = 0.10;
+  cfg.catalog = &catalog;
+  const ClusterModel cluster{cfg};
+  const Watts model = cluster.network_envelope().duty_cycle_average(0.10);
+
+  double efficiency = 0.0;
+  const Watts simulated = simulate_average_network_power(0.10, &efficiency);
+  EXPECT_NEAR(simulated / model, 1.0, 0.01);
+  // Efficiency in the same ballpark as the paper's 11%.
+  EXPECT_NEAR(efficiency, cluster.network_energy_efficiency(), 0.03);
+}
+
+TEST(SimVsModel, SimulatorNeverExceedsTheModel) {
+  const DeviceCatalog catalog = small_catalog();
+  for (double p : {0.10, 0.50, 1.00}) {
+    ClusterConfig cfg;
+    cfg.num_gpus = 16.0;
+    cfg.bandwidth_per_gpu = 100_Gbps;
+    cfg.communication_ratio = 0.10;
+    cfg.network_proportionality = p;
+    cfg.catalog = &catalog;
+    const ClusterModel cluster{cfg};
+    const Watts model = cluster.network_envelope().duty_cycle_average(0.10);
+    const Watts simulated = simulate_average_network_power(p);
+    EXPECT_LE(simulated.value(), model.value() * (1.0 + 1e-6)) << "p=" << p;
+  }
+}
+
+TEST(SimVsModel, GapGrowsWithProportionality) {
+  // At high proportionality, idle power vanishes and the model's
+  // whole-fabric-at-max assumption dominates the comparison.
+  const DeviceCatalog catalog = small_catalog();
+  double prev_gap = -1.0;
+  for (double p : {0.10, 0.50, 1.00}) {
+    ClusterConfig cfg;
+    cfg.num_gpus = 16.0;
+    cfg.bandwidth_per_gpu = 100_Gbps;
+    cfg.communication_ratio = 0.10;
+    cfg.network_proportionality = p;
+    cfg.catalog = &catalog;
+    const ClusterModel cluster{cfg};
+    const Watts model = cluster.network_envelope().duty_cycle_average(0.10);
+    const Watts simulated = simulate_average_network_power(p);
+    const double gap = 1.0 - simulated / model;
+    EXPECT_GT(gap, prev_gap) << "p=" << p;
+    prev_gap = gap;
+  }
+}
+
+}  // namespace
+}  // namespace netpp

@@ -1,0 +1,130 @@
+#include "netpp/mech/downrate.h"
+
+#include <gtest/gtest.h>
+
+namespace netpp {
+namespace {
+
+AggregateLoadTrace constant_trace(double load, double duration) {
+  AggregateLoadTrace trace;
+  trace.times = {Seconds{0.0}};
+  trace.loads = {load};
+  trace.end = Seconds{duration};
+  return trace;
+}
+
+/// Diurnal-ish two-level trace: low load for the first half, high after,
+/// sampled every `step` seconds so dwell logic has boundaries to act on.
+AggregateLoadTrace two_level_trace(double low, double high, double duration,
+                                   double step = 10.0) {
+  AggregateLoadTrace trace;
+  for (double t = 0.0; t < duration; t += step) {
+    trace.times.push_back(Seconds{t});
+    trace.loads.push_back(t < duration / 2.0 ? low : high);
+  }
+  trace.end = Seconds{duration};
+  return trace;
+}
+
+TEST(Downrate, FullLoadStaysAtNominal) {
+  const auto result =
+      simulate_downrating(constant_trace(0.9, 1000.0), DownrateConfig{});
+  EXPECT_EQ(result.transitions, 0u);
+  EXPECT_NEAR(result.savings_fraction, 0.0, 1e-12);
+  EXPECT_NEAR(result.mean_speed.value(), 400.0, 1e-9);
+}
+
+TEST(Downrate, IdleLinkStepsToBottomAfterDwell) {
+  DownrateConfig cfg;
+  cfg.down_dwell = Seconds{60.0};
+  const auto result =
+      simulate_downrating(two_level_trace(0.01, 0.01, 1000.0), cfg);
+  EXPECT_EQ(result.transitions, 1u);
+  EXPECT_LT(result.mean_speed.value(), 150.0);
+  // Power at 100 G (both ends 2x4 W) vs nominal (2x10 W): the long tail at
+  // the bottom step dominates.
+  EXPECT_GT(result.savings_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(result.violation_time.value(), 0.0);
+}
+
+TEST(Downrate, DiurnalCycleSavesAndServes) {
+  DownrateConfig cfg;
+  cfg.down_dwell = Seconds{30.0};
+  // Night at 10%, day at 70% of 400 G.
+  const auto result =
+      simulate_downrating(two_level_trace(0.10, 0.70, 2000.0), cfg);
+  EXPECT_GE(result.transitions, 2u);  // down at night, up for the day
+  EXPECT_GT(result.savings_fraction, 0.10);
+  EXPECT_DOUBLE_EQ(result.violation_time.value(), 0.0);
+}
+
+TEST(Downrate, StepUpIsImmediate) {
+  DownrateConfig cfg;
+  cfg.down_dwell = Seconds{1e6};  // never steps down
+  const auto result =
+      simulate_downrating(two_level_trace(0.10, 0.70, 1000.0), cfg);
+  EXPECT_EQ(result.transitions, 0u);  // started at nominal, never left
+  EXPECT_NEAR(result.mean_speed.value(), 400.0, 1e-9);
+}
+
+TEST(Downrate, HeadroomPreventsViolations) {
+  DownrateConfig cfg;
+  cfg.down_dwell = Seconds{10.0};
+  cfg.headroom = 0.25;
+  // Load 0.19: 0.19*400*1.25 = 95 G -> 100 G step covers the 76 G offered.
+  const auto result =
+      simulate_downrating(two_level_trace(0.19, 0.19, 500.0), cfg);
+  EXPECT_DOUBLE_EQ(result.violation_time.value(), 0.0);
+  EXPECT_NEAR(result.mean_speed.value(), 100.0, 15.0);
+}
+
+TEST(Downrate, BuggyGatingSavesNothing) {
+  // The paper: "savings are limited - supposedly because few components are
+  // powered off."
+  DownrateConfig cfg;
+  cfg.gating_effectiveness = 0.0;
+  cfg.down_dwell = Seconds{10.0};
+  const auto result =
+      simulate_downrating(two_level_trace(0.01, 0.01, 500.0), cfg);
+  EXPECT_NEAR(result.savings_fraction, 0.0, 1e-12);
+  EXPECT_GT(result.transitions, 0u);  // it *does* down-rate, uselessly
+}
+
+TEST(Downrate, PartialGatingScalesSavings) {
+  DownrateConfig full, half;
+  full.down_dwell = half.down_dwell = Seconds{10.0};
+  half.gating_effectiveness = 0.5;
+  const auto trace = two_level_trace(0.01, 0.01, 500.0);
+  const auto r_full = simulate_downrating(trace, full);
+  const auto r_half = simulate_downrating(trace, half);
+  EXPECT_NEAR(r_half.savings_fraction, r_full.savings_fraction / 2.0, 0.02);
+}
+
+TEST(Downrate, TransitionsCostOutage) {
+  DownrateConfig cfg;
+  cfg.down_dwell = Seconds{10.0};
+  cfg.transition_outage = Seconds::from_milliseconds(50.0);
+  const auto result =
+      simulate_downrating(two_level_trace(0.05, 0.70, 1000.0), cfg);
+  EXPECT_NEAR(result.outage_time.value(),
+              0.05 * static_cast<double>(result.transitions), 1e-9);
+}
+
+TEST(Downrate, InvalidConfigsThrow) {
+  const auto trace = constant_trace(0.5, 10.0);
+  DownrateConfig cfg;
+  cfg.ladder = {};
+  EXPECT_THROW((void)simulate_downrating(trace, cfg), std::invalid_argument);
+  cfg = DownrateConfig{};
+  cfg.ladder = {400.0, 100.0};
+  EXPECT_THROW((void)simulate_downrating(trace, cfg), std::invalid_argument);
+  cfg = DownrateConfig{};
+  cfg.ladder = {100.0, 200.0};  // does not top out at nominal
+  EXPECT_THROW((void)simulate_downrating(trace, cfg), std::invalid_argument);
+  cfg = DownrateConfig{};
+  cfg.gating_effectiveness = 1.5;
+  EXPECT_THROW((void)simulate_downrating(trace, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace netpp

@@ -1,0 +1,140 @@
+#include "netpp/mech/eee.h"
+
+#include <gtest/gtest.h>
+
+namespace netpp {
+namespace {
+
+using namespace netpp::literals;
+
+EeeConfig fast_config() {
+  EeeConfig cfg;
+  cfg.link_rate = 100_Gbps;
+  cfg.active_power = 4.0_W;
+  cfg.lpi_power_fraction = 0.10;
+  cfg.sleep_time = Seconds::from_microseconds(2.88);
+  cfg.wake_time = Seconds::from_microseconds(4.48);
+  return cfg;
+}
+
+TEST(Eee, IdleLinkSleepsAlmostTheWholeTime) {
+  const auto result = simulate_eee_link(fast_config(), {}, 1.0_s);
+  EXPECT_GT(result.lpi_time_fraction, 0.999);
+  EXPECT_NEAR(result.energy_savings_fraction, 0.9, 0.001);
+  EXPECT_EQ(result.wake_transitions, 0u);
+}
+
+TEST(Eee, SaturatedLinkSavesNothing) {
+  // Back-to-back frames leave no idle gaps.
+  std::vector<EeeFrame> frames;
+  const double frame_time = 1e4 / 100e9;  // 10 kbit at 100 G
+  for (int i = 0; i < 1000; ++i) {
+    frames.push_back(EeeFrame{Seconds{i * frame_time}, Bits{1e4}});
+  }
+  const auto result =
+      simulate_eee_link(fast_config(), frames, Seconds{1001 * frame_time});
+  EXPECT_NEAR(result.energy_savings_fraction, 0.0, 0.01);
+  EXPECT_NEAR(result.mean_added_delay.value(), 0.0, 1e-9);
+}
+
+TEST(Eee, SparseTrafficSavesNearlyMax) {
+  // One small frame every 10 ms: the link sleeps between them. (The first
+  // frame arrives after the initial sleep so every frame triggers a wake.)
+  std::vector<EeeFrame> frames;
+  for (int i = 0; i < 100; ++i) {
+    frames.push_back(EeeFrame{Seconds{(i + 1) * 0.01}, Bits{12000.0}});
+  }
+  const auto result = simulate_eee_link(fast_config(), frames, 1.1_s);
+  EXPECT_GT(result.energy_savings_fraction, 0.85);
+  EXPECT_EQ(result.wake_transitions, 100u);
+  // Every frame pays the wake penalty.
+  EXPECT_NEAR(result.mean_added_delay.value(), 4.48e-6, 1e-7);
+}
+
+TEST(Eee, WakePenaltyDelaysFrames) {
+  auto cfg = fast_config();
+  cfg.wake_time = Seconds::from_microseconds(100.0);
+  const std::vector<EeeFrame> frames = {{Seconds{0.5}, Bits{1e4}}};
+  const auto result = simulate_eee_link(cfg, frames, 1.0_s);
+  EXPECT_NEAR(result.max_added_delay.value(), 100e-6, 1e-9);
+}
+
+TEST(Eee, CoalescingTradesLatencyForFewerWakes) {
+  auto cfg = fast_config();
+  std::vector<EeeFrame> frames;
+  // Bursts of 10 frames 1 us apart, bursts every 10 ms.
+  for (int burst = 0; burst < 50; ++burst) {
+    for (int i = 0; i < 10; ++i) {
+      frames.push_back(
+          EeeFrame{Seconds{burst * 0.01 + i * 1e-6}, Bits{1e4}});
+    }
+  }
+  const auto plain = simulate_eee_link(cfg, frames, 1.0_s);
+
+  cfg.coalescing_timer = Seconds::from_microseconds(50.0);
+  const auto coalesced = simulate_eee_link(cfg, frames, 1.0_s);
+
+  // Same number of wakes per burst either way here (each burst wakes once),
+  // but coalescing delays frames more.
+  EXPECT_LE(coalesced.wake_transitions, plain.wake_transitions);
+  EXPECT_GT(coalesced.mean_added_delay.value(),
+            plain.mean_added_delay.value());
+  // And saves at least as much energy (sleeps through the burst head).
+  EXPECT_GE(coalesced.energy_savings_fraction,
+            plain.energy_savings_fraction - 1e-9);
+}
+
+TEST(Eee, FrameCountTriggerWakesEarly) {
+  auto cfg = fast_config();
+  cfg.coalescing_timer = Seconds::from_milliseconds(10.0);
+  cfg.coalesce_frames = 3;
+  // Three frames arrive 1 us apart: the count trigger fires at the third
+  // frame, long before the 10 ms timer.
+  const std::vector<EeeFrame> frames = {
+      {Seconds{0.1}, Bits{1e4}},
+      {Seconds{0.1 + 1e-6}, Bits{1e4}},
+      {Seconds{0.1 + 2e-6}, Bits{1e4}},
+  };
+  const auto result = simulate_eee_link(cfg, frames, 1.0_s);
+  EXPECT_EQ(result.wake_transitions, 1u);
+  // Max delay far below the 10 ms timer.
+  EXPECT_LT(result.max_added_delay.value(), 1e-3);
+}
+
+TEST(Eee, HigherLpiPowerReducesSavings) {
+  auto cfg = fast_config();
+  const auto low = simulate_eee_link(cfg, {}, 1.0_s);
+  cfg.lpi_power_fraction = 0.5;
+  const auto high = simulate_eee_link(cfg, {}, 1.0_s);
+  EXPECT_GT(low.energy_savings_fraction, high.energy_savings_fraction);
+}
+
+TEST(Eee, InvalidInputsThrow) {
+  auto cfg = fast_config();
+  const std::vector<EeeFrame> unsorted = {{Seconds{1.0}, Bits{1e4}},
+                                          {Seconds{0.5}, Bits{1e4}}};
+  EXPECT_THROW((void)simulate_eee_link(cfg, unsorted, 2.0_s),
+               std::invalid_argument);
+  EXPECT_THROW((void)
+      simulate_eee_link(cfg, {{Seconds{0.0}, Bits{0.0}}}, 1.0_s),
+      std::invalid_argument);
+  // Horizon before the last departure.
+  EXPECT_THROW((void)
+      simulate_eee_link(cfg, {{Seconds{0.9}, Bits{1e9}}}, Seconds{0.9}),
+      std::invalid_argument);
+  cfg.lpi_power_fraction = 1.5;
+  EXPECT_THROW((void)simulate_eee_link(cfg, {}, 1.0_s), std::invalid_argument);
+}
+
+TEST(Eee, EnergyNeverExceedsAlwaysOn) {
+  std::vector<EeeFrame> frames;
+  for (int i = 0; i < 20; ++i) {
+    frames.push_back(EeeFrame{Seconds{i * 0.03}, Bits{5e5}});
+  }
+  const auto result = simulate_eee_link(fast_config(), frames, 1.0_s);
+  EXPECT_LE(result.energy.value(), result.always_on_energy.value() + 1e-9);
+  EXPECT_GE(result.energy_savings_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace netpp

@@ -1,0 +1,110 @@
+#include "netpp/mech/knobs.h"
+
+#include <gtest/gtest.h>
+
+namespace netpp {
+namespace {
+
+TEST(Knobs, ReferenceRouterSumsTo750W) {
+  const auto router = RouterComponentModel::reference_router();
+  EXPECT_NEAR(router.total_power().value(), 750.0, 1e-9);
+}
+
+TEST(Knobs, FullFeatureSetGatesNothing) {
+  const auto router = RouterComponentModel::reference_router();
+  const auto power = router.power_for_features(
+      features_for_cstate(SwitchCState::kC0FullRouter), GatingQuality::kFixed);
+  EXPECT_NEAR(power.value(), 750.0, 1e-9);
+}
+
+TEST(Knobs, L2OnlyDeploymentSavesL3Machinery) {
+  // §4.1: "if the switch is only configured for L2 forwarding, it could
+  // automatically turn off all L3 functionality."
+  const auto router = RouterComponentModel::reference_router();
+  const Watts l2 = router.power_in_cstate(SwitchCState::kC2L2Only,
+                                          GatingQuality::kFixed);
+  // Gates: l3-lookup (45) + full-fib (30) + deep-buffers (30) +
+  // telemetry (30) = 135 W.
+  EXPECT_NEAR(l2.value(), 750.0 - 135.0, 1e-9);
+}
+
+TEST(Knobs, StandbyKeepsOnlyBaseComponents) {
+  const auto router = RouterComponentModel::reference_router();
+  const Watts standby = router.power_in_cstate(SwitchCState::kC3Standby,
+                                               GatingQuality::kFixed);
+  EXPECT_NEAR(standby.value(), 225.0, 1e-9);  // chassis + control CPU
+}
+
+TEST(Knobs, CStatesAreMonotone) {
+  const auto router = RouterComponentModel::reference_router();
+  const auto p = [&](SwitchCState s) {
+    return router.power_in_cstate(s, GatingQuality::kFixed).value();
+  };
+  EXPECT_GE(p(SwitchCState::kC0FullRouter), p(SwitchCState::kC1LeanRouter));
+  EXPECT_GE(p(SwitchCState::kC1LeanRouter), p(SwitchCState::kC2L2Only));
+  EXPECT_GT(p(SwitchCState::kC2L2Only), p(SwitchCState::kC3Standby));
+}
+
+TEST(Knobs, BuggyGatingSavesNothing) {
+  // The paper's observation: ports off in software may stay powered [15,24].
+  const auto router = RouterComponentModel::reference_router();
+  const Watts buggy = router.power_in_cstate(SwitchCState::kC2L2Only,
+                                             GatingQuality::kBuggy);
+  EXPECT_NEAR(buggy.value(), 750.0, 1e-9);
+  EXPECT_NEAR(
+      router.savings_for_features(features_for_cstate(SwitchCState::kC2L2Only),
+                                  GatingQuality::kBuggy)
+          .value(),
+      0.0, 1e-9);
+}
+
+TEST(Knobs, PartialGatingSavesHalf) {
+  const auto router = RouterComponentModel::reference_router();
+  const Watts fixed = router.power_in_cstate(SwitchCState::kC2L2Only,
+                                             GatingQuality::kFixed);
+  const Watts partial = router.power_in_cstate(SwitchCState::kC2L2Only,
+                                               GatingQuality::kPartial);
+  const double fixed_savings = 750.0 - fixed.value();
+  const double partial_savings = 750.0 - partial.value();
+  EXPECT_NEAR(partial_savings, fixed_savings / 2.0, 1e-9);
+}
+
+TEST(Knobs, NonGateableComponentsNeverTurnOff) {
+  RouterComponentModel router{{
+      {"base", Watts{100.0}, "", false},
+      {"ungateable-accel", Watts{50.0}, "accel", false},
+      {"gateable-accel", Watts{25.0}, "accel", true},
+  }};
+  // Deployment does not need "accel": only the gateable half goes away.
+  const Watts power = router.power_for_features({}, GatingQuality::kFixed);
+  EXPECT_NEAR(power.value(), 150.0, 1e-9);
+}
+
+TEST(Knobs, GatingHeadroomFraction) {
+  const auto router = RouterComponentModel::reference_router();
+  EXPECT_NEAR(router.gating_headroom(
+                  features_for_cstate(SwitchCState::kC3Standby),
+                  GatingQuality::kFixed),
+              525.0 / 750.0, 1e-9);
+  EXPECT_NEAR(router.gating_headroom(
+                  features_for_cstate(SwitchCState::kC0FullRouter),
+                  GatingQuality::kFixed),
+              0.0, 1e-9);
+}
+
+TEST(Knobs, UnknownFeaturesAreIgnored) {
+  const auto router = RouterComponentModel::reference_router();
+  const Watts power = router.power_for_features({"quantum-forwarding"},
+                                                GatingQuality::kFixed);
+  EXPECT_NEAR(power.value(), 225.0, 1e-9);  // only base stays
+}
+
+TEST(Knobs, InvalidInventoriesThrow) {
+  EXPECT_THROW(RouterComponentModel{{}}, std::invalid_argument);
+  const std::vector<RouterComponent> negative = {
+      {"x", Watts{-1.0}, "", true}};
+  EXPECT_THROW(RouterComponentModel{negative}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace netpp

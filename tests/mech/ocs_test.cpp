@@ -1,0 +1,132 @@
+#include "netpp/mech/ocs.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace netpp {
+namespace {
+
+using namespace netpp::literals;
+
+TEST(OcsTailoring, LightRingTrafficTurnsOffCoreSwitches) {
+  // k=4 fat tree, a light ring workload among 4 hosts of pod 0/1: most of
+  // the fabric is unnecessary.
+  const auto topo = build_fat_tree(4, 100_Gbps);
+  std::vector<TrafficDemand> demands;
+  for (int i = 0; i < 4; ++i) {
+    demands.push_back(
+        TrafficDemand{topo.hosts[i], topo.hosts[(i + 1) % 4], 10_Gbps});
+  }
+  const auto result = tailor_topology(topo, demands);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_GT(result.powered_off.size(), 0u);
+  EXPECT_GT(result.switches_off_fraction, 0.3);
+  // Demands must still be satisfiable on the tailored topology.
+  Router router{topo.graph};
+  for (NodeId sw : result.powered_off) router.set_node_enabled(sw, false);
+  EXPECT_TRUE(demands_satisfiable(router, demands, TailorConfig{}));
+}
+
+TEST(OcsTailoring, HeavyAllToAllKeepsMoreSwitches) {
+  const auto topo = build_fat_tree(4, 100_Gbps);
+  // Cross-pod heavy demands close to line rate: needs real fabric capacity.
+  std::vector<TrafficDemand> heavy, light;
+  const auto n = topo.hosts.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    heavy.push_back(
+        TrafficDemand{topo.hosts[i], topo.hosts[(i + 5) % n], 80_Gbps});
+    light.push_back(
+        TrafficDemand{topo.hosts[i], topo.hosts[(i + 5) % n], 2_Gbps});
+  }
+  const auto heavy_result = tailor_topology(topo, heavy);
+  const auto light_result = tailor_topology(topo, light);
+  ASSERT_TRUE(light_result.feasible);
+  if (heavy_result.feasible) {
+    EXPECT_LE(heavy_result.powered_off.size(),
+              light_result.powered_off.size());
+  }
+}
+
+TEST(OcsTailoring, ToRSwitchesAreProtected) {
+  const auto topo = build_fat_tree(4, 100_Gbps);
+  std::vector<TrafficDemand> demands = {
+      TrafficDemand{topo.hosts[0], topo.hosts[1], 1_Gbps}};
+  const auto result = tailor_topology(topo, demands);
+  // Every host's sole attachment (its edge switch) must stay powered if any
+  // of its hosts... (only attachment rule protects all edge switches here).
+  for (NodeId off : result.powered_off) {
+    EXPECT_NE(topo.graph.node(off).tier, 1)
+        << "edge switch " << topo.graph.node(off).name << " was powered off";
+  }
+}
+
+TEST(OcsTailoring, PinnedSwitchesStayOn) {
+  const auto topo = build_fat_tree(4, 100_Gbps);
+  std::vector<TrafficDemand> demands = {
+      TrafficDemand{topo.hosts[0], topo.hosts[1], 1_Gbps}};
+  TailorConfig cfg;
+  cfg.pinned = topo.graph.nodes_at_tier(3);  // pin all cores
+  const auto result = tailor_topology(topo, demands, cfg);
+  for (NodeId core : cfg.pinned) {
+    EXPECT_EQ(std::count(result.powered_off.begin(), result.powered_off.end(),
+                         core),
+              0);
+  }
+}
+
+TEST(OcsTailoring, InfeasibleDemandsReportedAsSuch) {
+  const auto topo = build_leaf_spine(2, 1, 2, 100_Gbps, 100_Gbps);
+  // Two hosts on one leaf both demanding full line rate to hosts on the
+  // other leaf: the single 100 G uplink cannot carry 200 G.
+  std::vector<TrafficDemand> demands = {
+      TrafficDemand{topo.hosts[0], topo.hosts[2], 100_Gbps},
+      TrafficDemand{topo.hosts[1], topo.hosts[3], 100_Gbps}};
+  const auto result = tailor_topology(topo, demands);
+  EXPECT_FALSE(result.feasible);
+  EXPECT_TRUE(result.powered_off.empty());
+}
+
+TEST(OcsTailoring, ZeroDemandThrows) {
+  const auto topo = build_fat_tree(4, 100_Gbps);
+  std::vector<TrafficDemand> demands = {
+      TrafficDemand{topo.hosts[0], topo.hosts[1], Gbps{0.0}}};
+  EXPECT_THROW(tailor_topology(topo, demands), std::invalid_argument);
+}
+
+TEST(OcsTailoring, EmptyDemandsParkEverythingButProtected) {
+  const auto topo = build_fat_tree(4, 100_Gbps);
+  const auto result = tailor_topology(topo, {});
+  EXPECT_TRUE(result.feasible);
+  // All aggs and cores can go; the 8 edge switches are protected.
+  EXPECT_EQ(result.powered_on.size(), 8u);
+}
+
+TEST(OcsOverhead, ReconfigurationIsNegligibleForLongJobs) {
+  // The paper: tens-of-ms OCS reconfiguration vs jobs lasting days.
+  OcsOverheadModel model;
+  const double overhead = model.time_overhead(Seconds::from_hours(24.0));
+  EXPECT_LT(overhead, 1e-6);
+}
+
+TEST(OcsOverhead, ShortJobsPayMore) {
+  OcsOverheadModel model;
+  EXPECT_GT(model.time_overhead(Seconds{1.0}),
+            model.time_overhead(Seconds{1000.0}));
+}
+
+TEST(OcsOverhead, NetSavingsSubtractOcsPower) {
+  OcsOverheadModel model;
+  const Watts net = model.net_power_savings(Watts{1000.0}, 4);
+  EXPECT_DOUBLE_EQ(net.value(), 1000.0 - 4 * 50.0);
+}
+
+TEST(OcsOverhead, InvalidInputsThrow) {
+  OcsOverheadModel model;
+  EXPECT_THROW((void)model.time_overhead(Seconds{0.0}), std::invalid_argument);
+  EXPECT_THROW((void)model.net_power_savings(Watts{10.0}, -1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace netpp

@@ -1,0 +1,211 @@
+#include "netpp/mech/packet_switch.h"
+
+#include <gtest/gtest.h>
+
+#include "netpp/sim/random.h"
+
+namespace netpp {
+namespace {
+
+using namespace netpp::literals;
+
+PacketSwitchConfig small_switch() {
+  PacketSwitchConfig cfg;
+  cfg.num_ports = 8;
+  cfg.num_pipelines = 4;
+  cfg.port_rate = 100_Gbps;
+  cfg.dwell = Seconds::from_microseconds(50.0);
+  cfg.reconfig = Seconds::from_microseconds(1.0);
+  return cfg;
+}
+
+constexpr double kPacketBits = 12000.0;  // 1500 B
+
+TEST(PacketSwitch, SinglePacketLatencyIsServiceTime) {
+  SimEngine engine;
+  PacketSwitchSim sim{engine, small_switch()};
+  sim.inject(0, Seconds{0.001}, Bits{kPacketBits});
+  engine.run();
+  const auto result = sim.finish(Seconds{0.002});
+  EXPECT_EQ(result.served, 1u);
+  // Service rate: 2 ports * 100 G = 200 Gbps -> 60 ns for 12 kbit.
+  EXPECT_NEAR(result.latency.mean(), kPacketBits / 200e9, 1e-12);
+}
+
+TEST(PacketSwitch, AllPacketsServedFifo) {
+  SimEngine engine;
+  PacketSwitchSim sim{engine, small_switch()};
+  for (int i = 0; i < 100; ++i) {
+    sim.inject(i % 8, Seconds{i * 1e-5}, Bits{kPacketBits});
+  }
+  engine.run();
+  const auto result = sim.finish(Seconds{0.01});
+  EXPECT_EQ(result.injected, 100u);
+  EXPECT_EQ(result.served, 100u);
+  EXPECT_EQ(result.dropped, 0u);
+}
+
+TEST(PacketSwitch, QueueingDelaysBackToBackPackets) {
+  SimEngine engine;
+  PacketSwitchSim sim{engine, small_switch()};
+  // Two packets on the same port at the same instant: the second waits for
+  // the first's service.
+  sim.inject(0, Seconds{0.0}, Bits{kPacketBits});
+  sim.inject(0, Seconds{0.0}, Bits{kPacketBits});
+  engine.run();
+  const auto result = sim.finish(Seconds{0.001});
+  const double service = kPacketBits / 200e9;
+  EXPECT_NEAR(result.latency.min(), service, 1e-12);
+  EXPECT_NEAR(result.latency.max(), 2.0 * service, 1e-12);
+}
+
+TEST(PacketSwitch, ParkedPipelinesAddMultiplexingLatency) {
+  // With 1 of 4 pipelines active, a packet on a disconnected group waits
+  // for rotation (up to 3 dwells + reconfigs).
+  auto cfg = small_switch();
+  cfg.active_pipelines = 1;
+  SimEngine engine;
+  PacketSwitchSim sim{engine, cfg};
+  // Group 2 (ports 4,5) is not initially connected (pipeline starts on 0).
+  sim.inject(4, Seconds{1e-6}, Bits{kPacketBits});
+  engine.run_until(Seconds{0.001});
+  const auto result = sim.finish(Seconds{0.001});
+  EXPECT_EQ(result.served, 1u);
+  // Must have waited at least one dwell, at most the full rotation cycle.
+  EXPECT_GT(result.latency.mean(), 40e-6);
+  EXPECT_LT(result.latency.mean(), 4 * (50e-6 + 1e-6) + 1e-6);
+}
+
+TEST(PacketSwitch, FullyActiveHasNoMultiplexingLatency) {
+  auto cfg = small_switch();
+  cfg.active_pipelines = 4;
+  SimEngine engine;
+  PacketSwitchSim sim{engine, cfg};
+  sim.inject(4, Seconds{1e-6}, Bits{kPacketBits});
+  engine.run();
+  const auto result = sim.finish(Seconds{0.001});
+  EXPECT_NEAR(result.latency.mean(), kPacketBits / 200e9, 1e-12);
+}
+
+TEST(PacketSwitch, ThroughputCapsAtActiveShare) {
+  // Saturate all ports; with 2 of 4 pipelines the switch serves at most
+  // half its nominal capacity.
+  auto cfg = small_switch();
+  cfg.active_pipelines = 2;
+  cfg.port_buffer = Bits::from_bytes(20e3);  // small: excess drops
+  SimEngine engine;
+  PacketSwitchSim sim{engine, cfg};
+  Rng rng{5};
+  const double horizon = 0.002;
+  // Offered: 8 ports x 100 G = 800 Gbps; capacity: 2 x 200 G = 400 Gbps.
+  for (int port = 0; port < 8; ++port) {
+    double t = 0.0;
+    while (t < horizon) {
+      sim.inject(port, Seconds{t}, Bits{kPacketBits});
+      t += kPacketBits / 100e9;  // back-to-back at line rate
+    }
+  }
+  engine.run_until(Seconds{horizon});
+  const auto result = sim.finish(Seconds{horizon});
+  const double served_bps =
+      static_cast<double>(result.served) * kPacketBits / horizon;
+  EXPECT_LT(served_bps, 400e9 * 1.02);
+  EXPECT_GT(served_bps, 400e9 * 0.80);  // rotation overheads cost a little
+  EXPECT_GT(result.dropped, 0u);
+}
+
+TEST(PacketSwitch, BufferOverflowDropsDeterministically) {
+  auto cfg = small_switch();
+  cfg.port_buffer = Bits{2.5 * kPacketBits};
+  cfg.active_pipelines = 1;
+  SimEngine engine;
+  PacketSwitchSim sim{engine, cfg};
+  // Five simultaneous packets on a disconnected port: 2 fit, 3 drop... the
+  // buffer holds 2.5 packets -> 2 queued, 3 dropped.
+  for (int i = 0; i < 5; ++i) {
+    sim.inject(6, Seconds{0.0}, Bits{kPacketBits});
+  }
+  engine.run_until(Seconds{0.001});
+  const auto result = sim.finish(Seconds{0.001});
+  EXPECT_EQ(result.dropped, 3u);
+  EXPECT_EQ(result.served, 2u);
+}
+
+TEST(PacketSwitch, ParkingSavesEnergy) {
+  SimEngine e1, e2;
+  auto cfg = small_switch();
+  cfg.active_pipelines = 4;
+  PacketSwitchSim all_on{e1, cfg};
+  cfg.active_pipelines = 1;
+  PacketSwitchSim parked{e2, cfg};
+  for (int i = 0; i < 10; ++i) {
+    all_on.inject(0, Seconds{i * 1e-5}, Bits{kPacketBits});
+    parked.inject(0, Seconds{i * 1e-5}, Bits{kPacketBits});
+  }
+  e1.run_until(Seconds{0.001});
+  e2.run_until(Seconds{0.001});
+  const auto r_on = all_on.finish(Seconds{0.001});
+  const auto r_park = parked.finish(Seconds{0.001});
+  EXPECT_LT(r_park.average_power.value(), r_on.average_power.value());
+  EXPECT_EQ(r_park.served, 10u);
+}
+
+TEST(PacketSwitch, FrequencyScalingSlowsService) {
+  auto cfg = small_switch();
+  cfg.pipeline_frequency = 0.5;
+  SimEngine engine;
+  PacketSwitchSim sim{engine, cfg};
+  sim.inject(0, Seconds{0.0}, Bits{kPacketBits});
+  engine.run();
+  const auto result = sim.finish(Seconds{0.001});
+  EXPECT_NEAR(result.latency.mean(), kPacketBits / 100e9, 1e-12);
+}
+
+TEST(PacketSwitch, LatencyQuantilesAreOrdered) {
+  auto cfg = small_switch();
+  cfg.active_pipelines = 2;
+  SimEngine engine;
+  PacketSwitchSim sim{engine, cfg};
+  Rng rng{11};
+  for (int i = 0; i < 2000; ++i) {
+    sim.inject(static_cast<int>(rng.uniform_int(0, 7)),
+               Seconds{rng.uniform(0.0, 0.01)}, Bits{kPacketBits});
+  }
+  engine.run_until(Seconds{0.02});
+  const auto result = sim.finish(Seconds{0.02});
+  EXPECT_LE(result.p50().value(), result.p99().value());
+  EXPECT_LE(result.p99().value(), result.p999().value());
+  EXPECT_GT(result.served, 1900u);
+}
+
+TEST(PacketSwitch, InvalidConfigsThrow) {
+  SimEngine engine;
+  auto cfg = small_switch();
+  cfg.num_ports = 7;  // not divisible by 4 groups
+  EXPECT_THROW((PacketSwitchSim{engine, cfg}), std::invalid_argument);
+  cfg = small_switch();
+  cfg.active_pipelines = 5;
+  EXPECT_THROW((PacketSwitchSim{engine, cfg}), std::invalid_argument);
+  cfg = small_switch();
+  cfg.pipeline_frequency = 0.0;
+  EXPECT_THROW((PacketSwitchSim{engine, cfg}), std::invalid_argument);
+  cfg = small_switch();
+  cfg.dwell = Seconds{0.0};
+  EXPECT_THROW((PacketSwitchSim{engine, cfg}), std::invalid_argument);
+
+  PacketSwitchSim sim{engine, small_switch()};
+  EXPECT_THROW(sim.inject(99, Seconds{0.0}, Bits{1.0}), std::out_of_range);
+  EXPECT_THROW(sim.inject(0, Seconds{0.0}, Bits{0.0}), std::invalid_argument);
+}
+
+TEST(PacketSwitch, FinishTwiceThrows) {
+  SimEngine engine;
+  PacketSwitchSim sim{engine, small_switch()};
+  engine.run();
+  auto r = sim.finish(Seconds{0.001});
+  (void)r;
+  EXPECT_THROW(sim.finish(Seconds{0.002}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace netpp

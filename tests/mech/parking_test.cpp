@@ -1,0 +1,180 @@
+#include "netpp/mech/parking.h"
+
+#include <gtest/gtest.h>
+
+namespace netpp {
+namespace {
+
+using namespace netpp::literals;
+
+AggregateLoadTrace constant_trace(double load, double duration) {
+  AggregateLoadTrace trace;
+  trace.times = {Seconds{0.0}};
+  trace.loads = {load};
+  trace.end = Seconds{duration};
+  return trace;
+}
+
+/// ML-phase-like trace: idle compute phases with communication bursts.
+AggregateLoadTrace phase_trace(int iterations, double burst_load) {
+  AggregateLoadTrace trace;
+  for (int k = 0; k < iterations; ++k) {
+    trace.times.push_back(Seconds{k * 1.0});        // compute: idle
+    trace.loads.push_back(0.0);
+    trace.times.push_back(Seconds{k * 1.0 + 0.9});  // comm burst
+    trace.loads.push_back(burst_load);
+  }
+  trace.end = Seconds{static_cast<double>(iterations)};
+  return trace;
+}
+
+ParkingConfig default_config() {
+  ParkingConfig cfg;
+  cfg.model = SwitchPowerModel{};
+  return cfg;
+}
+
+TEST(Parking, IdleTraceParksDownToMinimum) {
+  const auto cfg = default_config();
+  const auto result =
+      simulate_parking_reactive(constant_trace(0.0, 10.0), cfg);
+  EXPECT_NEAR(result.mean_active_pipelines, 1.0, 0.05);
+  EXPECT_GT(result.savings_vs_all_on, 0.0);
+  EXPECT_DOUBLE_EQ(result.dropped.value(), 0.0);
+}
+
+TEST(Parking, FullLoadKeepsEverythingOn) {
+  const auto cfg = default_config();
+  const int pipes = cfg.model.config().num_pipelines;
+  const auto result =
+      simulate_parking_reactive(constant_trace(1.0, 10.0), cfg);
+  EXPECT_NEAR(result.mean_active_pipelines, pipes, 1e-9);
+  // The circuit switch overhead makes it slightly *worse* than all-on.
+  EXPECT_LT(result.savings_vs_all_on, 0.0);
+}
+
+TEST(Parking, ParkingSavesLeakageUnlikeRateAdaptation) {
+  // At zero load, parked pipelines save their full share (leakage included),
+  // so the floor power is chassis + ports + 1 pipeline + circuit switch.
+  const auto cfg = default_config();
+  const auto result =
+      simulate_parking_reactive(constant_trace(0.0, 100.0), cfg);
+  const auto& m = cfg.model;
+  const double floor = m.chassis_power().value() +
+                       0.30 * 750.0 +  // ports
+                       m.pipeline_power(PipelineState{true, 1.0, 0.0}).value() +
+                       cfg.circuit_switch_power.value();
+  EXPECT_NEAR(result.average_power.value(), floor, 1.0);
+}
+
+TEST(Parking, ReactiveFollowsBursts) {
+  const auto cfg = default_config();
+  const auto result = simulate_parking_reactive(phase_trace(5, 0.9), cfg);
+  // Should park during compute and wake for bursts: mean well below max,
+  // above min.
+  EXPECT_GT(result.mean_active_pipelines, 1.0);
+  EXPECT_LT(result.mean_active_pipelines, 4.0);
+  EXPECT_GT(result.wake_transitions, 0u);
+  EXPECT_GT(result.park_transitions, 0u);
+  EXPECT_GT(result.savings_vs_all_on, 0.10);
+}
+
+TEST(Parking, ReactiveBuffersDuringWake) {
+  auto cfg = default_config();
+  cfg.wake_latency = Seconds::from_milliseconds(10.0);
+  const auto result = simulate_parking_reactive(phase_trace(3, 0.9), cfg);
+  // The burst hits while pipelines are waking: traffic must be buffered.
+  EXPECT_GT(result.max_buffered.value(), 0.0);
+  EXPECT_GT(result.max_added_delay.value(), 0.0);
+}
+
+TEST(Parking, SmallBufferDropsDuringWake) {
+  auto cfg = default_config();
+  cfg.wake_latency = Seconds::from_milliseconds(50.0);
+  cfg.buffer_capacity = Bits::from_bytes(1e3);  // absurdly small
+  const auto result = simulate_parking_reactive(phase_trace(3, 0.9), cfg);
+  EXPECT_GT(result.dropped.value(), 0.0);
+}
+
+TEST(Parking, PredictivePreWakingAvoidsBuffering) {
+  auto cfg = default_config();
+  cfg.wake_latency = Seconds::from_milliseconds(10.0);
+
+  const auto trace = phase_trace(5, 0.9);
+  // Forecast mirrors the trace exactly (ML predictability).
+  std::vector<LoadForecast> forecast;
+  for (std::size_t i = 0; i < trace.times.size(); ++i) {
+    forecast.push_back(LoadForecast{trace.times[i], trace.loads[i]});
+  }
+
+  const auto reactive = simulate_parking_reactive(trace, cfg);
+  const auto predictive = simulate_parking_predictive(trace, forecast, cfg);
+
+  EXPECT_GT(reactive.max_buffered.value(), 0.0);
+  EXPECT_NEAR(predictive.max_buffered.value(), 0.0, 1e-6);
+  EXPECT_NEAR(predictive.max_added_delay.value(), 0.0, 1e-9);
+  // Predictive still saves energy.
+  EXPECT_GT(predictive.savings_vs_all_on, 0.10);
+}
+
+TEST(Parking, PredictiveEnergyCloseToReactive) {
+  auto cfg = default_config();
+  cfg.wake_latency = Seconds::from_milliseconds(1.0);
+  const auto trace = phase_trace(5, 0.9);
+  std::vector<LoadForecast> forecast;
+  for (std::size_t i = 0; i < trace.times.size(); ++i) {
+    forecast.push_back(LoadForecast{trace.times[i], trace.loads[i]});
+  }
+  const auto reactive = simulate_parking_reactive(trace, cfg);
+  const auto predictive = simulate_parking_predictive(trace, forecast, cfg);
+  EXPECT_NEAR(predictive.energy.value(), reactive.energy.value(),
+              0.15 * reactive.energy.value());
+}
+
+TEST(Parking, ZeroWakeLatencyNeverBuffers) {
+  auto cfg = default_config();
+  cfg.wake_latency = Seconds{0.0};
+  const auto result = simulate_parking_reactive(phase_trace(4, 0.95), cfg);
+  EXPECT_NEAR(result.max_buffered.value(), 0.0, 1e-6);
+  EXPECT_DOUBLE_EQ(result.dropped.value(), 0.0);
+}
+
+TEST(Parking, MinActiveIsRespected) {
+  auto cfg = default_config();
+  cfg.min_active = 2;
+  const auto result =
+      simulate_parking_reactive(constant_trace(0.0, 10.0), cfg);
+  EXPECT_GE(result.mean_active_pipelines, 2.0 - 1e-9);
+}
+
+TEST(Parking, InvalidConfigsThrow) {
+  auto cfg = default_config();
+  cfg.hi_threshold = 0.5;
+  cfg.lo_threshold = 0.6;  // lo >= hi
+  EXPECT_THROW((void)simulate_parking_reactive(constant_trace(0.5, 1.0), cfg),
+               std::invalid_argument);
+  cfg = default_config();
+  cfg.min_active = 0;
+  EXPECT_THROW((void)simulate_parking_reactive(constant_trace(0.5, 1.0), cfg),
+               std::invalid_argument);
+  cfg = default_config();
+  std::vector<LoadForecast> unsorted = {{Seconds{1.0}, 0.5},
+                                        {Seconds{0.5}, 0.2}};
+  EXPECT_THROW((void)
+      simulate_parking_predictive(constant_trace(0.5, 2.0), unsorted, cfg),
+      std::invalid_argument);
+}
+
+TEST(Parking, TraceValidation) {
+  const auto cfg = default_config();
+  AggregateLoadTrace empty;
+  EXPECT_THROW((void)simulate_parking_reactive(empty, cfg), std::invalid_argument);
+  AggregateLoadTrace bad;
+  bad.times = {Seconds{0.0}, Seconds{0.0}};
+  bad.loads = {0.1, 0.2};
+  bad.end = Seconds{1.0};
+  EXPECT_THROW((void)simulate_parking_reactive(bad, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace netpp

@@ -1,0 +1,133 @@
+#include "netpp/mech/redesign.h"
+
+#include <gtest/gtest.h>
+
+namespace netpp {
+namespace {
+
+using namespace netpp::literals;
+
+TEST(GranularPipelines, BudgetGrowsWithGranularity) {
+  const GranularPipelineModel model;
+  EXPECT_NEAR(model.pipeline_budget(4).value(), 300.0, 1e-9);  // 40% of 750
+  EXPECT_NEAR(model.pipeline_budget(8).value(), 300.0 * 1.05, 1e-9);
+  EXPECT_NEAR(model.pipeline_budget(32).value(), 300.0 * 1.15, 1e-9);
+  // Coarser than baseline: no credit.
+  EXPECT_NEAR(model.pipeline_budget(2).value(), 300.0, 1e-9);
+  EXPECT_THROW((void)model.pipeline_budget(0), std::invalid_argument);
+}
+
+TEST(GranularPipelines, PowerQuantizesToPipelines) {
+  const GranularPipelineModel model;
+  const double fixed = 750.0 * 0.60;
+  // n=4, load 0.3: ceil(1.2) = 2 of 4 pipelines on.
+  EXPECT_NEAR(model.power_at_load(4, 0.3).value(), fixed + 300.0 * 0.5,
+              1e-9);
+  // n=64, load 0.3: ceil(19.2)=20 of 64 -> much closer to 0.3.
+  const double budget64 = 300.0 * (1.0 + 0.05 * 4.0);
+  EXPECT_NEAR(model.power_at_load(64, 0.3).value(),
+              fixed + budget64 * (20.0 / 64.0), 1e-9);
+}
+
+TEST(GranularPipelines, ZeroLoadParksEverything) {
+  const GranularPipelineModel model;
+  for (int n : {1, 4, 16, 64}) {
+    EXPECT_NEAR(model.power_at_load(n, 0.0).value(), 450.0, 1e-9) << n;
+  }
+}
+
+TEST(GranularPipelines, ExactBoundaryDoesNotOverProvision) {
+  const GranularPipelineModel model;
+  // load = k/n must power exactly k pipelines (ceil guard against fp).
+  EXPECT_NEAR(model.power_at_load(4, 0.5).value(), 450.0 + 300.0 * 0.5,
+              1e-9);
+  EXPECT_NEAR(model.power_at_load(8, 0.25).value(),
+              450.0 + 300.0 * 1.05 * 0.25, 1e-9);
+}
+
+TEST(GranularPipelines, EffectiveProportionality) {
+  const GranularPipelineModel model;
+  // P(1)=750, P(0)=450 at baseline: 40% proportional via parking alone.
+  EXPECT_NEAR(model.effective_proportionality(4), 300.0 / 750.0, 1e-9);
+  // Finer granularity: slightly better than 40% despite overhead? No -
+  // the overhead inflates full power, so proportionality rises slightly
+  // (bigger dynamic share) but average power may still suffer.
+  EXPECT_GT(model.effective_proportionality(64),
+            model.effective_proportionality(4));
+}
+
+TEST(GranularPipelines, FinerGranularityWinsAtPartialLoad) {
+  const GranularPipelineModel model;
+  // Active 10% of the time at 40% load (ML comm phase not saturating).
+  const Watts coarse = model.duty_cycle_average(4, 0.1, 0.4);
+  const Watts fine = model.duty_cycle_average(16, 0.1, 0.4);
+  EXPECT_LT(fine.value(), coarse.value());
+}
+
+TEST(GranularPipelines, OverheadCapsUsefulGranularity) {
+  GranularPipelineModel::Config cfg;
+  cfg.overhead_per_doubling = 0.20;  // expensive duplication
+  const GranularPipelineModel model{cfg};
+  // With heavy overhead, very fine granularity loses at full-load duty.
+  const int best = model.best_granularity(0.1, 1.0, 256);
+  EXPECT_LE(best, 8);
+}
+
+TEST(GranularPipelines, BestGranularityAtPartialLoad) {
+  const GranularPipelineModel model;  // 5% per doubling
+  const int best = model.best_granularity(0.1, 0.35, 256);
+  EXPECT_GT(best, 4);  // quantization relief beats the mild overhead
+}
+
+TEST(GranularPipelines, InvalidInputsThrow) {
+  GranularPipelineModel::Config cfg;
+  cfg.chassis_fraction = 0.5;  // sums != 1
+  EXPECT_THROW(GranularPipelineModel{cfg}, std::invalid_argument);
+  const GranularPipelineModel model;
+  EXPECT_THROW((void)model.power_at_load(4, 1.5), std::invalid_argument);
+  EXPECT_THROW((void)model.duty_cycle_average(4, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)model.best_granularity(0.1, 1.0, 2), std::invalid_argument);
+}
+
+TEST(CpoRetrofit, SavesOnTheBaselineCluster) {
+  const CpoRetrofit cpo;  // 0.6x power, 80% proportional optics
+  const double savings = cpo.savings_fraction(ClusterConfig{});
+  EXPECT_GT(savings, 0.01);
+  EXPECT_LT(savings, 0.10);
+}
+
+TEST(CpoRetrofit, NeutralConfigIsNoOp) {
+  CpoRetrofit::Config cfg;
+  cfg.power_factor = 1.0;
+  cfg.optics_proportionality = 0.10;  // same as the cluster's network
+  const CpoRetrofit cpo{cfg};
+  EXPECT_NEAR(cpo.savings_fraction(ClusterConfig{}), 0.0, 1e-9);
+}
+
+TEST(CpoRetrofit, BothLeversContribute) {
+  ClusterConfig base;
+  CpoRetrofit::Config only_factor;
+  only_factor.power_factor = 0.6;
+  only_factor.optics_proportionality = base.network_proportionality;
+  CpoRetrofit::Config only_prop;
+  only_prop.power_factor = 1.0;
+  only_prop.optics_proportionality = 0.8;
+  const double from_factor = CpoRetrofit{only_factor}.savings_fraction(base);
+  const double from_prop = CpoRetrofit{only_prop}.savings_fraction(base);
+  const double both = CpoRetrofit{}.savings_fraction(base);
+  EXPECT_GT(from_factor, 0.0);
+  EXPECT_GT(from_prop, 0.0);
+  EXPECT_GT(both, std::max(from_factor, from_prop));
+}
+
+TEST(CpoRetrofit, InvalidConfigsThrow) {
+  CpoRetrofit::Config cfg;
+  cfg.power_factor = 0.0;
+  EXPECT_THROW(CpoRetrofit{cfg}, std::invalid_argument);
+  cfg = CpoRetrofit::Config{};
+  cfg.optics_proportionality = 1.5;
+  EXPECT_THROW(CpoRetrofit{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace netpp

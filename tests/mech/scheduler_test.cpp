@@ -1,0 +1,181 @@
+#include "netpp/mech/scheduler.h"
+
+#include <gtest/gtest.h>
+
+namespace netpp {
+namespace {
+
+using namespace netpp::literals;
+
+SchedulerConfig small_cluster() {
+  SchedulerConfig cfg;
+  cfg.racks = 4;
+  cfg.gpus_per_rack = 8;
+  cfg.tor_envelope =
+      PowerEnvelope::from_proportionality(Watts{100.0}, 0.10);
+  cfg.switch_wake_time = Seconds{0.0};
+  return cfg;
+}
+
+std::vector<Job> one_job(int gpus, double arrival = 0.0,
+                         double duration = 10.0) {
+  return {Job{0, gpus, Seconds{arrival}, Seconds{duration}}};
+}
+
+TEST(Scheduler, SingleSmallJobOccupiesOneRack) {
+  for (auto policy : {PlacementPolicy::kSpread, PlacementPolicy::kConcentrate}) {
+    const auto result =
+        simulate_schedule(small_cluster(), one_job(4), policy);
+    EXPECT_EQ(result.placed_jobs, 1u);
+    EXPECT_EQ(result.rejected_jobs, 0u);
+    EXPECT_NEAR(result.mean_occupied_racks, 1.0, 1e-9);
+  }
+}
+
+TEST(Scheduler, ConcentratePacksSpreadBalances) {
+  // Four 4-GPU jobs on 4 racks of 8: spread uses 4 racks, concentrate 2.
+  std::vector<Job> jobs;
+  for (int i = 0; i < 4; ++i) {
+    jobs.push_back(Job{static_cast<std::uint64_t>(i), 4,
+                       Seconds{0.001 * i}, Seconds{10.0}});
+  }
+  const auto spread =
+      simulate_schedule(small_cluster(), jobs, PlacementPolicy::kSpread);
+  const auto packed =
+      simulate_schedule(small_cluster(), jobs, PlacementPolicy::kConcentrate);
+  EXPECT_NEAR(spread.mean_occupied_racks, 4.0, 0.01);
+  EXPECT_NEAR(packed.mean_occupied_racks, 2.0, 0.01);
+  EXPECT_LT(packed.tor_energy.value(), spread.tor_energy.value());
+  EXPECT_GT(packed.tor_energy_savings, spread.tor_energy_savings);
+}
+
+TEST(Scheduler, EnergyAccountingForOneJob) {
+  // 1 job, 4 GPUs, 10 s; 4 racks; switch-off allowed; wake time 0.
+  // Occupied rack: duty power = 90 + 10*0.1 = 91 W for 10 s.
+  // Other racks off: 0 W. Always-on: 3 empty racks at 90 W for 10 s more.
+  const auto cfg = small_cluster();
+  const auto result =
+      simulate_schedule(cfg, one_job(4), PlacementPolicy::kConcentrate);
+  EXPECT_NEAR(result.tor_energy.value(), 91.0 * 10.0, 1e-6);
+  EXPECT_NEAR(result.always_on_tor_energy.value(),
+              91.0 * 10.0 + 3.0 * 90.0 * 10.0, 1e-6);
+  EXPECT_NEAR(result.tor_energy_savings,
+              1.0 - 910.0 / (910.0 + 2700.0), 1e-9);
+}
+
+TEST(Scheduler, NoSwitchOffMeansNoSavings) {
+  auto cfg = small_cluster();
+  cfg.allow_switch_off = false;
+  const auto result =
+      simulate_schedule(cfg, one_job(4), PlacementPolicy::kConcentrate);
+  EXPECT_NEAR(result.tor_energy_savings, 0.0, 1e-12);
+  EXPECT_EQ(result.tor_wakeups, 0u);
+}
+
+TEST(Scheduler, BigJobSpansRacks) {
+  const auto result = simulate_schedule(small_cluster(), one_job(20),
+                                        PlacementPolicy::kConcentrate);
+  EXPECT_EQ(result.placed_jobs, 1u);
+  // 20 GPUs over racks of 8: 3 racks.
+  EXPECT_NEAR(result.mean_occupied_racks, 3.0, 1e-9);
+}
+
+TEST(Scheduler, OversizedJobIsRejected) {
+  const auto result = simulate_schedule(small_cluster(), one_job(33),
+                                        PlacementPolicy::kSpread);
+  EXPECT_EQ(result.rejected_jobs, 1u);
+  EXPECT_EQ(result.placed_jobs, 0u);
+}
+
+TEST(Scheduler, CapacityFreesOverTime) {
+  // Two 32-GPU jobs back to back: the second arrives after the first ends.
+  std::vector<Job> jobs = {Job{0, 32, Seconds{0.0}, Seconds{5.0}},
+                           Job{1, 32, Seconds{6.0}, Seconds{5.0}}};
+  const auto result = simulate_schedule(small_cluster(), jobs,
+                                        PlacementPolicy::kConcentrate);
+  EXPECT_EQ(result.placed_jobs, 2u);
+  EXPECT_EQ(result.rejected_jobs, 0u);
+}
+
+TEST(Scheduler, OverlappingFullClusterJobsReject) {
+  std::vector<Job> jobs = {Job{0, 32, Seconds{0.0}, Seconds{10.0}},
+                           Job{1, 1, Seconds{5.0}, Seconds{1.0}}};
+  const auto result =
+      simulate_schedule(small_cluster(), jobs, PlacementPolicy::kSpread);
+  EXPECT_EQ(result.rejected_jobs, 1u);
+}
+
+TEST(Scheduler, WakeDelayIsCharged) {
+  auto cfg = small_cluster();
+  cfg.switch_wake_time = Seconds{2.0};
+  const auto result = simulate_schedule(cfg, one_job(4, 0.0, 10.0),
+                                        PlacementPolicy::kConcentrate);
+  EXPECT_NEAR(result.total_wake_delay.value(), 2.0, 1e-12);
+  EXPECT_EQ(result.tor_wakeups, 1u);
+  // The rack stays occupied for delay + duration.
+  EXPECT_NEAR(result.tor_energy.value(), 91.0 * 12.0, 1e-6);
+}
+
+TEST(Scheduler, ConcentrateReusesWarmRacks) {
+  // Job A occupies rack; job B (fits in the same rack) must not wake a
+  // second rack under concentration.
+  std::vector<Job> jobs = {Job{0, 4, Seconds{0.0}, Seconds{10.0}},
+                           Job{1, 4, Seconds{1.0}, Seconds{5.0}}};
+  const auto result = simulate_schedule(small_cluster(), jobs,
+                                        PlacementPolicy::kConcentrate);
+  EXPECT_EQ(result.tor_wakeups, 1u);
+}
+
+TEST(Scheduler, InvalidInputsThrow) {
+  auto cfg = small_cluster();
+  cfg.racks = 0;
+  EXPECT_THROW((void)
+      simulate_schedule(cfg, one_job(1), PlacementPolicy::kSpread),
+      std::invalid_argument);
+  std::vector<Job> unsorted = {Job{0, 1, Seconds{5.0}, Seconds{1.0}},
+                               Job{1, 1, Seconds{1.0}, Seconds{1.0}}};
+  EXPECT_THROW((void)simulate_schedule(small_cluster(), unsorted,
+                                 PlacementPolicy::kSpread),
+               std::invalid_argument);
+  EXPECT_THROW((void)simulate_schedule(small_cluster(),
+                                 {Job{0, 0, Seconds{0.0}, Seconds{1.0}}},
+                                 PlacementPolicy::kSpread),
+               std::invalid_argument);
+}
+
+TEST(Scheduler, JobTraceIsDeterministicAndSorted) {
+  const auto a = make_job_trace(100, Seconds{1.0}, Seconds{5.0}, 16, 7);
+  const auto b = make_job_trace(100, Seconds{1.0}, Seconds{5.0}, 16, 7);
+  ASSERT_EQ(a.size(), 100u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].gpus, b[i].gpus);
+    EXPECT_DOUBLE_EQ(a[i].arrival.value(), b[i].arrival.value());
+    if (i > 0) {
+      EXPECT_GE(a[i].arrival.value(), a[i - 1].arrival.value());
+    }
+    EXPECT_GE(a[i].gpus, 1);
+    EXPECT_LE(a[i].gpus, 16);
+  }
+  EXPECT_THROW(make_job_trace(-1, Seconds{1.0}, Seconds{1.0}, 4),
+               std::invalid_argument);
+}
+
+TEST(Scheduler, RealisticTraceConcentrationWins) {
+  // Moderate load: concentration should occupy clearly fewer racks and save
+  // ToR energy without rejecting more jobs than spread.
+  SchedulerConfig cfg;
+  cfg.racks = 16;
+  cfg.gpus_per_rack = 8;
+  cfg.switch_wake_time = Seconds{0.0};
+  const auto jobs = make_job_trace(200, Seconds{1.0}, Seconds{8.0}, 8, 42);
+  const auto spread =
+      simulate_schedule(cfg, jobs, PlacementPolicy::kSpread);
+  const auto packed =
+      simulate_schedule(cfg, jobs, PlacementPolicy::kConcentrate);
+  EXPECT_EQ(spread.rejected_jobs, packed.rejected_jobs);
+  EXPECT_LT(packed.mean_occupied_racks, spread.mean_occupied_racks);
+  EXPECT_GT(packed.tor_energy_savings, spread.tor_energy_savings);
+}
+
+}  // namespace
+}  // namespace netpp

@@ -1,0 +1,116 @@
+#include "netpp/mech/trace_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include "netpp/topo/builders.h"
+
+namespace netpp {
+namespace {
+
+using namespace netpp::literals;
+
+struct Rig {
+  BuiltTopology topo = build_leaf_spine(1, 1, 2, 100_Gbps, 100_Gbps);
+  SimEngine engine;
+  Router router{topo.graph};
+  FlowSimulator sim{topo.graph, router, engine};
+  NodeId leaf = topo.graph.nodes_at_tier(1).at(0);
+};
+
+TEST(NodeLoadRecorder, RecordsLoadChanges) {
+  Rig rig;
+  NodeLoadRecorder recorder{rig.sim, {rig.leaf}};
+  rig.sim.set_load_listener(recorder.listener());
+  recorder.sample(0.0_s);
+
+  rig.sim.submit(FlowSpec{rig.topo.hosts[0], rig.topo.hosts[1],
+                          Bits::from_gigabits(100.0), 1.0_s, 0});
+  rig.engine.run();
+  EXPECT_GE(recorder.num_samples(), 2u);
+
+  const auto trace = recorder.aggregate_trace(rig.leaf, 3.0_s);
+  trace.validate();
+  // Leaf has 3 links = 6 directed at 100 G; the flow crosses 2 at 100 G for
+  // one second: load 1/3 during [1, 2).
+  ASSERT_GE(trace.loads.size(), 2u);
+  EXPECT_DOUBLE_EQ(trace.loads.front(), 0.0);
+  double peak = 0.0;
+  for (double l : trace.loads) peak = std::max(peak, l);
+  EXPECT_NEAR(peak, 1.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(trace.loads.back(), 0.0);
+}
+
+TEST(NodeLoadRecorder, AggregateTraceIntegratesCorrectly) {
+  Rig rig;
+  NodeLoadRecorder recorder{rig.sim, {rig.leaf}};
+  rig.sim.set_load_listener(recorder.listener());
+  recorder.sample(0.0_s);
+  rig.sim.submit(FlowSpec{rig.topo.hosts[0], rig.topo.hosts[1],
+                          Bits::from_gigabits(100.0), 1.0_s, 0});
+  rig.engine.run();
+
+  const auto trace = recorder.aggregate_trace(rig.leaf, 3.0_s);
+  // Time-weighted mean load over [0, 3): (1/3 for 1 s) / 3 = 1/9.
+  double integral = 0.0;
+  for (std::size_t i = 0; i < trace.times.size(); ++i) {
+    const double seg_end = (i + 1 < trace.times.size())
+                               ? trace.times[i + 1].value()
+                               : trace.end.value();
+    integral += trace.loads[i] * (seg_end - trace.times[i].value());
+  }
+  EXPECT_NEAR(integral / 3.0, 1.0 / 9.0, 1e-9);
+}
+
+TEST(NodeLoadRecorder, PipelineTraceSplitsLinks) {
+  Rig rig;
+  NodeLoadRecorder recorder{rig.sim, {rig.leaf}};
+  rig.sim.set_load_listener(recorder.listener());
+  recorder.sample(0.0_s);
+  rig.sim.submit(FlowSpec{rig.topo.hosts[0], rig.topo.hosts[1],
+                          Bits::from_gigabits(100.0), 0.0_s, 0});
+  rig.engine.run();
+
+  const auto trace = recorder.pipeline_trace(rig.leaf, 2, 2.0_s);
+  trace.validate(2);
+  // At some sample, at least one pipeline carried load; none exceeded 1.
+  double peak = 0.0;
+  for (const auto& loads : trace.pipeline_loads) {
+    for (double l : loads) {
+      peak = std::max(peak, l);
+      EXPECT_LE(l, 1.0);
+    }
+  }
+  EXPECT_GT(peak, 0.0);
+}
+
+TEST(NodeLoadRecorder, UntrackedNodeThrows) {
+  Rig rig;
+  NodeLoadRecorder recorder{rig.sim, {rig.leaf}};
+  recorder.sample(0.0_s);
+  EXPECT_THROW(recorder.aggregate_trace(rig.topo.hosts[0], 1.0_s),
+               std::out_of_range);
+  EXPECT_THROW(recorder.pipeline_trace(rig.topo.hosts[0], 2, 1.0_s),
+               std::out_of_range);
+}
+
+TEST(NodeLoadRecorder, NoSamplesThrows) {
+  Rig rig;
+  NodeLoadRecorder recorder{rig.sim, {rig.leaf}};
+  EXPECT_THROW(recorder.aggregate_trace(rig.leaf, 1.0_s), std::logic_error);
+}
+
+TEST(NodeLoadRecorder, EmptyNodeListThrows) {
+  Rig rig;
+  EXPECT_THROW((NodeLoadRecorder{rig.sim, {}}), std::invalid_argument);
+}
+
+TEST(NodeLoadRecorder, InvalidPipelineCountThrows) {
+  Rig rig;
+  NodeLoadRecorder recorder{rig.sim, {rig.leaf}};
+  recorder.sample(0.0_s);
+  EXPECT_THROW(recorder.pipeline_trace(rig.leaf, 0, 1.0_s),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace netpp

@@ -1,0 +1,85 @@
+#include "netpp/sim/energy.h"
+
+#include <gtest/gtest.h>
+
+namespace netpp {
+namespace {
+
+using namespace netpp::literals;
+
+TEST(EnergyMeter, ConstantPowerIntegrates) {
+  EnergyMeter meter{750.0_W, 750.0_W};
+  EXPECT_DOUBLE_EQ(meter.energy(10.0_s).value(), 7500.0);
+  EXPECT_DOUBLE_EQ(meter.average_power(10.0_s).value(), 750.0);
+}
+
+TEST(EnergyMeter, PowerStateChanges) {
+  EnergyMeter meter{100.0_W, 100.0_W};
+  meter.set_power(5.0_s, 20.0_W);   // 100 W for 5 s, then 20 W
+  EXPECT_DOUBLE_EQ(meter.energy(10.0_s).value(), 500.0 + 100.0);
+  EXPECT_DOUBLE_EQ(meter.average_power(10.0_s).value(), 60.0);
+  EXPECT_DOUBLE_EQ(meter.current_power().value(), 20.0);
+}
+
+TEST(EnergyMeter, EfficiencyOfIdealDevice) {
+  // A device that draws max power exactly while loaded and zero otherwise.
+  EnergyMeter meter{100.0_W, 0.0_W};
+  meter.set_load(0.0_s, 0.0);
+  meter.set_power(2.0_s, 100.0_W);
+  meter.set_load(2.0_s, 1.0);
+  meter.set_power(4.0_s, 0.0_W);
+  meter.set_load(4.0_s, 0.0);
+  EXPECT_NEAR(meter.efficiency(10.0_s), 1.0, 1e-12);
+}
+
+TEST(EnergyMeter, EfficiencyOfPaperBaselineNetwork) {
+  // 10%-proportional device, active 10% of a 10 s window: ~11% efficiency,
+  // matching the paper's §3.1 number.
+  EnergyMeter meter{100.0_W, 90.0_W};  // idle draw 90 W
+  meter.set_power(0.0_s, 90.0_W);
+  meter.set_power(9.0_s, 100.0_W);  // active for the last second
+  meter.set_load(9.0_s, 1.0);
+  EXPECT_NEAR(meter.efficiency(10.0_s), 100.0 / (90.0 * 9.0 + 100.0), 1e-9);
+  EXPECT_NEAR(meter.efficiency(10.0_s), 0.11, 0.005);
+}
+
+TEST(EnergyMeter, EfficiencyWithNoEnergyIsOne) {
+  EnergyMeter meter{100.0_W, 0.0_W};
+  EXPECT_DOUBLE_EQ(meter.efficiency(5.0_s), 1.0);
+}
+
+TEST(EnergyMeter, AverageLoad) {
+  EnergyMeter meter{100.0_W, 50.0_W};
+  meter.set_load(5.0_s, 1.0);
+  EXPECT_DOUBLE_EQ(meter.average_load(10.0_s), 0.5);
+}
+
+TEST(EnergyMeter, InvalidInputsThrow) {
+  EXPECT_THROW((EnergyMeter{Watts{-1.0}, 0.0_W}), std::invalid_argument);
+  EnergyMeter meter{100.0_W, 50.0_W};
+  EXPECT_THROW(meter.set_power(1.0_s, Watts{-5.0}), std::invalid_argument);
+  EXPECT_THROW(meter.set_load(1.0_s, 1.5), std::invalid_argument);
+  EXPECT_THROW(meter.set_load(1.0_s, -0.5), std::invalid_argument);
+}
+
+TEST(EnergyLedger, AggregatesMeters) {
+  EnergyLedger ledger;
+  const auto gpu = ledger.add("gpu", 500.0_W, 500.0_W);
+  const auto nic = ledger.add("nic", 25.0_W, 25.0_W);
+  EXPECT_EQ(ledger.size(), 2u);
+  EXPECT_EQ(ledger.name(gpu), "gpu");
+  EXPECT_EQ(ledger.name(nic), "nic");
+  ledger.meter(gpu).set_power(5.0_s, 75.0_W);
+  EXPECT_DOUBLE_EQ(ledger.total_energy(10.0_s).value(),
+                   (500.0 * 5.0 + 75.0 * 5.0) + 25.0 * 10.0);
+  EXPECT_DOUBLE_EQ(ledger.total_average_power(10.0_s).value(),
+                   287.5 + 25.0);
+}
+
+TEST(EnergyLedger, OutOfRangeThrows) {
+  EnergyLedger ledger;
+  EXPECT_THROW((void)ledger.meter(0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace netpp

@@ -1,0 +1,138 @@
+#include "netpp/sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace netpp {
+namespace {
+
+using namespace netpp::literals;
+
+TEST(SimEngine, StartsAtZeroAndEmpty) {
+  SimEngine engine;
+  EXPECT_DOUBLE_EQ(engine.now().value(), 0.0);
+  EXPECT_TRUE(engine.empty());
+  EXPECT_EQ(engine.pending_events(), 0u);
+}
+
+TEST(SimEngine, ExecutesInTimeOrder) {
+  SimEngine engine;
+  std::vector<int> order;
+  engine.schedule_at(3.0_s, [&] { order.push_back(3); });
+  engine.schedule_at(1.0_s, [&] { order.push_back(1); });
+  engine.schedule_at(2.0_s, [&] { order.push_back(2); });
+  EXPECT_EQ(engine.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(engine.now().value(), 3.0);
+}
+
+TEST(SimEngine, TiesBreakFifo) {
+  SimEngine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    engine.schedule_at(1.0_s, [&order, i] { order.push_back(i); });
+  }
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimEngine, ScheduleAfterIsRelative) {
+  SimEngine engine;
+  double fired_at = -1.0;
+  engine.schedule_at(2.0_s, [&] {
+    engine.schedule_after(1.5_s, [&] { fired_at = engine.now().value(); });
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(fired_at, 3.5);
+}
+
+TEST(SimEngine, EventsCanScheduleMoreEvents) {
+  SimEngine engine;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    ++count;
+    if (count < 10) engine.schedule_after(1.0_s, tick);
+  };
+  engine.schedule_at(0.0_s, tick);
+  EXPECT_EQ(engine.run(), 10u);
+  EXPECT_DOUBLE_EQ(engine.now().value(), 9.0);
+}
+
+TEST(SimEngine, CancelPreventsExecution) {
+  SimEngine engine;
+  bool ran = false;
+  const auto id = engine.schedule_at(1.0_s, [&] { ran = true; });
+  EXPECT_TRUE(engine.cancel(id));
+  EXPECT_EQ(engine.run(), 0u);
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimEngine, CancelTwiceFails) {
+  SimEngine engine;
+  const auto id = engine.schedule_at(1.0_s, [] {});
+  EXPECT_TRUE(engine.cancel(id));
+  EXPECT_FALSE(engine.cancel(id));
+}
+
+TEST(SimEngine, CancelAfterFiringFails) {
+  SimEngine engine;
+  const auto id = engine.schedule_at(1.0_s, [] {});
+  engine.run();
+  EXPECT_FALSE(engine.cancel(id));
+}
+
+TEST(SimEngine, RunUntilStopsAtDeadlineAndAdvancesClock) {
+  SimEngine engine;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    engine.schedule_at(Seconds{t}, [&fired, &engine] {
+      fired.push_back(engine.now().value());
+    });
+  }
+  EXPECT_EQ(engine.run_until(2.5_s), 2u);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(engine.now().value(), 2.5);
+  EXPECT_EQ(engine.pending_events(), 2u);
+  engine.run();
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(SimEngine, RunUntilInclusiveOfDeadline) {
+  SimEngine engine;
+  bool ran = false;
+  engine.schedule_at(2.0_s, [&] { ran = true; });
+  engine.run_until(2.0_s);
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimEngine, RunUntilWithDrainedQueueAdvancesClock) {
+  SimEngine engine;
+  engine.run_until(5.0_s);
+  EXPECT_DOUBLE_EQ(engine.now().value(), 5.0);
+}
+
+TEST(SimEngine, StepExecutesOne) {
+  SimEngine engine;
+  int count = 0;
+  engine.schedule_at(1.0_s, [&] { ++count; });
+  engine.schedule_at(2.0_s, [&] { ++count; });
+  EXPECT_TRUE(engine.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(engine.step());
+  EXPECT_FALSE(engine.step());
+}
+
+TEST(SimEngine, InvalidSchedulesThrow) {
+  SimEngine engine;
+  engine.schedule_at(5.0_s, [] {});
+  engine.run();
+  EXPECT_THROW(engine.schedule_at(1.0_s, [] {}), std::invalid_argument);
+  EXPECT_THROW(engine.schedule_after(Seconds{-1.0}, [] {}),
+               std::invalid_argument);
+  EXPECT_THROW(engine.schedule_at(10.0_s, nullptr), std::invalid_argument);
+  EXPECT_THROW(engine.run_until(1.0_s), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace netpp

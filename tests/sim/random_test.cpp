@@ -1,0 +1,145 @@
+#include "netpp/sim/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace netpp {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{123}, b{123};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{7};
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng{7};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+  EXPECT_THROW(rng.uniform(5.0, -3.0), std::invalid_argument);
+}
+
+TEST(Rng, UniformIntInclusiveAndUnbiasedish) {
+  Rng rng{11};
+  int counts[6] = {0};
+  for (int i = 0; i < 60000; ++i) {
+    const auto v = rng.uniform_int(0, 5);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 5);
+    ++counts[v];
+  }
+  for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+  EXPECT_THROW(rng.uniform_int(3, 2), std::invalid_argument);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng{13};
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng{17};
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(Rng, BoundedParetoStaysInBounds) {
+  Rng rng{19};
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.bounded_pareto(1.2, 100.0, 1e6);
+    ASSERT_GE(x, 100.0 * (1.0 - 1e-9));
+    ASSERT_LE(x, 1e6 * (1.0 + 1e-9));
+  }
+  EXPECT_THROW(rng.bounded_pareto(0.0, 1.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(rng.bounded_pareto(1.0, 2.0, 1.0), std::invalid_argument);
+}
+
+TEST(Rng, BoundedParetoIsHeavyTailed) {
+  // Most mass near the minimum: the median should be far below the mean.
+  Rng rng{23};
+  double sum = 0.0;
+  int below_double_min = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.bounded_pareto(1.2, 1.0, 1e6);
+    sum += x;
+    if (x < 2.0) ++below_double_min;
+  }
+  EXPECT_GT(below_double_min, n / 2);  // median < 2x minimum
+  EXPECT_GT(sum / n, 4.0);             // mean dominated by the tail
+}
+
+TEST(Rng, PoissonMean) {
+  Rng rng{29};
+  for (double mean : {0.5, 5.0, 100.0}) {
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(mean));
+    EXPECT_NEAR(sum / n, mean, mean * 0.05 + 0.05) << "mean=" << mean;
+  }
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_THROW(rng.poisson(-1.0), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng rng{31};
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+  EXPECT_THROW(rng.bernoulli(1.5), std::invalid_argument);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent{37};
+  Rng child = parent.split();
+  // The two streams should not be identical.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+}  // namespace
+}  // namespace netpp

@@ -1,0 +1,111 @@
+#include "netpp/topo/builders.h"
+
+#include <gtest/gtest.h>
+
+namespace netpp {
+namespace {
+
+using namespace netpp::literals;
+
+TEST(FatTreeBuilder, K4Counts) {
+  // k=4: 16 hosts, 4 core + 8 agg + 8 edge = 20 switches,
+  // links: 16 host + 16 edge-agg + 16 agg-core = 48.
+  const auto topo = build_fat_tree(4, 400_Gbps);
+  EXPECT_EQ(topo.hosts.size(), 16u);
+  EXPECT_EQ(topo.switches.size(), 20u);
+  EXPECT_EQ(topo.graph.num_links(), 48u);
+}
+
+TEST(FatTreeBuilder, MatchesClosedFormAcrossK) {
+  for (int k : {2, 4, 6, 8}) {
+    const auto topo = build_fat_tree(k, 100_Gbps);
+    EXPECT_EQ(topo.hosts.size(), static_cast<std::size_t>(k * k * k / 4))
+        << "k=" << k;
+    EXPECT_EQ(topo.switches.size(), static_cast<std::size_t>(5 * k * k / 4))
+        << "k=" << k;
+  }
+}
+
+TEST(FatTreeBuilder, EverySwitchHasRadixK) {
+  const int k = 4;
+  const auto topo = build_fat_tree(k, 400_Gbps);
+  for (NodeId sw : topo.switches) {
+    EXPECT_EQ(topo.graph.degree(sw), static_cast<std::size_t>(k))
+        << topo.graph.node(sw).name;
+  }
+}
+
+TEST(FatTreeBuilder, HostsHaveOneLink) {
+  const auto topo = build_fat_tree(4, 400_Gbps);
+  for (NodeId host : topo.hosts) {
+    EXPECT_EQ(topo.graph.degree(host), 1u);
+  }
+}
+
+TEST(FatTreeBuilder, InterSwitchLinksAreOptical) {
+  const auto topo = build_fat_tree(4, 400_Gbps);
+  for (const auto& link : topo.graph.links()) {
+    const bool host_link =
+        topo.graph.node(link.a).kind == NodeKind::kHost ||
+        topo.graph.node(link.b).kind == NodeKind::kHost;
+    EXPECT_EQ(link.optical, !host_link);
+  }
+}
+
+TEST(FatTreeBuilder, TiersAreLabelled) {
+  const auto topo = build_fat_tree(4, 400_Gbps);
+  EXPECT_EQ(topo.graph.nodes_at_tier(0).size(), 16u);  // hosts
+  EXPECT_EQ(topo.graph.nodes_at_tier(1).size(), 8u);   // edge
+  EXPECT_EQ(topo.graph.nodes_at_tier(2).size(), 8u);   // agg
+  EXPECT_EQ(topo.graph.nodes_at_tier(3).size(), 4u);   // core
+}
+
+TEST(FatTreeBuilder, InvalidKThrows) {
+  EXPECT_THROW(build_fat_tree(3, 100_Gbps), std::invalid_argument);
+  EXPECT_THROW(build_fat_tree(0, 100_Gbps), std::invalid_argument);
+}
+
+TEST(LeafSpineBuilder, Counts) {
+  const auto topo = build_leaf_spine(4, 2, 8, 100_Gbps, 400_Gbps);
+  EXPECT_EQ(topo.hosts.size(), 32u);
+  EXPECT_EQ(topo.switches.size(), 6u);
+  // Links: 4*2 fabric + 32 host.
+  EXPECT_EQ(topo.graph.num_links(), 40u);
+}
+
+TEST(LeafSpineBuilder, FabricSpeedsDiffer) {
+  const auto topo = build_leaf_spine(2, 2, 1, 100_Gbps, 400_Gbps);
+  for (const auto& link : topo.graph.links()) {
+    if (link.optical) {
+      EXPECT_DOUBLE_EQ(link.capacity.value(), 400.0);
+    } else {
+      EXPECT_DOUBLE_EQ(link.capacity.value(), 100.0);
+    }
+  }
+}
+
+TEST(LeafSpineBuilder, InvalidDimensionsThrow) {
+  EXPECT_THROW(build_leaf_spine(0, 2, 8, 100_Gbps, 400_Gbps),
+               std::invalid_argument);
+}
+
+TEST(BackboneBuilder, RingStructure) {
+  const auto topo = build_backbone_ring(8, 0, 400_Gbps);
+  EXPECT_EQ(topo.switches.size(), 8u);
+  EXPECT_EQ(topo.hosts.size(), 8u);
+  // 8 ring links + 8 access links.
+  EXPECT_EQ(topo.graph.num_links(), 16u);
+}
+
+TEST(BackboneBuilder, ChordsAddShortcuts) {
+  const auto plain = build_backbone_ring(10, 0, 400_Gbps);
+  const auto chorded = build_backbone_ring(10, 3, 400_Gbps);
+  EXPECT_GT(chorded.graph.num_links(), plain.graph.num_links());
+}
+
+TEST(BackboneBuilder, TooFewPopsThrows) {
+  EXPECT_THROW(build_backbone_ring(2, 0, 400_Gbps), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace netpp

@@ -1,0 +1,70 @@
+#include "netpp/topo/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace netpp {
+namespace {
+
+using namespace netpp::literals;
+
+TEST(Graph, AddNodesAndLinks) {
+  Graph g;
+  const NodeId a = g.add_node(NodeKind::kHost, 0, "a");
+  const NodeId b = g.add_node(NodeKind::kSwitch, 1, "b");
+  const LinkId l = g.add_link(a, b, 400_Gbps);
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.num_links(), 1u);
+  EXPECT_EQ(g.node(a).name, "a");
+  EXPECT_EQ(g.node(b).kind, NodeKind::kSwitch);
+  EXPECT_EQ(g.link(l).a, a);
+  EXPECT_EQ(g.link(l).b, b);
+  EXPECT_DOUBLE_EQ(g.link(l).capacity.value(), 400.0);
+  EXPECT_FALSE(g.link(l).optical);
+}
+
+TEST(Graph, LinkOther) {
+  Graph g;
+  const NodeId a = g.add_node(NodeKind::kHost);
+  const NodeId b = g.add_node(NodeKind::kHost);
+  const LinkId l = g.add_link(a, b, 100_Gbps);
+  EXPECT_EQ(g.link(l).other(a), b);
+  EXPECT_EQ(g.link(l).other(b), a);
+}
+
+TEST(Graph, AdjacencyIsSymmetric) {
+  Graph g;
+  const NodeId a = g.add_node(NodeKind::kSwitch);
+  const NodeId b = g.add_node(NodeKind::kSwitch);
+  const NodeId c = g.add_node(NodeKind::kSwitch);
+  g.add_link(a, b, 100_Gbps);
+  g.add_link(a, c, 100_Gbps);
+  EXPECT_EQ(g.degree(a), 2u);
+  EXPECT_EQ(g.degree(b), 1u);
+  EXPECT_EQ(g.neighbors(b)[0].neighbor, a);
+  EXPECT_EQ(g.neighbors(a)[0].neighbor, b);
+  EXPECT_EQ(g.neighbors(a)[1].neighbor, c);
+}
+
+TEST(Graph, NodesOfKindAndTier) {
+  Graph g;
+  g.add_node(NodeKind::kHost, 0);
+  g.add_node(NodeKind::kSwitch, 1);
+  g.add_node(NodeKind::kSwitch, 2);
+  g.add_node(NodeKind::kOpticalCircuitSwitch, 2);
+  EXPECT_EQ(g.nodes_of_kind(NodeKind::kSwitch).size(), 2u);
+  EXPECT_EQ(g.nodes_of_kind(NodeKind::kOpticalCircuitSwitch).size(), 1u);
+  EXPECT_EQ(g.nodes_at_tier(2).size(), 2u);
+  EXPECT_EQ(g.nodes_at_tier(5).size(), 0u);
+}
+
+TEST(Graph, InvalidLinksThrow) {
+  Graph g;
+  const NodeId a = g.add_node(NodeKind::kHost);
+  EXPECT_THROW(g.add_link(a, 99, 100_Gbps), std::out_of_range);
+  EXPECT_THROW(g.add_link(a, a, 100_Gbps), std::invalid_argument);
+  const NodeId b = g.add_node(NodeKind::kHost);
+  EXPECT_THROW(g.add_link(a, b, Gbps{0.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace netpp

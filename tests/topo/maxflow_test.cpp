@@ -1,0 +1,151 @@
+#include "netpp/topo/maxflow.h"
+
+#include <gtest/gtest.h>
+
+namespace netpp {
+namespace {
+
+using namespace netpp::literals;
+
+TEST(MaxFlow, SingleLink) {
+  Graph g;
+  const NodeId a = g.add_node(NodeKind::kHost);
+  const NodeId b = g.add_node(NodeKind::kHost);
+  g.add_link(a, b, 100_Gbps);
+  EXPECT_DOUBLE_EQ(max_flow(g, a, b).value(), 100.0);
+}
+
+TEST(MaxFlow, SeriesTakesTheMinimum) {
+  Graph g;
+  const NodeId a = g.add_node(NodeKind::kHost);
+  const NodeId s = g.add_node(NodeKind::kSwitch);
+  const NodeId b = g.add_node(NodeKind::kHost);
+  g.add_link(a, s, 100_Gbps);
+  g.add_link(s, b, 40_Gbps);
+  EXPECT_DOUBLE_EQ(max_flow(g, a, b).value(), 40.0);
+}
+
+TEST(MaxFlow, ParallelPathsAdd) {
+  Graph g;
+  const NodeId a = g.add_node(NodeKind::kHost);
+  const NodeId b = g.add_node(NodeKind::kHost);
+  const NodeId s1 = g.add_node(NodeKind::kSwitch);
+  const NodeId s2 = g.add_node(NodeKind::kSwitch);
+  g.add_link(a, s1, 100_Gbps);
+  g.add_link(s1, b, 100_Gbps);
+  g.add_link(a, s2, 60_Gbps);
+  g.add_link(s2, b, 60_Gbps);
+  EXPECT_DOUBLE_EQ(max_flow(g, a, b).value(), 160.0);
+}
+
+TEST(MaxFlow, ClassicAugmentingPathCase) {
+  // The textbook diamond with a cross edge that tempts a greedy algorithm.
+  Graph g;
+  const NodeId s = g.add_node(NodeKind::kHost);
+  const NodeId u = g.add_node(NodeKind::kSwitch);
+  const NodeId v = g.add_node(NodeKind::kSwitch);
+  const NodeId t = g.add_node(NodeKind::kHost);
+  g.add_link(s, u, Gbps{10.0});
+  g.add_link(s, v, Gbps{10.0});
+  g.add_link(u, v, Gbps{1.0});
+  g.add_link(u, t, Gbps{10.0});
+  g.add_link(v, t, Gbps{10.0});
+  EXPECT_DOUBLE_EQ(max_flow(g, s, t).value(), 20.0);
+}
+
+TEST(MaxFlow, DisconnectedIsZero) {
+  Graph g;
+  const NodeId a = g.add_node(NodeKind::kHost);
+  const NodeId b = g.add_node(NodeKind::kHost);
+  g.add_node(NodeKind::kSwitch);
+  EXPECT_DOUBLE_EQ(max_flow(g, a, b).value(), 0.0);
+}
+
+TEST(MaxFlow, HostPairOnFatTreeIsAccessLimited) {
+  const auto topo = build_fat_tree(4, 100_Gbps);
+  EXPECT_DOUBLE_EQ(
+      max_flow(topo.graph, topo.hosts.front(), topo.hosts.back()).value(),
+      100.0);
+}
+
+TEST(MaxFlow, FatTreeIsFullBisection) {
+  // k=4 at 100 G: 16 hosts; either half can send its full 8 x 100 G.
+  const auto topo = build_fat_tree(4, 100_Gbps);
+  EXPECT_DOUBLE_EQ(bisection_bandwidth(topo).value(), 800.0);
+}
+
+TEST(MaxFlow, LeafSpineBisectionLimitedBySpines) {
+  // 2 leaves, 1 spine, 4 hosts/leaf at 100 G; fabric links 100 G: the
+  // index split puts each leaf's hosts on one side, so all traffic crosses
+  // the single leaf-spine-leaf path: 100 G.
+  const auto topo = build_leaf_spine(2, 1, 4, 100_Gbps, 100_Gbps);
+  EXPECT_DOUBLE_EQ(bisection_bandwidth(topo).value(), 100.0);
+}
+
+TEST(MaxFlow, OversubscriptionShowsUp) {
+  // Same but with 2 spines: 200 G bisection for 400 G of host capacity
+  // per side -> 2:1 oversubscribed.
+  const auto topo = build_leaf_spine(2, 2, 4, 100_Gbps, 100_Gbps);
+  EXPECT_DOUBLE_EQ(bisection_bandwidth(topo).value(), 200.0);
+}
+
+TEST(MaxFlow, RouterMaskReducesFlow) {
+  const auto topo = build_fat_tree(4, 100_Gbps);
+  Router router{topo.graph};
+  const double before = bisection_bandwidth(topo, &router).value();
+  // Power off half the cores: bisection halves in a k=4 fat tree.
+  const auto cores = topo.graph.nodes_at_tier(3);
+  router.set_node_enabled(cores[0], false);
+  router.set_node_enabled(cores[1], false);
+  const double after = bisection_bandwidth(topo, &router).value();
+  EXPECT_DOUBLE_EQ(before, 800.0);
+  EXPECT_LT(after, before);
+  EXPECT_GE(after, 400.0);
+}
+
+TEST(MaxFlow, SetFlowMatchesSumOfDisjointPairs) {
+  const auto topo = build_leaf_spine(2, 4, 2, 100_Gbps, 100_Gbps);
+  // Hosts 0,1 on leaf 0; hosts 2,3 on leaf 1. Set flow limited by the 4
+  // fabric links (400 G) vs 200 G of host access: min = 200 G.
+  const Gbps flow = max_flow(topo.graph, {topo.hosts[0], topo.hosts[1]},
+                             {topo.hosts[2], topo.hosts[3]});
+  EXPECT_DOUBLE_EQ(flow.value(), 200.0);
+}
+
+TEST(MaxFlow, InvalidInputsThrow) {
+  Graph g;
+  const NodeId a = g.add_node(NodeKind::kHost);
+  const NodeId b = g.add_node(NodeKind::kHost);
+  g.add_link(a, b, 100_Gbps);
+  EXPECT_THROW((void)max_flow(g, a, a), std::invalid_argument);
+  EXPECT_THROW((void)max_flow(g, a, 99), std::out_of_range);
+  const std::vector<NodeId> empty;
+  const std::vector<NodeId> only_a = {a};
+  const std::vector<NodeId> only_b = {b};
+  EXPECT_THROW((void)max_flow(g, empty, only_b), std::invalid_argument);
+  EXPECT_THROW((void)max_flow(g, only_a, only_a), std::invalid_argument);
+}
+
+// Property: powering off switches never increases bisection bandwidth.
+class MaxFlowMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaxFlowMonotonicity, DisablingSwitchesOnlyHurts) {
+  const auto topo = build_fat_tree(4, 100_Gbps);
+  Router router{topo.graph};
+  double prev = bisection_bandwidth(topo, &router).value();
+  // Deterministically disable aggregation switches one by one.
+  const auto aggs = topo.graph.nodes_at_tier(2);
+  const int count = GetParam();
+  for (int i = 0; i < count && i < static_cast<int>(aggs.size()); ++i) {
+    router.set_node_enabled(aggs[i], false);
+    const double now = bisection_bandwidth(topo, &router).value();
+    EXPECT_LE(now, prev + 1e-9);
+    prev = now;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MaxFlowMonotonicity,
+                         ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace netpp

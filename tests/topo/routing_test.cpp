@@ -1,0 +1,140 @@
+#include "netpp/topo/routing.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "netpp/topo/builders.h"
+
+namespace netpp {
+namespace {
+
+using namespace netpp::literals;
+
+class RoutingFatTree : public ::testing::Test {
+ protected:
+  BuiltTopology topo_ = build_fat_tree(4, 400_Gbps);
+  Router router_{topo_.graph};
+};
+
+TEST_F(RoutingFatTree, SameEdgePairIsTwoHops) {
+  // Hosts 0 and 1 share an edge switch in pod 0.
+  const auto path = router_.shortest_path(topo_.hosts[0], topo_.hosts[1]);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->hops(), 2u);
+}
+
+TEST_F(RoutingFatTree, CrossPodPairIsSixHops) {
+  // Host 0 (pod 0) to the last host (pod 3): up to core and back down.
+  const auto path =
+      router_.shortest_path(topo_.hosts[0], topo_.hosts.back());
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->hops(), 6u);
+}
+
+TEST_F(RoutingFatTree, PathNodesAreConsistent) {
+  const auto path =
+      router_.shortest_path(topo_.hosts[0], topo_.hosts.back());
+  ASSERT_TRUE(path.has_value());
+  const auto nodes = path->nodes(topo_.graph);
+  EXPECT_EQ(nodes.front(), topo_.hosts[0]);
+  EXPECT_EQ(nodes.back(), topo_.hosts.back());
+  EXPECT_EQ(nodes.size(), path->hops() + 1);
+}
+
+TEST_F(RoutingFatTree, EcmpEnumeratesCorePaths) {
+  // Cross-pod in a k=4 fat tree: 4 equal-cost paths (2 aggs x 2 cores).
+  const auto paths =
+      router_.ecmp_paths(topo_.hosts[0], topo_.hosts.back(), 16);
+  EXPECT_EQ(paths.size(), 4u);
+  for (const auto& p : paths) EXPECT_EQ(p.hops(), 6u);
+  // Paths must be distinct.
+  std::set<std::vector<LinkId>> distinct;
+  for (const auto& p : paths) distinct.insert(p.links);
+  EXPECT_EQ(distinct.size(), paths.size());
+}
+
+TEST_F(RoutingFatTree, EcmpMaxPathsIsRespected) {
+  const auto paths =
+      router_.ecmp_paths(topo_.hosts[0], topo_.hosts.back(), 2);
+  EXPECT_EQ(paths.size(), 2u);
+}
+
+TEST_F(RoutingFatTree, EcmpRouteIsDeterministicPerFlow) {
+  const auto a =
+      router_.ecmp_route(topo_.hosts[0], topo_.hosts.back(), 12345);
+  const auto b =
+      router_.ecmp_route(topo_.hosts[0], topo_.hosts.back(), 12345);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->links, b->links);
+}
+
+TEST_F(RoutingFatTree, EcmpRouteSpreadsFlows) {
+  std::set<std::vector<LinkId>> seen;
+  for (std::uint64_t flow = 0; flow < 64; ++flow) {
+    const auto p =
+        router_.ecmp_route(topo_.hosts[0], topo_.hosts.back(), flow);
+    ASSERT_TRUE(p.has_value());
+    seen.insert(p->links);
+  }
+  EXPECT_GE(seen.size(), 3u);  // most of the 4 ECMP paths get used
+}
+
+TEST_F(RoutingFatTree, DisabledNodeIsRoutedAround) {
+  const auto before =
+      router_.ecmp_paths(topo_.hosts[0], topo_.hosts.back(), 16);
+  ASSERT_EQ(before.size(), 4u);
+  // Disable one core switch: half the cross-pod paths disappear.
+  const auto cores = topo_.graph.nodes_at_tier(3);
+  router_.set_node_enabled(cores[0], false);
+  const auto after =
+      router_.ecmp_paths(topo_.hosts[0], topo_.hosts.back(), 16);
+  EXPECT_EQ(after.size(), 3u);
+  for (const auto& p : after) {
+    for (const NodeId n : p.nodes(topo_.graph)) EXPECT_NE(n, cores[0]);
+  }
+}
+
+TEST_F(RoutingFatTree, DisabledLinkIsRoutedAround) {
+  // Disabling the host's access link disconnects it.
+  const auto& host_adj = topo_.graph.neighbors(topo_.hosts[0]);
+  router_.set_link_enabled(host_adj[0].link, false);
+  EXPECT_FALSE(
+      router_.shortest_path(topo_.hosts[0], topo_.hosts[1]).has_value());
+  EXPECT_TRUE(
+      router_.shortest_path(topo_.hosts[1], topo_.hosts[2]).has_value());
+}
+
+TEST_F(RoutingFatTree, DisablingAllCoresDisconnectsPods) {
+  for (NodeId core : topo_.graph.nodes_at_tier(3)) {
+    router_.set_node_enabled(core, false);
+  }
+  // Intra-pod still fine; cross-pod dead.
+  EXPECT_TRUE(
+      router_.shortest_path(topo_.hosts[0], topo_.hosts[1]).has_value());
+  EXPECT_FALSE(
+      router_.shortest_path(topo_.hosts[0], topo_.hosts.back()).has_value());
+}
+
+TEST_F(RoutingFatTree, SelfRouteIsEmpty) {
+  const auto path = router_.shortest_path(topo_.hosts[0], topo_.hosts[0]);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_TRUE(path->empty());
+}
+
+TEST_F(RoutingFatTree, OutOfRangeEndpointsThrow) {
+  EXPECT_THROW(router_.shortest_path(topo_.hosts[0], 100000),
+               std::out_of_range);
+}
+
+TEST(Routing, LongerEquallyCheapPathsOnRing) {
+  // On an even ring, the two directions to the antipode are equal cost.
+  const auto topo = build_backbone_ring(6, 0, 400_Gbps);
+  Router router{topo.graph};
+  const auto paths =
+      router.ecmp_paths(topo.switches[0], topo.switches[3], 16);
+  EXPECT_EQ(paths.size(), 2u);
+}
+
+}  // namespace
+}  // namespace netpp

@@ -1,0 +1,124 @@
+// Tests for the collective traffic patterns: volume conservation (every
+// collective moves the same bandwidth-optimal total per host), pattern
+// structure, and locality differences.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "netpp/traffic/generators.h"
+
+namespace netpp {
+namespace {
+
+using namespace netpp::literals;
+
+std::vector<NodeId> fake_hosts(int n) {
+  std::vector<NodeId> hosts;
+  for (int i = 0; i < n; ++i) hosts.push_back(static_cast<NodeId>(i));
+  return hosts;
+}
+
+MlTrafficConfig one_iteration(CollectiveKind kind) {
+  MlTrafficConfig cfg;
+  cfg.iterations = 1;
+  cfg.collective = kind;
+  cfg.volume_per_host = Bits::from_gigabits(64.0);
+  return cfg;
+}
+
+double sent_by_host(const MlTraffic& traffic, NodeId host) {
+  double total = 0.0;
+  for (const auto& flow : traffic.flows) {
+    if (flow.src == host) total += flow.size.value();
+  }
+  return total;
+}
+
+TEST(Collectives, AllKindsMoveTheSameVolumePerHost) {
+  const auto hosts = fake_hosts(8);
+  const double expected =
+      Bits::from_gigabits(64.0).value() * 2.0 * 7.0 / 8.0;
+  for (auto kind : {CollectiveKind::kRing, CollectiveKind::kHalvingDoubling,
+                    CollectiveKind::kAllToAll}) {
+    const auto traffic =
+        make_ml_training_traffic(hosts, one_iteration(kind));
+    for (NodeId host : hosts) {
+      EXPECT_NEAR(sent_by_host(traffic, host), expected, expected * 1e-12)
+          << "kind " << static_cast<int>(kind) << " host " << host;
+    }
+  }
+}
+
+TEST(Collectives, RingHasOneFlowPerHost) {
+  const auto traffic = make_ml_training_traffic(
+      fake_hosts(8), one_iteration(CollectiveKind::kRing));
+  EXPECT_EQ(traffic.flows.size(), 8u);
+}
+
+TEST(Collectives, HalvingDoublingHasLogRounds) {
+  const auto traffic = make_ml_training_traffic(
+      fake_hosts(8), one_iteration(CollectiveKind::kHalvingDoubling));
+  // 3 rounds x 8 hosts.
+  EXPECT_EQ(traffic.flows.size(), 24u);
+  // Every flow's partner is src XOR a power of two.
+  for (const auto& flow : traffic.flows) {
+    const NodeId diff = flow.src ^ flow.dst;
+    EXPECT_NE(diff, 0u);
+    EXPECT_EQ(diff & (diff - 1), 0u) << "not a power-of-two stride";
+  }
+}
+
+TEST(Collectives, HalvingDoublingRoundVolumesHalve) {
+  const auto traffic = make_ml_training_traffic(
+      fake_hosts(4), one_iteration(CollectiveKind::kHalvingDoubling));
+  // Strides 1 and 2; stride-1 flows carry twice the stride-2 flows.
+  std::map<NodeId, double> by_stride;
+  for (const auto& flow : traffic.flows) {
+    by_stride[flow.src ^ flow.dst] = flow.size.value();
+  }
+  ASSERT_EQ(by_stride.size(), 2u);
+  EXPECT_NEAR(by_stride[1], 2.0 * by_stride[2], 1e-9);
+}
+
+TEST(Collectives, AllToAllIsComplete) {
+  const auto hosts = fake_hosts(6);
+  const auto traffic = make_ml_training_traffic(
+      hosts, one_iteration(CollectiveKind::kAllToAll));
+  EXPECT_EQ(traffic.flows.size(), 6u * 5u);
+  // Uniform sizes.
+  for (const auto& flow : traffic.flows) {
+    EXPECT_NEAR(flow.size.value(), traffic.flows[0].size.value(), 1e-9);
+    EXPECT_NE(flow.src, flow.dst);
+  }
+}
+
+TEST(Collectives, HalvingDoublingRequiresPowerOfTwo) {
+  EXPECT_THROW(
+      make_ml_training_traffic(fake_hosts(6),
+                               one_iteration(CollectiveKind::kHalvingDoubling)),
+      std::invalid_argument);
+  EXPECT_NO_THROW(make_ml_training_traffic(
+      fake_hosts(16), one_iteration(CollectiveKind::kHalvingDoubling)));
+}
+
+TEST(Collectives, RingIsMostLocalPattern) {
+  // Mean |src-dst| index distance: ring = 1 (mod wrap), all-to-all ~ n/3.
+  const auto hosts = fake_hosts(8);
+  const auto ring = make_ml_training_traffic(
+      hosts, one_iteration(CollectiveKind::kRing));
+  const auto a2a = make_ml_training_traffic(
+      hosts, one_iteration(CollectiveKind::kAllToAll));
+  const auto mean_distance = [&](const MlTraffic& t) {
+    double sum = 0.0;
+    for (const auto& f : t.flows) {
+      const int d = std::abs(static_cast<int>(f.src) -
+                             static_cast<int>(f.dst));
+      sum += std::min(d, 8 - d);
+    }
+    return sum / static_cast<double>(t.flows.size());
+  };
+  EXPECT_LT(mean_distance(ring), mean_distance(a2a));
+}
+
+}  // namespace
+}  // namespace netpp

@@ -1,0 +1,148 @@
+#include "netpp/traffic/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace netpp {
+namespace {
+
+using namespace netpp::literals;
+
+std::vector<NodeId> fake_hosts(int n) {
+  std::vector<NodeId> hosts;
+  for (int i = 0; i < n; ++i) hosts.push_back(static_cast<NodeId>(i));
+  return hosts;
+}
+
+TEST(MlTraffic, RingFlowsPerIteration) {
+  MlTrafficConfig cfg;
+  cfg.iterations = 3;
+  const auto traffic = make_ml_training_traffic(fake_hosts(8), cfg);
+  EXPECT_EQ(traffic.flows.size(), 8u * 3u);
+  EXPECT_EQ(traffic.schedule.size(), 3u);
+}
+
+TEST(MlTraffic, RingNeighborsAndVolume) {
+  MlTrafficConfig cfg;
+  cfg.iterations = 1;
+  cfg.volume_per_host = Bits::from_gigabits(80.0);
+  const auto hosts = fake_hosts(4);
+  const auto traffic = make_ml_training_traffic(hosts, cfg);
+  // 2(n-1)/n * 80 = 120 Gbit per flow for n=4.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(traffic.flows[i].src, hosts[i]);
+    EXPECT_EQ(traffic.flows[i].dst, hosts[(i + 1) % 4]);
+    EXPECT_NEAR(traffic.flows[i].size.gigabits(), 120.0, 1e-9);
+  }
+}
+
+TEST(MlTraffic, PhaseStructureIsRespected) {
+  MlTrafficConfig cfg;
+  cfg.compute_time = 0.9_s;
+  cfg.comm_allowance = 0.1_s;
+  cfg.iterations = 3;
+  const auto traffic = make_ml_training_traffic(fake_hosts(4), cfg);
+  for (const auto& w : traffic.schedule) {
+    EXPECT_DOUBLE_EQ(w.compute_begin.value(), w.iteration * 1.0);
+    EXPECT_DOUBLE_EQ(w.comm_begin.value(), w.iteration * 1.0 + 0.9);
+  }
+  for (const auto& flow : traffic.flows) {
+    const auto& w = traffic.schedule[flow.tag];
+    EXPECT_DOUBLE_EQ(flow.start.value(), w.comm_begin.value());
+  }
+}
+
+TEST(MlTraffic, InvalidConfigThrows) {
+  EXPECT_THROW(make_ml_training_traffic(fake_hosts(1), MlTrafficConfig{}),
+               std::invalid_argument);
+  MlTrafficConfig cfg;
+  cfg.iterations = 0;
+  EXPECT_THROW(make_ml_training_traffic(fake_hosts(4), cfg),
+               std::invalid_argument);
+  cfg = MlTrafficConfig{};
+  cfg.volume_per_host = Bits{0.0};
+  EXPECT_THROW(make_ml_training_traffic(fake_hosts(4), cfg),
+               std::invalid_argument);
+}
+
+TEST(PoissonTraffic, DeterministicForSeed) {
+  PoissonTrafficConfig cfg;
+  cfg.duration = 2.0_s;
+  const auto a = make_poisson_traffic(fake_hosts(8), cfg);
+  const auto b = make_poisson_traffic(fake_hosts(8), cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].src, b[i].src);
+    EXPECT_DOUBLE_EQ(a[i].start.value(), b[i].start.value());
+    EXPECT_DOUBLE_EQ(a[i].size.value(), b[i].size.value());
+  }
+}
+
+TEST(PoissonTraffic, RateIsApproximatelyRespected) {
+  PoissonTrafficConfig cfg;
+  cfg.arrivals_per_second = 500.0;
+  cfg.duration = 20.0_s;
+  const auto flows = make_poisson_traffic(fake_hosts(8), cfg);
+  EXPECT_NEAR(static_cast<double>(flows.size()), 10000.0, 300.0);
+}
+
+TEST(PoissonTraffic, NoSelfFlowsAndSorted) {
+  PoissonTrafficConfig cfg;
+  cfg.duration = 5.0_s;
+  const auto flows = make_poisson_traffic(fake_hosts(4), cfg);
+  ASSERT_FALSE(flows.empty());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    EXPECT_NE(flows[i].src, flows[i].dst);
+    if (i > 0) {
+      EXPECT_GE(flows[i].start.value(), flows[i - 1].start.value());
+    }
+    EXPECT_GE(flows[i].size.value(), cfg.min_size.value() * (1 - 1e-9));
+    EXPECT_LE(flows[i].size.value(), cfg.max_size.value() * (1 + 1e-9));
+  }
+}
+
+TEST(DiurnalTraffic, PeakHourHasMoreArrivalsThanTrough) {
+  DiurnalTrafficConfig cfg;
+  cfg.peak_arrivals_per_second = 2000.0;
+  cfg.trough_ratio = 0.2;
+  cfg.peak_hour = 12.0;
+  cfg.day_duration = 24.0_s;  // 1 s per "hour"
+  const auto flows = make_diurnal_traffic(fake_hosts(8), cfg);
+  ASSERT_GT(flows.size(), 100u);
+  // Count arrivals in hour 12 (peak) vs hour 0 (trough).
+  int peak = 0, trough = 0;
+  for (const auto& f : flows) {
+    const double hour = f.start.value();
+    if (hour >= 12.0 && hour < 13.0) ++peak;
+    if (hour < 1.0) ++trough;
+  }
+  EXPECT_GT(peak, 2 * trough);
+}
+
+TEST(DiurnalTraffic, MultipleDaysAreTagged) {
+  DiurnalTrafficConfig cfg;
+  cfg.day_duration = 5.0_s;
+  cfg.days = 3;
+  const auto flows = make_diurnal_traffic(fake_hosts(4), cfg);
+  std::uint64_t max_tag = 0;
+  for (const auto& f : flows) {
+    EXPECT_LT(f.start.value(), 15.0);
+    max_tag = std::max(max_tag, f.tag);
+  }
+  EXPECT_EQ(max_tag, 2u);
+}
+
+TEST(DiurnalTraffic, InvalidConfigThrows) {
+  DiurnalTrafficConfig cfg;
+  cfg.trough_ratio = 0.0;
+  EXPECT_THROW(make_diurnal_traffic(fake_hosts(4), cfg),
+               std::invalid_argument);
+  cfg = DiurnalTrafficConfig{};
+  cfg.days = 0;
+  EXPECT_THROW(make_diurnal_traffic(fake_hosts(4), cfg),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace netpp

@@ -1,0 +1,137 @@
+#include "netpp/traffic/training_loop.h"
+
+#include <gtest/gtest.h>
+
+#include "netpp/topo/builders.h"
+#include "netpp/workload/phase_model.h"
+
+namespace netpp {
+namespace {
+
+using namespace netpp::literals;
+
+struct Rig {
+  explicit Rig(Gbps speed = 100_Gbps) : topo(build_fat_tree(4, speed)) {}
+  BuiltTopology topo;
+  SimEngine engine;
+  Router router{topo.graph};
+  FlowSimulator sim{topo.graph, router, engine};
+};
+
+TEST(TrainingLoop, RunsAllIterations) {
+  Rig rig;
+  TrainingLoopConfig cfg;
+  cfg.iterations = 4;
+  cfg.compute_time = 0.9_s;
+  cfg.volume_per_host = Bits::from_gigabits(2.0);
+  TrainingLoopSim loop{rig.sim, rig.topo.hosts, cfg};
+  loop.start();
+  rig.engine.run();
+  ASSERT_TRUE(loop.finished());
+  ASSERT_EQ(loop.records().size(), 4u);
+  for (const auto& r : loop.records()) {
+    EXPECT_GT(r.communication_time().value(), 0.0);
+    EXPECT_NEAR((r.comm_begin - r.compute_begin).value(), 0.9, 1e-9);
+  }
+}
+
+TEST(TrainingLoop, IterationsAreSequential) {
+  Rig rig;
+  TrainingLoopConfig cfg;
+  cfg.iterations = 3;
+  cfg.volume_per_host = Bits::from_gigabits(2.0);
+  TrainingLoopSim loop{rig.sim, rig.topo.hosts, cfg};
+  loop.start();
+  rig.engine.run();
+  const auto& records = loop.records();
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    // Next compute starts exactly when the previous comm finished.
+    EXPECT_NEAR(records[i].compute_begin.value(),
+                records[i - 1].comm_end.value(), 1e-9);
+  }
+}
+
+TEST(TrainingLoop, CommunicationTimeMatchesAnalyticScaling) {
+  // Ring all-reduce on same-speed access links without fabric contention:
+  // per-flow size / line rate. The analytic WorkloadModel predicts comm
+  // time scales as 1/bandwidth; measure at two speeds.
+  const auto measure = [](double gbps) {
+    Rig rig{Gbps{gbps}};
+    TrainingLoopConfig cfg;
+    cfg.iterations = 2;
+    cfg.volume_per_host = Bits::from_gigabits(8.0);
+    TrainingLoopSim loop{rig.sim, rig.topo.hosts, cfg};
+    loop.start();
+    rig.engine.run();
+    return loop.mean_communication_time().value();
+  };
+  const double at100 = measure(100.0);
+  const double at200 = measure(200.0);
+  EXPECT_NEAR(at100 / at200, 2.0, 0.05);
+  // Absolute: flow = 2*(15/16)*8 Gbit = 15 Gbit at 100 G -> 0.15 s.
+  EXPECT_NEAR(at100, 0.15, 0.02);
+}
+
+TEST(TrainingLoop, MeasuredRatioTracksAnalyticModel) {
+  Rig rig;
+  TrainingLoopConfig cfg;
+  cfg.iterations = 3;
+  cfg.compute_time = 0.9_s;
+  // Flow 2*(15/16)*V; want comm ~0.1 s at 100 G: V = 0.1*100/1.875 ~ 5.33.
+  cfg.volume_per_host = Bits::from_gigabits(100.0 * 0.1 * 16.0 / 30.0);
+  TrainingLoopSim loop{rig.sim, rig.topo.hosts, cfg};
+  loop.start();
+  rig.engine.run();
+  for (const auto& r : loop.records()) {
+    EXPECT_NEAR(r.communication_ratio(), 0.10, 0.02);
+  }
+}
+
+TEST(TrainingLoop, AllToAllSlowerThanRingOnOversubscribedFabric) {
+  // On a fat tree both are full-bisection-feasible, but ECMP hash
+  // collisions hurt the many-flow all-to-all more; at minimum it must not
+  // be faster than the ring for the same volume.
+  const auto measure = [](CollectiveKind kind) {
+    Rig rig;
+    TrainingLoopConfig cfg;
+    cfg.iterations = 2;
+    cfg.collective = kind;
+    cfg.volume_per_host = Bits::from_gigabits(8.0);
+    TrainingLoopSim loop{rig.sim, rig.topo.hosts, cfg};
+    loop.start();
+    rig.engine.run();
+    return loop.mean_communication_time().value();
+  };
+  EXPECT_GE(measure(CollectiveKind::kAllToAll),
+            measure(CollectiveKind::kRing) * 0.5);
+}
+
+TEST(TrainingLoop, DisconnectedTopologyThrows) {
+  Rig rig;
+  // Cut a host off.
+  const auto& adj = rig.topo.graph.neighbors(rig.topo.hosts[0]);
+  rig.router.set_link_enabled(adj[0].link, false);
+  TrainingLoopConfig cfg;
+  cfg.iterations = 1;
+  TrainingLoopSim loop{rig.sim, rig.topo.hosts, cfg};
+  loop.start();
+  EXPECT_THROW(rig.engine.run(), std::runtime_error);
+}
+
+TEST(TrainingLoop, InvalidConfigsThrow) {
+  Rig rig;
+  TrainingLoopConfig cfg;
+  cfg.iterations = 0;
+  EXPECT_THROW((TrainingLoopSim{rig.sim, rig.topo.hosts, cfg}),
+               std::invalid_argument);
+  cfg = TrainingLoopConfig{};
+  cfg.volume_per_host = Bits{0.0};
+  EXPECT_THROW((TrainingLoopSim{rig.sim, rig.topo.hosts, cfg}),
+               std::invalid_argument);
+  EXPECT_THROW((TrainingLoopSim{rig.sim, {rig.topo.hosts[0]},
+                                TrainingLoopConfig{}}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace netpp

@@ -1,0 +1,194 @@
+// netpp command-line interface: the paper's analyses as a shell tool, with
+// ASCII or CSV output for scripting and plotting.
+//
+//   netpp_cli cluster [--gpus N] [--gbps B] [--ratio R] [--prop P]
+//   netpp_cli table3 [--csv]
+//   netpp_cli fig3 [--csv]
+//   netpp_cli fig4 [--csv]
+//   netpp_cli savings --prop P [--gbps B] [cluster flags]
+//   netpp_cli sensitivity [--csv]
+//   netpp_cli help
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "netpp/analysis/report.h"
+#include "netpp/analysis/savings.h"
+#include "netpp/analysis/sensitivity.h"
+#include "netpp/analysis/speedup.h"
+#include "netpp/cluster/cluster.h"
+
+namespace {
+
+using namespace netpp;
+using namespace netpp::literals;
+
+struct Options {
+  ClusterConfig cluster;
+  double prop = 0.5;
+  bool csv = false;
+};
+
+void print_table(const Table& table, bool csv) {
+  std::printf("%s", csv ? table.to_csv().c_str() : table.to_ascii().c_str());
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: netpp_cli <command> [flags]\n"
+      "\n"
+      "commands:\n"
+      "  cluster      baseline (or custom) cluster power summary\n"
+      "  table3       paper Table 3: savings vs proportionality/bandwidth\n"
+      "  fig3         paper Figure 3: fixed-workload speedup series\n"
+      "  fig4         paper Figure 4: fixed-ratio speedup series\n"
+      "  savings      one savings cell: --prop P [--gbps B]\n"
+      "  sensitivity  headline metrics vs modeling assumptions\n"
+      "\n"
+      "flags: --gpus N --gbps B --ratio R --prop P --csv\n");
+  return 2;
+}
+
+bool parse(int argc, char** argv, Options& opt) {
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--csv") {
+      opt.csv = true;
+      continue;
+    }
+    if (i + 1 >= argc) return false;
+    const double value = std::atof(argv[++i]);
+    if (flag == "--gpus" && value > 0) {
+      opt.cluster.num_gpus = value;
+    } else if (flag == "--gbps" && value > 0) {
+      opt.cluster.bandwidth_per_gpu = Gbps{value};
+    } else if (flag == "--ratio" && value >= 0 && value <= 1) {
+      opt.cluster.communication_ratio = value;
+    } else if (flag == "--prop" && value >= 0 && value <= 1) {
+      opt.prop = value;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+int cmd_cluster(const Options& opt) {
+  const ClusterModel cluster{opt.cluster};
+  Table table{{"metric", "value"}};
+  table.add_row({"GPUs", fmt(opt.cluster.num_gpus, 0)});
+  table.add_row(
+      {"bandwidth/GPU", to_string(opt.cluster.bandwidth_per_gpu)});
+  table.add_row({"switches", fmt(cluster.network().tree.switches, 1)});
+  table.add_row({"transceivers", fmt(cluster.network().transceivers, 0)});
+  table.add_row(
+      {"compute max (MW)",
+       fmt(cluster.compute_envelope().max_power().megawatts(), 3)});
+  table.add_row(
+      {"network max (MW)",
+       fmt(cluster.network_envelope().max_power().megawatts(), 3)});
+  table.add_row(
+      {"average power (MW)", fmt(cluster.average_total_power().megawatts(), 3)});
+  table.add_row({"peak power (MW)",
+                 fmt(cluster.peak_total_power().megawatts(), 3)});
+  table.add_row(
+      {"network share", fmt_percent(cluster.network_share_of_average())});
+  table.add_row({"network efficiency",
+                 fmt_percent(cluster.network_energy_efficiency())});
+  print_table(table, opt.csv);
+  return 0;
+}
+
+int cmd_table3(const Options& opt) {
+  const std::vector<Gbps> bws = {100_Gbps, 200_Gbps, 400_Gbps, 800_Gbps,
+                                 1600_Gbps};
+  const std::vector<double> props = {0.10, 0.20, 0.50, 0.85, 1.00};
+  const auto rows = savings_table(opt.cluster, bws, props);
+  Table table{{"bandwidth_gbps", "p10", "p20", "p50", "p85", "p100"}};
+  for (const auto& row : rows) {
+    std::vector<std::string> cells{fmt(row.bandwidth.value(), 0)};
+    for (const auto& cell : row.cells) {
+      cells.push_back(fmt(100.0 * cell.savings_fraction, 2));
+    }
+    table.add_row(std::move(cells));
+  }
+  print_table(table, opt.csv);
+  return 0;
+}
+
+int cmd_fig(const Options& opt, BudgetScenario scenario) {
+  const BudgetSolver solver = BudgetSolver::paper_baseline();
+  const std::vector<Gbps> bws = {100_Gbps, 200_Gbps, 400_Gbps, 800_Gbps,
+                                 1600_Gbps};
+  std::vector<double> props;
+  for (int i = 0; i <= 20; ++i) props.push_back(i * 0.05);
+  const auto series = scenario == BudgetScenario::kFixedWorkload
+                          ? fixed_workload_speedup(solver, bws, props)
+                          : fixed_ratio_speedup(solver, bws, props);
+  Table table{
+      {"proportionality", "s100", "s200", "s400", "s800", "s1600"}};
+  for (std::size_t i = 0; i < props.size(); ++i) {
+    std::vector<std::string> row{fmt(props[i], 2)};
+    for (const auto& s : series) {
+      row.push_back(fmt(100.0 * s.points[i].speedup, 2));
+    }
+    table.add_row(std::move(row));
+  }
+  print_table(table, opt.csv);
+  return 0;
+}
+
+int cmd_savings(const Options& opt) {
+  const auto cell = savings_at(opt.cluster, opt.cluster.bandwidth_per_gpu,
+                               opt.prop,
+                               opt.cluster.network_proportionality);
+  const CostModel cost;
+  Table table{{"metric", "value"}};
+  table.add_row({"proportionality", fmt(opt.prop, 2)});
+  table.add_row({"savings", fmt_percent(cell.savings_fraction)});
+  table.add_row(
+      {"absolute (kW)", fmt(cell.absolute_savings.kilowatts(), 1)});
+  table.add_row(
+      {"electricity ($/yr)",
+       fmt(cost.annual_electricity_savings(cell.absolute_savings).value(),
+           0)});
+  table.add_row(
+      {"with cooling ($/yr)",
+       fmt(cost.annual_total_savings(cell.absolute_savings).value(), 0)});
+  print_table(table, opt.csv);
+  return 0;
+}
+
+int cmd_sensitivity(const Options& opt) {
+  Table table{{"parameter", "value", "net_share_pct", "efficiency_pct",
+               "savings50_pct", "savings85_pct"}};
+  for (const auto& p : run_sensitivity(make_paper_sensitivity_suite())) {
+    table.add_row({p.parameter, fmt(p.value, 2),
+                   fmt(100.0 * p.metrics.network_share, 2),
+                   fmt(100.0 * p.metrics.network_efficiency, 2),
+                   fmt(100.0 * p.metrics.savings_at_50, 2),
+                   fmt(100.0 * p.metrics.savings_at_85, 2)});
+  }
+  print_table(table, opt.csv);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  Options opt;
+  if (!parse(argc, argv, opt)) return usage();
+
+  if (command == "cluster") return cmd_cluster(opt);
+  if (command == "table3") return cmd_table3(opt);
+  if (command == "fig3") return cmd_fig(opt, BudgetScenario::kFixedWorkload);
+  if (command == "fig4") return cmd_fig(opt, BudgetScenario::kFixedCommRatio);
+  if (command == "savings") return cmd_savings(opt);
+  if (command == "sensitivity") return cmd_sensitivity(opt);
+  return usage();
+}
