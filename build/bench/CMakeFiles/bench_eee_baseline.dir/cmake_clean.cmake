@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eee_baseline.dir/bench_eee_baseline.cpp.o"
+  "CMakeFiles/bench_eee_baseline.dir/bench_eee_baseline.cpp.o.d"
+  "bench_eee_baseline"
+  "bench_eee_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eee_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fleet_knobs.dir/bench_fleet_knobs.cpp.o"
+  "CMakeFiles/bench_fleet_knobs.dir/bench_fleet_knobs.cpp.o.d"
+  "bench_fleet_knobs"
+  "bench_fleet_knobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fleet_knobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

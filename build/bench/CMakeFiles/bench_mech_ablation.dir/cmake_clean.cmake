@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mech_ablation.dir/bench_mech_ablation.cpp.o"
+  "CMakeFiles/bench_mech_ablation.dir/bench_mech_ablation.cpp.o.d"
+  "bench_mech_ablation"
+  "bench_mech_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mech_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

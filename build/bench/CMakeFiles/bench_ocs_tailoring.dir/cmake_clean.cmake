@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ocs_tailoring.dir/bench_ocs_tailoring.cpp.o"
+  "CMakeFiles/bench_ocs_tailoring.dir/bench_ocs_tailoring.cpp.o.d"
+  "bench_ocs_tailoring"
+  "bench_ocs_tailoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ocs_tailoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parking_policies.dir/bench_parking_policies.cpp.o"
+  "CMakeFiles/bench_parking_policies.dir/bench_parking_policies.cpp.o.d"
+  "bench_parking_policies"
+  "bench_parking_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parking_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

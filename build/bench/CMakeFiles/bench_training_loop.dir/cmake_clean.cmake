@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_training_loop.dir/bench_training_loop.cpp.o"
+  "CMakeFiles/bench_training_loop.dir/bench_training_loop.cpp.o.d"
+  "bench_training_loop"
+  "bench_training_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_training_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

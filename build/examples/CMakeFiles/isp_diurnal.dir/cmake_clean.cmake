@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isp_diurnal.dir/isp_diurnal.cpp.o"
+  "CMakeFiles/isp_diurnal.dir/isp_diurnal.cpp.o.d"
+  "isp_diurnal"
+  "isp_diurnal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isp_diurnal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_tailoring.dir/topology_tailoring.cpp.o"
+  "CMakeFiles/topology_tailoring.dir/topology_tailoring.cpp.o.d"
+  "topology_tailoring"
+  "topology_tailoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_tailoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

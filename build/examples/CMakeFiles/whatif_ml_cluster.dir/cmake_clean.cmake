@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_ml_cluster.dir/whatif_ml_cluster.cpp.o"
+  "CMakeFiles/whatif_ml_cluster.dir/whatif_ml_cluster.cpp.o.d"
+  "whatif_ml_cluster"
+  "whatif_ml_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_ml_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;9;netpp_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_whatif_ml_cluster "/root/repo/build/examples/whatif_ml_cluster")
+set_tests_properties(example_whatif_ml_cluster PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;10;netpp_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_isp_diurnal "/root/repo/build/examples/isp_diurnal")
+set_tests_properties(example_isp_diurnal PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;11;netpp_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_pipeline_parking_demo "/root/repo/build/examples/pipeline_parking_demo")
+set_tests_properties(example_pipeline_parking_demo PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;12;netpp_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_topology_tailoring "/root/repo/build/examples/topology_tailoring")
+set_tests_properties(example_topology_tailoring PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;13;netpp_add_example;/root/repo/examples/CMakeLists.txt;0;")

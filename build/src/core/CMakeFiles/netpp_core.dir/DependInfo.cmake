@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis/overlap.cpp" "src/core/CMakeFiles/netpp_core.dir/analysis/overlap.cpp.o" "gcc" "src/core/CMakeFiles/netpp_core.dir/analysis/overlap.cpp.o.d"
+  "/root/repo/src/core/analysis/peak_power.cpp" "src/core/CMakeFiles/netpp_core.dir/analysis/peak_power.cpp.o" "gcc" "src/core/CMakeFiles/netpp_core.dir/analysis/peak_power.cpp.o.d"
+  "/root/repo/src/core/analysis/report.cpp" "src/core/CMakeFiles/netpp_core.dir/analysis/report.cpp.o" "gcc" "src/core/CMakeFiles/netpp_core.dir/analysis/report.cpp.o.d"
+  "/root/repo/src/core/analysis/savings.cpp" "src/core/CMakeFiles/netpp_core.dir/analysis/savings.cpp.o" "gcc" "src/core/CMakeFiles/netpp_core.dir/analysis/savings.cpp.o.d"
+  "/root/repo/src/core/analysis/sensitivity.cpp" "src/core/CMakeFiles/netpp_core.dir/analysis/sensitivity.cpp.o" "gcc" "src/core/CMakeFiles/netpp_core.dir/analysis/sensitivity.cpp.o.d"
+  "/root/repo/src/core/analysis/speedup.cpp" "src/core/CMakeFiles/netpp_core.dir/analysis/speedup.cpp.o" "gcc" "src/core/CMakeFiles/netpp_core.dir/analysis/speedup.cpp.o.d"
+  "/root/repo/src/core/cluster/cluster.cpp" "src/core/CMakeFiles/netpp_core.dir/cluster/cluster.cpp.o" "gcc" "src/core/CMakeFiles/netpp_core.dir/cluster/cluster.cpp.o.d"
+  "/root/repo/src/core/power/catalog.cpp" "src/core/CMakeFiles/netpp_core.dir/power/catalog.cpp.o" "gcc" "src/core/CMakeFiles/netpp_core.dir/power/catalog.cpp.o.d"
+  "/root/repo/src/core/power/switch_model.cpp" "src/core/CMakeFiles/netpp_core.dir/power/switch_model.cpp.o" "gcc" "src/core/CMakeFiles/netpp_core.dir/power/switch_model.cpp.o.d"
+  "/root/repo/src/core/topomodel/fattree.cpp" "src/core/CMakeFiles/netpp_core.dir/topomodel/fattree.cpp.o" "gcc" "src/core/CMakeFiles/netpp_core.dir/topomodel/fattree.cpp.o.d"
+  "/root/repo/src/core/units.cpp" "src/core/CMakeFiles/netpp_core.dir/units.cpp.o" "gcc" "src/core/CMakeFiles/netpp_core.dir/units.cpp.o.d"
+  "/root/repo/src/core/workload/phase_model.cpp" "src/core/CMakeFiles/netpp_core.dir/workload/phase_model.cpp.o" "gcc" "src/core/CMakeFiles/netpp_core.dir/workload/phase_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netpp_core.dir/analysis/overlap.cpp.o"
+  "CMakeFiles/netpp_core.dir/analysis/overlap.cpp.o.d"
+  "CMakeFiles/netpp_core.dir/analysis/peak_power.cpp.o"
+  "CMakeFiles/netpp_core.dir/analysis/peak_power.cpp.o.d"
+  "CMakeFiles/netpp_core.dir/analysis/report.cpp.o"
+  "CMakeFiles/netpp_core.dir/analysis/report.cpp.o.d"
+  "CMakeFiles/netpp_core.dir/analysis/savings.cpp.o"
+  "CMakeFiles/netpp_core.dir/analysis/savings.cpp.o.d"
+  "CMakeFiles/netpp_core.dir/analysis/sensitivity.cpp.o"
+  "CMakeFiles/netpp_core.dir/analysis/sensitivity.cpp.o.d"
+  "CMakeFiles/netpp_core.dir/analysis/speedup.cpp.o"
+  "CMakeFiles/netpp_core.dir/analysis/speedup.cpp.o.d"
+  "CMakeFiles/netpp_core.dir/cluster/cluster.cpp.o"
+  "CMakeFiles/netpp_core.dir/cluster/cluster.cpp.o.d"
+  "CMakeFiles/netpp_core.dir/power/catalog.cpp.o"
+  "CMakeFiles/netpp_core.dir/power/catalog.cpp.o.d"
+  "CMakeFiles/netpp_core.dir/power/switch_model.cpp.o"
+  "CMakeFiles/netpp_core.dir/power/switch_model.cpp.o.d"
+  "CMakeFiles/netpp_core.dir/topomodel/fattree.cpp.o"
+  "CMakeFiles/netpp_core.dir/topomodel/fattree.cpp.o.d"
+  "CMakeFiles/netpp_core.dir/units.cpp.o"
+  "CMakeFiles/netpp_core.dir/units.cpp.o.d"
+  "CMakeFiles/netpp_core.dir/workload/phase_model.cpp.o"
+  "CMakeFiles/netpp_core.dir/workload/phase_model.cpp.o.d"
+  "libnetpp_core.a"
+  "libnetpp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netpp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

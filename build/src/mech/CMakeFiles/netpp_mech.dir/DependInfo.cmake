@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mech/downrate.cpp" "src/mech/CMakeFiles/netpp_mech.dir/downrate.cpp.o" "gcc" "src/mech/CMakeFiles/netpp_mech.dir/downrate.cpp.o.d"
+  "/root/repo/src/mech/eee.cpp" "src/mech/CMakeFiles/netpp_mech.dir/eee.cpp.o" "gcc" "src/mech/CMakeFiles/netpp_mech.dir/eee.cpp.o.d"
+  "/root/repo/src/mech/knobs.cpp" "src/mech/CMakeFiles/netpp_mech.dir/knobs.cpp.o" "gcc" "src/mech/CMakeFiles/netpp_mech.dir/knobs.cpp.o.d"
+  "/root/repo/src/mech/ocs.cpp" "src/mech/CMakeFiles/netpp_mech.dir/ocs.cpp.o" "gcc" "src/mech/CMakeFiles/netpp_mech.dir/ocs.cpp.o.d"
+  "/root/repo/src/mech/packet_switch.cpp" "src/mech/CMakeFiles/netpp_mech.dir/packet_switch.cpp.o" "gcc" "src/mech/CMakeFiles/netpp_mech.dir/packet_switch.cpp.o.d"
+  "/root/repo/src/mech/parking.cpp" "src/mech/CMakeFiles/netpp_mech.dir/parking.cpp.o" "gcc" "src/mech/CMakeFiles/netpp_mech.dir/parking.cpp.o.d"
+  "/root/repo/src/mech/rateadapt.cpp" "src/mech/CMakeFiles/netpp_mech.dir/rateadapt.cpp.o" "gcc" "src/mech/CMakeFiles/netpp_mech.dir/rateadapt.cpp.o.d"
+  "/root/repo/src/mech/redesign.cpp" "src/mech/CMakeFiles/netpp_mech.dir/redesign.cpp.o" "gcc" "src/mech/CMakeFiles/netpp_mech.dir/redesign.cpp.o.d"
+  "/root/repo/src/mech/scheduler.cpp" "src/mech/CMakeFiles/netpp_mech.dir/scheduler.cpp.o" "gcc" "src/mech/CMakeFiles/netpp_mech.dir/scheduler.cpp.o.d"
+  "/root/repo/src/mech/trace_recorder.cpp" "src/mech/CMakeFiles/netpp_mech.dir/trace_recorder.cpp.o" "gcc" "src/mech/CMakeFiles/netpp_mech.dir/trace_recorder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/netpp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/netpp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/netpp_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/netpp_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

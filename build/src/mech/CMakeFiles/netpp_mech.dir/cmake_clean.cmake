@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netpp_mech.dir/downrate.cpp.o"
+  "CMakeFiles/netpp_mech.dir/downrate.cpp.o.d"
+  "CMakeFiles/netpp_mech.dir/eee.cpp.o"
+  "CMakeFiles/netpp_mech.dir/eee.cpp.o.d"
+  "CMakeFiles/netpp_mech.dir/knobs.cpp.o"
+  "CMakeFiles/netpp_mech.dir/knobs.cpp.o.d"
+  "CMakeFiles/netpp_mech.dir/ocs.cpp.o"
+  "CMakeFiles/netpp_mech.dir/ocs.cpp.o.d"
+  "CMakeFiles/netpp_mech.dir/packet_switch.cpp.o"
+  "CMakeFiles/netpp_mech.dir/packet_switch.cpp.o.d"
+  "CMakeFiles/netpp_mech.dir/parking.cpp.o"
+  "CMakeFiles/netpp_mech.dir/parking.cpp.o.d"
+  "CMakeFiles/netpp_mech.dir/rateadapt.cpp.o"
+  "CMakeFiles/netpp_mech.dir/rateadapt.cpp.o.d"
+  "CMakeFiles/netpp_mech.dir/redesign.cpp.o"
+  "CMakeFiles/netpp_mech.dir/redesign.cpp.o.d"
+  "CMakeFiles/netpp_mech.dir/scheduler.cpp.o"
+  "CMakeFiles/netpp_mech.dir/scheduler.cpp.o.d"
+  "CMakeFiles/netpp_mech.dir/trace_recorder.cpp.o"
+  "CMakeFiles/netpp_mech.dir/trace_recorder.cpp.o.d"
+  "libnetpp_mech.a"
+  "libnetpp_mech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netpp_mech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

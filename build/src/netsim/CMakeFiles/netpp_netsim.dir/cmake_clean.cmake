@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netpp_netsim.dir/energy_tracker.cpp.o"
+  "CMakeFiles/netpp_netsim.dir/energy_tracker.cpp.o.d"
+  "CMakeFiles/netpp_netsim.dir/fairshare.cpp.o"
+  "CMakeFiles/netpp_netsim.dir/fairshare.cpp.o.d"
+  "CMakeFiles/netpp_netsim.dir/flowsim.cpp.o"
+  "CMakeFiles/netpp_netsim.dir/flowsim.cpp.o.d"
+  "libnetpp_netsim.a"
+  "libnetpp_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netpp_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netpp_sim.dir/energy.cpp.o"
+  "CMakeFiles/netpp_sim.dir/energy.cpp.o.d"
+  "CMakeFiles/netpp_sim.dir/engine.cpp.o"
+  "CMakeFiles/netpp_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/netpp_sim.dir/random.cpp.o"
+  "CMakeFiles/netpp_sim.dir/random.cpp.o.d"
+  "CMakeFiles/netpp_sim.dir/stats.cpp.o"
+  "CMakeFiles/netpp_sim.dir/stats.cpp.o.d"
+  "libnetpp_sim.a"
+  "libnetpp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netpp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnetpp_sim.a"
+)

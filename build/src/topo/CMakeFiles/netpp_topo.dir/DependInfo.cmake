@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/builders.cpp" "src/topo/CMakeFiles/netpp_topo.dir/builders.cpp.o" "gcc" "src/topo/CMakeFiles/netpp_topo.dir/builders.cpp.o.d"
+  "/root/repo/src/topo/graph.cpp" "src/topo/CMakeFiles/netpp_topo.dir/graph.cpp.o" "gcc" "src/topo/CMakeFiles/netpp_topo.dir/graph.cpp.o.d"
+  "/root/repo/src/topo/maxflow.cpp" "src/topo/CMakeFiles/netpp_topo.dir/maxflow.cpp.o" "gcc" "src/topo/CMakeFiles/netpp_topo.dir/maxflow.cpp.o.d"
+  "/root/repo/src/topo/routing.cpp" "src/topo/CMakeFiles/netpp_topo.dir/routing.cpp.o" "gcc" "src/topo/CMakeFiles/netpp_topo.dir/routing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/netpp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

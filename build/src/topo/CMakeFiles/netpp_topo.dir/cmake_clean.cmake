@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netpp_topo.dir/builders.cpp.o"
+  "CMakeFiles/netpp_topo.dir/builders.cpp.o.d"
+  "CMakeFiles/netpp_topo.dir/graph.cpp.o"
+  "CMakeFiles/netpp_topo.dir/graph.cpp.o.d"
+  "CMakeFiles/netpp_topo.dir/maxflow.cpp.o"
+  "CMakeFiles/netpp_topo.dir/maxflow.cpp.o.d"
+  "CMakeFiles/netpp_topo.dir/routing.cpp.o"
+  "CMakeFiles/netpp_topo.dir/routing.cpp.o.d"
+  "libnetpp_topo.a"
+  "libnetpp_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netpp_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

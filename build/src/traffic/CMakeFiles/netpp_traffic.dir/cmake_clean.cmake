@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netpp_traffic.dir/generators.cpp.o"
+  "CMakeFiles/netpp_traffic.dir/generators.cpp.o.d"
+  "CMakeFiles/netpp_traffic.dir/training_loop.cpp.o"
+  "CMakeFiles/netpp_traffic.dir/training_loop.cpp.o.d"
+  "libnetpp_traffic.a"
+  "libnetpp_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netpp_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/downrate_test.dir/mech/downrate_test.cpp.o"
+  "CMakeFiles/downrate_test.dir/mech/downrate_test.cpp.o.d"
+  "downrate_test"
+  "downrate_test.pdb"
+  "downrate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/downrate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

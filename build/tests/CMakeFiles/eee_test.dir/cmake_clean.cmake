@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eee_test.dir/mech/eee_test.cpp.o"
+  "CMakeFiles/eee_test.dir/mech/eee_test.cpp.o.d"
+  "eee_test"
+  "eee_test.pdb"
+  "eee_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eee_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

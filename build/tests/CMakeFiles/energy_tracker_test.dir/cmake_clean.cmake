@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_tracker_test.dir/netsim/energy_tracker_test.cpp.o"
+  "CMakeFiles/energy_tracker_test.dir/netsim/energy_tracker_test.cpp.o.d"
+  "energy_tracker_test"
+  "energy_tracker_test.pdb"
+  "energy_tracker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fattree_test.dir/core/fattree_test.cpp.o"
+  "CMakeFiles/fattree_test.dir/core/fattree_test.cpp.o.d"
+  "fattree_test"
+  "fattree_test.pdb"
+  "fattree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fattree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mechanisms_integration_test.dir/integration/mechanisms_integration_test.cpp.o"
+  "CMakeFiles/mechanisms_integration_test.dir/integration/mechanisms_integration_test.cpp.o.d"
+  "mechanisms_integration_test"
+  "mechanisms_integration_test.pdb"
+  "mechanisms_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mechanisms_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

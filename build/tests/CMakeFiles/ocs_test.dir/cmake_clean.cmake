@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocs_test.dir/mech/ocs_test.cpp.o"
+  "CMakeFiles/ocs_test.dir/mech/ocs_test.cpp.o.d"
+  "ocs_test"
+  "ocs_test.pdb"
+  "ocs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_switch_test.dir/mech/packet_switch_test.cpp.o"
+  "CMakeFiles/packet_switch_test.dir/mech/packet_switch_test.cpp.o.d"
+  "packet_switch_test"
+  "packet_switch_test.pdb"
+  "packet_switch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_switch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

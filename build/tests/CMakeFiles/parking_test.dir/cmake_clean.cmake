@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parking_test.dir/mech/parking_test.cpp.o"
+  "CMakeFiles/parking_test.dir/mech/parking_test.cpp.o.d"
+  "parking_test"
+  "parking_test.pdb"
+  "parking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

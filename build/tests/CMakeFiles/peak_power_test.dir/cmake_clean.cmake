@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peak_power_test.dir/core/peak_power_test.cpp.o"
+  "CMakeFiles/peak_power_test.dir/core/peak_power_test.cpp.o.d"
+  "peak_power_test"
+  "peak_power_test.pdb"
+  "peak_power_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peak_power_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

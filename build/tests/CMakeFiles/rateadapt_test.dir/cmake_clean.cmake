@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rateadapt_test.dir/mech/rateadapt_test.cpp.o"
+  "CMakeFiles/rateadapt_test.dir/mech/rateadapt_test.cpp.o.d"
+  "rateadapt_test"
+  "rateadapt_test.pdb"
+  "rateadapt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rateadapt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redesign_test.dir/mech/redesign_test.cpp.o"
+  "CMakeFiles/redesign_test.dir/mech/redesign_test.cpp.o.d"
+  "redesign_test"
+  "redesign_test.pdb"
+  "redesign_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redesign_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

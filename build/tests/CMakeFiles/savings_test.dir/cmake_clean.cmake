@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/savings_test.dir/core/savings_test.cpp.o"
+  "CMakeFiles/savings_test.dir/core/savings_test.cpp.o.d"
+  "savings_test"
+  "savings_test.pdb"
+  "savings_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/savings_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

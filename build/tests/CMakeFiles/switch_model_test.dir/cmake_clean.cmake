@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switch_model_test.dir/core/switch_model_test.cpp.o"
+  "CMakeFiles/switch_model_test.dir/core/switch_model_test.cpp.o.d"
+  "switch_model_test"
+  "switch_model_test.pdb"
+  "switch_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switch_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/training_loop_test.dir/traffic/training_loop_test.cpp.o"
+  "CMakeFiles/training_loop_test.dir/traffic/training_loop_test.cpp.o.d"
+  "training_loop_test"
+  "training_loop_test.pdb"
+  "training_loop_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/training_loop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

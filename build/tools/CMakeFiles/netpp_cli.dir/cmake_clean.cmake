@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netpp_cli.dir/netpp_cli.cpp.o"
+  "CMakeFiles/netpp_cli.dir/netpp_cli.cpp.o.d"
+  "netpp_cli"
+  "netpp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netpp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
