@@ -1,0 +1,270 @@
+// Scale gate for the flow-simulation hot path: how fast can we solve the
+// max-min fair-share problem and run the event loop at HPN-pod scale?
+//
+// Two families of benchmarks, sized 1k / 10k / 100k flows on a k=8 fat tree
+// (128 hosts, the paper's HPN-pod shape scaled to fit CI):
+//   - BM_Solver{Capped,Uncapped}: one fair-share solve over a snapshot of N
+//     simultaneously active flows (capped = NIC-bound ML regime, uncapped =
+//     fabric-contended regime).
+//   - BM_SolverReference*: the pre-optimization progressive-filling solver
+//     (kept verbatim below) on the same snapshots, so every future run
+//     carries the before/after trajectory in one JSON.
+//   - BM_FlowSimPoisson: end-to-end event loop, Poisson arrivals with
+//     bounded-Pareto sizes, ~300 concurrent flows in steady state.
+//
+// Regenerate the checked-in baseline with:
+//   ./build/bench/bench_flowsim_scale --benchmark_format=json
+//     --benchmark_out=BENCH_flowsim.json
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <vector>
+
+#include "bench_util.h"
+#include "netpp/netsim/fairshare.h"
+#include "netpp/netsim/flowsim.h"
+#include "netpp/sim/random.h"
+#include "netpp/topo/builders.h"
+#include "netpp/topo/routing.h"
+#include "netpp/traffic/generators.h"
+
+namespace {
+
+using namespace netpp;
+
+// ---------------------------------------------------------------------------
+// Reference solver: the original O(rounds x (links + flows)) progressive
+// filling with per-round linear scans, kept verbatim as the perf baseline.
+// The equivalence property test (tests/netsim/fairshare_property_test.cpp)
+// holds the optimized solver bit-identical to this.
+// ---------------------------------------------------------------------------
+std::vector<double> max_min_fair_rates_reference(
+    const std::vector<FairShareFlow>& flows,
+    const std::vector<double>& capacities) {
+  const std::size_t num_flows = flows.size();
+  const std::size_t num_res = capacities.size();
+
+  std::vector<double> rate(num_flows, 0.0);
+  std::vector<bool> frozen(num_flows, false);
+  std::vector<double> residual = capacities;
+  std::vector<std::size_t> active_on(num_res, 0);
+
+  std::vector<std::vector<std::size_t>> flows_on(num_res);
+  for (std::size_t f = 0; f < num_flows; ++f) {
+    for (std::size_t r : flows[f].resources) {
+      flows_on[r].push_back(f);
+      ++active_on[r];
+    }
+  }
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::size_t remaining = num_flows;
+  while (remaining > 0) {
+    double link_share = kInf;
+    std::size_t tight_link = num_res;
+    for (std::size_t r = 0; r < num_res; ++r) {
+      if (active_on[r] == 0) continue;
+      const double share = residual[r] / static_cast<double>(active_on[r]);
+      if (share < link_share) {
+        link_share = share;
+        tight_link = r;
+      }
+    }
+    double cap_level = kInf;
+    std::size_t capped_flow = num_flows;
+    for (std::size_t f = 0; f < num_flows; ++f) {
+      if (frozen[f]) continue;
+      if (flows[f].cap > 0.0 && flows[f].cap < cap_level) {
+        cap_level = flows[f].cap;
+        capped_flow = f;
+      }
+    }
+    if (tight_link == num_res && capped_flow == num_flows) break;
+    if (cap_level <= link_share) {
+      frozen[capped_flow] = true;
+      rate[capped_flow] = cap_level;
+      --remaining;
+      for (std::size_t r : flows[capped_flow].resources) {
+        residual[r] -= cap_level;
+        if (residual[r] < 0.0) residual[r] = 0.0;
+        --active_on[r];
+      }
+      continue;
+    }
+    for (std::size_t f : flows_on[tight_link]) {
+      if (frozen[f]) continue;
+      frozen[f] = true;
+      rate[f] = link_share;
+      --remaining;
+      for (std::size_t r : flows[f].resources) {
+        residual[r] -= link_share;
+        if (residual[r] < 0.0) residual[r] = 0.0;
+        --active_on[r];
+      }
+    }
+  }
+  return rate;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot construction: N ECMP-routed flows between random host pairs.
+// ---------------------------------------------------------------------------
+struct Snapshot {
+  std::vector<FairShareFlow> flows;
+  std::vector<double> capacities;  // directed, bits/s
+};
+
+const BuiltTopology& pod_topology() {
+  static const BuiltTopology topo = build_fat_tree(8, Gbps{100.0});
+  return topo;
+}
+
+Snapshot make_snapshot(std::size_t num_flows, double cap_bps) {
+  const auto& topo = pod_topology();
+  const Router router{topo.graph};
+  Rng rng{0xC0FFEEull + num_flows};
+
+  Snapshot snap;
+  snap.capacities.reserve(topo.graph.num_links() * 2);
+  for (const auto& link : topo.graph.links()) {
+    for (int dir = 0; dir < 2; ++dir) {
+      (void)dir;
+      snap.capacities.push_back(link.capacity.bits_per_second());
+    }
+  }
+
+  const auto num_hosts = static_cast<std::int64_t>(topo.hosts.size());
+  snap.flows.reserve(num_flows);
+  for (std::size_t i = 0; i < num_flows; ++i) {
+    const NodeId src = topo.hosts[static_cast<std::size_t>(
+        rng.uniform_int(0, num_hosts - 1))];
+    NodeId dst = src;
+    while (dst == src) {
+      dst = topo.hosts[static_cast<std::size_t>(
+          rng.uniform_int(0, num_hosts - 1))];
+    }
+    const auto path = router.ecmp_route(src, dst, i);
+    FairShareFlow flow;
+    flow.cap = cap_bps;
+    NodeId at = path->src;
+    for (LinkId lid : path->links) {
+      const Link& link = topo.graph.link(lid);
+      const int dir = (at == link.a) ? 0 : 1;
+      flow.resources.push_back(DirectedLink{lid, dir}.index());
+      at = link.other(at);
+    }
+    snap.flows.push_back(std::move(flow));
+  }
+  return snap;
+}
+
+void BM_SolverCapped(benchmark::State& state) {
+  const auto snap =
+      make_snapshot(static_cast<std::size_t>(state.range(0)), 25e9);
+  for (auto _ : state) {
+    auto rates = max_min_fair_rates(snap.flows, snap.capacities);
+    benchmark::DoNotOptimize(rates);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SolverCapped)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SolverUncapped(benchmark::State& state) {
+  const auto snap =
+      make_snapshot(static_cast<std::size_t>(state.range(0)), 0.0);
+  for (auto _ : state) {
+    auto rates = max_min_fair_rates(snap.flows, snap.capacities);
+    benchmark::DoNotOptimize(rates);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SolverUncapped)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SolverReferenceCapped(benchmark::State& state) {
+  const auto snap =
+      make_snapshot(static_cast<std::size_t>(state.range(0)), 25e9);
+  for (auto _ : state) {
+    auto rates = max_min_fair_rates_reference(snap.flows, snap.capacities);
+    benchmark::DoNotOptimize(rates);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SolverReferenceCapped)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SolverReferenceUncapped(benchmark::State& state) {
+  const auto snap =
+      make_snapshot(static_cast<std::size_t>(state.range(0)), 0.0);
+  for (auto _ : state) {
+    auto rates = max_min_fair_rates_reference(snap.flows, snap.capacities);
+    benchmark::DoNotOptimize(rates);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SolverReferenceUncapped)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+// End-to-end event loop: Poisson arrivals sized so that ~300 flows are
+// active in steady state; NIC-capped at 25 G like the HPN-pod GPU hosts.
+void BM_FlowSimPoisson(benchmark::State& state) {
+  const auto& topo = pod_topology();
+  const auto total = static_cast<std::size_t>(state.range(0));
+  PoissonTrafficConfig tcfg;
+  tcfg.arrivals_per_second = 2000.0;
+  tcfg.duration = Seconds{static_cast<double>(total) / 2000.0};
+  tcfg.pareto_alpha = 1.3;
+  tcfg.min_size = Bits::from_gigabits(1.0);
+  tcfg.max_size = Bits::from_gigabits(25.0);
+  tcfg.seed = 1234;
+  const auto flows = make_poisson_traffic(topo.hosts, tcfg);
+
+  double completed = 0.0;
+  double events = 0.0;
+  for (auto _ : state) {
+    SimEngine engine;
+    Router router{topo.graph};
+    FlowSimulator::Config cfg;
+    cfg.flow_rate_cap = Gbps{25.0};
+    FlowSimulator sim{topo.graph, router, engine, cfg};
+    for (const auto& f : flows) sim.submit(f);
+    events = static_cast<double>(engine.run());
+    completed = static_cast<double>(sim.completed().size());
+    benchmark::DoNotOptimize(completed);
+  }
+  state.counters["flows"] = static_cast<double>(flows.size());
+  state.counters["completed"] = completed;
+  state.counters["events"] = events;
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(flows.size()));
+}
+BENCHMARK(BM_FlowSimPoisson)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  netpp::bench::print_banner(
+      "Flow-simulation scale gate - k=8 fat tree (128 hosts)");
+  std::printf(
+      "Solver snapshots at 1k/10k/100k active flows plus end-to-end Poisson\n"
+      "runs; *Reference* benchmarks are the pre-optimization solver kept for\n"
+      "the perf trajectory. JSON: --benchmark_format=json.\n\n");
+  return netpp::bench::run_benchmarks(argc, argv);
+}

@@ -10,6 +10,9 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "netpp/analysis/report.h"
@@ -18,6 +21,7 @@
 #include "netpp/mech/parking.h"
 #include "netpp/mech/rateadapt.h"
 #include "netpp/mech/trace_recorder.h"
+#include "netpp/sim/sweep.h"
 #include "netpp/topo/builders.h"
 #include "netpp/traffic/generators.h"
 
@@ -63,75 +67,99 @@ void print_ablation() {
 
   const Workbench wb;
   const SwitchPowerModel model;
-  Table table{{"Mechanism (Sec.)", "Avg power (W)", "Savings vs today",
-               "Latency cost", "Notes"}};
 
-  // Today: everything on, no adaptation.
+  // One shared flow-level simulation (the expensive part) feeds every
+  // mechanism row; the rows themselves are independent reads of the const
+  // Workbench, so they fan out across SweepRunner workers and the table is
+  // assembled in row order afterwards.
   RateAdaptConfig ra;
   ra.model = model;
-  const auto none =
-      simulate_rate_adaptation(wb.pipes, ra, RateAdaptMode::kNone);
-  table.add_row({"none (today)", fmt(none.average_power.value(), 1), "0.0%",
-                 "none", "10% proportional envelope"});
-
-  // §4.1 knobs: the deployment only needs L2+L3 without deep buffers or
-  // telemetry; static gating applies on top of nothing else.
-  const auto knobs = RouterComponentModel::reference_router();
-  const Watts gated = knobs.power_in_cstate(SwitchCState::kC1LeanRouter,
-                                            GatingQuality::kFixed);
-  table.add_row(
-      {"power knobs (4.1)", fmt(gated.value(), 1),
-       fmt_percent(1.0 - gated.value() / knobs.total_power().value()),
-       "none", "static, vs 750 W fully-featured router"});
-
-  // §4.3 rate adaptation.
-  const auto global =
-      simulate_rate_adaptation(wb.pipes, ra, RateAdaptMode::kGlobalAsic);
-  table.add_row({"rate adapt, global clock (4.3)",
-                 fmt(global.average_power.value(), 1),
-                 fmt_percent(global.savings_vs_none), "none",
-                 std::to_string(global.frequency_transitions) +
-                     " clock changes"});
-  const auto per_pipe =
-      simulate_rate_adaptation(wb.pipes, ra, RateAdaptMode::kPerPipeline);
-  table.add_row({"rate adapt, per-pipeline (4.3)",
-                 fmt(per_pipe.average_power.value(), 1),
-                 fmt_percent(per_pipe.savings_vs_none), "none",
-                 "independent clock trees"});
-  RateAdaptConfig ra_lanes = ra;
-  ra_lanes.lane_steps = {0.25, 0.5, 1.0};
-  const auto lanes =
-      simulate_rate_adaptation(wb.pipes, ra_lanes, RateAdaptMode::kPerPipeline);
-  table.add_row({"  + SerDes down-rating (4.3)",
-                 fmt(lanes.average_power.value(), 1),
-                 fmt_percent(lanes.savings_vs_none), "none",
-                 "lane steps 1/4, 1/2, 1"});
-
-  // §4.4 parking.
   ParkingConfig pk;
   pk.model = model;
   pk.switch_capacity = Gbps{400.0};  // 4 ports x 100 G at this edge switch
   pk.wake_latency = Seconds::from_milliseconds(1.0);
-  const auto reactive = simulate_parking_reactive(wb.agg, pk);
-  table.add_row(
-      {"pipeline parking, reactive (4.4)",
-       fmt(reactive.average_power.value(), 1),
-       fmt_percent(reactive.savings_vs_all_on),
-       to_string(reactive.max_added_delay) + " buf",
-       fmt(reactive.mean_active_pipelines, 2) + " pipelines avg"});
 
-  std::vector<LoadForecast> forecast;
-  for (const auto& w : wb.traffic.schedule) {
-    forecast.push_back(LoadForecast{w.compute_begin, 0.0});
-    forecast.push_back(LoadForecast{w.comm_begin, 1.0});
-  }
-  const auto predictive = simulate_parking_predictive(wb.agg, forecast, pk);
-  table.add_row({"pipeline parking, predictive (4.4)",
-                 fmt(predictive.average_power.value(), 1),
-                 fmt_percent(predictive.savings_vs_all_on),
-                 to_string(predictive.max_added_delay) + " buf",
-                 "pre-woken from the job schedule"});
+  using Row = std::vector<std::string>;
+  const std::vector<std::function<Row()>> row_evals = {
+      // Today: everything on, no adaptation.
+      [&] {
+        const auto none =
+            simulate_rate_adaptation(wb.pipes, ra, RateAdaptMode::kNone);
+        return Row{"none (today)", fmt(none.average_power.value(), 1), "0.0%",
+                   "none", "10% proportional envelope"};
+      },
+      // §4.1 knobs: the deployment only needs L2+L3 without deep buffers or
+      // telemetry; static gating applies on top of nothing else.
+      [&] {
+        const auto knobs = RouterComponentModel::reference_router();
+        const Watts gated = knobs.power_in_cstate(SwitchCState::kC1LeanRouter,
+                                                  GatingQuality::kFixed);
+        return Row{
+            "power knobs (4.1)", fmt(gated.value(), 1),
+            fmt_percent(1.0 - gated.value() / knobs.total_power().value()),
+            "none", "static, vs 750 W fully-featured router"};
+      },
+      // §4.3 rate adaptation.
+      [&] {
+        const auto global =
+            simulate_rate_adaptation(wb.pipes, ra, RateAdaptMode::kGlobalAsic);
+        return Row{"rate adapt, global clock (4.3)",
+                   fmt(global.average_power.value(), 1),
+                   fmt_percent(global.savings_vs_none), "none",
+                   std::to_string(global.frequency_transitions) +
+                       " clock changes"};
+      },
+      [&] {
+        const auto per_pipe =
+            simulate_rate_adaptation(wb.pipes, ra, RateAdaptMode::kPerPipeline);
+        return Row{"rate adapt, per-pipeline (4.3)",
+                   fmt(per_pipe.average_power.value(), 1),
+                   fmt_percent(per_pipe.savings_vs_none), "none",
+                   "independent clock trees"};
+      },
+      [&] {
+        RateAdaptConfig ra_lanes = ra;
+        ra_lanes.lane_steps = {0.25, 0.5, 1.0};
+        const auto lanes = simulate_rate_adaptation(wb.pipes, ra_lanes,
+                                                    RateAdaptMode::kPerPipeline);
+        return Row{"  + SerDes down-rating (4.3)",
+                   fmt(lanes.average_power.value(), 1),
+                   fmt_percent(lanes.savings_vs_none), "none",
+                   "lane steps 1/4, 1/2, 1"};
+      },
+      // §4.4 parking.
+      [&] {
+        const auto reactive = simulate_parking_reactive(wb.agg, pk);
+        return Row{"pipeline parking, reactive (4.4)",
+                   fmt(reactive.average_power.value(), 1),
+                   fmt_percent(reactive.savings_vs_all_on),
+                   to_string(reactive.max_added_delay) + " buf",
+                   fmt(reactive.mean_active_pipelines, 2) + " pipelines avg"};
+      },
+      [&] {
+        std::vector<LoadForecast> forecast;
+        for (const auto& w : wb.traffic.schedule) {
+          forecast.push_back(LoadForecast{w.compute_begin, 0.0});
+          forecast.push_back(LoadForecast{w.comm_begin, 1.0});
+        }
+        const auto predictive =
+            simulate_parking_predictive(wb.agg, forecast, pk);
+        return Row{"pipeline parking, predictive (4.4)",
+                   fmt(predictive.average_power.value(), 1),
+                   fmt_percent(predictive.savings_vs_all_on),
+                   to_string(predictive.max_added_delay) + " buf",
+                   "pre-woken from the job schedule"};
+      },
+  };
 
+  SweepRunner runner;
+  const auto rows = runner.map<Row>(
+      row_evals.size(),
+      [&](std::size_t index, Rng&) { return row_evals[index](); });
+
+  Table table{{"Mechanism (Sec.)", "Avg power (W)", "Savings vs today",
+               "Latency cost", "Notes"}};
+  for (const auto& row : rows) table.add_row(row);
   std::printf("%s", table.to_ascii().c_str());
 
   // EEE on one transceiver-grade link, for the historical perspective.

@@ -5,10 +5,12 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
 #include "netpp/analysis/report.h"
 #include "netpp/mech/parking.h"
+#include "netpp/sim/sweep.h"
 
 namespace {
 
@@ -48,22 +50,37 @@ void print_sweep() {
   const auto trace = ml_trace(10);
   const auto forecast = ml_forecast(10);
 
+  // Scenario fan-out: each wake latency evaluates both policies on one
+  // SweepRunner worker; rows print in scenario order regardless of which
+  // worker finishes first.
+  const std::vector<double> wake_ms_values = {0.0, 0.1, 1.0, 10.0, 50.0};
+  struct PolicyPair {
+    ParkingResult reactive;
+    ParkingResult predictive;
+  };
+  SweepRunner runner;
+  const auto scenarios = runner.map<PolicyPair>(
+      wake_ms_values.size(), [&](std::size_t index, Rng&) {
+        ParkingConfig cfg;
+        cfg.model = SwitchPowerModel{};
+        cfg.wake_latency = Seconds::from_milliseconds(wake_ms_values[index]);
+        return PolicyPair{
+            simulate_parking_reactive(trace, cfg),
+            simulate_parking_predictive(trace, forecast, cfg)};
+      });
+
   Table table{{"Policy", "Wake latency", "Savings", "Max buffered",
                "Max added delay", "Dropped"}};
-  for (double wake_ms : {0.0, 0.1, 1.0, 10.0, 50.0}) {
-    ParkingConfig cfg;
-    cfg.model = SwitchPowerModel{};
-    cfg.wake_latency = Seconds::from_milliseconds(wake_ms);
-
-    const auto reactive = simulate_parking_reactive(trace, cfg);
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const double wake_ms = wake_ms_values[i];
+    const auto& reactive = scenarios[i].reactive;
     table.add_row({"reactive", fmt(wake_ms, 1) + " ms",
                    fmt_percent(reactive.savings_vs_all_on),
                    fmt(reactive.max_buffered.value() / 8e6, 2) + " MB",
                    to_string(reactive.max_added_delay),
                    fmt(reactive.dropped.value() / 8e6, 2) + " MB"});
 
-    const auto predictive =
-        simulate_parking_predictive(trace, forecast, cfg);
+    const auto& predictive = scenarios[i].predictive;
     table.add_row({"predictive", fmt(wake_ms, 1) + " ms",
                    fmt_percent(predictive.savings_vs_all_on),
                    fmt(predictive.max_buffered.value() / 8e6, 2) + " MB",
@@ -77,20 +94,26 @@ void print_sweep() {
       "the ML schedule to pre-wake and avoids both (Sec. 4.4).\n\n");
 
   netpp::bench::print_banner("Threshold sensitivity (reactive, 1 ms wake)");
-  Table thresh{{"hi/lo thresholds", "Savings", "Wakes", "Parks",
-                "Mean active pipelines"}};
   struct Band {
     double hi, lo;
   };
-  for (const Band band : {Band{0.95, 0.80}, Band{0.85, 0.60},
-                          Band{0.70, 0.40}, Band{0.50, 0.20}}) {
-    ParkingConfig cfg;
-    cfg.model = SwitchPowerModel{};
-    cfg.wake_latency = Seconds::from_milliseconds(1.0);
-    cfg.hi_threshold = band.hi;
-    cfg.lo_threshold = band.lo;
-    const auto result = simulate_parking_reactive(trace, cfg);
-    thresh.add_row({fmt(band.hi, 2) + "/" + fmt(band.lo, 2),
+  const std::vector<Band> bands = {
+      {0.95, 0.80}, {0.85, 0.60}, {0.70, 0.40}, {0.50, 0.20}};
+  const auto band_results = runner.map<ParkingResult>(
+      bands.size(), [&](std::size_t index, Rng&) {
+        ParkingConfig cfg;
+        cfg.model = SwitchPowerModel{};
+        cfg.wake_latency = Seconds::from_milliseconds(1.0);
+        cfg.hi_threshold = bands[index].hi;
+        cfg.lo_threshold = bands[index].lo;
+        return simulate_parking_reactive(trace, cfg);
+      });
+
+  Table thresh{{"hi/lo thresholds", "Savings", "Wakes", "Parks",
+                "Mean active pipelines"}};
+  for (std::size_t i = 0; i < bands.size(); ++i) {
+    const auto& result = band_results[i];
+    thresh.add_row({fmt(bands[i].hi, 2) + "/" + fmt(bands[i].lo, 2),
                     fmt_percent(result.savings_vs_all_on),
                     std::to_string(result.wake_transitions),
                     std::to_string(result.park_transitions),

@@ -5,11 +5,13 @@
 
 #include <cmath>
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
 #include "netpp/analysis/report.h"
 #include "netpp/mech/downrate.h"
 #include "netpp/mech/rateadapt.h"
+#include "netpp/sim/sweep.h"
 
 namespace {
 
@@ -40,23 +42,39 @@ void print_sweep() {
   RateAdaptConfig cfg_lanes = cfg;
   cfg_lanes.lane_steps = {0.25, 0.5, 1.0};
 
-  Table table{{"Mean load", "Skew", "Global clock", "Per-pipeline",
-               "Per-pipeline + lanes"}};
+  // Flatten the load x skew grid into a scenario list and fan it out;
+  // each cell evaluates all three clocking modes on one worker.
+  struct GridPoint {
+    double load, skew;
+  };
+  std::vector<GridPoint> grid;
   for (double load : {0.05, 0.10, 0.25, 0.50}) {
     for (double skew : {0.0, 0.5, 1.0}) {
-      const auto trace =
-          skewed_trace(load, skew, model.config().num_pipelines);
-      const auto global =
-          simulate_rate_adaptation(trace, cfg, RateAdaptMode::kGlobalAsic);
-      const auto per_pipe =
-          simulate_rate_adaptation(trace, cfg, RateAdaptMode::kPerPipeline);
-      const auto lanes = simulate_rate_adaptation(trace, cfg_lanes,
-                                                  RateAdaptMode::kPerPipeline);
-      table.add_row({fmt_percent(load, 0), fmt(skew, 1),
-                     fmt_percent(global.savings_vs_none),
-                     fmt_percent(per_pipe.savings_vs_none),
-                     fmt_percent(lanes.savings_vs_none)});
+      grid.push_back({load, skew});
     }
+  }
+  struct GridResult {
+    RateAdaptResult global, per_pipe, lanes;
+  };
+  SweepRunner runner;
+  const auto cells = runner.map<GridResult>(
+      grid.size(), [&](std::size_t index, Rng&) {
+        const auto trace = skewed_trace(grid[index].load, grid[index].skew,
+                                        model.config().num_pipelines);
+        return GridResult{
+            simulate_rate_adaptation(trace, cfg, RateAdaptMode::kGlobalAsic),
+            simulate_rate_adaptation(trace, cfg, RateAdaptMode::kPerPipeline),
+            simulate_rate_adaptation(trace, cfg_lanes,
+                                     RateAdaptMode::kPerPipeline)};
+      });
+
+  Table table{{"Mean load", "Skew", "Global clock", "Per-pipeline",
+               "Per-pipeline + lanes"}};
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    table.add_row({fmt_percent(grid[i].load, 0), fmt(grid[i].skew, 1),
+                   fmt_percent(cells[i].global.savings_vs_none),
+                   fmt_percent(cells[i].per_pipe.savings_vs_none),
+                   fmt_percent(cells[i].lanes.savings_vs_none)});
   }
   std::printf("%s", table.to_ascii().c_str());
   std::printf(
@@ -82,14 +100,21 @@ void print_downrating() {
   }
   trace.end = Seconds{day};
 
+  const std::vector<double> effs = {1.0, 0.5, 0.2, 0.0};
+  SweepRunner runner;
+  const auto results = runner.map<DownrateResult>(
+      effs.size(), [&](std::size_t index, Rng&) {
+        DownrateConfig cfg;
+        cfg.gating_effectiveness = effs[index];
+        cfg.down_dwell = Seconds{1800.0};
+        return simulate_downrating(trace, cfg);
+      });
+
   Table table{{"Gating effectiveness", "Savings", "Mean speed",
                "Transitions", "Violations"}};
-  for (double eff : {1.0, 0.5, 0.2, 0.0}) {
-    DownrateConfig cfg;
-    cfg.gating_effectiveness = eff;
-    cfg.down_dwell = Seconds{1800.0};
-    const auto result = simulate_downrating(trace, cfg);
-    table.add_row({fmt_percent(eff, 0),
+  for (std::size_t i = 0; i < effs.size(); ++i) {
+    const auto& result = results[i];
+    table.add_row({fmt_percent(effs[i], 0),
                    fmt_percent(result.savings_fraction),
                    fmt(result.mean_speed.value(), 0) + "G",
                    std::to_string(result.transitions),

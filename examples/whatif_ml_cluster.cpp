@@ -11,10 +11,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "netpp/analysis/report.h"
 #include "netpp/analysis/savings.h"
 #include "netpp/analysis/speedup.h"
+#include "netpp/sim/sweep.h"
 
 int main(int argc, char** argv) {
   using namespace netpp;
@@ -69,28 +71,35 @@ int main(int argc, char** argv) {
       Gbps{gbps}};
   const BudgetSolver solver{config, workload};
 
+  // The 11 proportionality points are independent; sweep them across a
+  // thread pool and assemble the table in point order afterwards.
+  SweepRunner runner;
+  const auto rows = runner.map<std::vector<std::string>>(
+      11, [&](std::size_t index, Rng&) {
+        const double proportionality = static_cast<double>(index) / 10.0;
+        const auto cell =
+            savings_at(config, config.bandwidth_per_gpu, proportionality,
+                       config.network_proportionality);
+        const auto budgeted = solver.solve(config.bandwidth_per_gpu,
+                                           proportionality,
+                                           BudgetScenario::kFixedCommRatio);
+        const auto baseline = solver.solve(config.bandwidth_per_gpu,
+                                           config.network_proportionality,
+                                           BudgetScenario::kFixedCommRatio);
+        const double speedup =
+            solver.speedup_vs(budgeted, baseline.iteration.iteration_time());
+        const ClusterModel at_p =
+            cluster.with_network_proportionality(proportionality);
+        return std::vector<std::string>{
+            fmt(proportionality, 2),
+            fmt(at_p.average_total_power().kilowatts(), 1),
+            fmt(100.0 * cell.savings_fraction, 2),
+            fmt(budgeted.num_gpus, 0), fmt(100.0 * speedup, 2)};
+      });
+
   Table table{{"proportionality", "cluster_power_kw", "savings_pct",
                "budget_gpus", "speedup_pct"}};
-  for (int p = 0; p <= 100; p += 10) {
-    const double proportionality = p / 100.0;
-    const auto cell =
-        savings_at(config, config.bandwidth_per_gpu, proportionality,
-                   config.network_proportionality);
-    const auto budgeted = solver.solve(config.bandwidth_per_gpu,
-                                       proportionality,
-                                       BudgetScenario::kFixedCommRatio);
-    const auto baseline = solver.solve(config.bandwidth_per_gpu,
-                                       config.network_proportionality,
-                                       BudgetScenario::kFixedCommRatio);
-    const double speedup =
-        solver.speedup_vs(budgeted, baseline.iteration.iteration_time());
-    const ClusterModel at_p =
-        cluster.with_network_proportionality(proportionality);
-    table.add_row({fmt(proportionality, 2),
-                   fmt(at_p.average_total_power().kilowatts(), 1),
-                   fmt(100.0 * cell.savings_fraction, 2),
-                   fmt(budgeted.num_gpus, 0), fmt(100.0 * speedup, 2)});
-  }
+  for (const auto& row : rows) table.add_row(row);
 
   if (csv) {
     std::printf("%s", table.to_csv().c_str());

@@ -31,6 +31,7 @@
 #include "netpp/sim/engine.h"
 #include "netpp/sim/random.h"
 #include "netpp/sim/stats.h"
+#include "netpp/sim/sweep.h"
 
 // topo
 #include "netpp/topo/builders.h"

@@ -4,8 +4,20 @@
 // flow gets its max-min fair rate given the capacities of the directed links
 // it crosses. Progressive filling: repeatedly find the most contended link,
 // freeze its flows at the link's equal share, subtract, repeat.
+//
+// The solver is built for the simulator's hot path: flows are described as
+// views (std::span) over caller-owned resource-index arrays (zero copies),
+// the flow->resource incidence is laid out flat in CSR form, and the "find
+// the tightest link / smallest cap" steps run over lazy-delete min-heaps
+// instead of per-round linear scans. Results are bit-identical to the
+// textbook scan-based implementation (kept as a reference in the tests and
+// the scale bench): shares are computed with the same expressions in the
+// same order, and ties break toward the lowest index exactly as a first-hit
+// linear scan does.
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 namespace netpp {
@@ -18,9 +30,48 @@ struct FairShareFlow {
   double cap = 0.0;
 };
 
-/// Computes max-min fair rates.
-/// `capacities[r]` is the capacity of resource r (> 0).
-/// Returns one rate per flow, in the input order.
+/// Zero-copy flow description: a view over caller-owned resource indices.
+/// The viewed array must stay alive and unchanged for the duration of the
+/// solve. (`FlowSimulator` points these at `ActiveFlow::directed_indices`.)
+struct FairShareFlowView {
+  std::span<const std::size_t> resources;
+  /// Optional per-flow rate cap. <= 0 means uncapped.
+  double cap = 0.0;
+};
+
+/// Reusable max-min solver. Keeping one instance alive across solves reuses
+/// all workspace buffers (CSR arrays, heaps, residuals), so a steady-state
+/// simulation allocates nothing per event.
+class MaxMinSolver {
+ public:
+  /// Computes max-min fair rates. `capacities[r]` is the capacity of
+  /// resource r (> 0). Returns one rate per flow, in input order; the
+  /// reference stays valid until the next solve() on this instance.
+  const std::vector<double>& solve(std::span<const FairShareFlowView> flows,
+                                   std::span<const double> capacities);
+
+ private:
+  struct HeapEntry {
+    double key;
+    std::size_t idx;
+  };
+
+  void freeze(std::span<const FairShareFlowView> flows, std::size_t f,
+              double value);
+
+  std::vector<double> rate_;
+  std::vector<double> residual_;
+  std::vector<std::uint32_t> active_on_;
+  std::vector<std::uint8_t> frozen_;
+  std::vector<std::size_t> csr_offsets_;  // size num_resources + 1
+  std::vector<std::size_t> csr_flows_;    // flow ids grouped by resource
+  std::vector<std::size_t> csr_cursor_;   // fill cursor scratch
+  std::vector<HeapEntry> link_heap_;      // (share, resource), lazy-delete
+  std::vector<HeapEntry> cap_heap_;       // (cap, flow), lazy-delete
+};
+
+/// Convenience wrapper over MaxMinSolver for owned-vector callers (tests,
+/// one-off analyses). Hot paths should hold a MaxMinSolver and pass views.
 [[nodiscard]] std::vector<double> max_min_fair_rates(
     const std::vector<FairShareFlow>& flows,
     const std::vector<double>& capacities);

@@ -16,6 +16,7 @@
 #include <optional>
 #include <vector>
 
+#include "netpp/netsim/fairshare.h"
 #include "netpp/sim/engine.h"
 #include "netpp/sim/stats.h"
 #include "netpp/topo/graph.h"
@@ -63,6 +64,19 @@ class FlowSimulator {
     std::size_t max_ecmp_paths = 16;
     /// Per-flow rate cap; 0 disables (flows are then only link-limited).
     Gbps flow_rate_cap{0.0};
+    /// Incremental reallocation: arrivals and departures that provably leave
+    /// every other flow's allocation unchanged (all touched links stay
+    /// strictly unsaturated) skip the full fair-share re-solve. The
+    /// resulting allocation is the same max-min solution; disable only to
+    /// cross-check (see tests/netsim/flowsim_incremental_test.cpp).
+    bool incremental_reallocation = true;
+  };
+
+  /// Observability counters for the reallocation fast paths.
+  struct ReallocStats {
+    std::uint64_t full_solves = 0;
+    std::uint64_t fast_arrivals = 0;    // admitted at cap, no re-solve
+    std::uint64_t fast_departures = 0;  // removed without re-solve
   };
 
   /// `graph`, `router`, and `engine` must outlive the simulator. The router
@@ -112,6 +126,12 @@ class FlowSimulator {
   /// Summary of flow completion times so far.
   [[nodiscard]] const SummaryStat& fct_stats() const { return fct_; }
 
+  /// How often the solver ran vs. how often the incremental fast paths
+  /// absorbed an event.
+  [[nodiscard]] const ReallocStats& realloc_stats() const {
+    return realloc_stats_;
+  }
+
   [[nodiscard]] const Graph& graph() const { return graph_; }
   [[nodiscard]] SimEngine& engine() { return engine_; }
 
@@ -130,6 +150,13 @@ class FlowSimulator {
   void reallocate(Seconds now);
   void schedule_next_completion();
   void complete_due_flows(Seconds now);
+  /// Arrival fast path: if the new flow (already in active_) can run at its
+  /// cap without saturating any link it crosses, no other allocation moves.
+  bool try_fast_arrival(Seconds now, ActiveFlow& flow);
+  /// Departure fast path: a flow leaving only strictly-unsaturated links
+  /// frees no bottleneck, so the remaining allocations stand.
+  bool try_fast_departure(Seconds now, const ActiveFlow& flow);
+  void set_directed_rate(Seconds now, std::size_t index, double value);
 
   const Graph& graph_;
   Router& router_;
@@ -139,7 +166,16 @@ class FlowSimulator {
   std::vector<ActiveFlow> active_;
   std::vector<FlowRecord> completed_;
   std::vector<double> directed_capacity_bps_;   // 2 per link
-  std::vector<TimeWeighted> directed_rate_bps_;  // current carried rate
+  std::vector<TimeWeighted> directed_rate_bps_;  // time-weighted history
+  std::vector<double> carried_bps_;              // current carried rate
+
+  // Persistent solver workspace: the problem views point straight into
+  // ActiveFlow::directed_indices (no per-event copies), and the solver
+  // reuses its internal buffers across events.
+  MaxMinSolver solver_;
+  std::vector<FairShareFlowView> problem_;
+  std::vector<double> carried_scratch_;
+  ReallocStats realloc_stats_;
   SummaryStat fct_;
   std::size_t unroutable_ = 0;
   FlowId next_id_ = 1;

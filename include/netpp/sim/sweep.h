@@ -1,0 +1,61 @@
+// Parallel scenario sweeps.
+//
+// Every bench/what-if binary is a sweep: run N independent scenario
+// configurations, collect one result per scenario, print them in order.
+// SweepRunner fans those scenarios out over a std::thread pool while
+// keeping runs bit-reproducible: each scenario gets its own Rng seeded as a
+// pure function of (base_seed, scenario index), and results land in a
+// pre-sized vector slot per scenario, so neither thread count nor
+// scheduling order can change any output.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "netpp/sim/random.h"
+
+namespace netpp {
+
+struct SweepConfig {
+  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  std::size_t num_threads = 0;
+  /// Base seed all per-scenario seeds derive from.
+  std::uint64_t base_seed = 0x9e3779b97f4a7c15ULL;
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepConfig config = {});
+
+  /// The seed scenario `index` runs with: SplitMix64 over (base_seed,
+  /// index), independent of thread count and execution order.
+  [[nodiscard]] std::uint64_t scenario_seed(std::size_t index) const;
+
+  /// Runs `task(index)` for every index in [0, n) across the pool. Blocks
+  /// until all scenarios finish. If tasks throw, the exception from the
+  /// smallest failing index is rethrown after the pool drains.
+  void run_indexed(std::size_t n,
+                   const std::function<void(std::size_t)>& task);
+
+  /// Runs `task(index, rng)` for every index in [0, n) and returns the
+  /// results in index order. `rng` is deterministically seeded per scenario.
+  template <typename R>
+  std::vector<R> map(std::size_t n,
+                     const std::function<R(std::size_t, Rng&)>& task) {
+    std::vector<R> results(n);
+    run_indexed(n, [&](std::size_t index) {
+      Rng rng{scenario_seed(index)};
+      results[index] = task(index, rng);
+    });
+    return results;
+  }
+
+  [[nodiscard]] std::size_t num_threads() const { return num_threads_; }
+
+ private:
+  std::size_t num_threads_;
+  std::uint64_t base_seed_;
+};
+
+}  // namespace netpp

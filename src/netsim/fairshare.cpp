@@ -6,59 +6,130 @@
 
 namespace netpp {
 
-std::vector<double> max_min_fair_rates(
-    const std::vector<FairShareFlow>& flows,
-    const std::vector<double>& capacities) {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Min-heap on (key, idx): smallest key first, ties toward the smallest
+// index. This reproduces the reference solver's first-hit linear scan
+// (strict '<' keeps the lowest index among equal candidates).
+struct EntryGreater {
+  template <typename E>
+  bool operator()(const E& a, const E& b) const {
+    if (a.key != b.key) return a.key > b.key;
+    return a.idx > b.idx;
+  }
+};
+
+}  // namespace
+
+void MaxMinSolver::freeze(std::span<const FairShareFlowView> flows,
+                          std::size_t f, double value) {
+  frozen_[f] = 1;
+  rate_[f] = value;
+  for (std::size_t r : flows[f].resources) {
+    residual_[r] -= value;
+    if (residual_[r] < 0.0) residual_[r] = 0.0;
+    --active_on_[r];
+    // No heap update here: freezing at the current fill level v only raises
+    // a touched link's share ((residual - v) / (n - 1) >= residual / n
+    // whenever residual / n >= v, which progressive filling guarantees), so
+    // the link's existing heap entry is a valid lower bound. solve() fixes
+    // it up lazily when it reaches the top.
+  }
+}
+
+const std::vector<double>& MaxMinSolver::solve(
+    std::span<const FairShareFlowView> flows,
+    std::span<const double> capacities) {
   for (double c : capacities) {
     if (c <= 0.0) throw std::invalid_argument("capacities must be positive");
   }
   const std::size_t num_flows = flows.size();
   const std::size_t num_res = capacities.size();
 
-  std::vector<double> rate(num_flows, 0.0);
-  std::vector<bool> frozen(num_flows, false);
-  std::vector<double> residual = capacities;
-  std::vector<std::size_t> active_on(num_res, 0);
+  rate_.assign(num_flows, 0.0);
+  frozen_.assign(num_flows, 0);
+  residual_.assign(capacities.begin(), capacities.end());
+  active_on_.assign(num_res, 0);
 
-  std::vector<std::vector<std::size_t>> flows_on(num_res);
+  // Flat CSR flow->resource incidence: count, prefix-sum, fill. Grouping per
+  // resource preserves flow order, matching the reference's adjacency lists.
+  std::size_t total = 0;
+  for (const auto& flow : flows) {
+    for (std::size_t r : flow.resources) {
+      if (r >= num_res) throw std::out_of_range("resource index out of range");
+      ++active_on_[r];
+    }
+    total += flow.resources.size();
+  }
+  csr_offsets_.assign(num_res + 1, 0);
+  for (std::size_t r = 0; r < num_res; ++r) {
+    csr_offsets_[r + 1] = csr_offsets_[r] + active_on_[r];
+  }
+  csr_flows_.resize(total);
+  csr_cursor_.assign(csr_offsets_.begin(), csr_offsets_.end() - 1);
   for (std::size_t f = 0; f < num_flows; ++f) {
     for (std::size_t r : flows[f].resources) {
-      if (r >= num_res) throw std::out_of_range("resource index out of range");
-      flows_on[r].push_back(f);
-      ++active_on[r];
+      csr_flows_[csr_cursor_[r]++] = f;
     }
   }
 
-  // Flows with a cap participate in filling until the fill level reaches
-  // their cap, at which point they freeze at the cap. Iterate: the next
-  // binding constraint is either the tightest link's equal share or the
-  // smallest unfrozen cap.
-  constexpr double kInf = std::numeric_limits<double>::infinity();
-  std::size_t remaining = num_flows;
+  // Seed the heaps: every populated resource's initial share, every cap.
+  link_heap_.clear();
+  for (std::size_t r = 0; r < num_res; ++r) {
+    if (active_on_[r] > 0) {
+      link_heap_.push_back(
+          {residual_[r] / static_cast<double>(active_on_[r]), r});
+    }
+  }
+  std::make_heap(link_heap_.begin(), link_heap_.end(), EntryGreater{});
+  cap_heap_.clear();
+  for (std::size_t f = 0; f < num_flows; ++f) {
+    if (flows[f].cap > 0.0) cap_heap_.push_back({flows[f].cap, f});
+  }
+  std::make_heap(cap_heap_.begin(), cap_heap_.end(), EntryGreater{});
 
-  // Unconstrained, uncapped flows never freeze via links; give them inf-like
-  // treatment by freezing them at the end. Track them now.
+  std::size_t remaining = num_flows;
   while (remaining > 0) {
-    // Fill level candidate from links.
+    // Tightest link. Heap entries are lower bounds on the links' current
+    // shares (shares only grow as filling proceeds): drop entries for
+    // emptied links, re-push stale entries at their current share, and stop
+    // when the top is current — it is then the true minimum, with ties
+    // broken toward the lowest index exactly like the reference scan.
     double link_share = kInf;
     std::size_t tight_link = num_res;
-    for (std::size_t r = 0; r < num_res; ++r) {
-      if (active_on[r] == 0) continue;
-      const double share = residual[r] / static_cast<double>(active_on[r]);
-      if (share < link_share) {
-        link_share = share;
-        tight_link = r;
+    while (!link_heap_.empty()) {
+      const HeapEntry top = link_heap_.front();
+      if (active_on_[top.idx] != 0) {
+        const double current =
+            residual_[top.idx] / static_cast<double>(active_on_[top.idx]);
+        if (top.key == current) {
+          link_share = current;
+          tight_link = top.idx;
+          break;
+        }
+        std::pop_heap(link_heap_.begin(), link_heap_.end(), EntryGreater{});
+        link_heap_.back().key = current;
+        std::push_heap(link_heap_.begin(), link_heap_.end(), EntryGreater{});
+        continue;
       }
+      std::pop_heap(link_heap_.begin(), link_heap_.end(), EntryGreater{});
+      link_heap_.pop_back();
     }
-    // Fill level candidate from caps.
+
+    // Smallest unfrozen cap.
     double cap_level = kInf;
     std::size_t capped_flow = num_flows;
-    for (std::size_t f = 0; f < num_flows; ++f) {
-      if (frozen[f]) continue;
-      if (flows[f].cap > 0.0 && flows[f].cap < cap_level) {
-        cap_level = flows[f].cap;
-        capped_flow = f;
+    while (!cap_heap_.empty()) {
+      const HeapEntry top = cap_heap_.front();
+      if (!frozen_[top.idx]) {
+        cap_level = top.key;
+        capped_flow = top.idx;
+        break;
       }
+      std::pop_heap(cap_heap_.begin(), cap_heap_.end(), EntryGreater{});
+      cap_heap_.pop_back();
     }
 
     if (tight_link == num_res && capped_flow == num_flows) {
@@ -69,32 +140,38 @@ std::vector<double> max_min_fair_rates(
 
     if (cap_level <= link_share) {
       // Freeze the capped flow at its cap and release its share.
-      frozen[capped_flow] = true;
-      rate[capped_flow] = cap_level;
+      std::pop_heap(cap_heap_.begin(), cap_heap_.end(), EntryGreater{});
+      cap_heap_.pop_back();
+      freeze(flows, capped_flow, cap_level);
       --remaining;
-      for (std::size_t r : flows[capped_flow].resources) {
-        residual[r] -= cap_level;
-        if (residual[r] < 0.0) residual[r] = 0.0;
-        --active_on[r];
-      }
       continue;
     }
 
     // Freeze every unfrozen flow on the tightest link at the link share.
-    for (std::size_t f : flows_on[tight_link]) {
-      if (frozen[f]) continue;
-      frozen[f] = true;
-      rate[f] = link_share;
+    // (freeze() drains the link's active count, so the heap entry consumed
+    // here goes stale on its own.)
+    for (std::size_t i = csr_offsets_[tight_link];
+         i < csr_offsets_[tight_link + 1]; ++i) {
+      const std::size_t f = csr_flows_[i];
+      if (frozen_[f]) continue;
+      freeze(flows, f, link_share);
       --remaining;
-      for (std::size_t r : flows[f].resources) {
-        residual[r] -= link_share;
-        if (residual[r] < 0.0) residual[r] = 0.0;
-        --active_on[r];
-      }
     }
   }
 
-  return rate;
+  return rate_;
+}
+
+std::vector<double> max_min_fair_rates(
+    const std::vector<FairShareFlow>& flows,
+    const std::vector<double>& capacities) {
+  std::vector<FairShareFlowView> views;
+  views.reserve(flows.size());
+  for (const auto& flow : flows) {
+    views.push_back({std::span<const std::size_t>(flow.resources), flow.cap});
+  }
+  MaxMinSolver solver;
+  return solver.solve(views, capacities);
 }
 
 }  // namespace netpp

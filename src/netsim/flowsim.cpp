@@ -6,13 +6,15 @@
 #include <limits>
 #include <stdexcept>
 
-#include "netpp/netsim/fairshare.h"
-
 namespace netpp {
 
 namespace {
 constexpr double kEpsBits = 1.0;  // flows within 1 bit of done are done
-}
+// A link counts as strictly unsaturated only below this fraction of its
+// capacity; the margin absorbs the tiny float drift the incremental
+// carried-rate bookkeeping can accumulate between full solves.
+constexpr double kUnsaturatedFraction = 1.0 - 1e-9;
+}  // namespace
 
 FlowSimulator::FlowSimulator(const Graph& graph, Router& router,
                              SimEngine& engine, Config config)
@@ -25,6 +27,7 @@ FlowSimulator::FlowSimulator(const Graph& graph, Router& router,
       directed_rate_bps_.emplace_back(0.0, engine.now());
     }
   }
+  carried_bps_.assign(directed_capacity_bps_.size(), 0.0);
 }
 
 FlowSimulator::FlowSimulator(const Graph& graph, Router& router,
@@ -69,7 +72,12 @@ void FlowSimulator::admit(FlowSpec spec, FlowId id) {
 
   settle_progress(now);
   active_.push_back(std::move(flow));
-  reallocate(now);
+  if (try_fast_arrival(now, active_.back())) {
+    schedule_next_completion();
+    if (listener_) listener_(now);
+  } else {
+    reallocate(now);
+  }
 }
 
 void FlowSimulator::settle_progress(Seconds now) {
@@ -83,28 +91,72 @@ void FlowSimulator::settle_progress(Seconds now) {
   last_settle_ = now;
 }
 
+void FlowSimulator::set_directed_rate(Seconds now, std::size_t index,
+                                      double value) {
+  carried_bps_[index] = value;
+  directed_rate_bps_[index].set(now, value);
+}
+
+bool FlowSimulator::try_fast_arrival(Seconds now, ActiveFlow& flow) {
+  if (!config_.incremental_reallocation) return false;
+  const double cap_bps = config_.flow_rate_cap.bits_per_second();
+  if (cap_bps <= 0.0) return false;
+  for (std::size_t r : flow.directed_indices) {
+    if (carried_bps_[r] + cap_bps >
+        directed_capacity_bps_[r] * kUnsaturatedFraction) {
+      return false;
+    }
+  }
+  // Every link the flow crosses keeps headroom at the cap, so the flow's
+  // max-min rate is its cap and nobody else's bottleneck moves.
+  flow.rate_bps = cap_bps;
+  for (std::size_t r : flow.directed_indices) {
+    set_directed_rate(now, r, carried_bps_[r] + cap_bps);
+  }
+  ++realloc_stats_.fast_arrivals;
+  return true;
+}
+
+bool FlowSimulator::try_fast_departure(Seconds now, const ActiveFlow& flow) {
+  if (!config_.incremental_reallocation) return false;
+  for (std::size_t r : flow.directed_indices) {
+    if (carried_bps_[r] >= directed_capacity_bps_[r] * kUnsaturatedFraction) {
+      return false;
+    }
+  }
+  // None of the flow's links was a bottleneck (saturated), so removing it
+  // hands no other flow extra bandwidth.
+  for (std::size_t r : flow.directed_indices) {
+    set_directed_rate(now, r, std::max(0.0, carried_bps_[r] - flow.rate_bps));
+  }
+  ++realloc_stats_.fast_departures;
+  return true;
+}
+
 void FlowSimulator::reallocate(Seconds now) {
-  // Build the fair-share problem over directed links.
-  std::vector<FairShareFlow> problem;
-  problem.reserve(active_.size());
+  ++realloc_stats_.full_solves;
+  // Assemble the fair-share problem as views over the flows' own resource
+  // arrays — no copies, and the solver reuses its workspace.
+  problem_.clear();
+  problem_.reserve(active_.size());
   const double cap_bps = config_.flow_rate_cap.bits_per_second();
   for (const auto& flow : active_) {
-    FairShareFlow f;
-    f.resources = flow.directed_indices;
-    f.cap = cap_bps > 0.0 ? cap_bps : 0.0;
-    problem.push_back(std::move(f));
+    problem_.push_back({std::span<const std::size_t>(flow.directed_indices),
+                        cap_bps > 0.0 ? cap_bps : 0.0});
   }
-  const auto rates = max_min_fair_rates(problem, directed_capacity_bps_);
+  const auto& rates = solver_.solve(problem_, directed_capacity_bps_);
 
-  std::vector<double> carried(directed_capacity_bps_.size(), 0.0);
+  carried_scratch_.assign(directed_capacity_bps_.size(), 0.0);
   for (std::size_t i = 0; i < active_.size(); ++i) {
     active_[i].rate_bps = rates[i];
     for (std::size_t r : active_[i].directed_indices) {
-      carried[r] += rates[i];
+      carried_scratch_[r] += rates[i];
     }
   }
-  for (std::size_t r = 0; r < carried.size(); ++r) {
-    directed_rate_bps_[r].set(now, carried[r]);
+  for (std::size_t r = 0; r < carried_scratch_.size(); ++r) {
+    if (carried_scratch_[r] != carried_bps_[r]) {
+      set_directed_rate(now, r, carried_scratch_[r]);
+    }
   }
 
   schedule_next_completion();
@@ -131,26 +183,36 @@ void FlowSimulator::complete_due_flows(Seconds now) {
   completion_event_.reset();
   settle_progress(now);
   bool any = false;
-  for (auto it = active_.begin(); it != active_.end();) {
-    if (it->remaining_bits <= kEpsBits) {
-      FlowRecord record;
-      record.id = it->id;
-      record.spec = it->spec;
-      record.finished = now;
-      fct_.add(record.fct().value());
-      completed_.push_back(record);
-      it = active_.erase(it);
-      any = true;
-      if (completion_listener_) completion_listener_(completed_.back());
-    } else {
-      ++it;
+  bool all_fast = true;
+  for (std::size_t i = 0; i < active_.size();) {
+    if (active_[i].remaining_bits > kEpsBits) {
+      ++i;
+      continue;
     }
+    FlowRecord record;
+    record.id = active_[i].id;
+    record.spec = active_[i].spec;
+    record.finished = now;
+    fct_.add(record.fct().value());
+    completed_.push_back(record);
+    any = true;
+    all_fast = all_fast && try_fast_departure(now, active_[i]);
+    // Swap-and-pop: active-flow order carries no meaning (records and
+    // listeners are per-flow), and mid-vector erase is O(n).
+    if (i + 1 != active_.size()) {
+      std::swap(active_[i], active_.back());
+    }
+    active_.pop_back();
+    if (completion_listener_) completion_listener_(completed_.back());
   }
-  if (any) {
-    reallocate(now);
-  } else {
+  if (!any) {
     // Numerical guard: nothing finished (should not happen); reschedule.
     schedule_next_completion();
+  } else if (all_fast) {
+    schedule_next_completion();
+    if (listener_) listener_(now);
+  } else {
+    reallocate(now);
   }
 }
 

@@ -1,0 +1,76 @@
+#include "netpp/sim/sweep.h"
+
+#include <atomic>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+namespace netpp {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+SweepRunner::SweepRunner(SweepConfig config)
+    : num_threads_(config.num_threads != 0
+                       ? config.num_threads
+                       : std::max<std::size_t>(
+                             1, std::thread::hardware_concurrency())),
+      base_seed_(config.base_seed) {}
+
+std::uint64_t SweepRunner::scenario_seed(std::size_t index) const {
+  // Two SplitMix64 rounds decorrelate consecutive indices; the constant
+  // offsets base_seed so that index 0 does not reproduce the raw seed.
+  return splitmix64(splitmix64(base_seed_) +
+                    static_cast<std::uint64_t>(index));
+}
+
+void SweepRunner::run_indexed(std::size_t n,
+                              const std::function<void(std::size_t)>& task) {
+  if (n == 0) return;
+  const std::size_t workers = std::min(num_threads_, n);
+
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  std::size_t first_error_index = std::numeric_limits<std::size_t>::max();
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= n) return;
+      try {
+        task(index);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (index < first_error_index) {
+          first_error_index = index;
+          first_error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  if (workers == 1) {
+    // Degenerate pool: run inline (keeps single-core hosts and
+    // num_threads=1 debugging free of thread overhead).
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
+    for (auto& thread : pool) thread.join();
+  }
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace netpp

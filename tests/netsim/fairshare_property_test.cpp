@@ -1,0 +1,240 @@
+// Equivalence property test: the CSR + lazy-heap solver must be
+// bit-identical to the original scan-based progressive-filling solver on
+// randomized topologies and flow sets, including the awkward corners
+// (capped flows, links with no flows, stalled zero-rate flows, empty
+// paths, duplicate resources). "Bit-identical" is deliberate — both solvers
+// perform the same arithmetic in the same order, so EXPECT_EQ on doubles,
+// not EXPECT_NEAR.
+#include "netpp/netsim/fairshare.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "netpp/sim/random.h"
+
+namespace netpp {
+namespace {
+
+// The pre-optimization solver, kept verbatim as the semantic reference.
+std::vector<double> max_min_fair_rates_reference(
+    const std::vector<FairShareFlow>& flows,
+    const std::vector<double>& capacities) {
+  const std::size_t num_flows = flows.size();
+  const std::size_t num_res = capacities.size();
+
+  std::vector<double> rate(num_flows, 0.0);
+  std::vector<bool> frozen(num_flows, false);
+  std::vector<double> residual = capacities;
+  std::vector<std::size_t> active_on(num_res, 0);
+
+  std::vector<std::vector<std::size_t>> flows_on(num_res);
+  for (std::size_t f = 0; f < num_flows; ++f) {
+    for (std::size_t r : flows[f].resources) {
+      flows_on[r].push_back(f);
+      ++active_on[r];
+    }
+  }
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::size_t remaining = num_flows;
+  while (remaining > 0) {
+    double link_share = kInf;
+    std::size_t tight_link = num_res;
+    for (std::size_t r = 0; r < num_res; ++r) {
+      if (active_on[r] == 0) continue;
+      const double share = residual[r] / static_cast<double>(active_on[r]);
+      if (share < link_share) {
+        link_share = share;
+        tight_link = r;
+      }
+    }
+    double cap_level = kInf;
+    std::size_t capped_flow = num_flows;
+    for (std::size_t f = 0; f < num_flows; ++f) {
+      if (frozen[f]) continue;
+      if (flows[f].cap > 0.0 && flows[f].cap < cap_level) {
+        cap_level = flows[f].cap;
+        capped_flow = f;
+      }
+    }
+    if (tight_link == num_res && capped_flow == num_flows) break;
+    if (cap_level <= link_share) {
+      frozen[capped_flow] = true;
+      rate[capped_flow] = cap_level;
+      --remaining;
+      for (std::size_t r : flows[capped_flow].resources) {
+        residual[r] -= cap_level;
+        if (residual[r] < 0.0) residual[r] = 0.0;
+        --active_on[r];
+      }
+      continue;
+    }
+    for (std::size_t f : flows_on[tight_link]) {
+      if (frozen[f]) continue;
+      frozen[f] = true;
+      rate[f] = link_share;
+      --remaining;
+      for (std::size_t r : flows[f].resources) {
+        residual[r] -= link_share;
+        if (residual[r] < 0.0) residual[r] = 0.0;
+        --active_on[r];
+      }
+    }
+  }
+  return rate;
+}
+
+void expect_bit_identical(const std::vector<FairShareFlow>& flows,
+                          const std::vector<double>& caps,
+                          const char* what) {
+  const auto expected = max_min_fair_rates_reference(flows, caps);
+  const auto actual = max_min_fair_rates(flows, caps);
+  ASSERT_EQ(actual.size(), expected.size()) << what;
+  for (std::size_t f = 0; f < expected.size(); ++f) {
+    EXPECT_EQ(actual[f], expected[f]) << what << ", flow " << f;
+  }
+}
+
+std::vector<FairShareFlow> random_problem(Rng& rng, std::size_t num_res,
+                                          std::size_t num_flows) {
+  std::vector<FairShareFlow> flows;
+  flows.reserve(num_flows);
+  for (std::size_t f = 0; f < num_flows; ++f) {
+    FairShareFlow flow;
+    const auto path_len = static_cast<std::size_t>(rng.uniform_int(0, 4));
+    for (std::size_t h = 0; h < path_len; ++h) {
+      // Duplicates allowed on purpose: the solver must treat a flow listed
+      // twice on a link exactly like the reference does.
+      flow.resources.push_back(static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(num_res) - 1)));
+    }
+    const double roll = rng.uniform();
+    if (roll < 0.3) {
+      flow.cap = rng.uniform(0.1, 5.0);  // often binding
+    } else if (roll < 0.5) {
+      flow.cap = rng.uniform(50.0, 500.0);  // mostly inert
+    }
+    flows.push_back(std::move(flow));
+  }
+  return flows;
+}
+
+TEST(FairShareProperty, RandomizedBitIdenticalToReference) {
+  Rng rng{0x5eedUL};
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto num_res = static_cast<std::size_t>(rng.uniform_int(1, 12));
+    const auto num_flows = static_cast<std::size_t>(rng.uniform_int(0, 40));
+    std::vector<double> caps(num_res);
+    for (auto& c : caps) c = rng.uniform(0.5, 100.0);
+    const auto flows = random_problem(rng, num_res, num_flows);
+    expect_bit_identical(flows, caps, "randomized trial");
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST(FairShareProperty, UniformCapsLikeTheFlowSimulator) {
+  // The simulator's regime: every flow carries the same NIC cap.
+  Rng rng{0xCAFEUL};
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto num_res = static_cast<std::size_t>(rng.uniform_int(2, 16));
+    const auto num_flows = static_cast<std::size_t>(rng.uniform_int(1, 60));
+    std::vector<double> caps(num_res, 100.0);
+    auto flows = random_problem(rng, num_res, num_flows);
+    for (auto& flow : flows) flow.cap = 25.0;
+    expect_bit_identical(flows, caps, "uniform caps trial");
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST(FairShareProperty, ZeroActiveLinkIsIgnored) {
+  // Resource 1 has no flows; it must not affect the result.
+  const std::vector<FairShareFlow> flows = {{{0}, 0.0}, {{0, 2}, 0.0}};
+  expect_bit_identical(flows, {10.0, 1.0, 50.0}, "zero-active link");
+}
+
+TEST(FairShareProperty, StalledFlowsGetZero) {
+  // Uncapped flows that cross no capacitated resource take the solver's
+  // terminal break path and stall at rate 0 — even when mixed with real
+  // link-crossing and capped flows that keep the filling loop busy.
+  std::vector<FairShareFlow> flows;
+  for (int i = 0; i < 4; ++i) flows.push_back({{0}, 2.5});
+  flows.push_back({{0}, 0.0});
+  flows.push_back({{0, 1}, 0.0});
+  flows.push_back({{}, 0.0});  // stalled: no resources, no cap
+  flows.push_back({{}, 0.0});
+  const std::vector<double> caps = {10.0, 7.0};
+  expect_bit_identical(flows, caps, "stalled flows");
+  const auto rates = max_min_fair_rates(flows, caps);
+  EXPECT_EQ(rates[6], 0.0);
+  EXPECT_EQ(rates[7], 0.0);
+  // The contended link's flows all land on its equal share instead.
+  EXPECT_GT(rates[4], 0.0);
+}
+
+TEST(FairShareProperty, CappedFlowBelowAndAboveShare) {
+  const std::vector<FairShareFlow> flows = {
+      {{0}, 10.0}, {{0}, 0.0}, {{0}, 80.0}, {{}, 42.0}, {{}, 0.0}};
+  expect_bit_identical(flows, {100.0}, "cap edge cases");
+}
+
+TEST(FairShareProperty, SolverWorkspaceReuseIsClean) {
+  // One MaxMinSolver instance solving many different problems must give the
+  // same answers as a fresh solver each time (no state leaks across solves).
+  Rng rng{0xBEEFUL};
+  MaxMinSolver reused;
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto num_res = static_cast<std::size_t>(rng.uniform_int(1, 10));
+    const auto num_flows = static_cast<std::size_t>(rng.uniform_int(0, 30));
+    std::vector<double> caps(num_res);
+    for (auto& c : caps) c = rng.uniform(1.0, 50.0);
+    const auto flows = random_problem(rng, num_res, num_flows);
+
+    std::vector<FairShareFlowView> views;
+    views.reserve(flows.size());
+    for (const auto& flow : flows) {
+      views.push_back(
+          {std::span<const std::size_t>(flow.resources), flow.cap});
+    }
+    const auto& from_reused = reused.solve(views, caps);
+    const auto fresh = max_min_fair_rates(flows, caps);
+    ASSERT_EQ(from_reused.size(), fresh.size());
+    for (std::size_t f = 0; f < fresh.size(); ++f) {
+      EXPECT_EQ(from_reused[f], fresh[f]) << "trial " << trial;
+    }
+  }
+}
+
+TEST(FairShareProperty, ViewApiMatchesVectorApi) {
+  const std::vector<FairShareFlow> flows = {
+      {{0, 1}, 0.0}, {{1, 2}, 3.0}, {{0, 2}, 0.0}};
+  const std::vector<double> caps = {30.0, 25.0, 60.0};
+  const auto from_vectors = max_min_fair_rates(flows, caps);
+
+  std::vector<FairShareFlowView> views;
+  for (const auto& flow : flows) {
+    views.push_back({std::span<const std::size_t>(flow.resources), flow.cap});
+  }
+  MaxMinSolver solver;
+  const auto& from_views = solver.solve(views, caps);
+  ASSERT_EQ(from_views.size(), from_vectors.size());
+  for (std::size_t f = 0; f < from_vectors.size(); ++f) {
+    EXPECT_EQ(from_views[f], from_vectors[f]);
+  }
+}
+
+TEST(FairShareProperty, InvalidInputsThrowLikeReference) {
+  MaxMinSolver solver;
+  const std::vector<double> bad_cap = {0.0};
+  const std::vector<double> good_cap = {100.0};
+  const std::vector<std::size_t> out_of_range = {5};
+  std::vector<FairShareFlowView> views = {
+      {std::span<const std::size_t>(out_of_range), 0.0}};
+  EXPECT_THROW(solver.solve(views, good_cap), std::out_of_range);
+  views[0].resources = {};
+  EXPECT_THROW(solver.solve(views, bad_cap), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace netpp

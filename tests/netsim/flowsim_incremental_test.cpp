@@ -1,0 +1,157 @@
+// The incremental reallocation fast paths must not change what the
+// simulator computes: a run with incremental_reallocation on and one with
+// it off see the same completions, the same per-flow FCTs, and the same
+// link-utilization histories. The fast paths skip the solver only when the
+// skipped solve would reproduce the current allocation, so agreement is
+// expected to near-machine precision (the only divergence source is
+// carried-rate bookkeeping drift, bounded by the solver's slack margin).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "netpp/netsim/flowsim.h"
+#include "netpp/topo/builders.h"
+#include "netpp/traffic/generators.h"
+
+namespace netpp {
+namespace {
+
+using namespace netpp::literals;
+
+struct RunResult {
+  std::map<FlowId, double> fct;
+  double mean_util = 0.0;
+  std::size_t completed = 0;
+  FlowSimulator::ReallocStats stats;
+};
+
+RunResult run_workload(const BuiltTopology& topo,
+                       const std::vector<FlowSpec>& flows, Gbps cap,
+                       bool incremental) {
+  SimEngine engine;
+  Router router{topo.graph};
+  FlowSimulator::Config cfg;
+  cfg.flow_rate_cap = cap;
+  cfg.incremental_reallocation = incremental;
+  FlowSimulator sim{topo.graph, router, engine, cfg};
+  for (const auto& f : flows) sim.submit(f);
+  engine.run();
+
+  RunResult result;
+  result.completed = sim.completed().size();
+  for (const auto& record : sim.completed()) {
+    result.fct[record.id] = record.fct().value();
+  }
+  double util = 0.0;
+  const auto num_links = topo.graph.num_links();
+  for (LinkId l = 0; l < num_links; ++l) {
+    for (int dir = 0; dir < 2; ++dir) {
+      util += sim.average_link_utilization(DirectedLink{l, dir});
+    }
+  }
+  result.mean_util = util / static_cast<double>(num_links * 2);
+  result.stats = sim.realloc_stats();
+  return result;
+}
+
+void expect_equivalent(const RunResult& fast, const RunResult& full) {
+  ASSERT_EQ(fast.completed, full.completed);
+  ASSERT_EQ(fast.fct.size(), full.fct.size());
+  for (const auto& [id, fct] : full.fct) {
+    const auto it = fast.fct.find(id);
+    ASSERT_NE(it, fast.fct.end()) << "flow " << id;
+    EXPECT_NEAR(it->second, fct, 1e-9 * (1.0 + fct)) << "flow " << id;
+  }
+  EXPECT_NEAR(fast.mean_util, full.mean_util,
+              1e-9 * (1.0 + full.mean_util));
+}
+
+TEST(FlowSimIncremental, NicBoundPoissonMatchesFullResolve) {
+  // Uncongested NIC-capped regime: this is where the fast paths fire.
+  const auto topo = build_fat_tree(4, 100_Gbps);
+  PoissonTrafficConfig tcfg;
+  tcfg.arrivals_per_second = 200.0;
+  tcfg.duration = Seconds{4.0};
+  tcfg.min_size = Bits::from_gigabits(0.5);
+  tcfg.max_size = Bits::from_gigabits(10.0);
+  tcfg.seed = 99;
+  const auto flows = make_poisson_traffic(topo.hosts, tcfg);
+
+  const auto fast = run_workload(topo, flows, 25_Gbps, true);
+  const auto full = run_workload(topo, flows, 25_Gbps, false);
+
+  expect_equivalent(fast, full);
+  // The fast paths must actually engage in this regime...
+  EXPECT_GT(fast.stats.fast_arrivals, 0u);
+  EXPECT_GT(fast.stats.fast_departures, 0u);
+  EXPECT_LT(fast.stats.full_solves, full.stats.full_solves);
+  // ...and the control run must not take them.
+  EXPECT_EQ(full.stats.fast_arrivals, 0u);
+  EXPECT_EQ(full.stats.fast_departures, 0u);
+}
+
+TEST(FlowSimIncremental, CongestedUncappedMatchesFullResolve) {
+  // No NIC cap: every completion frees a saturated bottleneck, so the fast
+  // departure path must decline and results stay identical by construction.
+  const auto topo = build_fat_tree(4, 100_Gbps);
+  PoissonTrafficConfig tcfg;
+  tcfg.arrivals_per_second = 150.0;
+  tcfg.duration = Seconds{3.0};
+  tcfg.min_size = Bits::from_gigabits(1.0);
+  tcfg.max_size = Bits::from_gigabits(20.0);
+  tcfg.seed = 7;
+  const auto flows = make_poisson_traffic(topo.hosts, tcfg);
+
+  const auto fast = run_workload(topo, flows, Gbps{0.0}, true);
+  const auto full = run_workload(topo, flows, Gbps{0.0}, false);
+
+  expect_equivalent(fast, full);
+  // Uncapped arrivals can never take the arrival fast path.
+  EXPECT_EQ(fast.stats.fast_arrivals, 0u);
+}
+
+TEST(FlowSimIncremental, OverloadedNicCappedMatchesFullResolve) {
+  // NIC-capped but congested: access links saturate, so both fast paths
+  // engage only sometimes — the mixed regime exercises the handoff between
+  // fast and full events.
+  const auto topo = build_leaf_spine(2, 2, 4, 100_Gbps, 100_Gbps);
+  PoissonTrafficConfig tcfg;
+  tcfg.arrivals_per_second = 400.0;
+  tcfg.duration = Seconds{3.0};
+  tcfg.min_size = Bits::from_gigabits(1.0);
+  tcfg.max_size = Bits::from_gigabits(15.0);
+  tcfg.seed = 1;
+  const auto flows = make_poisson_traffic(topo.hosts, tcfg);
+
+  const auto fast = run_workload(topo, flows, 40_Gbps, true);
+  const auto full = run_workload(topo, flows, 40_Gbps, false);
+
+  expect_equivalent(fast, full);
+  EXPECT_GT(fast.stats.full_solves, 0u);
+}
+
+TEST(FlowSimIncremental, StatsCountEveryEvent) {
+  // Every admit and every completion batch lands in exactly one bucket.
+  const auto topo = build_fat_tree(4, 100_Gbps);
+  MlTrafficConfig mcfg;
+  mcfg.iterations = 3;
+  mcfg.volume_per_host = Bits::from_gigabits(1.0);
+  const auto traffic = make_ml_training_traffic(topo.hosts, mcfg);
+
+  SimEngine engine;
+  Router router{topo.graph};
+  FlowSimulator::Config cfg;
+  cfg.flow_rate_cap = 25_Gbps;
+  FlowSimulator sim{topo.graph, router, engine, cfg};
+  for (const auto& f : traffic.flows) sim.submit(f);
+  engine.run();
+
+  const auto& stats = sim.realloc_stats();
+  EXPECT_GT(stats.full_solves + stats.fast_arrivals + stats.fast_departures,
+            0u);
+  EXPECT_EQ(sim.active_flows(), 0u);
+  EXPECT_EQ(sim.completed().size(), traffic.flows.size());
+}
+
+}  // namespace
+}  // namespace netpp
