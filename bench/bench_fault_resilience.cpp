@@ -1,0 +1,174 @@
+// Robustness what-if: what does power proportionality cost when hardware
+// fails? Sweeps failure rate x degraded-mode policy over a leaf-spine
+// fabric running ring all-reduce training traffic, and reports the
+// resilience triangle: availability, stranded demand, and the energy delta
+// vs an always-all-on fabric.
+//
+// The sweep is bit-reproducible and thread-count independent: every
+// (rate, policy) cell derives its fault schedule from a seed that is a pure
+// function of the rate row, so all policies in a row face the *same* fault
+// trace, and SweepRunner writes results into pre-sized slots.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "netpp/analysis/report.h"
+#include "netpp/faults/experiment.h"
+#include "netpp/sim/sweep.h"
+#include "netpp/traffic/generators.h"
+
+namespace {
+
+using namespace netpp;
+using namespace netpp::literals;
+
+constexpr std::uint64_t kFaultSeed = 0xfa017u;
+
+struct RateCase {
+  const char* name;
+  /// Switch/link MTBF; 0 disables faults entirely (the baseline row).
+  double mtbf_s;
+  double mttr_s;
+};
+
+struct MechCase {
+  const char* name;
+  bool tailor;
+  DegradedPolicy policy;
+  double min_headroom;
+};
+
+const RateCase kRates[] = {
+    {"none", 0.0, 0.5},
+    {"mtbf=20s", 20.0, 0.5},
+    {"mtbf=5s", 5.0, 0.5},
+};
+
+const MechCase kMechs[] = {
+    {"all-on, no policy", false, DegradedPolicy::kNone, 0.0},
+    {"tailored, no policy", true, DegradedPolicy::kNone, 0.0},
+    {"tailored + wake-all", true, DegradedPolicy::kEmergencyWakeAll, 0.0},
+    {"tailored + re-tailor", true, DegradedPolicy::kRetailor, 0.0},
+    {"re-tailor, headroom 25%", true, DegradedPolicy::kRetailor, 0.25},
+};
+
+struct Scenario {
+  BuiltTopology topology;
+  std::vector<FlowSpec> workload;
+  std::vector<TrafficDemand> demands;
+  Seconds horizon{};
+};
+
+Scenario make_scenario() {
+  Scenario s;
+  s.topology = build_leaf_spine(4, 4, 4, 100_Gbps, 100_Gbps);
+  MlTrafficConfig traffic;
+  traffic.compute_time = Seconds{0.3};
+  traffic.comm_allowance = Seconds{0.5};
+  traffic.volume_per_host = Bits::from_gigabits(12.0);
+  traffic.collective = CollectiveKind::kRing;
+  traffic.iterations = 6;
+  s.workload = make_ml_training_traffic(s.topology.hosts, traffic).flows;
+  // Steady-state demand matrix for tailoring: the ring at the burst rate.
+  const auto& hosts = s.topology.hosts;
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    s.demands.push_back(
+        TrafficDemand{hosts[i], hosts[(i + 1) % hosts.size()], 30_Gbps});
+  }
+  s.horizon = Seconds{5.0};
+  return s;
+}
+
+FaultSchedule make_schedule(const Scenario& s, const RateCase& rate,
+                            std::size_t rate_index) {
+  if (rate.mtbf_s <= 0.0) return FaultSchedule{};
+  FaultGeneratorConfig config;
+  config.switches = DeviceReliability{Seconds{rate.mtbf_s}, Seconds{rate.mttr_s}};
+  config.links = DeviceReliability{Seconds{rate.mtbf_s * 2.0}, Seconds{rate.mttr_s}};
+  config.degraded_fraction = 0.25;
+  config.horizon = s.horizon;
+  // Seeded per rate row, NOT per sweep cell: every policy faces the same
+  // fault trace, so columns are comparable within a row.
+  config.seed = kFaultSeed + rate_index;
+  return FaultGenerator{config}.generate(s.topology.graph);
+}
+
+FaultExperimentResult run_cell(const Scenario& s, const RateCase& rate,
+                               std::size_t rate_index, const MechCase& mech) {
+  FaultExperimentConfig config;
+  config.tailor = mech.tailor;
+  config.degraded.policy = mech.policy;
+  config.degraded.min_headroom = mech.min_headroom;
+  config.degraded.wake_latency = Seconds::from_milliseconds(50.0);
+  config.demands = s.demands;
+  return run_fault_experiment(s.topology, s.workload,
+                              make_schedule(s, rate, rate_index), config);
+}
+
+void print_resilience_sweep() {
+  netpp::bench::print_banner(
+      "Failure rate x degraded-mode policy (4x4 leaf-spine, ring all-reduce)");
+  const Scenario s = make_scenario();
+  std::printf("Fabric: %zu switches, %zu links; workload: %zu flows over %s\n\n",
+              s.topology.switches.size(), s.topology.graph.num_links(),
+              s.workload.size(), to_string(s.horizon).c_str());
+
+  constexpr std::size_t kNumRates = std::size(kRates);
+  constexpr std::size_t kNumMechs = std::size(kMechs);
+  SweepRunner runner;
+  const auto results = runner.map<FaultExperimentResult>(
+      kNumRates * kNumMechs, [&](std::size_t index, Rng& /*rng*/) {
+        const std::size_t r = index / kNumMechs;
+        return run_cell(s, kRates[r], r, kMechs[index % kNumMechs]);
+      });
+
+  Table table{{"Faults", "Policy", "Injected", "Avail", "Stranded (Gbit*s)",
+               "p99 recovery", "Energy vs all-on"}};
+  for (std::size_t r = 0; r < kNumRates; ++r) {
+    for (std::size_t m = 0; m < kNumMechs; ++m) {
+      const auto& cell = results[r * kNumMechs + m];
+      table.add_row({kRates[r].name, kMechs[m].name,
+                     std::to_string(cell.report.faults_injected),
+                     fmt_percent(cell.report.availability, 2),
+                     fmt(cell.report.stranded_demand_gbit_seconds, 3),
+                     to_string(cell.report.p99_recovery),
+                     fmt_percent(cell.report.energy_delta, 1)});
+    }
+  }
+  std::printf("%s", table.to_ascii().c_str());
+  std::printf(
+      "Tailoring without a recall policy strands demand whenever the thin\n"
+      "fabric loses a device; re-tailoring (or headroom) buys the\n"
+      "availability back while keeping most of the energy savings - the\n"
+      "robustness caveat to Sec. 4.2's exact-fit tailoring.\n\n");
+}
+
+void BM_FaultExperiment(benchmark::State& state) {
+  const Scenario s = make_scenario();
+  const FaultSchedule schedule = make_schedule(s, kRates[2], 2);
+  for (auto _ : state) {
+    auto result = run_cell(s, kRates[2], 2, kMechs[3]);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_FaultExperiment);
+
+void BM_FaultScheduleGeneration(benchmark::State& state) {
+  const Scenario s = make_scenario();
+  for (auto _ : state) {
+    auto schedule = make_schedule(s, kRates[2], 2);
+    benchmark::DoNotOptimize(schedule);
+  }
+}
+BENCHMARK(BM_FaultScheduleGeneration);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_resilience_sweep();
+  return netpp::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,76 @@
+// Resilience reporting: how well did the fabric carry traffic through a
+// fault schedule, and what did the degraded-mode policy pay for it?
+//
+// Metrics (all computed from observable simulator/controller state):
+//
+//   availability            — fraction of flow-lifetime during which flows
+//                             could make progress: 1 - (stranded
+//                             flow-seconds / total flow-seconds). 1.0 means
+//                             no flow ever lacked a path.
+//   stranded demand         — integral of (remaining flow volume x time
+//                             spent stranded), in gigabit-seconds: how much
+//                             demand sat unserviceable, for how long.
+//   recovery time p99/mean  — distribution of how long stranded flows
+//                             waited for a path (emergency wake latency and
+//                             repair times both land here).
+//   energy delta            — powered-switch energy vs the always-all-on
+//                             fabric; negative means the policy still saved
+//                             energy despite waking capacity for faults.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netpp/units.h"
+
+namespace netpp {
+
+/// Raw observations of one faulty run (see bench_fault_resilience for the
+/// canonical way to fill it from FlowSimulator + DegradedModeController).
+struct ResilienceInput {
+  std::size_t flows_submitted = 0;
+  std::size_t flows_completed = 0;
+  /// Still stranded when the run ended (these never completed).
+  std::size_t flows_stranded_at_end = 0;
+  std::uint64_t faults_injected = 0;
+  std::uint64_t flows_rerouted = 0;
+  std::uint64_t strand_events = 0;
+  /// Integral of (remaining bits x stranded time), bit-seconds.
+  double stranded_bit_seconds = 0.0;
+  /// Sum of all completed flows' completion times, seconds (the denominator
+  /// of availability; includes time spent stranded).
+  double flow_seconds = 0.0;
+  /// Per-resume stranded durations, seconds (unsorted ok).
+  std::vector<double> strand_durations;
+  /// Integral of the powered-switch count over the run, switch-seconds.
+  double powered_switch_seconds = 0.0;
+  /// Same integral if every switch stayed on: num_switches x duration.
+  double all_on_switch_seconds = 0.0;
+  /// Average per-switch draw used to convert switch-seconds to energy.
+  Watts switch_power{};
+  Seconds duration{};
+};
+
+struct ResilienceReport {
+  double availability = 1.0;
+  double stranded_demand_gbit_seconds = 0.0;
+  Seconds mean_recovery{};
+  Seconds p99_recovery{};
+  /// Fraction of submitted flows that completed.
+  double completion_rate = 1.0;
+  Joules energy{};
+  Joules all_on_energy{};
+  /// energy / all_on_energy - 1: negative = saved vs all-on despite faults.
+  double energy_delta = 0.0;
+  std::uint64_t faults_injected = 0;
+  std::uint64_t flows_rerouted = 0;
+  std::uint64_t strand_events = 0;
+};
+
+/// Linear-interpolated quantile of `values` (q in [0, 1]); 0 when empty.
+[[nodiscard]] double sample_quantile(std::vector<double> values, double q);
+
+[[nodiscard]] ResilienceReport build_resilience_report(
+    const ResilienceInput& input);
+
+}  // namespace netpp

@@ -1,0 +1,63 @@
+// One-call fault-resilience experiment: topology + workload + fault schedule
+// + degraded-mode policy -> ResilienceReport.
+//
+// This is the harness behind bench_fault_resilience, the `netpp_cli faults`
+// subcommand, and the integration tests: it wires a FlowSimulator, an
+// optional initial tailoring pass, a FaultInjector, and a
+// DegradedModeController together, runs the engine dry, and folds the
+// observable state into a ResilienceInput/ResilienceReport. Everything is a
+// pure function of its inputs (seeded faults, deterministic simulator), so
+// two calls with the same arguments are bit-identical.
+#pragma once
+
+#include <vector>
+
+#include "netpp/analysis/resilience.h"
+#include "netpp/faults/degraded_mode.h"
+#include "netpp/faults/fault_model.h"
+#include "netpp/faults/injector.h"
+#include "netpp/mech/ocs.h"
+#include "netpp/netsim/flowsim.h"
+#include "netpp/topo/builders.h"
+
+namespace netpp {
+
+struct FaultExperimentConfig {
+  /// Run the initial tailoring pass and park the surplus switches before the
+  /// workload starts (the power-proportional operating point). When false,
+  /// the whole fabric stays powered.
+  bool tailor = false;
+  /// Degraded-mode policy applied on faults (tailor config, headroom, wake
+  /// latency live here too).
+  DegradedModeConfig degraded{};
+  /// Demand matrix used for tailoring / satisfiability checks. May be empty
+  /// when `tailor` is false and the policy is kNone.
+  std::vector<TrafficDemand> demands;
+  /// Per-switch draw used to convert powered-switch-seconds to energy.
+  Watts switch_power{350.0};
+  FlowSimulator::Config sim{};
+};
+
+struct FaultExperimentResult {
+  ResilienceReport report;
+  /// The initial tailoring outcome (feasible=false when `tailor` is off).
+  TailorResult tailoring;
+  FlowSimulator::ReallocStats realloc;
+  std::size_t emergency_wakes = 0;
+  std::size_t retailor_passes = 0;
+  /// Switches still powered when the run ended.
+  std::size_t powered_at_end = 0;
+  /// Engine time when the run drained (last completion, repair, or wake).
+  Seconds end{};
+  /// Flow-completion-time summary of the run.
+  SummaryStat fct;
+};
+
+/// Runs `workload` over `topology` while `schedule` fails/repairs devices.
+/// `schedule` may be empty (the no-fault baseline). The simulator strands
+/// unroutable flows so they can resume on recovery.
+[[nodiscard]] FaultExperimentResult run_fault_experiment(
+    const BuiltTopology& topology, const std::vector<FlowSpec>& workload,
+    const FaultSchedule& schedule, const FaultExperimentConfig& config);
+
+}  // namespace netpp

@@ -1,0 +1,96 @@
+// Fault model: what can break, when, and for how long.
+//
+// The §4 mechanisms all shrink the powered network to fit demand — which
+// also shrinks path diversity and spare capacity. To answer the operator's
+// "what happens when a link or switch dies while half the fabric is
+// parked?", this header models failures as explicit, schedulable events:
+//
+//   kLinkDown      — a link carries nothing until repaired;
+//   kSwitchDown    — a switch cannot transit traffic until repaired;
+//   kLinkDegraded  — a link runs at a fraction of its capacity (flaky
+//                    optics, FEC storms) until repaired.
+//
+// `FaultGenerator` draws a deterministic schedule from per-device-class
+// exponential MTBF/MTTR (the standard renewal model), seeded per device so
+// the trace is independent of iteration order and reusable across sweeps.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netpp/topo/graph.h"
+#include "netpp/units.h"
+
+namespace netpp {
+
+enum class FaultKind : std::uint8_t {
+  kLinkDown,
+  kSwitchDown,
+  kLinkDegraded,
+};
+
+/// One failure with its recovery time.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kLinkDown;
+  NodeId node = kInvalidNode;  ///< kSwitchDown: the failed switch
+  LinkId link = kInvalidLink;  ///< link faults: the failed link
+  Seconds at{};                ///< failure instant
+  Seconds recover_at{};        ///< repair instant (> at)
+  /// kLinkDegraded: surviving fraction of nominal capacity, in (0, 1).
+  double capacity_factor = 1.0;
+};
+
+/// A time-ordered list of faults. Devices never overlap themselves (each
+/// device's faults form a renewal process); distinct devices may fail
+/// concurrently.
+struct FaultSchedule {
+  std::vector<FaultSpec> faults;
+
+  [[nodiscard]] bool empty() const { return faults.empty(); }
+  [[nodiscard]] std::size_t size() const { return faults.size(); }
+
+  /// Rejects unsorted events, non-positive repair times, out-of-range
+  /// capacity factors, and device ids outside `graph`.
+  void validate(const Graph& graph) const;
+};
+
+/// Exponential MTBF/MTTR parameters for one device class.
+struct DeviceReliability {
+  /// Mean time between failures; <= 0 disables failures for the class.
+  Seconds mtbf{};
+  /// Mean time to repair (must be > 0 when the class can fail).
+  Seconds mttr{};
+};
+
+struct FaultGeneratorConfig {
+  /// Switch-kind nodes (hosts never fail; they are traffic endpoints).
+  DeviceReliability switches{Seconds{0.0}, Seconds{10.0}};
+  DeviceReliability links{Seconds{0.0}, Seconds{10.0}};
+  /// Fraction of link faults that degrade capacity instead of a full
+  /// outage, in [0, 1].
+  double degraded_fraction = 0.0;
+  /// Capacity factor a degraded link drops to, in (0, 1).
+  double degraded_capacity_factor = 0.25;
+  /// Faults are generated in [0, horizon); repairs may land after it.
+  Seconds horizon{};
+  std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+};
+
+/// Deterministic fault-schedule generator. Each device gets an independent
+/// Rng stream derived from (seed, device class, device id), so adding or
+/// removing devices never perturbs the others' fault times.
+class FaultGenerator {
+ public:
+  explicit FaultGenerator(FaultGeneratorConfig config);
+
+  /// Draws the schedule for all switch-kind nodes and all links of `graph`,
+  /// sorted by failure time (ties broken by device id).
+  [[nodiscard]] FaultSchedule generate(const Graph& graph) const;
+
+  [[nodiscard]] const FaultGeneratorConfig& config() const { return config_; }
+
+ private:
+  FaultGeneratorConfig config_;
+};
+
+}  // namespace netpp

@@ -1,0 +1,71 @@
+// Fault injector: binds a FaultSchedule to a running FlowSimulator.
+//
+// `arm()` schedules every failure and repair onto the simulator's event
+// engine. A failure applies the fault through the FlowSimulator's dynamic
+// topology API (so affected flows are re-routed or stranded immediately);
+// a repair restores the device to the enablement state it had before the
+// fault — a switch that was parked by a power mechanism stays parked after
+// its repair unless a policy decides otherwise.
+//
+// Degraded-mode policies (emergency wake, re-tailoring — see
+// faults/degraded_mode.h) attach as a listener and run after each
+// failure/repair has been applied.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "netpp/faults/fault_model.h"
+#include "netpp/netsim/flowsim.h"
+
+namespace netpp {
+
+class FaultInjector {
+ public:
+  /// Called after a fault (recovery=false) or repair (recovery=true) has
+  /// been applied to the simulator.
+  using Listener = std::function<void(const FaultSpec&, bool recovery)>;
+
+  /// One applied fault, with what it did to the traffic.
+  struct Outcome {
+    FaultSpec spec;
+    /// Flows moved to a surviving path by this fault.
+    std::uint64_t flows_rerouted = 0;
+    /// Flows left with no path by this fault.
+    std::uint64_t flows_stranded = 0;
+  };
+
+  /// `sim` must outlive the injector. The schedule is copied and validated
+  /// against the simulator's graph.
+  FaultInjector(FlowSimulator& sim, FaultSchedule schedule);
+
+  /// Schedules all failure/repair events. Call once, before running the
+  /// engine past the first failure time.
+  void arm();
+
+  void set_listener(Listener listener) { listener_ = std::move(listener); }
+
+  /// Applied faults in application order.
+  [[nodiscard]] const std::vector<Outcome>& log() const { return log_; }
+
+  /// Faults applied so far (repairs not counted).
+  [[nodiscard]] std::size_t faults_applied() const { return log_.size(); }
+
+  [[nodiscard]] const FaultSchedule& schedule() const { return schedule_; }
+
+ private:
+  void apply(std::size_t index);
+  void repair(std::size_t index);
+
+  FlowSimulator& sim_;
+  FaultSchedule schedule_;
+  /// Device enablement before each fault, restored on repair.
+  std::vector<bool> was_enabled_;
+  std::vector<double> prior_factor_;
+  std::vector<Outcome> log_;
+  Listener listener_;
+  bool armed_ = false;
+};
+
+}  // namespace netpp

@@ -18,6 +18,7 @@
 // Sirius-class nanosecond switching).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "netpp/netsim/fairshare.h"
@@ -32,6 +33,10 @@ struct TrafficDemand {
   NodeId src = kInvalidNode;
   NodeId dst = kInvalidNode;
   Gbps rate{};
+
+  /// Rejects invalid/equal endpoints and NaN/non-positive rates against
+  /// `graph` with a descriptive std::invalid_argument / std::out_of_range.
+  void validate(const Graph& graph) const;
 };
 
 struct TailorConfig {
@@ -61,12 +66,29 @@ struct TailorResult {
     const BuiltTopology& topology, const std::vector<TrafficDemand>& demands,
     const TailorConfig& config = TailorConfig());
 
+/// Re-tailoring over a partially failed fabric: like `tailor_topology`, but
+/// starts from `base` — a router whose disabled nodes/links are *failed
+/// hardware* that tailoring may never power on. Switches enabled in `base`
+/// are candidates for powering off; disabled switches stay off. Used by the
+/// degraded-mode policy to recompute the powered set after a failure.
+/// `result.powered_on`/`powered_off` cover only non-failed switches.
+[[nodiscard]] TailorResult tailor_topology_on(
+    const Router& base, const BuiltTopology& topology,
+    const std::vector<TrafficDemand>& demands,
+    const TailorConfig& config = TailorConfig());
+
 /// Checks whether `demands` are satisfiable on the graph as currently
 /// enabled in `router` (ECMP routing + max-min fair rates >= satisfaction *
 /// demand). Exposed for testing and for reactive re-checks.
 [[nodiscard]] bool demands_satisfiable(const Router& router,
                                        const std::vector<TrafficDemand>& demands,
                                        const TailorConfig& config);
+
+/// Variant for degraded fabrics: `link_capacity_factors[l]` scales link l's
+/// nominal capacity (1.0 = healthy). Empty means all healthy.
+[[nodiscard]] bool demands_satisfiable(
+    const Router& router, const std::vector<TrafficDemand>& demands,
+    const TailorConfig& config, std::span<const double> link_capacity_factors);
 
 /// Amortized cost of OCS reconfiguration for batch jobs.
 class OcsOverheadModel {

@@ -67,6 +67,16 @@ struct LoadForecast {
   double required_load = 0.0;
 };
 
+/// A fault-driven recall window: from `at` until `until`, traffic rerouted
+/// around failed hardware adds `extra_load` (fraction of switch capacity,
+/// clamped so the total stays <= 1) and every parked pipeline is recalled so
+/// parked capacity cannot amplify the failure.
+struct EmergencyRecall {
+  Seconds at{};
+  Seconds until{};
+  double extra_load = 0.0;
+};
+
 struct ParkingResult {
   Joules energy{};
   Watts average_power{};
@@ -80,6 +90,8 @@ struct ParkingResult {
   Bits dropped{};
   /// Worst-case extra delay a buffered bit experienced (buffer/capacity).
   Seconds max_added_delay{};
+  /// Pipelines force-woken by emergency recall windows (resilient variant).
+  std::size_t emergency_wakes = 0;
 };
 
 /// Reactive threshold policy over the trace.
@@ -92,5 +104,13 @@ struct ParkingResult {
 [[nodiscard]] ParkingResult simulate_parking_predictive(
     const AggregateLoadTrace& trace, const std::vector<LoadForecast>& forecast,
     const ParkingConfig& config);
+
+/// Reactive policy with fault-driven emergency recalls: inside each recall
+/// window all pipelines are forced awake and the rerouted `extra_load` is
+/// added to the offered trace; outside the windows behaves exactly like
+/// `simulate_parking_reactive` (an empty `recalls` is bit-identical to it).
+[[nodiscard]] ParkingResult simulate_parking_reactive_resilient(
+    const AggregateLoadTrace& trace,
+    const std::vector<EmergencyRecall>& recalls, const ParkingConfig& config);
 
 }  // namespace netpp

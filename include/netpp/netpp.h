@@ -9,6 +9,7 @@
 //   netsim   — flow-level network simulation + fabric energy tracking
 //   traffic  — workload generators and the closed training loop
 //   mech     — Sec. 4 mechanism models
+//   faults   — fault injection, degraded-mode policies, resilience reports
 #pragma once
 
 // core
@@ -59,3 +60,10 @@
 #include "netpp/mech/redesign.h"
 #include "netpp/mech/scheduler.h"
 #include "netpp/mech/trace_recorder.h"
+
+// faults
+#include "netpp/analysis/resilience.h"
+#include "netpp/faults/degraded_mode.h"
+#include "netpp/faults/experiment.h"
+#include "netpp/faults/fault_model.h"
+#include "netpp/faults/injector.h"

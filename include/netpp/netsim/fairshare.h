@@ -45,7 +45,8 @@ struct FairShareFlowView {
 class MaxMinSolver {
  public:
   /// Computes max-min fair rates. `capacities[r]` is the capacity of
-  /// resource r (> 0). Returns one rate per flow, in input order; the
+  /// resource r (>= 0; a zero-capacity resource pins the flows crossing it
+  /// to rate 0). Returns one rate per flow, in input order; the
   /// reference stays valid until the next solve() on this instance.
   const std::vector<double>& solve(std::span<const FairShareFlowView> flows,
                                    std::span<const double> capacities);

@@ -70,13 +70,23 @@ class FlowSimulator {
     /// resulting allocation is the same max-min solution; disable only to
     /// cross-check (see tests/netsim/flowsim_incremental_test.cpp).
     bool incremental_reallocation = true;
+    /// When a flow finds no route at admission time, park it on the stranded
+    /// list (it is retried after every topology recovery) instead of counting
+    /// it as permanently unroutable. Fault-injection runs want this on; the
+    /// default preserves the historical "drop and count" semantics.
+    bool strand_unroutable = false;
   };
 
-  /// Observability counters for the reallocation fast paths.
+  /// Observability counters for the reallocation fast paths and the
+  /// fault/topology-change machinery.
   struct ReallocStats {
     std::uint64_t full_solves = 0;
     std::uint64_t fast_arrivals = 0;    // admitted at cap, no re-solve
     std::uint64_t fast_departures = 0;  // removed without re-solve
+    std::uint64_t topology_changes = 0;  // enable/disable/degrade events
+    std::uint64_t reroutes = 0;          // flows moved to a surviving path
+    std::uint64_t stranded = 0;          // flows with no surviving path
+    std::uint64_t resumed = 0;           // stranded flows re-admitted
   };
 
   /// `graph`, `router`, and `engine` must outlive the simulator. The router
@@ -88,7 +98,48 @@ class FlowSimulator {
   FlowSimulator(const Graph& graph, Router& router, SimEngine& engine);
 
   /// Submits a flow for injection at `spec.start` (>= now). Returns its id.
+  /// Rejects NaN/non-finite sizes and start times with
+  /// std::invalid_argument.
   FlowId submit(const FlowSpec& spec);
+
+  // --- Dynamic topology (fault injection / degraded-mode policies) ---
+  //
+  // These mutate the shared Router *and* immediately repair the running
+  // simulation: flows whose path crosses a disabled device are re-routed
+  // over surviving ECMP paths (or stranded if disconnected), the max-min
+  // allocation is recomputed, and stranded flows are retried after every
+  // recovery. `realloc_stats()` counts the outcomes.
+
+  /// Fails (enabled=false) or repairs (enabled=true) a node mid-simulation.
+  void set_node_enabled(NodeId id, bool enabled);
+
+  /// Fails or repairs a link mid-simulation.
+  void set_link_enabled(LinkId id, bool enabled);
+
+  /// Degrades a link to `factor` (in (0, 1]) of its nominal capacity in both
+  /// directions; 1.0 restores it. Use set_link_enabled for a full outage.
+  void set_link_capacity_factor(LinkId id, double factor);
+
+  [[nodiscard]] double link_capacity_factor(LinkId id) const {
+    return link_factor_.at(id);
+  }
+
+  /// Flows currently parked because no enabled path connects their
+  /// endpoints. They resume (with their remaining volume) on recovery.
+  [[nodiscard]] std::size_t stranded_flows() const { return stranded_.size(); }
+
+  /// Integral of (remaining demand x time spent stranded) in bit-seconds up
+  /// to `now`, including flows still stranded — the "stranded
+  /// demand-seconds" resilience metric.
+  [[nodiscard]] double stranded_bit_seconds(Seconds now) const;
+
+  /// Time each resumed flow spent stranded, in seconds (one entry per
+  /// resume; recovery-time percentiles are computed from this).
+  [[nodiscard]] const std::vector<double>& strand_durations() const {
+    return strand_durations_;
+  }
+
+  [[nodiscard]] const Router& router() const { return router_; }
 
   /// Listener called after every reallocation (arrival or completion).
   using LoadListener = std::function<void(Seconds now)>;
@@ -145,6 +196,14 @@ class FlowSimulator {
     Seconds admitted{};
   };
 
+  /// A flow disconnected by failures, waiting for a path to reappear.
+  struct StrandedFlow {
+    FlowId id;
+    FlowSpec spec;
+    double remaining_bits;
+    Seconds stranded_at{};
+  };
+
   void admit(FlowSpec spec, FlowId id);
   void settle_progress(Seconds now);
   void reallocate(Seconds now);
@@ -157,6 +216,15 @@ class FlowSimulator {
   /// frees no bottleneck, so the remaining allocations stand.
   bool try_fast_departure(Seconds now, const ActiveFlow& flow);
   void set_directed_rate(Seconds now, std::size_t index, double value);
+  /// Directed resource indices of `path` in traversal order.
+  [[nodiscard]] std::vector<std::size_t> directed_indices_of(
+      const Path& path) const;
+  /// Whether every link and transit node of the flow's path is enabled.
+  [[nodiscard]] bool path_alive(const ActiveFlow& flow) const;
+  /// Re-validates all paths, reroutes/strands, retries stranded flows, and
+  /// recomputes the allocation. Called after every topology mutation.
+  void apply_topology_change();
+  void retry_stranded(Seconds now);
 
   const Graph& graph_;
   Router& router_;
@@ -165,7 +233,11 @@ class FlowSimulator {
 
   std::vector<ActiveFlow> active_;
   std::vector<FlowRecord> completed_;
-  std::vector<double> directed_capacity_bps_;   // 2 per link
+  std::vector<StrandedFlow> stranded_;
+  std::vector<double> strand_durations_;        // seconds, one per resume
+  double stranded_bit_seconds_done_ = 0.0;      // resumed flows' integral
+  std::vector<double> directed_capacity_bps_;   // 2 per link, degraded
+  std::vector<double> link_factor_;              // capacity factor per link
   std::vector<TimeWeighted> directed_rate_bps_;  // time-weighted history
   std::vector<double> carried_bps_;              // current carried rate
 

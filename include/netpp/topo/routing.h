@@ -23,6 +23,22 @@ struct Path {
   [[nodiscard]] std::vector<NodeId> nodes(const Graph& g) const;
 };
 
+/// Why a route lookup produced no usable path.
+enum class RouteStatus : std::uint8_t {
+  kOk,               ///< at least one path found
+  kInvalidEndpoint,  ///< src or dst is not a node of the graph (bad input)
+  kDisconnected,     ///< endpoints exist but no enabled path connects them
+};
+
+/// Structured routing outcome. Callers on the fault path need to tell "bad
+/// input" apart from "disconnected by failure" without catching exceptions.
+struct RouteResult {
+  RouteStatus status = RouteStatus::kDisconnected;
+  std::vector<Path> paths;
+
+  [[nodiscard]] bool ok() const { return status == RouteStatus::kOk; }
+};
+
 /// Routing engine with optional link/node masks so that mechanisms can
 /// "turn off" switches or links and re-route around them.
 class Router {
@@ -49,6 +65,14 @@ class Router {
   /// All shortest paths up to `max_paths` (ECMP set), deterministic order.
   [[nodiscard]] std::vector<Path> ecmp_paths(NodeId src, NodeId dst,
                                              std::size_t max_paths = 16) const;
+
+  /// Non-throwing variant of `ecmp_paths`: reports invalid endpoints and
+  /// disconnection as distinct statuses instead of exception vs empty vector.
+  [[nodiscard]] RouteResult find_paths(NodeId src, NodeId dst,
+                                       std::size_t max_paths = 16) const;
+
+  /// Whether any enabled path connects src and dst (false for invalid ids).
+  [[nodiscard]] bool connected(NodeId src, NodeId dst) const;
 
   /// Picks one of the ECMP paths by hashing (src, dst, flow_id) — the
   /// standard 5-tuple-hash stand-in. Returns nullopt if disconnected.

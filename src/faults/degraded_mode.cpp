@@ -1,0 +1,191 @@
+#include "netpp/faults/degraded_mode.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace netpp {
+
+DegradedModeController::DegradedModeController(
+    FlowSimulator& sim, const BuiltTopology& topology,
+    std::vector<TrafficDemand> demands, DegradedModeConfig config)
+    : sim_(sim),
+      topology_(topology),
+      demands_(std::move(demands)),
+      config_(config),
+      failed_node_(topology.graph.num_nodes(), false),
+      failed_link_(topology.graph.num_links(), false),
+      desired_on_(topology.graph.num_nodes(), true),
+      wake_pending_(topology.graph.num_nodes(), false),
+      powered_count_(static_cast<double>(topology.switches.size()),
+                     sim.engine().now()) {
+  if (!std::isfinite(config_.min_headroom) || config_.min_headroom < 0.0) {
+    throw std::invalid_argument(
+        "DegradedModeConfig: min_headroom must be finite and >= 0");
+  }
+  if (config_.wake_latency.value() < 0.0) {
+    throw std::invalid_argument(
+        "DegradedModeConfig: wake_latency must be non-negative");
+  }
+  for (const auto& d : demands_) d.validate(topology.graph);
+}
+
+std::vector<TrafficDemand> DegradedModeController::inflated_demands() const {
+  std::vector<TrafficDemand> inflated = demands_;
+  for (auto& d : inflated) d.rate *= 1.0 + config_.min_headroom;
+  return inflated;
+}
+
+Router DegradedModeController::surviving_router() const {
+  Router router{topology_.graph};
+  for (NodeId n = 0; n < topology_.graph.num_nodes(); ++n) {
+    if (failed_node_[n]) router.set_node_enabled(n, false);
+  }
+  for (LinkId l = 0; l < topology_.graph.num_links(); ++l) {
+    if (failed_link_[l]) router.set_link_enabled(l, false);
+  }
+  return router;
+}
+
+bool DegradedModeController::live_fabric_satisfiable() const {
+  std::vector<double> factors;
+  factors.reserve(topology_.graph.num_links());
+  for (LinkId l = 0; l < topology_.graph.num_links(); ++l) {
+    factors.push_back(sim_.link_capacity_factor(l));
+  }
+  return demands_satisfiable(sim_.router(), inflated_demands(),
+                             config_.tailor, factors);
+}
+
+TailorResult DegradedModeController::tailor_initial() {
+  const TailorResult tailored = tailor_topology_on(
+      surviving_router(), topology_, inflated_demands(), config_.tailor);
+  if (tailored.feasible) {
+    for (NodeId sw : tailored.powered_off) park_now(sw);
+  }
+  note_power_change();
+  return tailored;
+}
+
+FaultInjector::Listener DegradedModeController::listener() {
+  return [this](const FaultSpec& fault, bool recovery) {
+    on_event(fault, recovery);
+  };
+}
+
+void DegradedModeController::on_event(const FaultSpec& fault, bool recovery) {
+  // Track the failed-hardware sets first; everything else keys off them.
+  switch (fault.kind) {
+    case FaultKind::kSwitchDown:
+      failed_node_[fault.node] = !recovery;
+      break;
+    case FaultKind::kLinkDown:
+      failed_link_[fault.link] = !recovery;
+      break;
+    case FaultKind::kLinkDegraded:
+      break;  // degraded links stay routable; capacity is in the simulator
+  }
+
+  if (config_.policy == DegradedPolicy::kNone) {
+    note_power_change();
+    return;
+  }
+
+  if (recovery) {
+    if (fault.kind == FaultKind::kSwitchDown) {
+      // The injector restored the switch's pre-fault enablement; reconcile
+      // with what this controller wants now.
+      const bool enabled = sim_.router().node_enabled(fault.node);
+      if (!desired_on_[fault.node] && enabled) {
+        sim_.set_node_enabled(fault.node, false);
+      } else if (desired_on_[fault.node] && !enabled) {
+        wake_later(fault.node);
+      }
+    }
+    if (config_.retailor_on_recovery) retailor_and_apply();
+    note_power_change();
+    return;
+  }
+
+  // Failure: recall parked capacity only if the surviving powered fabric no
+  // longer satisfies the (headroom-inflated) demands.
+  if (!live_fabric_satisfiable()) {
+    if (config_.policy == DegradedPolicy::kEmergencyWakeAll) {
+      wake_all_parked();
+    } else {
+      retailor_and_apply();
+    }
+  }
+  note_power_change();
+}
+
+void DegradedModeController::retailor_and_apply() {
+  ++retailor_passes_;
+  const TailorResult tailored = tailor_topology_on(
+      surviving_router(), topology_, inflated_demands(), config_.tailor);
+  if (!tailored.feasible) {
+    // The surviving fabric cannot satisfy the demands even fully powered:
+    // wake everything we have (best effort).
+    wake_all_parked();
+    return;
+  }
+  for (NodeId sw : tailored.powered_off) {
+    if (desired_on_[sw]) park_now(sw);
+  }
+  for (NodeId sw : tailored.powered_on) {
+    if (!desired_on_[sw]) wake_later(sw);
+  }
+}
+
+void DegradedModeController::wake_all_parked() {
+  for (NodeId sw : topology_.switches) {
+    if (!desired_on_[sw] && !failed_node_[sw]) wake_later(sw);
+  }
+}
+
+void DegradedModeController::park_now(NodeId sw) {
+  desired_on_[sw] = false;
+  if (!failed_node_[sw] && sim_.router().node_enabled(sw)) {
+    sim_.set_node_enabled(sw, false);
+    note_power_change();
+  }
+}
+
+void DegradedModeController::wake_later(NodeId sw) {
+  desired_on_[sw] = true;
+  if (failed_node_[sw] || wake_pending_[sw] ||
+      sim_.router().node_enabled(sw)) {
+    return;
+  }
+  wake_pending_[sw] = true;
+  ++emergency_wakes_;
+  sim_.engine().schedule_after(config_.wake_latency, [this, sw] {
+    wake_pending_[sw] = false;
+    // The wake may have been overtaken by a re-park decision or a failure
+    // of the switch itself while it was booting.
+    if (!desired_on_[sw] || failed_node_[sw]) return;
+    if (!sim_.router().node_enabled(sw)) {
+      sim_.set_node_enabled(sw, true);
+      note_power_change();
+    }
+  });
+}
+
+std::size_t DegradedModeController::powered_switches() const {
+  std::size_t powered = 0;
+  for (NodeId sw : topology_.switches) {
+    if (sim_.router().node_enabled(sw)) ++powered;
+  }
+  return powered;
+}
+
+void DegradedModeController::note_power_change() {
+  powered_count_.set(sim_.engine().now(),
+                     static_cast<double>(powered_switches()));
+}
+
+double DegradedModeController::powered_switch_seconds(Seconds until) const {
+  return powered_count_.integral(until);
+}
+
+}  // namespace netpp

@@ -1,0 +1,57 @@
+#include "netpp/faults/experiment.h"
+
+#include "netpp/sim/engine.h"
+#include "netpp/topo/routing.h"
+
+namespace netpp {
+
+FaultExperimentResult run_fault_experiment(
+    const BuiltTopology& topology, const std::vector<FlowSpec>& workload,
+    const FaultSchedule& schedule, const FaultExperimentConfig& config) {
+  SimEngine engine;
+  Router router{topology.graph};
+  FlowSimulator::Config sim_config = config.sim;
+  sim_config.strand_unroutable = true;
+  FlowSimulator sim{topology.graph, router, engine, sim_config};
+
+  DegradedModeController controller{sim, topology, config.demands,
+                                    config.degraded};
+  FaultInjector injector{sim, schedule};
+  injector.set_listener(controller.listener());
+
+  FaultExperimentResult result;
+  if (config.tailor) result.tailoring = controller.tailor_initial();
+  injector.arm();
+  for (const FlowSpec& spec : workload) sim.submit(spec);
+  engine.run();
+
+  const Seconds end = engine.now();
+  result.realloc = sim.realloc_stats();
+  result.emergency_wakes = controller.emergency_wakes();
+  result.retailor_passes = controller.retailor_passes();
+  result.powered_at_end = controller.powered_switches();
+  result.end = end;
+  result.fct = sim.fct_stats();
+
+  ResilienceInput input;
+  input.flows_submitted = workload.size();
+  input.flows_completed = sim.completed().size();
+  input.flows_stranded_at_end = sim.stranded_flows();
+  input.faults_injected = injector.faults_applied();
+  input.flows_rerouted = sim.realloc_stats().reroutes;
+  input.strand_events = sim.realloc_stats().stranded;
+  input.stranded_bit_seconds = sim.stranded_bit_seconds(end);
+  for (const FlowRecord& record : sim.completed()) {
+    input.flow_seconds += record.fct().value();
+  }
+  input.strand_durations = sim.strand_durations();
+  input.powered_switch_seconds = controller.powered_switch_seconds(end);
+  input.all_on_switch_seconds =
+      static_cast<double>(topology.switches.size()) * end.value();
+  input.switch_power = config.switch_power;
+  input.duration = end;
+  result.report = build_resilience_report(input);
+  return result;
+}
+
+}  // namespace netpp

@@ -1,0 +1,153 @@
+#include "netpp/faults/fault_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "netpp/sim/random.h"
+
+namespace netpp {
+
+void FaultSchedule::validate(const Graph& graph) const {
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const FaultSpec& f = faults[i];
+    if (i > 0 && f.at < faults[i - 1].at) {
+      throw std::invalid_argument(
+          "FaultSchedule: faults must be sorted by failure time");
+    }
+    if (!std::isfinite(f.at.value()) || f.at.value() < 0.0) {
+      throw std::invalid_argument(
+          "FaultSchedule: failure time must be finite and non-negative");
+    }
+    if (!std::isfinite(f.recover_at.value()) || f.recover_at <= f.at) {
+      throw std::invalid_argument(
+          "FaultSchedule: recovery must be finite and after the failure");
+    }
+    switch (f.kind) {
+      case FaultKind::kSwitchDown:
+        if (f.node >= graph.num_nodes()) {
+          throw std::out_of_range(
+              "FaultSchedule: failed switch does not exist");
+        }
+        if (graph.node(f.node).kind == NodeKind::kHost) {
+          throw std::invalid_argument(
+              "FaultSchedule: hosts cannot fail (they are endpoints)");
+        }
+        break;
+      case FaultKind::kLinkDown:
+      case FaultKind::kLinkDegraded:
+        if (f.link >= graph.num_links()) {
+          throw std::out_of_range(
+              "FaultSchedule: failed link does not exist");
+        }
+        if (f.kind == FaultKind::kLinkDegraded &&
+            (!std::isfinite(f.capacity_factor) || f.capacity_factor <= 0.0 ||
+             f.capacity_factor >= 1.0)) {
+          throw std::invalid_argument(
+              "FaultSchedule: degraded capacity factor must be in (0, 1)");
+        }
+        break;
+    }
+  }
+}
+
+namespace {
+
+/// SplitMix64-style mix of (seed, class tag, device id) into a stream seed.
+std::uint64_t device_seed(std::uint64_t seed, std::uint64_t tag,
+                          std::uint64_t id) {
+  std::uint64_t h = seed + 0x9e3779b97f4a7c15ULL * (tag * 0x10001ULL + id + 1);
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+}  // namespace
+
+FaultGenerator::FaultGenerator(FaultGeneratorConfig config)
+    : config_(config) {
+  const auto check_class = [](const DeviceReliability& r, const char* what) {
+    if (r.mtbf.value() > 0.0 && r.mttr.value() <= 0.0) {
+      throw std::invalid_argument(std::string("FaultGenerator: ") + what +
+                                  " mttr must be positive when mtbf is set");
+    }
+  };
+  check_class(config_.switches, "switch");
+  check_class(config_.links, "link");
+  if (config_.degraded_fraction < 0.0 || config_.degraded_fraction > 1.0) {
+    throw std::invalid_argument(
+        "FaultGenerator: degraded_fraction must be in [0, 1]");
+  }
+  if (config_.degraded_capacity_factor <= 0.0 ||
+      config_.degraded_capacity_factor >= 1.0) {
+    throw std::invalid_argument(
+        "FaultGenerator: degraded_capacity_factor must be in (0, 1)");
+  }
+  if (config_.horizon.value() < 0.0) {
+    throw std::invalid_argument(
+        "FaultGenerator: horizon must be non-negative");
+  }
+}
+
+FaultSchedule FaultGenerator::generate(const Graph& graph) const {
+  FaultSchedule schedule;
+  const double horizon = config_.horizon.value();
+
+  // Renewal process per device: up-time ~ Exp(1/mtbf), down-time ~
+  // Exp(1/mttr), repeated until the horizon.
+  const auto draw_device = [&](const DeviceReliability& rel,
+                               std::uint64_t tag, std::uint64_t id,
+                               auto&& emit) {
+    if (rel.mtbf.value() <= 0.0) return;
+    Rng rng{device_seed(config_.seed, tag, id)};
+    double t = 0.0;
+    while (true) {
+      t += rng.exponential(1.0 / rel.mtbf.value());
+      if (t >= horizon) break;
+      const double down = rng.exponential(1.0 / rel.mttr.value());
+      emit(Seconds{t}, Seconds{t + down}, rng);
+      t += down;
+    }
+  };
+
+  for (const Node& node : graph.nodes()) {
+    if (node.kind == NodeKind::kHost) continue;
+    draw_device(config_.switches, /*tag=*/1, node.id,
+                [&](Seconds at, Seconds up, Rng&) {
+                  FaultSpec f;
+                  f.kind = FaultKind::kSwitchDown;
+                  f.node = node.id;
+                  f.at = at;
+                  f.recover_at = up;
+                  schedule.faults.push_back(f);
+                });
+  }
+  for (const Link& link : graph.links()) {
+    draw_device(config_.links, /*tag=*/2, link.id,
+                [&](Seconds at, Seconds up, Rng& rng) {
+                  FaultSpec f;
+                  f.link = link.id;
+                  f.at = at;
+                  f.recover_at = up;
+                  if (rng.bernoulli(config_.degraded_fraction)) {
+                    f.kind = FaultKind::kLinkDegraded;
+                    f.capacity_factor = config_.degraded_capacity_factor;
+                  } else {
+                    f.kind = FaultKind::kLinkDown;
+                  }
+                  schedule.faults.push_back(f);
+                });
+  }
+
+  std::sort(schedule.faults.begin(), schedule.faults.end(),
+            [](const FaultSpec& a, const FaultSpec& b) {
+              if (a.at != b.at) return a.at < b.at;
+              if (a.kind != b.kind) return a.kind < b.kind;
+              if (a.node != b.node) return a.node < b.node;
+              return a.link < b.link;
+            });
+  return schedule;
+}
+
+}  // namespace netpp

@@ -1,0 +1,69 @@
+#include "netpp/faults/injector.h"
+
+#include <stdexcept>
+
+namespace netpp {
+
+FaultInjector::FaultInjector(FlowSimulator& sim, FaultSchedule schedule)
+    : sim_(sim), schedule_(std::move(schedule)) {
+  schedule_.validate(sim_.graph());
+  was_enabled_.assign(schedule_.faults.size(), true);
+  prior_factor_.assign(schedule_.faults.size(), 1.0);
+}
+
+void FaultInjector::arm() {
+  if (armed_) throw std::logic_error("FaultInjector: already armed");
+  armed_ = true;
+  SimEngine& engine = sim_.engine();
+  for (std::size_t i = 0; i < schedule_.faults.size(); ++i) {
+    engine.schedule_at(schedule_.faults[i].at, [this, i] { apply(i); });
+    engine.schedule_at(schedule_.faults[i].recover_at,
+                       [this, i] { repair(i); });
+  }
+}
+
+void FaultInjector::apply(std::size_t index) {
+  const FaultSpec& f = schedule_.faults[index];
+  const auto before = sim_.realloc_stats();
+  switch (f.kind) {
+    case FaultKind::kSwitchDown:
+      was_enabled_[index] = sim_.router().node_enabled(f.node);
+      sim_.set_node_enabled(f.node, false);
+      break;
+    case FaultKind::kLinkDown:
+      was_enabled_[index] = sim_.router().link_enabled(f.link);
+      sim_.set_link_enabled(f.link, false);
+      break;
+    case FaultKind::kLinkDegraded:
+      prior_factor_[index] = sim_.link_capacity_factor(f.link);
+      sim_.set_link_capacity_factor(
+          f.link, f.capacity_factor * prior_factor_[index]);
+      break;
+  }
+  const auto after = sim_.realloc_stats();
+  Outcome outcome;
+  outcome.spec = f;
+  outcome.flows_rerouted = after.reroutes - before.reroutes;
+  outcome.flows_stranded = after.stranded - before.stranded;
+  log_.push_back(outcome);
+  if (listener_) listener_(f, /*recovery=*/false);
+}
+
+void FaultInjector::repair(std::size_t index) {
+  const FaultSpec& f = schedule_.faults[index];
+  switch (f.kind) {
+    case FaultKind::kSwitchDown:
+      // Restore the pre-fault state: a parked switch stays parked.
+      sim_.set_node_enabled(f.node, was_enabled_[index]);
+      break;
+    case FaultKind::kLinkDown:
+      sim_.set_link_enabled(f.link, was_enabled_[index]);
+      break;
+    case FaultKind::kLinkDegraded:
+      sim_.set_link_capacity_factor(f.link, prior_factor_[index]);
+      break;
+  }
+  if (listener_) listener_(f, /*recovery=*/true);
+}
+
+}  // namespace netpp

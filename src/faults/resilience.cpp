@@ -1,0 +1,62 @@
+#include "netpp/analysis/resilience.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace netpp {
+
+double sample_quantile(std::vector<double> values, double q) {
+  if (!std::isfinite(q) || q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("sample_quantile: q must be in [0, 1]");
+  }
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+ResilienceReport build_resilience_report(const ResilienceInput& input) {
+  ResilienceReport report;
+  report.faults_injected = input.faults_injected;
+  report.flows_rerouted = input.flows_rerouted;
+  report.strand_events = input.strand_events;
+
+  // Availability: progress-capable fraction of flow-lifetime. Stranded time
+  // is the sum of strand durations (each resume recorded one) — weight by
+  // count, not bits, so it matches the flow_seconds denominator.
+  double stranded_seconds = 0.0;
+  for (double d : input.strand_durations) stranded_seconds += d;
+  if (input.flow_seconds > 0.0) {
+    report.availability =
+        std::clamp(1.0 - stranded_seconds / input.flow_seconds, 0.0, 1.0);
+  }
+
+  report.stranded_demand_gbit_seconds = input.stranded_bit_seconds / 1e9;
+
+  if (!input.strand_durations.empty()) {
+    report.mean_recovery = Seconds{
+        stranded_seconds / static_cast<double>(input.strand_durations.size())};
+    report.p99_recovery = Seconds{sample_quantile(input.strand_durations, 0.99)};
+  }
+
+  if (input.flows_submitted > 0) {
+    report.completion_rate = static_cast<double>(input.flows_completed) /
+                             static_cast<double>(input.flows_submitted);
+  }
+
+  report.energy = Joules{input.powered_switch_seconds *
+                         input.switch_power.value()};
+  report.all_on_energy = Joules{input.all_on_switch_seconds *
+                                input.switch_power.value()};
+  if (report.all_on_energy.value() > 0.0) {
+    report.energy_delta =
+        report.energy.value() / report.all_on_energy.value() - 1.0;
+  }
+  return report;
+}
+
+}  // namespace netpp

@@ -1,6 +1,7 @@
 #include "netpp/mech/ocs.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <stdexcept>
 
@@ -12,13 +13,17 @@ namespace {
 /// carried bits/s per switch into `switch_load` when non-null.
 std::vector<double> route_and_allocate(
     const Router& router, const std::vector<TrafficDemand>& demands,
-    const TailorConfig& config, std::map<NodeId, double>* switch_load) {
+    const TailorConfig& config, std::map<NodeId, double>* switch_load,
+    std::span<const double> link_capacity_factors = {}) {
   const Graph& g = router.graph();
   std::vector<FairShareFlow> flows;
   std::vector<double> capacities(g.num_links() * 2);
   for (const auto& link : g.links()) {
-    capacities[link.id * 2] = link.capacity.bits_per_second();
-    capacities[link.id * 2 + 1] = link.capacity.bits_per_second();
+    const double factor = link.id < link_capacity_factors.size()
+                              ? link_capacity_factors[link.id]
+                              : 1.0;
+    capacities[link.id * 2] = link.capacity.bits_per_second() * factor;
+    capacities[link.id * 2 + 1] = link.capacity.bits_per_second() * factor;
   }
 
   std::vector<std::vector<NodeId>> transit_nodes;
@@ -61,10 +66,31 @@ std::vector<double> route_and_allocate(
 
 }  // namespace
 
+void TrafficDemand::validate(const Graph& graph) const {
+  if (src >= graph.num_nodes() || dst >= graph.num_nodes()) {
+    throw std::out_of_range("TrafficDemand: endpoint does not exist");
+  }
+  if (src == dst) {
+    throw std::invalid_argument("TrafficDemand: src must differ from dst");
+  }
+  if (!std::isfinite(rate.value()) || rate.value() <= 0.0) {
+    throw std::invalid_argument(
+        "TrafficDemand: rate must be finite and positive");
+  }
+}
+
 bool demands_satisfiable(const Router& router,
                          const std::vector<TrafficDemand>& demands,
                          const TailorConfig& config) {
-  const auto rates = route_and_allocate(router, demands, config, nullptr);
+  return demands_satisfiable(router, demands, config, {});
+}
+
+bool demands_satisfiable(const Router& router,
+                         const std::vector<TrafficDemand>& demands,
+                         const TailorConfig& config,
+                         std::span<const double> link_capacity_factors) {
+  const auto rates = route_and_allocate(router, demands, config, nullptr,
+                                        link_capacity_factors);
   if (rates.empty() && !demands.empty()) return false;
   for (std::size_t d = 0; d < demands.size(); ++d) {
     if (rates[d] + 1e-9 <
@@ -78,18 +104,28 @@ bool demands_satisfiable(const Router& router,
 TailorResult tailor_topology(const BuiltTopology& topology,
                              const std::vector<TrafficDemand>& demands,
                              const TailorConfig& config) {
-  for (const auto& d : demands) {
-    if (d.rate.value() <= 0.0) {
-      throw std::invalid_argument("demand rates must be positive");
-    }
-  }
+  return tailor_topology_on(Router{topology.graph}, topology, demands,
+                            config);
+}
+
+TailorResult tailor_topology_on(const Router& base,
+                                const BuiltTopology& topology,
+                                const std::vector<TrafficDemand>& demands,
+                                const TailorConfig& config) {
   const Graph& g = topology.graph;
-  Router router{g};
+  for (const auto& d : demands) d.validate(g);
+  Router router = base;  // failed devices stay masked throughout
+
+  // Only switches that survive (enabled in `base`) participate.
+  std::vector<NodeId> candidates;
+  for (NodeId sw : topology.switches) {
+    if (base.node_enabled(sw)) candidates.push_back(sw);
+  }
 
   TailorResult result;
   result.feasible = demands_satisfiable(router, demands, config);
   if (!result.feasible) {
-    result.powered_on = topology.switches;
+    result.powered_on = candidates;
     return result;
   }
 
@@ -102,13 +138,13 @@ TailorResult tailor_topology(const BuiltTopology& topology,
     }
   }
 
-  // Initial load per switch on the full topology, for the greedy order
+  // Initial load per switch on the surviving topology, for the greedy order
   // (least-loaded switches are the cheapest to lose).
   std::map<NodeId, double> load;
-  for (NodeId sw : topology.switches) load[sw] = 0.0;
+  for (NodeId sw : candidates) load[sw] = 0.0;
   route_and_allocate(router, demands, config, &load);
 
-  std::vector<NodeId> order = topology.switches;
+  std::vector<NodeId> order = candidates;
   std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
     if (load[a] != load[b]) return load[a] < load[b];
     return a < b;
@@ -124,14 +160,14 @@ TailorResult tailor_topology(const BuiltTopology& topology,
     }
   }
 
-  for (NodeId sw : topology.switches) {
+  for (NodeId sw : candidates) {
     if (router.node_enabled(sw)) result.powered_on.push_back(sw);
   }
   result.switches_off_fraction =
-      topology.switches.empty()
+      candidates.empty()
           ? 0.0
           : static_cast<double>(result.powered_off.size()) /
-                static_cast<double>(topology.switches.size());
+                static_cast<double>(candidates.size());
   return result;
 }
 

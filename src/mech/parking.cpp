@@ -12,18 +12,25 @@ namespace netpp {
 void AggregateLoadTrace::validate() const {
   if (times.empty() || times.size() != loads.size()) {
     throw std::invalid_argument(
-        "trace needs matching, non-empty times and loads");
+        "AggregateLoadTrace: needs matching, non-empty times and loads");
   }
   for (std::size_t i = 0; i < times.size(); ++i) {
-    if (i > 0 && times[i] <= times[i - 1]) {
-      throw std::invalid_argument("trace times must be strictly increasing");
+    if (!std::isfinite(times[i].value())) {
+      throw std::invalid_argument("AggregateLoadTrace: times must be finite");
     }
-    if (loads[i] < 0.0 || loads[i] > 1.0) {
-      throw std::invalid_argument("loads must be in [0, 1]");
+    if (i > 0 && times[i] <= times[i - 1]) {
+      throw std::invalid_argument(
+          "AggregateLoadTrace: times must be strictly increasing");
+    }
+    // isfinite guards NaN, which would sail through the range comparison.
+    if (!std::isfinite(loads[i]) || loads[i] < 0.0 || loads[i] > 1.0) {
+      throw std::invalid_argument(
+          "AggregateLoadTrace: loads must be finite and in [0, 1]");
     }
   }
-  if (end <= times.back()) {
-    throw std::invalid_argument("trace end must be after the last segment");
+  if (!std::isfinite(end.value()) || end <= times.back()) {
+    throw std::invalid_argument(
+        "AggregateLoadTrace: end must be finite and after the last segment");
   }
 }
 
@@ -198,36 +205,124 @@ ParkingResult run_parking(
   return result;
 }
 
+void validate_thresholds(const ParkingConfig& config) {
+  if (config.hi_threshold <= 0.0 || config.hi_threshold > 1.0 ||
+      config.lo_threshold < 0.0 || config.lo_threshold >= config.hi_threshold) {
+    throw std::invalid_argument(
+        "ParkingConfig: need 0 <= lo_threshold < hi_threshold <= 1");
+  }
+}
+
+/// Reactive hysteresis step: wake when the load exceeds hi of provisioned
+/// capacity; park when it would fit under lo of one fewer pipeline.
+int reactive_target(const ParkingConfig& config, int pipes, double offered,
+                    int provisioned) {
+  const double provisioned_frac = static_cast<double>(provisioned) / pipes;
+  if (offered > config.hi_threshold * provisioned_frac) {
+    // Provision enough to bring utilization under hi.
+    return static_cast<int>(std::ceil(offered * pipes / config.hi_threshold));
+  }
+  const double smaller_frac = static_cast<double>(provisioned - 1) / pipes;
+  if (provisioned > 1 && offered < config.lo_threshold * smaller_frac) {
+    return provisioned - 1;
+  }
+  return provisioned;
+}
+
 }  // namespace
 
 ParkingResult simulate_parking_reactive(const AggregateLoadTrace& trace,
                                         const ParkingConfig& config) {
-  if (config.hi_threshold <= 0.0 || config.hi_threshold > 1.0 ||
-      config.lo_threshold < 0.0 || config.lo_threshold >= config.hi_threshold) {
-    throw std::invalid_argument(
-        "need 0 <= lo_threshold < hi_threshold <= 1");
-  }
+  validate_thresholds(config);
   const int pipes = config.model.config().num_pipelines;
   return run_parking(
       trace, config,
       [&, pipes](double /*t*/, double offered, int provisioned) {
-        // Wake when the load exceeds hi of provisioned capacity; park when
-        // it would fit under lo of one fewer pipeline.
-        const double provisioned_frac =
-            static_cast<double>(provisioned) / pipes;
-        if (offered > config.hi_threshold * provisioned_frac) {
-          // Provision enough to bring utilization under hi.
-          return static_cast<int>(
-              std::ceil(offered * pipes / config.hi_threshold));
-        }
-        const double smaller_frac =
-            static_cast<double>(provisioned - 1) / pipes;
-        if (provisioned > 1 &&
-            offered < config.lo_threshold * smaller_frac) {
-          return provisioned - 1;
-        }
-        return provisioned;
+        return reactive_target(config, pipes, offered, provisioned);
       });
+}
+
+ParkingResult simulate_parking_reactive_resilient(
+    const AggregateLoadTrace& trace,
+    const std::vector<EmergencyRecall>& recalls,
+    const ParkingConfig& config) {
+  validate_thresholds(config);
+  trace.validate();
+  for (const auto& r : recalls) {
+    if (!std::isfinite(r.at.value()) || !std::isfinite(r.until.value()) ||
+        r.until <= r.at) {
+      throw std::invalid_argument(
+          "EmergencyRecall: window needs finite until > at");
+    }
+    if (!std::isfinite(r.extra_load) || r.extra_load < 0.0) {
+      throw std::invalid_argument(
+          "EmergencyRecall: extra_load must be finite and >= 0");
+    }
+  }
+  if (recalls.empty()) return simulate_parking_reactive(trace, config);
+
+  // Splice the recall windows into the trace: extra segment boundaries at
+  // window edges, and the rerouted load added (clamped to 1) inside them.
+  const double t0 = trace.times.front().value();
+  const double t_end = trace.end.value();
+  std::vector<double> cuts;
+  cuts.reserve(trace.times.size() + recalls.size() * 2);
+  for (const auto& tt : trace.times) cuts.push_back(tt.value());
+  for (const auto& r : recalls) {
+    for (double b : {r.at.value(), r.until.value()}) {
+      if (b > t0 && b < t_end) cuts.push_back(b);
+    }
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+  const auto base_load = [&trace](double at) {
+    std::size_t seg = 0;
+    while (seg + 1 < trace.times.size() &&
+           trace.times[seg + 1].value() <= at + 1e-15) {
+      ++seg;
+    }
+    return trace.loads[seg];
+  };
+  const auto in_window = [&recalls](double at) {
+    for (const auto& r : recalls) {
+      if (at >= r.at.value() - 1e-15 && at < r.until.value() - 1e-15) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  AggregateLoadTrace spliced;
+  spliced.end = trace.end;
+  for (double c : cuts) {
+    double load = base_load(c);
+    for (const auto& r : recalls) {
+      if (c >= r.at.value() - 1e-15 && c < r.until.value() - 1e-15) {
+        load += r.extra_load;
+      }
+    }
+    spliced.times.push_back(Seconds{c});
+    spliced.loads.push_back(std::min(1.0, load));
+  }
+
+  const int pipes = config.model.config().num_pipelines;
+  std::size_t emergency = 0;
+  ParkingResult result = run_parking(
+      spliced, config,
+      [&, pipes](double t, double offered, int provisioned) {
+        if (in_window(t)) {
+          // Fault mode: every pipeline is recalled for the window so parked
+          // capacity cannot amplify the failure.
+          if (provisioned < pipes) {
+            emergency += static_cast<std::size_t>(pipes - provisioned);
+          }
+          return pipes;
+        }
+        return reactive_target(config, pipes, offered, provisioned);
+      });
+  result.emergency_wakes = emergency;
+  return result;
 }
 
 ParkingResult simulate_parking_predictive(

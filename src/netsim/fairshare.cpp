@@ -1,5 +1,7 @@
 #include "netpp/netsim/fairshare.h"
 
+#include <cmath>
+
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
@@ -43,7 +45,11 @@ const std::vector<double>& MaxMinSolver::solve(
     std::span<const FairShareFlowView> flows,
     std::span<const double> capacities) {
   for (double c : capacities) {
-    if (c <= 0.0) throw std::invalid_argument("capacities must be positive");
+    // Zero is allowed: a dead (disabled or fully degraded) link pins its
+    // flows to rate 0 via the normal progressive-filling path.
+    if (std::isnan(c) || c < 0.0) {
+      throw std::invalid_argument("capacities must be non-negative");
+    }
   }
   const std::size_t num_flows = flows.size();
   const std::size_t num_res = capacities.size();

@@ -28,6 +28,7 @@ FlowSimulator::FlowSimulator(const Graph& graph, Router& router,
     }
   }
   carried_bps_.assign(directed_capacity_bps_.size(), 0.0);
+  link_factor_.assign(graph.num_links(), 1.0);
 }
 
 FlowSimulator::FlowSimulator(const Graph& graph, Router& router,
@@ -36,13 +37,16 @@ FlowSimulator::FlowSimulator(const Graph& graph, Router& router,
 
 FlowId FlowSimulator::submit(const FlowSpec& spec) {
   if (spec.src >= graph_.num_nodes() || spec.dst >= graph_.num_nodes()) {
-    throw std::out_of_range("flow endpoint does not exist");
+    throw std::out_of_range("FlowSpec: flow endpoint does not exist");
   }
   if (spec.src == spec.dst) {
-    throw std::invalid_argument("flow src == dst");
+    throw std::invalid_argument("FlowSpec: src must differ from dst");
   }
-  if (spec.size.value() <= 0.0) {
-    throw std::invalid_argument("flow size must be positive");
+  if (!std::isfinite(spec.size.value()) || spec.size.value() <= 0.0) {
+    throw std::invalid_argument("FlowSpec: size must be finite and positive");
+  }
+  if (!std::isfinite(spec.start.value())) {
+    throw std::invalid_argument("FlowSpec: start time must be finite");
   }
   const FlowId id = next_id_++;
   engine_.schedule_at(spec.start, [this, spec, id] { admit(spec, id); });
@@ -53,7 +57,12 @@ void FlowSimulator::admit(FlowSpec spec, FlowId id) {
   const Seconds now = engine_.now();
   const auto path = router_.ecmp_route(spec.src, spec.dst, id);
   if (!path) {
-    ++unroutable_;
+    if (config_.strand_unroutable) {
+      ++realloc_stats_.stranded;
+      stranded_.push_back(StrandedFlow{id, spec, spec.size.value(), now});
+    } else {
+      ++unroutable_;
+    }
     return;
   }
 
@@ -62,13 +71,7 @@ void FlowSimulator::admit(FlowSpec spec, FlowId id) {
   flow.spec = spec;
   flow.remaining_bits = spec.size.value();
   flow.admitted = now;
-  NodeId at = path->src;
-  for (LinkId lid : path->links) {
-    const Link& link = graph_.link(lid);
-    const int dir = (at == link.a) ? 0 : 1;
-    flow.directed_indices.push_back(DirectedLink{lid, dir}.index());
-    at = link.other(at);
-  }
+  flow.directed_indices = directed_indices_of(*path);
 
   settle_progress(now);
   active_.push_back(std::move(flow));
@@ -95,6 +98,134 @@ void FlowSimulator::set_directed_rate(Seconds now, std::size_t index,
                                       double value) {
   carried_bps_[index] = value;
   directed_rate_bps_[index].set(now, value);
+}
+
+std::vector<std::size_t> FlowSimulator::directed_indices_of(
+    const Path& path) const {
+  std::vector<std::size_t> indices;
+  indices.reserve(path.links.size());
+  NodeId at = path.src;
+  for (LinkId lid : path.links) {
+    const Link& link = graph_.link(lid);
+    const int dir = (at == link.a) ? 0 : 1;
+    indices.push_back(DirectedLink{lid, dir}.index());
+    at = link.other(at);
+  }
+  return indices;
+}
+
+bool FlowSimulator::path_alive(const ActiveFlow& flow) const {
+  for (std::size_t idx : flow.directed_indices) {
+    const auto lid = static_cast<LinkId>(idx / 2);
+    if (!router_.link_enabled(lid)) return false;
+    const Link& link = graph_.link(lid);
+    // Direction 0 traverses a->b, so the node entered is b (and vice
+    // versa); intermediate nodes must be enabled, the destination is exempt.
+    const NodeId entered = (idx % 2 == 0) ? link.b : link.a;
+    if (entered != flow.spec.dst && !router_.node_enabled(entered)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void FlowSimulator::set_node_enabled(NodeId id, bool enabled) {
+  if (id >= graph_.num_nodes()) {
+    throw std::out_of_range("topology change: node does not exist");
+  }
+  if (router_.node_enabled(id) == enabled) return;
+  router_.set_node_enabled(id, enabled);
+  apply_topology_change();
+}
+
+void FlowSimulator::set_link_enabled(LinkId id, bool enabled) {
+  if (id >= graph_.num_links()) {
+    throw std::out_of_range("topology change: link does not exist");
+  }
+  if (router_.link_enabled(id) == enabled) return;
+  router_.set_link_enabled(id, enabled);
+  apply_topology_change();
+}
+
+void FlowSimulator::set_link_capacity_factor(LinkId id, double factor) {
+  if (id >= graph_.num_links()) {
+    throw std::out_of_range("topology change: link does not exist");
+  }
+  if (!std::isfinite(factor) || factor <= 0.0 || factor > 1.0) {
+    throw std::invalid_argument(
+        "topology change: capacity factor must be in (0, 1]");
+  }
+  if (link_factor_[id] == factor) return;
+  link_factor_[id] = factor;
+  const double base = graph_.link(id).capacity.bits_per_second();
+  directed_capacity_bps_[static_cast<std::size_t>(id) * 2] = base * factor;
+  directed_capacity_bps_[static_cast<std::size_t>(id) * 2 + 1] =
+      base * factor;
+  apply_topology_change();
+}
+
+void FlowSimulator::apply_topology_change() {
+  const Seconds now = engine_.now();
+  ++realloc_stats_.topology_changes;
+  settle_progress(now);
+  // Re-validate every active flow's path; move broken ones to a surviving
+  // ECMP path or park them on the stranded list.
+  for (std::size_t i = 0; i < active_.size();) {
+    ActiveFlow& flow = active_[i];
+    if (path_alive(flow)) {
+      ++i;
+      continue;
+    }
+    const auto path = router_.ecmp_route(flow.spec.src, flow.spec.dst,
+                                         flow.id);
+    if (path) {
+      flow.directed_indices = directed_indices_of(*path);
+      ++realloc_stats_.reroutes;
+      ++i;
+    } else {
+      ++realloc_stats_.stranded;
+      stranded_.push_back(
+          StrandedFlow{flow.id, flow.spec, flow.remaining_bits, now});
+      if (i + 1 != active_.size()) std::swap(active_[i], active_.back());
+      active_.pop_back();
+    }
+  }
+  // A recovery may have reconnected previously stranded flows.
+  retry_stranded(now);
+  reallocate(now);
+}
+
+void FlowSimulator::retry_stranded(Seconds now) {
+  for (std::size_t i = 0; i < stranded_.size();) {
+    StrandedFlow& parked = stranded_[i];
+    const auto path =
+        router_.ecmp_route(parked.spec.src, parked.spec.dst, parked.id);
+    if (!path) {
+      ++i;
+      continue;
+    }
+    ActiveFlow flow;
+    flow.id = parked.id;
+    flow.spec = parked.spec;
+    flow.remaining_bits = parked.remaining_bits;
+    flow.admitted = now;
+    flow.directed_indices = directed_indices_of(*path);
+    const double stranded_for = (now - parked.stranded_at).value();
+    strand_durations_.push_back(stranded_for);
+    stranded_bit_seconds_done_ += stranded_for * parked.remaining_bits;
+    ++realloc_stats_.resumed;
+    if (i + 1 != stranded_.size()) std::swap(stranded_[i], stranded_.back());
+    stranded_.pop_back();
+    active_.push_back(std::move(flow));
+  }
+}
+
+double FlowSimulator::stranded_bit_seconds(Seconds now) const {
+  double total = stranded_bit_seconds_done_;
+  for (const auto& parked : stranded_) {
+    total += (now - parked.stranded_at).value() * parked.remaining_bits;
+  }
+  return total;
 }
 
 bool FlowSimulator::try_fast_arrival(Seconds now, ActiveFlow& flow) {

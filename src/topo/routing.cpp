@@ -40,11 +40,20 @@ std::optional<Path> Router::shortest_path(NodeId src, NodeId dst) const {
 
 std::vector<Path> Router::ecmp_paths(NodeId src, NodeId dst,
                                      std::size_t max_paths) const {
-  if (src >= graph_.num_nodes() || dst >= graph_.num_nodes()) {
+  auto result = find_paths(src, dst, max_paths);
+  if (result.status == RouteStatus::kInvalidEndpoint) {
     throw std::out_of_range("routing endpoint does not exist");
   }
-  if (src == dst) return {Path{src, dst, {}}};
-  if (max_paths == 0) return {};
+  return std::move(result.paths);
+}
+
+RouteResult Router::find_paths(NodeId src, NodeId dst,
+                               std::size_t max_paths) const {
+  if (src >= graph_.num_nodes() || dst >= graph_.num_nodes()) {
+    return RouteResult{RouteStatus::kInvalidEndpoint, {}};
+  }
+  if (src == dst) return RouteResult{RouteStatus::kOk, {Path{src, dst, {}}}};
+  if (max_paths == 0) return RouteResult{RouteStatus::kOk, {}};
 
   // BFS from src recording hop distances; transit through disabled nodes or
   // links is forbidden, but src/dst themselves are always usable.
@@ -66,7 +75,7 @@ std::vector<Path> Router::ecmp_paths(NodeId src, NodeId dst,
       queue.push_back(next);
     }
   }
-  if (dist[dst] == kInf) return {};
+  if (dist[dst] == kInf) return RouteResult{RouteStatus::kDisconnected, {}};
 
   // Enumerate shortest paths by DFS along strictly-decreasing distances
   // from dst back to src; deterministic by adjacency order.
@@ -93,7 +102,11 @@ std::vector<Path> Router::ecmp_paths(NodeId src, NodeId dst,
     }
   };
   dfs(dfs, dst);
-  return out;
+  return RouteResult{RouteStatus::kOk, std::move(out)};
+}
+
+bool Router::connected(NodeId src, NodeId dst) const {
+  return find_paths(src, dst, 1).ok();
 }
 
 std::optional<Path> Router::ecmp_route(NodeId src, NodeId dst,

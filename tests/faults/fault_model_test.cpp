@@ -1,0 +1,160 @@
+#include "netpp/faults/fault_model.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "netpp/topo/builders.h"
+
+namespace netpp {
+namespace {
+
+using namespace netpp::literals;
+
+FaultGeneratorConfig base_config() {
+  FaultGeneratorConfig config;
+  config.switches = DeviceReliability{Seconds{20.0}, Seconds{1.0}};
+  config.links = DeviceReliability{Seconds{40.0}, Seconds{0.5}};
+  config.horizon = Seconds{100.0};
+  config.seed = 123;
+  return config;
+}
+
+TEST(FaultGenerator, DeterministicForSameSeed) {
+  const auto topo = build_leaf_spine(2, 2, 2, 100_Gbps, 100_Gbps);
+  const FaultGenerator gen{base_config()};
+  const auto a = gen.generate(topo.graph);
+  const auto b = gen.generate(topo.graph);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.faults[i].kind, b.faults[i].kind);
+    EXPECT_EQ(a.faults[i].node, b.faults[i].node);
+    EXPECT_EQ(a.faults[i].link, b.faults[i].link);
+    EXPECT_DOUBLE_EQ(a.faults[i].at.value(), b.faults[i].at.value());
+    EXPECT_DOUBLE_EQ(a.faults[i].recover_at.value(),
+                     b.faults[i].recover_at.value());
+  }
+}
+
+TEST(FaultGenerator, SeedChangesSchedule) {
+  const auto topo = build_leaf_spine(2, 2, 2, 100_Gbps, 100_Gbps);
+  auto config = base_config();
+  const auto a = FaultGenerator{config}.generate(topo.graph);
+  config.seed = 124;
+  const auto b = FaultGenerator{config}.generate(topo.graph);
+  ASSERT_FALSE(a.empty());
+  bool differs = a.size() != b.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = a.faults[i].at.value() != b.faults[i].at.value();
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultGenerator, ScheduleIsSortedAndValid) {
+  const auto topo = build_leaf_spine(3, 3, 2, 100_Gbps, 100_Gbps);
+  auto config = base_config();
+  config.degraded_fraction = 0.5;
+  const auto schedule = FaultGenerator{config}.generate(topo.graph);
+  ASSERT_FALSE(schedule.empty());
+  EXPECT_NO_THROW(schedule.validate(topo.graph));
+  for (std::size_t i = 1; i < schedule.size(); ++i) {
+    EXPECT_LE(schedule.faults[i - 1].at.value(), schedule.faults[i].at.value());
+  }
+  for (const auto& f : schedule.faults) {
+    EXPECT_LT(f.at.value(), 100.0);
+    EXPECT_GT(f.recover_at.value(), f.at.value());
+  }
+}
+
+TEST(FaultGenerator, HostsNeverFail) {
+  const auto topo = build_leaf_spine(2, 2, 4, 100_Gbps, 100_Gbps);
+  const auto schedule = FaultGenerator{base_config()}.generate(topo.graph);
+  for (const auto& f : schedule.faults) {
+    if (f.kind == FaultKind::kSwitchDown) {
+      EXPECT_NE(topo.graph.node(f.node).kind, NodeKind::kHost);
+    }
+  }
+}
+
+TEST(FaultGenerator, ZeroMtbfDisablesClass) {
+  const auto topo = build_leaf_spine(2, 2, 2, 100_Gbps, 100_Gbps);
+  auto config = base_config();
+  config.switches.mtbf = Seconds{0.0};
+  config.links.mtbf = Seconds{0.0};
+  EXPECT_TRUE(FaultGenerator{config}.generate(topo.graph).empty());
+}
+
+TEST(FaultGenerator, DeviceStreamsAreIndependent) {
+  // A device's fault times must not depend on how many other devices exist:
+  // the same link id draws the same renewal times on both topologies.
+  auto config = base_config();
+  config.switches.mtbf = Seconds{0.0};
+  const auto small = build_leaf_spine(2, 2, 2, 100_Gbps, 100_Gbps);
+  const auto large = build_leaf_spine(2, 3, 2, 100_Gbps, 100_Gbps);
+  const auto a = FaultGenerator{config}.generate(small.graph);
+  const auto b = FaultGenerator{config}.generate(large.graph);
+  for (const auto& fa : a.faults) {
+    const bool found = std::any_of(
+        b.faults.begin(), b.faults.end(), [&](const FaultSpec& fb) {
+          return fb.link == fa.link && fb.at.value() == fa.at.value() &&
+                 fb.recover_at.value() == fa.recover_at.value();
+        });
+    EXPECT_TRUE(found) << "link " << fa.link << " at " << fa.at.value();
+  }
+}
+
+TEST(FaultGenerator, RejectsBadConfig) {
+  auto config = base_config();
+  config.switches.mttr = Seconds{0.0};
+  EXPECT_THROW(FaultGenerator{config}, std::invalid_argument);
+  config = base_config();
+  config.degraded_fraction = 1.5;
+  EXPECT_THROW(FaultGenerator{config}, std::invalid_argument);
+  config = base_config();
+  config.degraded_capacity_factor = 0.0;
+  EXPECT_THROW(FaultGenerator{config}, std::invalid_argument);
+  config = base_config();
+  config.horizon = Seconds{-1.0};
+  EXPECT_THROW(FaultGenerator{config}, std::invalid_argument);
+}
+
+TEST(FaultSchedule, ValidateRejectsBadSpecs) {
+  const auto topo = build_leaf_spine(2, 2, 2, 100_Gbps, 100_Gbps);
+  const NodeId sw = topo.switches.front();
+
+  FaultSchedule unsorted;
+  unsorted.faults.push_back(FaultSpec{FaultKind::kSwitchDown, sw,
+                                      kInvalidLink, Seconds{5.0}, Seconds{6.0},
+                                      1.0});
+  unsorted.faults.push_back(FaultSpec{FaultKind::kSwitchDown, sw,
+                                      kInvalidLink, Seconds{1.0}, Seconds{2.0},
+                                      1.0});
+  EXPECT_THROW(unsorted.validate(topo.graph), std::invalid_argument);
+
+  FaultSchedule host_down;
+  host_down.faults.push_back(FaultSpec{FaultKind::kSwitchDown,
+                                       topo.hosts.front(), kInvalidLink,
+                                       Seconds{1.0}, Seconds{2.0}, 1.0});
+  EXPECT_THROW(host_down.validate(topo.graph), std::invalid_argument);
+
+  FaultSchedule no_repair;
+  no_repair.faults.push_back(FaultSpec{FaultKind::kSwitchDown, sw,
+                                       kInvalidLink, Seconds{2.0},
+                                       Seconds{2.0}, 1.0});
+  EXPECT_THROW(no_repair.validate(topo.graph), std::invalid_argument);
+
+  FaultSchedule bad_factor;
+  bad_factor.faults.push_back(FaultSpec{FaultKind::kLinkDegraded,
+                                        kInvalidNode, LinkId{0}, Seconds{1.0},
+                                        Seconds{2.0}, 1.5});
+  EXPECT_THROW(bad_factor.validate(topo.graph), std::invalid_argument);
+
+  FaultSchedule bad_link;
+  bad_link.faults.push_back(FaultSpec{FaultKind::kLinkDown, kInvalidNode,
+                                      LinkId{100000}, Seconds{1.0},
+                                      Seconds{2.0}, 1.0});
+  EXPECT_THROW(bad_link.validate(topo.graph), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace netpp

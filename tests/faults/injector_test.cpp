@@ -1,0 +1,166 @@
+#include "netpp/faults/injector.h"
+
+#include <gtest/gtest.h>
+
+#include "netpp/topo/builders.h"
+
+namespace netpp {
+namespace {
+
+using namespace netpp::literals;
+
+/// Two leaves, two spines, one host per leaf: cross-leaf traffic has exactly
+/// two ECMP paths (one per spine).
+struct TwoSpine {
+  BuiltTopology topo = build_leaf_spine(2, 2, 1, 100_Gbps, 100_Gbps);
+  SimEngine engine;
+  Router router{topo.graph};
+  FlowSimulator::Config config = [] {
+    FlowSimulator::Config c;
+    c.strand_unroutable = true;
+    return c;
+  }();
+  FlowSimulator sim{topo.graph, router, engine, config};
+
+  /// Select switches by tier (leaves are tier 1, spines tier 2) rather than
+  /// by position in `switches`, whose order is a builder detail.
+  [[nodiscard]] NodeId spine(std::size_t i) const {
+    return topo.graph.nodes_at_tier(2).at(i);
+  }
+  [[nodiscard]] NodeId leaf(std::size_t i) const {
+    return topo.graph.nodes_at_tier(1).at(i);
+  }
+};
+
+FaultSpec switch_down(NodeId node, double at, double recover_at) {
+  FaultSpec f;
+  f.kind = FaultKind::kSwitchDown;
+  f.node = node;
+  f.at = Seconds{at};
+  f.recover_at = Seconds{recover_at};
+  return f;
+}
+
+TEST(FaultInjector, SpineFailureReroutesAndFlowCompletes) {
+  TwoSpine t;
+  // 100 Gbit cross-leaf; both spines up -> one of the two paths is used.
+  t.sim.submit(FlowSpec{t.topo.hosts[0], t.topo.hosts[1],
+                        Bits::from_gigabits(100.0), 0.0_s, 0});
+
+  // Fail both spines one after the other; at least one failure hits the
+  // flow's current path and must reroute it.
+  FaultSchedule schedule;
+  schedule.faults.push_back(switch_down(t.spine(0), 0.2, 5.0));
+  FaultInjector injector{t.sim, schedule};
+  injector.arm();
+  t.engine.run();
+
+  ASSERT_EQ(t.sim.completed().size(), 1u);
+  EXPECT_EQ(t.sim.stranded_flows(), 0u);
+  EXPECT_EQ(injector.faults_applied(), 1u);
+  // The flow either rode the surviving spine all along (reroutes == 0) or
+  // was moved; in both cases it never stranded.
+  EXPECT_EQ(t.sim.realloc_stats().stranded, 0u);
+}
+
+TEST(FaultInjector, AllSpinesDownStrandsThenResumes) {
+  TwoSpine t;
+  t.sim.submit(FlowSpec{t.topo.hosts[0], t.topo.hosts[1],
+                        Bits::from_gigabits(100.0), 0.0_s, 0});
+  FaultSchedule schedule;
+  schedule.faults.push_back(switch_down(t.spine(0), 0.2, 1.0));
+  schedule.faults.push_back(switch_down(t.spine(1), 0.2, 1.5));
+  FaultInjector injector{t.sim, schedule};
+  injector.arm();
+  t.engine.run();
+
+  // Stranded at 0.2 with 80 Gbit left; spine 0 repairs at 1.0 -> resumes and
+  // finishes 0.8 s later.
+  ASSERT_EQ(t.sim.completed().size(), 1u);
+  EXPECT_NEAR(t.sim.completed()[0].finished.value(), 1.8, 1e-6);
+  EXPECT_EQ(t.sim.realloc_stats().stranded, 1u);
+  EXPECT_EQ(t.sim.realloc_stats().resumed, 1u);
+  ASSERT_EQ(t.sim.strand_durations().size(), 1u);
+  EXPECT_NEAR(t.sim.strand_durations()[0], 0.8, 1e-9);
+  // 80 Gbit stranded for 0.8 s.
+  EXPECT_NEAR(t.sim.stranded_bit_seconds(t.engine.now()), 80e9 * 0.8, 1e3);
+}
+
+TEST(FaultInjector, RepairRestoresPreFaultParkedState) {
+  TwoSpine t;
+  // Park spine 1 (a power mechanism turned it off) before the fault hits it.
+  t.sim.set_node_enabled(t.spine(1), false);
+  FaultSchedule schedule;
+  schedule.faults.push_back(switch_down(t.spine(1), 0.1, 0.5));
+  FaultInjector injector{t.sim, schedule};
+  injector.arm();
+  t.engine.run();
+  // The repair must NOT silently power on a switch a policy parked.
+  EXPECT_FALSE(t.sim.router().node_enabled(t.spine(1)));
+}
+
+TEST(FaultInjector, DegradedLinkSlowsAndRecovers) {
+  TwoSpine t;
+  // Find the host0 -> leaf0 access link: every path crosses it.
+  const auto& g = t.topo.graph;
+  LinkId access = kInvalidLink;
+  for (const Link& link : g.links()) {
+    if (link.a == t.topo.hosts[0] || link.b == t.topo.hosts[0]) {
+      access = link.id;
+    }
+  }
+  ASSERT_NE(access, kInvalidLink);
+
+  FaultSpec degrade;
+  degrade.kind = FaultKind::kLinkDegraded;
+  degrade.link = access;
+  degrade.at = Seconds{0.0};
+  degrade.recover_at = Seconds{1.0};
+  degrade.capacity_factor = 0.5;
+  FaultSchedule schedule;
+  schedule.faults.push_back(degrade);
+
+  t.sim.submit(FlowSpec{t.topo.hosts[0], t.topo.hosts[1],
+                        Bits::from_gigabits(100.0), 0.0_s, 0});
+  FaultInjector injector{t.sim, schedule};
+  injector.arm();
+  t.engine.run();
+
+  // 1 s at 50 G (50 Gbit done), then 0.5 s at full rate: finishes at 1.5 s.
+  ASSERT_EQ(t.sim.completed().size(), 1u);
+  EXPECT_NEAR(t.sim.completed()[0].finished.value(), 1.5, 1e-6);
+  EXPECT_DOUBLE_EQ(t.sim.link_capacity_factor(access), 1.0);
+}
+
+TEST(FaultInjector, ListenerSeesFailureAndRecovery) {
+  TwoSpine t;
+  FaultSchedule schedule;
+  schedule.faults.push_back(switch_down(t.spine(0), 0.1, 0.4));
+  FaultInjector injector{t.sim, schedule};
+  std::vector<bool> recoveries;
+  injector.set_listener([&](const FaultSpec& f, bool recovery) {
+    EXPECT_EQ(f.node, t.spine(0));
+    recoveries.push_back(recovery);
+  });
+  injector.arm();
+  t.engine.run();
+  ASSERT_EQ(recoveries.size(), 2u);
+  EXPECT_FALSE(recoveries[0]);
+  EXPECT_TRUE(recoveries[1]);
+}
+
+TEST(FaultInjector, RejectsDoubleArmAndBadSchedule) {
+  TwoSpine t;
+  FaultSchedule schedule;
+  schedule.faults.push_back(switch_down(t.spine(0), 0.1, 0.4));
+  FaultInjector injector{t.sim, schedule};
+  injector.arm();
+  EXPECT_THROW(injector.arm(), std::logic_error);
+
+  FaultSchedule host_fault;
+  host_fault.faults.push_back(switch_down(t.topo.hosts[0], 0.1, 0.4));
+  EXPECT_THROW((FaultInjector{t.sim, host_fault}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace netpp

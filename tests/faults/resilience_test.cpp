@@ -1,0 +1,66 @@
+#include "netpp/analysis/resilience.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace netpp {
+namespace {
+
+TEST(SampleQuantile, InterpolatesAndHandlesEdges) {
+  EXPECT_DOUBLE_EQ(sample_quantile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(sample_quantile({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(sample_quantile({7.0}, 1.0), 7.0);
+  EXPECT_DOUBLE_EQ(sample_quantile({3.0, 1.0, 2.0}, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(sample_quantile({1.0, 2.0}, 0.5), 1.5);
+  EXPECT_DOUBLE_EQ(sample_quantile({10.0, 0.0}, 0.25), 2.5);
+  EXPECT_THROW((void)sample_quantile({1.0}, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)sample_quantile({1.0}, 1.1), std::invalid_argument);
+}
+
+TEST(ResilienceReport, NoFaultInputIsPerfect) {
+  ResilienceInput input;
+  input.flows_submitted = 10;
+  input.flows_completed = 10;
+  input.flow_seconds = 25.0;
+  input.powered_switch_seconds = 40.0;
+  input.all_on_switch_seconds = 80.0;
+  input.switch_power = Watts{100.0};
+  input.duration = Seconds{10.0};
+  const auto report = build_resilience_report(input);
+  EXPECT_DOUBLE_EQ(report.availability, 1.0);
+  EXPECT_DOUBLE_EQ(report.completion_rate, 1.0);
+  EXPECT_DOUBLE_EQ(report.stranded_demand_gbit_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(report.mean_recovery.value(), 0.0);
+  EXPECT_DOUBLE_EQ(report.p99_recovery.value(), 0.0);
+  EXPECT_DOUBLE_EQ(report.energy.value(), 4000.0);
+  EXPECT_DOUBLE_EQ(report.all_on_energy.value(), 8000.0);
+  EXPECT_DOUBLE_EQ(report.energy_delta, -0.5);
+}
+
+TEST(ResilienceReport, StrandingReducesAvailability) {
+  ResilienceInput input;
+  input.flows_submitted = 4;
+  input.flows_completed = 3;
+  input.flows_stranded_at_end = 1;
+  input.flow_seconds = 10.0;
+  input.strand_durations = {1.0, 1.5};  // 2.5 s stranded of 10 s lifetime
+  input.stranded_bit_seconds = 5e9;
+  const auto report = build_resilience_report(input);
+  EXPECT_DOUBLE_EQ(report.availability, 0.75);
+  EXPECT_DOUBLE_EQ(report.completion_rate, 0.75);
+  EXPECT_DOUBLE_EQ(report.stranded_demand_gbit_seconds, 5.0);
+  EXPECT_DOUBLE_EQ(report.mean_recovery.value(), 1.25);
+  EXPECT_NEAR(report.p99_recovery.value(), 1.495, 1e-9);
+}
+
+TEST(ResilienceReport, AvailabilityClampedToZero) {
+  ResilienceInput input;
+  input.flow_seconds = 1.0;
+  input.strand_durations = {5.0};
+  const auto report = build_resilience_report(input);
+  EXPECT_DOUBLE_EQ(report.availability, 0.0);
+}
+
+}  // namespace
+}  // namespace netpp

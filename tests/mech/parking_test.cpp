@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace netpp {
 namespace {
 
@@ -174,6 +176,68 @@ TEST(Parking, TraceValidation) {
   bad.loads = {0.1, 0.2};
   bad.end = Seconds{1.0};
   EXPECT_THROW((void)simulate_parking_reactive(bad, cfg), std::invalid_argument);
+}
+
+TEST(Parking, TraceValidationRejectsNonFiniteValues) {
+  const auto cfg = default_config();
+  // NaN slips through plain range comparisons; validate() must catch it.
+  AggregateLoadTrace nan_load = constant_trace(0.5, 1.0);
+  nan_load.loads[0] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW((void)simulate_parking_reactive(nan_load, cfg),
+               std::invalid_argument);
+  AggregateLoadTrace inf_time = constant_trace(0.5, 1.0);
+  inf_time.times[0] = Seconds{std::numeric_limits<double>::infinity()};
+  EXPECT_THROW((void)simulate_parking_reactive(inf_time, cfg),
+               std::invalid_argument);
+  AggregateLoadTrace nan_end = constant_trace(0.5, 1.0);
+  nan_end.end = Seconds{std::numeric_limits<double>::quiet_NaN()};
+  EXPECT_THROW((void)simulate_parking_reactive(nan_end, cfg),
+               std::invalid_argument);
+}
+
+TEST(Parking, ResilientWithNoRecallsMatchesReactiveExactly) {
+  const auto cfg = default_config();
+  const auto trace = phase_trace(4, 0.9);
+  const auto reactive = simulate_parking_reactive(trace, cfg);
+  const auto resilient = simulate_parking_reactive_resilient(trace, {}, cfg);
+  EXPECT_EQ(resilient.energy.value(), reactive.energy.value());
+  EXPECT_EQ(resilient.mean_active_pipelines, reactive.mean_active_pipelines);
+  EXPECT_EQ(resilient.wake_transitions, reactive.wake_transitions);
+  EXPECT_EQ(resilient.park_transitions, reactive.park_transitions);
+  EXPECT_EQ(resilient.emergency_wakes, 0u);
+}
+
+TEST(Parking, EmergencyRecallWakesEveryPipeline) {
+  const auto cfg = default_config();
+  const int pipes = cfg.model.config().num_pipelines;
+  // Idle trace: the reactive policy parks down to 1 pipeline; an emergency
+  // recall mid-trace must force all of them awake and add the rerouted load.
+  const auto trace = constant_trace(0.05, 10.0);
+  std::vector<EmergencyRecall> recalls = {
+      EmergencyRecall{Seconds{4.0}, Seconds{6.0}, 0.5}};
+  const auto result =
+      simulate_parking_reactive_resilient(trace, recalls, cfg);
+  EXPECT_GE(result.emergency_wakes, static_cast<std::size_t>(pipes - 1));
+  // 2 s of 10 s with all pipes on, the rest near 1: mean well above idle.
+  const auto baseline = simulate_parking_reactive(trace, cfg);
+  EXPECT_GT(result.mean_active_pipelines, baseline.mean_active_pipelines);
+  EXPECT_LT(result.savings_vs_all_on, baseline.savings_vs_all_on);
+}
+
+TEST(Parking, EmergencyRecallValidation) {
+  const auto cfg = default_config();
+  const auto trace = constant_trace(0.2, 5.0);
+  std::vector<EmergencyRecall> inverted = {
+      EmergencyRecall{Seconds{2.0}, Seconds{1.0}, 0.1}};
+  EXPECT_THROW(
+      (void)simulate_parking_reactive_resilient(trace, inverted, cfg),
+      std::invalid_argument);
+  std::vector<EmergencyRecall> nan_load = {
+      EmergencyRecall{Seconds{1.0}, Seconds{2.0},
+                      std::numeric_limits<double>::quiet_NaN()}};
+  EXPECT_THROW(
+      (void)simulate_parking_reactive_resilient(trace, nan_load, cfg),
+      std::invalid_argument);
 }
 
 }  // namespace

@@ -226,7 +226,7 @@ TEST(FairShareProperty, ViewApiMatchesVectorApi) {
 
 TEST(FairShareProperty, InvalidInputsThrowLikeReference) {
   MaxMinSolver solver;
-  const std::vector<double> bad_cap = {0.0};
+  const std::vector<double> bad_cap = {-1.0};
   const std::vector<double> good_cap = {100.0};
   const std::vector<std::size_t> out_of_range = {5};
   std::vector<FairShareFlowView> views = {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace netpp {
 namespace {
 
@@ -75,9 +77,23 @@ TEST(FairShare, NoFlowsIsFine) {
 }
 
 TEST(FairShare, InvalidInputsThrow) {
-  EXPECT_THROW(max_min_fair_rates({{{0}, 0.0}}, {0.0}),
+  EXPECT_THROW(max_min_fair_rates({{{0}, 0.0}}, {-1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(max_min_fair_rates(
+                   {{{0}, 0.0}},
+                   {std::numeric_limits<double>::quiet_NaN()}),
                std::invalid_argument);
   EXPECT_THROW(max_min_fair_rates({{{5}, 0.0}}, {100.0}), std::out_of_range);
+}
+
+TEST(FairShare, ZeroCapacityPinsFlowsToZero) {
+  // A dead (disabled or fully degraded) resource is a valid input: flows
+  // crossing it get rate 0, everyone else shares normally.
+  const auto rates = max_min_fair_rates({{{0}, 0.0}, {{1}, 0.0}},
+                                        {0.0, 100.0});
+  ASSERT_EQ(rates.size(), 2u);
+  EXPECT_DOUBLE_EQ(rates[0], 0.0);
+  EXPECT_DOUBLE_EQ(rates[1], 100.0);
 }
 
 TEST(FairShare, NoLinkExceedsCapacity) {

@@ -127,6 +127,42 @@ TEST_F(RoutingFatTree, OutOfRangeEndpointsThrow) {
                std::out_of_range);
 }
 
+TEST(Routing, FindPathsReportsStructuredStatus) {
+  const auto topo = build_leaf_spine(2, 1, 1, 100_Gbps, 100_Gbps);
+  Router router{topo.graph};
+
+  // Healthy endpoints: kOk with at least one path.
+  const auto ok = router.find_paths(topo.hosts[0], topo.hosts[1]);
+  EXPECT_EQ(ok.status, RouteStatus::kOk);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_FALSE(ok.paths.empty());
+
+  // Bad input (endpoint does not exist) is distinguishable from a healthy
+  // pair that is merely disconnected.
+  const auto invalid = router.find_paths(topo.hosts[0], 100000);
+  EXPECT_EQ(invalid.status, RouteStatus::kInvalidEndpoint);
+  EXPECT_FALSE(invalid.ok());
+  EXPECT_TRUE(invalid.paths.empty());
+
+  router.set_node_enabled(topo.graph.nodes_at_tier(2).front(),
+                          false);  // the only spine
+  const auto cut = router.find_paths(topo.hosts[0], topo.hosts[1]);
+  EXPECT_EQ(cut.status, RouteStatus::kDisconnected);
+  EXPECT_FALSE(cut.ok());
+
+  EXPECT_FALSE(router.connected(topo.hosts[0], topo.hosts[1]));
+  EXPECT_TRUE(router.connected(topo.hosts[0], topo.hosts[0]));
+}
+
+TEST(Routing, EcmpPathsStillThrowsOnInvalidEndpoint) {
+  // The legacy throwing API delegates to find_paths but keeps its contract.
+  const auto topo = build_leaf_spine(2, 1, 1, 100_Gbps, 100_Gbps);
+  Router router{topo.graph};
+  EXPECT_THROW(router.ecmp_paths(topo.hosts[0], 100000), std::out_of_range);
+  router.set_node_enabled(topo.graph.nodes_at_tier(2).front(), false);
+  EXPECT_TRUE(router.ecmp_paths(topo.hosts[0], topo.hosts[1]).empty());
+}
+
 TEST(Routing, LongerEquallyCheapPathsOnRing) {
   // On an even ring, the two directions to the antipode are equal cost.
   const auto topo = build_backbone_ring(6, 0, 400_Gbps);

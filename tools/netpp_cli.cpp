@@ -7,6 +7,8 @@
 //   netpp_cli fig4 [--csv]
 //   netpp_cli savings --prop P [--gbps B] [cluster flags]
 //   netpp_cli sensitivity [--csv]
+//   netpp_cli faults [--mtbf S] [--mttr S] [--seed N]
+//                    [--policy none|wake-all|re-tailor] [--headroom H] [--csv]
 //   netpp_cli help
 #include <cstdio>
 #include <cstdlib>
@@ -19,6 +21,8 @@
 #include "netpp/analysis/sensitivity.h"
 #include "netpp/analysis/speedup.h"
 #include "netpp/cluster/cluster.h"
+#include "netpp/faults/experiment.h"
+#include "netpp/traffic/generators.h"
 
 namespace {
 
@@ -29,6 +33,12 @@ struct Options {
   ClusterConfig cluster;
   double prop = 0.5;
   bool csv = false;
+  // faults subcommand
+  double mtbf_s = 10.0;  ///< 0 disables fault injection
+  double mttr_s = 0.5;
+  double headroom = 0.0;
+  std::uint64_t fault_seed = 1;
+  DegradedPolicy policy = DegradedPolicy::kRetailor;
 };
 
 void print_table(const Table& table, bool csv) {
@@ -47,8 +57,11 @@ int usage() {
       "  fig4         paper Figure 4: fixed-ratio speedup series\n"
       "  savings      one savings cell: --prop P [--gbps B]\n"
       "  sensitivity  headline metrics vs modeling assumptions\n"
+      "  faults       fault-injection resilience run on a tailored fabric\n"
       "\n"
-      "flags: --gpus N --gbps B --ratio R --prop P --csv\n");
+      "flags: --gpus N --gbps B --ratio R --prop P --csv\n"
+      "faults flags: --mtbf S --mttr S --seed N --headroom H\n"
+      "              --policy none|wake-all|re-tailor\n");
   return 2;
 }
 
@@ -60,6 +73,19 @@ bool parse(int argc, char** argv, Options& opt) {
       continue;
     }
     if (i + 1 >= argc) return false;
+    if (flag == "--policy") {
+      const std::string name = argv[++i];
+      if (name == "none") {
+        opt.policy = DegradedPolicy::kNone;
+      } else if (name == "wake-all") {
+        opt.policy = DegradedPolicy::kEmergencyWakeAll;
+      } else if (name == "re-tailor") {
+        opt.policy = DegradedPolicy::kRetailor;
+      } else {
+        return false;
+      }
+      continue;
+    }
     const double value = std::atof(argv[++i]);
     if (flag == "--gpus" && value > 0) {
       opt.cluster.num_gpus = value;
@@ -69,6 +95,14 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.cluster.communication_ratio = value;
     } else if (flag == "--prop" && value >= 0 && value <= 1) {
       opt.prop = value;
+    } else if (flag == "--mtbf" && value >= 0) {
+      opt.mtbf_s = value;
+    } else if (flag == "--mttr" && value > 0) {
+      opt.mttr_s = value;
+    } else if (flag == "--headroom" && value >= 0) {
+      opt.headroom = value;
+    } else if (flag == "--seed" && value >= 0) {
+      opt.fault_seed = static_cast<std::uint64_t>(value);
     } else {
       return false;
     }
@@ -176,6 +210,66 @@ int cmd_sensitivity(const Options& opt) {
   return 0;
 }
 
+int cmd_faults(const Options& opt) {
+  // Canned scenario: 4x4 leaf-spine fabric, ring all-reduce training
+  // traffic, topology tailored to the ring demand before the run (the
+  // power-proportional operating point the paper argues for).
+  const BuiltTopology topo = build_leaf_spine(4, 4, 4, 100_Gbps, 100_Gbps);
+  MlTrafficConfig traffic;
+  traffic.compute_time = Seconds{0.3};
+  traffic.comm_allowance = Seconds{0.5};
+  traffic.volume_per_host = Bits::from_gigabits(12.0);
+  traffic.iterations = 6;
+  const auto workload = make_ml_training_traffic(topo.hosts, traffic).flows;
+
+  FaultExperimentConfig config;
+  config.tailor = true;
+  config.degraded.policy = opt.policy;
+  config.degraded.min_headroom = opt.headroom;
+  for (std::size_t i = 0; i < topo.hosts.size(); ++i) {
+    config.demands.push_back(TrafficDemand{
+        topo.hosts[i], topo.hosts[(i + 1) % topo.hosts.size()], 30_Gbps});
+  }
+
+  FaultSchedule schedule;
+  if (opt.mtbf_s > 0.0) {
+    FaultGeneratorConfig faults;
+    faults.switches =
+        DeviceReliability{Seconds{opt.mtbf_s}, Seconds{opt.mttr_s}};
+    faults.links =
+        DeviceReliability{Seconds{opt.mtbf_s * 2.0}, Seconds{opt.mttr_s}};
+    faults.degraded_fraction = 0.25;
+    faults.horizon = Seconds{5.0};
+    faults.seed = opt.fault_seed;
+    schedule = FaultGenerator{faults}.generate(topo.graph);
+  }
+
+  const auto result = run_fault_experiment(topo, workload, schedule, config);
+  Table table{{"metric", "value"}};
+  table.add_row({"switches parked initially",
+                 std::to_string(result.tailoring.powered_off.size())});
+  table.add_row({"faults injected",
+                 std::to_string(result.report.faults_injected)});
+  table.add_row(
+      {"flows rerouted", std::to_string(result.report.flows_rerouted)});
+  table.add_row(
+      {"strand events", std::to_string(result.report.strand_events)});
+  table.add_row({"availability", fmt_percent(result.report.availability, 2)});
+  table.add_row({"stranded demand (Gbit*s)",
+                 fmt(result.report.stranded_demand_gbit_seconds, 3)});
+  table.add_row(
+      {"mean recovery", to_string(result.report.mean_recovery)});
+  table.add_row({"p99 recovery", to_string(result.report.p99_recovery)});
+  table.add_row(
+      {"completion rate", fmt_percent(result.report.completion_rate, 2)});
+  table.add_row({"emergency wakes", std::to_string(result.emergency_wakes)});
+  table.add_row({"re-tailor passes", std::to_string(result.retailor_passes)});
+  table.add_row(
+      {"energy vs all-on", fmt_percent(result.report.energy_delta, 1)});
+  print_table(table, opt.csv);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -190,5 +284,6 @@ int main(int argc, char** argv) {
   if (command == "fig4") return cmd_fig(opt, BudgetScenario::kFixedCommRatio);
   if (command == "savings") return cmd_savings(opt);
   if (command == "sensitivity") return cmd_sensitivity(opt);
+  if (command == "faults") return cmd_faults(opt);
   return usage();
 }
