@@ -11,6 +11,14 @@
 //     carries the before/after trajectory in one JSON.
 //   - BM_FlowSimPoisson: end-to-end event loop, Poisson arrivals with
 //     bounded-Pareto sizes, ~300 concurrent flows in steady state.
+//     BM_FlowSimPoissonNoRouteCache is the same loop with
+//     Config::use_route_cache off (per-arrival BFS), isolating what the
+//     route cache buys end-to-end.
+//   - BM_EcmpRoute{Uncached,Cached}: routing only — N ECMP route picks for
+//     random host pairs against a fresh Router vs through a RouteCache.
+//     Cached cost is sublinear in N: the (ToR,ToR)-canonical pair space of
+//     the k=8 pod saturates after a few thousand lookups and everything
+//     after is a hash probe.
 //
 // Regenerate the checked-in baseline with:
 //   ./build/bench/bench_flowsim_scale --benchmark_format=json
@@ -27,6 +35,7 @@
 #include "netpp/netsim/flowsim.h"
 #include "netpp/sim/random.h"
 #include "netpp/topo/builders.h"
+#include "netpp/topo/route_cache.h"
 #include "netpp/topo/routing.h"
 #include "netpp/traffic/generators.h"
 
@@ -252,6 +261,107 @@ void BM_FlowSimPoisson(benchmark::State& state) {
                           static_cast<std::int64_t>(flows.size()));
 }
 BENCHMARK(BM_FlowSimPoisson)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+// Opt-out control: identical workload with per-arrival BFS routing. The
+// flowsim_routecache test pins the two configurations to bit-identical
+// completion times, so any delta here is pure routing cost.
+void BM_FlowSimPoissonNoRouteCache(benchmark::State& state) {
+  const auto& topo = pod_topology();
+  const auto total = static_cast<std::size_t>(state.range(0));
+  PoissonTrafficConfig tcfg;
+  tcfg.arrivals_per_second = 2000.0;
+  tcfg.duration = Seconds{static_cast<double>(total) / 2000.0};
+  tcfg.pareto_alpha = 1.3;
+  tcfg.min_size = Bits::from_gigabits(1.0);
+  tcfg.max_size = Bits::from_gigabits(25.0);
+  tcfg.seed = 1234;
+  const auto flows = make_poisson_traffic(topo.hosts, tcfg);
+
+  for (auto _ : state) {
+    SimEngine engine;
+    Router router{topo.graph};
+    FlowSimulator::Config cfg;
+    cfg.flow_rate_cap = Gbps{25.0};
+    cfg.use_route_cache = false;
+    FlowSimulator sim{topo.graph, router, engine, cfg};
+    for (const auto& f : flows) sim.submit(f);
+    engine.run();
+    benchmark::DoNotOptimize(sim.completed().size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(flows.size()));
+}
+BENCHMARK(BM_FlowSimPoissonNoRouteCache)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Routing-only family: N ECMP route picks for pseudo-random host pairs.
+// ---------------------------------------------------------------------------
+std::vector<std::pair<NodeId, NodeId>> make_pairs(std::size_t n) {
+  const auto& topo = pod_topology();
+  Rng rng{0xBADC0DEull + n};
+  const auto num_hosts = static_cast<std::int64_t>(topo.hosts.size());
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  pairs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId src = topo.hosts[static_cast<std::size_t>(
+        rng.uniform_int(0, num_hosts - 1))];
+    NodeId dst = src;
+    while (dst == src) {
+      dst = topo.hosts[static_cast<std::size_t>(
+          rng.uniform_int(0, num_hosts - 1))];
+    }
+    pairs.emplace_back(src, dst);
+  }
+  return pairs;
+}
+
+void BM_EcmpRouteUncached(benchmark::State& state) {
+  const auto& topo = pod_topology();
+  const auto pairs = make_pairs(static_cast<std::size_t>(state.range(0)));
+  Router router{topo.graph};
+  for (auto _ : state) {
+    std::size_t hops = 0;
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      const auto path = router.ecmp_route(pairs[i].first, pairs[i].second, i);
+      hops += path ? path->hops() : 0;
+    }
+    benchmark::DoNotOptimize(hops);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(pairs.size()));
+}
+BENCHMARK(BM_EcmpRouteUncached)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EcmpRouteCached(benchmark::State& state) {
+  const auto& topo = pod_topology();
+  const auto pairs = make_pairs(static_cast<std::size_t>(state.range(0)));
+  Router router{topo.graph};
+  RouteCache cache{router, RouteCache::Config{}};
+  for (auto _ : state) {
+    std::size_t hops = 0;
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      const auto path = cache.route(pairs[i].first, pairs[i].second, i);
+      hops += path ? path->hops() : 0;
+    }
+    benchmark::DoNotOptimize(hops);
+  }
+  const auto stats = cache.stats();
+  state.counters["entries"] = static_cast<double>(stats.entries);
+  state.counters["pool_kb"] = static_cast<double>(stats.pool_bytes) / 1024.0;
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(pairs.size()));
+}
+BENCHMARK(BM_EcmpRouteCached)
     ->Arg(1000)
     ->Arg(10000)
     ->Arg(100000)

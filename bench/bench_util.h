@@ -20,6 +20,16 @@ inline void print_banner(const std::string& title) {
 inline int run_benchmarks(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // The stock "library_build_type" context field describes how
+  // libbenchmark itself was compiled, not this code. Record how the code
+  // under test was built, so a checked-in JSON is self-describing (only
+  // netpp_build_type=release numbers are valid baselines — see
+  // bench/README.md).
+#ifdef NDEBUG
+  benchmark::AddCustomContext("netpp_build_type", "release");
+#else
+  benchmark::AddCustomContext("netpp_build_type", "debug");
+#endif
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

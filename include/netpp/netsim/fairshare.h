@@ -51,11 +51,28 @@ class MaxMinSolver {
   const std::vector<double>& solve(std::span<const FairShareFlowView> flows,
                                    std::span<const double> capacities);
 
+  /// Sparse-reset variant for repeated small subproblems over a big fabric:
+  /// `touched` must list every resource index any flow uses, each exactly
+  /// once (order free), and `uniform_cap` (> 0) must equal every flow's
+  /// cap. Only the touched entries of the resource-indexed workspace are
+  /// reset and capacities are trusted (no NaN scan), so a solve costs
+  /// O(flows + touched + incidence) instead of O(total resources). Returns
+  /// exactly the doubles solve() would for the same input.
+  const std::vector<double>& solve_on(std::span<const FairShareFlowView> flows,
+                                      std::span<const double> capacities,
+                                      std::span<const std::size_t> touched,
+                                      double uniform_cap);
+
  private:
   struct HeapEntry {
     double key;
     std::size_t idx;
   };
+
+  const std::vector<double>& run(std::span<const FairShareFlowView> flows,
+                                 std::span<const double> capacities,
+                                 std::span<const std::size_t> touched,
+                                 double uniform_cap);
 
   void freeze(std::span<const FairShareFlowView> flows, std::size_t f,
               double value);
@@ -64,9 +81,10 @@ class MaxMinSolver {
   std::vector<double> residual_;
   std::vector<std::uint32_t> active_on_;
   std::vector<std::uint8_t> frozen_;
-  std::vector<std::size_t> csr_offsets_;  // size num_resources + 1
-  std::vector<std::size_t> csr_flows_;    // flow ids grouped by resource
-  std::vector<std::size_t> csr_cursor_;   // fill cursor scratch
+  std::vector<std::size_t> csr_start_;   // per-resource group start
+  std::vector<std::size_t> csr_end_;     // per-resource group end (and cursor)
+  std::vector<std::size_t> csr_flows_;   // flow ids grouped by resource
+  std::vector<std::size_t> touched_all_;  // scratch: full-resource list
   std::vector<HeapEntry> link_heap_;      // (share, resource), lazy-delete
   std::vector<HeapEntry> cap_heap_;       // (cap, flow), lazy-delete
 };

@@ -20,6 +20,7 @@
 #include "netpp/sim/engine.h"
 #include "netpp/sim/stats.h"
 #include "netpp/topo/graph.h"
+#include "netpp/topo/route_cache.h"
 #include "netpp/topo/routing.h"
 #include "netpp/units.h"
 
@@ -64,6 +65,12 @@ class FlowSimulator {
     std::size_t max_ecmp_paths = 16;
     /// Per-flow rate cap; 0 disables (flows are then only link-limited).
     Gbps flow_rate_cap{0.0};
+    /// Route arrivals, reroutes, and stranded-flow resumes through the
+    /// epoch-versioned RouteCache instead of running a fresh BFS per flow.
+    /// Path selection is bit-identical either way (same enumeration order,
+    /// same flow hash); disable only to cross-check (see
+    /// tests/netsim/flowsim_routecache_test.cpp).
+    bool use_route_cache = true;
     /// Incremental reallocation: arrivals and departures that provably leave
     /// every other flow's allocation unchanged (all touched links stay
     /// strictly unsaturated) skip the full fair-share re-solve. The
@@ -83,10 +90,19 @@ class FlowSimulator {
     std::uint64_t full_solves = 0;
     std::uint64_t fast_arrivals = 0;    // admitted at cap, no re-solve
     std::uint64_t fast_departures = 0;  // removed without re-solve
+    /// Reallocations (counted in full_solves) resolved on the binding
+    /// subset: only flows crossing a link whose equal share sits below the
+    /// uniform cap went through the solver; everyone else got the cap.
+    std::uint64_t binding_solves = 0;
+    /// Total flows handed to the solver across binding_solves (the average
+    /// subset size is binding_subset_flows / binding_solves).
+    std::uint64_t binding_subset_flows = 0;
     std::uint64_t topology_changes = 0;  // enable/disable/degrade events
     std::uint64_t reroutes = 0;          // flows moved to a surviving path
     std::uint64_t stranded = 0;          // flows with no surviving path
     std::uint64_t resumed = 0;           // stranded flows re-admitted
+    /// Route-cache counters (zeros when Config::use_route_cache is off).
+    RouteCacheStats route_cache;
   };
 
   /// `graph`, `router`, and `engine` must outlive the simulator. The router
@@ -178,8 +194,9 @@ class FlowSimulator {
   [[nodiscard]] const SummaryStat& fct_stats() const { return fct_; }
 
   /// How often the solver ran vs. how often the incremental fast paths
-  /// absorbed an event.
+  /// absorbed an event (route-cache counters included).
   [[nodiscard]] const ReallocStats& realloc_stats() const {
+    realloc_stats_.route_cache = route_cache_.stats();
     return realloc_stats_;
   }
 
@@ -190,7 +207,12 @@ class FlowSimulator {
   struct ActiveFlow {
     FlowId id;
     FlowSpec spec;
-    std::vector<std::size_t> directed_indices;  // fair-share resources
+    // The flow's fair-share resources (directed link indices in traversal
+    // order) live in the shared flow_links_ arena: one contiguous block per
+    // flow, so the per-event passes over every flow's links walk hot,
+    // dense memory instead of chasing one heap allocation per flow.
+    std::uint32_t link_begin = 0;
+    std::uint32_t link_count = 0;
     double remaining_bits;
     double rate_bps = 0.0;
     Seconds admitted{};
@@ -207,6 +229,14 @@ class FlowSimulator {
   void admit(FlowSpec spec, FlowId id);
   void settle_progress(Seconds now);
   void reallocate(Seconds now);
+  /// Binding-subset reallocation (uniform cap only): solves max-min on just
+  /// the flows that cross a binding link (equal share below the cap) and
+  /// hands every other flow exactly the cap. Writes rates only; returns
+  /// true when it ran as a seeded (incremental) solve, in which case
+  /// bind_sub_links_ lists every link whose carried sum may have moved so
+  /// reallocate() can confine the writeback. See reallocate() for why this
+  /// is the same allocation.
+  bool reallocate_binding_subset(double cap_bps);
   void schedule_next_completion();
   void complete_due_flows(Seconds now);
   /// Arrival fast path: if the new flow (already in active_) can run at its
@@ -219,8 +249,31 @@ class FlowSimulator {
   /// Directed resource indices of `path` in traversal order.
   [[nodiscard]] std::vector<std::size_t> directed_indices_of(
       const Path& path) const;
+  /// ECMP-routes (src, dst, flow id) through the cache (or the Router when
+  /// the cache is disabled) and overwrites `out` with the path's directed
+  /// resource indices. Returns false when disconnected.
+  bool route_flow(NodeId src, NodeId dst, FlowId id,
+                  std::vector<std::size_t>& out);
   /// Whether every link and transit node of the flow's path is enabled.
   [[nodiscard]] bool path_alive(const ActiveFlow& flow) const;
+  /// The flow's directed resource indices (a view into the arena).
+  [[nodiscard]] std::span<const std::size_t> flow_links(
+      const ActiveFlow& flow) const {
+    return {flow_links_.data() + flow.link_begin, flow.link_count};
+  }
+  /// Appends `links` to the arena, points `flow` at the copy, and enrolls
+  /// the flow — which will live at `index` in active_ — in the per-link
+  /// membership lists.
+  void store_flow_links(ActiveFlow& flow, std::uint32_t index,
+                        const std::vector<std::size_t>& links);
+  /// Marks the flow's arena block dead (space reclaimed by compaction) and
+  /// removes the flow from the per-link membership lists.
+  void release_flow_links(const ActiveFlow& flow);
+  /// Rewrites the flow's membership entries after a swap-and-pop moved it
+  /// to `index` in active_.
+  void renumber_flow_links(const ActiveFlow& flow, std::uint32_t index);
+  /// Repacks the arena when dead blocks dominate; amortized O(1) per event.
+  void maybe_compact_links();
   /// Re-validates all paths, reroutes/strands, retries stranded flows, and
   /// recomputes the allocation. Called after every topology mutation.
   void apply_topology_change();
@@ -232,6 +285,36 @@ class FlowSimulator {
   Config config_;
 
   std::vector<ActiveFlow> active_;
+  // Flat arena of every active flow's directed link indices (see
+  // ActiveFlow). Departures and reroutes leave dead blocks behind;
+  // maybe_compact_links() repacks when they dominate. live_hops_ tracks the
+  // live total.
+  std::vector<std::size_t> flow_links_;
+  std::vector<std::size_t> flow_links_scratch_;
+  std::size_t live_hops_ = 0;
+  // Persistent link->flows incidence, maintained by store/release/renumber
+  // in O(hops) per event instead of rebuilt O(total hops) per solve. Each
+  // entry names the member flow (index into active_) and its arena slot;
+  // flow_adj_pos_ (parallel to flow_links_) is the back-pointer: the
+  // entry's position inside its link's member list, making removal and
+  // renumbering O(1) per hop.
+  struct LinkFlowRef {
+    std::uint32_t flow;
+    std::uint32_t slot;
+  };
+  std::vector<std::vector<LinkFlowRef>> link_flows_;
+  std::vector<std::uint32_t> flow_adj_pos_;
+  std::vector<std::uint32_t> adj_pos_scratch_;
+  // Links with at least one member, with positions for O(1) removal.
+  std::vector<std::size_t> touched_links_;
+  std::vector<std::uint32_t> touched_pos_;
+  // Persistent per-directed-link binding flag: capacity / member count
+  // below the uniform cap (the exact division the solver's heap seeding
+  // performs). Kept current at every membership or capacity change: the
+  // fast paths and the seeded solve refresh the links they touch, full
+  // evaluations rebuild every populated link.
+  std::vector<std::uint8_t> flag_lt_cap_;
+  std::vector<std::size_t> route_scratch_;  // route_flow output buffer
   std::vector<FlowRecord> completed_;
   std::vector<StrandedFlow> stranded_;
   std::vector<double> strand_durations_;        // seconds, one per resume
@@ -247,7 +330,42 @@ class FlowSimulator {
   MaxMinSolver solver_;
   std::vector<FairShareFlowView> problem_;
   std::vector<double> carried_scratch_;
-  ReallocStats realloc_stats_;
+  // Binding-subset workspace: generation-stamped visit marks for the seeded
+  // closure walk (no O(num links) clears per event), the full-mode
+  // tight-candidate refinement buffers, and the active indices of the flows
+  // handed to the solver.
+  std::vector<std::uint8_t> bind_flag_;
+  std::vector<double> bind_share0_;
+  std::vector<double> bind_slb_;
+  std::vector<double> bind_sub_;
+  std::vector<double> bind_lb_;
+  std::vector<std::size_t> bind_flows_;
+  std::vector<std::uint32_t> bind_link_seen_;
+  std::vector<std::uint32_t> bind_flow_seen_;
+  std::vector<std::size_t> bind_stack_;
+  // Links whose carried sums can have moved this event — the links of
+  // closure flows whose solved rate actually changed, plus the live seed
+  // links (membership changed there) — each once: the seeded writeback's
+  // work list.
+  std::vector<std::uint32_t> bind_sub_seen_;
+  std::vector<std::size_t> bind_sub_links_;
+  // What the solver actually sees: per-flow link lists filtered down to the
+  // flagged (binding-candidate) links, flattened into an arena, plus the
+  // deduplicated flagged-link list used as the solver's sparse-reset set.
+  std::vector<std::size_t> bind_solver_arena_;
+  std::vector<std::size_t> bind_solver_links_;
+  std::uint32_t bind_gen_ = 0;
+  // Seed links for the next reallocation: the directed links of the flows
+  // that arrived/departed since the last solve. When valid, only the flows
+  // reachable from these links through binding links are re-solved; every
+  // other flow's rate is provably unchanged and kept as cached. Consumed
+  // (reset to full) by reallocate().
+  std::vector<std::size_t> seed_links_;
+  bool seed_valid_ = false;
+  RouteCache route_cache_;
+  // Mutable so realloc_stats() can refresh the embedded route-cache
+  // counters without a separate accessor on every call site.
+  mutable ReallocStats realloc_stats_;
   SummaryStat fct_;
   std::size_t unroutable_ = 0;
   FlowId next_id_ = 1;

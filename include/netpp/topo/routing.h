@@ -2,6 +2,7 @@
 // enumeration, and deterministic flow-to-path assignment by hash.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -39,26 +40,65 @@ struct RouteResult {
   [[nodiscard]] bool ok() const { return status == RouteStatus::kOk; }
 };
 
+/// SplitMix-style avalanche over (src, dst, flow_id) — the standard
+/// 5-tuple-hash stand-in. Shared by `Router::ecmp_route` and
+/// `RouteCache::route` so cached and uncached selection pick the same path.
+[[nodiscard]] inline std::uint64_t ecmp_flow_hash(NodeId src, NodeId dst,
+                                                  std::uint64_t flow_id) {
+  std::uint64_t h = flow_id;
+  h ^= (static_cast<std::uint64_t>(src) << 32) | dst;
+  h += 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
 /// Routing engine with optional link/node masks so that mechanisms can
 /// "turn off" switches or links and re-route around them.
+///
+/// Queries reuse an internal scratch workspace (BFS distances/queue), so
+/// repeated lookups allocate nothing after warm-up. The flip side: a single
+/// Router must not be queried from multiple threads concurrently — give each
+/// thread (or each sweep scenario) its own Router, which is what SweepRunner
+/// scenarios do anyway.
 class Router {
  public:
   explicit Router(const Graph& graph);
 
   /// Marks a node usable/unusable (unusable nodes cannot be transited;
-  /// endpoints are always allowed).
+  /// endpoints are always allowed). Bumps `topology_epoch()` on change.
   void set_node_enabled(NodeId id, bool enabled);
-  /// Marks a link usable/unusable.
+  /// Marks a link usable/unusable. Bumps `topology_epoch()` on change.
   void set_link_enabled(LinkId id, bool enabled);
 
   [[nodiscard]] bool node_enabled(NodeId id) const {
-    return node_enabled_.at(id);
+    return node_enabled_.at(id) != 0;
   }
   [[nodiscard]] bool link_enabled(LinkId id) const {
-    return link_enabled_.at(id);
+    return link_enabled_.at(id) != 0;
   }
 
+  /// Unchecked (assert-only) mask accessors for hot loops that already
+  /// guarantee the id is in range (BFS inner loops, path re-validation).
+  [[nodiscard]] bool node_enabled_unchecked(NodeId id) const {
+    assert(id < node_enabled_.size());
+    return node_enabled_[id] != 0;
+  }
+  [[nodiscard]] bool link_enabled_unchecked(LinkId id) const {
+    assert(id < link_enabled_.size());
+    return link_enabled_[id] != 0;
+  }
+
+  /// Monotonic counter bumped every time an enable mask actually changes.
+  /// Cached routing state (RouteCache) self-invalidates by comparing epochs
+  /// instead of being flushed eagerly on every toggle.
+  [[nodiscard]] std::uint64_t topology_epoch() const { return epoch_; }
+
   /// One shortest path (BFS, hop count), or nullopt if disconnected.
+  /// Direct early-exit BFS: stops the moment dst is labeled, then walks the
+  /// first predecessor chain back — no shortest-path-DAG bookkeeping. The
+  /// returned path is identical to `ecmp_paths(src, dst, 1).front()`.
   [[nodiscard]] std::optional<Path> shortest_path(NodeId src,
                                                   NodeId dst) const;
 
@@ -76,15 +116,32 @@ class Router {
 
   /// Picks one of the ECMP paths by hashing (src, dst, flow_id) — the
   /// standard 5-tuple-hash stand-in. Returns nullopt if disconnected.
-  [[nodiscard]] std::optional<Path> ecmp_route(NodeId src, NodeId dst,
-                                               std::uint64_t flow_id) const;
+  [[nodiscard]] std::optional<Path> ecmp_route(
+      NodeId src, NodeId dst, std::uint64_t flow_id,
+      std::size_t max_paths = 16) const;
 
   [[nodiscard]] const Graph& graph() const { return graph_; }
 
  private:
+  /// BFS from src; fills dist_ for every node at distance < dist_[dst] (plus
+  /// dst itself) and stops there — nodes beyond the dst level can never sit
+  /// on a shortest path. When `stop_at_dst` additionally stops the instant
+  /// dst is labeled (enough for reachability / single-path walkback).
+  /// Returns false when dst was not reached.
+  bool bfs(NodeId src, NodeId dst, bool stop_at_dst) const;
+
   const Graph& graph_;
-  std::vector<bool> node_enabled_;
-  std::vector<bool> link_enabled_;
+  // uint8 instead of vector<bool>: the BFS inner loop reads these per edge,
+  // and byte loads beat bit extraction there.
+  std::vector<std::uint8_t> node_enabled_;
+  std::vector<std::uint8_t> link_enabled_;
+  std::uint64_t epoch_ = 0;
+
+  // Scratch workspace (see class comment): reused across queries so the
+  // steady state allocates nothing.
+  mutable std::vector<std::uint32_t> dist_;
+  mutable std::vector<NodeId> queue_;   // flat FIFO, head index walks forward
+  mutable std::vector<LinkId> stack_;   // DFS link stack for enumeration
 };
 
 }  // namespace netpp

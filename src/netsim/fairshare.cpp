@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include <algorithm>
+#include <cassert>
 #include <limits>
 #include <stdexcept>
 
@@ -51,58 +52,159 @@ const std::vector<double>& MaxMinSolver::solve(
       throw std::invalid_argument("capacities must be non-negative");
     }
   }
+  touched_all_.resize(capacities.size());
+  for (std::size_t r = 0; r < capacities.size(); ++r) touched_all_[r] = r;
+  return run(flows, capacities, touched_all_, -1.0);
+}
+
+const std::vector<double>& MaxMinSolver::solve_on(
+    std::span<const FairShareFlowView> flows,
+    std::span<const double> capacities, std::span<const std::size_t> touched,
+    double uniform_cap) {
+  assert(uniform_cap > 0.0);
+  return run(flows, capacities, touched, uniform_cap);
+}
+
+const std::vector<double>& MaxMinSolver::run(
+    std::span<const FairShareFlowView> flows,
+    std::span<const double> capacities, std::span<const std::size_t> touched,
+    double uniform_cap) {
   const std::size_t num_flows = flows.size();
   const std::size_t num_res = capacities.size();
+  const bool uniform = uniform_cap > 0.0;
 
   rate_.assign(num_flows, 0.0);
   frozen_.assign(num_flows, 0);
-  residual_.assign(capacities.begin(), capacities.end());
-  active_on_.assign(num_res, 0);
+  // Resource-indexed workspace is grow-only and reset sparsely: only the
+  // touched entries are (re)initialized, so a small subproblem over a big
+  // fabric costs nothing per untouched link.
+  if (residual_.size() < num_res) {
+    residual_.resize(num_res);
+    active_on_.resize(num_res);
+    csr_start_.resize(num_res);
+    csr_end_.resize(num_res);
+  }
+  for (std::size_t r : touched) {
+    residual_[r] = capacities[r];
+    active_on_[r] = 0;
+  }
 
-  // Flat CSR flow->resource incidence: count, prefix-sum, fill. Grouping per
-  // resource preserves flow order, matching the reference's adjacency lists.
+  // Flat CSR flow->resource incidence: count, prefix-sum over the touched
+  // list, fill. Grouping per resource preserves flow order, matching the
+  // reference's adjacency lists. csr_end_ doubles as the fill cursor and
+  // lands exactly on the group end.
   std::size_t total = 0;
   for (const auto& flow : flows) {
+    assert(!uniform || flow.cap == uniform_cap);
     for (std::size_t r : flow.resources) {
       if (r >= num_res) throw std::out_of_range("resource index out of range");
       ++active_on_[r];
     }
     total += flow.resources.size();
   }
-  csr_offsets_.assign(num_res + 1, 0);
-  for (std::size_t r = 0; r < num_res; ++r) {
-    csr_offsets_[r + 1] = csr_offsets_[r] + active_on_[r];
+  std::size_t cum = 0;
+  for (std::size_t r : touched) {
+    csr_start_[r] = cum;
+    csr_end_[r] = cum;
+    cum += active_on_[r];
   }
   csr_flows_.resize(total);
-  csr_cursor_.assign(csr_offsets_.begin(), csr_offsets_.end() - 1);
   for (std::size_t f = 0; f < num_flows; ++f) {
     for (std::size_t r : flows[f].resources) {
-      csr_flows_[csr_cursor_[r]++] = f;
+      csr_flows_[csr_end_[r]++] = f;
     }
   }
 
-  // Seed the heaps: every populated resource's initial share, every cap.
+  // Seed the link heap: every populated resource's initial share. The heap's
+  // internal layout depends on the seeding order, but every decision below
+  // reads only the front — the minimum under a strict total (key, idx)
+  // order — so the freeze sequence (and every computed double) is
+  // independent of the order `touched` lists the resources in.
   link_heap_.clear();
-  for (std::size_t r = 0; r < num_res; ++r) {
+  for (std::size_t r : touched) {
     if (active_on_[r] > 0) {
       link_heap_.push_back(
           {residual_[r] / static_cast<double>(active_on_[r]), r});
     }
   }
   std::make_heap(link_heap_.begin(), link_heap_.end(), EntryGreater{});
-  cap_heap_.clear();
-  for (std::size_t f = 0; f < num_flows; ++f) {
-    if (flows[f].cap > 0.0) cap_heap_.push_back({flows[f].cap, f});
+
+  // Cap bookkeeping: a heap of (cap, flow) in the general case; with a
+  // uniform cap every entry has the same key, so the heap's pop order is
+  // exactly ascending flow index — a cursor over the flow array reproduces
+  // it without any heap maintenance.
+  std::size_t cap_cursor = 0;
+  if (!uniform) {
+    cap_heap_.clear();
+    for (std::size_t f = 0; f < num_flows; ++f) {
+      if (flows[f].cap > 0.0) cap_heap_.push_back({flows[f].cap, f});
+    }
+    std::make_heap(cap_heap_.begin(), cap_heap_.end(), EntryGreater{});
   }
-  std::make_heap(cap_heap_.begin(), cap_heap_.end(), EntryGreater{});
 
   std::size_t remaining = num_flows;
   while (remaining > 0) {
+    // Smallest unfrozen cap.
+    double cap_level = kInf;
+    std::size_t capped_flow = num_flows;
+    if (uniform) {
+      while (cap_cursor < num_flows && frozen_[cap_cursor]) ++cap_cursor;
+      if (cap_cursor < num_flows) {
+        cap_level = uniform_cap;
+        capped_flow = cap_cursor;
+      }
+    } else {
+      while (!cap_heap_.empty()) {
+        const HeapEntry top = cap_heap_.front();
+        if (!frozen_[top.idx]) {
+          cap_level = top.key;
+          capped_flow = top.idx;
+          break;
+        }
+        std::pop_heap(cap_heap_.begin(), cap_heap_.end(), EntryGreater{});
+        cap_heap_.pop_back();
+      }
+    }
+
+    // Lower-bound gate: every link's current share is >= its own heap key,
+    // and the front key is the minimum key, so the true minimum share is
+    // >= link_heap_.front().key. When that lower bound already clears the
+    // cap level, the cap freeze wins the round without touching the link
+    // heap — the exact comparison below would have picked the same branch,
+    // the same flow, and the same value, so the freeze sequence (and thus
+    // every computed double) is unchanged. In cap-dominated rounds this
+    // skips the whole stale-entry fixup walk.
+    if (capped_flow != num_flows &&
+        (link_heap_.empty() || link_heap_.front().key >= cap_level)) {
+      if (uniform) {
+        // Once the heap's lower bound clears the uniform cap it clears it
+        // forever: keys and shares only rise, and the cap level is fixed.
+        // Every remaining round would be this same cap freeze — in cursor
+        // order, i.e. ascending flow index — and the residual bookkeeping
+        // those freezes would do is dead (the workspace is reset before the
+        // next solve). Freeze them all at once.
+        for (std::size_t f = cap_cursor; f < num_flows; ++f) {
+          if (frozen_[f]) continue;
+          frozen_[f] = 1;
+          rate_[f] = uniform_cap;
+        }
+        break;
+      }
+      std::pop_heap(cap_heap_.begin(), cap_heap_.end(), EntryGreater{});
+      cap_heap_.pop_back();
+      freeze(flows, capped_flow, cap_level);
+      --remaining;
+      continue;
+    }
+
     // Tightest link. Heap entries are lower bounds on the links' current
     // shares (shares only grow as filling proceeds): drop entries for
     // emptied links, re-push stale entries at their current share, and stop
     // when the top is current — it is then the true minimum, with ties
-    // broken toward the lowest index exactly like the reference scan.
+    // broken toward the lowest index exactly like the reference scan (any
+    // other link with an equal current share still has its entry key pinned
+    // between the front key and its share, i.e. equal, so the heap's
+    // (key, idx) order resolves the tie by index).
     double link_share = kInf;
     std::size_t tight_link = num_res;
     while (!link_heap_.empty()) {
@@ -124,20 +226,6 @@ const std::vector<double>& MaxMinSolver::solve(
       link_heap_.pop_back();
     }
 
-    // Smallest unfrozen cap.
-    double cap_level = kInf;
-    std::size_t capped_flow = num_flows;
-    while (!cap_heap_.empty()) {
-      const HeapEntry top = cap_heap_.front();
-      if (!frozen_[top.idx]) {
-        cap_level = top.key;
-        capped_flow = top.idx;
-        break;
-      }
-      std::pop_heap(cap_heap_.begin(), cap_heap_.end(), EntryGreater{});
-      cap_heap_.pop_back();
-    }
-
     if (tight_link == num_res && capped_flow == num_flows) {
       // Remaining flows are uncapped and cross no capacitated resource:
       // conventionally give them zero (callers treat empty paths specially).
@@ -146,8 +234,10 @@ const std::vector<double>& MaxMinSolver::solve(
 
     if (cap_level <= link_share) {
       // Freeze the capped flow at its cap and release its share.
-      std::pop_heap(cap_heap_.begin(), cap_heap_.end(), EntryGreater{});
-      cap_heap_.pop_back();
+      if (!uniform) {
+        std::pop_heap(cap_heap_.begin(), cap_heap_.end(), EntryGreater{});
+        cap_heap_.pop_back();
+      }
       freeze(flows, capped_flow, cap_level);
       --remaining;
       continue;
@@ -156,8 +246,8 @@ const std::vector<double>& MaxMinSolver::solve(
     // Freeze every unfrozen flow on the tightest link at the link share.
     // (freeze() drains the link's active count, so the heap entry consumed
     // here goes stale on its own.)
-    for (std::size_t i = csr_offsets_[tight_link];
-         i < csr_offsets_[tight_link + 1]; ++i) {
+    for (std::size_t i = csr_start_[tight_link]; i < csr_end_[tight_link];
+         ++i) {
       const std::size_t f = csr_flows_[i];
       if (frozen_[f]) continue;
       freeze(flows, f, link_share);

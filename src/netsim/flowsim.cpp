@@ -18,7 +18,11 @@ constexpr double kUnsaturatedFraction = 1.0 - 1e-9;
 
 FlowSimulator::FlowSimulator(const Graph& graph, Router& router,
                              SimEngine& engine, Config config)
-    : graph_(graph), router_(router), engine_(engine), config_(config) {
+    : graph_(graph),
+      router_(router),
+      engine_(engine),
+      config_(config),
+      route_cache_(router, RouteCache::Config{config.max_ecmp_paths, true}) {
   directed_capacity_bps_.reserve(graph.num_links() * 2);
   directed_rate_bps_.reserve(graph.num_links() * 2);
   for (const auto& link : graph.links()) {
@@ -55,8 +59,9 @@ FlowId FlowSimulator::submit(const FlowSpec& spec) {
 
 void FlowSimulator::admit(FlowSpec spec, FlowId id) {
   const Seconds now = engine_.now();
-  const auto path = router_.ecmp_route(spec.src, spec.dst, id);
-  if (!path) {
+  maybe_compact_links();
+  ActiveFlow flow;
+  if (!route_flow(spec.src, spec.dst, id, route_scratch_)) {
     if (config_.strand_unroutable) {
       ++realloc_stats_.stranded;
       stranded_.push_back(StrandedFlow{id, spec, spec.size.value(), now});
@@ -66,21 +71,104 @@ void FlowSimulator::admit(FlowSpec spec, FlowId id) {
     return;
   }
 
-  ActiveFlow flow;
   flow.id = id;
   flow.spec = spec;
   flow.remaining_bits = spec.size.value();
   flow.admitted = now;
-  flow.directed_indices = directed_indices_of(*path);
+  store_flow_links(flow, static_cast<std::uint32_t>(active_.size()),
+                   route_scratch_);
 
   settle_progress(now);
-  active_.push_back(std::move(flow));
+  active_.push_back(flow);
   if (try_fast_arrival(now, active_.back())) {
     schedule_next_completion();
     if (listener_) listener_(now);
   } else {
+    // Only the new flow's links gained a flow; seed the binding-subset
+    // closure there.
+    const auto links = flow_links(active_.back());
+    seed_links_.assign(links.begin(), links.end());
+    seed_valid_ = true;
     reallocate(now);
   }
+}
+
+void FlowSimulator::store_flow_links(ActiveFlow& flow, std::uint32_t index,
+                                     const std::vector<std::size_t>& links) {
+  if (link_flows_.size() < directed_capacity_bps_.size()) {
+    link_flows_.resize(directed_capacity_bps_.size());
+    touched_pos_.resize(directed_capacity_bps_.size(), 0);
+    flag_lt_cap_.resize(directed_capacity_bps_.size(), 0);
+  }
+  flow.link_begin = static_cast<std::uint32_t>(flow_links_.size());
+  flow.link_count = static_cast<std::uint32_t>(links.size());
+  for (std::size_t r : links) {
+    const auto slot = static_cast<std::uint32_t>(flow_links_.size());
+    flow_links_.push_back(r);
+    flow_adj_pos_.push_back(static_cast<std::uint32_t>(link_flows_[r].size()));
+    if (link_flows_[r].empty()) {
+      touched_pos_[r] = static_cast<std::uint32_t>(touched_links_.size());
+      touched_links_.push_back(r);
+    }
+    link_flows_[r].push_back({index, slot});
+  }
+  live_hops_ += links.size();
+}
+
+void FlowSimulator::release_flow_links(const ActiveFlow& flow) {
+  const std::size_t end = flow.link_begin + flow.link_count;
+  for (std::size_t s = flow.link_begin; s < end; ++s) {
+    const std::size_t r = flow_links_[s];
+    auto& members = link_flows_[r];
+    const std::uint32_t pos = flow_adj_pos_[s];
+    const LinkFlowRef moved = members.back();
+    members[pos] = moved;
+    flow_adj_pos_[moved.slot] = pos;
+    members.pop_back();
+    if (members.empty()) {
+      const std::size_t last = touched_links_.back();
+      touched_links_[touched_pos_[r]] = last;
+      touched_pos_[last] = touched_pos_[r];
+      touched_links_.pop_back();
+    }
+  }
+  live_hops_ -= flow.link_count;
+}
+
+void FlowSimulator::renumber_flow_links(const ActiveFlow& flow,
+                                        std::uint32_t index) {
+  const std::size_t end = flow.link_begin + flow.link_count;
+  for (std::size_t s = flow.link_begin; s < end; ++s) {
+    link_flows_[flow_links_[s]][flow_adj_pos_[s]].flow = index;
+  }
+}
+
+void FlowSimulator::maybe_compact_links() {
+  // Repack once dead blocks outweigh live data. Offsets (not pointers)
+  // reference the arena, so moving blocks means rewriting link_begin and
+  // the membership entries' slot back-references.
+  if (flow_links_.size() < 1024 || flow_links_.size() < live_hops_ * 2) {
+    return;
+  }
+  flow_links_scratch_.clear();
+  flow_links_scratch_.reserve(live_hops_);
+  adj_pos_scratch_.clear();
+  adj_pos_scratch_.reserve(live_hops_);
+  for (auto& flow : active_) {
+    const auto begin = static_cast<std::uint32_t>(flow_links_scratch_.size());
+    const std::size_t end = flow.link_begin + flow.link_count;
+    for (std::size_t s = flow.link_begin; s < end; ++s) {
+      const std::size_t r = flow_links_[s];
+      const std::uint32_t pos = flow_adj_pos_[s];
+      link_flows_[r][pos].slot =
+          static_cast<std::uint32_t>(flow_links_scratch_.size());
+      flow_links_scratch_.push_back(r);
+      adj_pos_scratch_.push_back(pos);
+    }
+    flow.link_begin = begin;
+  }
+  flow_links_.swap(flow_links_scratch_);
+  flow_adj_pos_.swap(adj_pos_scratch_);
 }
 
 void FlowSimulator::settle_progress(Seconds now) {
@@ -114,15 +202,40 @@ std::vector<std::size_t> FlowSimulator::directed_indices_of(
   return indices;
 }
 
+bool FlowSimulator::route_flow(NodeId src, NodeId dst, FlowId id,
+                               std::vector<std::size_t>& out) {
+  if (config_.use_route_cache) {
+    const auto selected = route_cache_.route(src, dst, id);
+    if (!selected) return false;
+    const std::size_t hops = selected->hops();
+    out.clear();
+    out.reserve(hops);
+    NodeId at = src;
+    for (std::size_t i = 0; i < hops; ++i) {
+      const LinkId lid = selected->link(i);
+      const Link& link = graph_.link(lid);
+      const int dir = (at == link.a) ? 0 : 1;
+      out.push_back(DirectedLink{lid, dir}.index());
+      at = link.other(at);
+    }
+    return true;
+  }
+  const auto path = router_.ecmp_route(src, dst, id, config_.max_ecmp_paths);
+  if (!path) return false;
+  out = directed_indices_of(*path);
+  return true;
+}
+
 bool FlowSimulator::path_alive(const ActiveFlow& flow) const {
-  for (std::size_t idx : flow.directed_indices) {
+  for (std::size_t idx : flow_links(flow)) {
     const auto lid = static_cast<LinkId>(idx / 2);
-    if (!router_.link_enabled(lid)) return false;
+    if (!router_.link_enabled_unchecked(lid)) return false;
     const Link& link = graph_.link(lid);
     // Direction 0 traverses a->b, so the node entered is b (and vice
     // versa); intermediate nodes must be enabled, the destination is exempt.
     const NodeId entered = (idx % 2 == 0) ? link.b : link.a;
-    if (entered != flow.spec.dst && !router_.node_enabled(entered)) {
+    if (entered != flow.spec.dst &&
+        !router_.node_enabled_unchecked(entered)) {
       return false;
     }
   }
@@ -176,17 +289,20 @@ void FlowSimulator::apply_topology_change() {
       ++i;
       continue;
     }
-    const auto path = router_.ecmp_route(flow.spec.src, flow.spec.dst,
-                                         flow.id);
-    if (path) {
-      flow.directed_indices = directed_indices_of(*path);
+    if (route_flow(flow.spec.src, flow.spec.dst, flow.id, route_scratch_)) {
+      release_flow_links(flow);
+      store_flow_links(flow, static_cast<std::uint32_t>(i), route_scratch_);
       ++realloc_stats_.reroutes;
       ++i;
     } else {
+      release_flow_links(flow);
       ++realloc_stats_.stranded;
       stranded_.push_back(
           StrandedFlow{flow.id, flow.spec, flow.remaining_bits, now});
-      if (i + 1 != active_.size()) std::swap(active_[i], active_.back());
+      if (i + 1 != active_.size()) {
+        std::swap(active_[i], active_.back());
+        renumber_flow_links(active_[i], static_cast<std::uint32_t>(i));
+      }
       active_.pop_back();
     }
   }
@@ -198,18 +314,18 @@ void FlowSimulator::apply_topology_change() {
 void FlowSimulator::retry_stranded(Seconds now) {
   for (std::size_t i = 0; i < stranded_.size();) {
     StrandedFlow& parked = stranded_[i];
-    const auto path =
-        router_.ecmp_route(parked.spec.src, parked.spec.dst, parked.id);
-    if (!path) {
+    ActiveFlow flow;
+    if (!route_flow(parked.spec.src, parked.spec.dst, parked.id,
+                    route_scratch_)) {
       ++i;
       continue;
     }
-    ActiveFlow flow;
+    store_flow_links(flow, static_cast<std::uint32_t>(active_.size()),
+                     route_scratch_);
     flow.id = parked.id;
     flow.spec = parked.spec;
     flow.remaining_bits = parked.remaining_bits;
     flow.admitted = now;
-    flow.directed_indices = directed_indices_of(*path);
     const double stranded_for = (now - parked.stranded_at).value();
     strand_durations_.push_back(stranded_for);
     stranded_bit_seconds_done_ += stranded_for * parked.remaining_bits;
@@ -232,17 +348,25 @@ bool FlowSimulator::try_fast_arrival(Seconds now, ActiveFlow& flow) {
   if (!config_.incremental_reallocation) return false;
   const double cap_bps = config_.flow_rate_cap.bits_per_second();
   if (cap_bps <= 0.0) return false;
-  for (std::size_t r : flow.directed_indices) {
+  for (std::size_t r : flow_links(flow)) {
     if (carried_bps_[r] + cap_bps >
         directed_capacity_bps_[r] * kUnsaturatedFraction) {
       return false;
     }
   }
   // Every link the flow crosses keeps headroom at the cap, so the flow's
-  // max-min rate is its cap and nobody else's bottleneck moves.
+  // max-min rate is its cap and nobody else's bottleneck moves. Membership
+  // changed here, so refresh the persistent binding flags (the member lists
+  // already include this flow).
   flow.rate_bps = cap_bps;
-  for (std::size_t r : flow.directed_indices) {
+  for (std::size_t r : flow_links(flow)) {
     set_directed_rate(now, r, carried_bps_[r] + cap_bps);
+    flag_lt_cap_[r] =
+        directed_capacity_bps_[r] /
+                    static_cast<double>(link_flows_[r].size()) <
+                cap_bps
+            ? 1
+            : 0;
   }
   ++realloc_stats_.fast_arrivals;
   return true;
@@ -250,15 +374,26 @@ bool FlowSimulator::try_fast_arrival(Seconds now, ActiveFlow& flow) {
 
 bool FlowSimulator::try_fast_departure(Seconds now, const ActiveFlow& flow) {
   if (!config_.incremental_reallocation) return false;
-  for (std::size_t r : flow.directed_indices) {
+  for (std::size_t r : flow_links(flow)) {
     if (carried_bps_[r] >= directed_capacity_bps_[r] * kUnsaturatedFraction) {
       return false;
     }
   }
   // None of the flow's links was a bottleneck (saturated), so removing it
-  // hands no other flow extra bandwidth.
-  for (std::size_t r : flow.directed_indices) {
+  // hands no other flow extra bandwidth. Refresh the persistent binding
+  // flags with the post-departure counts (the caller releases the flow's
+  // membership right after this, so exclude it here).
+  const double cap_bps = config_.flow_rate_cap.bits_per_second();
+  for (std::size_t r : flow_links(flow)) {
     set_directed_rate(now, r, std::max(0.0, carried_bps_[r] - flow.rate_bps));
+    if (cap_bps > 0.0) {
+      const std::size_t n = link_flows_[r].size() - 1;
+      flag_lt_cap_[r] =
+          n != 0 &&
+                  directed_capacity_bps_[r] / static_cast<double>(n) < cap_bps
+              ? 1
+              : 0;
+    }
   }
   ++realloc_stats_.fast_departures;
   return true;
@@ -266,32 +401,292 @@ bool FlowSimulator::try_fast_departure(Seconds now, const ActiveFlow& flow) {
 
 void FlowSimulator::reallocate(Seconds now) {
   ++realloc_stats_.full_solves;
-  // Assemble the fair-share problem as views over the flows' own resource
-  // arrays — no copies, and the solver reuses its workspace.
-  problem_.clear();
-  problem_.reserve(active_.size());
+  maybe_compact_links();
   const double cap_bps = config_.flow_rate_cap.bits_per_second();
-  for (const auto& flow : active_) {
-    problem_.push_back({std::span<const std::size_t>(flow.directed_indices),
-                        cap_bps > 0.0 ? cap_bps : 0.0});
-  }
-  const auto& rates = solver_.solve(problem_, directed_capacity_bps_);
-
-  carried_scratch_.assign(directed_capacity_bps_.size(), 0.0);
-  for (std::size_t i = 0; i < active_.size(); ++i) {
-    active_[i].rate_bps = rates[i];
-    for (std::size_t r : active_[i].directed_indices) {
-      carried_scratch_[r] += rates[i];
+  bool targeted = false;
+  if (config_.incremental_reallocation && cap_bps > 0.0) {
+    // Uniform cap: progressive filling can only freeze a flow below the cap
+    // at a link whose equal share starts below the cap (shares never
+    // decrease as filling proceeds, and a link with capacity/count >= cap
+    // keeps its share >= cap through every freeze). So the global solution
+    // is: flows crossing a binding link get their max-min rate from the
+    // subproblem over just those flows (shared non-binding links cannot
+    // constrain them either), and every other flow gets exactly the cap —
+    // the same doubles the full solve produces, at the cost of the crowded
+    // neighborhood instead of the whole fabric.
+    targeted = reallocate_binding_subset(cap_bps);
+  } else {
+    // Assemble the fair-share problem as views over the flows' own resource
+    // arrays — no copies, and the solver reuses its workspace.
+    problem_.clear();
+    problem_.reserve(active_.size());
+    for (const auto& flow : active_) {
+      problem_.push_back({flow_links(flow), cap_bps > 0.0 ? cap_bps : 0.0});
+    }
+    const auto& rates = solver_.solve(problem_, directed_capacity_bps_);
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      active_[i].rate_bps = rates[i];
     }
   }
-  for (std::size_t r = 0; r < carried_scratch_.size(); ++r) {
-    if (carried_scratch_[r] != carried_bps_[r]) {
-      set_directed_rate(now, r, carried_scratch_[r]);
+
+  if (targeted) {
+    // Seeded solve: a carried sum moves only where a member flow's rate
+    // changed or the membership itself did, and bind_sub_links_ lists
+    // exactly those links — recompute them from the membership lists —
+    // plus seed links whose last flow departed, which drop to zero.
+    for (std::size_t r : bind_sub_links_) {
+      double sum = 0.0;
+      for (const LinkFlowRef& m : link_flows_[r]) {
+        sum += active_[m.flow].rate_bps;
+      }
+      if (sum != carried_bps_[r]) set_directed_rate(now, r, sum);
+    }
+    for (std::size_t r : seed_links_) {
+      if (link_flows_[r].empty() && carried_bps_[r] != 0.0) {
+        set_directed_rate(now, r, 0.0);
+      }
+    }
+  } else {
+    carried_scratch_.assign(directed_capacity_bps_.size(), 0.0);
+    for (const auto& flow : active_) {
+      for (std::size_t r : flow_links(flow)) {
+        carried_scratch_[r] += flow.rate_bps;
+      }
+    }
+    for (std::size_t r = 0; r < carried_scratch_.size(); ++r) {
+      if (carried_scratch_[r] != carried_bps_[r]) {
+        set_directed_rate(now, r, carried_scratch_[r]);
+      }
     }
   }
 
+  seed_valid_ = false;
   schedule_next_completion();
   if (listener_) listener_(now);
+}
+
+bool FlowSimulator::reallocate_binding_subset(double cap_bps) {
+  if (bind_flag_.size() < directed_capacity_bps_.size()) {
+    bind_flag_.resize(directed_capacity_bps_.size(), 0);
+    bind_link_seen_.resize(directed_capacity_bps_.size(), 0);
+    bind_sub_seen_.resize(directed_capacity_bps_.size(), 0);
+  }
+  if (bind_flow_seen_.size() < active_.size()) {
+    bind_flow_seen_.resize(active_.size(), 0);
+  }
+  if (++bind_gen_ == 0) {
+    // Stamp wrapped: invalidate everything once and restart at 1.
+    std::fill(bind_link_seen_.begin(), bind_link_seen_.end(), 0);
+    std::fill(bind_flow_seen_.begin(), bind_flow_seen_.end(), 0);
+    std::fill(bind_sub_seen_.begin(), bind_sub_seen_.end(), 0);
+    bind_gen_ = 1;
+  }
+
+  bind_flows_.clear();
+  if (!seed_valid_) {
+    // Full evaluation with a tight-candidate refinement. A link can freeze
+    // flows (and thus couple them) only if its capacity can actually be
+    // consumed: with lb(f) a lower bound on every flow's final rate (rates
+    // never fall below the smallest initial equal share they see, nor above
+    // the cap) and ub(f) = min(cap, capacity - sum of the other flows' lb)
+    // an upper bound, a link with sum(ub) < capacity keeps slack through
+    // the whole filling and never constrains anyone. The 1e-9 relative
+    // margins make the bounds robust to the float dust the solver's
+    // residual chains can accumulate (same spirit as kUnsaturatedFraction).
+    // The extra O(hops) passes are worth it only here: full evaluations
+    // (startup, topology changes) solve the whole fabric, while the seeded
+    // path below already starts from a small neighborhood.
+    constexpr double kDown = 1.0 - 1e-9;
+    constexpr double kUp = 1.0 + 1e-9;
+    if (bind_share0_.size() < directed_capacity_bps_.size()) {
+      bind_share0_.resize(directed_capacity_bps_.size(), 0.0);
+      bind_slb_.resize(directed_capacity_bps_.size(), 0.0);
+      bind_sub_.resize(directed_capacity_bps_.size(), 0.0);
+    }
+    if (bind_lb_.size() < active_.size()) {
+      bind_lb_.resize(active_.size(), 0.0);
+    }
+    for (std::size_t r : touched_links_) {
+      bind_share0_[r] =
+          directed_capacity_bps_[r] /
+          static_cast<double>(link_flows_[r].size());
+      bind_slb_[r] = 0.0;
+      bind_sub_[r] = 0.0;
+    }
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      double lb = cap_bps;
+      for (std::size_t r : flow_links(active_[i])) {
+        lb = std::min(lb, bind_share0_[r]);
+      }
+      lb *= kDown;
+      bind_lb_[i] = lb;
+      for (std::size_t r : flow_links(active_[i])) bind_slb_[r] += lb;
+    }
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      const double lb = bind_lb_[i];
+      double ub = cap_bps;
+      for (std::size_t r : flow_links(active_[i])) {
+        ub = std::min(ub,
+                      directed_capacity_bps_[r] - (bind_slb_[r] - lb) * kDown);
+      }
+      ub = std::max(ub, 0.0) * kUp;
+      for (std::size_t r : flow_links(active_[i])) bind_sub_[r] += ub;
+    }
+    for (std::size_t r : touched_links_) {
+      bind_flag_[r] = directed_capacity_bps_[r] <= bind_sub_[r] * kUp ? 1 : 0;
+      // Rebuild the persistent share flags too: a full evaluation is the
+      // one place capacities may have changed under them (topology events
+      // land here), and it visits every populated link anyway.
+      flag_lt_cap_[r] = bind_share0_[r] < cap_bps ? 1 : 0;
+    }
+    // Every flow crossing a binding candidate goes to the solver, everyone
+    // else gets the cap.
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      bool crosses = false;
+      for (std::size_t r : flow_links(active_[i])) {
+        if (bind_flag_[r] != 0) {
+          crosses = true;
+          break;
+        }
+      }
+      if (crosses) bind_flows_.push_back(i);
+    }
+    for (auto& flow : active_) flow.rate_bps = cap_bps;
+  } else {
+    // Seeded walk: the cheap share0 < cap flag suffices. It covers every
+    // link that can freeze below the cap in the NEW state (freezing below
+    // the cap needs an initial equal share below the cap), and every link
+    // that froze flows in the OLD state too: since the last solve, counts
+    // changed only on this event's seed links (walked unconditionally) and
+    // on links fast-path events touched — and fast-path flows are
+    // cap-frozen flows crossing only unsaturated links, never a link that
+    // froze anyone, so those refreshes cannot unflag an old freezing link.
+    // The persistent flags are refreshed at every membership change, so
+    // only this event's seeds need new divisions here (the same division
+    // the solver uses to seed its heap, so the comparison sees the exact
+    // doubles the filling starts from).
+    for (std::size_t r : seed_links_) {
+      if (link_flows_[r].empty()) continue;
+      flag_lt_cap_[r] = directed_capacity_bps_[r] /
+                                static_cast<double>(link_flows_[r].size()) <
+                            cap_bps
+                        ? 1
+                        : 0;
+    }
+    // Seeded closure: the event changed flow counts only on the seed links,
+    // so only flows reachable from them — across a seed link directly, or
+    // transitively through binding links (non-binding links never constrain
+    // anyone, so they carry no coupling) — can see a different max-min
+    // rate. Everything outside the closure keeps its cached rate: its
+    // subproblem inputs are unchanged, so a fresh solve would reproduce the
+    // same doubles.
+    // The walk doubles as the problem build: each flow is discovered exactly
+    // once, so its solver view — the flow's links filtered down to the
+    // flagged ones, flattened into the arena — is laid down on the spot,
+    // alongside the deduplicated link lists. Filtering is exact in seeded
+    // mode: the flag is "full-population equal share below the cap", and the
+    // subproblem share of an unflagged link is at least its full share
+    // (fewer flows, same capacity), so its heap key never drops below the
+    // cap: the cap branch beats it in every round (ties included via the
+    // gate's >= and the exact branch's <=), it never becomes the tight
+    // link, and its residual bookkeeping is write-only. Dropping it changes
+    // no decision and no computed double — but shrinks the solver's
+    // counting, CSR, heap, and freeze work to the contended core. A closure
+    // flow crossing no flagged link gets an empty resource set and freezes
+    // at the cap, which is exactly its max-min rate. (The full-mode
+    // candidate flag has no such share bound, so full solves keep the
+    // unfiltered lists.)
+    problem_.clear();
+    bind_sub_links_.clear();
+    bind_solver_links_.clear();
+    bind_solver_arena_.clear();
+    bind_solver_arena_.reserve(live_hops_);  // spans must survive growth
+    bind_stack_.clear();
+    for (std::size_t r : seed_links_) {
+      // Seed links with no remaining flows (e.g. a departed flow's last
+      // link) have nothing to walk.
+      if (link_flows_[r].empty()) continue;
+      if (bind_link_seen_[r] == bind_gen_) continue;
+      bind_link_seen_[r] = bind_gen_;
+      if (flag_lt_cap_[r] != 0) bind_solver_links_.push_back(r);
+      bind_stack_.push_back(r);
+    }
+    while (!bind_stack_.empty()) {
+      const std::size_t r = bind_stack_.back();
+      bind_stack_.pop_back();
+      for (const LinkFlowRef& m : link_flows_[r]) {
+        const std::size_t f = m.flow;
+        if (bind_flow_seen_[f] == bind_gen_) continue;
+        bind_flow_seen_[f] = bind_gen_;
+        bind_flows_.push_back(f);
+        const std::size_t begin = bind_solver_arena_.size();
+        for (std::size_t l : flow_links(active_[f])) {
+          if (flag_lt_cap_[l] != 0) {
+            bind_solver_arena_.push_back(l);
+            if (bind_link_seen_[l] != bind_gen_) {
+              bind_link_seen_[l] = bind_gen_;
+              bind_solver_links_.push_back(l);
+              bind_stack_.push_back(l);
+            }
+          }
+        }
+        problem_.push_back({{bind_solver_arena_.data() + begin,
+                             bind_solver_arena_.size() - begin},
+                            cap_bps});
+      }
+    }
+    // Live seed links changed membership (the event's own flow arrived or
+    // departed there), so their sums move even if every member keeps its
+    // rate. Dead seed links are zeroed by the writeback directly.
+    for (std::size_t r : seed_links_) {
+      if (link_flows_[r].empty()) continue;
+      if (bind_sub_seen_[r] != bind_gen_) {
+        bind_sub_seen_[r] = bind_gen_;
+        bind_sub_links_.push_back(r);
+      }
+    }
+  }
+
+  if (!bind_flows_.empty()) {
+    if (!seed_valid_) {
+      problem_.clear();
+      for (std::size_t f : bind_flows_) {
+        problem_.push_back({flow_links(active_[f]), cap_bps});
+      }
+    }
+    // Sparse solve: only the links the subproblem crosses are reset in the
+    // solver's resource-indexed workspace.
+    const auto& rates = solver_.solve_on(
+        problem_, directed_capacity_bps_,
+        seed_valid_ ? std::span<const std::size_t>(bind_solver_links_)
+                    : std::span<const std::size_t>(touched_links_),
+        cap_bps);
+    if (seed_valid_) {
+      // Collect the links whose carried sums can have moved: a sum changes
+      // only when a member flow's rate changed or the membership itself did
+      // (the seed links, added below). Links that keep both keep their sum
+      // bit-for-bit, so skipping them equals the recompute-and-compare the
+      // writeback would have done.
+      for (std::size_t j = 0; j < bind_flows_.size(); ++j) {
+        ActiveFlow& flow = active_[bind_flows_[j]];
+        if (flow.rate_bps == rates[j]) continue;
+        flow.rate_bps = rates[j];
+        for (std::size_t r : flow_links(flow)) {
+          if (bind_sub_seen_[r] != bind_gen_) {
+            bind_sub_seen_[r] = bind_gen_;
+            bind_sub_links_.push_back(r);
+          }
+        }
+      }
+    } else {
+      for (std::size_t j = 0; j < bind_flows_.size(); ++j) {
+        active_[bind_flows_[j]].rate_bps = rates[j];
+      }
+    }
+    realloc_stats_.binding_subset_flows += bind_flows_.size();
+  }
+  ++realloc_stats_.binding_solves;
+  return seed_valid_;
 }
 
 void FlowSimulator::schedule_next_completion() {
@@ -300,10 +695,22 @@ void FlowSimulator::schedule_next_completion() {
     completion_event_.reset();
   }
   double earliest = std::numeric_limits<double>::infinity();
+  // Most flows run at the uniform cap; for them one division after a
+  // min-scan of remaining bits gives exactly min(remaining / cap), because
+  // correctly-rounded division by a positive constant is monotone — the
+  // same double the per-flow divisions would produce.
+  const double cap_bps = config_.flow_rate_cap.bits_per_second();
+  double capped_bits = std::numeric_limits<double>::infinity();
   for (const auto& flow : active_) {
     if (flow.rate_bps <= 0.0) continue;  // stalled (fully contended/disabled)
-    const double t = flow.remaining_bits / flow.rate_bps;
-    earliest = std::min(earliest, t);
+    if (flow.rate_bps == cap_bps) {
+      capped_bits = std::min(capped_bits, flow.remaining_bits);
+    } else {
+      earliest = std::min(earliest, flow.remaining_bits / flow.rate_bps);
+    }
+  }
+  if (std::isfinite(capped_bits)) {
+    earliest = std::min(earliest, capped_bits / cap_bps);
   }
   if (!std::isfinite(earliest)) return;
   completion_event_ = engine_.schedule_after(
@@ -315,6 +722,7 @@ void FlowSimulator::complete_due_flows(Seconds now) {
   settle_progress(now);
   bool any = false;
   bool all_fast = true;
+  seed_links_.clear();
   for (std::size_t i = 0; i < active_.size();) {
     if (active_[i].remaining_bits > kEpsBits) {
       ++i;
@@ -327,11 +735,17 @@ void FlowSimulator::complete_due_flows(Seconds now) {
     fct_.add(record.fct().value());
     completed_.push_back(record);
     any = true;
+    // Departures free capacity only on their own links; remember them as
+    // binding-subset seeds in case this event needs a re-solve.
+    const auto links = flow_links(active_[i]);
+    seed_links_.insert(seed_links_.end(), links.begin(), links.end());
     all_fast = all_fast && try_fast_departure(now, active_[i]);
+    release_flow_links(active_[i]);
     // Swap-and-pop: active-flow order carries no meaning (records and
     // listeners are per-flow), and mid-vector erase is O(n).
     if (i + 1 != active_.size()) {
       std::swap(active_[i], active_.back());
+      renumber_flow_links(active_[i], static_cast<std::uint32_t>(i));
     }
     active_.pop_back();
     if (completion_listener_) completion_listener_(completed_.back());
@@ -343,6 +757,7 @@ void FlowSimulator::complete_due_flows(Seconds now) {
     schedule_next_completion();
     if (listener_) listener_(now);
   } else {
+    seed_valid_ = true;
     reallocate(now);
   }
 }

@@ -1,11 +1,14 @@
 #include "netpp/topo/routing.h"
 
 #include <algorithm>
-#include <deque>
 #include <limits>
 #include <stdexcept>
 
 namespace netpp {
+
+namespace {
+constexpr auto kInf = std::numeric_limits<std::uint32_t>::max();
+}  // namespace
 
 std::vector<NodeId> Path::nodes(const Graph& g) const {
   std::vector<NodeId> out;
@@ -21,21 +24,81 @@ std::vector<NodeId> Path::nodes(const Graph& g) const {
 
 Router::Router(const Graph& graph)
     : graph_(graph),
-      node_enabled_(graph.num_nodes(), true),
-      link_enabled_(graph.num_links(), true) {}
+      node_enabled_(graph.num_nodes(), 1),
+      link_enabled_(graph.num_links(), 1) {}
 
 void Router::set_node_enabled(NodeId id, bool enabled) {
-  node_enabled_.at(id) = enabled;
+  auto& slot = node_enabled_.at(id);
+  const std::uint8_t value = enabled ? 1 : 0;
+  if (slot == value) return;
+  slot = value;
+  ++epoch_;
 }
 
 void Router::set_link_enabled(LinkId id, bool enabled) {
-  link_enabled_.at(id) = enabled;
+  auto& slot = link_enabled_.at(id);
+  const std::uint8_t value = enabled ? 1 : 0;
+  if (slot == value) return;
+  slot = value;
+  ++epoch_;
+}
+
+bool Router::bfs(NodeId src, NodeId dst, bool stop_at_dst) const {
+  dist_.assign(graph_.num_nodes(), kInf);
+  queue_.clear();
+  dist_[src] = 0;
+  queue_.push_back(src);
+  std::size_t head = 0;
+  std::uint32_t best = kInf;  // dist of dst once labeled
+  while (head < queue_.size()) {
+    const NodeId at = queue_[head++];
+    // BFS pops in nondecreasing distance order; once the frontier reaches
+    // dst's level, every node that could sit on a shortest path (distance
+    // < best) is already fully labeled.
+    if (dist_[at] >= best) break;
+    if (at == dst) continue;  // no need to expand beyond the target
+    for (const auto& adj : graph_.neighbors(at)) {
+      if (!link_enabled_[adj.link]) continue;
+      const NodeId next = adj.neighbor;
+      if (next != dst && !node_enabled_[next]) continue;
+      if (dist_[next] != kInf) continue;
+      dist_[next] = dist_[at] + 1;
+      if (next == dst) {
+        best = dist_[next];
+        if (stop_at_dst) return true;
+      }
+      queue_.push_back(next);
+    }
+  }
+  return dist_[dst] != kInf;
 }
 
 std::optional<Path> Router::shortest_path(NodeId src, NodeId dst) const {
-  auto paths = ecmp_paths(src, dst, 1);
-  if (paths.empty()) return std::nullopt;
-  return std::move(paths.front());
+  if (src >= graph_.num_nodes() || dst >= graph_.num_nodes()) {
+    throw std::out_of_range("routing endpoint does not exist");
+  }
+  if (src == dst) return Path{src, dst, {}};
+  if (!bfs(src, dst, /*stop_at_dst=*/true)) return std::nullopt;
+
+  // Greedy walkback from dst: at each node take the first neighbor (in
+  // adjacency order) one level closer to src — exactly the first path the
+  // shortest-path-DAG DFS would emit, without the DAG bookkeeping.
+  Path path{src, dst, {}};
+  path.links.reserve(dist_[dst]);
+  NodeId at = dst;
+  while (at != src) {
+    for (const auto& adj : graph_.neighbors(at)) {
+      if (!link_enabled_[adj.link]) continue;
+      const NodeId prev = adj.neighbor;
+      if (prev != src && !node_enabled_[prev]) continue;
+      if (dist_[prev] == kInf || dist_[prev] + 1 != dist_[at]) continue;
+      path.links.push_back(adj.link);
+      at = prev;
+      break;
+    }
+  }
+  std::reverse(path.links.begin(), path.links.end());
+  return path;
 }
 
 std::vector<Path> Router::ecmp_paths(NodeId src, NodeId dst,
@@ -57,36 +120,20 @@ RouteResult Router::find_paths(NodeId src, NodeId dst,
 
   // BFS from src recording hop distances; transit through disabled nodes or
   // links is forbidden, but src/dst themselves are always usable.
-  constexpr auto kInf = std::numeric_limits<std::uint32_t>::max();
-  std::vector<std::uint32_t> dist(graph_.num_nodes(), kInf);
-  std::deque<NodeId> queue;
-  dist[src] = 0;
-  queue.push_back(src);
-  while (!queue.empty()) {
-    const NodeId at = queue.front();
-    queue.pop_front();
-    if (at == dst) continue;  // no need to expand beyond the target
-    for (const auto& adj : graph_.neighbors(at)) {
-      if (!link_enabled_[adj.link]) continue;
-      const NodeId next = adj.neighbor;
-      if (next != dst && !node_enabled_[next]) continue;
-      if (dist[next] != kInf) continue;
-      dist[next] = dist[at] + 1;
-      queue.push_back(next);
-    }
+  if (!bfs(src, dst, /*stop_at_dst=*/false)) {
+    return RouteResult{RouteStatus::kDisconnected, {}};
   }
-  if (dist[dst] == kInf) return RouteResult{RouteStatus::kDisconnected, {}};
 
   // Enumerate shortest paths by DFS along strictly-decreasing distances
   // from dst back to src; deterministic by adjacency order.
   std::vector<Path> out;
-  std::vector<LinkId> stack;
+  stack_.clear();
   // Depth-first from dst towards src over predecessors.
   auto dfs = [&](auto&& self, NodeId at) -> void {
     if (out.size() >= max_paths) return;
     if (at == src) {
       Path p{src, dst, {}};
-      p.links.assign(stack.rbegin(), stack.rend());
+      p.links.assign(stack_.rbegin(), stack_.rend());
       out.push_back(std::move(p));
       return;
     }
@@ -94,10 +141,10 @@ RouteResult Router::find_paths(NodeId src, NodeId dst,
       if (!link_enabled_[adj.link]) continue;
       const NodeId prev = adj.neighbor;
       if (prev != src && !node_enabled_[prev]) continue;
-      if (dist[prev] == kInf || dist[prev] + 1 != dist[at]) continue;
-      stack.push_back(adj.link);
+      if (dist_[prev] == kInf || dist_[prev] + 1 != dist_[at]) continue;
+      stack_.push_back(adj.link);
       self(self, prev);
-      stack.pop_back();
+      stack_.pop_back();
       if (out.size() >= max_paths) return;
     }
   };
@@ -106,20 +153,17 @@ RouteResult Router::find_paths(NodeId src, NodeId dst,
 }
 
 bool Router::connected(NodeId src, NodeId dst) const {
-  return find_paths(src, dst, 1).ok();
+  if (src >= graph_.num_nodes() || dst >= graph_.num_nodes()) return false;
+  if (src == dst) return true;
+  return bfs(src, dst, /*stop_at_dst=*/true);
 }
 
 std::optional<Path> Router::ecmp_route(NodeId src, NodeId dst,
-                                       std::uint64_t flow_id) const {
-  auto paths = ecmp_paths(src, dst);
+                                       std::uint64_t flow_id,
+                                       std::size_t max_paths) const {
+  auto paths = ecmp_paths(src, dst, max_paths);
   if (paths.empty()) return std::nullopt;
-  // SplitMix-style avalanche over (src, dst, flow_id).
-  std::uint64_t h = flow_id;
-  h ^= (static_cast<std::uint64_t>(src) << 32) | dst;
-  h += 0x9e3779b97f4a7c15ULL;
-  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
-  h ^= h >> 31;
+  const std::uint64_t h = ecmp_flow_hash(src, dst, flow_id);
   return std::move(paths[h % paths.size()]);
 }
 

@@ -1,0 +1,190 @@
+// Route cache vs per-arrival BFS: Config::use_route_cache must be purely a
+// performance knob. Cache on and cache off run the same simulation to the
+// last bit (same paths, same completion times, same energy-relevant link
+// histories), including through mid-run topology changes — plus the faults
+// integration: epoch flushes are observable, rerouted flows use only
+// surviving links, and parked switches stay dark through cached routing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "netpp/netsim/flowsim.h"
+#include "netpp/topo/builders.h"
+#include "netpp/traffic/generators.h"
+
+namespace netpp {
+namespace {
+
+using namespace netpp::literals;
+
+std::vector<FlowSpec> poisson_workload(const BuiltTopology& topo,
+                                       std::size_t flows, std::uint64_t seed) {
+  PoissonTrafficConfig tcfg;
+  tcfg.arrivals_per_second = 500.0;
+  tcfg.duration = Seconds{static_cast<double>(flows) / 500.0};
+  tcfg.pareto_alpha = 1.3;
+  tcfg.min_size = Bits::from_gigabits(0.5);
+  tcfg.max_size = Bits::from_gigabits(8.0);
+  tcfg.seed = seed;
+  return make_poisson_traffic(topo.hosts, tcfg);
+}
+
+NodeId pick_spine(const BuiltTopology& topo) {
+  for (NodeId sw : topo.switches) {
+    if (topo.graph.node(sw).tier == 2) return sw;
+  }
+  ADD_FAILURE() << "no spine-tier switch in topology";
+  return kInvalidNode;
+}
+
+struct RunResult {
+  std::vector<FlowRecord> completed;
+  double fct_mean = 0.0;
+  double fct_max = 0.0;
+  FlowSimulator::ReallocStats stats;
+};
+
+RunResult run_sim(const BuiltTopology& topo, const std::vector<FlowSpec>& flows,
+                  bool use_cache,
+                  const std::function<void(SimEngine&, FlowSimulator&)>&
+                      arrange = {}) {
+  SimEngine engine;
+  Router router{topo.graph};
+  FlowSimulator::Config cfg;
+  cfg.flow_rate_cap = Gbps{25.0};
+  cfg.use_route_cache = use_cache;
+  cfg.strand_unroutable = true;
+  FlowSimulator sim{topo.graph, router, engine, cfg};
+  if (arrange) arrange(engine, sim);
+  for (const auto& spec : flows) sim.submit(spec);
+  engine.run();
+  RunResult out;
+  out.completed = sim.completed();
+  std::sort(out.completed.begin(), out.completed.end(),
+            [](const FlowRecord& a, const FlowRecord& b) { return a.id < b.id; });
+  out.fct_mean = sim.fct_stats().mean();
+  out.fct_max = sim.fct_stats().max();
+  out.stats = sim.realloc_stats();
+  return out;
+}
+
+void expect_bit_identical(const RunResult& cached, const RunResult& plain) {
+  ASSERT_EQ(cached.completed.size(), plain.completed.size());
+  for (std::size_t i = 0; i < plain.completed.size(); ++i) {
+    EXPECT_EQ(cached.completed[i].id, plain.completed[i].id);
+    EXPECT_EQ(cached.completed[i].finished.value(),
+              plain.completed[i].finished.value());
+  }
+  EXPECT_EQ(cached.fct_mean, plain.fct_mean);
+  EXPECT_EQ(cached.fct_max, plain.fct_max);
+  // Same solver trajectory, not merely the same endpoint.
+  EXPECT_EQ(cached.stats.full_solves, plain.stats.full_solves);
+  EXPECT_EQ(cached.stats.fast_arrivals, plain.stats.fast_arrivals);
+  EXPECT_EQ(cached.stats.fast_departures, plain.stats.fast_departures);
+}
+
+TEST(FlowSimRouteCache, PoissonRunBitIdenticalCacheOnVsOff) {
+  const auto topo = build_fat_tree(4, 25_Gbps);
+  const auto flows = poisson_workload(topo, 600, 42);
+  const RunResult cached = run_sim(topo, flows, /*use_cache=*/true);
+  const RunResult plain = run_sim(topo, flows, /*use_cache=*/false);
+  ASSERT_GT(cached.completed.size(), 500u);
+  expect_bit_identical(cached, plain);
+  // The knob actually switches implementations.
+  EXPECT_GT(cached.stats.route_cache.hits, 0u);
+  EXPECT_EQ(plain.stats.route_cache.hits, 0u);
+  EXPECT_EQ(plain.stats.route_cache.misses, 0u);
+}
+
+TEST(FlowSimRouteCache, SpineKillMidRunBitIdenticalAndFlushed) {
+  // Kill one spine mid-run (repair later): reroutes + strands + resumes all
+  // go through cached routing, and the trajectory still matches the
+  // BFS-per-arrival configuration bit for bit.
+  const auto topo = build_leaf_spine(4, 2, 4, 25_Gbps, 100_Gbps);
+  const NodeId spine = pick_spine(topo);
+  const auto flows = poisson_workload(topo, 500, 7);
+  const auto arrange = [spine](SimEngine& engine, FlowSimulator& sim) {
+    engine.schedule_at(Seconds{0.3},
+                       [&sim, spine] { sim.set_node_enabled(spine, false); });
+    engine.schedule_at(Seconds{0.7},
+                       [&sim, spine] { sim.set_node_enabled(spine, true); });
+  };
+  const RunResult cached = run_sim(topo, flows, /*use_cache=*/true, arrange);
+  const RunResult plain = run_sim(topo, flows, /*use_cache=*/false, arrange);
+  expect_bit_identical(cached, plain);
+  EXPECT_EQ(cached.stats.topology_changes, 2u);
+  EXPECT_EQ(cached.stats.reroutes, plain.stats.reroutes);
+  EXPECT_GT(cached.stats.reroutes, 0u);
+  // Both toggles were observed by later lookups: one flush per epoch jump.
+  EXPECT_GE(cached.stats.route_cache.epoch_flushes, 2u);
+}
+
+TEST(FlowSimRouteCache, RerouteAfterSpineKillUsesOnlySurvivingLinks) {
+  const auto topo = build_leaf_spine(4, 2, 4, 25_Gbps, 100_Gbps);
+  const NodeId spine = pick_spine(topo);
+  SimEngine engine;
+  Router router{topo.graph};
+  FlowSimulator::Config cfg;
+  cfg.flow_rate_cap = Gbps{25.0};
+  cfg.strand_unroutable = true;
+  FlowSimulator sim{topo.graph, router, engine, cfg};
+
+  bool checked = false;
+  engine.schedule_at(Seconds{0.3}, [&] {
+    sim.set_node_enabled(spine, false);
+    // Immediately after the kill every flow has been rerouted onto the
+    // surviving spine: the dead spine's links carry exactly nothing.
+    for (LinkId lid = 0; lid < topo.graph.num_links(); ++lid) {
+      const Link& link = topo.graph.link(lid);
+      if (link.a != spine && link.b != spine) continue;
+      for (int dir = 0; dir < 2; ++dir) {
+        EXPECT_EQ(sim.directed_link_rate(DirectedLink{lid, dir}).value(), 0.0)
+            << "link " << lid << " dir " << dir << " still carries traffic";
+      }
+    }
+    EXPECT_GT(sim.active_flows(), 0u);
+    checked = true;
+  });
+  const auto workload = poisson_workload(topo, 400, 9);
+  for (const auto& spec : workload) sim.submit(spec);
+  engine.run();
+  EXPECT_TRUE(checked);
+  const auto& stats = sim.realloc_stats();
+  EXPECT_GT(stats.reroutes, 0u);
+  EXPECT_GE(stats.route_cache.epoch_flushes, 1u);
+  // Leaf-spine with 2 spines: killing one never disconnects leaf pairs.
+  EXPECT_EQ(sim.stranded_flows(), 0u);
+  EXPECT_EQ(sim.completed().size(), workload.size());
+}
+
+TEST(FlowSimRouteCache, ParkedSwitchStaysDarkThroughCachedRouting) {
+  // PR 2's parked-switch invariant, now with cached routing in the path:
+  // park a spine before any traffic, run a full workload, and verify its
+  // links never carried a bit (cached path sets must respect the mask, and
+  // no stale pre-park entry may leak traffic onto it).
+  const auto topo = build_leaf_spine(4, 2, 4, 25_Gbps, 100_Gbps);
+  const NodeId parked = pick_spine(topo);
+  SimEngine engine;
+  Router router{topo.graph};
+  FlowSimulator::Config cfg;
+  cfg.flow_rate_cap = Gbps{25.0};
+  FlowSimulator sim{topo.graph, router, engine, cfg};
+  sim.set_node_enabled(parked, false);
+  const auto workload = poisson_workload(topo, 400, 11);
+  for (const auto& spec : workload) sim.submit(spec);
+  engine.run();
+
+  EXPECT_EQ(sim.completed().size(), workload.size());  // survivors carry all
+  for (LinkId lid = 0; lid < topo.graph.num_links(); ++lid) {
+    const Link& link = topo.graph.link(lid);
+    if (link.a != parked && link.b != parked) continue;
+    for (int dir = 0; dir < 2; ++dir) {
+      EXPECT_EQ(sim.average_link_utilization(DirectedLink{lid, dir}), 0.0);
+    }
+  }
+  EXPECT_GT(sim.realloc_stats().route_cache.hits, 0u);
+}
+
+}  // namespace
+}  // namespace netpp

@@ -266,6 +266,14 @@ int cmd_faults(const Options& opt) {
   table.add_row({"re-tailor passes", std::to_string(result.retailor_passes)});
   table.add_row(
       {"energy vs all-on", fmt_percent(result.report.energy_delta, 1)});
+  const RouteCacheStats& rc = result.realloc.route_cache;
+  table.add_row({"route-cache hits", std::to_string(rc.hits)});
+  table.add_row({"route-cache misses", std::to_string(rc.misses)});
+  table.add_row(
+      {"route-cache epoch flushes", std::to_string(rc.epoch_flushes)});
+  table.add_row({"route-cache entries", std::to_string(rc.entries)});
+  table.add_row({"route-cache resident KiB",
+                 fmt(static_cast<double>(rc.pool_bytes) / 1024.0, 1)});
   print_table(table, opt.csv);
   return 0;
 }
