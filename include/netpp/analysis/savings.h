@@ -77,4 +77,20 @@ class CostModel {
   Config config_;
 };
 
+/// Operating-cost framing of one mechanism's measured energy savings: the
+/// common currency the composed §4 stack is reported in (netpp_cli mech).
+struct MechanismValue {
+  Watts average_reduction{};  ///< (baseline - actual) / duration
+  double savings_fraction = 0.0;
+  Dollars annual_savings{};  ///< electricity + cooling, at this reduction
+  double annual_co2_tons = 0.0;
+};
+
+/// Converts a (baseline, actual) energy pair over `duration` — e.g. from a
+/// MechanismReport — into its sustained annual dollar and carbon value.
+/// `duration` must be positive.
+[[nodiscard]] MechanismValue mechanism_value(
+    Joules baseline, Joules actual, Seconds duration,
+    const CostModel& cost = CostModel{});
+
 }  // namespace netpp

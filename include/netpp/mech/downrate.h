@@ -16,9 +16,11 @@
 // as a gating-effectiveness factor.
 #pragma once
 
+#include <string_view>
 #include <vector>
 
-#include "netpp/mech/parking.h"  // AggregateLoadTrace
+#include "netpp/mech/load_trace.h"
+#include "netpp/mech/mechanism.h"
 #include "netpp/power/catalog.h"
 #include "netpp/units.h"
 
@@ -57,6 +59,38 @@ struct DownrateResult {
   Seconds outage_time{};
   /// Time-weighted mean configured speed.
   Gbps mean_speed{};
+};
+
+/// Link down-rating as a MechanismPolicy: one component whose level is the
+/// configured speed in Gbps, stepped along the ladder through the
+/// timeline's min-dwell rule (downward steps only after the lower step has
+/// been sufficient for `down_dwell`; upward steps immediate).
+class DownratePolicy : public MechanismPolicy {
+ public:
+  explicit DownratePolicy(DownrateConfig config);
+
+  [[nodiscard]] std::string_view name() const override { return "downrate"; }
+  [[nodiscard]] PowerStateTimeline make_timeline(
+      const LoadTrace& trace) override;
+  void observe(const LoadSegment& seg, PowerStateTimeline& timeline) override;
+  void on_interval(Seconds t0, Seconds t1, const LoadSegment& seg,
+                   const PowerStateTimeline& timeline) override;
+  void finish(const LoadTrace& trace, const PowerStateTimeline& timeline,
+              MechanismReport& report) override;
+
+  [[nodiscard]] const DownrateConfig& config() const { return config_; }
+  /// Both-end power draw at the nominal speed (the do-nothing baseline).
+  [[nodiscard]] double nominal_power_w() const { return nominal_power_w_; }
+  [[nodiscard]] Seconds violation_time() const {
+    return Seconds{violation_time_};
+  }
+  [[nodiscard]] Seconds outage_time() const { return Seconds{outage_time_}; }
+
+ private:
+  DownrateConfig config_;
+  double nominal_power_w_ = 0.0;
+  double violation_time_ = 0.0;
+  double outage_time_ = 0.0;
 };
 
 /// Simulates the down-rating policy over the trace (loads are fractions of

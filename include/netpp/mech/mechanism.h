@@ -1,0 +1,138 @@
+// Composable §4 mechanism layer.
+//
+// Every trace-driven mechanism (rate adaptation, pipeline parking, link
+// down-rating, and their compositions) is a MechanismPolicy: it observes
+// load segments and emits state decisions onto a shared PowerStateTimeline.
+// One driver — `run_mechanism`, stepping a SimEngine — owns the
+// time-stepping loop the simulators used to hand-roll five times over:
+// segment boundaries, pending wake completions, policy breakpoints,
+// capacity-shortfall buffering (bounded buffer -> loss), and the energy /
+// transition / residency integration. Every mechanism returns the same
+// MechanismReport, which is what makes the §4 optimizations stackable (see
+// mech/composite.h) and their savings directly comparable.
+#pragma once
+
+#include <array>
+#include <limits>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "netpp/mech/load_trace.h"
+#include "netpp/power/state_timeline.h"
+#include "netpp/sim/engine.h"
+#include "netpp/units.h"
+
+namespace netpp {
+
+/// The driver's view of the trace at a decision point.
+struct LoadSegment {
+  Seconds at{};     ///< decision time (>= start when re-observed mid-segment)
+  Seconds start{};  ///< segment start
+  Seconds end{};    ///< segment end (next boundary, or the trace end)
+  std::size_t index = 0;
+  std::span<const double> loads;  ///< one entry per channel
+};
+
+/// Common result every mechanism reports.
+struct MechanismReport {
+  std::string mechanism;
+  Seconds duration{};
+  Joules energy{};
+  Joules baseline_energy{};  ///< do-nothing fabric over the same trace
+  /// 1 - energy / baseline_energy (0 when the baseline is empty).
+  double savings = 0.0;
+  Watts average_power{};
+  std::size_t wake_transitions = 0;
+  std::size_t park_transitions = 0;
+  std::size_t level_transitions = 0;
+  [[nodiscard]] std::size_t transitions() const {
+    return wake_transitions + park_transitions + level_transitions;
+  }
+  /// Capacity-shortfall buffering at the indirection layer, when modeled.
+  Bits max_buffered{};
+  Bits dropped{};
+  Seconds max_added_delay{};
+  /// Per-state component-seconds (index by PowerState).
+  std::array<Seconds, kNumPowerStates> residency{};
+  /// residency(kOn) / duration: time-weighted mean powered components.
+  double mean_on_components = 0.0;
+  /// Time-weighted mean level (frequency/speed) across components.
+  double mean_level = 0.0;
+};
+
+/// A mechanism: policy decisions over a load trace, states on a timeline.
+class MechanismPolicy {
+ public:
+  virtual ~MechanismPolicy() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Builds the timeline this mechanism runs on: component count,
+  /// transition rules, and the actual/baseline power functions.
+  [[nodiscard]] virtual PowerStateTimeline make_timeline(
+      const LoadTrace& trace) = 0;
+
+  /// Observes the current segment at `seg.at` and emits state decisions.
+  /// Called at every decision point (segment starts, wake completions,
+  /// policy breakpoints), so implementations must be idempotent at a fixed
+  /// point.
+  virtual void observe(const LoadSegment& seg, PowerStateTimeline& timeline) = 0;
+
+  /// First policy-specific breakpoint strictly after `t` (+infinity when
+  /// none): the driver cuts integration intervals there (e.g. a predictive
+  /// schedule's pre-wake commands).
+  [[nodiscard]] virtual double next_breakpoint(double t) const {
+    (void)t;
+    return std::numeric_limits<double>::infinity();
+  }
+
+  /// Whether the driver should model capacity-shortfall buffering for this
+  /// mechanism (pipeline parking's circuit-switch buffer).
+  [[nodiscard]] virtual bool models_buffering() const { return false; }
+  /// Serving capacity as a fraction of nominal (only when buffering).
+  [[nodiscard]] virtual double capacity_fraction(
+      const PowerStateTimeline& timeline) const {
+    (void)timeline;
+    return 1.0;
+  }
+  /// Whole-device offered fraction for buffering decisions.
+  [[nodiscard]] virtual double offered_fraction(const LoadSegment& seg) const;
+  [[nodiscard]] virtual Bits buffer_capacity() const { return Bits{0.0}; }
+  /// Nominal device capacity, to convert load fractions to bits.
+  [[nodiscard]] virtual double nominal_capacity_bps() const { return 0.0; }
+
+  /// Called after each integrated interval [t0, t1) (policy-side
+  /// accounting that needs exact interval durations, e.g. down-rating's
+  /// violation time).
+  virtual void on_interval(Seconds t0, Seconds t1, const LoadSegment& seg,
+                           const PowerStateTimeline& timeline) {
+    (void)t0;
+    (void)t1;
+    (void)seg;
+    (void)timeline;
+  }
+
+  /// Final hook: adjust/extend the generically-filled report.
+  virtual void finish(const LoadTrace& trace,
+                      const PowerStateTimeline& timeline,
+                      MechanismReport& report) {
+    (void)trace;
+    (void)timeline;
+    (void)report;
+  }
+};
+
+/// Drives `policy` over `trace` on `engine` (one self-rearming event per
+/// integration interval; the engine clock tracks the mechanism time, so
+/// other events can co-schedule). The trace must be validated; the engine
+/// must be at or before the trace start.
+[[nodiscard]] MechanismReport run_mechanism(SimEngine& engine,
+                                            const LoadTrace& trace,
+                                            MechanismPolicy& policy);
+
+/// Convenience: runs on a private engine.
+[[nodiscard]] MechanismReport run_mechanism(const LoadTrace& trace,
+                                            MechanismPolicy& policy);
+
+}  // namespace netpp

@@ -24,23 +24,15 @@
 // "is the addition worth it?" question of §4.4.
 #pragma once
 
+#include <string_view>
 #include <vector>
 
+#include "netpp/mech/load_trace.h"
+#include "netpp/mech/mechanism.h"
 #include "netpp/power/switch_model.h"
 #include "netpp/units.h"
 
 namespace netpp {
-
-/// Piecewise-constant aggregate offered load, as a fraction of the whole
-/// switch's nominal capacity. Same timing conventions as PipelineLoadTrace.
-struct AggregateLoadTrace {
-  std::vector<Seconds> times;
-  std::vector<double> loads;
-  Seconds end{};
-
-  void validate() const;
-  [[nodiscard]] Seconds duration() const { return end - times.front(); }
-};
 
 struct ParkingConfig {
   SwitchPowerModel model{};
@@ -92,6 +84,97 @@ struct ParkingResult {
   Seconds max_added_delay{};
   /// Pipelines force-woken by emergency recall windows (resilient variant).
   std::size_t emergency_wakes = 0;
+};
+
+namespace detail {
+
+/// Reactive hysteresis step shared by the parking policies and the
+/// composite stack: wake when the load exceeds `hi_threshold` of the
+/// provisioned capacity; park when it would fit under `lo_threshold` of one
+/// fewer pipeline.
+[[nodiscard]] int reactive_parking_target(const ParkingConfig& config,
+                                          int pipes, double offered,
+                                          int provisioned);
+
+}  // namespace detail
+
+/// Pipeline parking as a MechanismPolicy (§4.4): a subclass supplies the
+/// desired pipeline count per decision point; the base emits wake/park
+/// transitions onto the timeline (canceling pending wakes before parking),
+/// prices powered/waking/parked pipelines plus the circuit switch, and
+/// opts in to the driver's capacity-shortfall buffering.
+class ParkingPolicy : public MechanismPolicy {
+ public:
+  explicit ParkingPolicy(ParkingConfig config);
+
+  [[nodiscard]] PowerStateTimeline make_timeline(
+      const LoadTrace& trace) override;
+  void observe(const LoadSegment& seg, PowerStateTimeline& timeline) override;
+  [[nodiscard]] bool models_buffering() const override { return true; }
+  [[nodiscard]] double capacity_fraction(
+      const PowerStateTimeline& timeline) const override;
+  [[nodiscard]] Bits buffer_capacity() const override {
+    return config_.buffer_capacity;
+  }
+  [[nodiscard]] double nominal_capacity_bps() const override {
+    return config_.switch_capacity.bits_per_second();
+  }
+
+  [[nodiscard]] const ParkingConfig& config() const { return config_; }
+
+ protected:
+  /// Desired pipeline count at decision time `t` for the aggregate
+  /// `offered` load, given the currently provisioned (on + waking) count.
+  /// Clamped into [min_active, num_pipelines] by the base.
+  [[nodiscard]] virtual int desired_count(double t, double offered,
+                                          int provisioned) = 0;
+
+  ParkingConfig config_;
+  int pipes_ = 0;
+
+ private:
+  std::vector<PortState> ports_;
+  double offered_ = 0.0;  ///< current segment load, for the power functions
+};
+
+/// Reactive hysteresis-threshold policy (wake over hi, park under lo).
+class ReactiveParkingPolicy : public ParkingPolicy {
+ public:
+  using ParkingPolicy::ParkingPolicy;
+  [[nodiscard]] std::string_view name() const override {
+    return "parking-reactive";
+  }
+
+ protected:
+  [[nodiscard]] int desired_count(double t, double offered,
+                                  int provisioned) override;
+};
+
+/// Predictive policy: follows a (sorted) load forecast, pre-waking
+/// `wake_latency` before each capacity increase. Forecast command times are
+/// the policy's breakpoints.
+class PredictiveParkingPolicy : public ParkingPolicy {
+ public:
+  PredictiveParkingPolicy(ParkingConfig config,
+                          std::vector<LoadForecast> forecast);
+  [[nodiscard]] std::string_view name() const override {
+    return "parking-predictive";
+  }
+  [[nodiscard]] PowerStateTimeline make_timeline(
+      const LoadTrace& trace) override;
+  [[nodiscard]] double next_breakpoint(double t) const override;
+
+ protected:
+  [[nodiscard]] int desired_count(double t, double offered,
+                                  int provisioned) override;
+
+ private:
+  struct Command {
+    double at;
+    int count;
+  };
+  std::vector<LoadForecast> forecast_;
+  std::vector<Command> commands_;
 };
 
 /// Reactive threshold policy over the trace.

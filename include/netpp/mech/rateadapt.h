@@ -16,25 +16,15 @@
 // reports how many frequency transitions the policy incurred.
 #pragma once
 
+#include <string_view>
 #include <vector>
 
+#include "netpp/mech/load_trace.h"
+#include "netpp/mech/mechanism.h"
 #include "netpp/power/switch_model.h"
 #include "netpp/units.h"
 
 namespace netpp {
-
-/// Piecewise-constant per-pipeline offered load. `times[i]` is the start of
-/// segment i, which holds `pipeline_loads[i]` (one entry per pipeline, each
-/// in [0, 1] of a pipeline's nominal capacity) until `times[i+1]` (or `end`
-/// for the last segment). times[0] defines the trace start.
-struct PipelineLoadTrace {
-  std::vector<Seconds> times;
-  std::vector<std::vector<double>> pipeline_loads;
-  Seconds end{};
-
-  void validate(int num_pipelines) const;
-  [[nodiscard]] Seconds duration() const;
-};
 
 enum class RateAdaptMode {
   kNone,
@@ -64,6 +54,39 @@ struct RateAdaptResult {
   std::size_t frequency_transitions = 0;
   /// Time-weighted mean frequency across pipelines.
   double mean_frequency = 1.0;
+};
+
+namespace detail {
+
+/// Smallest allowed lane step >= `load` (steps are fractions of full
+/// lanes); falls back to full lanes when no step covers the load.
+[[nodiscard]] double pick_lane_step(const std::vector<double>& steps,
+                                    double load);
+
+}  // namespace detail
+
+/// Rate adaptation as a MechanismPolicy (§4.3): per segment, requests a
+/// target clock level per pipeline (headroom above the load, floored at
+/// min_frequency) through the timeline's hysteresis rules, and optionally
+/// down-rates SerDes lanes to the switch-wide mean load step.
+class RateAdaptPolicy : public MechanismPolicy {
+ public:
+  RateAdaptPolicy(RateAdaptConfig config, RateAdaptMode mode);
+
+  [[nodiscard]] std::string_view name() const override;
+  [[nodiscard]] PowerStateTimeline make_timeline(
+      const LoadTrace& trace) override;
+  void observe(const LoadSegment& seg, PowerStateTimeline& timeline) override;
+
+  [[nodiscard]] const RateAdaptConfig& config() const { return config_; }
+  [[nodiscard]] RateAdaptMode mode() const { return mode_; }
+
+ private:
+  RateAdaptConfig config_;
+  RateAdaptMode mode_;
+  int pipes_ = 0;
+  std::vector<PortState> ports_;      ///< nominal (full-lane) ports
+  std::vector<PortState> seg_ports_;  ///< current segment, possibly down-rated
 };
 
 /// Simulates one switch over the trace in the given mode.

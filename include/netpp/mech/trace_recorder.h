@@ -9,6 +9,7 @@
 #include <map>
 #include <vector>
 
+#include "netpp/mech/load_trace.h"
 #include "netpp/mech/parking.h"
 #include "netpp/mech/rateadapt.h"
 #include "netpp/netsim/flowsim.h"
@@ -28,6 +29,17 @@ class NodeLoadRecorder {
 
   /// Convenience adapter for FlowSimulator::set_load_listener.
   [[nodiscard]] FlowSimulator::LoadListener listener();
+
+  /// Unified adapter: the node's recorded samples as a `num_channels`-wide
+  /// LoadTrace (1 channel == whole-node aggregate; one channel per pipeline
+  /// == the round-robin port->pipeline mapping). Each sample opens a
+  /// segment; consecutive identical segments are collapsed. The final
+  /// segment runs from the last (distinct) sample to `end`, which must lie
+  /// strictly after the last recorded sample — there is no silent
+  /// truncation or extrapolation. Throws std::logic_error when no samples
+  /// were recorded.
+  [[nodiscard]] LoadTrace load_trace(NodeId node, int num_channels,
+                                     Seconds end) const;
 
   /// Whole-node load trace: carried bits over incident capacity, in [0, 1].
   [[nodiscard]] AggregateLoadTrace aggregate_trace(NodeId node,

@@ -22,6 +22,7 @@
 #include "netpp/cluster/cluster.h"
 #include "netpp/power/catalog.h"
 #include "netpp/power/envelope.h"
+#include "netpp/power/state_timeline.h"
 #include "netpp/power/switch_model.h"
 #include "netpp/topomodel/fattree.h"
 #include "netpp/units.h"
@@ -50,9 +51,12 @@
 #include "netpp/traffic/training_loop.h"
 
 // mech
+#include "netpp/mech/composite.h"
 #include "netpp/mech/downrate.h"
 #include "netpp/mech/eee.h"
 #include "netpp/mech/knobs.h"
+#include "netpp/mech/load_trace.h"
+#include "netpp/mech/mechanism.h"
 #include "netpp/mech/ocs.h"
 #include "netpp/mech/packet_switch.h"
 #include "netpp/mech/parking.h"

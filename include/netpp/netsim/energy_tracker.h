@@ -19,6 +19,7 @@
 
 #include <vector>
 
+#include "netpp/mech/mechanism.h"
 #include "netpp/netsim/flowsim.h"
 #include "netpp/power/envelope.h"
 #include "netpp/power/switch_model.h"
@@ -68,6 +69,12 @@ class FabricEnergyTracker {
 
   /// Max power if every device ran at max simultaneously.
   [[nodiscard]] Watts max_network_power() const;
+
+  /// The fabric's energy accounting in the mechanism layer's common
+  /// currency: baseline = every device at max power over the window, so the
+  /// tracker's results line up next to MechanismPolicy runs. `until` must
+  /// be positive.
+  [[nodiscard]] MechanismReport report(Seconds until) const;
 
   [[nodiscard]] const Config& config() const { return config_; }
 

@@ -1,5 +1,7 @@
 #include "netpp/analysis/savings.h"
 
+#include <stdexcept>
+
 namespace netpp {
 
 SavingsCell savings_at(const ClusterConfig& base, Gbps bandwidth,
@@ -40,6 +42,22 @@ std::vector<SavingsRow> savings_table(
     rows.push_back(std::move(row));
   }
   return rows;
+}
+
+MechanismValue mechanism_value(Joules baseline, Joules actual,
+                               Seconds duration, const CostModel& cost) {
+  if (duration.value() <= 0.0) {
+    throw std::invalid_argument("mechanism_value: duration must be positive");
+  }
+  MechanismValue value;
+  value.average_reduction =
+      Watts{(baseline.value() - actual.value()) / duration.value()};
+  value.savings_fraction =
+      baseline.value() > 0.0 ? 1.0 - actual.value() / baseline.value() : 0.0;
+  value.annual_savings = cost.annual_total_savings(value.average_reduction);
+  value.annual_co2_tons =
+      cost.annual_co2_savings_tons(value.average_reduction);
+  return value;
 }
 
 Dollars CostModel::annual_electricity_savings(Watts reduction) const {

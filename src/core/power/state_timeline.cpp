@@ -1,0 +1,185 @@
+#include "netpp/power/state_timeline.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace netpp {
+
+PowerStateTimeline::PowerStateTimeline(int num_components,
+                                       TransitionRules rules, Seconds start)
+    : rules_(rules), now_(start.value()) {
+  if (num_components < 1) {
+    throw std::invalid_argument(
+        "PowerStateTimeline: needs at least one component");
+  }
+  if (rules_.wake_latency.value() < 0.0) {
+    throw std::invalid_argument(
+        "PowerStateTimeline: wake latency must be non-negative");
+  }
+  if (rules_.min_dwell.value() < 0.0) {
+    throw std::invalid_argument(
+        "PowerStateTimeline: min dwell must be non-negative");
+  }
+  if (rules_.level_hysteresis < 0.0) {
+    throw std::invalid_argument(
+        "PowerStateTimeline: level hysteresis must be non-negative");
+  }
+  tracks_.resize(static_cast<std::size_t>(num_components));
+  dwell_anchor_.assign(static_cast<std::size_t>(num_components), now_);
+}
+
+void PowerStateTimeline::set_power_model(PowerFn actual, PowerFn baseline) {
+  power_fn_ = std::move(actual);
+  baseline_fn_ = std::move(baseline);
+}
+
+int PowerStateTimeline::count(PowerState state) const {
+  int n = 0;
+  for (const auto& t : tracks_) n += t.state == state ? 1 : 0;
+  return n;
+}
+
+int PowerStateTimeline::provisioned() const {
+  return count(PowerState::kOn) + static_cast<int>(pending_.size());
+}
+
+void PowerStateTimeline::set_load(int component, double load) {
+  tracks_[static_cast<std::size_t>(component)].load = load;
+}
+
+void PowerStateTimeline::set_level(int component, double level) {
+  tracks_[static_cast<std::size_t>(component)].level = level;
+  dwell_anchor_[static_cast<std::size_t>(component)] = now_;
+}
+
+void PowerStateTimeline::request_on(int component) {
+  auto& track = tracks_[static_cast<std::size_t>(component)];
+  if (track.state == PowerState::kOn || track.state == PowerState::kWaking) {
+    return;
+  }
+  ++wakes_;
+  if (rules_.wake_latency.value() == 0.0) {
+    track.state = PowerState::kOn;
+  } else {
+    track.state = PowerState::kWaking;
+    pending_.push_back(
+        PendingWake{component, now_ + rules_.wake_latency.value()});
+  }
+}
+
+int PowerStateTimeline::wake_one() {
+  for (std::size_t c = 0; c < tracks_.size(); ++c) {
+    if (tracks_[c].state == PowerState::kOff ||
+        tracks_[c].state == PowerState::kSleep) {
+      request_on(static_cast<int>(c));
+      return static_cast<int>(c);
+    }
+  }
+  return -1;
+}
+
+void PowerStateTimeline::request_off(int component, PowerState target) {
+  auto& track = tracks_[static_cast<std::size_t>(component)];
+  if (track.state == target) return;
+  if (track.state == PowerState::kWaking) {
+    throw std::logic_error(
+        "PowerStateTimeline: cancel the pending wake before parking a "
+        "waking component");
+  }
+  track.state = target;
+  ++parks_;
+}
+
+int PowerStateTimeline::park_one() {
+  for (std::size_t c = tracks_.size(); c-- > 0;) {
+    if (tracks_[c].state == PowerState::kOn) {
+      request_off(static_cast<int>(c));
+      return static_cast<int>(c);
+    }
+  }
+  return -1;
+}
+
+bool PowerStateTimeline::cancel_last_wake() {
+  if (pending_.empty()) return false;
+  const PendingWake wake = pending_.back();
+  pending_.pop_back();
+  tracks_[static_cast<std::size_t>(wake.component)].state = PowerState::kOff;
+  --wakes_;  // never happened
+  return true;
+}
+
+bool PowerStateTimeline::request_level(int component, double level) {
+  auto& track = tracks_[static_cast<std::size_t>(component)];
+  auto& anchor = dwell_anchor_[static_cast<std::size_t>(component)];
+  if (level == track.level) {
+    anchor = now_;  // the current level is exactly sufficient
+    return false;
+  }
+  if (level > track.level) {
+    // Upward moves always apply: load must be served.
+    track.level = level;
+    anchor = now_;
+    ++level_changes_;
+    return true;
+  }
+  // Downward: honor the hysteresis band, then the dwell.
+  if (rules_.level_hysteresis > 0.0 &&
+      !(track.level - level > rules_.level_hysteresis)) {
+    return false;
+  }
+  if (rules_.min_dwell.value() > 0.0 &&
+      now_ - anchor < rules_.min_dwell.value()) {
+    return false;
+  }
+  track.level = level;
+  anchor = now_;
+  ++level_changes_;
+  return true;
+}
+
+double PowerStateTimeline::next_event() const {
+  double earliest = std::numeric_limits<double>::infinity();
+  for (const auto& wake : pending_) {
+    earliest = earliest < wake.deadline ? earliest : wake.deadline;
+  }
+  return earliest;
+}
+
+void PowerStateTimeline::advance_to(Seconds t) {
+  const double target = t.value();
+  if (target < now_) {
+    throw std::invalid_argument("PowerStateTimeline: time must be monotone");
+  }
+  const double dt = target - now_;
+
+  if (power_fn_) energy_j_ += power_fn_(tracks_).value() * dt;
+  if (baseline_fn_) baseline_j_ += baseline_fn_(tracks_).value() * dt;
+
+  std::array<int, kNumPowerStates> counts{};
+  double level_sum = 0.0;
+  for (const auto& track : tracks_) {
+    ++counts[static_cast<std::size_t>(track.state)];
+    level_sum += track.level;
+  }
+  for (std::size_t s = 0; s < kNumPowerStates; ++s) {
+    residency_[s] += counts[s] * dt;
+  }
+  level_time_ += (level_sum / static_cast<double>(tracks_.size())) * dt;
+
+  now_ = target;
+
+  // Complete wakes due at (or epsilon-before) the new time, in request
+  // order. Completion is not a counted transition — the wake was counted
+  // when requested.
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->deadline <= now_ + 1e-15) {
+      tracks_[static_cast<std::size_t>(it->component)].state = PowerState::kOn;
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace netpp

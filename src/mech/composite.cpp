@@ -1,0 +1,343 @@
+#include "netpp/mech/composite.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "netpp/mech/trace_recorder.h"
+#include "netpp/topo/routing.h"
+
+namespace netpp {
+
+StackedSwitchPolicy::StackedSwitchPolicy(ParkingConfig parking,
+                                         RateAdaptConfig rate, Stages stages)
+    : parking_(std::move(parking)),
+      rate_(std::move(rate)),
+      stages_(stages),
+      pipes_(parking_.model.config().num_pipelines),
+      ports_(static_cast<std::size_t>(parking_.model.config().num_ports),
+             PortState{}),
+      channel_loads_(static_cast<std::size_t>(pipes_), 0.0) {
+  if (parking_.min_active < 1 || parking_.min_active > pipes_) {
+    throw std::invalid_argument("min_active must be in [1, num_pipelines]");
+  }
+  if (parking_.wake_latency.value() < 0.0) {
+    throw std::invalid_argument("wake latency must be non-negative");
+  }
+  if (stages_.park && (parking_.hi_threshold <= 0.0 ||
+                       parking_.hi_threshold > 1.0 ||
+                       parking_.lo_threshold < 0.0 ||
+                       parking_.lo_threshold >= parking_.hi_threshold)) {
+    throw std::invalid_argument(
+        "ParkingConfig: need 0 <= lo_threshold < hi_threshold <= 1");
+  }
+  if (stages_.rate_adapt &&
+      (rate_.min_frequency <= 0.0 || rate_.min_frequency > 1.0)) {
+    throw std::invalid_argument("min_frequency must be in (0, 1]");
+  }
+  if (stages_.rate_adapt && rate_.headroom < 0.0) {
+    throw std::invalid_argument("headroom must be non-negative");
+  }
+  if (rate_.model.config().num_pipelines != pipes_) {
+    throw std::invalid_argument(
+        "StackedSwitchPolicy: parking and rate models must agree on the "
+        "pipeline count");
+  }
+}
+
+std::string_view StackedSwitchPolicy::name() const {
+  if (stages_.park && stages_.rate_adapt) return "park+rate-adapt";
+  if (stages_.park) return "park";
+  if (stages_.rate_adapt) return "rate-adapt";
+  return "all-on";
+}
+
+PowerStateTimeline StackedSwitchPolicy::make_timeline(const LoadTrace& trace) {
+  if (trace.channels() != pipes_ && trace.channels() != 1) {
+    throw std::invalid_argument(
+        "StackedSwitchPolicy: trace needs one channel per pipeline (or a "
+        "single aggregate channel)");
+  }
+  PowerStateTimeline timeline{
+      pipes_,
+      TransitionRules{stages_.park ? parking_.wake_latency : Seconds{0.0},
+                      Seconds{0.0},
+                      stages_.rate_adapt ? rate_.hysteresis : 0.0},
+      trace.times.front()};
+  timeline.set_power_model(
+      // Powered pipelines at their (possibly adapted) clock and
+      // (possibly concentrated) load; waking pipelines draw idle power;
+      // parked pipelines draw nothing. The circuit switch only exists — and
+      // only draws — when parking is stacked.
+      [this](std::span<const ComponentTrack> tracks) {
+        std::vector<PipelineState> states;
+        states.reserve(static_cast<std::size_t>(pipes_));
+        for (const auto& track : tracks) {
+          if (track.state == PowerState::kOn) {
+            states.push_back(PipelineState{true, track.level, track.load});
+          } else if (track.state == PowerState::kWaking) {
+            states.push_back(PipelineState{true, 1.0, 0.0});
+          } else {
+            states.push_back(PipelineState{false, 1.0, 0.0});
+          }
+        }
+        Watts power = parking_.model.total_power(states, ports_);
+        if (stages_.park) power = power + parking_.circuit_switch_power;
+        return power;
+      },
+      // Baseline: every pipeline on at nominal clock and full lanes,
+      // carrying its raw channel load.
+      [this](std::span<const ComponentTrack> /*tracks*/) {
+        std::vector<PipelineState> states;
+        states.reserve(static_cast<std::size_t>(pipes_));
+        for (int p = 0; p < pipes_; ++p) {
+          states.push_back(PipelineState{
+              true, 1.0, channel_loads_[static_cast<std::size_t>(p)]});
+        }
+        return parking_.model.total_power(states, ports_);
+      });
+  return timeline;
+}
+
+void StackedSwitchPolicy::observe(const LoadSegment& seg,
+                                  PowerStateTimeline& timeline) {
+  const bool per_pipe = static_cast<int>(seg.loads.size()) == pipes_;
+  double sum = 0.0;
+  for (double load : seg.loads) sum += load;
+  offered_ = sum / static_cast<double>(seg.loads.size());
+  for (int p = 0; p < pipes_; ++p) {
+    channel_loads_[static_cast<std::size_t>(p)] =
+        per_pipe ? seg.loads[static_cast<std::size_t>(p)] : offered_;
+  }
+
+  // Stage 1 — parking decides the powered set from the aggregate load
+  // (same reactive fixed-point as ReactiveParkingPolicy).
+  if (stages_.park) {
+    for (int guard = 0; guard <= pipes_; ++guard) {
+      const int provisioned = timeline.provisioned();
+      const int target = std::clamp(
+          detail::reactive_parking_target(parking_, pipes_, offered_,
+                                          provisioned),
+          parking_.min_active, pipes_);
+      if (target == provisioned) break;
+      if (target > provisioned) {
+        for (int k = provisioned; k < target; ++k) timeline.wake_one();
+      } else {
+        int excess = provisioned - target;
+        while (excess > 0 && timeline.cancel_last_wake()) --excess;
+        while (excess > 0 &&
+               timeline.count(PowerState::kOn) > parking_.min_active) {
+          timeline.park_one();
+          --excess;
+        }
+      }
+    }
+  }
+
+  // Stage 2 — load placement and rate adaptation on the powered set. With
+  // parking, the circuit switch concentrates the whole offered load onto
+  // the active pipelines; without it, every pipeline carries its own
+  // channel.
+  const auto target_frequency = [this](double load) {
+    return std::clamp(load * (1.0 + rate_.headroom), rate_.min_frequency,
+                      1.0);
+  };
+  if (stages_.park) {
+    const int active = timeline.count(PowerState::kOn);
+    const double capacity_frac = static_cast<double>(active) / pipes_;
+    const double served = std::min(offered_, capacity_frac);
+    const double concentrated =
+        active > 0 ? std::min(1.0, served * pipes_ / active) : 0.0;
+    for (int p = 0; p < pipes_; ++p) {
+      if (timeline.track(p).state == PowerState::kOn) {
+        timeline.set_load(p, concentrated);
+        if (stages_.rate_adapt) {
+          timeline.request_level(p, target_frequency(concentrated));
+        }
+      } else {
+        timeline.set_load(p, 0.0);
+      }
+    }
+  } else {
+    for (int p = 0; p < pipes_; ++p) {
+      const double load = channel_loads_[static_cast<std::size_t>(p)];
+      timeline.set_load(p, load);
+      if (stages_.rate_adapt) {
+        timeline.request_level(p, target_frequency(load));
+      }
+    }
+  }
+}
+
+double StackedSwitchPolicy::capacity_fraction(
+    const PowerStateTimeline& timeline) const {
+  return static_cast<double>(timeline.count(PowerState::kOn)) / pipes_;
+}
+
+namespace {
+
+/// One FlowSimulator run of the workload with `disabled` switches off;
+/// records every switch's per-pipeline load trace.
+struct FabricRun {
+  SimEngine engine;
+  Router router;
+  FlowSimulator sim;
+  NodeLoadRecorder recorder;
+
+  FabricRun(const BuiltTopology& topo, const std::vector<FlowSpec>& workload,
+            const std::vector<NodeId>& disabled)
+      : router(topo.graph),
+        sim(topo.graph, router, engine),
+        recorder(sim, topo.switches) {
+    for (NodeId off : disabled) sim.set_node_enabled(off, false);
+    sim.set_load_listener(recorder.listener());
+    recorder.sample(Seconds{0.0});
+    for (const auto& flow : workload) sim.submit(flow);
+    engine.run();
+  }
+
+  [[nodiscard]] double makespan() const { return engine.now().value(); }
+};
+
+struct StageTotals {
+  double energy_j = 0.0;
+  double baseline_j = 0.0;
+  std::size_t wakes = 0;
+  std::size_t parks = 0;
+  std::size_t levels = 0;
+  double dropped_bits = 0.0;
+};
+
+StageTotals run_stage(const std::map<NodeId, LoadTrace>& traces,
+                      const std::vector<NodeId>& powered,
+                      const CompositeConfig& config, bool park, bool rate) {
+  StageTotals totals;
+  for (NodeId sw : powered) {
+    StackedSwitchPolicy policy{config.parking, config.rate,
+                               StackedSwitchPolicy::Stages{park, rate}};
+    const MechanismReport report = run_mechanism(traces.at(sw), policy);
+    totals.energy_j += report.energy.value();
+    totals.baseline_j += report.baseline_energy.value();
+    totals.wakes += report.wake_transitions;
+    totals.parks += report.park_transitions;
+    totals.levels += report.level_transitions;
+    totals.dropped_bits += report.dropped.value();
+  }
+  return totals;
+}
+
+}  // namespace
+
+CompositeReport run_composite(const BuiltTopology& topology,
+                              const std::vector<FlowSpec>& workload,
+                              const std::vector<TrafficDemand>& demands,
+                              Seconds horizon, const CompositeConfig& config) {
+  if (horizon.value() <= 0.0) {
+    throw std::invalid_argument("run_composite: horizon must be positive");
+  }
+  if (topology.switches.empty()) {
+    throw std::invalid_argument("run_composite: topology has no switches");
+  }
+  const int pipes = config.parking.model.config().num_pipelines;
+
+  CompositeReport report;
+  report.switches_total = topology.switches.size();
+
+  // Static stage first: tailoring decides which switches are powered, and
+  // therefore which fabric the dynamic stages observe.
+  std::vector<NodeId> powered = topology.switches;
+  if (config.tailor) {
+    report.tailoring = tailor_topology(topology, demands, config.tailor_config);
+    if (!report.tailoring.powered_off.empty()) {
+      powered = report.tailoring.powered_on;
+    }
+  }
+  const bool tailored = config.tailor && !report.tailoring.powered_off.empty();
+
+  // Simulate the workload on the full fabric (baseline + dynamic-only
+  // stages) and, when tailoring bites, on the tailored fabric (survivors
+  // carry the rerouted traffic). Both runs share one energy window.
+  const FabricRun full_run{topology, workload, {}};
+  std::unique_ptr<FabricRun> tailored_run;
+  if (tailored) {
+    tailored_run = std::make_unique<FabricRun>(topology, workload,
+                                               report.tailoring.powered_off);
+  }
+  double end_s = std::max(horizon.value(), full_run.makespan() + 1e-9);
+  if (tailored_run) {
+    end_s = std::max(end_s, tailored_run->makespan() + 1e-9);
+  }
+  const Seconds end{end_s};
+  report.horizon = end;
+
+  std::map<NodeId, LoadTrace> full_traces;
+  std::map<NodeId, LoadTrace> tailored_traces;
+  for (NodeId sw : topology.switches) {
+    full_traces.emplace(sw, full_run.recorder.load_trace(sw, pipes, end));
+    if (tailored_run) {
+      tailored_traces.emplace(
+          sw, tailored_run->recorder.load_trace(sw, pipes, end));
+    }
+  }
+  const auto& stack_traces = tailored ? tailored_traces : full_traces;
+
+  // All-on baseline over the full fabric.
+  const StageTotals baseline =
+      run_stage(full_traces, topology.switches, config, false, false);
+  report.baseline_energy = Joules{baseline.energy_j};
+
+  const double ocs_energy_j =
+      tailored ? config.ocs.config().ocs_power.value() * config.num_ocs_devices *
+                     end.value()
+               : 0.0;
+
+  const auto add_single = [&](std::string name, double energy_j) {
+    CompositeStageResult single;
+    single.name = std::move(name);
+    single.energy = Joules{energy_j};
+    single.savings = baseline.energy_j > 0.0
+                         ? 1.0 - energy_j / baseline.energy_j
+                         : 0.0;
+    report.best_single_savings =
+        std::max(report.best_single_savings, single.savings);
+    report.singles.push_back(std::move(single));
+  };
+
+  // Each enabled mechanism alone, against the same baseline.
+  if (config.tailor) {
+    const StageTotals alone =
+        tailored ? run_stage(tailored_traces, powered, config, false, false)
+                 : baseline;
+    add_single("tailoring", alone.energy_j + ocs_energy_j);
+  }
+  if (config.park) {
+    const StageTotals alone =
+        run_stage(full_traces, topology.switches, config, true, false);
+    add_single("parking", alone.energy_j);
+  }
+  if (config.rate_adapt) {
+    const StageTotals alone =
+        run_stage(full_traces, topology.switches, config, false, true);
+    add_single("rate-adaptation", alone.energy_j);
+  }
+
+  // The full enabled stack.
+  const StageTotals stacked = run_stage(stack_traces, powered, config,
+                                        config.park, config.rate_adapt);
+  const double combined_j = stacked.energy_j + ocs_energy_j;
+  report.energy = Joules{combined_j};
+  report.combined_savings = baseline.energy_j > 0.0
+                                ? 1.0 - combined_j / baseline.energy_j
+                                : 0.0;
+  report.wake_transitions = stacked.wakes;
+  report.park_transitions = stacked.parks;
+  report.level_transitions = stacked.levels;
+  report.dropped = Bits{stacked.dropped_bits};
+  report.average_power = Watts{combined_j / end.value()};
+  report.baseline_average_power = Watts{baseline.energy_j / end.value()};
+  return report;
+}
+
+}  // namespace netpp

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace netpp {
 namespace {
@@ -18,88 +19,97 @@ double pick_step(const std::vector<double>& ladder, double needed_gbps) {
 
 }  // namespace
 
+DownratePolicy::DownratePolicy(DownrateConfig config)
+    : config_(std::move(config)) {
+  if (config_.ladder.empty()) {
+    throw std::invalid_argument("speed ladder must not be empty");
+  }
+  if (!std::is_sorted(config_.ladder.begin(), config_.ladder.end())) {
+    throw std::invalid_argument("speed ladder must be ascending");
+  }
+  for (double s : config_.ladder) {
+    if (s <= 0.0) throw std::invalid_argument("ladder speeds must be positive");
+  }
+  if (std::fabs(config_.ladder.back() - config_.nominal.value()) > 1e-9) {
+    throw std::invalid_argument("ladder must top out at the nominal speed");
+  }
+  if (config_.gating_effectiveness < 0.0 ||
+      config_.gating_effectiveness > 1.0) {
+    throw std::invalid_argument("gating effectiveness must be in [0, 1]");
+  }
+  if (config_.headroom < 0.0) {
+    throw std::invalid_argument("headroom must be non-negative");
+  }
+  nominal_power_w_ =
+      config_.end_power.at(config_.nominal).value() * 2.0;  // both ends
+}
+
+PowerStateTimeline DownratePolicy::make_timeline(const LoadTrace& trace) {
+  PowerStateTimeline timeline{
+      1, TransitionRules{Seconds{0.0}, config_.down_dwell, 0.0},
+      trace.times.front()};
+  timeline.set_level(0, config_.nominal.value());
+  // Per-end power at a step, degraded by gating effectiveness: the realized
+  // power is nominal_power - effectiveness * (nominal_power - step_power).
+  timeline.set_power_model([this](std::span<const ComponentTrack> tracks) {
+    const double ideal =
+        config_.end_power.at(Gbps{tracks[0].level}).value() * 2.0;
+    return Watts{nominal_power_w_ -
+                 config_.gating_effectiveness * (nominal_power_w_ - ideal)};
+  });
+  return timeline;
+}
+
+void DownratePolicy::observe(const LoadSegment& seg,
+                             PowerStateTimeline& timeline) {
+  const double load_gbps = seg.loads[0] * config_.nominal.value();
+  const double wanted =
+      pick_step(config_.ladder, load_gbps * (1.0 + config_.headroom));
+  // Upward steps apply immediately (load must be served); downward steps
+  // wait out the dwell — both are the timeline's rules. Every applied step
+  // costs a renegotiation outage.
+  if (timeline.request_level(0, wanted)) {
+    outage_time_ += config_.transition_outage.value();
+  }
+  timeline.set_load(0, seg.loads[0]);
+}
+
+void DownratePolicy::on_interval(Seconds t0, Seconds t1,
+                                 const LoadSegment& seg,
+                                 const PowerStateTimeline& timeline) {
+  const double load_gbps = seg.loads[0] * config_.nominal.value();
+  if (load_gbps > timeline.track(0).level + 1e-9) {
+    violation_time_ += (t1 - t0).value();
+  }
+}
+
+void DownratePolicy::finish(const LoadTrace& trace,
+                            const PowerStateTimeline& /*timeline*/,
+                            MechanismReport& report) {
+  // The do-nothing baseline is the nominal draw for the whole duration
+  // (one-shot, not integrated, so it is exact).
+  const double duration = trace.duration().value();
+  report.baseline_energy = Joules{nominal_power_w_ * duration};
+  report.savings =
+      report.baseline_energy.value() > 0.0
+          ? 1.0 - report.energy.value() / report.baseline_energy.value()
+          : 0.0;
+}
+
 DownrateResult simulate_downrating(const AggregateLoadTrace& trace,
                                    const DownrateConfig& config) {
   trace.validate();
-  if (config.ladder.empty()) {
-    throw std::invalid_argument("speed ladder must not be empty");
-  }
-  if (!std::is_sorted(config.ladder.begin(), config.ladder.end())) {
-    throw std::invalid_argument("speed ladder must be ascending");
-  }
-  for (double s : config.ladder) {
-    if (s <= 0.0) throw std::invalid_argument("ladder speeds must be positive");
-  }
-  if (std::fabs(config.ladder.back() - config.nominal.value()) > 1e-9) {
-    throw std::invalid_argument("ladder must top out at the nominal speed");
-  }
-  if (config.gating_effectiveness < 0.0 ||
-      config.gating_effectiveness > 1.0) {
-    throw std::invalid_argument("gating effectiveness must be in [0, 1]");
-  }
-  if (config.headroom < 0.0) {
-    throw std::invalid_argument("headroom must be non-negative");
-  }
-
-  // Per-end power at a step, degraded by gating effectiveness: the realized
-  // power is nominal_power - effectiveness * (nominal_power - step_power).
-  const double nominal_power_w =
-      config.end_power.at(config.nominal).value() * 2.0;  // both ends
-  const auto power_at = [&](double step) {
-    const double ideal = config.end_power.at(Gbps{step}).value() * 2.0;
-    return nominal_power_w -
-           config.gating_effectiveness * (nominal_power_w - ideal);
-  };
+  DownratePolicy policy{config};
+  const MechanismReport report = run_mechanism(trace.to_load_trace(), policy);
 
   DownrateResult result;
-  double speed = config.nominal.value();
-  double sufficient_since = trace.times.front().value();  // for down-dwell
-  double energy = 0.0;
-  double speed_time = 0.0;
-
-  const double t_end = trace.end.value();
-  for (std::size_t i = 0; i < trace.times.size(); ++i) {
-    const double seg_start = trace.times[i].value();
-    const double seg_end =
-        (i + 1 < trace.times.size()) ? trace.times[i + 1].value() : t_end;
-    const double load_gbps = trace.loads[i] * config.nominal.value();
-    const double wanted =
-        pick_step(config.ladder, load_gbps * (1.0 + config.headroom));
-
-    if (wanted > speed + 1e-12) {
-      // Step up immediately (load must be served).
-      speed = wanted;
-      ++result.transitions;
-      result.outage_time += config.transition_outage;
-      sufficient_since = seg_start;
-    } else if (wanted < speed - 1e-12) {
-      // Step down only after the dwell at a sufficient lower step.
-      if (seg_start - sufficient_since >= config.down_dwell.value()) {
-        speed = wanted;
-        ++result.transitions;
-        result.outage_time += config.transition_outage;
-        sufficient_since = seg_start;
-      }
-    } else {
-      sufficient_since = seg_start;
-    }
-
-    const double dt = seg_end - seg_start;
-    energy += power_at(speed) * dt;
-    speed_time += speed * dt;
-    if (load_gbps > speed + 1e-9) {
-      result.violation_time += Seconds{dt};
-    }
-  }
-
-  const double duration = trace.duration().value();
-  result.energy = Joules{energy};
-  result.nominal_energy = Joules{nominal_power_w * duration};
-  result.savings_fraction =
-      result.nominal_energy.value() > 0.0
-          ? 1.0 - energy / result.nominal_energy.value()
-          : 0.0;
-  result.mean_speed = Gbps{speed_time / duration};
+  result.energy = report.energy;
+  result.nominal_energy = report.baseline_energy;
+  result.savings_fraction = report.savings;
+  result.transitions = report.level_transitions;
+  result.violation_time = policy.violation_time();
+  result.outage_time = policy.outage_time();
+  result.mean_speed = Gbps{report.mean_level};
   return result;
 }
 

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "netpp/power/state_timeline.h"
+
 namespace netpp {
 namespace {
 
@@ -55,8 +57,12 @@ EeeResult simulate_eee_link(const EeeConfig& config,
   EeeResult result;
   result.frames = frames.size();
 
-  double t_free = 0.0;   // link has drained all accepted work
-  double lpi_time = 0.0;
+  // The link is one timeline component alternating kOn <-> kSleep; the wake
+  // time is lumped into the active period (the link draws active power while
+  // waking). LPI residency and wake counts come from the timeline.
+  PowerStateTimeline link{1, TransitionRules{}};
+
+  double t_free = 0.0;  // link has drained all accepted work
   std::vector<double> departs(frames.size());
 
   std::size_t i = 0;
@@ -86,8 +92,10 @@ EeeResult simulate_eee_link(const EeeConfig& config,
         }
         wake_start = std::isfinite(trigger) ? trigger : a;
       }
-      lpi_time += wake_start - sleep_begin;
-      ++result.wake_transitions;
+      link.advance_to(Seconds{sleep_begin});
+      link.request_off(0, PowerState::kSleep);
+      link.advance_to(Seconds{wake_start});
+      link.request_on(0);
       t_free = wake_start + tw;
     }
     const double start = std::max(a, t_free);
@@ -102,8 +110,13 @@ EeeResult simulate_eee_link(const EeeConfig& config,
   }
   const double tail_sleep = t_free + ts;
   if (horizon.value() > tail_sleep) {
-    lpi_time += horizon.value() - tail_sleep;
+    link.advance_to(Seconds{tail_sleep});
+    link.request_off(0, PowerState::kSleep);
   }
+  link.advance_to(horizon);
+
+  const double lpi_time = link.residency(PowerState::kSleep).value();
+  result.wake_transitions = link.wake_transitions();
 
   const double active_time = horizon.value() - lpi_time;
   result.energy =

@@ -1,0 +1,157 @@
+#include "netpp/mech/load_trace.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace netpp {
+
+namespace detail {
+
+void validate_segment_timing(const char* type_name,
+                             const std::vector<Seconds>& times,
+                             std::size_t num_segments, Seconds end) {
+  const std::string name{type_name};
+  if (times.empty() || times.size() != num_segments) {
+    throw std::invalid_argument(
+        name + ": needs matching, non-empty times and loads");
+  }
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    if (!std::isfinite(times[i].value())) {
+      throw std::invalid_argument(name + ": times must be finite");
+    }
+    if (i > 0 && times[i] <= times[i - 1]) {
+      throw std::invalid_argument(name +
+                                  ": times must be strictly increasing");
+    }
+  }
+  if (!std::isfinite(end.value()) || end <= times.back()) {
+    throw std::invalid_argument(
+        name + ": end must be finite and after the last segment");
+  }
+}
+
+void validate_load_fraction(const char* type_name, double load) {
+  // isfinite guards NaN, which would sail through the range comparison.
+  if (!std::isfinite(load) || load < 0.0 || load > 1.0) {
+    throw std::invalid_argument(std::string{type_name} +
+                                ": loads must be finite and in [0, 1]");
+  }
+}
+
+}  // namespace detail
+
+void LoadTrace::validate() const {
+  detail::validate_segment_timing("LoadTrace", times, loads.size(), end);
+  const std::size_t arity = loads.front().size();
+  if (arity == 0) {
+    throw std::invalid_argument("LoadTrace: needs at least one channel");
+  }
+  for (const auto& segment : loads) {
+    if (segment.size() != arity) {
+      throw std::invalid_argument(
+          "LoadTrace: every segment needs the same channel count");
+    }
+    for (double load : segment) {
+      detail::validate_load_fraction("LoadTrace", load);
+    }
+  }
+}
+
+LoadTrace LoadTrace::resampled(Seconds step) const {
+  validate();
+  if (!std::isfinite(step.value()) || step.value() <= 0.0) {
+    throw std::invalid_argument(
+        "LoadTrace: resampling step must be finite and positive");
+  }
+  LoadTrace out;
+  out.end = end;
+  const double start = times.front().value();
+  std::size_t seg = 0;
+  for (double t = start; t < end.value(); t += step.value()) {
+    while (seg + 1 < times.size() && times[seg + 1].value() <= t) ++seg;
+    out.times.push_back(Seconds{t});
+    out.loads.push_back(loads[seg]);
+  }
+  return out;
+}
+
+double LoadTrace::load_at(Seconds t, int channel) const {
+  std::size_t seg = 0;
+  while (seg + 1 < times.size() && times[seg + 1] <= t) ++seg;
+  return loads[seg][static_cast<std::size_t>(channel)];
+}
+
+double LoadTrace::aggregate_at(Seconds t) const {
+  std::size_t seg = 0;
+  while (seg + 1 < times.size() && times[seg + 1] <= t) ++seg;
+  double sum = 0.0;
+  for (double load : loads[seg]) sum += load;
+  return sum / static_cast<double>(loads[seg].size());
+}
+
+void AggregateLoadTrace::validate() const {
+  detail::validate_segment_timing("AggregateLoadTrace", times, loads.size(),
+                                  end);
+  for (double load : loads) {
+    detail::validate_load_fraction("AggregateLoadTrace", load);
+  }
+}
+
+LoadTrace AggregateLoadTrace::to_load_trace() const {
+  LoadTrace trace;
+  trace.times = times;
+  trace.end = end;
+  trace.loads.reserve(loads.size());
+  for (double load : loads) trace.loads.push_back({load});
+  return trace;
+}
+
+AggregateLoadTrace AggregateLoadTrace::from_load_trace(
+    const LoadTrace& trace) {
+  trace.validate();
+  AggregateLoadTrace out;
+  out.times = trace.times;
+  out.end = trace.end;
+  out.loads.reserve(trace.loads.size());
+  for (const auto& segment : trace.loads) {
+    double sum = 0.0;
+    for (double load : segment) sum += load;
+    out.loads.push_back(sum / static_cast<double>(segment.size()));
+  }
+  return out;
+}
+
+void PipelineLoadTrace::validate(int num_pipelines) const {
+  detail::validate_segment_timing("PipelineLoadTrace", times,
+                                  pipeline_loads.size(), end);
+  for (const auto& segment : pipeline_loads) {
+    if (segment.size() != static_cast<std::size_t>(num_pipelines)) {
+      throw std::invalid_argument(
+          "PipelineLoadTrace: segment arity != pipeline count");
+    }
+    for (double load : segment) {
+      detail::validate_load_fraction("PipelineLoadTrace", load);
+    }
+  }
+}
+
+Seconds PipelineLoadTrace::duration() const { return end - times.front(); }
+
+LoadTrace PipelineLoadTrace::to_load_trace() const {
+  LoadTrace trace;
+  trace.times = times;
+  trace.loads = pipeline_loads;
+  trace.end = end;
+  return trace;
+}
+
+PipelineLoadTrace PipelineLoadTrace::from_load_trace(const LoadTrace& trace) {
+  trace.validate();
+  PipelineLoadTrace out;
+  out.times = trace.times;
+  out.pipeline_loads = trace.loads;
+  out.end = trace.end;
+  return out;
+}
+
+}  // namespace netpp

@@ -1,0 +1,125 @@
+#include "netpp/mech/mechanism.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace netpp {
+
+double MechanismPolicy::offered_fraction(const LoadSegment& seg) const {
+  double sum = 0.0;
+  for (double load : seg.loads) sum += load;
+  return sum / static_cast<double>(seg.loads.size());
+}
+
+MechanismReport run_mechanism(SimEngine& engine, const LoadTrace& trace,
+                              MechanismPolicy& policy) {
+  trace.validate();
+  PowerStateTimeline timeline = policy.make_timeline(trace);
+
+  const double t_end = trace.end.value();
+  const bool buffering = policy.models_buffering();
+  const double cap_bps = policy.nominal_capacity_bps();
+
+  std::size_t seg = 0;
+  double t = trace.times.front().value();
+  double buffer_bits = 0.0;
+
+  MechanismReport report;
+  report.mechanism = std::string{policy.name()};
+
+  // One self-rearming engine event per integration interval. The interval
+  // ends at the nearest of: the next trace boundary, the earliest pending
+  // wake completion, the next policy breakpoint, or the buffer draining
+  // empty.
+  std::function<void()> step = [&] {
+    while (seg + 1 < trace.times.size() &&
+           trace.times[seg + 1].value() <= t + 1e-15) {
+      ++seg;
+    }
+    const LoadSegment segment{Seconds{t}, trace.times[seg],
+                              trace.segment_end(seg), seg, trace.loads[seg]};
+    policy.observe(segment, timeline);
+
+    double t_next = t_end;
+    if (seg + 1 < trace.times.size()) {
+      t_next = std::min(t_next, trace.times[seg + 1].value());
+    }
+    t_next = std::min(t_next, timeline.next_event());
+    t_next = std::min(t_next, policy.next_breakpoint(t));
+
+    double offered = 0.0;
+    double capacity_frac = 1.0;
+    double surplus = 0.0;
+    if (buffering) {
+      offered = policy.offered_fraction(segment);
+      capacity_frac = policy.capacity_fraction(timeline);
+      surplus = capacity_frac - offered;  // fraction of device capacity
+      if (buffer_bits > 0.0 && surplus > 0.0) {
+        const double drain_time = buffer_bits / (surplus * cap_bps);
+        t_next = std::min(t_next, t + drain_time);
+      }
+    }
+    if (t_next <= t) t_next = std::min(t_end, t + 1e-12);  // fp guard
+    const double dt = t_next - t;
+
+    if (buffering) {
+      // Evolve the shortfall buffer; overflow is loss.
+      if (surplus >= 0.0) {
+        const double drained = std::min(buffer_bits, surplus * cap_bps * dt);
+        buffer_bits -= drained;
+      } else {
+        buffer_bits += (-surplus) * cap_bps * dt;
+        const double cap = policy.buffer_capacity().value();
+        if (buffer_bits > cap) {
+          report.dropped += Bits{buffer_bits - cap};
+          buffer_bits = cap;
+        }
+      }
+      report.max_buffered = std::max(report.max_buffered, Bits{buffer_bits});
+      if (capacity_frac > 0.0 && buffer_bits > 0.0) {
+        report.max_added_delay =
+            std::max(report.max_added_delay,
+                     Seconds{buffer_bits / (capacity_frac * cap_bps)});
+      }
+    }
+
+    // Integrate [t, t_next) and complete wakes due at t_next.
+    timeline.advance_to(Seconds{t_next});
+    policy.on_interval(Seconds{t}, Seconds{t_next}, segment, timeline);
+
+    t = t_next;
+    if (t < t_end) engine.schedule_at(Seconds{t}, step);
+  };
+
+  if (t < t_end) engine.schedule_at(Seconds{t}, step);
+  engine.run_until(trace.end);
+
+  const double duration = trace.duration().value();
+  const double energy_j = timeline.energy().value();
+  const double baseline_j = timeline.baseline_energy().value();
+  report.duration = Seconds{duration};
+  report.energy = timeline.energy();
+  report.baseline_energy = timeline.baseline_energy();
+  report.savings = baseline_j > 0.0 ? 1.0 - energy_j / baseline_j : 0.0;
+  report.average_power = Watts{energy_j / duration};
+  report.wake_transitions = timeline.wake_transitions();
+  report.park_transitions = timeline.park_transitions();
+  report.level_transitions = timeline.level_transitions();
+  for (int s = 0; s < kNumPowerStates; ++s) {
+    report.residency[static_cast<std::size_t>(s)] =
+        timeline.residency(static_cast<PowerState>(s));
+  }
+  report.mean_on_components =
+      timeline.residency(PowerState::kOn).value() / duration;
+  report.mean_level = timeline.mean_level_time() / duration;
+  policy.finish(trace, timeline, report);
+  return report;
+}
+
+MechanismReport run_mechanism(const LoadTrace& trace,
+                              MechanismPolicy& policy) {
+  SimEngine engine;
+  return run_mechanism(engine, trace, policy);
+}
+
+}  // namespace netpp

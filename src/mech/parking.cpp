@@ -2,221 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
-#include <functional>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 namespace netpp {
 
-void AggregateLoadTrace::validate() const {
-  if (times.empty() || times.size() != loads.size()) {
-    throw std::invalid_argument(
-        "AggregateLoadTrace: needs matching, non-empty times and loads");
-  }
-  for (std::size_t i = 0; i < times.size(); ++i) {
-    if (!std::isfinite(times[i].value())) {
-      throw std::invalid_argument("AggregateLoadTrace: times must be finite");
-    }
-    if (i > 0 && times[i] <= times[i - 1]) {
-      throw std::invalid_argument(
-          "AggregateLoadTrace: times must be strictly increasing");
-    }
-    // isfinite guards NaN, which would sail through the range comparison.
-    if (!std::isfinite(loads[i]) || loads[i] < 0.0 || loads[i] > 1.0) {
-      throw std::invalid_argument(
-          "AggregateLoadTrace: loads must be finite and in [0, 1]");
-    }
-  }
-  if (!std::isfinite(end.value()) || end <= times.back()) {
-    throw std::invalid_argument(
-        "AggregateLoadTrace: end must be finite and after the last segment");
-  }
-}
+namespace detail {
 
-namespace {
-
-constexpr double kInf = std::numeric_limits<double>::infinity();
-
-/// Shared engine: a policy maps (time, offered load) to a desired pipeline
-/// count; the engine handles wake latencies, buffering, loss, and energy.
-ParkingResult run_parking(
-    const AggregateLoadTrace& trace, const ParkingConfig& config,
-    const std::function<int(double t, double offered, int active_or_waking)>&
-        desired_count,
-    const std::vector<double>& policy_breakpoints = {}) {
-  trace.validate();
-  const auto& model = config.model;
-  const int pipes = model.config().num_pipelines;
-  if (config.min_active < 1 || config.min_active > pipes) {
-    throw std::invalid_argument("min_active must be in [1, num_pipelines]");
-  }
-  if (config.wake_latency.value() < 0.0) {
-    throw std::invalid_argument("wake latency must be non-negative");
-  }
-
-  const double cap_bps = config.switch_capacity.bits_per_second();
-  const std::vector<PortState> ports(model.config().num_ports, PortState{});
-
-  ParkingResult result;
-  int active = pipes;                 // start fully powered
-  std::vector<double> wakes;          // completion times of pending wakes
-  double buffer_bits = 0.0;
-  double energy_j = 0.0;
-  double all_on_energy_j = 0.0;
-  double active_time = 0.0;  // integral of active pipeline count
-
-  std::size_t seg = 0;
-  double t = trace.times.front().value();
-  const double t_end = trace.end.value();
-
-  const auto segment_load = [&](double at) {
-    while (seg + 1 < trace.times.size() &&
-           trace.times[seg + 1].value() <= at + 1e-15) {
-      ++seg;
-    }
-    return trace.loads[seg];
-  };
-
-  while (t < t_end) {
-    const double offered = segment_load(t);
-
-    // Let the policy steer, iterating to a fixed point so that policies
-    // that adjust one pipeline per decision (hysteresis-style) converge
-    // within a single breakpoint.
-    for (int guard = 0; guard <= pipes; ++guard) {
-      const int provisioned = active + static_cast<int>(wakes.size());
-      const int target = std::clamp(desired_count(t, offered, provisioned),
-                                    config.min_active, pipes);
-      if (target == provisioned) break;
-      if (target > provisioned) {
-        for (int k = provisioned; k < target; ++k) {
-          wakes.push_back(t + config.wake_latency.value());
-          ++result.wake_transitions;
-        }
-        if (config.wake_latency.value() == 0.0) {
-          active += static_cast<int>(wakes.size());
-          wakes.clear();
-        }
-      } else {
-        // Cancel pending wakes first, then park active pipelines (instant).
-        int excess = provisioned - target;
-        while (excess > 0 && !wakes.empty()) {
-          wakes.pop_back();
-          --excess;
-          --result.wake_transitions;  // never happened
-        }
-        while (excess > 0 && active > config.min_active) {
-          --active;
-          --excess;
-          ++result.park_transitions;
-        }
-      }
-    }
-
-    // Next breakpoint: trace boundary, earliest wake completion, or the
-    // buffer draining to empty.
-    double t_next = t_end;
-    if (seg + 1 < trace.times.size()) {
-      t_next = std::min(t_next, trace.times[seg + 1].value());
-    }
-    for (double w : wakes) t_next = std::min(t_next, w);
-    for (double b : policy_breakpoints) {
-      if (b > t + 1e-15) {
-        t_next = std::min(t_next, b);
-        break;  // breakpoints are sorted
-      }
-    }
-
-    const double capacity_frac = static_cast<double>(active) / pipes;
-    const double surplus = capacity_frac - offered;  // fraction of switch cap
-    if (buffer_bits > 0.0 && surplus > 0.0) {
-      const double drain_time = buffer_bits / (surplus * cap_bps);
-      t_next = std::min(t_next, t + drain_time);
-    }
-    if (t_next <= t) t_next = std::min(t_end, t + 1e-12);  // fp guard
-    const double dt = t_next - t;
-
-    // Evolve the buffer.
-    if (surplus >= 0.0) {
-      const double drained = std::min(buffer_bits, surplus * cap_bps * dt);
-      buffer_bits -= drained;
-    } else {
-      buffer_bits += (-surplus) * cap_bps * dt;
-      const double cap = config.buffer_capacity.value();
-      if (buffer_bits > cap) {
-        result.dropped += Bits{buffer_bits - cap};
-        buffer_bits = cap;
-      }
-    }
-    result.max_buffered =
-        std::max(result.max_buffered, Bits{buffer_bits});
-    if (capacity_frac > 0.0 && buffer_bits > 0.0) {
-      result.max_added_delay =
-          std::max(result.max_added_delay,
-                   Seconds{buffer_bits / (capacity_frac * cap_bps)});
-    }
-
-    // Energy over [t, t_next): `active` pipelines serve min(offered+drain,
-    // capacity); waking pipelines draw idle power (leakage + clock, no
-    // load); parked pipelines draw nothing.
-    const double served_frac = std::min(offered, capacity_frac);
-    std::vector<PipelineState> states;
-    states.reserve(pipes);
-    for (int p = 0; p < pipes; ++p) {
-      if (p < active) {
-        const double pipe_load =
-            active > 0 ? std::min(1.0, served_frac * pipes / active) : 0.0;
-        states.push_back(PipelineState{true, 1.0, pipe_load});
-      } else if (p < active + static_cast<int>(wakes.size())) {
-        states.push_back(PipelineState{true, 1.0, 0.0});  // waking: idle draw
-      } else {
-        states.push_back(PipelineState{false, 1.0, 0.0});  // parked
-      }
-    }
-    energy_j += (model.total_power(states, ports) +
-                 config.circuit_switch_power)
-                    .value() *
-                dt;
-
-    std::vector<PipelineState> all_on(pipes,
-                                      PipelineState{true, 1.0, offered});
-    all_on_energy_j += model.total_power(all_on, ports).value() * dt;
-    active_time += active * dt;
-
-    // Complete wakes due at t_next.
-    t = t_next;
-    for (auto it = wakes.begin(); it != wakes.end();) {
-      if (*it <= t + 1e-15) {
-        ++active;
-        it = wakes.erase(it);
-      } else {
-        ++it;
-      }
-    }
-  }
-
-  const double duration = trace.duration().value();
-  result.energy = Joules{energy_j};
-  result.average_power = Watts{energy_j / duration};
-  result.savings_vs_all_on =
-      all_on_energy_j > 0.0 ? 1.0 - energy_j / all_on_energy_j : 0.0;
-  result.mean_active_pipelines = active_time / duration;
-  return result;
-}
-
-void validate_thresholds(const ParkingConfig& config) {
-  if (config.hi_threshold <= 0.0 || config.hi_threshold > 1.0 ||
-      config.lo_threshold < 0.0 || config.lo_threshold >= config.hi_threshold) {
-    throw std::invalid_argument(
-        "ParkingConfig: need 0 <= lo_threshold < hi_threshold <= 1");
-  }
-}
-
-/// Reactive hysteresis step: wake when the load exceeds hi of provisioned
-/// capacity; park when it would fit under lo of one fewer pipeline.
-int reactive_target(const ParkingConfig& config, int pipes, double offered,
-                    int provisioned) {
+int reactive_parking_target(const ParkingConfig& config, int pipes,
+                            double offered, int provisioned) {
   const double provisioned_frac = static_cast<double>(provisioned) / pipes;
   if (offered > config.hi_threshold * provisioned_frac) {
     // Provision enough to bring utilization under hi.
@@ -229,17 +25,225 @@ int reactive_target(const ParkingConfig& config, int pipes, double offered,
   return provisioned;
 }
 
+}  // namespace detail
+
+namespace {
+
+void validate_thresholds(const ParkingConfig& config) {
+  if (config.hi_threshold <= 0.0 || config.hi_threshold > 1.0 ||
+      config.lo_threshold < 0.0 || config.lo_threshold >= config.hi_threshold) {
+    throw std::invalid_argument(
+        "ParkingConfig: need 0 <= lo_threshold < hi_threshold <= 1");
+  }
+}
+
+ParkingResult to_parking_result(const MechanismReport& report) {
+  ParkingResult result;
+  result.energy = report.energy;
+  result.average_power = report.average_power;
+  result.savings_vs_all_on = report.savings;
+  result.mean_active_pipelines = report.mean_on_components;
+  result.wake_transitions = report.wake_transitions;
+  result.park_transitions = report.park_transitions;
+  result.max_buffered = report.max_buffered;
+  result.dropped = report.dropped;
+  result.max_added_delay = report.max_added_delay;
+  return result;
+}
+
+/// Reactive policy that force-recalls every pipeline inside fault windows
+/// (the rerouted extra load is spliced into the trace by the caller).
+class ResilientParkingPolicy : public ReactiveParkingPolicy {
+ public:
+  ResilientParkingPolicy(ParkingConfig config,
+                         std::vector<EmergencyRecall> recalls)
+      : ReactiveParkingPolicy(std::move(config)),
+        recalls_(std::move(recalls)) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return "parking-reactive-resilient";
+  }
+  [[nodiscard]] std::size_t emergency_wakes() const { return emergency_; }
+
+ protected:
+  [[nodiscard]] int desired_count(double t, double offered,
+                                  int provisioned) override {
+    for (const auto& r : recalls_) {
+      if (t >= r.at.value() - 1e-15 && t < r.until.value() - 1e-15) {
+        // Fault mode: every pipeline is recalled for the window so parked
+        // capacity cannot amplify the failure.
+        if (provisioned < pipes_) {
+          emergency_ += static_cast<std::size_t>(pipes_ - provisioned);
+        }
+        return pipes_;
+      }
+    }
+    return ReactiveParkingPolicy::desired_count(t, offered, provisioned);
+  }
+
+ private:
+  std::vector<EmergencyRecall> recalls_;
+  std::size_t emergency_ = 0;
+};
+
 }  // namespace
+
+ParkingPolicy::ParkingPolicy(ParkingConfig config)
+    : config_(std::move(config)),
+      pipes_(config_.model.config().num_pipelines),
+      ports_(static_cast<std::size_t>(config_.model.config().num_ports),
+             PortState{}) {
+  if (config_.min_active < 1 || config_.min_active > pipes_) {
+    throw std::invalid_argument("min_active must be in [1, num_pipelines]");
+  }
+  if (config_.wake_latency.value() < 0.0) {
+    throw std::invalid_argument("wake latency must be non-negative");
+  }
+}
+
+PowerStateTimeline ParkingPolicy::make_timeline(const LoadTrace& trace) {
+  PowerStateTimeline timeline{
+      pipes_, TransitionRules{config_.wake_latency, Seconds{0.0}, 0.0},
+      trace.times.front()};
+  timeline.set_power_model(
+      // Powered pipelines serve the concentrated load; waking pipelines draw
+      // idle power (leakage + clock, no load); parked pipelines draw nothing.
+      // The circuit switch's own overhead is always on.
+      [this](std::span<const ComponentTrack> tracks) {
+        int active = 0;
+        for (const auto& track : tracks) {
+          active += track.state == PowerState::kOn ? 1 : 0;
+        }
+        const double capacity_frac = static_cast<double>(active) / pipes_;
+        const double served_frac = std::min(offered_, capacity_frac);
+        std::vector<PipelineState> states;
+        states.reserve(static_cast<std::size_t>(pipes_));
+        for (const auto& track : tracks) {
+          if (track.state == PowerState::kOn) {
+            const double pipe_load =
+                active > 0 ? std::min(1.0, served_frac * pipes_ / active)
+                           : 0.0;
+            states.push_back(PipelineState{true, 1.0, pipe_load});
+          } else if (track.state == PowerState::kWaking) {
+            states.push_back(PipelineState{true, 1.0, 0.0});
+          } else {
+            states.push_back(PipelineState{false, 1.0, 0.0});
+          }
+        }
+        return config_.model.total_power(states, ports_) +
+               config_.circuit_switch_power;
+      },
+      // Baseline: every pipeline always on at the offered load, no circuit
+      // switch.
+      [this](std::span<const ComponentTrack> /*tracks*/) {
+        const std::vector<PipelineState> all_on(
+            static_cast<std::size_t>(pipes_),
+            PipelineState{true, 1.0, offered_});
+        return config_.model.total_power(all_on, ports_);
+      });
+  return timeline;
+}
+
+void ParkingPolicy::observe(const LoadSegment& seg,
+                            PowerStateTimeline& timeline) {
+  offered_ = seg.loads[0];
+
+  // Let the policy steer, iterating to a fixed point so that policies that
+  // adjust one pipeline per decision (hysteresis-style) converge within a
+  // single breakpoint.
+  for (int guard = 0; guard <= pipes_; ++guard) {
+    const int provisioned = timeline.provisioned();
+    const int target =
+        std::clamp(desired_count(seg.at.value(), offered_, provisioned),
+                   config_.min_active, pipes_);
+    if (target == provisioned) break;
+    if (target > provisioned) {
+      for (int k = provisioned; k < target; ++k) timeline.wake_one();
+    } else {
+      // Cancel pending wakes first, then park active pipelines (instant).
+      int excess = provisioned - target;
+      while (excess > 0 && timeline.cancel_last_wake()) --excess;
+      while (excess > 0 &&
+             timeline.count(PowerState::kOn) > config_.min_active) {
+        timeline.park_one();
+        --excess;
+      }
+    }
+  }
+}
+
+double ParkingPolicy::capacity_fraction(
+    const PowerStateTimeline& timeline) const {
+  return static_cast<double>(timeline.count(PowerState::kOn)) / pipes_;
+}
+
+int ReactiveParkingPolicy::desired_count(double /*t*/, double offered,
+                                         int provisioned) {
+  return detail::reactive_parking_target(config_, pipes_, offered,
+                                         provisioned);
+}
+
+PredictiveParkingPolicy::PredictiveParkingPolicy(
+    ParkingConfig config, std::vector<LoadForecast> forecast)
+    : ParkingPolicy(std::move(config)), forecast_(std::move(forecast)) {
+  for (std::size_t i = 1; i < forecast_.size(); ++i) {
+    if (forecast_[i].at <= forecast_[i - 1].at) {
+      throw std::invalid_argument("forecast must be sorted by time");
+    }
+  }
+}
+
+PowerStateTimeline PredictiveParkingPolicy::make_timeline(
+    const LoadTrace& trace) {
+  // Convert the forecast into a step function of desired counts, shifting
+  // capacity *increases* earlier by the wake latency.
+  const double wake = config_.wake_latency.value();
+  commands_.clear();
+  commands_.reserve(forecast_.size());
+  int prev = pipes_;
+  for (const auto& f : forecast_) {
+    const int count = std::clamp(
+        static_cast<int>(std::ceil(f.required_load * pipes_ /
+                                   std::max(config_.hi_threshold, 1e-9))),
+        config_.min_active, pipes_);
+    const double at =
+        count > prev
+            ? std::max(trace.times.front().value(), f.at.value() - wake)
+            : f.at.value();
+    commands_.push_back(Command{at, count});
+    prev = count;
+  }
+  std::sort(commands_.begin(), commands_.end(),
+            [](const Command& a, const Command& b) { return a.at < b.at; });
+  return ParkingPolicy::make_timeline(trace);
+}
+
+double PredictiveParkingPolicy::next_breakpoint(double t) const {
+  for (const auto& c : commands_) {
+    if (c.at > t + 1e-15) return c.at;  // commands are sorted
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+int PredictiveParkingPolicy::desired_count(double t, double /*offered*/,
+                                           int /*provisioned*/) {
+  int want = pipes_;  // before the first command: all on
+  for (const auto& c : commands_) {
+    if (c.at <= t + 1e-15) {
+      want = c.count;
+    } else {
+      break;
+    }
+  }
+  return want;
+}
 
 ParkingResult simulate_parking_reactive(const AggregateLoadTrace& trace,
                                         const ParkingConfig& config) {
   validate_thresholds(config);
-  const int pipes = config.model.config().num_pipelines;
-  return run_parking(
-      trace, config,
-      [&, pipes](double /*t*/, double offered, int provisioned) {
-        return reactive_target(config, pipes, offered, provisioned);
-      });
+  trace.validate();
+  ReactiveParkingPolicy policy{config};
+  return to_parking_result(run_mechanism(trace.to_load_trace(), policy));
 }
 
 ParkingResult simulate_parking_reactive_resilient(
@@ -284,14 +288,6 @@ ParkingResult simulate_parking_reactive_resilient(
     }
     return trace.loads[seg];
   };
-  const auto in_window = [&recalls](double at) {
-    for (const auto& r : recalls) {
-      if (at >= r.at.value() - 1e-15 && at < r.until.value() - 1e-15) {
-        return true;
-      }
-    }
-    return false;
-  };
 
   AggregateLoadTrace spliced;
   spliced.end = trace.end;
@@ -306,22 +302,10 @@ ParkingResult simulate_parking_reactive_resilient(
     spliced.loads.push_back(std::min(1.0, load));
   }
 
-  const int pipes = config.model.config().num_pipelines;
-  std::size_t emergency = 0;
-  ParkingResult result = run_parking(
-      spliced, config,
-      [&, pipes](double t, double offered, int provisioned) {
-        if (in_window(t)) {
-          // Fault mode: every pipeline is recalled for the window so parked
-          // capacity cannot amplify the failure.
-          if (provisioned < pipes) {
-            emergency += static_cast<std::size_t>(pipes - provisioned);
-          }
-          return pipes;
-        }
-        return reactive_target(config, pipes, offered, provisioned);
-      });
-  result.emergency_wakes = emergency;
+  ResilientParkingPolicy policy{config, recalls};
+  ParkingResult result =
+      to_parking_result(run_mechanism(spliced.to_load_trace(), policy));
+  result.emergency_wakes = policy.emergency_wakes();
   return result;
 }
 
@@ -333,49 +317,9 @@ ParkingResult simulate_parking_predictive(
       throw std::invalid_argument("forecast must be sorted by time");
     }
   }
-  const int pipes = config.model.config().num_pipelines;
-  const double wake = config.wake_latency.value();
-
-  // Convert the forecast into a step function of desired counts, shifting
-  // capacity *increases* earlier by the wake latency.
-  struct Command {
-    double at;
-    int count;
-  };
-  std::vector<Command> commands;
-  int prev = pipes;
-  for (const auto& f : forecast) {
-    const int count = std::clamp(
-        static_cast<int>(std::ceil(f.required_load * pipes /
-                                   std::max(config.hi_threshold, 1e-9))),
-        config.min_active, pipes);
-    const double at =
-        count > prev ? std::max(trace.times.front().value(), f.at.value() - wake)
-                     : f.at.value();
-    commands.push_back(Command{at, count});
-    prev = count;
-  }
-  std::sort(commands.begin(), commands.end(),
-            [](const Command& a, const Command& b) { return a.at < b.at; });
-  std::vector<double> breakpoints;
-  breakpoints.reserve(commands.size());
-  for (const auto& c : commands) breakpoints.push_back(c.at);
-
-  return run_parking(trace, config,
-                     [&commands, pipes](double t, double /*offered*/,
-                                        int provisioned) {
-                       int want = pipes;  // before the first command: all on
-                       for (const auto& c : commands) {
-                         if (c.at <= t + 1e-15) {
-                           want = c.count;
-                         } else {
-                           break;
-                         }
-                       }
-                       (void)provisioned;
-                       return want;
-                     },
-                     breakpoints);
+  trace.validate();
+  PredictiveParkingPolicy policy{config, forecast};
+  return to_parking_result(run_mechanism(trace.to_load_trace(), policy));
 }
 
 }  // namespace netpp

@@ -1,39 +1,12 @@
 #include "netpp/mech/rateadapt.h"
 
 #include <algorithm>
-#include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace netpp {
 
-void PipelineLoadTrace::validate(int num_pipelines) const {
-  if (times.empty() || times.size() != pipeline_loads.size()) {
-    throw std::invalid_argument(
-        "trace needs matching, non-empty times and loads");
-  }
-  for (std::size_t i = 0; i < times.size(); ++i) {
-    if (i > 0 && times[i] <= times[i - 1]) {
-      throw std::invalid_argument("trace times must be strictly increasing");
-    }
-    if (pipeline_loads[i].size() != static_cast<std::size_t>(num_pipelines)) {
-      throw std::invalid_argument("trace arity != pipeline count");
-    }
-    for (double load : pipeline_loads[i]) {
-      if (load < 0.0 || load > 1.0) {
-        throw std::invalid_argument("loads must be in [0, 1]");
-      }
-    }
-  }
-  if (end <= times.back()) {
-    throw std::invalid_argument("trace end must be after the last segment");
-  }
-}
-
-Seconds PipelineLoadTrace::duration() const {
-  return end - times.front();
-}
-
-namespace {
+namespace detail {
 
 double pick_lane_step(const std::vector<double>& steps, double load) {
   // Smallest allowed step >= load; steps are fractions of full lanes.
@@ -48,102 +21,120 @@ double pick_lane_step(const std::vector<double>& steps, double load) {
   return found ? best : 1.0;
 }
 
-}  // namespace
+}  // namespace detail
+
+RateAdaptPolicy::RateAdaptPolicy(RateAdaptConfig config, RateAdaptMode mode)
+    : config_(std::move(config)),
+      mode_(mode),
+      pipes_(config_.model.config().num_pipelines),
+      ports_(static_cast<std::size_t>(config_.model.config().num_ports),
+             PortState{}),
+      seg_ports_(ports_) {
+  if (config_.min_frequency <= 0.0 || config_.min_frequency > 1.0) {
+    throw std::invalid_argument("min_frequency must be in (0, 1]");
+  }
+  if (config_.headroom < 0.0) {
+    throw std::invalid_argument("headroom must be non-negative");
+  }
+}
+
+std::string_view RateAdaptPolicy::name() const {
+  switch (mode_) {
+    case RateAdaptMode::kNone:
+      return "rate-adapt-none";
+    case RateAdaptMode::kGlobalAsic:
+      return "rate-adapt-global";
+    case RateAdaptMode::kPerPipeline:
+      return "rate-adapt-per-pipeline";
+  }
+  return "rate-adapt";
+}
+
+PowerStateTimeline RateAdaptPolicy::make_timeline(const LoadTrace& trace) {
+  PowerStateTimeline timeline{
+      pipes_, TransitionRules{Seconds{0.0}, Seconds{0.0}, config_.hysteresis},
+      trace.times.front()};
+  timeline.set_power_model(
+      // Loads are relative to nominal capacity and must be <= frequency
+      // (guaranteed: frequency >= load by construction, except kNone where
+      // frequency is 1).
+      [this](std::span<const ComponentTrack> tracks) {
+        std::vector<PipelineState> states(static_cast<std::size_t>(pipes_));
+        for (int p = 0; p < pipes_; ++p) {
+          const auto& track = tracks[static_cast<std::size_t>(p)];
+          states[static_cast<std::size_t>(p)] =
+              PipelineState{true, track.level, track.load};
+        }
+        return config_.model.total_power(states, seg_ports_);
+      },
+      [this](std::span<const ComponentTrack> tracks) {
+        std::vector<PipelineState> states(static_cast<std::size_t>(pipes_));
+        for (int p = 0; p < pipes_; ++p) {
+          states[static_cast<std::size_t>(p)] = PipelineState{
+              true, 1.0, tracks[static_cast<std::size_t>(p)].load};
+        }
+        return config_.model.total_power(states, ports_);
+      });
+  return timeline;
+}
+
+void RateAdaptPolicy::observe(const LoadSegment& seg,
+                              PowerStateTimeline& timeline) {
+  const auto& loads = seg.loads;
+  for (int p = 0; p < pipes_; ++p) {
+    timeline.set_load(p, loads[static_cast<std::size_t>(p)]);
+  }
+
+  const auto target_frequency = [this](double load) {
+    return std::clamp(load * (1.0 + config_.headroom), config_.min_frequency,
+                      1.0);
+  };
+
+  // Decide frequencies for this segment; the timeline applies hysteresis
+  // (upward moves always honored: load must be served).
+  switch (mode_) {
+    case RateAdaptMode::kNone:
+      break;
+    case RateAdaptMode::kGlobalAsic: {
+      const double max_load = *std::max_element(loads.begin(), loads.end());
+      const double want = target_frequency(max_load);
+      for (int p = 0; p < pipes_; ++p) timeline.request_level(p, want);
+      break;
+    }
+    case RateAdaptMode::kPerPipeline:
+      for (int p = 0; p < pipes_; ++p) {
+        timeline.request_level(
+            p, target_frequency(loads[static_cast<std::size_t>(p)]));
+      }
+      break;
+  }
+
+  // Optional SerDes down-rating: scale every port group's lanes to the
+  // switch-wide mean load step (ports are not modeled individually here).
+  seg_ports_ = ports_;
+  if (!config_.lane_steps.empty() && mode_ != RateAdaptMode::kNone) {
+    double mean_load = 0.0;
+    for (double l : loads) mean_load += l;
+    mean_load /= static_cast<double>(pipes_);
+    const double lane = detail::pick_lane_step(config_.lane_steps, mean_load);
+    for (auto& port : seg_ports_) port.lane_fraction = lane;
+  }
+}
 
 RateAdaptResult simulate_rate_adaptation(const PipelineLoadTrace& trace,
                                          const RateAdaptConfig& config,
                                          RateAdaptMode mode) {
-  const auto& model = config.model;
-  const int pipes = model.config().num_pipelines;
-  trace.validate(pipes);
-  if (config.min_frequency <= 0.0 || config.min_frequency > 1.0) {
-    throw std::invalid_argument("min_frequency must be in (0, 1]");
-  }
-  if (config.headroom < 0.0) {
-    throw std::invalid_argument("headroom must be non-negative");
-  }
-
-  const auto target_frequency = [&](double load) {
-    return std::clamp(load * (1.0 + config.headroom), config.min_frequency,
-                      1.0);
-  };
-
-  std::vector<double> current_freq(pipes, 1.0);
-  std::vector<PortState> ports(model.config().num_ports, PortState{});
+  trace.validate(config.model.config().num_pipelines);
+  RateAdaptPolicy policy{config, mode};
+  const MechanismReport report =
+      run_mechanism(trace.to_load_trace(), policy);
 
   RateAdaptResult result;
-  double energy_j = 0.0;
-  double none_energy_j = 0.0;
-  double freq_time = 0.0;  // integral of mean frequency
-
-  for (std::size_t i = 0; i < trace.times.size(); ++i) {
-    const Seconds seg_end =
-        (i + 1 < trace.times.size()) ? trace.times[i + 1] : trace.end;
-    const double dt = (seg_end - trace.times[i]).value();
-    const auto& loads = trace.pipeline_loads[i];
-
-    // Decide frequencies for this segment.
-    std::vector<double> want(pipes, 1.0);
-    switch (mode) {
-      case RateAdaptMode::kNone:
-        break;
-      case RateAdaptMode::kGlobalAsic: {
-        const double max_load = *std::max_element(loads.begin(), loads.end());
-        std::fill(want.begin(), want.end(), target_frequency(max_load));
-        break;
-      }
-      case RateAdaptMode::kPerPipeline:
-        for (int p = 0; p < pipes; ++p) want[p] = target_frequency(loads[p]);
-        break;
-    }
-    if (mode != RateAdaptMode::kNone) {
-      for (int p = 0; p < pipes; ++p) {
-        if (std::fabs(want[p] - current_freq[p]) > config.hysteresis ||
-            want[p] > current_freq[p]) {
-          // Always honor upward moves (load must be served); downward moves
-          // only beyond the hysteresis band.
-          if (want[p] != current_freq[p]) {
-            current_freq[p] = want[p];
-            ++result.frequency_transitions;
-          }
-        }
-      }
-    }
-
-    // Build per-pipeline states; loads are relative to nominal capacity and
-    // must be <= frequency (guaranteed: frequency >= load by construction,
-    // except kNone where frequency is 1).
-    std::vector<PipelineState> states(pipes);
-    std::vector<PipelineState> none_states(pipes);
-    double freq_sum = 0.0;
-    for (int p = 0; p < pipes; ++p) {
-      states[p] = PipelineState{true, current_freq[p], loads[p]};
-      none_states[p] = PipelineState{true, 1.0, loads[p]};
-      freq_sum += current_freq[p];
-    }
-
-    // Optional SerDes down-rating: scale every port group's lanes to the
-    // switch-wide mean load step (ports are not modeled individually here).
-    std::vector<PortState> seg_ports = ports;
-    if (!config.lane_steps.empty() && mode != RateAdaptMode::kNone) {
-      double mean_load = 0.0;
-      for (double l : loads) mean_load += l;
-      mean_load /= static_cast<double>(pipes);
-      const double lane = pick_lane_step(config.lane_steps, mean_load);
-      for (auto& port : seg_ports) port.lane_fraction = lane;
-    }
-
-    energy_j += model.total_power(states, seg_ports).value() * dt;
-    none_energy_j += model.total_power(none_states, ports).value() * dt;
-    freq_time += (freq_sum / static_cast<double>(pipes)) * dt;
-  }
-
-  const double duration = trace.duration().value();
-  result.energy = Joules{energy_j};
-  result.average_power = Watts{energy_j / duration};
-  result.savings_vs_none =
-      none_energy_j > 0.0 ? 1.0 - energy_j / none_energy_j : 0.0;
-  result.mean_frequency = freq_time / duration;
+  result.energy = report.energy;
+  result.average_power = report.average_power;
+  result.savings_vs_none = report.savings;
+  result.frequency_transitions = report.level_transitions;
+  result.mean_frequency = report.mean_level;
   return result;
 }
 

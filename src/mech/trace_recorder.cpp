@@ -55,8 +55,11 @@ FlowSimulator::LoadListener NodeLoadRecorder::listener() {
   return [this](Seconds now) { sample(now); };
 }
 
-AggregateLoadTrace NodeLoadRecorder::aggregate_trace(NodeId node,
-                                                     Seconds end) const {
+LoadTrace NodeLoadRecorder::load_trace(NodeId node, int num_channels,
+                                       Seconds end) const {
+  if (num_channels < 1) {
+    throw std::invalid_argument("NodeLoadRecorder: need at least one channel");
+  }
   const auto it = samples_.find(node);
   if (it == samples_.end()) {
     throw std::out_of_range("node is not tracked by this recorder");
@@ -64,65 +67,50 @@ AggregateLoadTrace NodeLoadRecorder::aggregate_trace(NodeId node,
   if (times_.empty()) {
     throw std::logic_error("no samples recorded");
   }
+  if (end <= times_.back()) {
+    throw std::invalid_argument(
+        "NodeLoadRecorder: end must be after the last sample");
+  }
   const auto& info = info_.at(node);
-  double total_capacity = 0.0;
-  for (double c : info.capacities_bps) total_capacity += c;
 
-  AggregateLoadTrace trace;
+  // Round-robin assignment of directed links to channels (1 channel ==
+  // every link, i.e. the whole-node aggregate).
+  const auto channels = static_cast<std::size_t>(num_channels);
+  std::vector<double> channel_capacity(channels, 0.0);
+  for (std::size_t i = 0; i < info.capacities_bps.size(); ++i) {
+    channel_capacity[i % channels] += info.capacities_bps[i];
+  }
+
+  LoadTrace trace;
   trace.end = end;
   for (std::size_t s = 0; s < times_.size(); ++s) {
-    double carried = 0.0;
-    for (double rate : it->second[s]) carried += rate;
-    const double load =
-        total_capacity > 0.0 ? std::min(1.0, carried / total_capacity) : 0.0;
+    std::vector<double> loads(channels, 0.0);
+    for (std::size_t i = 0; i < it->second[s].size(); ++i) {
+      loads[i % channels] += it->second[s][i];
+    }
+    for (std::size_t c = 0; c < channels; ++c) {
+      loads[c] = channel_capacity[c] > 0.0
+                     ? std::min(1.0, loads[c] / channel_capacity[c])
+                     : 0.0;
+    }
     // Collapse repeated values to keep the trace compact.
-    if (!trace.loads.empty() && trace.loads.back() == load) continue;
+    if (!trace.loads.empty() && trace.loads.back() == loads) continue;
     trace.times.push_back(times_[s]);
-    trace.loads.push_back(load);
+    trace.loads.push_back(std::move(loads));
   }
   return trace;
+}
+
+AggregateLoadTrace NodeLoadRecorder::aggregate_trace(NodeId node,
+                                                     Seconds end) const {
+  return AggregateLoadTrace::from_load_trace(load_trace(node, 1, end));
 }
 
 PipelineLoadTrace NodeLoadRecorder::pipeline_trace(NodeId node,
                                                    int num_pipelines,
                                                    Seconds end) const {
-  if (num_pipelines < 1) {
-    throw std::invalid_argument("need at least one pipeline");
-  }
-  const auto it = samples_.find(node);
-  if (it == samples_.end()) {
-    throw std::out_of_range("node is not tracked by this recorder");
-  }
-  if (times_.empty()) {
-    throw std::logic_error("no samples recorded");
-  }
-  const auto& info = info_.at(node);
-
-  // Round-robin assignment of directed links to pipelines.
-  std::vector<double> pipe_capacity(num_pipelines, 0.0);
-  for (std::size_t i = 0; i < info.capacities_bps.size(); ++i) {
-    pipe_capacity[i % num_pipelines] += info.capacities_bps[i];
-  }
-
-  PipelineLoadTrace trace;
-  trace.end = end;
-  for (std::size_t s = 0; s < times_.size(); ++s) {
-    std::vector<double> loads(num_pipelines, 0.0);
-    for (std::size_t i = 0; i < it->second[s].size(); ++i) {
-      loads[i % num_pipelines] += it->second[s][i];
-    }
-    for (int p = 0; p < num_pipelines; ++p) {
-      loads[p] = pipe_capacity[p] > 0.0
-                     ? std::min(1.0, loads[p] / pipe_capacity[p])
-                     : 0.0;
-    }
-    if (!trace.pipeline_loads.empty() && trace.pipeline_loads.back() == loads) {
-      continue;
-    }
-    trace.times.push_back(times_[s]);
-    trace.pipeline_loads.push_back(std::move(loads));
-  }
-  return trace;
+  return PipelineLoadTrace::from_load_trace(
+      load_trace(node, num_pipelines, end));
 }
 
 }  // namespace netpp

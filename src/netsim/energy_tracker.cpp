@@ -161,4 +161,21 @@ Watts FabricEnergyTracker::max_network_power() const {
   return total;
 }
 
+MechanismReport FabricEnergyTracker::report(Seconds until) const {
+  if (until.value() <= 0.0) {
+    throw std::invalid_argument("need a positive horizon");
+  }
+  MechanismReport report;
+  report.mechanism = "fabric";
+  report.duration = until;
+  report.energy = network_energy(until);
+  report.baseline_energy = Joules{max_network_power().value() * until.value()};
+  report.savings =
+      report.baseline_energy.value() > 0.0
+          ? 1.0 - report.energy.value() / report.baseline_energy.value()
+          : 0.0;
+  report.average_power = average_network_power(until);
+  return report;
+}
+
 }  // namespace netpp

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 namespace netpp {
 namespace {
 
@@ -125,6 +127,29 @@ TEST(CostModel, CustomRates) {
   EXPECT_NEAR(cost.annual_electricity_savings(reduction).value(),
               100.0 * 8760.0 * 0.26, 1e-6);
   EXPECT_DOUBLE_EQ(cost.annual_cooling_savings(reduction).value(), 0.0);
+}
+
+
+TEST(MechanismValue, ConvertsEnergyPairToAnnualValue) {
+  // 1000 J baseline vs 600 J actual over 10 s: a sustained 40 W reduction.
+  const CostModel cost;
+  const MechanismValue value =
+      mechanism_value(Joules{1000.0}, Joules{600.0}, Seconds{10.0}, cost);
+  EXPECT_DOUBLE_EQ(value.average_reduction.value(), 40.0);
+  EXPECT_DOUBLE_EQ(value.savings_fraction, 0.4);
+  EXPECT_NEAR(value.annual_savings.value(),
+              cost.annual_total_savings(Watts{40.0}).value(), 1e-12);
+  EXPECT_NEAR(value.annual_co2_tons,
+              cost.annual_co2_savings_tons(Watts{40.0}), 1e-12);
+}
+
+TEST(MechanismValue, HandlesDegenerateInputs) {
+  const MechanismValue empty =
+      mechanism_value(Joules{0.0}, Joules{0.0}, Seconds{1.0});
+  EXPECT_DOUBLE_EQ(empty.savings_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(empty.average_reduction.value(), 0.0);
+  EXPECT_THROW((void)mechanism_value(Joules{1.0}, Joules{1.0}, Seconds{0.0}),
+               std::invalid_argument);
 }
 
 }  // namespace

@@ -1,0 +1,191 @@
+// Tests for the composed §4 stack: OCS tailoring x parking x rate
+// adaptation over a simulated fat tree running ML training traffic. The
+// headline acceptance claim lives here: the combined stack saves at least
+// as much as the best single mechanism on the same workload.
+#include "netpp/mech/composite.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "netpp/mech/parking.h"
+#include "netpp/mech/rateadapt.h"
+#include "netpp/topo/builders.h"
+#include "netpp/traffic/generators.h"
+
+namespace netpp {
+namespace {
+
+using namespace netpp::literals;
+
+class CompositeStack : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    topo_ = build_fat_tree(4, 100_Gbps);
+
+    MlTrafficConfig cfg;
+    cfg.compute_time = 0.9_s;
+    cfg.comm_allowance = 0.1_s;
+    cfg.iterations = 4;
+    cfg.volume_per_host = Bits::from_gigabits(2.0);
+    traffic_ = make_ml_training_traffic(topo_->hosts, cfg);
+
+    // Ring all-reduce demands stay below the cores, so tailoring can power
+    // off a big share of the over-provisioned fabric.
+    const auto& hosts = topo_->hosts;
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+      demands_.push_back(
+          TrafficDemand{hosts[i], hosts[(i + 1) % hosts.size()], 5_Gbps});
+    }
+
+    config_.parking.switch_capacity = Gbps{4 * 100.0};  // 4 ports at 100 G
+    config_.num_ocs_devices = 4;
+  }
+
+  std::optional<BuiltTopology> topo_;
+  MlTraffic traffic_;
+  std::vector<TrafficDemand> demands_;
+  CompositeConfig config_;
+};
+
+TEST_F(CompositeStack, CombinedStackBeatsEverySingleMechanism) {
+  const CompositeReport report =
+      run_composite(*topo_, traffic_.flows, demands_, 4.0_s, config_);
+
+  EXPECT_EQ(report.switches_total, 20u);
+  ASSERT_EQ(report.singles.size(), 3u);
+  EXPECT_EQ(report.singles[0].name, "tailoring");
+  EXPECT_EQ(report.singles[1].name, "parking");
+  EXPECT_EQ(report.singles[2].name, "rate-adaptation");
+  for (const auto& single : report.singles) {
+    EXPECT_GT(single.savings, 0.0) << single.name;
+    EXPECT_LT(single.energy.value(), report.baseline_energy.value())
+        << single.name;
+  }
+
+  // The acceptance claim: stacking never loses to the best single
+  // mechanism on this workload.
+  EXPECT_GE(report.combined_savings, report.best_single_savings - 1e-9);
+  EXPECT_GT(report.combined_savings, 0.0);
+  EXPECT_LT(report.energy.value(), report.baseline_energy.value());
+  EXPECT_LT(report.average_power.value(),
+            report.baseline_average_power.value());
+
+  // Tailoring bit: the ring workload lets a chunk of the fabric power off.
+  EXPECT_TRUE(report.tailoring.feasible);
+  EXPECT_FALSE(report.tailoring.powered_off.empty());
+
+  // Parking was exercised by the bursty trace.
+  EXPECT_GT(report.park_transitions, 0u);
+  EXPECT_GE(report.horizon.value(), 4.0);
+}
+
+TEST_F(CompositeStack, ParkOnlyStackEqualsTheParkingSingle) {
+  config_.tailor = false;
+  config_.rate_adapt = false;
+  const CompositeReport report =
+      run_composite(*topo_, traffic_.flows, demands_, 4.0_s, config_);
+
+  ASSERT_EQ(report.singles.size(), 1u);
+  EXPECT_EQ(report.singles[0].name, "parking");
+  // With one enabled mechanism, the "stack" is that mechanism: identical
+  // energy, identical savings.
+  EXPECT_DOUBLE_EQ(report.energy.value(), report.singles[0].energy.value());
+  EXPECT_DOUBLE_EQ(report.combined_savings, report.singles[0].savings);
+  EXPECT_DOUBLE_EQ(report.best_single_savings, report.singles[0].savings);
+  EXPECT_EQ(report.level_transitions, 0u);  // rate stage disabled
+  EXPECT_TRUE(report.tailoring.powered_off.empty());
+}
+
+TEST_F(CompositeStack, HorizonExtendsToCoverTheWorkload) {
+  config_.tailor = false;
+  config_.park = false;
+  config_.rate_adapt = false;
+  // The four 1-second training iterations outrun a 0.5 s horizon; the
+  // energy window must cover the workload, not truncate it.
+  const CompositeReport report =
+      run_composite(*topo_, traffic_.flows, demands_, 0.5_s, config_);
+  EXPECT_GT(report.horizon.value(), 3.0);
+
+  // With every stage disabled, the stack prices the all-on baseline.
+  EXPECT_TRUE(report.singles.empty());
+  EXPECT_DOUBLE_EQ(report.energy.value(), report.baseline_energy.value());
+  EXPECT_DOUBLE_EQ(report.combined_savings, 0.0);
+}
+
+TEST_F(CompositeStack, OcsDevicePowerIsCharged) {
+  config_.park = false;
+  config_.rate_adapt = false;
+  config_.num_ocs_devices = 0;
+  const CompositeReport free_ocs =
+      run_composite(*topo_, traffic_.flows, demands_, 4.0_s, config_);
+  config_.num_ocs_devices = 4;
+  const CompositeReport paid_ocs =
+      run_composite(*topo_, traffic_.flows, demands_, 4.0_s, config_);
+
+  const double expected_charge = config_.ocs.config().ocs_power.value() * 4.0 *
+                                 paid_ocs.horizon.value();
+  EXPECT_NEAR(paid_ocs.energy.value() - free_ocs.energy.value(),
+              expected_charge, 1e-6);
+  EXPECT_LT(paid_ocs.combined_savings, free_ocs.combined_savings);
+}
+
+TEST_F(CompositeStack, RejectsBadInputs) {
+  EXPECT_THROW((void)run_composite(*topo_, traffic_.flows, demands_,
+                                   Seconds{0.0}, config_),
+               std::invalid_argument);
+  EXPECT_THROW((void)run_composite(*topo_, traffic_.flows, demands_,
+                                   Seconds{-1.0}, config_),
+               std::invalid_argument);
+}
+
+TEST(StackedSwitchPolicy, ValidatesTheEnabledStages) {
+  ParkingConfig park;
+  RateAdaptConfig rate;
+
+  ParkingConfig bad_park = park;
+  bad_park.min_active = 0;
+  EXPECT_THROW(
+      (StackedSwitchPolicy{bad_park, rate, StackedSwitchPolicy::Stages{}}),
+      std::invalid_argument);
+
+  bad_park = park;
+  bad_park.hi_threshold = 1.5;
+  EXPECT_THROW((StackedSwitchPolicy{bad_park, rate,
+                                    StackedSwitchPolicy::Stages{true, true}}),
+               std::invalid_argument);
+  // Thresholds are only a parking concern: the rate-only stack accepts them.
+  EXPECT_NO_THROW((StackedSwitchPolicy{bad_park, rate,
+                                       StackedSwitchPolicy::Stages{false,
+                                                                   true}}));
+
+  RateAdaptConfig bad_rate = rate;
+  bad_rate.min_frequency = 0.0;
+  EXPECT_THROW((StackedSwitchPolicy{park, bad_rate,
+                                    StackedSwitchPolicy::Stages{true, true}}),
+               std::invalid_argument);
+  EXPECT_NO_THROW((StackedSwitchPolicy{park, bad_rate,
+                                       StackedSwitchPolicy::Stages{true,
+                                                                   false}}));
+}
+
+TEST(StackedSwitchPolicy, RejectsChannelArityMismatch) {
+  const ParkingConfig park;
+  const RateAdaptConfig rate;
+  StackedSwitchPolicy policy{park, rate, StackedSwitchPolicy::Stages{}};
+  const int pipes = park.model.config().num_pipelines;
+
+  LoadTrace trace;
+  trace.times = {0.0_s};
+  trace.loads = {std::vector<double>(static_cast<std::size_t>(pipes) + 1,
+                                     0.1)};
+  trace.end = 1.0_s;
+  EXPECT_THROW((void)policy.make_timeline(trace), std::invalid_argument);
+
+  trace.loads = {{0.1}};  // a single aggregate channel is fine
+  EXPECT_NO_THROW((void)policy.make_timeline(trace));
+}
+
+}  // namespace
+}  // namespace netpp

@@ -1,0 +1,110 @@
+// Re-prints the golden fixture expectations for golden_equivalence_test.cpp
+// as ready-to-paste C++ (hexfloat doubles, exact integers). Run only to
+// re-record after a deliberate behavior change; the whole point of the suite
+// is that refactors do NOT change these values.
+#include <cstdio>
+
+#include "golden_inputs.h"
+
+namespace {
+
+using namespace netpp;
+
+void field(const char* name, double v) {
+  std::printf("    %s = %a;  // %.17g\n", name, v, v);
+}
+void field(const char* name, std::size_t v) {
+  std::printf("    %s = %zu;\n", name, v);
+}
+
+void print_rateadapt(const char* tag, const RateAdaptResult& r) {
+  std::printf("  {  // %s\n", tag);
+  field("e.energy_j", r.energy.value());
+  field("e.average_power_w", r.average_power.value());
+  field("e.savings", r.savings_vs_none);
+  field("e.transitions", r.frequency_transitions);
+  field("e.mean_frequency", r.mean_frequency);
+  std::printf("  }\n");
+}
+
+void print_parking(const char* tag, const ParkingResult& r) {
+  std::printf("  {  // %s\n", tag);
+  field("e.energy_j", r.energy.value());
+  field("e.average_power_w", r.average_power.value());
+  field("e.savings", r.savings_vs_all_on);
+  field("e.mean_active", r.mean_active_pipelines);
+  field("e.wakes", r.wake_transitions);
+  field("e.parks", r.park_transitions);
+  field("e.max_buffered_bits", r.max_buffered.value());
+  field("e.dropped_bits", r.dropped.value());
+  field("e.max_added_delay_s", r.max_added_delay.value());
+  field("e.emergency_wakes", r.emergency_wakes);
+  std::printf("  }\n");
+}
+
+void print_downrate(const char* tag, const DownrateResult& r) {
+  std::printf("  {  // %s\n", tag);
+  field("e.energy_j", r.energy.value());
+  field("e.nominal_energy_j", r.nominal_energy.value());
+  field("e.savings", r.savings_fraction);
+  field("e.transitions", r.transitions);
+  field("e.violation_s", r.violation_time.value());
+  field("e.outage_s", r.outage_time.value());
+  field("e.mean_speed_gbps", r.mean_speed.value());
+  std::printf("  }\n");
+}
+
+void print_eee(const char* tag, const EeeResult& r) {
+  std::printf("  {  // %s\n", tag);
+  field("e.energy_j", r.energy.value());
+  field("e.always_on_energy_j", r.always_on_energy.value());
+  field("e.savings", r.energy_savings_fraction);
+  field("e.lpi_fraction", r.lpi_time_fraction);
+  field("e.mean_added_delay_s", r.mean_added_delay.value());
+  field("e.max_added_delay_s", r.max_added_delay.value());
+  field("e.wakes", r.wake_transitions);
+  field("e.frames", r.frames);
+  std::printf("  }\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace netpp;
+
+  const auto ptrace = golden::pipeline_trace();
+  print_rateadapt("kNone", simulate_rate_adaptation(
+                               ptrace, golden::rateadapt_config(false),
+                               RateAdaptMode::kNone));
+  print_rateadapt("kGlobalAsic", simulate_rate_adaptation(
+                                     ptrace, golden::rateadapt_config(false),
+                                     RateAdaptMode::kGlobalAsic));
+  print_rateadapt("kPerPipeline", simulate_rate_adaptation(
+                                      ptrace, golden::rateadapt_config(false),
+                                      RateAdaptMode::kPerPipeline));
+  print_rateadapt("kPerPipeline+lanes",
+                  simulate_rate_adaptation(ptrace,
+                                           golden::rateadapt_config(true),
+                                           RateAdaptMode::kPerPipeline));
+
+  const auto atrace = golden::aggregate_trace();
+  print_parking("reactive",
+                simulate_parking_reactive(atrace, golden::parking_config()));
+  print_parking("predictive",
+                simulate_parking_predictive(atrace, golden::forecast(),
+                                            golden::parking_config()));
+  print_parking("resilient",
+                simulate_parking_reactive_resilient(
+                    atrace, golden::recalls(), golden::parking_config()));
+
+  print_downrate("downrate", simulate_downrating(golden::diurnal_trace(),
+                                                 golden::downrate_config()));
+
+  print_eee("eee", simulate_eee_link(golden::eee_config(false),
+                                     golden::eee_frames(),
+                                     golden::eee_horizon()));
+  print_eee("eee+coalesce", simulate_eee_link(golden::eee_config(true),
+                                              golden::eee_frames(),
+                                              golden::eee_horizon()));
+  return 0;
+}

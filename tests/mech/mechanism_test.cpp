@@ -1,0 +1,225 @@
+// Tests for the shared run_mechanism driver: interval cutting (segment
+// boundaries, wake completions, policy breakpoints), capacity-shortfall
+// buffering, and the generically-filled MechanismReport.
+#include "netpp/mech/mechanism.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "netpp/mech/load_trace.h"
+#include "netpp/power/state_timeline.h"
+#include "netpp/sim/engine.h"
+#include "netpp/units.h"
+
+namespace netpp {
+namespace {
+
+using namespace netpp::literals;
+
+LoadTrace step_trace() {
+  // One channel: busy, idle, busy.
+  LoadTrace trace;
+  trace.times = {0.0_s, 2.0_s, 6.0_s};
+  trace.loads = {{0.8}, {0.1}, {0.9}};
+  trace.end = 8.0_s;
+  return trace;
+}
+
+/// Gates its single component off when load < 0.5, on otherwise; prices
+/// on-time at 100 W against an always-on 100 W baseline.
+class ThresholdPolicy : public MechanismPolicy {
+ public:
+  explicit ThresholdPolicy(Seconds wake_latency = 0.0_s)
+      : wake_latency_(wake_latency) {}
+
+  [[nodiscard]] std::string_view name() const override { return "threshold"; }
+
+  [[nodiscard]] PowerStateTimeline make_timeline(
+      const LoadTrace& trace) override {
+    PowerStateTimeline timeline{1, TransitionRules{wake_latency_},
+                                trace.times.front()};
+    timeline.set_power_model(
+        [](std::span<const ComponentTrack> tracks) {
+          return Watts{tracks[0].state == PowerState::kOff ? 0.0 : 100.0};
+        },
+        [](std::span<const ComponentTrack>) { return Watts{100.0}; });
+    return timeline;
+  }
+
+  void observe(const LoadSegment& seg, PowerStateTimeline& timeline) override {
+    observations.push_back(seg.at.value());
+    if (seg.loads[0] < 0.5) {
+      if (timeline.track(0).state == PowerState::kOn) timeline.request_off(0);
+    } else {
+      timeline.request_on(0);
+    }
+  }
+
+  std::vector<double> observations;
+
+ private:
+  Seconds wake_latency_;
+};
+
+TEST(RunMechanism, FillsReportFromTimeline) {
+  const LoadTrace trace = step_trace();
+  ThresholdPolicy policy;
+  const MechanismReport report = run_mechanism(trace, policy);
+
+  EXPECT_EQ(report.mechanism, "threshold");
+  EXPECT_DOUBLE_EQ(report.duration.value(), 8.0);
+  // Off during the idle [2, 6) window, on elsewhere.
+  EXPECT_DOUBLE_EQ(report.energy.value(), 4.0 * 100.0);
+  EXPECT_DOUBLE_EQ(report.baseline_energy.value(), 8.0 * 100.0);
+  EXPECT_DOUBLE_EQ(report.savings, 0.5);
+  EXPECT_DOUBLE_EQ(report.average_power.value(), 50.0);
+  EXPECT_EQ(report.wake_transitions, 1u);
+  EXPECT_EQ(report.park_transitions, 1u);
+  EXPECT_EQ(report.level_transitions, 0u);
+  EXPECT_EQ(report.transitions(), 2u);
+  EXPECT_DOUBLE_EQ(report.residency[static_cast<std::size_t>(PowerState::kOn)]
+                       .value(),
+                   4.0);
+  EXPECT_DOUBLE_EQ(report.residency[static_cast<std::size_t>(PowerState::kOff)]
+                       .value(),
+                   4.0);
+  EXPECT_DOUBLE_EQ(report.mean_on_components, 0.5);
+  EXPECT_DOUBLE_EQ(report.mean_level, 1.0);
+  // No buffering requested: loss accounting untouched.
+  EXPECT_DOUBLE_EQ(report.max_buffered.value(), 0.0);
+  EXPECT_DOUBLE_EQ(report.dropped.value(), 0.0);
+}
+
+TEST(RunMechanism, ObservesEverySegmentBoundary) {
+  const LoadTrace trace = step_trace();
+  ThresholdPolicy policy;
+  (void)run_mechanism(trace, policy);
+  EXPECT_EQ(policy.observations, (std::vector<double>{0.0, 2.0, 6.0}));
+}
+
+TEST(RunMechanism, CutsIntervalsAtWakeCompletions) {
+  const LoadTrace trace = step_trace();
+  ThresholdPolicy policy{1.5_s};
+  const MechanismReport report = run_mechanism(trace, policy);
+
+  // The wake requested at t=6 completes at 7.5, so the driver re-observes
+  // there; [6, 7.5) draws waking (idle) power, which is still 100 W here.
+  EXPECT_EQ(policy.observations, (std::vector<double>{0.0, 2.0, 6.0, 7.5}));
+  EXPECT_DOUBLE_EQ(
+      report.residency[static_cast<std::size_t>(PowerState::kWaking)].value(),
+      1.5);
+  EXPECT_DOUBLE_EQ(
+      report.residency[static_cast<std::size_t>(PowerState::kOn)].value(),
+      2.0 + 0.5);
+}
+
+TEST(RunMechanism, CutsIntervalsAtPolicyBreakpoints) {
+  class BreakpointPolicy : public ThresholdPolicy {
+   public:
+    [[nodiscard]] double next_breakpoint(double t) const override {
+      return t + 1e-15 < 3.0 ? 3.0 : std::numeric_limits<double>::infinity();
+    }
+  };
+
+  const LoadTrace trace = step_trace();
+  BreakpointPolicy policy;
+  (void)run_mechanism(trace, policy);
+  EXPECT_EQ(policy.observations, (std::vector<double>{0.0, 2.0, 3.0, 6.0}));
+}
+
+TEST(RunMechanism, ConvenienceOverloadMatchesExplicitEngine) {
+  const LoadTrace trace = step_trace();
+  ThresholdPolicy a;
+  ThresholdPolicy b;
+  SimEngine engine;
+  const MechanismReport with_engine = run_mechanism(engine, trace, a);
+  const MechanismReport standalone = run_mechanism(trace, b);
+  EXPECT_EQ(with_engine.energy.value(), standalone.energy.value());
+  EXPECT_EQ(with_engine.transitions(), standalone.transitions());
+  // The engine clock tracks the mechanism time through the trace end.
+  EXPECT_DOUBLE_EQ(engine.now().value(), trace.end.value());
+}
+
+TEST(RunMechanism, RejectsInvalidTraces) {
+  LoadTrace bad = step_trace();
+  bad.loads[0][0] = 1.5;
+  ThresholdPolicy policy;
+  EXPECT_THROW((void)run_mechanism(bad, policy), std::invalid_argument);
+}
+
+/// Serves at fixed half capacity so a 0.8 offered load builds shortfall
+/// buffer that later drains during the idle segment.
+class HalfCapacityPolicy : public MechanismPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "half-capacity";
+  }
+
+  [[nodiscard]] PowerStateTimeline make_timeline(const LoadTrace&) override {
+    return PowerStateTimeline{1, TransitionRules{}};
+  }
+
+  void observe(const LoadSegment&, PowerStateTimeline&) override {}
+
+  [[nodiscard]] bool models_buffering() const override { return true; }
+  [[nodiscard]] double capacity_fraction(
+      const PowerStateTimeline&) const override {
+    return 0.5;
+  }
+  [[nodiscard]] Bits buffer_capacity() const override { return Bits{40.0}; }
+  [[nodiscard]] double nominal_capacity_bps() const override { return 100.0; }
+};
+
+TEST(RunMechanism, BuffersShortfallThenDrops) {
+  // Offered 0.8 vs served 0.5 on a 100 bps device: the buffer fills at
+  // 30 bits/s. It hits the 40-bit cap after 4/3 s; the rest of the busy
+  // segment overflows: (2 - 4/3) * 30 = 20 bits dropped.
+  LoadTrace trace;
+  trace.times = {0.0_s, 2.0_s};
+  trace.loads = {{0.8}, {0.1}};
+  trace.end = 4.0_s;
+
+  HalfCapacityPolicy policy;
+  const MechanismReport report = run_mechanism(trace, policy);
+
+  EXPECT_NEAR(report.max_buffered.value(), 40.0, 1e-9);
+  EXPECT_NEAR(report.dropped.value(), 20.0, 1e-9);
+  // Worst-case added delay: a full buffer over the served rate.
+  EXPECT_NEAR(report.max_added_delay.value(), 40.0 / 50.0, 1e-9);
+}
+
+TEST(RunMechanism, DrainsBufferBeforeTraceEnd) {
+  // One busy second builds 30 bits; the idle remainder drains at
+  // (0.5 - 0.1) * 100 = 40 bits/s, so the buffer is empty by t = 1.75 and
+  // nothing is dropped.
+  LoadTrace trace;
+  trace.times = {0.0_s, 1.0_s};
+  trace.loads = {{0.8}, {0.1}};
+  trace.end = 4.0_s;
+
+  HalfCapacityPolicy policy;
+  const MechanismReport report = run_mechanism(trace, policy);
+
+  EXPECT_NEAR(report.max_buffered.value(), 30.0, 1e-9);
+  EXPECT_DOUBLE_EQ(report.dropped.value(), 0.0);
+}
+
+TEST(RunMechanism, StartsMidTimelineWhenTraceDoes) {
+  // A trace that starts at t=10 drives the engine clock from there.
+  LoadTrace trace;
+  trace.times = {10.0_s, 11.0_s};
+  trace.loads = {{0.8}, {0.1}};
+  trace.end = 12.0_s;
+
+  ThresholdPolicy policy;
+  SimEngine engine;
+  const MechanismReport report = run_mechanism(engine, trace, policy);
+  EXPECT_EQ(policy.observations, (std::vector<double>{10.0, 11.0}));
+  EXPECT_DOUBLE_EQ(report.duration.value(), 2.0);
+  EXPECT_DOUBLE_EQ(engine.now().value(), 12.0);
+}
+
+}  // namespace
+}  // namespace netpp

@@ -112,5 +112,62 @@ TEST(NodeLoadRecorder, InvalidPipelineCountThrows) {
                std::invalid_argument);
 }
 
+// --- LoadTrace adapter (the unified entry both legacy adapters wrap) ------
+
+TEST(NodeLoadRecorder, LoadTraceOnEmptyRecorderThrows) {
+  Rig rig;
+  const NodeLoadRecorder recorder{rig.sim, {rig.leaf}};
+  EXPECT_THROW((void)recorder.load_trace(rig.leaf, 1, 1.0_s),
+               std::logic_error);
+}
+
+TEST(NodeLoadRecorder, SingleSampleYieldsOneSegment) {
+  Rig rig;
+  NodeLoadRecorder recorder{rig.sim, {rig.leaf}};
+  recorder.sample(0.0_s);
+
+  const LoadTrace trace = recorder.load_trace(rig.leaf, 1, 2.5_s);
+  EXPECT_NO_THROW(trace.validate());
+  ASSERT_EQ(trace.num_segments(), 1u);
+  EXPECT_DOUBLE_EQ(trace.times.front().value(), 0.0);
+  EXPECT_DOUBLE_EQ(trace.end.value(), 2.5);
+  EXPECT_DOUBLE_EQ(trace.loads[0][0], 0.0);
+}
+
+TEST(NodeLoadRecorder, EndMustBeAfterTheLastSample) {
+  // The open final segment needs an explicit end — truncating to the last
+  // sample would silently drop it.
+  Rig rig;
+  NodeLoadRecorder recorder{rig.sim, {rig.leaf}};
+  recorder.sample(0.0_s);
+  recorder.sample(1.0_s);
+  EXPECT_THROW((void)recorder.load_trace(rig.leaf, 1, 1.0_s),
+               std::invalid_argument);
+  EXPECT_THROW((void)recorder.load_trace(rig.leaf, 1, 0.5_s),
+               std::invalid_argument);
+  EXPECT_NO_THROW((void)recorder.load_trace(rig.leaf, 1, 1.5_s));
+  EXPECT_THROW((void)recorder.load_trace(rig.leaf, 0, 1.5_s),
+               std::invalid_argument);
+}
+
+TEST(NodeLoadRecorder, SingleChannelMatchesAggregateTrace) {
+  Rig rig;
+  NodeLoadRecorder recorder{rig.sim, {rig.leaf}};
+  rig.sim.set_load_listener(recorder.listener());
+  recorder.sample(0.0_s);
+  rig.sim.submit(FlowSpec{rig.topo.hosts[0], rig.topo.hosts[1],
+                          Bits::from_gigabits(100.0), 1.0_s, 0});
+  rig.engine.run();
+
+  const LoadTrace unified = recorder.load_trace(rig.leaf, 1, 3.0_s);
+  const AggregateLoadTrace agg = recorder.aggregate_trace(rig.leaf, 3.0_s);
+  ASSERT_EQ(unified.num_segments(), agg.times.size());
+  for (std::size_t i = 0; i < agg.times.size(); ++i) {
+    EXPECT_EQ(unified.times[i].value(), agg.times[i].value());
+    EXPECT_EQ(unified.loads[i][0], agg.loads[i]);
+  }
+  EXPECT_EQ(unified.end.value(), agg.end.value());
+}
+
 }  // namespace
 }  // namespace netpp

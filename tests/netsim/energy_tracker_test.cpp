@@ -132,5 +132,25 @@ TEST(FabricEnergyTracker, InvalidHorizonThrows) {
                std::invalid_argument);
 }
 
+
+TEST(FabricEnergyTracker, ReportUsesMaxPowerBaseline) {
+  Rig rig;
+  FabricEnergyTracker tracker{rig.sim, small_config()};
+  tracker.on_load_change(0.0_s);
+  rig.engine.run_until(5.0_s);
+
+  const MechanismReport report = tracker.report(5.0_s);
+  EXPECT_EQ(report.mechanism, "fabric");
+  EXPECT_DOUBLE_EQ(report.duration.value(), 5.0);
+  EXPECT_DOUBLE_EQ(report.energy.value(), tracker.network_energy(5.0_s).value());
+  EXPECT_DOUBLE_EQ(report.baseline_energy.value(),
+                   tracker.max_network_power().value() * 5.0);
+  // An idle fabric saves exactly the idle/max gap.
+  EXPECT_GT(report.savings, 0.0);
+  EXPECT_DOUBLE_EQ(report.average_power.value(),
+                   tracker.average_network_power(5.0_s).value());
+  EXPECT_THROW((void)tracker.report(Seconds{0.0}), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace netpp

@@ -9,6 +9,8 @@
 //   netpp_cli sensitivity [--csv]
 //   netpp_cli faults [--mtbf S] [--mttr S] [--seed N]
 //                    [--policy none|wake-all|re-tailor] [--headroom H] [--csv]
+//   netpp_cli mech [--stack all|dynamic|tailor|park|rate] [--iters N]
+//                  [--volume GBIT] [--horizon S] [--ocs N] [--csv]
 //   netpp_cli help
 #include <cstdio>
 #include <cstdlib>
@@ -22,6 +24,7 @@
 #include "netpp/analysis/speedup.h"
 #include "netpp/cluster/cluster.h"
 #include "netpp/faults/experiment.h"
+#include "netpp/mech/composite.h"
 #include "netpp/traffic/generators.h"
 
 namespace {
@@ -39,6 +42,12 @@ struct Options {
   double headroom = 0.0;
   std::uint64_t fault_seed = 1;
   DegradedPolicy policy = DegradedPolicy::kRetailor;
+  // mech subcommand
+  std::string stack = "all";
+  int mech_iterations = 4;
+  double mech_volume_gbit = 2.0;
+  double mech_horizon_s = 4.0;
+  int mech_ocs_devices = 4;
 };
 
 void print_table(const Table& table, bool csv) {
@@ -58,10 +67,13 @@ int usage() {
       "  savings      one savings cell: --prop P [--gbps B]\n"
       "  sensitivity  headline metrics vs modeling assumptions\n"
       "  faults       fault-injection resilience run on a tailored fabric\n"
+      "  mech         composed Sec. 4 mechanism stack on an ML fat tree\n"
       "\n"
       "flags: --gpus N --gbps B --ratio R --prop P --csv\n"
       "faults flags: --mtbf S --mttr S --seed N --headroom H\n"
-      "              --policy none|wake-all|re-tailor\n");
+      "              --policy none|wake-all|re-tailor\n"
+      "mech flags:   --stack all|dynamic|tailor|park|rate --iters N\n"
+      "              --volume GBIT --horizon S --ocs N\n");
   return 2;
 }
 
@@ -73,6 +85,15 @@ bool parse(int argc, char** argv, Options& opt) {
       continue;
     }
     if (i + 1 >= argc) return false;
+    if (flag == "--stack") {
+      const std::string name = argv[++i];
+      if (name != "all" && name != "dynamic" && name != "tailor" &&
+          name != "park" && name != "rate") {
+        return false;
+      }
+      opt.stack = name;
+      continue;
+    }
     if (flag == "--policy") {
       const std::string name = argv[++i];
       if (name == "none") {
@@ -103,6 +124,14 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.headroom = value;
     } else if (flag == "--seed" && value >= 0) {
       opt.fault_seed = static_cast<std::uint64_t>(value);
+    } else if (flag == "--iters" && value > 0) {
+      opt.mech_iterations = static_cast<int>(value);
+    } else if (flag == "--volume" && value > 0) {
+      opt.mech_volume_gbit = value;
+    } else if (flag == "--horizon" && value > 0) {
+      opt.mech_horizon_s = value;
+    } else if (flag == "--ocs" && value >= 0) {
+      opt.mech_ocs_devices = static_cast<int>(value);
     } else {
       return false;
     }
@@ -278,6 +307,71 @@ int cmd_faults(const Options& opt) {
   return 0;
 }
 
+int cmd_mech(const Options& opt) {
+  // Canned scenario: k=4 fat tree at 100 G running phase-structured ML
+  // training, with a ring all-reduce demand matrix that tailoring must keep
+  // satisfiable. The composed stack (tailoring -> parking -> rate
+  // adaptation) is priced against the all-on baseline and against each
+  // mechanism alone.
+  const BuiltTopology topo = build_fat_tree(4, 100_Gbps);
+  MlTrafficConfig traffic;
+  traffic.compute_time = Seconds{0.9};
+  traffic.comm_allowance = Seconds{0.1};
+  traffic.iterations = opt.mech_iterations;
+  traffic.volume_per_host = Bits::from_gigabits(opt.mech_volume_gbit);
+  const auto workload = make_ml_training_traffic(topo.hosts, traffic).flows;
+
+  CompositeConfig config;
+  config.tailor = opt.stack == "all" || opt.stack == "tailor";
+  config.park =
+      opt.stack == "all" || opt.stack == "dynamic" || opt.stack == "park";
+  config.rate_adapt =
+      opt.stack == "all" || opt.stack == "dynamic" || opt.stack == "rate";
+  config.parking.switch_capacity = Gbps{4 * 100.0};  // 4 ports at 100 G
+  config.num_ocs_devices = opt.mech_ocs_devices;
+
+  std::vector<TrafficDemand> demands;
+  for (std::size_t i = 0; i < topo.hosts.size(); ++i) {
+    demands.push_back(TrafficDemand{topo.hosts[i],
+                                    topo.hosts[(i + 1) % topo.hosts.size()],
+                                    5_Gbps});
+  }
+
+  const CompositeReport report = run_composite(
+      topo, workload, demands, Seconds{opt.mech_horizon_s}, config);
+  const MechanismValue value = mechanism_value(
+      report.baseline_energy, report.energy, report.horizon);
+
+  Table table{{"metric", "value"}};
+  table.add_row({"stack", opt.stack});
+  table.add_row({"switches", std::to_string(report.switches_total)});
+  table.add_row({"switches tailored off",
+                 std::to_string(report.tailoring.powered_off.size())});
+  table.add_row({"horizon (s)", fmt(report.horizon.value(), 3)});
+  table.add_row(
+      {"baseline power (W)", fmt(report.baseline_average_power.value(), 1)});
+  table.add_row({"stack power (W)", fmt(report.average_power.value(), 1)});
+  table.add_row({"baseline energy (kJ)",
+                 fmt(report.baseline_energy.value() / 1e3, 3)});
+  table.add_row({"stack energy (kJ)", fmt(report.energy.value() / 1e3, 3)});
+  for (const auto& single : report.singles) {
+    table.add_row({single.name + " savings", fmt_percent(single.savings, 2)});
+  }
+  table.add_row(
+      {"best single savings", fmt_percent(report.best_single_savings, 2)});
+  table.add_row({"combined savings", fmt_percent(report.combined_savings, 2)});
+  table.add_row({"wake transitions", std::to_string(report.wake_transitions)});
+  table.add_row({"park transitions", std::to_string(report.park_transitions)});
+  table.add_row(
+      {"level transitions", std::to_string(report.level_transitions)});
+  table.add_row({"dropped (Mbit)", fmt(report.dropped.value() / 1e6, 3)});
+  table.add_row(
+      {"sustained value ($/yr)", fmt(value.annual_savings.value(), 0)});
+  table.add_row({"avoided CO2 (t/yr)", fmt(value.annual_co2_tons, 3)});
+  print_table(table, opt.csv);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -293,5 +387,6 @@ int main(int argc, char** argv) {
   if (command == "savings") return cmd_savings(opt);
   if (command == "sensitivity") return cmd_sensitivity(opt);
   if (command == "faults") return cmd_faults(opt);
+  if (command == "mech") return cmd_mech(opt);
   return usage();
 }
