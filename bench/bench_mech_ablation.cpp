@@ -153,6 +153,10 @@ void print_ablation() {
   };
 
   SweepRunner runner;
+  runner.set_progress_callback([](std::size_t done, std::size_t total) {
+    std::fprintf(stderr, "\rablation rows: %zu/%zu%s", done, total,
+                 done == total ? "\n" : "");
+  });
   const auto rows = runner.map<Row>(
       row_evals.size(),
       [&](std::size_t index, Rng&) { return row_evals[index](); });

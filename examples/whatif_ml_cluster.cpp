@@ -72,8 +72,15 @@ int main(int argc, char** argv) {
   const BudgetSolver solver{config, workload};
 
   // The 11 proportionality points are independent; sweep them across a
-  // thread pool and assemble the table in point order afterwards.
+  // thread pool and assemble the table in point order afterwards. Progress
+  // goes to stderr so `--csv > sweep.csv` stays clean.
   SweepRunner runner;
+  if (!csv) {
+    runner.set_progress_callback([](std::size_t done, std::size_t total) {
+      std::fprintf(stderr, "\rsweeping proportionality: %zu/%zu%s", done,
+                   total, done == total ? "\n" : "");
+    });
+  }
   const auto rows = runner.map<std::vector<std::string>>(
       11, [&](std::size_t index, Rng&) {
         const double proportionality = static_cast<double>(index) / 10.0;

@@ -91,6 +91,17 @@ class DegradedModeController {
 
   [[nodiscard]] const DegradedModeConfig& config() const { return config_; }
 
+  /// Optional event log (must outlive the controller): records emergency
+  /// wakes, re-tailoring passes, and park/wake decisions as instants.
+  void set_event_log(telemetry::EventLog* log) { events_ = log; }
+
+  /// Optional registry gauge mirroring the powered-switch count; updated on
+  /// every power change (the sampler tracks it for the watts time series).
+  void set_powered_gauge(telemetry::Gauge gauge) {
+    powered_gauge_ = gauge;
+    note_power_change();
+  }
+
  private:
   /// Demands scaled by (1 + min_headroom).
   [[nodiscard]] std::vector<TrafficDemand> inflated_demands() const;
@@ -119,6 +130,8 @@ class DegradedModeController {
   /// Wake already scheduled (a repeat failure must not double-schedule).
   std::vector<bool> wake_pending_;
   TimeWeighted powered_count_;
+  telemetry::EventLog* events_ = nullptr;
+  telemetry::Gauge powered_gauge_;
   std::size_t emergency_wakes_ = 0;
   std::size_t retailor_passes_ = 0;
 };

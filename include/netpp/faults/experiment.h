@@ -36,6 +36,12 @@ struct FaultExperimentConfig {
   /// Per-switch draw used to convert powered-switch-seconds to energy.
   Watts switch_power{350.0};
   FlowSimulator::Config sim{};
+  /// Optional telemetry bundle (must outlive the call). When set, the
+  /// simulator/injector/controller share its registry and event log, the
+  /// sampler (if a period is configured) records the fault-experiment time
+  /// series (active/stranded flows, powered switches, fabric watts, mean
+  /// utilization), and end-of-run totals land under "faults.*".
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 struct FaultExperimentResult {

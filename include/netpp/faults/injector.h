@@ -46,6 +46,10 @@ class FaultInjector {
 
   void set_listener(Listener listener) { listener_ = std::move(listener); }
 
+  /// Optional event log (must outlive the injector): each fault becomes an
+  /// async span from application to repair, named after its kind.
+  void set_event_log(telemetry::EventLog* log) { events_ = log; }
+
   /// Applied faults in application order.
   [[nodiscard]] const std::vector<Outcome>& log() const { return log_; }
 
@@ -65,6 +69,7 @@ class FaultInjector {
   std::vector<double> prior_factor_;
   std::vector<Outcome> log_;
   Listener listener_;
+  telemetry::EventLog* events_ = nullptr;
   bool armed_ = false;
 };
 

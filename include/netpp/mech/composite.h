@@ -85,6 +85,11 @@ struct CompositeConfig {
   /// tailored stage (the "is the addition worth it?" bookkeeping).
   int num_ocs_devices = 0;
   OcsOverheadModel ocs{};
+  /// Optional telemetry bundle (must outlive the call). The combined-stack
+  /// per-switch mechanism runs record their transitions/breakpoints into
+  /// the event log and accumulate "mech.<name>.*" metrics; the composite
+  /// totals land under "composite.*".
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 /// One mechanism (or the full stack) over the common workload.

@@ -21,6 +21,7 @@
 #include "netpp/mech/load_trace.h"
 #include "netpp/power/state_timeline.h"
 #include "netpp/sim/engine.h"
+#include "netpp/telemetry/telemetry.h"
 #include "netpp/units.h"
 
 namespace netpp {
@@ -127,12 +128,20 @@ class MechanismPolicy {
 /// integration interval; the engine clock tracks the mechanism time, so
 /// other events can co-schedule). The trace must be validated; the engine
 /// must be at or before the trace start.
-[[nodiscard]] MechanismReport run_mechanism(SimEngine& engine,
-                                            const LoadTrace& trace,
-                                            MechanismPolicy& policy);
+///
+/// When `telemetry` is non-null the run is observable without any numeric
+/// change: every power-state transition and policy breakpoint becomes a
+/// trace event (category "power" / "mech"), the whole run is a "mech" span
+/// keyed by the "mech.runs" counter, and the report totals land in the
+/// registry under "mech.<name>.*" (transition counters and energy gauges
+/// accumulate, so per-switch runs of a composite stack sum up).
+[[nodiscard]] MechanismReport run_mechanism(
+    SimEngine& engine, const LoadTrace& trace, MechanismPolicy& policy,
+    telemetry::Telemetry* telemetry = nullptr);
 
 /// Convenience: runs on a private engine.
-[[nodiscard]] MechanismReport run_mechanism(const LoadTrace& trace,
-                                            MechanismPolicy& policy);
+[[nodiscard]] MechanismReport run_mechanism(
+    const LoadTrace& trace, MechanismPolicy& policy,
+    telemetry::Telemetry* telemetry = nullptr);
 
 }  // namespace netpp

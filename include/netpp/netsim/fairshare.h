@@ -44,6 +44,15 @@ struct FairShareFlowView {
 /// simulation allocates nothing per event.
 class MaxMinSolver {
  public:
+  /// Lifetime totals over this instance, for telemetry: how often the
+  /// solver ran and how big the problems were (mean problem size is
+  /// flows_solved / solves).
+  struct SolveStats {
+    std::uint64_t solves = 0;
+    std::uint64_t flows_solved = 0;
+  };
+  [[nodiscard]] const SolveStats& stats() const { return stats_; }
+
   /// Computes max-min fair rates. `capacities[r]` is the capacity of
   /// resource r (>= 0; a zero-capacity resource pins the flows crossing it
   /// to rate 0). Returns one rate per flow, in input order; the
@@ -87,6 +96,7 @@ class MaxMinSolver {
   std::vector<std::size_t> touched_all_;  // scratch: full-resource list
   std::vector<HeapEntry> link_heap_;      // (share, resource), lazy-delete
   std::vector<HeapEntry> cap_heap_;       // (cap, flow), lazy-delete
+  SolveStats stats_;
 };
 
 /// Convenience wrapper over MaxMinSolver for owned-vector callers (tests,

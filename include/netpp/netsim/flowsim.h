@@ -13,12 +13,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "netpp/netsim/fairshare.h"
 #include "netpp/sim/engine.h"
 #include "netpp/sim/stats.h"
+#include "netpp/telemetry/telemetry.h"
 #include "netpp/topo/graph.h"
 #include "netpp/topo/route_cache.h"
 #include "netpp/topo/routing.h"
@@ -82,6 +84,13 @@ class FlowSimulator {
     /// it as permanently unroutable. Fault-injection runs want this on; the
     /// default preserves the historical "drop and count" semantics.
     bool strand_unroutable = false;
+    /// Optional telemetry bundle (must outlive the simulator). The
+    /// "netsim.*" counters/gauges land in its registry and, when its event
+    /// log is enabled, flow/solver/topology events are recorded. Null keeps
+    /// the counters in a simulator-private registry (realloc_stats() works
+    /// either way). Attach at most one simulator per bundle if per-instance
+    /// counter values matter: a shared registry merges same-named series.
+    telemetry::Telemetry* telemetry = nullptr;
   };
 
   /// Observability counters for the reallocation fast paths and the
@@ -112,6 +121,10 @@ class FlowSimulator {
                 Config config);
   /// Default configuration.
   FlowSimulator(const Graph& graph, Router& router, SimEngine& engine);
+  /// Flushes the point-in-time metrics into the registry (see
+  /// flush_metrics) so exports read final values even after the simulator
+  /// is gone.
+  ~FlowSimulator();
 
   /// Submits a flow for injection at `spec.start` (>= now). Returns its id.
   /// Rejects NaN/non-finite sizes and start times with
@@ -194,11 +207,21 @@ class FlowSimulator {
   [[nodiscard]] const SummaryStat& fct_stats() const { return fct_; }
 
   /// How often the solver ran vs. how often the incremental fast paths
-  /// absorbed an event (route-cache counters included).
-  [[nodiscard]] const ReallocStats& realloc_stats() const {
-    realloc_stats_.route_cache = route_cache_.stats();
-    return realloc_stats_;
-  }
+  /// absorbed an event (route-cache counters included). A thin view: the
+  /// counters live in the telemetry registry (Config::telemetry or the
+  /// simulator-private one) and are copied out here, so this and a metrics
+  /// export of the same run always agree bit-for-bit.
+  [[nodiscard]] const ReallocStats& realloc_stats() const;
+
+  /// Current mean utilization across every directed link:
+  /// sum(carried) / sum(capacity). O(num links) — sample, don't poll per
+  /// event.
+  [[nodiscard]] double current_mean_utilization() const;
+
+  /// Mirrors the point-in-time values (route-cache and solver totals,
+  /// active/completed/stranded/unroutable gauges) into the registry.
+  /// Called automatically on destruction; call before exporting mid-run.
+  void flush_metrics();
 
   [[nodiscard]] const Graph& graph() const { return graph_; }
   [[nodiscard]] SimEngine& engine() { return engine_; }
@@ -363,7 +386,38 @@ class FlowSimulator {
   std::vector<std::size_t> seed_links_;
   bool seed_valid_ = false;
   RouteCache route_cache_;
-  // Mutable so realloc_stats() can refresh the embedded route-cache
+  // Telemetry instruments. The counters behind ReallocStats live here: each
+  // increment site bumps a registry slot (Config::telemetry's registry, or
+  // local_metrics_ when detached) and realloc_stats() reads them back.
+  struct Instruments {
+    telemetry::Counter full_solves;
+    telemetry::Counter fast_arrivals;
+    telemetry::Counter fast_departures;
+    telemetry::Counter binding_solves;
+    telemetry::Counter binding_subset_flows;
+    telemetry::Counter topology_changes;
+    telemetry::Counter reroutes;
+    telemetry::Counter stranded;
+    telemetry::Counter resumed;
+    telemetry::Counter cache_hits;
+    telemetry::Counter cache_misses;
+    telemetry::Counter cache_epoch_flushes;
+    telemetry::Counter solver_solves;
+    telemetry::Counter solver_flows;
+    telemetry::Gauge active_flows;
+    telemetry::Gauge completed_flows;
+    telemetry::Gauge stranded_flows;
+    telemetry::Gauge unroutable_flows;
+    telemetry::Gauge cache_entries;
+    telemetry::Gauge cache_pool_bytes;
+    telemetry::Histogram fct;
+  };
+  void init_instruments(telemetry::MetricRegistry& registry);
+  void update_flow_gauges();
+  std::unique_ptr<telemetry::MetricRegistry> local_metrics_;
+  Instruments inst_;
+  telemetry::EventLog* events_ = nullptr;
+  // Mutable so realloc_stats() can refresh the view from the registry
   // counters without a separate accessor on every call site.
   mutable ReallocStats realloc_stats_;
   SummaryStat fct_;

@@ -74,6 +74,18 @@ class PowerStateTimeline {
   /// Installs the energy integrands. Either may be empty (no integration).
   void set_power_model(PowerFn actual, PowerFn baseline = {});
 
+  /// Observer for applied state changes, called as (component, from, to,
+  /// at). Fires on wake requests (to kWaking or directly to kOn), wake
+  /// completions (kWaking -> kOn), parks, and wake cancellations; level
+  /// moves are not state changes. Purely observational: it must not call
+  /// back into the timeline. Telemetry event logs attach here — the
+  /// timeline stays independent of the telemetry layer.
+  using TransitionListener =
+      std::function<void(int, PowerState, PowerState, Seconds)>;
+  void set_transition_listener(TransitionListener listener) {
+    transition_listener_ = std::move(listener);
+  }
+
   [[nodiscard]] int num_components() const {
     return static_cast<int>(tracks_.size());
   }
@@ -168,6 +180,7 @@ class PowerStateTimeline {
   std::vector<PendingWake> pending_;  ///< in request order
   PowerFn power_fn_;
   PowerFn baseline_fn_;
+  TransitionListener transition_listener_;
 
   double now_ = 0.0;
   double energy_j_ = 0.0;

@@ -26,7 +26,18 @@ struct SweepConfig {
 
 class SweepRunner {
  public:
+  /// Called after each scenario finishes, as (scenarios done so far, total).
+  /// Invocations are serialized (one at a time, in completion order — not
+  /// index order) and run on worker threads, so keep it cheap: progress
+  /// lines to stderr, a counter bump. Results are unaffected.
+  using ProgressCallback =
+      std::function<void(std::size_t done, std::size_t total)>;
+
   explicit SweepRunner(SweepConfig config = {});
+
+  void set_progress_callback(ProgressCallback callback) {
+    progress_ = std::move(callback);
+  }
 
   /// The seed scenario `index` runs with: SplitMix64 over (base_seed,
   /// index), independent of thread count and execution order.
@@ -56,6 +67,7 @@ class SweepRunner {
  private:
   std::size_t num_threads_;
   std::uint64_t base_seed_;
+  ProgressCallback progress_;
 };
 
 }  // namespace netpp

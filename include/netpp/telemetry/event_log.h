@@ -1,0 +1,79 @@
+// Structured event log: timestamped instants and (possibly overlapping)
+// spans keyed on sim-time, recorded as flat PODs and exported to Chrome
+// trace_event JSON (Perfetto / chrome://tracing) after the run.
+//
+// The log is disabled by default; every record call starts with one branch
+// on the enabled flag, so instrumented hot paths cost nothing measurable
+// when tracing is off. Names and categories are `const char*` and must
+// point at string literals (or anything outliving the log) — recording
+// never copies or allocates beyond the event vector's amortized growth.
+//
+// Spans are "async" in trace_event terms: begin/end pairs matched by
+// (category, id), so overlapping spans (two concurrent link faults, many
+// in-flight flows) render as separate slices. Callers supply the id from a
+// natural key (flow id, fault index).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netpp/units.h"
+
+namespace netpp::telemetry {
+
+struct TraceEvent {
+  const char* category;        // literal, e.g. "faults"
+  const char* name;            // literal, e.g. "fault.switch_down"
+  char phase;                  // 'i' instant, 'b'/'e' async span begin/end
+  Seconds at{};                // sim-time
+  std::uint64_t id = 0;        // span correlation id ('b'/'e' only)
+  const char* arg_name = nullptr;  // optional single numeric argument
+  double arg_value = 0.0;
+};
+
+class EventLog {
+ public:
+  EventLog() = default;
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void instant(const char* category, const char* name, Seconds at) {
+    if (!enabled_) return;
+    events_.push_back({category, name, 'i', at, 0, nullptr, 0.0});
+  }
+  void instant(const char* category, const char* name, Seconds at,
+               const char* arg_name, double arg_value) {
+    if (!enabled_) return;
+    events_.push_back({category, name, 'i', at, 0, arg_name, arg_value});
+  }
+  void begin_span(const char* category, const char* name, Seconds at,
+                  std::uint64_t id) {
+    if (!enabled_) return;
+    events_.push_back({category, name, 'b', at, id, nullptr, 0.0});
+  }
+  void begin_span(const char* category, const char* name, Seconds at,
+                  std::uint64_t id, const char* arg_name, double arg_value) {
+    if (!enabled_) return;
+    events_.push_back({category, name, 'b', at, id, arg_name, arg_value});
+  }
+  void end_span(const char* category, const char* name, Seconds at,
+                std::uint64_t id) {
+    if (!enabled_) return;
+    events_.push_back({category, name, 'e', at, id, nullptr, 0.0});
+  }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace netpp::telemetry

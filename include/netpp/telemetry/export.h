@@ -1,0 +1,38 @@
+// Exporters: Chrome trace_event JSON (loadable in Perfetto and
+// chrome://tracing), a self-describing JSON metrics dump, and CSV for the
+// sampled time series. All return the serialized document as a string;
+// write_file() is the shared "save it" helper with one-line diagnostics.
+#pragma once
+
+#include <string>
+
+#include "netpp/telemetry/event_log.h"
+#include "netpp/telemetry/metrics.h"
+#include "netpp/telemetry/sampler.h"
+
+namespace netpp::telemetry {
+
+/// Serializes the event log (and, when given, the sampler's series as
+/// counter tracks) into Chrome trace_event JSON. Sim-time seconds map to
+/// trace microseconds; each category gets its own named thread track and
+/// span begin/end pairs are matched per (category, id) so overlapping spans
+/// render as separate slices.
+[[nodiscard]] std::string to_chrome_trace_json(
+    const EventLog& log, const TimeSeriesSampler* sampler = nullptr);
+
+/// Serializes every registered metric into a self-describing JSON document:
+/// {"netpp_metrics_version": 1, "metrics": [{"name", "kind", "unit",
+/// "help", "value", ...}]}. Histograms carry count/sum/min/max plus
+/// bounds/buckets arrays.
+[[nodiscard]] std::string to_metrics_json(const MetricRegistry& registry);
+
+/// Serializes the sampler's rows as CSV: header "time_s,<series...>", one
+/// row per sample.
+[[nodiscard]] std::string to_csv(const TimeSeriesSampler& sampler);
+
+/// Writes `contents` to `path`. On failure returns false and sets `error`
+/// to a one-line diagnostic naming the path.
+bool write_file(const std::string& path, const std::string& contents,
+                std::string& error);
+
+}  // namespace netpp::telemetry

@@ -1,0 +1,45 @@
+// The telemetry bundle: one MetricRegistry + EventLog + TimeSeriesSampler
+// with aligned lifetimes, configured once and handed by pointer to the
+// layers being instrumented (FlowSimulator, fault experiments, mechanism
+// drivers). A null Telemetry* everywhere means "no telemetry": instruments
+// are detached handles and event recording is branch-out no-ops.
+#pragma once
+
+#include "netpp/telemetry/event_log.h"
+#include "netpp/telemetry/metrics.h"
+#include "netpp/telemetry/sampler.h"
+#include "netpp/units.h"
+
+namespace netpp::telemetry {
+
+struct TelemetryConfig {
+  /// Record the structured event log (spans/instants).
+  bool events = true;
+  /// Time-series sampling cadence; 0 disables sampling.
+  Seconds sample_period{0.0};
+
+  /// Throws std::invalid_argument ("TelemetryConfig: ...") on bad values.
+  void validate() const;
+};
+
+class Telemetry {
+ public:
+  explicit Telemetry(TelemetryConfig config = {});
+
+  [[nodiscard]] const TelemetryConfig& config() const { return config_; }
+
+  [[nodiscard]] MetricRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const MetricRegistry& metrics() const { return metrics_; }
+  [[nodiscard]] EventLog& events() { return events_; }
+  [[nodiscard]] const EventLog& events() const { return events_; }
+  [[nodiscard]] TimeSeriesSampler& sampler() { return sampler_; }
+  [[nodiscard]] const TimeSeriesSampler& sampler() const { return sampler_; }
+
+ private:
+  TelemetryConfig config_;
+  MetricRegistry metrics_;
+  EventLog events_;
+  TimeSeriesSampler sampler_;
+};
+
+}  // namespace netpp::telemetry

@@ -1,0 +1,39 @@
+// Shared input-validation helpers with the repo-wide "TypeName: constraint"
+// diagnostic convention.
+//
+// Every validating entry point (LoadTrace, FaultGenerator, FlowSpec,
+// TrafficDemand, TelemetryConfig, ...) throws std::invalid_argument whose
+// message leads with the offending type and states the violated constraint,
+// e.g. "FlowSpec: size must be finite and positive". The formatting used to
+// be hand-assembled at every site with subtly different spellings; these
+// helpers are the one place the convention lives.
+#pragma once
+
+#include <string_view>
+
+namespace netpp::validation {
+
+/// Throws std::invalid_argument with the message
+/// "<type_name>: <constraint>".
+[[noreturn]] void fail(std::string_view type_name, std::string_view constraint);
+
+/// Throws "<type_name>: <constraint>" unless `ok`.
+inline void require(bool ok, std::string_view type_name,
+                    std::string_view constraint) {
+  if (!ok) fail(type_name, constraint);
+}
+
+/// Requires a finite value (NaN and infinities rejected).
+void require_finite(double value, std::string_view type_name,
+                    std::string_view constraint);
+
+/// Requires a finite value >= 0.
+void require_finite_non_negative(double value, std::string_view type_name,
+                                 std::string_view constraint);
+
+/// Requires a finite value in [0, 1] (NaN rejected: isfinite guards the
+/// comparison the NaN would otherwise sail through).
+void require_fraction(double value, std::string_view type_name,
+                      std::string_view constraint);
+
+}  // namespace netpp::validation

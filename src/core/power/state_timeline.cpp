@@ -58,12 +58,16 @@ void PowerStateTimeline::request_on(int component) {
     return;
   }
   ++wakes_;
+  const PowerState from = track.state;
   if (rules_.wake_latency.value() == 0.0) {
     track.state = PowerState::kOn;
   } else {
     track.state = PowerState::kWaking;
     pending_.push_back(
         PendingWake{component, now_ + rules_.wake_latency.value()});
+  }
+  if (transition_listener_) {
+    transition_listener_(component, from, track.state, Seconds{now_});
   }
 }
 
@@ -86,8 +90,12 @@ void PowerStateTimeline::request_off(int component, PowerState target) {
         "PowerStateTimeline: cancel the pending wake before parking a "
         "waking component");
   }
+  const PowerState from = track.state;
   track.state = target;
   ++parks_;
+  if (transition_listener_) {
+    transition_listener_(component, from, target, Seconds{now_});
+  }
 }
 
 int PowerStateTimeline::park_one() {
@@ -106,6 +114,10 @@ bool PowerStateTimeline::cancel_last_wake() {
   pending_.pop_back();
   tracks_[static_cast<std::size_t>(wake.component)].state = PowerState::kOff;
   --wakes_;  // never happened
+  if (transition_listener_) {
+    transition_listener_(wake.component, PowerState::kWaking, PowerState::kOff,
+                         Seconds{now_});
+  }
   return true;
 }
 
@@ -175,6 +187,10 @@ void PowerStateTimeline::advance_to(Seconds t) {
   for (auto it = pending_.begin(); it != pending_.end();) {
     if (it->deadline <= now_ + 1e-15) {
       tracks_[static_cast<std::size_t>(it->component)].state = PowerState::kOn;
+      if (transition_listener_) {
+        transition_listener_(it->component, PowerState::kWaking,
+                             PowerState::kOn, Seconds{now_});
+      }
       it = pending_.erase(it);
     } else {
       ++it;

@@ -1,0 +1,35 @@
+#include "netpp/validation.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace netpp::validation {
+
+void fail(std::string_view type_name, std::string_view constraint) {
+  std::string message;
+  message.reserve(type_name.size() + constraint.size() + 2);
+  message.append(type_name);
+  message.append(": ");
+  message.append(constraint);
+  throw std::invalid_argument(message);
+}
+
+void require_finite(double value, std::string_view type_name,
+                    std::string_view constraint) {
+  if (!std::isfinite(value)) fail(type_name, constraint);
+}
+
+void require_finite_non_negative(double value, std::string_view type_name,
+                                 std::string_view constraint) {
+  if (!std::isfinite(value) || value < 0.0) fail(type_name, constraint);
+}
+
+void require_fraction(double value, std::string_view type_name,
+                      std::string_view constraint) {
+  if (!std::isfinite(value) || value < 0.0 || value > 1.0) {
+    fail(type_name, constraint);
+  }
+}
+
+}  // namespace netpp::validation

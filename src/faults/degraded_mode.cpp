@@ -121,6 +121,9 @@ void DegradedModeController::on_event(const FaultSpec& fault, bool recovery) {
 
 void DegradedModeController::retailor_and_apply() {
   ++retailor_passes_;
+  if (events_) {
+    events_->instant("degraded_mode", "retailor", sim_.engine().now());
+  }
   const TailorResult tailored = tailor_topology_on(
       surviving_router(), topology_, inflated_demands(), config_.tailor);
   if (!tailored.feasible) {
@@ -159,6 +162,10 @@ void DegradedModeController::wake_later(NodeId sw) {
   }
   wake_pending_[sw] = true;
   ++emergency_wakes_;
+  if (events_) {
+    events_->instant("degraded_mode", "emergency_wake", sim_.engine().now(),
+                     "switch", static_cast<double>(sw));
+  }
   sim_.engine().schedule_after(config_.wake_latency, [this, sw] {
     wake_pending_[sw] = false;
     // The wake may have been overtaken by a re-park decision or a failure
@@ -180,8 +187,9 @@ std::size_t DegradedModeController::powered_switches() const {
 }
 
 void DegradedModeController::note_power_change() {
-  powered_count_.set(sim_.engine().now(),
-                     static_cast<double>(powered_switches()));
+  const double powered = static_cast<double>(powered_switches());
+  powered_count_.set(sim_.engine().now(), powered);
+  powered_gauge_.set(powered);
 }
 
 double DegradedModeController::powered_switch_seconds(Seconds until) const {

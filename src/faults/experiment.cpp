@@ -12,12 +12,45 @@ FaultExperimentResult run_fault_experiment(
   Router router{topology.graph};
   FlowSimulator::Config sim_config = config.sim;
   sim_config.strand_unroutable = true;
+  sim_config.telemetry = config.telemetry;
   FlowSimulator sim{topology.graph, router, engine, sim_config};
 
   DegradedModeController controller{sim, topology, config.demands,
                                     config.degraded};
   FaultInjector injector{sim, schedule};
   injector.set_listener(controller.listener());
+
+  telemetry::Telemetry* tel = config.telemetry;
+  if (tel != nullptr) {
+    injector.set_event_log(&tel->events());
+    controller.set_event_log(&tel->events());
+    controller.set_powered_gauge(
+        tel->metrics().gauge("faults.powered_switches"));
+    if (tel->sampler().enabled()) {
+      telemetry::TimeSeriesSampler& sampler = tel->sampler();
+      sampler.track("netsim.active_flows");
+      sampler.track("netsim.stranded_flows");
+      sampler.track("netsim.mean_link_utilization");
+      sampler.track("faults.powered_switches");
+      sampler.track("faults.fabric_watts");
+      // The expensive gauges (O(links) utilization scan) are refreshed only
+      // when a row is actually due, then the row is taken. Sampling rides on
+      // reallocation events, so it never extends the event horizon.
+      sim.set_load_listener([&sim, &controller, tel,
+                             switch_power = config.switch_power](Seconds now) {
+        telemetry::TimeSeriesSampler& s = tel->sampler();
+        if (!s.due(now)) return;
+        telemetry::MetricRegistry& m = tel->metrics();
+        m.gauge("netsim.mean_link_utilization")
+            .set(sim.current_mean_utilization());
+        const double powered =
+            static_cast<double>(controller.powered_switches());
+        m.gauge("faults.powered_switches").set(powered);
+        m.gauge("faults.fabric_watts").set(powered * switch_power.value());
+        s.sample(now);
+      });
+    }
+  }
 
   FaultExperimentResult result;
   if (config.tailor) result.tailoring = controller.tailor_initial();
@@ -51,6 +84,27 @@ FaultExperimentResult run_fault_experiment(
   input.switch_power = config.switch_power;
   input.duration = end;
   result.report = build_resilience_report(input);
+
+  if (tel != nullptr) {
+    sim.flush_metrics();
+    telemetry::MetricRegistry& m = tel->metrics();
+    m.counter("faults.injected").set(injector.faults_applied());
+    m.counter("faults.emergency_wakes").set(result.emergency_wakes);
+    m.counter("faults.retailor_passes").set(result.retailor_passes);
+    m.gauge("faults.powered_switches")
+        .set(static_cast<double>(result.powered_at_end));
+    m.gauge("faults.fabric_watts")
+        .set(static_cast<double>(result.powered_at_end) *
+             config.switch_power.value());
+    m.gauge("faults.powered_switch_seconds")
+        .set(input.powered_switch_seconds);
+    m.gauge("faults.all_on_switch_seconds").set(input.all_on_switch_seconds);
+    m.gauge("faults.energy_vs_baseline")
+        .set(input.all_on_switch_seconds > 0.0
+                 ? input.powered_switch_seconds / input.all_on_switch_seconds
+                 : 1.0);
+    m.gauge("faults.stranded_bit_seconds").set(input.stranded_bit_seconds);
+  }
   return result;
 }
 

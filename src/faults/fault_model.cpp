@@ -6,34 +6,29 @@
 #include <string>
 
 #include "netpp/sim/random.h"
+#include "netpp/validation.h"
 
 namespace netpp {
 
 void FaultSchedule::validate(const Graph& graph) const {
+  constexpr const char* kType = "FaultSchedule";
   for (std::size_t i = 0; i < faults.size(); ++i) {
     const FaultSpec& f = faults[i];
-    if (i > 0 && f.at < faults[i - 1].at) {
-      throw std::invalid_argument(
-          "FaultSchedule: faults must be sorted by failure time");
-    }
-    if (!std::isfinite(f.at.value()) || f.at.value() < 0.0) {
-      throw std::invalid_argument(
-          "FaultSchedule: failure time must be finite and non-negative");
-    }
-    if (!std::isfinite(f.recover_at.value()) || f.recover_at <= f.at) {
-      throw std::invalid_argument(
-          "FaultSchedule: recovery must be finite and after the failure");
-    }
+    validation::require(i == 0 || f.at >= faults[i - 1].at, kType,
+                        "faults must be sorted by failure time");
+    validation::require_finite_non_negative(
+        f.at.value(), kType, "failure time must be finite and non-negative");
+    validation::require(
+        std::isfinite(f.recover_at.value()) && f.recover_at > f.at, kType,
+        "recovery must be finite and after the failure");
     switch (f.kind) {
       case FaultKind::kSwitchDown:
         if (f.node >= graph.num_nodes()) {
           throw std::out_of_range(
               "FaultSchedule: failed switch does not exist");
         }
-        if (graph.node(f.node).kind == NodeKind::kHost) {
-          throw std::invalid_argument(
-              "FaultSchedule: hosts cannot fail (they are endpoints)");
-        }
+        validation::require(graph.node(f.node).kind != NodeKind::kHost, kType,
+                            "hosts cannot fail (they are endpoints)");
         break;
       case FaultKind::kLinkDown:
       case FaultKind::kLinkDegraded:
@@ -41,11 +36,12 @@ void FaultSchedule::validate(const Graph& graph) const {
           throw std::out_of_range(
               "FaultSchedule: failed link does not exist");
         }
-        if (f.kind == FaultKind::kLinkDegraded &&
-            (!std::isfinite(f.capacity_factor) || f.capacity_factor <= 0.0 ||
-             f.capacity_factor >= 1.0)) {
-          throw std::invalid_argument(
-              "FaultSchedule: degraded capacity factor must be in (0, 1)");
+        if (f.kind == FaultKind::kLinkDegraded) {
+          validation::require(std::isfinite(f.capacity_factor) &&
+                                  f.capacity_factor > 0.0 &&
+                                  f.capacity_factor < 1.0,
+                              kType,
+                              "degraded capacity factor must be in (0, 1)");
         }
         break;
     }
@@ -67,27 +63,22 @@ std::uint64_t device_seed(std::uint64_t seed, std::uint64_t tag,
 
 FaultGenerator::FaultGenerator(FaultGeneratorConfig config)
     : config_(config) {
-  const auto check_class = [](const DeviceReliability& r, const char* what) {
-    if (r.mtbf.value() > 0.0 && r.mttr.value() <= 0.0) {
-      throw std::invalid_argument(std::string("FaultGenerator: ") + what +
-                                  " mttr must be positive when mtbf is set");
-    }
+  constexpr const char* kType = "FaultGenerator";
+  const auto check_class = [&](const DeviceReliability& r, const char* what) {
+    validation::require(
+        r.mtbf.value() <= 0.0 || r.mttr.value() > 0.0, kType,
+        std::string(what) + " mttr must be positive when mtbf is set");
   };
   check_class(config_.switches, "switch");
   check_class(config_.links, "link");
-  if (config_.degraded_fraction < 0.0 || config_.degraded_fraction > 1.0) {
-    throw std::invalid_argument(
-        "FaultGenerator: degraded_fraction must be in [0, 1]");
-  }
-  if (config_.degraded_capacity_factor <= 0.0 ||
-      config_.degraded_capacity_factor >= 1.0) {
-    throw std::invalid_argument(
-        "FaultGenerator: degraded_capacity_factor must be in (0, 1)");
-  }
-  if (config_.horizon.value() < 0.0) {
-    throw std::invalid_argument(
-        "FaultGenerator: horizon must be non-negative");
-  }
+  validation::require(config_.degraded_fraction >= 0.0 &&
+                          config_.degraded_fraction <= 1.0,
+                      kType, "degraded_fraction must be in [0, 1]");
+  validation::require(config_.degraded_capacity_factor > 0.0 &&
+                          config_.degraded_capacity_factor < 1.0,
+                      kType, "degraded_capacity_factor must be in (0, 1)");
+  validation::require(config_.horizon.value() >= 0.0, kType,
+                      "horizon must be non-negative");
 }
 
 FaultSchedule FaultGenerator::generate(const Graph& graph) const {

@@ -4,6 +4,22 @@
 
 namespace netpp {
 
+namespace {
+
+const char* fault_event_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kSwitchDown:
+      return "fault.switch_down";
+    case FaultKind::kLinkDown:
+      return "fault.link_down";
+    case FaultKind::kLinkDegraded:
+      return "fault.link_degraded";
+  }
+  return "fault";
+}
+
+}  // namespace
+
 FaultInjector::FaultInjector(FlowSimulator& sim, FaultSchedule schedule)
     : sim_(sim), schedule_(std::move(schedule)) {
   schedule_.validate(sim_.graph());
@@ -24,6 +40,13 @@ void FaultInjector::arm() {
 
 void FaultInjector::apply(std::size_t index) {
   const FaultSpec& f = schedule_.faults[index];
+  if (events_) {
+    const bool on_node = f.kind == FaultKind::kSwitchDown;
+    events_->begin_span(
+        "faults", fault_event_name(f.kind), sim_.engine().now(), index,
+        on_node ? "node" : "link",
+        static_cast<double>(on_node ? f.node : f.link));
+  }
   const auto before = sim_.realloc_stats();
   switch (f.kind) {
     case FaultKind::kSwitchDown:
@@ -51,6 +74,10 @@ void FaultInjector::apply(std::size_t index) {
 
 void FaultInjector::repair(std::size_t index) {
   const FaultSpec& f = schedule_.faults[index];
+  if (events_) {
+    events_->end_span("faults", fault_event_name(f.kind), sim_.engine().now(),
+                      index);
+  }
   switch (f.kind) {
     case FaultKind::kSwitchDown:
       // Restore the pre-fault state: a parked switch stays parked.

@@ -212,12 +212,14 @@ struct StageTotals {
 
 StageTotals run_stage(const std::map<NodeId, LoadTrace>& traces,
                       const std::vector<NodeId>& powered,
-                      const CompositeConfig& config, bool park, bool rate) {
+                      const CompositeConfig& config, bool park, bool rate,
+                      telemetry::Telemetry* telemetry = nullptr) {
   StageTotals totals;
   for (NodeId sw : powered) {
     StackedSwitchPolicy policy{config.parking, config.rate,
                                StackedSwitchPolicy::Stages{park, rate}};
-    const MechanismReport report = run_mechanism(traces.at(sw), policy);
+    const MechanismReport report =
+        run_mechanism(traces.at(sw), policy, telemetry);
     totals.energy_j += report.energy.value();
     totals.baseline_j += report.baseline_energy.value();
     totals.wakes += report.wake_transitions;
@@ -323,9 +325,11 @@ CompositeReport run_composite(const BuiltTopology& topology,
     add_single("rate-adaptation", alone.energy_j);
   }
 
-  // The full enabled stack.
-  const StageTotals stacked = run_stage(stack_traces, powered, config,
-                                        config.park, config.rate_adapt);
+  // The full enabled stack (the only telemetered stage: its per-switch
+  // transitions and breakpoints are the events worth tracing).
+  const StageTotals stacked =
+      run_stage(stack_traces, powered, config, config.park, config.rate_adapt,
+                config.telemetry);
   const double combined_j = stacked.energy_j + ocs_energy_j;
   report.energy = Joules{combined_j};
   report.combined_savings = baseline.energy_j > 0.0
@@ -337,6 +341,20 @@ CompositeReport run_composite(const BuiltTopology& topology,
   report.dropped = Bits{stacked.dropped_bits};
   report.average_power = Watts{combined_j / end.value()};
   report.baseline_average_power = Watts{baseline.energy_j / end.value()};
+
+  if (config.telemetry != nullptr) {
+    telemetry::MetricRegistry& m = config.telemetry->metrics();
+    m.counter("composite.wakes").set(report.wake_transitions);
+    m.counter("composite.parks").set(report.park_transitions);
+    m.counter("composite.level_changes").set(report.level_transitions);
+    m.gauge("composite.energy_joules", "joules").set(combined_j);
+    m.gauge("composite.baseline_joules", "joules").set(baseline.energy_j);
+    m.gauge("composite.combined_savings").set(report.combined_savings);
+    m.gauge("composite.best_single_savings")
+        .set(report.best_single_savings);
+    m.gauge("composite.dropped_bits", "bits").set(stacked.dropped_bits);
+    m.gauge("composite.horizon_seconds", "seconds").set(end.value());
+  }
   return report;
 }
 

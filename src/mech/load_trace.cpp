@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "netpp/validation.h"
+
 namespace netpp {
 
 namespace detail {
@@ -10,32 +12,22 @@ namespace detail {
 void validate_segment_timing(const char* type_name,
                              const std::vector<Seconds>& times,
                              std::size_t num_segments, Seconds end) {
-  const std::string name{type_name};
-  if (times.empty() || times.size() != num_segments) {
-    throw std::invalid_argument(
-        name + ": needs matching, non-empty times and loads");
-  }
+  validation::require(!times.empty() && times.size() == num_segments,
+                      type_name, "needs matching, non-empty times and loads");
   for (std::size_t i = 0; i < times.size(); ++i) {
-    if (!std::isfinite(times[i].value())) {
-      throw std::invalid_argument(name + ": times must be finite");
-    }
-    if (i > 0 && times[i] <= times[i - 1]) {
-      throw std::invalid_argument(name +
-                                  ": times must be strictly increasing");
-    }
+    validation::require_finite(times[i].value(), type_name,
+                               "times must be finite");
+    validation::require(i == 0 || times[i] > times[i - 1], type_name,
+                        "times must be strictly increasing");
   }
-  if (!std::isfinite(end.value()) || end <= times.back()) {
-    throw std::invalid_argument(
-        name + ": end must be finite and after the last segment");
-  }
+  validation::require(std::isfinite(end.value()) && end > times.back(),
+                      type_name,
+                      "end must be finite and after the last segment");
 }
 
 void validate_load_fraction(const char* type_name, double load) {
-  // isfinite guards NaN, which would sail through the range comparison.
-  if (!std::isfinite(load) || load < 0.0 || load > 1.0) {
-    throw std::invalid_argument(std::string{type_name} +
-                                ": loads must be finite and in [0, 1]");
-  }
+  validation::require_fraction(load, type_name,
+                               "loads must be finite and in [0, 1]");
 }
 
 }  // namespace detail

@@ -5,6 +5,20 @@
 
 namespace netpp {
 
+namespace {
+
+/// Trace-event name for an applied power-state transition.
+const char* transition_event_name(PowerState from, PowerState to) {
+  if (to == PowerState::kWaking) return "power.wake_request";
+  if (to == PowerState::kOn) {
+    return from == PowerState::kWaking ? "power.wake_complete" : "power.on";
+  }
+  if (from == PowerState::kWaking) return "power.wake_cancel";
+  return to == PowerState::kSleep ? "power.sleep" : "power.park";
+}
+
+}  // namespace
+
 double MechanismPolicy::offered_fraction(const LoadSegment& seg) const {
   double sum = 0.0;
   for (double load : seg.loads) sum += load;
@@ -12,9 +26,30 @@ double MechanismPolicy::offered_fraction(const LoadSegment& seg) const {
 }
 
 MechanismReport run_mechanism(SimEngine& engine, const LoadTrace& trace,
-                              MechanismPolicy& policy) {
+                              MechanismPolicy& policy,
+                              telemetry::Telemetry* telemetry) {
   trace.validate();
   PowerStateTimeline timeline = policy.make_timeline(trace);
+
+  telemetry::EventLog* events =
+      telemetry != nullptr && telemetry->events().enabled()
+          ? &telemetry->events()
+          : nullptr;
+  std::uint64_t run_id = 0;
+  if (telemetry != nullptr) {
+    telemetry::Counter runs = telemetry->metrics().counter(
+        "mech.runs", "runs", "mechanism driver invocations");
+    run_id = runs.value();
+    runs.inc();
+  }
+  if (events != nullptr) {
+    events->begin_span("mech", "mechanism.run", trace.times.front(), run_id);
+    timeline.set_transition_listener(
+        [events](int component, PowerState from, PowerState to, Seconds at) {
+          events->instant("power", transition_event_name(from, to), at,
+                          "component", static_cast<double>(component));
+        });
+  }
 
   const double t_end = trace.end.value();
   const bool buffering = policy.models_buffering();
@@ -45,7 +80,11 @@ MechanismReport run_mechanism(SimEngine& engine, const LoadTrace& trace,
       t_next = std::min(t_next, trace.times[seg + 1].value());
     }
     t_next = std::min(t_next, timeline.next_event());
-    t_next = std::min(t_next, policy.next_breakpoint(t));
+    const double breakpoint = policy.next_breakpoint(t);
+    t_next = std::min(t_next, breakpoint);
+    if (events != nullptr && breakpoint <= t_next) {
+      events->instant("mech", "mech.breakpoint", Seconds{breakpoint});
+    }
 
     double offered = 0.0;
     double capacity_frac = 1.0;
@@ -113,13 +152,39 @@ MechanismReport run_mechanism(SimEngine& engine, const LoadTrace& trace,
       timeline.residency(PowerState::kOn).value() / duration;
   report.mean_level = timeline.mean_level_time() / duration;
   policy.finish(trace, timeline, report);
+
+  if (events != nullptr) {
+    events->end_span("mech", "mechanism.run", trace.end, run_id);
+  }
+  if (telemetry != nullptr) {
+    telemetry::MetricRegistry& m = telemetry->metrics();
+    const std::string prefix = "mech." + report.mechanism + ".";
+    m.counter(prefix + "wakes").inc(report.wake_transitions);
+    m.counter(prefix + "parks").inc(report.park_transitions);
+    m.counter(prefix + "level_changes").inc(report.level_transitions);
+    m.gauge(prefix + "energy_joules", "joules").add(report.energy.value());
+    m.gauge(prefix + "baseline_joules", "joules")
+        .add(report.baseline_energy.value());
+    m.gauge(prefix + "dropped_bits", "bits").add(report.dropped.value());
+    m.gauge(prefix + "residency_on_seconds", "seconds")
+        .add(report.residency[static_cast<std::size_t>(PowerState::kOn)]
+                 .value());
+    m.gauge(prefix + "residency_off_seconds", "seconds")
+        .add(report.residency[static_cast<std::size_t>(PowerState::kOff)]
+                 .value());
+    // Last-writer ratios: exact for a single run; for a composite's
+    // per-switch runs, recompute from the accumulated energy gauges instead.
+    m.gauge(prefix + "savings").set(report.savings);
+    m.gauge(prefix + "mean_on_components").set(report.mean_on_components);
+    m.gauge(prefix + "mean_level").set(report.mean_level);
+  }
   return report;
 }
 
-MechanismReport run_mechanism(const LoadTrace& trace,
-                              MechanismPolicy& policy) {
+MechanismReport run_mechanism(const LoadTrace& trace, MechanismPolicy& policy,
+                              telemetry::Telemetry* telemetry) {
   SimEngine engine;
-  return run_mechanism(engine, trace, policy);
+  return run_mechanism(engine, trace, policy, telemetry);
 }
 
 }  // namespace netpp

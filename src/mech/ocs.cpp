@@ -5,6 +5,8 @@
 #include <map>
 #include <stdexcept>
 
+#include "netpp/validation.h"
+
 namespace netpp {
 namespace {
 
@@ -70,13 +72,9 @@ void TrafficDemand::validate(const Graph& graph) const {
   if (src >= graph.num_nodes() || dst >= graph.num_nodes()) {
     throw std::out_of_range("TrafficDemand: endpoint does not exist");
   }
-  if (src == dst) {
-    throw std::invalid_argument("TrafficDemand: src must differ from dst");
-  }
-  if (!std::isfinite(rate.value()) || rate.value() <= 0.0) {
-    throw std::invalid_argument(
-        "TrafficDemand: rate must be finite and positive");
-  }
+  validation::require(src != dst, "TrafficDemand", "src must differ from dst");
+  validation::require(std::isfinite(rate.value()) && rate.value() > 0.0,
+                      "TrafficDemand", "rate must be finite and positive");
 }
 
 bool demands_satisfiable(const Router& router,

@@ -72,6 +72,8 @@ const std::vector<double>& MaxMinSolver::run(
   const std::size_t num_flows = flows.size();
   const std::size_t num_res = capacities.size();
   const bool uniform = uniform_cap > 0.0;
+  ++stats_.solves;
+  stats_.flows_solved += num_flows;
 
   rate_.assign(num_flows, 0.0);
   frozen_.assign(num_flows, 0);

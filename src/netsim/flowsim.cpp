@@ -6,6 +6,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "netpp/validation.h"
+
 namespace netpp {
 
 namespace {
@@ -33,25 +35,133 @@ FlowSimulator::FlowSimulator(const Graph& graph, Router& router,
   }
   carried_bps_.assign(directed_capacity_bps_.size(), 0.0);
   link_factor_.assign(graph.num_links(), 1.0);
+  if (config_.telemetry != nullptr) {
+    init_instruments(config_.telemetry->metrics());
+    events_ = &config_.telemetry->events();
+  } else {
+    // Detached: the counters still need slots (realloc_stats() reads them
+    // back), so park them in a simulator-private registry.
+    local_metrics_ = std::make_unique<telemetry::MetricRegistry>();
+    init_instruments(*local_metrics_);
+  }
 }
 
 FlowSimulator::FlowSimulator(const Graph& graph, Router& router,
                              SimEngine& engine)
     : FlowSimulator(graph, router, engine, Config{}) {}
 
+FlowSimulator::~FlowSimulator() { flush_metrics(); }
+
+void FlowSimulator::init_instruments(telemetry::MetricRegistry& registry) {
+  inst_.full_solves = registry.counter("netsim.realloc.full_solves", "solves",
+                                       "reallocations that ran the solver");
+  inst_.fast_arrivals =
+      registry.counter("netsim.realloc.fast_arrivals", "events",
+                       "arrivals admitted at cap without a re-solve");
+  inst_.fast_departures =
+      registry.counter("netsim.realloc.fast_departures", "events",
+                       "departures absorbed without a re-solve");
+  inst_.binding_solves =
+      registry.counter("netsim.realloc.binding_solves", "solves",
+                       "reallocations resolved on the binding subset");
+  inst_.binding_subset_flows =
+      registry.counter("netsim.realloc.binding_subset_flows", "flows",
+                       "total flows handed to the solver by binding solves");
+  inst_.topology_changes =
+      registry.counter("netsim.realloc.topology_changes", "events",
+                       "node/link enable, disable, and degrade events");
+  inst_.reroutes = registry.counter("netsim.realloc.reroutes", "flows",
+                                    "flows moved to a surviving path");
+  inst_.stranded = registry.counter("netsim.realloc.stranded", "flows",
+                                    "flows parked with no surviving path");
+  inst_.resumed = registry.counter("netsim.realloc.resumed", "flows",
+                                   "stranded flows re-admitted");
+  inst_.cache_hits =
+      registry.counter("netsim.route_cache.hits", "lookups",
+                       "route lookups served from the cache");
+  inst_.cache_misses = registry.counter("netsim.route_cache.misses", "lookups",
+                                        "route lookups that ran the BFS");
+  inst_.cache_epoch_flushes =
+      registry.counter("netsim.route_cache.epoch_flushes", "flushes",
+                       "whole-cache drops on topology epoch change");
+  inst_.solver_solves = registry.counter("netsim.solver.solves", "solves",
+                                         "max-min solver invocations");
+  inst_.solver_flows =
+      registry.counter("netsim.solver.flows_solved", "flows",
+                       "total flows across solver invocations");
+  inst_.active_flows = registry.gauge("netsim.active_flows", "flows",
+                                      "flows currently in flight");
+  inst_.completed_flows =
+      registry.gauge("netsim.completed_flows", "flows", "flows finished");
+  inst_.stranded_flows = registry.gauge("netsim.stranded_flows", "flows",
+                                        "flows parked without a path");
+  inst_.unroutable_flows =
+      registry.gauge("netsim.unroutable_flows", "flows",
+                     "flows dropped as permanently unroutable");
+  inst_.cache_entries = registry.gauge("netsim.route_cache.entries", "paths",
+                                       "resident route-cache entries");
+  inst_.cache_pool_bytes = registry.gauge("netsim.route_cache.pool_bytes",
+                                          "bytes", "resident cache bytes");
+  inst_.fct = registry.histogram(
+      "netsim.fct_seconds",
+      {1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0},
+      "seconds", "flow completion times");
+}
+
+void FlowSimulator::update_flow_gauges() {
+  inst_.active_flows.set(static_cast<double>(active_.size()));
+  inst_.completed_flows.set(static_cast<double>(completed_.size()));
+  inst_.stranded_flows.set(static_cast<double>(stranded_.size()));
+}
+
+void FlowSimulator::flush_metrics() {
+  const RouteCacheStats cache = route_cache_.stats();
+  inst_.cache_hits.set(cache.hits);
+  inst_.cache_misses.set(cache.misses);
+  inst_.cache_epoch_flushes.set(cache.epoch_flushes);
+  inst_.cache_entries.set(static_cast<double>(cache.entries));
+  inst_.cache_pool_bytes.set(static_cast<double>(cache.pool_bytes));
+  inst_.solver_solves.set(solver_.stats().solves);
+  inst_.solver_flows.set(solver_.stats().flows_solved);
+  inst_.unroutable_flows.set(static_cast<double>(unroutable_));
+  update_flow_gauges();
+}
+
+const FlowSimulator::ReallocStats& FlowSimulator::realloc_stats() const {
+  realloc_stats_.full_solves = inst_.full_solves.value();
+  realloc_stats_.fast_arrivals = inst_.fast_arrivals.value();
+  realloc_stats_.fast_departures = inst_.fast_departures.value();
+  realloc_stats_.binding_solves = inst_.binding_solves.value();
+  realloc_stats_.binding_subset_flows = inst_.binding_subset_flows.value();
+  realloc_stats_.topology_changes = inst_.topology_changes.value();
+  realloc_stats_.reroutes = inst_.reroutes.value();
+  realloc_stats_.stranded = inst_.stranded.value();
+  realloc_stats_.resumed = inst_.resumed.value();
+  realloc_stats_.route_cache = route_cache_.stats();
+  return realloc_stats_;
+}
+
+double FlowSimulator::current_mean_utilization() const {
+  double carried = 0.0;
+  double capacity = 0.0;
+  for (std::size_t r = 0; r < directed_capacity_bps_.size(); ++r) {
+    carried += carried_bps_[r];
+    capacity += directed_capacity_bps_[r];
+  }
+  return capacity > 0.0 ? carried / capacity : 0.0;
+}
+
 FlowId FlowSimulator::submit(const FlowSpec& spec) {
   if (spec.src >= graph_.num_nodes() || spec.dst >= graph_.num_nodes()) {
     throw std::out_of_range("FlowSpec: flow endpoint does not exist");
   }
-  if (spec.src == spec.dst) {
-    throw std::invalid_argument("FlowSpec: src must differ from dst");
-  }
-  if (!std::isfinite(spec.size.value()) || spec.size.value() <= 0.0) {
-    throw std::invalid_argument("FlowSpec: size must be finite and positive");
-  }
-  if (!std::isfinite(spec.start.value())) {
-    throw std::invalid_argument("FlowSpec: start time must be finite");
-  }
+  validation::require(spec.src != spec.dst, "FlowSpec",
+                      "src must differ from dst");
+  validation::require(
+      std::isfinite(spec.size.value()) && spec.size.value() > 0.0, "FlowSpec",
+      "size must be finite and positive");
+  validation::require_finite(spec.start.value(), "FlowSpec",
+                             "start time must be finite");
   const FlowId id = next_id_++;
   engine_.schedule_at(spec.start, [this, spec, id] { admit(spec, id); });
   return id;
@@ -63,12 +173,18 @@ void FlowSimulator::admit(FlowSpec spec, FlowId id) {
   ActiveFlow flow;
   if (!route_flow(spec.src, spec.dst, id, route_scratch_)) {
     if (config_.strand_unroutable) {
-      ++realloc_stats_.stranded;
+      inst_.stranded.inc();
       stranded_.push_back(StrandedFlow{id, spec, spec.size.value(), now});
+      if (events_) events_->begin_span("stranded", "flow.stranded", now, id);
     } else {
       ++unroutable_;
+      if (events_) events_->instant("flows", "flow.unroutable", now);
     }
+    update_flow_gauges();
     return;
+  }
+  if (events_) {
+    events_->begin_span("flows", "flow", now, id, "bits", spec.size.value());
   }
 
   flow.id = id;
@@ -82,6 +198,7 @@ void FlowSimulator::admit(FlowSpec spec, FlowId id) {
   active_.push_back(flow);
   if (try_fast_arrival(now, active_.back())) {
     schedule_next_completion();
+    update_flow_gauges();
     if (listener_) listener_(now);
   } else {
     // Only the new flow's links gained a flow; seed the binding-subset
@@ -205,7 +322,13 @@ std::vector<std::size_t> FlowSimulator::directed_indices_of(
 bool FlowSimulator::route_flow(NodeId src, NodeId dst, FlowId id,
                                std::vector<std::size_t>& out) {
   if (config_.use_route_cache) {
+    const bool record = events_ != nullptr && events_->enabled();
+    const std::uint64_t misses_before =
+        record ? route_cache_.stats().misses : 0;
     const auto selected = route_cache_.route(src, dst, id);
+    if (record && route_cache_.stats().misses != misses_before) {
+      events_->instant("route_cache", "miss", engine_.now());
+    }
     if (!selected) return false;
     const std::size_t hops = selected->hops();
     out.clear();
@@ -247,6 +370,10 @@ void FlowSimulator::set_node_enabled(NodeId id, bool enabled) {
     throw std::out_of_range("topology change: node does not exist");
   }
   if (router_.node_enabled(id) == enabled) return;
+  if (events_) {
+    events_->instant("topology", enabled ? "node.up" : "node.down",
+                     engine_.now(), "node", static_cast<double>(id));
+  }
   router_.set_node_enabled(id, enabled);
   apply_topology_change();
 }
@@ -256,6 +383,10 @@ void FlowSimulator::set_link_enabled(LinkId id, bool enabled) {
     throw std::out_of_range("topology change: link does not exist");
   }
   if (router_.link_enabled(id) == enabled) return;
+  if (events_) {
+    events_->instant("topology", enabled ? "link.up" : "link.down",
+                     engine_.now(), "link", static_cast<double>(id));
+  }
   router_.set_link_enabled(id, enabled);
   apply_topology_change();
 }
@@ -269,6 +400,10 @@ void FlowSimulator::set_link_capacity_factor(LinkId id, double factor) {
         "topology change: capacity factor must be in (0, 1]");
   }
   if (link_factor_[id] == factor) return;
+  if (events_) {
+    events_->instant("topology", "link.capacity_factor", engine_.now(),
+                     "factor", factor);
+  }
   link_factor_[id] = factor;
   const double base = graph_.link(id).capacity.bits_per_second();
   directed_capacity_bps_[static_cast<std::size_t>(id) * 2] = base * factor;
@@ -279,7 +414,8 @@ void FlowSimulator::set_link_capacity_factor(LinkId id, double factor) {
 
 void FlowSimulator::apply_topology_change() {
   const Seconds now = engine_.now();
-  ++realloc_stats_.topology_changes;
+  inst_.topology_changes.inc();
+  const std::uint64_t flushes_before = route_cache_.stats().epoch_flushes;
   settle_progress(now);
   // Re-validate every active flow's path; move broken ones to a surviving
   // ECMP path or park them on the stranded list.
@@ -292,11 +428,20 @@ void FlowSimulator::apply_topology_change() {
     if (route_flow(flow.spec.src, flow.spec.dst, flow.id, route_scratch_)) {
       release_flow_links(flow);
       store_flow_links(flow, static_cast<std::uint32_t>(i), route_scratch_);
-      ++realloc_stats_.reroutes;
+      inst_.reroutes.inc();
+      if (events_) {
+        events_->instant("topology", "flow.reroute", now, "flow",
+                         static_cast<double>(flow.id));
+      }
       ++i;
     } else {
       release_flow_links(flow);
-      ++realloc_stats_.stranded;
+      inst_.stranded.inc();
+      if (events_) {
+        // Close the in-flight span; a strand span runs until resume.
+        events_->end_span("flows", "flow", now, flow.id);
+        events_->begin_span("stranded", "flow.stranded", now, flow.id);
+      }
       stranded_.push_back(
           StrandedFlow{flow.id, flow.spec, flow.remaining_bits, now});
       if (i + 1 != active_.size()) {
@@ -308,6 +453,10 @@ void FlowSimulator::apply_topology_change() {
   }
   // A recovery may have reconnected previously stranded flows.
   retry_stranded(now);
+  if (events_ != nullptr &&
+      route_cache_.stats().epoch_flushes != flushes_before) {
+    events_->instant("route_cache", "flush", now);
+  }
   reallocate(now);
 }
 
@@ -329,7 +478,12 @@ void FlowSimulator::retry_stranded(Seconds now) {
     const double stranded_for = (now - parked.stranded_at).value();
     strand_durations_.push_back(stranded_for);
     stranded_bit_seconds_done_ += stranded_for * parked.remaining_bits;
-    ++realloc_stats_.resumed;
+    inst_.resumed.inc();
+    if (events_) {
+      events_->end_span("stranded", "flow.stranded", now, flow.id);
+      events_->begin_span("flows", "flow", now, flow.id, "bits",
+                          flow.remaining_bits);
+    }
     if (i + 1 != stranded_.size()) std::swap(stranded_[i], stranded_.back());
     stranded_.pop_back();
     active_.push_back(std::move(flow));
@@ -368,7 +522,7 @@ bool FlowSimulator::try_fast_arrival(Seconds now, ActiveFlow& flow) {
             ? 1
             : 0;
   }
-  ++realloc_stats_.fast_arrivals;
+  inst_.fast_arrivals.inc();
   return true;
 }
 
@@ -395,12 +549,12 @@ bool FlowSimulator::try_fast_departure(Seconds now, const ActiveFlow& flow) {
               : 0;
     }
   }
-  ++realloc_stats_.fast_departures;
+  inst_.fast_departures.inc();
   return true;
 }
 
 void FlowSimulator::reallocate(Seconds now) {
-  ++realloc_stats_.full_solves;
+  inst_.full_solves.inc();
   maybe_compact_links();
   const double cap_bps = config_.flow_rate_cap.bits_per_second();
   bool targeted = false;
@@ -461,7 +615,14 @@ void FlowSimulator::reallocate(Seconds now) {
   }
 
   seed_valid_ = false;
+  if (events_ != nullptr && events_->enabled()) {
+    const bool binding = config_.incremental_reallocation && cap_bps > 0.0;
+    events_->instant(
+        "solver", targeted ? "solve.seeded" : "solve.full", now, "flows",
+        static_cast<double>(binding ? bind_flows_.size() : active_.size()));
+  }
   schedule_next_completion();
+  update_flow_gauges();
   if (listener_) listener_(now);
 }
 
@@ -683,9 +844,9 @@ bool FlowSimulator::reallocate_binding_subset(double cap_bps) {
         active_[bind_flows_[j]].rate_bps = rates[j];
       }
     }
-    realloc_stats_.binding_subset_flows += bind_flows_.size();
+    inst_.binding_subset_flows.inc(bind_flows_.size());
   }
-  ++realloc_stats_.binding_solves;
+  inst_.binding_solves.inc();
   return seed_valid_;
 }
 
@@ -733,6 +894,8 @@ void FlowSimulator::complete_due_flows(Seconds now) {
     record.spec = active_[i].spec;
     record.finished = now;
     fct_.add(record.fct().value());
+    inst_.fct.observe(record.fct().value());
+    if (events_) events_->end_span("flows", "flow", now, record.id);
     completed_.push_back(record);
     any = true;
     // Departures free capacity only on their own links; remember them as
@@ -755,6 +918,7 @@ void FlowSimulator::complete_due_flows(Seconds now) {
     schedule_next_completion();
   } else if (all_fast) {
     schedule_next_completion();
+    update_flow_gauges();
     if (listener_) listener_(now);
   } else {
     seed_valid_ = true;

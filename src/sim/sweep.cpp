@@ -42,6 +42,8 @@ void SweepRunner::run_indexed(std::size_t n,
   std::mutex error_mutex;
   std::exception_ptr first_error;
   std::size_t first_error_index = std::numeric_limits<std::size_t>::max();
+  std::mutex progress_mutex;
+  std::size_t done = 0;
 
   auto worker = [&] {
     for (;;) {
@@ -55,6 +57,12 @@ void SweepRunner::run_indexed(std::size_t n,
           first_error_index = index;
           first_error = std::current_exception();
         }
+      }
+      // Failed scenarios count as done too: the callback tracks sweep
+      // progress, not success (the first error is rethrown after the drain).
+      if (progress_) {
+        const std::lock_guard<std::mutex> lock(progress_mutex);
+        progress_(++done, n);
       }
     }
   };

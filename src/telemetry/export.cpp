@@ -1,0 +1,230 @@
+#include "netpp/telemetry/export.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace netpp::telemetry {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view text) {
+  out.push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+/// Shortest round-trip decimal; non-finite values become null (JSON has no
+/// inf/nan literals).
+void append_double(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), value);
+  out.append(buf, result.ptr);
+}
+
+void append_u64(std::string& out, std::uint64_t value) {
+  char buf[24];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), value);
+  out.append(buf, result.ptr);
+}
+
+/// Sim-time seconds -> trace microseconds.
+void append_trace_ts(std::string& out, Seconds at) {
+  append_double(out, at.value() * 1e6);
+}
+
+}  // namespace
+
+std::string to_chrome_trace_json(const EventLog& log,
+                                 const TimeSeriesSampler* sampler) {
+  std::string out;
+  out.reserve(256 + log.size() * 96);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  out += "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+         "\"args\":{\"name\":\"netpp\"}}";
+
+  // One named thread track per category, in order of first appearance.
+  std::unordered_map<std::string_view, int> tids;
+  const auto tid_of = [&](const char* category) {
+    auto [it, inserted] =
+        tids.emplace(category, static_cast<int>(tids.size()) + 1);
+    if (inserted) {
+      out += ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":";
+      append_u64(out, static_cast<std::uint64_t>(it->second));
+      out += ",\"name\":\"thread_name\",\"args\":{\"name\":";
+      append_escaped(out, category);
+      out += "}}";
+    }
+    return it->second;
+  };
+  // Assign tids up front so metadata precedes the first real event of each
+  // category (purely cosmetic: Perfetto sorts tracks by first record).
+  for (const TraceEvent& event : log.events()) tid_of(event.category);
+
+  for (const TraceEvent& event : log.events()) {
+    out += ",\n{\"cat\":";
+    append_escaped(out, event.category);
+    out += ",\"name\":";
+    append_escaped(out, event.name);
+    out += ",\"ph\":\"";
+    out.push_back(event.phase);
+    out += "\",\"pid\":1,\"tid\":";
+    append_u64(out, static_cast<std::uint64_t>(tid_of(event.category)));
+    out += ",\"ts\":";
+    append_trace_ts(out, event.at);
+    if (event.phase == 'b' || event.phase == 'e') {
+      out += ",\"id\":";
+      append_u64(out, event.id);
+    }
+    if (event.arg_name != nullptr) {
+      out += ",\"args\":{";
+      append_escaped(out, event.arg_name);
+      out += ":";
+      append_double(out, event.arg_value);
+      out += "}";
+    }
+    out += "}";
+  }
+
+  if (sampler != nullptr) {
+    for (std::size_t s = 0; s < sampler->num_series(); ++s) {
+      const auto& values = sampler->series_values(s);
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        out += ",\n{\"cat\":\"sampler\",\"name\":";
+        append_escaped(out, sampler->series_name(s));
+        out += ",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":";
+        append_trace_ts(out, sampler->times()[i]);
+        out += ",\"args\":{\"value\":";
+        append_double(out, values[i]);
+        out += "}}";
+      }
+    }
+  }
+
+  out += "\n]}\n";
+  return out;
+}
+
+std::string to_metrics_json(const MetricRegistry& registry) {
+  std::string out;
+  out += "{\"netpp_metrics_version\":1,\"metrics\":[\n";
+  bool first = true;
+  for (const MetricSample& m : registry.snapshot()) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"name\":";
+    append_escaped(out, m.name);
+    out += ",\"kind\":\"";
+    out += to_string(m.kind);
+    out += "\",\"unit\":";
+    append_escaped(out, m.unit);
+    out += ",\"help\":";
+    append_escaped(out, m.help);
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        out += ",\"value\":";
+        append_u64(out, m.count);  // exact integer
+        break;
+      case MetricKind::kGauge:
+        out += ",\"value\":";
+        append_double(out, m.value);
+        break;
+      case MetricKind::kHistogram:
+        out += ",\"count\":";
+        append_u64(out, m.count);
+        out += ",\"sum\":";
+        append_double(out, m.value);
+        if (m.count > 0) {
+          out += ",\"min\":";
+          append_double(out, m.min);
+          out += ",\"max\":";
+          append_double(out, m.max);
+        }
+        out += ",\"bounds\":[";
+        for (std::size_t i = 0; i < m.bounds.size(); ++i) {
+          if (i > 0) out += ",";
+          append_double(out, m.bounds[i]);
+        }
+        out += "],\"buckets\":[";
+        for (std::size_t i = 0; i < m.buckets.size(); ++i) {
+          if (i > 0) out += ",";
+          append_u64(out, m.buckets[i]);
+        }
+        out += "]";
+        break;
+    }
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string to_csv(const TimeSeriesSampler& sampler) {
+  std::string out = "time_s";
+  for (std::size_t s = 0; s < sampler.num_series(); ++s) {
+    out += ",";
+    out += sampler.series_name(s);
+  }
+  out += "\n";
+  for (std::size_t i = 0; i < sampler.times().size(); ++i) {
+    append_double(out, sampler.times()[i].value());
+    for (std::size_t s = 0; s < sampler.num_series(); ++s) {
+      out += ",";
+      append_double(out, sampler.series_values(s)[i]);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+bool write_file(const std::string& path, const std::string& contents,
+                std::string& error) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    error = "cannot open '" + path + "' for writing";
+    return false;
+  }
+  file.write(contents.data(),
+             static_cast<std::streamsize>(contents.size()));
+  file.flush();
+  if (!file) {
+    error = "failed while writing '" + path + "'";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace netpp::telemetry

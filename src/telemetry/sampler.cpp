@@ -1,0 +1,60 @@
+#include "netpp/telemetry/sampler.h"
+
+#include <cmath>
+
+#include "netpp/validation.h"
+
+namespace netpp::telemetry {
+
+void TimeSeriesSampler::set_period(Seconds period) {
+  validation::require(
+      std::isfinite(period.value()) && period.value() >= 0.0,
+      "TimeSeriesSampler", "period must be finite and non-negative");
+  validation::require(times_.empty(), "TimeSeriesSampler",
+                      "period cannot change after sampling started");
+  period_ = period;
+}
+
+void TimeSeriesSampler::track(const std::string& gauge_name,
+                              const std::string& unit,
+                              const std::string& help) {
+  for (const Series& s : series_) {
+    if (s.name == gauge_name) return;
+  }
+  validation::require(times_.empty(), "TimeSeriesSampler",
+                      "cannot add series after sampling started");
+  Series series;
+  series.name = gauge_name;
+  series.gauge = registry_.gauge(gauge_name, unit, help);
+  series_.push_back(std::move(series));
+}
+
+void TimeSeriesSampler::sample(Seconds now) {
+  times_.push_back(now);
+  for (Series& s : series_) {
+    s.values.push_back(s.gauge.value());
+  }
+  next_due_ = now.value() + period_.value();
+}
+
+void TimeSeriesSampler::arm(SimEngine& engine, Seconds until) {
+  validation::require(period_.value() > 0.0, "TimeSeriesSampler",
+                      "arm() needs a positive period");
+  const Seconds start = engine.now();
+  // One self-rearming closure; stops past `until`.
+  struct Rearm {
+    TimeSeriesSampler* sampler;
+    SimEngine* engine;
+    double until;
+    void operator()() const {
+      sampler->sample(engine->now());
+      const Seconds next{engine->now().value() + sampler->period_.value()};
+      if (next.value() <= until) {
+        engine->schedule_at(next, Rearm{*this});
+      }
+    }
+  };
+  engine.schedule_at(start, Rearm{this, &engine, until.value()});
+}
+
+}  // namespace netpp::telemetry

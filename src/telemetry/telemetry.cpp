@@ -1,0 +1,22 @@
+#include "netpp/telemetry/telemetry.h"
+
+#include <cmath>
+
+#include "netpp/validation.h"
+
+namespace netpp::telemetry {
+
+void TelemetryConfig::validate() const {
+  validation::require(
+      std::isfinite(sample_period.value()) && sample_period.value() >= 0.0,
+      "TelemetryConfig", "sample_period must be finite and non-negative");
+}
+
+Telemetry::Telemetry(TelemetryConfig config)
+    : config_(config), sampler_(metrics_) {
+  config_.validate();
+  events_.set_enabled(config_.events);
+  sampler_.set_period(config_.sample_period);
+}
+
+}  // namespace netpp::telemetry

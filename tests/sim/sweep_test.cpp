@@ -90,6 +90,37 @@ TEST(SweepRunner, FirstFailingIndexPropagates) {
   }
 }
 
+TEST(SweepRunner, ProgressCallbackSeesEveryCompletion) {
+  SweepRunner runner{{8, 5}};
+  std::vector<std::size_t> seen;
+  runner.set_progress_callback([&](std::size_t done, std::size_t total) {
+    EXPECT_EQ(total, 100u);
+    seen.push_back(done);  // unsynchronized on purpose: callback serializes
+  });
+  std::atomic<int> ran{0};
+  runner.run_indexed(100, [&](std::size_t) { ran++; });
+  EXPECT_EQ(ran.load(), 100);
+  ASSERT_EQ(seen.size(), 100u);
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], i + 1);  // completion-ordered: 1, 2, ..., total
+  }
+}
+
+TEST(SweepRunner, ProgressCallbackCountsFailedScenarios) {
+  SweepRunner runner{{4, 1}};
+  std::size_t last = 0;
+  runner.set_progress_callback(
+      [&](std::size_t done, std::size_t) { last = done; });
+  EXPECT_THROW(runner.run_indexed(32,
+                                  [](std::size_t index) {
+                                    if (index == 5) {
+                                      throw std::runtime_error("boom");
+                                    }
+                                  }),
+               std::runtime_error);
+  EXPECT_EQ(last, 32u);  // a failed scenario still counts as done
+}
+
 TEST(SweepRunner, DefaultThreadCountIsPositive) {
   SweepRunner runner{};
   EXPECT_GE(runner.num_threads(), 1u);

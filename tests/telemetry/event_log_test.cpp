@@ -1,0 +1,73 @@
+#include "netpp/telemetry/event_log.h"
+
+#include <gtest/gtest.h>
+
+namespace netpp::telemetry {
+namespace {
+
+TEST(EventLog, DisabledByDefaultAndRecordsNothing) {
+  EventLog log;
+  EXPECT_FALSE(log.enabled());
+  log.instant("cat", "name", Seconds{1.0});
+  log.begin_span("cat", "name", Seconds{1.0}, 7);
+  log.end_span("cat", "name", Seconds{2.0}, 7);
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(EventLog, RecordsInstantsWithAndWithoutArgs) {
+  EventLog log;
+  log.set_enabled(true);
+  log.instant("topology", "link.down", Seconds{0.5});
+  log.instant("solver", "solve.full", Seconds{1.5}, "flows", 12.0);
+  ASSERT_EQ(log.size(), 2u);
+
+  const TraceEvent& bare = log.events()[0];
+  EXPECT_STREQ(bare.category, "topology");
+  EXPECT_STREQ(bare.name, "link.down");
+  EXPECT_EQ(bare.phase, 'i');
+  EXPECT_DOUBLE_EQ(bare.at.value(), 0.5);
+  EXPECT_EQ(bare.arg_name, nullptr);
+
+  const TraceEvent& with_arg = log.events()[1];
+  EXPECT_STREQ(with_arg.arg_name, "flows");
+  EXPECT_DOUBLE_EQ(with_arg.arg_value, 12.0);
+}
+
+TEST(EventLog, SpansCarryCorrelationIds) {
+  EventLog log;
+  log.set_enabled(true);
+  log.begin_span("faults", "fault.link_down", Seconds{1.0}, 3, "link", 9.0);
+  log.begin_span("faults", "fault.switch_down", Seconds{1.2}, 4);
+  log.end_span("faults", "fault.link_down", Seconds{2.0}, 3);
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.events()[0].phase, 'b');
+  EXPECT_EQ(log.events()[0].id, 3u);
+  EXPECT_EQ(log.events()[1].id, 4u);
+  EXPECT_EQ(log.events()[2].phase, 'e');
+  EXPECT_EQ(log.events()[2].id, 3u);
+}
+
+TEST(EventLog, ClearEmptiesTheLog) {
+  EventLog log;
+  log.set_enabled(true);
+  log.instant("a", "b", Seconds{0.0});
+  ASSERT_EQ(log.size(), 1u);
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_TRUE(log.enabled());  // clearing does not disable
+}
+
+TEST(EventLog, ReenablingResumesRecording) {
+  EventLog log;
+  log.set_enabled(true);
+  log.instant("a", "one", Seconds{0.0});
+  log.set_enabled(false);
+  log.instant("a", "dropped", Seconds{1.0});
+  log.set_enabled(true);
+  log.instant("a", "two", Seconds{2.0});
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_STREQ(log.events()[1].name, "two");
+}
+
+}  // namespace
+}  // namespace netpp::telemetry

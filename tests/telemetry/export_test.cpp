@@ -1,0 +1,132 @@
+#include "netpp/telemetry/export.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <limits>
+#include <string>
+
+#include "netpp/telemetry/event_log.h"
+#include "netpp/telemetry/metrics.h"
+#include "netpp/telemetry/sampler.h"
+
+namespace netpp::telemetry {
+namespace {
+
+TEST(ChromeTraceExport, EmitsProcessAndThreadMetadata) {
+  EventLog log;
+  log.set_enabled(true);
+  log.instant("solver", "solve.full", Seconds{1.0}, "flows", 3.0);
+  const std::string json = to_chrome_trace_json(log);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"netpp\"}"), std::string::npos);
+  // The category gets a named thread track.
+  EXPECT_NE(json.find("\"thread_name\",\"args\":{\"name\":\"solver\"}"),
+            std::string::npos);
+}
+
+TEST(ChromeTraceExport, ScalesSecondsToMicrosecondsAndKeepsIds) {
+  EventLog log;
+  log.set_enabled(true);
+  log.begin_span("faults", "fault.link_down", Seconds{0.5}, 42);
+  log.end_span("faults", "fault.link_down", Seconds{1.5}, 42);
+  const std::string json = to_chrome_trace_json(log);
+  // Shortest round-trip doubles: 0.5 s -> 5e+05 us, 1.5 s -> 1500000 us.
+  EXPECT_NE(json.find("\"ts\":5e+05"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1500000"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\":42"), std::string::npos);
+}
+
+TEST(ChromeTraceExport, SamplerSeriesBecomeCounterTracks) {
+  EventLog log;
+  log.set_enabled(true);
+  MetricRegistry registry;
+  Gauge g = registry.gauge("watts");
+  TimeSeriesSampler sampler{registry};
+  sampler.set_period(Seconds{1.0});
+  sampler.track("watts");
+  g.set(350.0);
+  sampler.sample(Seconds{0.0});
+  const std::string json = to_chrome_trace_json(log, &sampler);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"watts\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"value\":350}"), std::string::npos);
+}
+
+TEST(ChromeTraceExport, EscapesQuotesInNames) {
+  EventLog log;
+  log.set_enabled(true);
+  static const char kName[] = "odd\"name";
+  log.instant("cat", kName, Seconds{0.0});
+  const std::string json = to_chrome_trace_json(log);
+  EXPECT_NE(json.find("odd\\\"name"), std::string::npos);
+}
+
+TEST(MetricsJsonExport, SelfDescribingDocument) {
+  MetricRegistry registry;
+  registry.counter("events.total", "events", "all events").inc(7);
+  registry.gauge("load").set(0.5);
+  Histogram h = registry.histogram("lat", {1.0, 2.0}, "seconds");
+  h.observe(0.5);
+  h.observe(3.0);
+  const std::string json = to_metrics_json(registry);
+  EXPECT_NE(json.find("\"netpp_metrics_version\":1"), std::string::npos);
+  // Counters export as exact integers, with metadata.
+  EXPECT_NE(json.find("\"name\":\"events.total\",\"kind\":\"counter\","
+                      "\"unit\":\"events\",\"help\":\"all events\","
+                      "\"value\":7"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"load\",\"kind\":\"gauge\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"histogram\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"bounds\":[1,2]"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\":[1,0,1]"), std::string::npos);
+}
+
+TEST(MetricsJsonExport, NonFiniteGaugesBecomeNull) {
+  MetricRegistry registry;
+  registry.gauge("bad").set(std::numeric_limits<double>::quiet_NaN());
+  const std::string json = to_metrics_json(registry);
+  EXPECT_NE(json.find("\"value\":null"), std::string::npos);
+}
+
+TEST(CsvExport, HeaderAndAlignedRows) {
+  MetricRegistry registry;
+  Gauge a = registry.gauge("a");
+  Gauge b = registry.gauge("b");
+  TimeSeriesSampler sampler{registry};
+  sampler.set_period(Seconds{1.0});
+  sampler.track("a");
+  sampler.track("b");
+  a.set(1.0);
+  b.set(2.0);
+  sampler.sample(Seconds{0.0});
+  a.set(3.0);
+  b.set(4.0);
+  sampler.sample(Seconds{1.0});
+  EXPECT_EQ(to_csv(sampler), "time_s,a,b\n0,1,2\n1,3,4\n");
+}
+
+TEST(WriteFile, RoundTripsAndReportsFailures) {
+  const std::string path =
+      testing::TempDir() + "/netpp_export_test_roundtrip.json";
+  std::string error;
+  ASSERT_TRUE(write_file(path, "{\"ok\":true}\n", error)) << error;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[64] = {};
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(std::string(buf, n), "{\"ok\":true}\n");
+
+  EXPECT_FALSE(write_file("/nonexistent-dir/x.json", "x", error));
+  EXPECT_NE(error.find("/nonexistent-dir/x.json"), std::string::npos);
+  EXPECT_EQ(error.find('\n'), std::string::npos);  // one-line diagnostic
+}
+
+}  // namespace
+}  // namespace netpp::telemetry

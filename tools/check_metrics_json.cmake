@@ -1,0 +1,74 @@
+# Round-trips `netpp_cli faults` telemetry exports through a JSON shape
+# check: the metrics dump must be a self-describing document whose entries
+# carry name/kind/value, and the trace must be a Chrome trace_event JSON
+# object with a traceEvents array.
+#
+# Usage: cmake -DCLI=<path> -DOUT_DIR=<dir> -P check_metrics_json.cmake
+if(NOT DEFINED CLI OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "check_metrics_json.cmake needs CLI, OUT_DIR")
+endif()
+
+set(metrics_file "${OUT_DIR}/cli_roundtrip.metrics.json")
+set(trace_file "${OUT_DIR}/cli_roundtrip.trace.json")
+execute_process(
+  COMMAND ${CLI} faults --seed 7
+          --metrics-out=${metrics_file} --trace-out=${trace_file}
+  RESULT_VARIABLE exit_code
+  OUTPUT_QUIET
+  ERROR_VARIABLE stderr_text
+)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR "netpp_cli faults failed (${exit_code}): ${stderr_text}")
+endif()
+
+file(READ "${metrics_file}" metrics_json)
+string(JSON version GET "${metrics_json}" netpp_metrics_version)
+if(NOT version EQUAL 1)
+  message(FATAL_ERROR "unexpected netpp_metrics_version: ${version}")
+endif()
+string(JSON num_metrics LENGTH "${metrics_json}" metrics)
+if(num_metrics LESS 10)
+  message(FATAL_ERROR "expected a populated metrics array, got ${num_metrics}")
+endif()
+math(EXPR last "${num_metrics} - 1")
+foreach(i RANGE ${last})
+  string(JSON name GET "${metrics_json}" metrics ${i} name)
+  string(JSON kind GET "${metrics_json}" metrics ${i} kind)
+  if(name STREQUAL "")
+    message(FATAL_ERROR "metric ${i} has an empty name")
+  endif()
+  if(kind MATCHES "^(counter|gauge)$")
+    string(JSON value GET "${metrics_json}" metrics ${i} value)
+  elseif(kind STREQUAL "histogram")
+    string(JSON count GET "${metrics_json}" metrics ${i} count)
+    string(JSON sum GET "${metrics_json}" metrics ${i} sum)
+    string(JSON num_buckets LENGTH "${metrics_json}" metrics ${i} buckets)
+    string(JSON num_bounds LENGTH "${metrics_json}" metrics ${i} bounds)
+    math(EXPR expected_buckets "${num_bounds} + 1")
+    if(NOT num_buckets EQUAL expected_buckets)
+      message(FATAL_ERROR
+        "histogram '${name}' has ${num_buckets} buckets for ${num_bounds} bounds")
+    endif()
+  else()
+    message(FATAL_ERROR "metric '${name}' has unknown kind '${kind}'")
+  endif()
+endforeach()
+# The instrumented layers must show up.
+foreach(required
+    "netsim.route_cache.hits" "netsim.realloc.full_solves"
+    "faults.injected" "netsim.fct_seconds")
+  string(FIND "${metrics_json}" "\"${required}\"" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "metrics dump is missing '${required}'")
+  endif()
+endforeach()
+
+file(READ "${trace_file}" trace_json)
+string(JSON num_events LENGTH "${trace_json}" traceEvents)
+if(num_events LESS 10)
+  message(FATAL_ERROR "expected a populated traceEvents array, got ${num_events}")
+endif()
+string(JSON ph GET "${trace_json}" traceEvents 0 ph)
+if(NOT ph MATCHES "^(M|i|b|e|C)$")
+  message(FATAL_ERROR "unexpected first trace event phase '${ph}'")
+endif()

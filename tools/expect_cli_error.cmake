@@ -1,0 +1,33 @@
+# Asserts a netpp_cli error path: non-zero exit plus exactly one
+# `netpp_cli: error: ...` diagnostic line on stderr.
+#
+# Usage: cmake -DCLI=<path> -DCLI_ARGS=<semicolon-list> -DPATTERN=<regex>
+#              -P expect_cli_error.cmake
+if(NOT DEFINED CLI OR NOT DEFINED CLI_ARGS OR NOT DEFINED PATTERN)
+  message(FATAL_ERROR "expect_cli_error.cmake needs CLI, CLI_ARGS, PATTERN")
+endif()
+
+execute_process(
+  COMMAND ${CLI} ${CLI_ARGS}
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE stdout_text
+  ERROR_VARIABLE stderr_text
+)
+
+if(exit_code EQUAL 0)
+  message(FATAL_ERROR
+    "expected a non-zero exit from: ${CLI} ${CLI_ARGS}\nstderr: ${stderr_text}")
+endif()
+if(NOT stderr_text MATCHES "netpp_cli: error: ")
+  message(FATAL_ERROR
+    "expected a 'netpp_cli: error:' diagnostic, got: ${stderr_text}")
+endif()
+if(NOT stderr_text MATCHES "${PATTERN}")
+  message(FATAL_ERROR
+    "stderr does not match '${PATTERN}': ${stderr_text}")
+endif()
+# One-line contract: a single trailing newline and no embedded ones.
+string(REGEX REPLACE "\n$" "" trimmed "${stderr_text}")
+if(trimmed MATCHES "\n")
+  message(FATAL_ERROR "expected a one-line diagnostic, got: ${stderr_text}")
+endif()

@@ -9,12 +9,19 @@
 //   netpp_cli sensitivity [--csv]
 //   netpp_cli faults [--mtbf S] [--mttr S] [--seed N]
 //                    [--policy none|wake-all|re-tailor] [--headroom H] [--csv]
+//                    [--trace-out F] [--metrics-out F] [--sample-period S]
 //   netpp_cli mech [--stack all|dynamic|tailor|park|rate] [--iters N]
 //                  [--volume GBIT] [--horizon S] [--ocs N] [--csv]
+//                  [--trace-out F] [--metrics-out F]
+//   netpp_cli telemetry [faults flags] [--trace-out F] [--metrics-out F]
 //   netpp_cli help
+//
+// Flags accept both `--flag value` and `--flag=value`. Every error path
+// prints a single `netpp_cli: error: ...` line to stderr and exits non-zero.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -25,6 +32,8 @@
 #include "netpp/cluster/cluster.h"
 #include "netpp/faults/experiment.h"
 #include "netpp/mech/composite.h"
+#include "netpp/telemetry/export.h"
+#include "netpp/telemetry/telemetry.h"
 #include "netpp/traffic/generators.h"
 
 namespace {
@@ -48,15 +57,24 @@ struct Options {
   double mech_volume_gbit = 2.0;
   double mech_horizon_s = 4.0;
   int mech_ocs_devices = 4;
+  // telemetry outputs (faults / mech / telemetry subcommands)
+  std::string trace_out;
+  std::string metrics_out;
+  double sample_period_s = 0.02;
 };
+
+int error_out(const std::string& message) {
+  std::fprintf(stderr, "netpp_cli: error: %s\n", message.c_str());
+  return 2;
+}
 
 void print_table(const Table& table, bool csv) {
   std::printf("%s", csv ? table.to_csv().c_str() : table.to_ascii().c_str());
 }
 
-int usage() {
+int usage(std::FILE* out) {
   std::fprintf(
-      stderr,
+      out,
       "usage: netpp_cli <command> [flags]\n"
       "\n"
       "commands:\n"
@@ -68,46 +86,94 @@ int usage() {
       "  sensitivity  headline metrics vs modeling assumptions\n"
       "  faults       fault-injection resilience run on a tailored fabric\n"
       "  mech         composed Sec. 4 mechanism stack on an ML fat tree\n"
+      "  telemetry    faults scenario with full tracing/sampling, summarized\n"
       "\n"
       "flags: --gpus N --gbps B --ratio R --prop P --csv\n"
       "faults flags: --mtbf S --mttr S --seed N --headroom H\n"
       "              --policy none|wake-all|re-tailor\n"
       "mech flags:   --stack all|dynamic|tailor|park|rate --iters N\n"
-      "              --volume GBIT --horizon S --ocs N\n");
-  return 2;
+      "              --volume GBIT --horizon S --ocs N\n"
+      "telemetry outputs (faults/mech/telemetry):\n"
+      "              --trace-out FILE.json    Chrome trace (Perfetto)\n"
+      "              --metrics-out FILE.json  metrics dump\n"
+      "              --sample-period S        time-series cadence\n");
+  return out == stdout ? 0 : 2;
 }
 
 bool parse(int argc, char** argv, Options& opt) {
   for (int i = 2; i < argc; ++i) {
-    const std::string flag = argv[i];
+    std::string flag = argv[i];
+    std::string inline_value;
+    bool has_inline_value = false;
+    if (const auto eq = flag.find('='); eq != std::string::npos) {
+      inline_value = flag.substr(eq + 1);
+      flag = flag.substr(0, eq);
+      has_inline_value = true;
+    }
     if (flag == "--csv") {
+      if (has_inline_value) {
+        error_out("flag '--csv' takes no value");
+        return false;
+      }
       opt.csv = true;
       continue;
     }
-    if (i + 1 >= argc) return false;
+    // Every other flag takes one value: either inline (--flag=value) or the
+    // next argument (--flag value).
+    const bool known_flag =
+        flag == "--stack" || flag == "--policy" || flag == "--trace-out" ||
+        flag == "--metrics-out" || flag == "--gpus" || flag == "--gbps" ||
+        flag == "--ratio" || flag == "--prop" || flag == "--mtbf" ||
+        flag == "--mttr" || flag == "--headroom" || flag == "--seed" ||
+        flag == "--iters" || flag == "--volume" || flag == "--horizon" ||
+        flag == "--ocs" || flag == "--sample-period";
+    if (!known_flag) {
+      error_out("unknown flag '" + flag + "' (see 'netpp_cli help')");
+      return false;
+    }
+    if (!has_inline_value && i + 1 >= argc) {
+      error_out("flag '" + flag + "' needs a value");
+      return false;
+    }
+    const std::string value_str =
+        has_inline_value ? inline_value : std::string{argv[++i]};
     if (flag == "--stack") {
-      const std::string name = argv[++i];
-      if (name != "all" && name != "dynamic" && name != "tailor" &&
-          name != "park" && name != "rate") {
+      if (value_str != "all" && value_str != "dynamic" &&
+          value_str != "tailor" && value_str != "park" &&
+          value_str != "rate") {
+        error_out("unknown stack '" + value_str + "'");
         return false;
       }
-      opt.stack = name;
+      opt.stack = value_str;
       continue;
     }
     if (flag == "--policy") {
-      const std::string name = argv[++i];
-      if (name == "none") {
+      if (value_str == "none") {
         opt.policy = DegradedPolicy::kNone;
-      } else if (name == "wake-all") {
+      } else if (value_str == "wake-all") {
         opt.policy = DegradedPolicy::kEmergencyWakeAll;
-      } else if (name == "re-tailor") {
+      } else if (value_str == "re-tailor") {
         opt.policy = DegradedPolicy::kRetailor;
       } else {
+        error_out("unknown policy '" + value_str + "'");
         return false;
       }
       continue;
     }
-    const double value = std::atof(argv[++i]);
+    if (flag == "--trace-out") {
+      opt.trace_out = value_str;
+      continue;
+    }
+    if (flag == "--metrics-out") {
+      opt.metrics_out = value_str;
+      continue;
+    }
+    char* parse_end = nullptr;
+    const double value = std::strtod(value_str.c_str(), &parse_end);
+    if (parse_end == value_str.c_str() || *parse_end != '\0') {
+      error_out("bad value '" + value_str + "' for flag '" + flag + "'");
+      return false;
+    }
     if (flag == "--gpus" && value > 0) {
       opt.cluster.num_gpus = value;
     } else if (flag == "--gbps" && value > 0) {
@@ -132,11 +198,53 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.mech_horizon_s = value;
     } else if (flag == "--ocs" && value >= 0) {
       opt.mech_ocs_devices = static_cast<int>(value);
+    } else if (flag == "--sample-period" && value >= 0) {
+      opt.sample_period_s = value;
     } else {
+      error_out("bad value '" + value_str + "' for flag '" + flag + "'");
       return false;
     }
   }
   return true;
+}
+
+/// Writes the requested trace/metrics files; returns 0, or 1 after printing
+/// a one-line diagnostic on the first failing write.
+int write_telemetry_outputs(const Options& opt,
+                            const telemetry::Telemetry& tel) {
+  std::string error;
+  if (!opt.trace_out.empty()) {
+    const telemetry::TimeSeriesSampler* sampler =
+        tel.sampler().enabled() ? &tel.sampler() : nullptr;
+    const std::string json = telemetry::to_chrome_trace_json(tel.events(),
+                                                             sampler);
+    if (!telemetry::write_file(opt.trace_out, json, error)) {
+      error_out(error);
+      return 1;
+    }
+  }
+  if (!opt.metrics_out.empty()) {
+    const std::string json = telemetry::to_metrics_json(tel.metrics());
+    if (!telemetry::write_file(opt.metrics_out, json, error)) {
+      error_out(error);
+      return 1;
+    }
+  }
+  return 0;
+}
+
+/// Telemetry bundle for subcommands that honor --trace-out/--metrics-out:
+/// null when neither output (nor `force`) was requested.
+std::unique_ptr<telemetry::Telemetry> make_cli_telemetry(const Options& opt,
+                                                         bool sampled,
+                                                         bool force = false) {
+  if (!force && opt.trace_out.empty() && opt.metrics_out.empty()) {
+    return nullptr;
+  }
+  telemetry::TelemetryConfig config;
+  config.events = true;
+  config.sample_period = Seconds{sampled ? opt.sample_period_s : 0.0};
+  return std::make_unique<telemetry::Telemetry>(config);
 }
 
 int cmd_cluster(const Options& opt) {
@@ -239,10 +347,11 @@ int cmd_sensitivity(const Options& opt) {
   return 0;
 }
 
-int cmd_faults(const Options& opt) {
-  // Canned scenario: 4x4 leaf-spine fabric, ring all-reduce training
-  // traffic, topology tailored to the ring demand before the run (the
-  // power-proportional operating point the paper argues for).
+/// The canned `faults` scenario: 4x4 leaf-spine fabric, ring all-reduce
+/// training traffic, topology tailored to the ring demand before the run
+/// (the power-proportional operating point the paper argues for).
+FaultExperimentResult run_canned_fault_scenario(const Options& opt,
+                                                telemetry::Telemetry* tel) {
   const BuiltTopology topo = build_leaf_spine(4, 4, 4, 100_Gbps, 100_Gbps);
   MlTrafficConfig traffic;
   traffic.compute_time = Seconds{0.3};
@@ -255,6 +364,7 @@ int cmd_faults(const Options& opt) {
   config.tailor = true;
   config.degraded.policy = opt.policy;
   config.degraded.min_headroom = opt.headroom;
+  config.telemetry = tel;
   for (std::size_t i = 0; i < topo.hosts.size(); ++i) {
     config.demands.push_back(TrafficDemand{
         topo.hosts[i], topo.hosts[(i + 1) % topo.hosts.size()], 30_Gbps});
@@ -273,7 +383,12 @@ int cmd_faults(const Options& opt) {
     schedule = FaultGenerator{faults}.generate(topo.graph);
   }
 
-  const auto result = run_fault_experiment(topo, workload, schedule, config);
+  return run_fault_experiment(topo, workload, schedule, config);
+}
+
+int cmd_faults(const Options& opt) {
+  const auto tel = make_cli_telemetry(opt, /*sampled=*/true);
+  const auto result = run_canned_fault_scenario(opt, tel.get());
   Table table{{"metric", "value"}};
   table.add_row({"switches parked initially",
                  std::to_string(result.tailoring.powered_off.size())});
@@ -304,7 +419,39 @@ int cmd_faults(const Options& opt) {
   table.add_row({"route-cache resident KiB",
                  fmt(static_cast<double>(rc.pool_bytes) / 1024.0, 1)});
   print_table(table, opt.csv);
+  if (tel != nullptr) return write_telemetry_outputs(opt, *tel);
   return 0;
+}
+
+int cmd_telemetry(const Options& opt) {
+  // Telemetry demo: the faults scenario with every instrument attached,
+  // summarized. --trace-out / --metrics-out save the artifacts.
+  const auto tel =
+      make_cli_telemetry(opt, /*sampled=*/true, /*force=*/true);
+  const auto result = run_canned_fault_scenario(opt, tel.get());
+  const telemetry::MetricRegistry& m = tel->metrics();
+
+  Table table{{"metric", "value"}};
+  table.add_row({"events recorded", std::to_string(tel->events().size())});
+  table.add_row({"metrics registered", std::to_string(m.size())});
+  table.add_row(
+      {"samples taken", std::to_string(tel->sampler().times().size())});
+  table.add_row({"sampled series", std::to_string(tel->sampler().num_series())});
+  table.add_row({"faults injected",
+                 std::to_string(m.counter_value("faults.injected"))});
+  table.add_row({"solver full solves",
+                 std::to_string(m.counter_value("netsim.realloc.full_solves"))});
+  table.add_row({"route-cache hits",
+                 std::to_string(m.counter_value("netsim.route_cache.hits"))});
+  table.add_row({"route-cache misses",
+                 std::to_string(m.counter_value("netsim.route_cache.misses"))});
+  table.add_row({"flows completed",
+                 fmt(m.gauge_value("netsim.completed_flows"), 0)});
+  table.add_row({"energy vs all-on",
+                 fmt_percent(m.gauge_value("faults.energy_vs_baseline"), 1)});
+  table.add_row({"availability", fmt_percent(result.report.availability, 2)});
+  print_table(table, opt.csv);
+  return write_telemetry_outputs(opt, *tel);
 }
 
 int cmd_mech(const Options& opt) {
@@ -329,6 +476,8 @@ int cmd_mech(const Options& opt) {
       opt.stack == "all" || opt.stack == "dynamic" || opt.stack == "rate";
   config.parking.switch_capacity = Gbps{4 * 100.0};  // 4 ports at 100 G
   config.num_ocs_devices = opt.mech_ocs_devices;
+  const auto tel = make_cli_telemetry(opt, /*sampled=*/false);
+  config.telemetry = tel.get();
 
   std::vector<TrafficDemand> demands;
   for (std::size_t i = 0; i < topo.hosts.size(); ++i) {
@@ -369,16 +518,20 @@ int cmd_mech(const Options& opt) {
       {"sustained value ($/yr)", fmt(value.annual_savings.value(), 0)});
   table.add_row({"avoided CO2 (t/yr)", fmt(value.annual_co2_tons, 3)});
   print_table(table, opt.csv);
+  if (tel != nullptr) return write_telemetry_outputs(opt, *tel);
   return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
+  if (argc < 2) return error_out("missing command (see 'netpp_cli help')");
   const std::string command = argv[1];
+  if (command == "help" || command == "--help" || command == "-h") {
+    return usage(stdout);
+  }
   Options opt;
-  if (!parse(argc, argv, opt)) return usage();
+  if (!parse(argc, argv, opt)) return 2;
 
   if (command == "cluster") return cmd_cluster(opt);
   if (command == "table3") return cmd_table3(opt);
@@ -388,5 +541,6 @@ int main(int argc, char** argv) {
   if (command == "sensitivity") return cmd_sensitivity(opt);
   if (command == "faults") return cmd_faults(opt);
   if (command == "mech") return cmd_mech(opt);
-  return usage();
+  if (command == "telemetry") return cmd_telemetry(opt);
+  return error_out("unknown command '" + command + "' (see 'netpp_cli help')");
 }
