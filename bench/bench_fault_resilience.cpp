@@ -4,10 +4,13 @@
 // resilience triangle: availability, stranded demand, and the energy delta
 // vs an always-all-on fabric.
 //
-// The sweep is bit-reproducible and thread-count independent: every
-// (rate, policy) cell derives its fault schedule from a seed that is a pure
-// function of the rate row, so all policies in a row face the *same* fault
-// trace, and SweepRunner writes results into pre-sized slots.
+// The scenario (topology, workload, demand matrix, fault-schedule seeding)
+// lives in bench/workloads.h, shared with the perf scoreboard so both score
+// the same fault storm. The sweep is bit-reproducible and thread-count
+// independent: every (rate, policy) cell derives its fault schedule from a
+// seed that is a pure function of the rate row, so all policies in a row
+// face the *same* fault trace, and SweepRunner writes results into
+// pre-sized slots.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -19,14 +22,11 @@
 #include "netpp/analysis/report.h"
 #include "netpp/faults/experiment.h"
 #include "netpp/sim/sweep.h"
-#include "netpp/traffic/generators.h"
+#include "workloads.h"
 
 namespace {
 
 using namespace netpp;
-using namespace netpp::literals;
-
-constexpr std::uint64_t kFaultSeed = 0xfa017u;
 
 struct RateCase {
   const char* name;
@@ -56,49 +56,17 @@ const MechCase kMechs[] = {
     {"re-tailor, headroom 25%", true, DegradedPolicy::kRetailor, 0.25},
 };
 
-struct Scenario {
-  BuiltTopology topology;
-  std::vector<FlowSpec> workload;
-  std::vector<TrafficDemand> demands;
-  Seconds horizon{};
-};
-
-Scenario make_scenario() {
-  Scenario s;
-  s.topology = build_leaf_spine(4, 4, 4, 100_Gbps, 100_Gbps);
-  MlTrafficConfig traffic;
-  traffic.compute_time = Seconds{0.3};
-  traffic.comm_allowance = Seconds{0.5};
-  traffic.volume_per_host = Bits::from_gigabits(12.0);
-  traffic.collective = CollectiveKind::kRing;
-  traffic.iterations = 6;
-  s.workload = make_ml_training_traffic(s.topology.hosts, traffic).flows;
-  // Steady-state demand matrix for tailoring: the ring at the burst rate.
-  const auto& hosts = s.topology.hosts;
-  for (std::size_t i = 0; i < hosts.size(); ++i) {
-    s.demands.push_back(
-        TrafficDemand{hosts[i], hosts[(i + 1) % hosts.size()], 30_Gbps});
-  }
-  s.horizon = Seconds{5.0};
-  return s;
-}
-
-FaultSchedule make_schedule(const Scenario& s, const RateCase& rate,
-                            std::size_t rate_index) {
-  if (rate.mtbf_s <= 0.0) return FaultSchedule{};
-  FaultGeneratorConfig config;
-  config.switches = DeviceReliability{Seconds{rate.mtbf_s}, Seconds{rate.mttr_s}};
-  config.links = DeviceReliability{Seconds{rate.mtbf_s * 2.0}, Seconds{rate.mttr_s}};
-  config.degraded_fraction = 0.25;
-  config.horizon = s.horizon;
+FaultSchedule make_schedule(const bench::FaultScenario& s,
+                            const RateCase& rate, std::size_t rate_index) {
   // Seeded per rate row, NOT per sweep cell: every policy faces the same
   // fault trace, so columns are comparable within a row.
-  config.seed = kFaultSeed + rate_index;
-  return FaultGenerator{config}.generate(s.topology.graph);
+  return bench::make_fault_schedule(s, rate.mtbf_s, rate.mttr_s,
+                                    bench::kFaultSeed + rate_index);
 }
 
-FaultExperimentResult run_cell(const Scenario& s, const RateCase& rate,
-                               std::size_t rate_index, const MechCase& mech) {
+FaultExperimentResult run_cell(const bench::FaultScenario& s,
+                               const RateCase& rate, std::size_t rate_index,
+                               const MechCase& mech) {
   FaultExperimentConfig config;
   config.tailor = mech.tailor;
   config.degraded.policy = mech.policy;
@@ -112,7 +80,7 @@ FaultExperimentResult run_cell(const Scenario& s, const RateCase& rate,
 void print_resilience_sweep() {
   netpp::bench::print_banner(
       "Failure rate x degraded-mode policy (4x4 leaf-spine, ring all-reduce)");
-  const Scenario s = make_scenario();
+  const bench::FaultScenario s = bench::make_fault_scenario();
   std::printf("Fabric: %zu switches, %zu links; workload: %zu flows over %s\n\n",
               s.topology.switches.size(), s.topology.graph.num_links(),
               s.workload.size(), to_string(s.horizon).c_str());
@@ -148,7 +116,7 @@ void print_resilience_sweep() {
 }
 
 void BM_FaultExperiment(benchmark::State& state) {
-  const Scenario s = make_scenario();
+  const bench::FaultScenario s = bench::make_fault_scenario();
   const FaultSchedule schedule = make_schedule(s, kRates[2], 2);
   for (auto _ : state) {
     auto result = run_cell(s, kRates[2], 2, kMechs[3]);
@@ -158,7 +126,7 @@ void BM_FaultExperiment(benchmark::State& state) {
 BENCHMARK(BM_FaultExperiment);
 
 void BM_FaultScheduleGeneration(benchmark::State& state) {
-  const Scenario s = make_scenario();
+  const bench::FaultScenario s = bench::make_fault_scenario();
   for (auto _ : state) {
     auto schedule = make_schedule(s, kRates[2], 2);
     benchmark::DoNotOptimize(schedule);

@@ -2,7 +2,9 @@
 // max-min fair-share problem and run the event loop at HPN-pod scale?
 //
 // Two families of benchmarks, sized 1k / 10k / 100k flows on a k=8 fat tree
-// (128 hosts, the paper's HPN-pod shape scaled to fit CI):
+// (128 hosts, the paper's HPN-pod shape scaled to fit CI); the workloads
+// themselves live in bench/workloads.h so every perf gate (this binary, the
+// telemetry gate, the scoreboard) scores the same fixed scenarios:
 //   - BM_Solver{Capped,Uncapped}: one fair-share solve over a snapshot of N
 //     simultaneously active flows (capped = NIC-bound ML regime, uncapped =
 //     fabric-contended regime).
@@ -20,12 +22,10 @@
 //     the k=8 pod saturates after a few thousand lookups and everything
 //     after is a hash probe.
 //
-// Regenerate the checked-in baseline with:
-//   ./build/bench/bench_flowsim_scale --benchmark_format=json
-//     --benchmark_out=BENCH_flowsim.json
+// Regenerate the checked-in baseline with tools/record_bench.sh (one-step
+// Release build + record; see bench/README.md).
 #include <benchmark/benchmark.h>
 
-#include <algorithm>
 #include <cstdio>
 #include <limits>
 #include <vector>
@@ -33,11 +33,9 @@
 #include "bench_util.h"
 #include "netpp/netsim/fairshare.h"
 #include "netpp/netsim/flowsim.h"
-#include "netpp/sim/random.h"
-#include "netpp/topo/builders.h"
 #include "netpp/topo/route_cache.h"
 #include "netpp/topo/routing.h"
-#include "netpp/traffic/generators.h"
+#include "workloads.h"
 
 namespace {
 
@@ -46,8 +44,9 @@ using namespace netpp;
 // ---------------------------------------------------------------------------
 // Reference solver: the original O(rounds x (links + flows)) progressive
 // filling with per-round linear scans, kept verbatim as the perf baseline.
-// The equivalence property test (tests/netsim/fairshare_property_test.cpp)
-// holds the optimized solver bit-identical to this.
+// The equivalence property tests (tests/netsim/fairshare_property_test.cpp,
+// tests/netsim/fairshare_soa_test.cpp) hold the optimized solver
+// bit-identical to this on every SIMD dispatch path.
 // ---------------------------------------------------------------------------
 std::vector<double> max_min_fair_rates_reference(
     const std::vector<FairShareFlow>& flows,
@@ -117,61 +116,10 @@ std::vector<double> max_min_fair_rates_reference(
   return rate;
 }
 
-// ---------------------------------------------------------------------------
-// Snapshot construction: N ECMP-routed flows between random host pairs.
-// ---------------------------------------------------------------------------
-struct Snapshot {
-  std::vector<FairShareFlow> flows;
-  std::vector<double> capacities;  // directed, bits/s
-};
-
-const BuiltTopology& pod_topology() {
-  static const BuiltTopology topo = build_fat_tree(8, Gbps{100.0});
-  return topo;
-}
-
-Snapshot make_snapshot(std::size_t num_flows, double cap_bps) {
-  const auto& topo = pod_topology();
-  const Router router{topo.graph};
-  Rng rng{0xC0FFEEull + num_flows};
-
-  Snapshot snap;
-  snap.capacities.reserve(topo.graph.num_links() * 2);
-  for (const auto& link : topo.graph.links()) {
-    for (int dir = 0; dir < 2; ++dir) {
-      (void)dir;
-      snap.capacities.push_back(link.capacity.bits_per_second());
-    }
-  }
-
-  const auto num_hosts = static_cast<std::int64_t>(topo.hosts.size());
-  snap.flows.reserve(num_flows);
-  for (std::size_t i = 0; i < num_flows; ++i) {
-    const NodeId src = topo.hosts[static_cast<std::size_t>(
-        rng.uniform_int(0, num_hosts - 1))];
-    NodeId dst = src;
-    while (dst == src) {
-      dst = topo.hosts[static_cast<std::size_t>(
-          rng.uniform_int(0, num_hosts - 1))];
-    }
-    const auto path = router.ecmp_route(src, dst, i);
-    FairShareFlow flow;
-    flow.cap = cap_bps;
-    NodeId at = path->src;
-    for (LinkId lid : path->links) {
-      const Link& link = topo.graph.link(lid);
-      const int dir = (at == link.a) ? 0 : 1;
-      flow.resources.push_back(DirectedLink{lid, dir}.index());
-      at = link.other(at);
-    }
-    snap.flows.push_back(std::move(flow));
-  }
-  return snap;
-}
-
 void BM_SolverCapped(benchmark::State& state) {
   const auto snap =
-      make_snapshot(static_cast<std::size_t>(state.range(0)), 25e9);
+      bench::make_solver_snapshot(static_cast<std::size_t>(state.range(0)),
+                                  25e9);
   for (auto _ : state) {
     auto rates = max_min_fair_rates(snap.flows, snap.capacities);
     benchmark::DoNotOptimize(rates);
@@ -186,7 +134,8 @@ BENCHMARK(BM_SolverCapped)
 
 void BM_SolverUncapped(benchmark::State& state) {
   const auto snap =
-      make_snapshot(static_cast<std::size_t>(state.range(0)), 0.0);
+      bench::make_solver_snapshot(static_cast<std::size_t>(state.range(0)),
+                                  0.0);
   for (auto _ : state) {
     auto rates = max_min_fair_rates(snap.flows, snap.capacities);
     benchmark::DoNotOptimize(rates);
@@ -201,7 +150,8 @@ BENCHMARK(BM_SolverUncapped)
 
 void BM_SolverReferenceCapped(benchmark::State& state) {
   const auto snap =
-      make_snapshot(static_cast<std::size_t>(state.range(0)), 25e9);
+      bench::make_solver_snapshot(static_cast<std::size_t>(state.range(0)),
+                                  25e9);
   for (auto _ : state) {
     auto rates = max_min_fair_rates_reference(snap.flows, snap.capacities);
     benchmark::DoNotOptimize(rates);
@@ -215,7 +165,8 @@ BENCHMARK(BM_SolverReferenceCapped)
 
 void BM_SolverReferenceUncapped(benchmark::State& state) {
   const auto snap =
-      make_snapshot(static_cast<std::size_t>(state.range(0)), 0.0);
+      bench::make_solver_snapshot(static_cast<std::size_t>(state.range(0)),
+                                  0.0);
   for (auto _ : state) {
     auto rates = max_min_fair_rates_reference(snap.flows, snap.capacities);
     benchmark::DoNotOptimize(rates);
@@ -230,33 +181,17 @@ BENCHMARK(BM_SolverReferenceUncapped)
 // End-to-end event loop: Poisson arrivals sized so that ~300 flows are
 // active in steady state; NIC-capped at 25 G like the HPN-pod GPU hosts.
 void BM_FlowSimPoisson(benchmark::State& state) {
-  const auto& topo = pod_topology();
-  const auto total = static_cast<std::size_t>(state.range(0));
-  PoissonTrafficConfig tcfg;
-  tcfg.arrivals_per_second = 2000.0;
-  tcfg.duration = Seconds{static_cast<double>(total) / 2000.0};
-  tcfg.pareto_alpha = 1.3;
-  tcfg.min_size = Bits::from_gigabits(1.0);
-  tcfg.max_size = Bits::from_gigabits(25.0);
-  tcfg.seed = 1234;
-  const auto flows = make_poisson_traffic(topo.hosts, tcfg);
+  const auto flows =
+      bench::make_poisson_workload(static_cast<std::size_t>(state.range(0)));
 
-  double completed = 0.0;
-  double events = 0.0;
+  bench::PoissonRun last;
   for (auto _ : state) {
-    SimEngine engine;
-    Router router{topo.graph};
-    FlowSimulator::Config cfg;
-    cfg.flow_rate_cap = Gbps{25.0};
-    FlowSimulator sim{topo.graph, router, engine, cfg};
-    for (const auto& f : flows) sim.submit(f);
-    events = static_cast<double>(engine.run());
-    completed = static_cast<double>(sim.completed().size());
-    benchmark::DoNotOptimize(completed);
+    last = bench::run_poisson_workload(flows);
+    benchmark::DoNotOptimize(last.completed);
   }
   state.counters["flows"] = static_cast<double>(flows.size());
-  state.counters["completed"] = completed;
-  state.counters["events"] = events;
+  state.counters["completed"] = static_cast<double>(last.completed);
+  state.counters["events"] = static_cast<double>(last.events);
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(flows.size()));
 }
@@ -270,27 +205,12 @@ BENCHMARK(BM_FlowSimPoisson)
 // flowsim_routecache test pins the two configurations to bit-identical
 // completion times, so any delta here is pure routing cost.
 void BM_FlowSimPoissonNoRouteCache(benchmark::State& state) {
-  const auto& topo = pod_topology();
-  const auto total = static_cast<std::size_t>(state.range(0));
-  PoissonTrafficConfig tcfg;
-  tcfg.arrivals_per_second = 2000.0;
-  tcfg.duration = Seconds{static_cast<double>(total) / 2000.0};
-  tcfg.pareto_alpha = 1.3;
-  tcfg.min_size = Bits::from_gigabits(1.0);
-  tcfg.max_size = Bits::from_gigabits(25.0);
-  tcfg.seed = 1234;
-  const auto flows = make_poisson_traffic(topo.hosts, tcfg);
+  const auto flows =
+      bench::make_poisson_workload(static_cast<std::size_t>(state.range(0)));
 
   for (auto _ : state) {
-    SimEngine engine;
-    Router router{topo.graph};
-    FlowSimulator::Config cfg;
-    cfg.flow_rate_cap = Gbps{25.0};
-    cfg.use_route_cache = false;
-    FlowSimulator sim{topo.graph, router, engine, cfg};
-    for (const auto& f : flows) sim.submit(f);
-    engine.run();
-    benchmark::DoNotOptimize(sim.completed().size());
+    const auto run = bench::run_poisson_workload(flows, false);
+    benchmark::DoNotOptimize(run.completed);
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(flows.size()));
@@ -303,28 +223,10 @@ BENCHMARK(BM_FlowSimPoissonNoRouteCache)
 // ---------------------------------------------------------------------------
 // Routing-only family: N ECMP route picks for pseudo-random host pairs.
 // ---------------------------------------------------------------------------
-std::vector<std::pair<NodeId, NodeId>> make_pairs(std::size_t n) {
-  const auto& topo = pod_topology();
-  Rng rng{0xBADC0DEull + n};
-  const auto num_hosts = static_cast<std::int64_t>(topo.hosts.size());
-  std::vector<std::pair<NodeId, NodeId>> pairs;
-  pairs.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const NodeId src = topo.hosts[static_cast<std::size_t>(
-        rng.uniform_int(0, num_hosts - 1))];
-    NodeId dst = src;
-    while (dst == src) {
-      dst = topo.hosts[static_cast<std::size_t>(
-          rng.uniform_int(0, num_hosts - 1))];
-    }
-    pairs.emplace_back(src, dst);
-  }
-  return pairs;
-}
-
 void BM_EcmpRouteUncached(benchmark::State& state) {
-  const auto& topo = pod_topology();
-  const auto pairs = make_pairs(static_cast<std::size_t>(state.range(0)));
+  const auto& topo = bench::pod_topology();
+  const auto pairs =
+      bench::make_host_pairs(static_cast<std::size_t>(state.range(0)));
   Router router{topo.graph};
   for (auto _ : state) {
     std::size_t hops = 0;
@@ -343,8 +245,9 @@ BENCHMARK(BM_EcmpRouteUncached)
     ->Unit(benchmark::kMillisecond);
 
 void BM_EcmpRouteCached(benchmark::State& state) {
-  const auto& topo = pod_topology();
-  const auto pairs = make_pairs(static_cast<std::size_t>(state.range(0)));
+  const auto& topo = bench::pod_topology();
+  const auto pairs =
+      bench::make_host_pairs(static_cast<std::size_t>(state.range(0)));
   Router router{topo.graph};
   RouteCache cache{router, RouteCache::Config{}};
   for (auto _ : state) {

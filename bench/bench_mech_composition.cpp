@@ -6,7 +6,8 @@
 // against the all-on baseline, against each mechanism alone, and against
 // the dynamic-only (no OCS) stack — the headline being that the full stack
 // never loses to its best single ingredient, and that the composition gap
-// widens as the network idles more.
+// widens as the network idles more. The scenario builder lives in
+// bench/workloads.h, shared with the perf scoreboard.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -16,37 +17,11 @@
 #include "bench_util.h"
 #include "netpp/analysis/report.h"
 #include "netpp/mech/composite.h"
-#include "netpp/topo/builders.h"
-#include "netpp/traffic/generators.h"
+#include "workloads.h"
 
 namespace {
 
 using namespace netpp;
-using namespace netpp::literals;
-
-struct Scenario {
-  BuiltTopology topo = build_fat_tree(4, 100_Gbps);
-  std::vector<FlowSpec> workload;
-  std::vector<TrafficDemand> demands;
-  CompositeConfig config;
-  Seconds horizon{4.0};
-
-  explicit Scenario(double volume_gbit) {
-    MlTrafficConfig cfg;
-    cfg.compute_time = 0.9_s;
-    cfg.comm_allowance = 0.1_s;
-    cfg.iterations = 4;
-    cfg.volume_per_host = Bits::from_gigabits(volume_gbit);
-    workload = make_ml_training_traffic(topo.hosts, cfg).flows;
-
-    for (std::size_t i = 0; i < topo.hosts.size(); ++i) {
-      demands.push_back(TrafficDemand{
-          topo.hosts[i], topo.hosts[(i + 1) % topo.hosts.size()], 5_Gbps});
-    }
-    config.parking.switch_capacity = Gbps{4 * 100.0};
-    config.num_ocs_devices = 4;
-  }
-};
 
 void print_composition_sweep() {
   netpp::bench::print_banner(
@@ -56,7 +31,7 @@ void print_composition_sweep() {
   Table table{{"volume_gbit", "baseline_W", "tailor", "park", "rate",
                "dynamic", "stack", "best_single"}};
   for (double volume : {0.5, 2.0, 8.0}) {
-    const Scenario sc{volume};
+    const bench::CompositeScenario sc = bench::make_composite_scenario(volume);
     const CompositeReport full =
         run_composite(sc.topo, sc.workload, sc.demands, sc.horizon, sc.config);
     CompositeConfig dynamic_only = sc.config;
@@ -82,7 +57,7 @@ void print_composition_sweep() {
 }
 
 void BM_RunCompositeFullStack(benchmark::State& state) {
-  const Scenario sc{2.0};
+  const bench::CompositeScenario sc = bench::make_composite_scenario(2.0);
   for (auto _ : state) {
     const CompositeReport report =
         run_composite(sc.topo, sc.workload, sc.demands, sc.horizon, sc.config);
@@ -94,7 +69,7 @@ BENCHMARK(BM_RunCompositeFullStack)->Unit(benchmark::kMillisecond);
 void BM_StackedPolicySingleSwitch(benchmark::State& state) {
   // The per-switch inner loop: one StackedSwitchPolicy over a recorded
   // trace, isolated from the flow simulation.
-  const Scenario sc{2.0};
+  const bench::CompositeScenario sc = bench::make_composite_scenario(2.0);
   const CompositeConfig& cfg = sc.config;
   LoadTrace trace;
   const int pipes = cfg.parking.model.config().num_pipelines;

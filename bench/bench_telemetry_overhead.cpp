@@ -1,5 +1,5 @@
 // Telemetry overhead gate: the BM_FlowSimPoisson/10000 workload from
-// bench_flowsim_scale (k=8 fat tree, Poisson arrivals, ~300 concurrent
+// bench/workloads.h (k=8 fat tree, Poisson arrivals, ~300 concurrent
 // flows) in three telemetry configurations:
 //
 //   - off:    no Telemetry attached (counters land in the simulator-private
@@ -14,9 +14,11 @@
 //
 // The gate itself runs before the google-benchmark timings: interleaved
 // best-of-N wall-clock runs of off/idle (min is the noise-robust
-// statistic). On failure the binary exits non-zero, so wiring it into the
-// Release bench smoke job makes overhead regressions fail CI. Record the
-// measured number in BENCH_flowsim.json when regenerating it:
+// statistic). On failure the binary exits non-zero. The same measurement is
+// one row of the perf scoreboard (bench_scoreboard), which is what CI runs;
+// this binary remains the focused gate plus the off/idle/active timings.
+// tools/record_bench.sh captures the measured number into
+// BENCH_flowsim.json via:
 //
 //   pct=$(./bench/bench_telemetry_overhead --gate-only)
 //   ./bench/bench_flowsim_scale --benchmark_format=json
@@ -24,131 +26,62 @@
 //     --benchmark_context=telemetry_idle_overhead_pct=$pct
 #include <benchmark/benchmark.h>
 
-#include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
-#include <vector>
 
 #include "bench_util.h"
-#include "netpp/netsim/flowsim.h"
 #include "netpp/telemetry/telemetry.h"
-#include "netpp/topo/builders.h"
-#include "netpp/traffic/generators.h"
+#include "workloads.h"
 
 namespace {
 
 using namespace netpp;
 
-constexpr std::size_t kFlows = 10000;
-
-const BuiltTopology& pod_topology() {
-  static const BuiltTopology topo = build_fat_tree(8, Gbps{100.0});
-  return topo;
-}
-
-// Identical workload to bench_flowsim_scale's BM_FlowSimPoisson/10000.
-const std::vector<FlowSpec>& poisson_workload() {
-  static const std::vector<FlowSpec> flows = [] {
-    PoissonTrafficConfig tcfg;
-    tcfg.arrivals_per_second = 2000.0;
-    tcfg.duration = Seconds{static_cast<double>(kFlows) / 2000.0};
-    tcfg.pareto_alpha = 1.3;
-    tcfg.min_size = Bits::from_gigabits(1.0);
-    tcfg.max_size = Bits::from_gigabits(25.0);
-    tcfg.seed = 1234;
-    return make_poisson_traffic(pod_topology().hosts, tcfg);
-  }();
-  return flows;
-}
-
-std::size_t run_workload(telemetry::Telemetry* tel) {
-  const auto& topo = pod_topology();
-  SimEngine engine;
-  Router router{topo.graph};
-  FlowSimulator::Config cfg;
-  cfg.flow_rate_cap = Gbps{25.0};
-  cfg.telemetry = tel;
-  FlowSimulator sim{topo.graph, router, engine, cfg};
-  for (const auto& f : poisson_workload()) sim.submit(f);
-  engine.run();
-  return sim.completed().size();
-}
-
-double time_once(telemetry::Telemetry* tel) {
-  const auto start = std::chrono::steady_clock::now();
-  const std::size_t completed = run_workload(tel);
-  const auto stop = std::chrono::steady_clock::now();
-  benchmark::DoNotOptimize(completed);
-  return std::chrono::duration<double>(stop - start).count();
-}
-
-telemetry::TelemetryConfig idle_config() {
-  telemetry::TelemetryConfig cfg;
-  cfg.events = false;  // sink disabled: registry attached, nothing recorded
-  return cfg;
-}
-
-telemetry::TelemetryConfig active_config() {
-  telemetry::TelemetryConfig cfg;
-  cfg.events = true;
-  cfg.sample_period = Seconds{0.01};
-  return cfg;
-}
-
-/// Interleaved best-of-N comparison; returns idle overhead in percent.
-/// Fresh Telemetry per run so the event log never grows across runs.
-double measure_idle_overhead_pct(int rounds) {
-  double best_off = 1e300;
-  double best_idle = 1e300;
-  // Warm-up run populates the static workload and touches the allocator.
-  run_workload(nullptr);
-  for (int r = 0; r < rounds; ++r) {
-    best_off = std::min(best_off, time_once(nullptr));
-    telemetry::Telemetry tel{idle_config()};
-    best_idle = std::min(best_idle, time_once(&tel));
-  }
-  return (best_idle / best_off - 1.0) * 100.0;
-}
-
 void BM_FlowSimPoissonTelemetryOff(benchmark::State& state) {
   for (auto _ : state) {
-    benchmark::DoNotOptimize(run_workload(nullptr));
+    benchmark::DoNotOptimize(
+        bench::run_poisson_workload(bench::telemetry_workload()).completed);
   }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<std::int64_t>(kFlows));
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(bench::kTelemetryWorkloadFlows));
 }
 BENCHMARK(BM_FlowSimPoissonTelemetryOff)->Unit(benchmark::kMillisecond);
 
 void BM_FlowSimPoissonTelemetryIdle(benchmark::State& state) {
   for (auto _ : state) {
-    telemetry::Telemetry tel{idle_config()};
-    benchmark::DoNotOptimize(run_workload(&tel));
+    telemetry::Telemetry tel{bench::telemetry_idle_config()};
+    benchmark::DoNotOptimize(
+        bench::run_poisson_workload(bench::telemetry_workload(), true, &tel)
+            .completed);
   }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<std::int64_t>(kFlows));
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(bench::kTelemetryWorkloadFlows));
 }
 BENCHMARK(BM_FlowSimPoissonTelemetryIdle)->Unit(benchmark::kMillisecond);
 
 void BM_FlowSimPoissonTelemetryActive(benchmark::State& state) {
   std::size_t events = 0;
   for (auto _ : state) {
-    telemetry::Telemetry tel{active_config()};
+    telemetry::Telemetry tel{bench::telemetry_active_config()};
     tel.sampler().track("netsim.active_flows");
-    benchmark::DoNotOptimize(run_workload(&tel));
+    benchmark::DoNotOptimize(
+        bench::run_poisson_workload(bench::telemetry_workload(), true, &tel)
+            .completed);
     events = tel.events().size();
   }
   state.counters["events"] = static_cast<double>(events);
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<std::int64_t>(kFlows));
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(bench::kTelemetryWorkloadFlows));
 }
 BENCHMARK(BM_FlowSimPoissonTelemetryActive)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  constexpr double kGatePct = 2.0;
   bool gate_only = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--gate-only") == 0) {
@@ -159,7 +92,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  const double pct = measure_idle_overhead_pct(gate_only ? 5 : 7);
+  const double pct = bench::measure_idle_overhead_pct(gate_only ? 5 : 7);
   if (gate_only) {
     // Machine-readable: just the number, for --benchmark_context capture.
     std::printf("%.2f\n", pct);
@@ -169,7 +102,7 @@ int main(int argc, char** argv) {
     std::printf(
         "idle-telemetry overhead (attached registry, sink disabled) vs no\n"
         "telemetry: %+.2f%% (gate: < %.0f%%, best-of-N interleaved)\n\n",
-        pct, kGatePct);
+        pct, bench::kTelemetryIdleGatePct);
   }
 
 #ifdef NDEBUG
@@ -182,10 +115,10 @@ int main(int argc, char** argv) {
     std::printf("NOTE: debug build - gate reported but not enforced.\n\n");
   }
 #endif
-  if (gated && pct >= kGatePct) {
+  if (gated && pct >= bench::kTelemetryIdleGatePct) {
     std::fprintf(stderr,
                  "FAIL: idle telemetry overhead %.2f%% >= %.2f%% gate\n", pct,
-                 kGatePct);
+                 bench::kTelemetryIdleGatePct);
     return 1;
   }
   if (gate_only) return 0;

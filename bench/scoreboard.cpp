@@ -1,0 +1,348 @@
+// Scoring half of the perf scoreboard (see scoreboard.h). The JSON reader
+// is a deliberately small recursive-descent scanner over the
+// google-benchmark output format: no external JSON dependency, tolerant of
+// unknown fields, keeps only per-benchmark cpu_time plus the flat context
+// entries.
+#include "scoreboard.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+#include <utility>
+
+namespace netpp::bench {
+namespace {
+
+class JsonScanner {
+ public:
+  explicit JsonScanner(std::string_view text) : text_(text) {}
+
+  void skip_ws() {
+    while (at_ < text_.size()) {
+      const char c = text_[at_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++at_;
+    }
+  }
+
+  [[nodiscard]] char peek() {
+    skip_ws();
+    return at_ < text_.size() ? text_[at_] : '\0';
+  }
+
+  bool consume(char c) {
+    if (peek() != c) {
+      ok_ = false;
+      return false;
+    }
+    ++at_;
+    return true;
+  }
+
+  [[nodiscard]] bool ok() const { return ok_; }
+
+  /// Positioned at '"'. Returns the unescaped string (\uXXXX collapses to
+  /// '?': no key or value the scoreboard reads uses it).
+  std::string parse_string() {
+    std::string out;
+    if (!consume('"')) return out;
+    while (at_ < text_.size()) {
+      const char c = text_[at_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (at_ >= text_.size()) break;
+      const char esc = text_[at_++];
+      switch (esc) {
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u':
+          at_ = at_ + 4 <= text_.size() ? at_ + 4 : text_.size();
+          out.push_back('?');
+          break;
+        default: out.push_back(esc); break;
+      }
+    }
+    ok_ = false;
+    return out;
+  }
+
+  double parse_number() {
+    skip_ws();
+    const char* begin = text_.data() + at_;
+    char* end = nullptr;
+    const double value = std::strtod(begin, &end);
+    if (end == begin) {
+      ok_ = false;
+      return 0.0;
+    }
+    at_ += static_cast<std::size_t>(end - begin);
+    return value;
+  }
+
+  /// Skips any JSON value; returns its scalar rendering when the value was
+  /// a string/number/bool/null ("" for containers, which are skipped whole).
+  std::string skip_value() {
+    const char c = peek();
+    if (c == '"') return parse_string();
+    if (c == '{' || c == '[') {
+      const char open = c;
+      const char close = open == '{' ? '}' : ']';
+      ++at_;
+      int depth = 1;
+      while (at_ < text_.size() && depth > 0) {
+        const char k = text_[at_];
+        if (k == '"') {
+          (void)parse_string();
+          continue;
+        }
+        if (k == open) ++depth;
+        if (k == close) --depth;
+        ++at_;
+      }
+      if (depth != 0) ok_ = false;
+      return "";
+    }
+    if (c == 't' || c == 'f' || c == 'n') {
+      std::string word;
+      while (at_ < text_.size() &&
+             ((text_[at_] >= 'a' && text_[at_] <= 'z'))) {
+        word.push_back(text_[at_++]);
+      }
+      return word;
+    }
+    std::ostringstream num;
+    num << parse_number();
+    return num.str();
+  }
+
+  /// Positioned at '{'. Calls fn(key) with the scanner positioned at the
+  /// value; fn must consume the value (parse_* or skip_value).
+  template <typename Fn>
+  void parse_object(Fn&& fn) {
+    if (!consume('{')) return;
+    if (peek() == '}') {
+      ++at_;
+      return;
+    }
+    while (ok_) {
+      const std::string key = parse_string();
+      if (!consume(':')) return;
+      fn(key);
+      const char c = peek();
+      if (c == ',') {
+        ++at_;
+        continue;
+      }
+      consume('}');
+      return;
+    }
+  }
+
+  /// Positioned at '['. Calls fn() with the scanner at each element.
+  template <typename Fn>
+  void parse_array(Fn&& fn) {
+    if (!consume('[')) return;
+    if (peek() == ']') {
+      ++at_;
+      return;
+    }
+    while (ok_) {
+      fn();
+      const char c = peek();
+      if (c == ',') {
+        ++at_;
+        continue;
+      }
+      consume(']');
+      return;
+    }
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t at_ = 0;
+  bool ok_ = true;
+};
+
+double unit_to_ms(const std::string& unit) {
+  if (unit == "ns") return 1e-6;
+  if (unit == "us") return 1e-3;
+  if (unit == "s") return 1e3;
+  return 1.0;  // "ms" — the repo's benchmarks all report milliseconds
+}
+
+void parse_benchmark_entry(JsonScanner& scan,
+                           std::map<std::string, double>& out) {
+  std::string name;
+  std::string run_type;
+  std::string unit = "ms";
+  double cpu_time = -1.0;
+  scan.parse_object([&](const std::string& key) {
+    if (key == "name") {
+      name = scan.parse_string();
+    } else if (key == "run_type") {
+      run_type = scan.parse_string();
+    } else if (key == "time_unit") {
+      unit = scan.parse_string();
+    } else if (key == "cpu_time") {
+      cpu_time = scan.parse_number();
+    } else {
+      (void)scan.skip_value();
+    }
+  });
+  // First iteration entry wins; aggregates (mean/median/stddev) are skipped
+  // so repetition runs score the same as single runs.
+  if (!name.empty() && cpu_time >= 0.0 && run_type != "aggregate" &&
+      out.find(name) == out.end()) {
+    out.emplace(name, cpu_time * unit_to_ms(unit));
+  }
+}
+
+std::string fmt_ms(double ms) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%10.2f ms", ms);
+  return buf;
+}
+
+std::string fmt_pct(double pct) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%+9.2f %% ", pct);
+  return buf;
+}
+
+}  // namespace
+
+double ReferenceScores::benchmark_ms(const std::string& name) const {
+  const auto it = benchmark_cpu_ms.find(name);
+  return it == benchmark_cpu_ms.end() ? -1.0 : it->second;
+}
+
+double ReferenceScores::context_number(const std::string& key) const {
+  const auto it = context.find(key);
+  if (it == context.end() || it->second.empty()) return -1.0;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  return end == it->second.c_str() ? -1.0 : value;
+}
+
+bool ReferenceScores::release_reference() const {
+  const auto it = context.find("netpp_build_type");
+  return it != context.end() && it->second == "release";
+}
+
+ReferenceScores load_reference_scores(const std::string& path) {
+  ReferenceScores ref;
+  ref.path = path;
+  std::ifstream in{path, std::ios::binary};
+  if (!in) return ref;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  JsonScanner scan{text};
+  scan.parse_object([&](const std::string& key) {
+    if (key == "context") {
+      scan.parse_object([&](const std::string& ctx_key) {
+        const std::string value = scan.skip_value();
+        if (!value.empty()) ref.context.emplace(ctx_key, value);
+      });
+    } else if (key == "benchmarks") {
+      scan.parse_array(
+          [&] { parse_benchmark_entry(scan, ref.benchmark_cpu_ms); });
+    } else {
+      (void)scan.skip_value();
+    }
+  });
+  ref.loaded = scan.ok() && !ref.benchmark_cpu_ms.empty();
+  return ref;
+}
+
+bool ScoreRow::scored() const {
+  return kind == RowKind::kAbsolutePct || reference > 0.0;
+}
+
+double ScoreRow::ratio() const {
+  if (kind != RowKind::kRatio || reference <= 0.0) return -1.0;
+  return measured / reference;
+}
+
+bool ScoreRow::failed() const {
+  if (!scored()) return false;
+  if (kind == RowKind::kAbsolutePct) return measured >= limit;
+  return ratio() > limit;
+}
+
+ScoreboardReport score_rows(std::vector<ScoreRow> rows,
+                            const ReferenceScores& ref) {
+  const bool usable = ref.loaded && ref.release_reference();
+  for (ScoreRow& row : rows) {
+    if (row.kind == RowKind::kAbsolutePct) {
+      row.reference = ref.context_number(row.reference_key);
+      continue;
+    }
+    if (!usable) {
+      row.reference = -1.0;
+      continue;
+    }
+    row.reference = ref.benchmark_ms(row.reference_key);
+    if (row.reference <= 0.0) {
+      row.reference = ref.context_number(row.reference_key);
+    }
+  }
+
+  ScoreboardReport report;
+  std::string table;
+  {
+    char head[160];
+    std::snprintf(head, sizeof head, "  %-22s %13s %13s %8s %8s  %s\n",
+                  "scenario", "measured", "reference", "ratio", "limit",
+                  "status");
+    table = head;
+  }
+  for (const ScoreRow& row : rows) {
+    const bool pct = row.kind == RowKind::kAbsolutePct;
+    const std::string measured = pct ? fmt_pct(row.measured)
+                                     : fmt_ms(row.measured);
+    const std::string reference =
+        row.reference > 0.0 || (pct && row.reference > -1.0)
+            ? (pct ? fmt_pct(row.reference) : fmt_ms(row.reference))
+            : std::string{"            -"};
+    char ratio_buf[32] = "       -";
+    if (row.ratio() >= 0.0) {
+      std::snprintf(ratio_buf, sizeof ratio_buf, "%8.3f", row.ratio());
+    }
+    char limit_buf[32];
+    if (pct) {
+      std::snprintf(limit_buf, sizeof limit_buf, "<%5.2f%% ", row.limit);
+    } else {
+      std::snprintf(limit_buf, sizeof limit_buf, "<=%5.2f ", row.limit);
+    }
+    const char* status = "unscored";
+    if (row.scored()) status = row.failed() ? "FAIL" : "ok";
+    char line[256];
+    std::snprintf(line, sizeof line, "  %-22s %13s %13s %8s %8s  %s\n",
+                  row.name.c_str(), measured.c_str(), reference.c_str(),
+                  ratio_buf, limit_buf, status);
+    table += line;
+
+    if (row.scored()) {
+      ++report.scored;
+      if (row.failed()) ++report.failures;
+    } else {
+      ++report.unscored;
+    }
+  }
+  report.rows = std::move(rows);
+  report.table = std::move(table);
+  return report;
+}
+
+}  // namespace netpp::bench

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "netpp/netsim/fairshare.h"
+#include "netpp/netsim/soa.h"
 #include "netpp/sim/engine.h"
 #include "netpp/sim/stats.h"
 #include "netpp/telemetry/telemetry.h"
@@ -227,17 +228,15 @@ class FlowSimulator {
   [[nodiscard]] SimEngine& engine() { return engine_; }
 
  private:
+  // Cold per-flow identity. The hot per-event scalars — current rate,
+  // remaining volume, and the flow's arena block (begin/count into
+  // flow_links_) — live in the parallel structure-of-arrays columns next to
+  // active_ below, so the settle and completion scans stream dense double
+  // arrays (vectorized soa kernels) and the binding-closure walk never
+  // drags these structs through cache.
   struct ActiveFlow {
     FlowId id;
     FlowSpec spec;
-    // The flow's fair-share resources (directed link indices in traversal
-    // order) live in the shared flow_links_ arena: one contiguous block per
-    // flow, so the per-event passes over every flow's links walk hot,
-    // dense memory instead of chasing one heap allocation per flow.
-    std::uint32_t link_begin = 0;
-    std::uint32_t link_count = 0;
-    double remaining_bits;
-    double rate_bps = 0.0;
     Seconds admitted{};
   };
 
@@ -262,39 +261,65 @@ class FlowSimulator {
   bool reallocate_binding_subset(double cap_bps);
   void schedule_next_completion();
   void complete_due_flows(Seconds now);
-  /// Arrival fast path: if the new flow (already in active_) can run at its
-  /// cap without saturating any link it crosses, no other allocation moves.
-  bool try_fast_arrival(Seconds now, ActiveFlow& flow);
+  /// Arrival fast path: if the new flow (already in active_, at index i) can
+  /// run at its cap without saturating any link it crosses, no other
+  /// allocation moves.
+  bool try_fast_arrival(Seconds now, std::size_t i);
   /// Departure fast path: a flow leaving only strictly-unsaturated links
   /// frees no bottleneck, so the remaining allocations stand.
-  bool try_fast_departure(Seconds now, const ActiveFlow& flow);
+  bool try_fast_departure(Seconds now, std::size_t i);
   void set_directed_rate(Seconds now, std::size_t index, double value);
-  /// Directed resource indices of `path` in traversal order.
-  [[nodiscard]] std::vector<std::size_t> directed_indices_of(
-      const Path& path) const;
+  /// Overwrites `out` with the directed resource indices of `path` in
+  /// traversal order.
+  void directed_indices_of(const Path& path,
+                           std::vector<std::uint32_t>& out) const;
   /// ECMP-routes (src, dst, flow id) through the cache (or the Router when
   /// the cache is disabled) and overwrites `out` with the path's directed
   /// resource indices. Returns false when disconnected.
   bool route_flow(NodeId src, NodeId dst, FlowId id,
-                  std::vector<std::size_t>& out);
-  /// Whether every link and transit node of the flow's path is enabled.
-  [[nodiscard]] bool path_alive(const ActiveFlow& flow) const;
-  /// The flow's directed resource indices (a view into the arena).
-  [[nodiscard]] std::span<const std::size_t> flow_links(
-      const ActiveFlow& flow) const {
-    return {flow_links_.data() + flow.link_begin, flow.link_count};
+                  std::vector<std::uint32_t>& out);
+  /// Whether every link and transit node of flow i's path is enabled.
+  [[nodiscard]] bool path_alive(std::size_t i) const;
+  /// Flow i's directed resource indices (a view into the arena).
+  [[nodiscard]] std::span<const std::uint32_t> flow_links(std::size_t i) const {
+    return {flow_links_.data() + flow_lbegin_[i], flow_lcount_[i]};
   }
-  /// Appends `links` to the arena, points `flow` at the copy, and enrolls
-  /// the flow — which will live at `index` in active_ — in the per-link
-  /// membership lists.
-  void store_flow_links(ActiveFlow& flow, std::uint32_t index,
-                        const std::vector<std::size_t>& links);
-  /// Marks the flow's arena block dead (space reclaimed by compaction) and
+  /// Flow i's binding-candidate links: flow_links(i) filtered down to the
+  /// links whose flag_lt_cap_ flag is set, maintained incrementally (see
+  /// set_share_flag). The seeded closure walk streams these directly
+  /// instead of re-filtering the full link list per solve.
+  [[nodiscard]] std::span<const std::uint32_t> filt_links(std::size_t i) const {
+    return {filt_arena_.data() + filt_begin_[i], filt_count_[i]};
+  }
+  /// Writes flag_lt_cap_[r] and, on a flip, splices link r into or out of
+  /// every member flow's filtered list — the lists stay exactly
+  /// {l in flow_links(f) : flag_lt_cap_[l]} at all times.
+  void set_share_flag(std::uint32_t r, std::uint8_t v);
+  /// Appends/removes one link in flow f's filtered list.
+  void filt_append(std::uint32_t f, std::uint32_t l);
+  void filt_remove(std::uint32_t f, std::uint32_t l);
+  /// Rebuilds flow `index`'s filtered list from its link list and the
+  /// current flags (store_flow_links tail, after membership enrollment).
+  void filt_build(std::uint32_t index);
+  /// Repacks the filtered arena when dead blocks dominate.
+  void maybe_compact_filt();
+  /// Appends a flow to active_ and every parallel SoA column (zero rate, no
+  /// links yet).
+  void push_active(FlowId id, const FlowSpec& spec, double remaining_bits,
+                   Seconds now);
+  /// Swap-and-pops flow i out of active_ and every parallel SoA column,
+  /// renumbering the moved flow's membership entries.
+  void swap_remove_active(std::size_t i);
+  /// Appends `links` to the arena, points flow `index`'s SoA block column at
+  /// the copy, and enrolls the flow in the per-link membership lists.
+  void store_flow_links(std::uint32_t index,
+                        const std::vector<std::uint32_t>& links);
+  /// Marks flow i's arena block dead (space reclaimed by compaction) and
   /// removes the flow from the per-link membership lists.
-  void release_flow_links(const ActiveFlow& flow);
-  /// Rewrites the flow's membership entries after a swap-and-pop moved it
-  /// to `index` in active_.
-  void renumber_flow_links(const ActiveFlow& flow, std::uint32_t index);
+  void release_flow_links(std::size_t i);
+  /// Rewrites the membership entries of the flow now living at `index` in
+  /// active_ (call after its SoA columns moved there).
+  void renumber_flow_links(std::uint32_t index);
   /// Repacks the arena when dead blocks dominate; amortized O(1) per event.
   void maybe_compact_links();
   /// Re-validates all paths, reroutes/strands, retries stranded flows, and
@@ -307,29 +332,117 @@ class FlowSimulator {
   SimEngine& engine_;
   Config config_;
 
+  /// Structure-of-arrays link->flows incidence. Each directed link owns a
+  /// block in two parallel 64-byte-aligned uint32 arenas: the member flow
+  /// index (into active_) and that member's flow_links_ arena slot (the
+  /// back-pointer pair with flow_adj_pos_). Blocks grow by doubling
+  /// relocation at the arena tail; abandoned blocks are reclaimed by a
+  /// whole-arena repack once dead space dominates the live membership, so
+  /// growth stays amortized O(1) per hop. The binding-subset closure walk
+  /// and the per-link rate writeback stream flows(r) — contiguous uint32
+  /// runs — instead of chasing one heap-allocated vector per link.
+  class LinkFlowPool {
+   public:
+    static constexpr std::uint32_t kNone = 0xFFFFFFFFu;
+
+    void ensure_links(std::size_t n) {
+      if (blocks_.size() < n) blocks_.resize(n);
+    }
+    [[nodiscard]] std::size_t num_links() const { return blocks_.size(); }
+    [[nodiscard]] std::uint32_t count(std::size_t r) const {
+      return blocks_[r].count;
+    }
+    [[nodiscard]] bool empty(std::size_t r) const {
+      return blocks_[r].count == 0;
+    }
+    /// The flows on link r, in membership order (arbitrary but stable
+    /// between mutations).
+    [[nodiscard]] std::span<const std::uint32_t> flows(std::size_t r) const {
+      const Block& b = blocks_[r];
+      return {flow_of_.data() + b.begin, b.count};
+    }
+    /// Appends member (flow, arena slot) to link r; returns its position in
+    /// the member list.
+    std::uint32_t push(std::size_t r, std::uint32_t flow, std::uint32_t slot) {
+      if (blocks_[r].count == blocks_[r].cap) grow_block(r);
+      Block& b = blocks_[r];
+      flow_of_[b.begin + b.count] = flow;
+      slot_of_[b.begin + b.count] = slot;
+      ++live_;
+      return b.count++;
+    }
+    /// Swap-removes position pos from link r; returns the arena slot of the
+    /// member that moved into pos (kNone when pos was the last member), so
+    /// the caller can fix its back-pointer.
+    std::uint32_t remove(std::size_t r, std::uint32_t pos) {
+      Block& b = blocks_[r];
+      --b.count;
+      --live_;
+      if (pos == b.count) return kNone;
+      flow_of_[b.begin + pos] = flow_of_[b.begin + b.count];
+      slot_of_[b.begin + pos] = slot_of_[b.begin + b.count];
+      return slot_of_[b.begin + pos];
+    }
+    void set_flow(std::size_t r, std::uint32_t pos, std::uint32_t flow) {
+      flow_of_[blocks_[r].begin + pos] = flow;
+    }
+    void set_slot(std::size_t r, std::uint32_t pos, std::uint32_t slot) {
+      slot_of_[blocks_[r].begin + pos] = slot;
+    }
+
+   private:
+    struct Block {
+      std::uint32_t begin = 0;
+      std::uint32_t count = 0;
+      std::uint32_t cap = 0;
+    };
+    void grow_block(std::size_t r);
+    void repack();
+
+    std::vector<Block> blocks_;
+    soa::AlignedVec<std::uint32_t> flow_of_;
+    soa::AlignedVec<std::uint32_t> slot_of_;
+    std::size_t live_ = 0;
+  };
+
   std::vector<ActiveFlow> active_;
-  // Flat arena of every active flow's directed link indices (see
-  // ActiveFlow). Departures and reroutes leave dead blocks behind;
-  // maybe_compact_links() repacks when they dominate. live_hops_ tracks the
-  // live total.
-  std::vector<std::size_t> flow_links_;
-  std::vector<std::size_t> flow_links_scratch_;
+  // Hot per-flow scalars, parallel to active_ (structure-of-arrays; see the
+  // ActiveFlow comment). Maintained in lockstep at every push and
+  // swap-and-pop: rate and remaining feed the soa::settle /
+  // soa::completion_scan kernels as dense 64-byte-aligned double streams;
+  // begin/count are flow i's block in the flow_links_ arena.
+  soa::AlignedVec<double> flow_rate_bps_;
+  soa::AlignedVec<double> flow_remaining_;
+  soa::AlignedVec<std::uint32_t> flow_lbegin_;
+  soa::AlignedVec<std::uint32_t> flow_lcount_;
+  // Per-flow filtered link lists (the flagged subset of each flow's links),
+  // as blocks in their own arena: begin/count/cap columns parallel to
+  // active_. Appends on a 0->1 flag flip relocate a full block to the arena
+  // tail with doubled headroom; dead space is reclaimed by
+  // maybe_compact_filt. filt_live_ tracks the live total.
+  soa::AlignedVec<std::uint32_t> filt_begin_;
+  soa::AlignedVec<std::uint32_t> filt_count_;
+  soa::AlignedVec<std::uint32_t> filt_cap_;
+  soa::AlignedVec<std::uint32_t> filt_arena_;
+  std::size_t filt_live_ = 0;
+  // Flat arena of every active flow's directed link indices (blocks
+  // addressed by the flow_lbegin_/flow_lcount_ columns), 32-bit like the
+  // solver's native index width. Departures and reroutes leave dead blocks
+  // behind; maybe_compact_links() repacks when they dominate. live_hops_
+  // tracks the live total.
+  std::vector<std::uint32_t> flow_links_;
+  std::vector<std::uint32_t> flow_links_scratch_;
   std::size_t live_hops_ = 0;
   // Persistent link->flows incidence, maintained by store/release/renumber
-  // in O(hops) per event instead of rebuilt O(total hops) per solve. Each
-  // entry names the member flow (index into active_) and its arena slot;
-  // flow_adj_pos_ (parallel to flow_links_) is the back-pointer: the
-  // entry's position inside its link's member list, making removal and
-  // renumbering O(1) per hop.
-  struct LinkFlowRef {
-    std::uint32_t flow;
-    std::uint32_t slot;
-  };
-  std::vector<std::vector<LinkFlowRef>> link_flows_;
+  // in O(hops) per event instead of rebuilt O(total hops) per solve.
+  // flow_adj_pos_ (parallel to flow_links_) is the back-pointer: the hop's
+  // position inside its link's member list, making removal and renumbering
+  // O(1) per hop.
+  LinkFlowPool link_flows_;
   std::vector<std::uint32_t> flow_adj_pos_;
   std::vector<std::uint32_t> adj_pos_scratch_;
   // Links with at least one member, with positions for O(1) removal.
-  std::vector<std::size_t> touched_links_;
+  std::vector<std::uint32_t> touched_links_;
   std::vector<std::uint32_t> touched_pos_;
   // Persistent per-directed-link binding flag: capacity / member count
   // below the uniform cap (the exact division the solver's heap seeding
@@ -337,7 +450,7 @@ class FlowSimulator {
   // fast paths and the seeded solve refresh the links they touch, full
   // evaluations rebuild every populated link.
   std::vector<std::uint8_t> flag_lt_cap_;
-  std::vector<std::size_t> route_scratch_;  // route_flow output buffer
+  std::vector<std::uint32_t> route_scratch_;  // route_flow output buffer
   std::vector<FlowRecord> completed_;
   std::vector<StrandedFlow> stranded_;
   std::vector<double> strand_durations_;        // seconds, one per resume
@@ -347,11 +460,11 @@ class FlowSimulator {
   std::vector<TimeWeighted> directed_rate_bps_;  // time-weighted history
   std::vector<double> carried_bps_;              // current carried rate
 
-  // Persistent solver workspace: the problem views point straight into
-  // ActiveFlow::directed_indices (no per-event copies), and the solver
-  // reuses its internal buffers across events.
+  // Persistent solver workspace: the problem views point straight into the
+  // flow_links_ arena (no per-event copies), and the solver reuses its
+  // internal buffers across events.
   MaxMinSolver solver_;
-  std::vector<FairShareFlowView> problem_;
+  std::vector<FairShareFlowView32> problem_;
   std::vector<double> carried_scratch_;
   // Binding-subset workspace: generation-stamped visit marks for the seeded
   // closure walk (no O(num links) clears per event), the full-mode
@@ -362,28 +475,36 @@ class FlowSimulator {
   std::vector<double> bind_slb_;
   std::vector<double> bind_sub_;
   std::vector<double> bind_lb_;
-  std::vector<std::size_t> bind_flows_;
+  std::vector<std::uint32_t> bind_flows_;
+  // Generation-stamped visit marks: deliberately std::vector (zero-init on
+  // resize is load-bearing — a fresh stamp slot must never equal bind_gen_).
   std::vector<std::uint32_t> bind_link_seen_;
   std::vector<std::uint32_t> bind_flow_seen_;
-  std::vector<std::size_t> bind_stack_;
+  std::vector<std::uint32_t> bind_stack_;
   // Links whose carried sums can have moved this event — the links of
   // closure flows whose solved rate actually changed, plus the live seed
   // links (membership changed there) — each once: the seeded writeback's
   // work list.
   std::vector<std::uint32_t> bind_sub_seen_;
-  std::vector<std::size_t> bind_sub_links_;
-  // What the solver actually sees: per-flow link lists filtered down to the
-  // flagged (binding-candidate) links, flattened into an arena, plus the
-  // deduplicated flagged-link list used as the solver's sparse-reset set.
-  std::vector<std::size_t> bind_solver_arena_;
-  std::vector<std::size_t> bind_solver_links_;
+  std::vector<std::uint32_t> bind_sub_links_;
+  // What the solver actually sees: the discovered flows' filtered link
+  // lists, flattened into a CSR arena (bind_solver_start_ has one offset
+  // per solver row plus the end sentinel, matching solve_arena's layout),
+  // plus the deduplicated flagged-link list used as the solver's
+  // sparse-reset set.
+  std::vector<std::uint32_t> bind_solver_arena_;
+  std::vector<std::uint32_t> bind_solver_start_;
+  std::vector<std::uint32_t> bind_solver_links_;
+  // Flows the walk discovered this event, solver rows plus direct-capped;
+  // feeds the telemetry counter (same totals the pre-filtered problem had).
+  std::size_t bind_discovered_ = 0;
   std::uint32_t bind_gen_ = 0;
   // Seed links for the next reallocation: the directed links of the flows
   // that arrived/departed since the last solve. When valid, only the flows
   // reachable from these links through binding links are re-solved; every
   // other flow's rate is provably unchanged and kept as cached. Consumed
   // (reset to full) by reallocate().
-  std::vector<std::size_t> seed_links_;
+  std::vector<std::uint32_t> seed_links_;
   bool seed_valid_ = false;
   RouteCache route_cache_;
   // Telemetry instruments. The counters behind ReallocStats live here: each

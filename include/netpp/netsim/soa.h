@@ -1,0 +1,188 @@
+// Structure-of-arrays helpers for the simulation hot paths.
+//
+// The solver and reallocation pipelines are memory-bound: their per-event
+// cost is dominated by streaming index and residual arrays, not arithmetic.
+// This header provides the two building blocks they share:
+//
+//   - AlignedVec<T>: a minimal cache-line-aligned, grow-only workspace
+//     buffer for trivially-copyable hot-path data. Unlike std::vector it
+//     guarantees 64-byte alignment (vector kernels can use aligned loads on
+//     the bulk of the range) and never value-initializes on resize, so
+//     re-using a workspace across solves costs exactly the bytes written.
+//
+//   - Branch-light kernels (div_shares, fill_unfrozen) with an optional
+//     explicit SSE2/AVX2 implementation behind NETPP_SIMD, selected at
+//     runtime from CPUID. Every path is bit-identical to the scalar loop:
+//     the kernels use only IEEE-exact operations (correctly-rounded vdivpd,
+//     blends, integer->double conversion), so the solver's results do not
+//     depend on the dispatch level. tests/netsim/fairshare_soa_test.cpp
+//     pins each compiled path against the reference solver;
+//     force_simd_level() exists for exactly that sweep.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <new>
+#include <type_traits>
+
+namespace netpp::soa {
+
+/// Alignment of every AlignedVec allocation: one x86 cache line, and enough
+/// for any SSE/AVX2 aligned access.
+inline constexpr std::size_t kAlignment = 64;
+
+/// Grow-only aligned buffer for trivially-copyable workspace data.
+///
+/// Semantics are the subset of std::vector the hot paths need, with two
+/// deliberate differences: resize() never shrinks capacity and never
+/// initializes new elements (callers own the reset policy — that is the
+/// whole point of a sparse-reset workspace), and the storage is always
+/// kAlignment-aligned.
+template <typename T>
+class AlignedVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "AlignedVec is for POD-style workspace data");
+  static_assert(std::is_trivially_destructible_v<T>,
+                "AlignedVec never runs destructors");
+
+ public:
+  AlignedVec() = default;
+  ~AlignedVec() { deallocate(data_); }
+
+  AlignedVec(const AlignedVec&) = delete;
+  AlignedVec& operator=(const AlignedVec&) = delete;
+  AlignedVec(AlignedVec&& other) noexcept
+      : data_(other.data_), size_(other.size_), capacity_(other.capacity_) {
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.capacity_ = 0;
+  }
+  AlignedVec& operator=(AlignedVec&& other) noexcept {
+    if (this != &other) {
+      deallocate(data_);
+      data_ = other.data_;
+      size_ = other.size_;
+      capacity_ = other.capacity_;
+      other.data_ = nullptr;
+      other.size_ = 0;
+      other.capacity_ = 0;
+    }
+    return *this;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] T* data() { return data_; }
+  [[nodiscard]] const T* data() const { return data_; }
+  [[nodiscard]] T& operator[](std::size_t i) { return data_[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const { return data_[i]; }
+  [[nodiscard]] T* begin() { return data_; }
+  [[nodiscard]] T* end() { return data_ + size_; }
+  [[nodiscard]] const T* begin() const { return data_; }
+  [[nodiscard]] const T* end() const { return data_ + size_; }
+  [[nodiscard]] T& back() { return data_[size_ - 1]; }
+  [[nodiscard]] const T& back() const { return data_[size_ - 1]; }
+
+  void reserve(std::size_t n) {
+    if (n > capacity_) grow_to(n);
+  }
+
+  /// Grows (never shrinks capacity); new elements are UNINITIALIZED.
+  void resize(std::size_t n) {
+    reserve(n);
+    size_ = n;
+  }
+
+  void assign(std::size_t n, T value) {
+    resize(n);
+    for (std::size_t i = 0; i < n; ++i) data_[i] = value;
+  }
+
+  void clear() { size_ = 0; }
+
+  void push_back(T value) {
+    if (size_ == capacity_) grow_to(size_ + 1);
+    data_[size_++] = value;
+  }
+
+  void pop_back() { --size_; }
+
+ private:
+  void grow_to(std::size_t n) {
+    std::size_t cap = capacity_ < 16 ? 16 : capacity_;
+    while (cap < n) cap *= 2;
+    T* fresh = static_cast<T*>(
+        ::operator new(cap * sizeof(T), std::align_val_t{kAlignment}));
+    if (size_ != 0) std::memcpy(fresh, data_, size_ * sizeof(T));
+    deallocate(data_);
+    data_ = fresh;
+    capacity_ = cap;
+  }
+
+  static void deallocate(T* p) {
+    if (p != nullptr) ::operator delete(p, std::align_val_t{kAlignment});
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Runtime-dispatched kernels.
+// ---------------------------------------------------------------------------
+
+/// Dispatch levels, ordered by capability. kScalar is always available; the
+/// others exist when compiled in (NETPP_SIMD on x86-64) AND the CPU reports
+/// support. All levels produce bit-identical results.
+enum class SimdLevel : int {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,
+};
+
+[[nodiscard]] const char* to_string(SimdLevel level);
+
+/// Best level this binary + CPU supports (kScalar when NETPP_SIMD is off).
+[[nodiscard]] SimdLevel detected_simd_level();
+
+/// Level the kernels currently run at: detected, unless capped by
+/// force_simd_level.
+[[nodiscard]] SimdLevel active_simd_level();
+
+/// Caps the dispatch at `level` (clamped to detected_simd_level()) and
+/// returns the level actually applied. Test hook for sweeping every
+/// compiled path; not intended for concurrent use with running solvers.
+SimdLevel force_simd_level(SimdLevel level);
+
+/// out[i] = residual[i] / double(active[i]) for i in [0, n).
+/// active[i] == 0 divides by zero and yields +inf (callers skip those
+/// lanes); the division is IEEE-exact on every path.
+void div_shares(const double* residual, const std::uint32_t* active,
+                double* out, std::size_t n);
+
+/// The bulk cap-freeze: for i in [0, n), if !frozen[i] { rate[i] = value;
+/// frozen[i] = 1; }. `frozen` must hold 0/1 flags (the vector paths store 1
+/// unconditionally). Pure blend — bit-identical on every path.
+void fill_unfrozen(double* rate, std::uint8_t* frozen, double value,
+                   std::size_t n);
+
+/// The progress settle: remaining[i] = max(remaining[i] - rate[i] * dt, 0.0)
+/// for i in [0, n). The multiply and subtract stay separate operations
+/// (soa.cpp builds with -ffp-contract=off, so no path fuses them into an
+/// FMA) and max matches the scalar `next > 0.0 ? next : 0.0` on every edge
+/// (NaN, signed zero) — bit-identical on every path.
+void settle(double* remaining, const double* rate, double dt, std::size_t n);
+
+/// The completion scan, over lanes with rate[i] > 0.0:
+///   *min_quotient = min(remaining[i] / rate[i])  where rate[i] != cap
+///   *min_capped   = min(remaining[i])            where rate[i] == cap
+/// Both are +inf when no lane qualifies. Qualifying lanes produce no NaN
+/// (rate > 0) so the min reductions are order-independent — the vector
+/// accumulators match the scalar scan bit for bit.
+void completion_scan(const double* remaining, const double* rate, double cap,
+                     std::size_t n, double* min_quotient, double* min_capped);
+
+}  // namespace netpp::soa

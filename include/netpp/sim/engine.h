@@ -4,12 +4,20 @@
 // simulator and the §4 mechanism models. Events are closures scheduled at
 // absolute simulated times; ties are broken by insertion order (FIFO), which
 // keeps runs reproducible.
+//
+// Internals are built for high event churn (the flow simulator schedules and
+// cancels a completion candidate per rate change): the priority queue holds
+// small POD entries (time, FIFO seq, slot) while the callbacks live in a
+// slot table recycled through a free list, and cancellation is an O(1)
+// generation check instead of a hash-set erase. Event handles encode
+// (generation, slot); a handle goes stale as soon as its event fires or is
+// cancelled, and the generation tag keeps recycled slots from resurrecting
+// stale handles.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "netpp/units.h"
@@ -20,7 +28,8 @@ namespace netpp {
 class SimEngine {
  public:
   using Callback = std::function<void()>;
-  /// Handle used to cancel a scheduled event. Valid until the event fires.
+  /// Opaque handle used to cancel a scheduled event. Valid until the event
+  /// fires or is cancelled.
   using EventId = std::uint64_t;
 
   SimEngine() = default;
@@ -50,18 +59,24 @@ class SimEngine {
   /// Executes the single next event, if any. Returns whether one ran.
   bool step();
 
-  [[nodiscard]] bool empty() const { return pending_.empty(); }
-  [[nodiscard]] std::size_t pending_events() const { return pending_.size(); }
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  [[nodiscard]] std::size_t pending_events() const { return live_; }
 
  private:
   struct Entry {
     double at;
-    std::uint64_t seq;  // FIFO tie-break and cancellation handle
-    Callback fn;
+    std::uint64_t seq;  // FIFO tie-break
+    std::uint32_t slot;
+    std::uint32_t gen;
     bool operator>(const Entry& other) const {
       if (at != other.at) return at > other.at;
       return seq > other.seq;
     }
+  };
+  struct Slot {
+    Callback fn;
+    std::uint32_t gen = 0;  // bumped on every (re)allocation of the slot
+    bool live = false;
   };
 
   bool pop_and_run();
@@ -69,7 +84,9 @@ class SimEngine {
   Seconds now_{};
   std::uint64_t next_seq_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-  std::unordered_set<EventId> pending_;  // scheduled, not yet fired/cancelled
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_ = 0;  // scheduled, not yet fired/cancelled
 };
 
 }  // namespace netpp

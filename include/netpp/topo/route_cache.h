@@ -138,6 +138,15 @@ class RouteCache {
   /// (equivalence tests compare this against a fresh Router).
   [[nodiscard]] RouteResult find_paths_copy(NodeId src, NodeId dst);
 
+  /// Warms the index lines for (src, dst) without performing the lookup:
+  /// canonicalizes the pair, computes its Fibonacci-hash slot, and issues a
+  /// non-faulting prefetch of the key/slot words. Burst callers (topology
+  /// reroutes, stranded retries) sweep their whole batch through this first
+  /// so the grouped lookups that follow land on warm lines instead of
+  /// serializing one table miss per flow. Never mutates the cache; a stale
+  /// epoch simply makes the prefetch a no-op-in-effect.
+  void prefetch(NodeId src, NodeId dst) const;
+
   [[nodiscard]] RouteCacheStats stats() const;
   [[nodiscard]] const Router& router() const { return router_; }
 

@@ -1,6 +1,7 @@
 #include "netpp/netsim/fairshare.h"
 
 #include <cmath>
+#include <cstring>
 
 #include <algorithm>
 #include <cassert>
@@ -13,6 +14,10 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+// Every index and count stays below 2^31 so uint32 never overflows and the
+// SIMD int->double conversions are exact.
+constexpr std::size_t kMaxProblem = (std::size_t{1} << 31) - 1;
+
 // Min-heap on (key, idx): smallest key first, ties toward the smallest
 // index. This reproduces the reference solver's first-hit linear scan
 // (strict '<' keeps the lowest index among equal candidates).
@@ -24,27 +29,122 @@ struct EntryGreater {
   }
 };
 
+// Uniform-cap detection for dense solves: when every flow carries the same
+// positive cap (the simulator's NIC-cap regime), the general cap heap
+// degenerates — all keys equal, so it pops in ascending flow index, which a
+// cursor reproduces with zero heap maintenance. Returns the common cap, or
+// -1.0 when caps are absent or mixed.
+template <typename ViewT>
+double detect_uniform_cap(std::span<const ViewT> flows) {
+  if (flows.empty()) return -1.0;
+  const double cap = flows.front().cap;
+  if (!(cap > 0.0)) return -1.0;
+  for (const auto& flow : flows) {
+    if (flow.cap != cap) return -1.0;
+  }
+  return cap;
+}
+
+// Restores the min-heap property after h[0] was replaced in place. One
+// root-to-leaf sift instead of the pop_heap + push_heap round trip the
+// standard library would take for the same replace-the-top update. The heap
+// LAYOUT this produces can differ from std::push_heap's, but the entry
+// multiset is identical, and the solver only ever reads the front — the
+// unique minimum under the strict (key, idx) total order — so every
+// decision (and every computed double) is unchanged.
+template <typename E>
+void sift_down_root(soa::AlignedVec<E>& h) {
+  const std::size_t n = h.size();
+  const E e = h[0];
+  std::size_t i = 0;
+  for (;;) {
+    std::size_t c = 2 * i + 1;
+    if (c >= n) break;
+    if (c + 1 < n && EntryGreater{}(h[c], h[c + 1])) ++c;  // smaller child
+    if (!EntryGreater{}(e, h[c])) break;
+    h[i] = h[c];
+    i = c;
+  }
+  h[i] = e;
+}
+
 }  // namespace
 
-void MaxMinSolver::freeze(std::span<const FairShareFlowView> flows,
-                          std::size_t f, double value) {
+void MaxMinSolver::freeze(std::uint32_t f, double value) {
   frozen_[f] = 1;
   rate_[f] = value;
-  for (std::size_t r : flows[f].resources) {
-    residual_[r] -= value;
-    if (residual_[r] < 0.0) residual_[r] = 0.0;
+  const std::uint32_t* res = fres_;
+  const std::uint32_t end = fstart_[f + 1];
+  for (std::uint32_t i = fstart_[f]; i < end; ++i) {
+    const std::uint32_t r = res[i];
+    const double left = residual_[r] - value;
+    residual_[r] = left > 0.0 ? left : 0.0;  // branchless (maxsd) clamp
     --active_on_[r];
+    ++res_ver_[r];  // invalidates the link's heap entry fast-accept path
     // No heap update here: freezing at the current fill level v only raises
     // a touched link's share ((residual - v) / (n - 1) >= residual / n
     // whenever residual / n >= v, which progressive filling guarantees), so
-    // the link's existing heap entry is a valid lower bound. solve() fixes
+    // the link's existing heap entry is a valid lower bound. run() fixes
     // it up lazily when it reaches the top.
   }
 }
 
-const std::vector<double>& MaxMinSolver::solve(
+template <typename ViewT>
+void MaxMinSolver::ingest(std::span<const ViewT> flows, std::size_t num_res,
+                          bool uniform,
+                          [[maybe_unused]] double uniform_cap) {
+  const std::size_t num_flows = flows.size();
+  if (num_flows > kMaxProblem || num_res > kMaxProblem) {
+    throw std::length_error("max-min problem exceeds 2^31 flows/resources");
+  }
+  flow_start_.resize(num_flows + 1);
+  if (!uniform) flow_cap_.resize(num_flows);
+  std::size_t total = 0;
+  for (const auto& flow : flows) total += flow.resources.size();
+  if (total > kMaxProblem) {
+    throw std::length_error("max-min problem exceeds 2^31 incidences");
+  }
+  flow_res_.resize(total);
+  std::uint32_t* dst = flow_res_.data();
+  std::size_t pos = 0;
+  for (std::size_t f = 0; f < num_flows; ++f) {
+    flow_start_[f] = static_cast<std::uint32_t>(pos);
+    const auto& flow = flows[f];
+    assert(!uniform || flow.cap == uniform_cap);
+    if (!uniform) flow_cap_[f] = flow.cap;
+    for (const auto r : flow.resources) {
+      if (static_cast<std::size_t>(r) >= num_res) {
+        throw std::out_of_range("resource index out of range");
+      }
+      ++active_on_[r];
+      dst[pos++] = static_cast<std::uint32_t>(r);
+    }
+  }
+  flow_start_[num_flows] = static_cast<std::uint32_t>(total);
+  fres_ = flow_res_.data();
+  fstart_ = flow_start_.data();
+}
+
+std::span<const double> MaxMinSolver::solve(
     std::span<const FairShareFlowView> flows,
     std::span<const double> capacities) {
+  return solve_dense(flows, capacities);
+}
+
+std::span<const double> MaxMinSolver::solve(
+    std::span<const FairShareFlowView32> flows,
+    std::span<const double> capacities) {
+  return solve_dense(flows, capacities);
+}
+
+std::span<const double> MaxMinSolver::solve(
+    std::span<const FairShareFlow> flows, std::span<const double> capacities) {
+  return solve_dense(flows, capacities);
+}
+
+template <typename ViewT>
+std::span<const double> MaxMinSolver::solve_dense(
+    std::span<const ViewT> flows, std::span<const double> capacities) {
   for (double c : capacities) {
     // Zero is allowed: a dead (disabled or fully degraded) link pins its
     // flows to rate 0 via the normal progressive-filling path.
@@ -52,24 +152,109 @@ const std::vector<double>& MaxMinSolver::solve(
       throw std::invalid_argument("capacities must be non-negative");
     }
   }
-  touched_all_.resize(capacities.size());
-  for (std::size_t r = 0; r < capacities.size(); ++r) touched_all_[r] = r;
-  return run(flows, capacities, touched_all_, -1.0);
+  const std::size_t num_res = capacities.size();
+  residual_.resize(num_res);
+  active_on_.resize(num_res);
+  res_ver_.resize(num_res);
+  csr_start_.resize(num_res);
+  csr_cursor_.resize(num_res);
+  if (num_res != 0) {
+    std::memcpy(residual_.data(), capacities.data(),
+                num_res * sizeof(double));
+    std::memset(active_on_.data(), 0, num_res * sizeof(std::uint32_t));
+    std::memset(res_ver_.data(), 0, num_res * sizeof(std::uint32_t));
+  }
+  const double uniform_cap = detect_uniform_cap(flows);
+  ingest(flows, num_res, uniform_cap > 0.0, uniform_cap);
+  return run(flows.size(), capacities, {}, /*dense=*/true, uniform_cap);
 }
 
-const std::vector<double>& MaxMinSolver::solve_on(
+std::span<const double> MaxMinSolver::solve_on(
     std::span<const FairShareFlowView> flows,
     std::span<const double> capacities, std::span<const std::size_t> touched,
+    double uniform_cap) {
+  // Legacy size_t touched list: convert once into the solver's native index
+  // width (touched lists are tiny relative to the solve itself).
+  touched_u32_.resize(touched.size());
+  for (std::size_t i = 0; i < touched.size(); ++i) {
+    touched_u32_[i] = static_cast<std::uint32_t>(touched[i]);
+  }
+  return solve_sparse(flows, capacities,
+                      std::span<const std::uint32_t>(touched_u32_.data(),
+                                                     touched_u32_.size()),
+                      uniform_cap);
+}
+
+std::span<const double> MaxMinSolver::solve_on(
+    std::span<const FairShareFlowView32> flows,
+    std::span<const double> capacities,
+    std::span<const std::uint32_t> touched, double uniform_cap) {
+  return solve_sparse(flows, capacities, touched, uniform_cap);
+}
+
+template <typename ViewT>
+std::span<const double> MaxMinSolver::solve_sparse(
+    std::span<const ViewT> flows, std::span<const double> capacities,
+    std::span<const std::uint32_t> touched, double uniform_cap) {
+  assert(uniform_cap > 0.0);
+  const std::size_t num_res = capacities.size();
+  // Resource-indexed workspace is grow-only and reset sparsely: only the
+  // touched entries are (re)initialized, so a small subproblem over a big
+  // fabric costs nothing per untouched link.
+  if (residual_.size() < num_res) {
+    residual_.resize(num_res);
+    active_on_.resize(num_res);
+    res_ver_.resize(num_res);
+    csr_start_.resize(num_res);
+    csr_cursor_.resize(num_res);
+  }
+  for (std::uint32_t r : touched) {
+    residual_[r] = capacities[r];
+    active_on_[r] = 0;
+    res_ver_[r] = 0;
+  }
+  ingest(flows, num_res, /*uniform=*/true, uniform_cap);
+  return run(flows.size(), capacities, touched, /*dense=*/false, uniform_cap);
+}
+
+std::span<const double> MaxMinSolver::solve_arena(
+    std::span<const std::uint32_t> arena, std::span<const std::uint32_t> start,
+    std::span<const double> capacities, std::span<const std::uint32_t> touched,
     double uniform_cap) {
   assert(uniform_cap > 0.0);
-  return run(flows, capacities, touched, uniform_cap);
+  assert(!start.empty() && start.front() == 0 && start.back() == arena.size());
+  const std::size_t num_flows = start.size() - 1;
+  const std::size_t num_res = capacities.size();
+  if (num_flows > kMaxProblem || num_res > kMaxProblem ||
+      arena.size() > kMaxProblem) {
+    throw std::length_error("max-min problem exceeds 2^31 flows/resources");
+  }
+  if (residual_.size() < num_res) {
+    residual_.resize(num_res);
+    active_on_.resize(num_res);
+    res_ver_.resize(num_res);
+    csr_start_.resize(num_res);
+    csr_cursor_.resize(num_res);
+  }
+  for (std::uint32_t r : touched) {
+    residual_[r] = capacities[r];
+    active_on_[r] = 0;
+    res_ver_[r] = 0;
+  }
+  // The whole ingest step collapses to one sequential counting pass: the
+  // caller's arena IS the flow->resource CSR.
+  for (std::uint32_t r : arena) {
+    if (r >= num_res) throw std::out_of_range("resource index out of range");
+    ++active_on_[r];
+  }
+  fres_ = arena.data();
+  fstart_ = start.data();
+  return run(num_flows, capacities, touched, /*dense=*/false, uniform_cap);
 }
 
-const std::vector<double>& MaxMinSolver::run(
-    std::span<const FairShareFlowView> flows,
-    std::span<const double> capacities, std::span<const std::size_t> touched,
-    double uniform_cap) {
-  const std::size_t num_flows = flows.size();
+std::span<const double> MaxMinSolver::run(
+    std::size_t num_flows, std::span<const double> capacities,
+    std::span<const std::uint32_t> touched, bool dense, double uniform_cap) {
   const std::size_t num_res = capacities.size();
   const bool uniform = uniform_cap > 0.0;
   ++stats_.solves;
@@ -77,56 +262,61 @@ const std::vector<double>& MaxMinSolver::run(
 
   rate_.assign(num_flows, 0.0);
   frozen_.assign(num_flows, 0);
-  // Resource-indexed workspace is grow-only and reset sparsely: only the
-  // touched entries are (re)initialized, so a small subproblem over a big
-  // fabric costs nothing per untouched link.
-  if (residual_.size() < num_res) {
-    residual_.resize(num_res);
-    active_on_.resize(num_res);
-    csr_start_.resize(num_res);
-    csr_end_.resize(num_res);
-  }
-  for (std::size_t r : touched) {
-    residual_[r] = capacities[r];
-    active_on_[r] = 0;
-  }
 
-  // Flat CSR flow->resource incidence: count, prefix-sum over the touched
-  // list, fill. Grouping per resource preserves flow order, matching the
-  // reference's adjacency lists. csr_end_ doubles as the fill cursor and
-  // lands exactly on the group end.
-  std::size_t total = 0;
-  for (const auto& flow : flows) {
-    assert(!uniform || flow.cap == uniform_cap);
-    for (std::size_t r : flow.resources) {
-      if (r >= num_res) throw std::out_of_range("resource index out of range");
-      ++active_on_[r];
+  // Reverse CSR (resource -> flows): prefix-sum the counts ingest()
+  // accumulated, then fill by streaming the flattened flow->resource array.
+  // Grouping per resource preserves flow order, matching the reference's
+  // adjacency lists. csr_cursor_ doubles as the fill cursor and lands
+  // exactly on the group end.
+  std::uint32_t cum = 0;
+  if (dense) {
+    for (std::size_t r = 0; r < num_res; ++r) {
+      csr_start_[r] = cum;
+      csr_cursor_[r] = cum;
+      cum += active_on_[r];
     }
-    total += flow.resources.size();
+  } else {
+    for (std::uint32_t r : touched) {
+      csr_start_[r] = cum;
+      csr_cursor_[r] = cum;
+      cum += active_on_[r];
+    }
   }
-  std::size_t cum = 0;
-  for (std::size_t r : touched) {
-    csr_start_[r] = cum;
-    csr_end_[r] = cum;
-    cum += active_on_[r];
-  }
-  csr_flows_.resize(total);
-  for (std::size_t f = 0; f < num_flows; ++f) {
-    for (std::size_t r : flows[f].resources) {
-      csr_flows_[csr_end_[r]++] = f;
+  csr_flows_.resize(cum);
+  {
+    const std::uint32_t* fres = fres_;
+    const std::uint32_t* fstart = fstart_;
+    const std::uint32_t n32 = static_cast<std::uint32_t>(num_flows);
+    for (std::uint32_t f = 0; f < n32; ++f) {
+      const std::uint32_t end = fstart[f + 1];
+      for (std::uint32_t i = fstart[f]; i < end; ++i) {
+        csr_flows_[csr_cursor_[fres[i]]++] = f;
+      }
     }
   }
 
-  // Seed the link heap: every populated resource's initial share. The heap's
-  // internal layout depends on the seeding order, but every decision below
-  // reads only the front — the minimum under a strict total (key, idx)
-  // order — so the freeze sequence (and every computed double) is
-  // independent of the order `touched` lists the resources in.
+  // Seed the link heap: every populated resource's initial share. Dense
+  // solves compute the whole share array with one branch-free vector kernel
+  // first. The heap's internal layout depends on the seeding order, but
+  // every decision below reads only the front — the minimum under a strict
+  // total (key, idx) order — so the freeze sequence (and every computed
+  // double) is independent of the order `touched` lists the resources in.
   link_heap_.clear();
-  for (std::size_t r : touched) {
-    if (active_on_[r] > 0) {
-      link_heap_.push_back(
-          {residual_[r] / static_cast<double>(active_on_[r]), r});
+  if (dense) {
+    share_.resize(num_res);
+    soa::div_shares(residual_.data(), active_on_.data(), share_.data(),
+                    num_res);
+    for (std::size_t r = 0; r < num_res; ++r) {
+      if (active_on_[r] > 0) {
+        link_heap_.push_back({share_[r], static_cast<std::uint32_t>(r), 0});
+      }
+    }
+  } else {
+    for (std::uint32_t r : touched) {
+      if (active_on_[r] > 0) {
+        link_heap_.push_back(
+            {residual_[r] / static_cast<double>(active_on_[r]), r, 0});
+      }
     }
   }
   std::make_heap(link_heap_.begin(), link_heap_.end(), EntryGreater{});
@@ -138,8 +328,8 @@ const std::vector<double>& MaxMinSolver::run(
   std::size_t cap_cursor = 0;
   if (!uniform) {
     cap_heap_.clear();
-    for (std::size_t f = 0; f < num_flows; ++f) {
-      if (flows[f].cap > 0.0) cap_heap_.push_back({flows[f].cap, f});
+    for (std::uint32_t f = 0; f < num_flows; ++f) {
+      if (flow_cap_[f] > 0.0) cap_heap_.push_back({flow_cap_[f], f, 0});
     }
     std::make_heap(cap_heap_.begin(), cap_heap_.end(), EntryGreater{});
   }
@@ -157,7 +347,7 @@ const std::vector<double>& MaxMinSolver::run(
       }
     } else {
       while (!cap_heap_.empty()) {
-        const HeapEntry top = cap_heap_.front();
+        const HeapEntry top = cap_heap_[0];
         if (!frozen_[top.idx]) {
           cap_level = top.key;
           capped_flow = top.idx;
@@ -177,24 +367,22 @@ const std::vector<double>& MaxMinSolver::run(
     // every computed double) is unchanged. In cap-dominated rounds this
     // skips the whole stale-entry fixup walk.
     if (capped_flow != num_flows &&
-        (link_heap_.empty() || link_heap_.front().key >= cap_level)) {
+        (link_heap_.empty() || link_heap_[0].key >= cap_level)) {
       if (uniform) {
         // Once the heap's lower bound clears the uniform cap it clears it
         // forever: keys and shares only rise, and the cap level is fixed.
         // Every remaining round would be this same cap freeze — in cursor
         // order, i.e. ascending flow index — and the residual bookkeeping
         // those freezes would do is dead (the workspace is reset before the
-        // next solve). Freeze them all at once.
-        for (std::size_t f = cap_cursor; f < num_flows; ++f) {
-          if (frozen_[f]) continue;
-          frozen_[f] = 1;
-          rate_[f] = uniform_cap;
-        }
+        // next solve). Freeze them all at once with the blend kernel.
+        soa::fill_unfrozen(rate_.data() + cap_cursor,
+                           frozen_.data() + cap_cursor, uniform_cap,
+                           num_flows - cap_cursor);
         break;
       }
       std::pop_heap(cap_heap_.begin(), cap_heap_.end(), EntryGreater{});
       cap_heap_.pop_back();
-      freeze(flows, capped_flow, cap_level);
+      freeze(static_cast<std::uint32_t>(capped_flow), cap_level);
       --remaining;
       continue;
     }
@@ -210,22 +398,32 @@ const std::vector<double>& MaxMinSolver::run(
     double link_share = kInf;
     std::size_t tight_link = num_res;
     while (!link_heap_.empty()) {
-      const HeapEntry top = link_heap_.front();
-      if (active_on_[top.idx] != 0) {
+      const HeapEntry top = link_heap_[0];
+      const std::uint32_t n_active = active_on_[top.idx];
+      if (n_active != 0) {
+        // Fast accept: no freeze has touched this link since its entry was
+        // pushed, so the stored key is bit-for-bit the current share and the
+        // (serialized, ~20-cycle) division below is provably redundant.
+        if (top.ver == res_ver_[top.idx]) {
+          link_share = top.key;
+          tight_link = top.idx;
+          break;
+        }
         const double current =
-            residual_[top.idx] / static_cast<double>(active_on_[top.idx]);
+            residual_[top.idx] / static_cast<double>(n_active);
         if (top.key == current) {
           link_share = current;
           tight_link = top.idx;
           break;
         }
-        std::pop_heap(link_heap_.begin(), link_heap_.end(), EntryGreater{});
-        link_heap_.back().key = current;
-        std::push_heap(link_heap_.begin(), link_heap_.end(), EntryGreater{});
+        link_heap_[0].key = current;
+        link_heap_[0].ver = res_ver_[top.idx];
+        sift_down_root(link_heap_);
         continue;
       }
-      std::pop_heap(link_heap_.begin(), link_heap_.end(), EntryGreater{});
+      link_heap_[0] = link_heap_.back();
       link_heap_.pop_back();
+      if (!link_heap_.empty()) sift_down_root(link_heap_);
     }
 
     if (tight_link == num_res && capped_flow == num_flows) {
@@ -240,7 +438,7 @@ const std::vector<double>& MaxMinSolver::run(
         std::pop_heap(cap_heap_.begin(), cap_heap_.end(), EntryGreater{});
         cap_heap_.pop_back();
       }
-      freeze(flows, capped_flow, cap_level);
+      freeze(static_cast<std::uint32_t>(capped_flow), cap_level);
       --remaining;
       continue;
     }
@@ -248,28 +446,25 @@ const std::vector<double>& MaxMinSolver::run(
     // Freeze every unfrozen flow on the tightest link at the link share.
     // (freeze() drains the link's active count, so the heap entry consumed
     // here goes stale on its own.)
-    for (std::size_t i = csr_start_[tight_link]; i < csr_end_[tight_link];
+    for (std::uint32_t i = csr_start_[tight_link]; i < csr_cursor_[tight_link];
          ++i) {
-      const std::size_t f = csr_flows_[i];
+      const std::uint32_t f = csr_flows_[i];
       if (frozen_[f]) continue;
-      freeze(flows, f, link_share);
+      freeze(f, link_share);
       --remaining;
     }
   }
 
-  return rate_;
+  return {rate_.data(), num_flows};
 }
 
 std::vector<double> max_min_fair_rates(
     const std::vector<FairShareFlow>& flows,
     const std::vector<double>& capacities) {
-  std::vector<FairShareFlowView> views;
-  views.reserve(flows.size());
-  for (const auto& flow : flows) {
-    views.push_back({std::span<const std::size_t>(flow.resources), flow.cap});
-  }
   MaxMinSolver solver;
-  return solver.solve(views, capacities);
+  const auto rates = solver.solve(
+      std::span<const FairShareFlow>(flows.data(), flows.size()), capacities);
+  return {rates.begin(), rates.end()};
 }
 
 }  // namespace netpp

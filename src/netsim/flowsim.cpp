@@ -1,6 +1,8 @@
 #include "netpp/netsim/flowsim.h"
 
+#include <cassert>
 #include <cmath>
+#include <cstring>
 
 #include <algorithm>
 #include <limits>
@@ -17,6 +19,57 @@ constexpr double kEpsBits = 1.0;  // flows within 1 bit of done are done
 // carried-rate bookkeeping can accumulate between full solves.
 constexpr double kUnsaturatedFraction = 1.0 - 1e-9;
 }  // namespace
+
+void FlowSimulator::LinkFlowPool::repack() {
+  // Rewrite every block front to back with ~50% headroom, dropping the dead
+  // space abandoned by earlier relocations. Arena size lands near 1.5x the
+  // live membership, so the next repack is at least ~0.5*live pushes away:
+  // amortized O(1) per push.
+  std::size_t total = 0;
+  for (Block& b : blocks_) {
+    b.cap = b.count == 0 ? 0 : b.count + (b.count >> 1) + 2;
+    total += b.cap;
+  }
+  soa::AlignedVec<std::uint32_t> new_flow;
+  soa::AlignedVec<std::uint32_t> new_slot;
+  new_flow.resize(total);  // uninitialized; every live run is copied below
+  new_slot.resize(total);
+  std::uint32_t at = 0;
+  for (Block& b : blocks_) {
+    if (b.count != 0) {
+      std::memcpy(new_flow.data() + at, flow_of_.data() + b.begin,
+                  b.count * sizeof(std::uint32_t));
+      std::memcpy(new_slot.data() + at, slot_of_.data() + b.begin,
+                  b.count * sizeof(std::uint32_t));
+    }
+    b.begin = at;
+    at += b.cap;
+  }
+  flow_of_ = std::move(new_flow);
+  slot_of_ = std::move(new_slot);
+}
+
+void FlowSimulator::LinkFlowPool::grow_block(std::size_t r) {
+  if (flow_of_.size() > live_ * 2 + 4096) {
+    repack();
+    if (blocks_[r].count < blocks_[r].cap) return;
+  }
+  const std::uint32_t new_cap = blocks_[r].cap == 0 ? 4 : blocks_[r].cap * 2;
+  const auto new_begin = static_cast<std::uint32_t>(flow_of_.size());
+  // AlignedVec preserves contents across growth, so the old block can be
+  // copied from within the (possibly reallocated) arena afterwards.
+  flow_of_.resize(flow_of_.size() + new_cap);
+  slot_of_.resize(slot_of_.size() + new_cap);
+  Block& b = blocks_[r];
+  if (b.count != 0) {
+    std::memcpy(flow_of_.data() + new_begin, flow_of_.data() + b.begin,
+                b.count * sizeof(std::uint32_t));
+    std::memcpy(slot_of_.data() + new_begin, slot_of_.data() + b.begin,
+                b.count * sizeof(std::uint32_t));
+  }
+  b.begin = new_begin;
+  b.cap = new_cap;
+}
 
 FlowSimulator::FlowSimulator(const Graph& graph, Router& router,
                              SimEngine& engine, Config config)
@@ -170,7 +223,6 @@ FlowId FlowSimulator::submit(const FlowSpec& spec) {
 void FlowSimulator::admit(FlowSpec spec, FlowId id) {
   const Seconds now = engine_.now();
   maybe_compact_links();
-  ActiveFlow flow;
   if (!route_flow(spec.src, spec.dst, id, route_scratch_)) {
     if (config_.strand_unroutable) {
       inst_.stranded.inc();
@@ -187,80 +239,211 @@ void FlowSimulator::admit(FlowSpec spec, FlowId id) {
     events_->begin_span("flows", "flow", now, id, "bits", spec.size.value());
   }
 
-  flow.id = id;
-  flow.spec = spec;
-  flow.remaining_bits = spec.size.value();
-  flow.admitted = now;
-  store_flow_links(flow, static_cast<std::uint32_t>(active_.size()),
-                   route_scratch_);
-
+  // Settle first (the new flow is not in active_ yet — it has made no
+  // progress), then append it and enroll its links. Settling before the
+  // append is equivalent to the other way around: the new flow's rate is
+  // zero until the reallocation below.
   settle_progress(now);
-  active_.push_back(flow);
-  if (try_fast_arrival(now, active_.back())) {
+  push_active(id, spec, spec.size.value(), now);
+  const std::size_t index = active_.size() - 1;
+  store_flow_links(static_cast<std::uint32_t>(index), route_scratch_);
+  if (try_fast_arrival(now, index)) {
     schedule_next_completion();
     update_flow_gauges();
     if (listener_) listener_(now);
   } else {
     // Only the new flow's links gained a flow; seed the binding-subset
     // closure there.
-    const auto links = flow_links(active_.back());
+    const auto links = flow_links(index);
     seed_links_.assign(links.begin(), links.end());
     seed_valid_ = true;
     reallocate(now);
   }
 }
 
-void FlowSimulator::store_flow_links(ActiveFlow& flow, std::uint32_t index,
-                                     const std::vector<std::size_t>& links) {
-  if (link_flows_.size() < directed_capacity_bps_.size()) {
-    link_flows_.resize(directed_capacity_bps_.size());
+void FlowSimulator::push_active(FlowId id, const FlowSpec& spec,
+                                double remaining_bits, Seconds now) {
+  active_.push_back(ActiveFlow{id, spec, now});
+  flow_rate_bps_.push_back(0.0);
+  flow_remaining_.push_back(remaining_bits);
+  flow_lbegin_.push_back(0);
+  flow_lcount_.push_back(0);
+  filt_begin_.push_back(0);
+  filt_count_.push_back(0);
+  filt_cap_.push_back(0);
+}
+
+void FlowSimulator::swap_remove_active(std::size_t i) {
+  const std::size_t last = active_.size() - 1;
+  if (i != last) {
+    std::swap(active_[i], active_[last]);
+    flow_rate_bps_[i] = flow_rate_bps_[last];
+    flow_remaining_[i] = flow_remaining_[last];
+    flow_lbegin_[i] = flow_lbegin_[last];
+    flow_lcount_[i] = flow_lcount_[last];
+    filt_begin_[i] = filt_begin_[last];
+    filt_count_[i] = filt_count_[last];
+    filt_cap_[i] = filt_cap_[last];
+    renumber_flow_links(static_cast<std::uint32_t>(i));
+  }
+  active_.pop_back();
+  flow_rate_bps_.pop_back();
+  flow_remaining_.pop_back();
+  flow_lbegin_.pop_back();
+  flow_lcount_.pop_back();
+  filt_begin_.pop_back();
+  filt_count_.pop_back();
+  filt_cap_.pop_back();
+}
+
+void FlowSimulator::store_flow_links(std::uint32_t index,
+                                     const std::vector<std::uint32_t>& links) {
+  if (link_flows_.num_links() < directed_capacity_bps_.size()) {
+    link_flows_.ensure_links(directed_capacity_bps_.size());
     touched_pos_.resize(directed_capacity_bps_.size(), 0);
     flag_lt_cap_.resize(directed_capacity_bps_.size(), 0);
   }
-  flow.link_begin = static_cast<std::uint32_t>(flow_links_.size());
-  flow.link_count = static_cast<std::uint32_t>(links.size());
-  for (std::size_t r : links) {
+  flow_lbegin_[index] = static_cast<std::uint32_t>(flow_links_.size());
+  flow_lcount_[index] = static_cast<std::uint32_t>(links.size());
+  for (std::uint32_t r : links) {
     const auto slot = static_cast<std::uint32_t>(flow_links_.size());
     flow_links_.push_back(r);
-    flow_adj_pos_.push_back(static_cast<std::uint32_t>(link_flows_[r].size()));
-    if (link_flows_[r].empty()) {
+    if (link_flows_.empty(r)) {
       touched_pos_[r] = static_cast<std::uint32_t>(touched_links_.size());
       touched_links_.push_back(r);
     }
-    link_flows_[r].push_back({index, slot});
+    flow_adj_pos_.push_back(link_flows_.push(r, index, slot));
   }
   live_hops_ += links.size();
+  // Membership is enrolled, so later flag flips reach this flow; snapshot
+  // the current flags into its filtered list.
+  filt_build(index);
 }
 
-void FlowSimulator::release_flow_links(const ActiveFlow& flow) {
-  const std::size_t end = flow.link_begin + flow.link_count;
-  for (std::size_t s = flow.link_begin; s < end; ++s) {
-    const std::size_t r = flow_links_[s];
-    auto& members = link_flows_[r];
-    const std::uint32_t pos = flow_adj_pos_[s];
-    const LinkFlowRef moved = members.back();
-    members[pos] = moved;
-    flow_adj_pos_[moved.slot] = pos;
-    members.pop_back();
-    if (members.empty()) {
-      const std::size_t last = touched_links_.back();
+void FlowSimulator::release_flow_links(std::size_t i) {
+  const std::size_t end = flow_lbegin_[i] + flow_lcount_[i];
+  for (std::size_t s = flow_lbegin_[i]; s < end; ++s) {
+    const std::uint32_t r = flow_links_[s];
+    const std::uint32_t moved = link_flows_.remove(r, flow_adj_pos_[s]);
+    if (moved != LinkFlowPool::kNone) flow_adj_pos_[moved] = flow_adj_pos_[s];
+    if (link_flows_.empty(r)) {
+      const std::uint32_t last = touched_links_.back();
       touched_links_[touched_pos_[r]] = last;
       touched_pos_[last] = touched_pos_[r];
       touched_links_.pop_back();
     }
   }
-  live_hops_ -= flow.link_count;
+  live_hops_ -= flow_lcount_[i];
+  // Abandon the filtered block too (space reclaimed by maybe_compact_filt);
+  // the flow is out of every member list, so no flip will touch it again.
+  filt_live_ -= filt_count_[i];
+  filt_count_[i] = 0;
+  filt_cap_[i] = 0;
 }
 
-void FlowSimulator::renumber_flow_links(const ActiveFlow& flow,
-                                        std::uint32_t index) {
-  const std::size_t end = flow.link_begin + flow.link_count;
-  for (std::size_t s = flow.link_begin; s < end; ++s) {
-    link_flows_[flow_links_[s]][flow_adj_pos_[s]].flow = index;
+void FlowSimulator::renumber_flow_links(std::uint32_t index) {
+  const std::size_t end = flow_lbegin_[index] + flow_lcount_[index];
+  for (std::size_t s = flow_lbegin_[index]; s < end; ++s) {
+    link_flows_.set_flow(flow_links_[s], flow_adj_pos_[s], index);
   }
 }
 
+void FlowSimulator::set_share_flag(std::uint32_t r, std::uint8_t v) {
+  if (flag_lt_cap_[r] == v) return;
+  flag_lt_cap_[r] = v;
+  // Flip: splice r into / out of every member flow's filtered list. Member
+  // lists are tiny (a flow crosses a handful of links), and flips are rare
+  // relative to events (a link's equal share has to cross the cap), so this
+  // is far cheaper than re-filtering every closure flow's full link list on
+  // every solve.
+  if (v != 0) {
+    for (std::uint32_t f : link_flows_.flows(r)) filt_append(f, r);
+  } else {
+    for (std::uint32_t f : link_flows_.flows(r)) filt_remove(f, r);
+  }
+}
+
+void FlowSimulator::filt_append(std::uint32_t f, std::uint32_t l) {
+  if (filt_count_[f] == filt_cap_[f]) {
+    const std::uint32_t new_cap = filt_cap_[f] == 0 ? 2 : filt_cap_[f] * 2;
+    const auto new_begin = static_cast<std::uint32_t>(filt_arena_.size());
+    // AlignedVec preserves contents across growth, so the old block can be
+    // copied from within the (possibly reallocated) arena afterwards.
+    filt_arena_.resize(filt_arena_.size() + new_cap);
+    if (filt_count_[f] != 0) {
+      std::memcpy(filt_arena_.data() + new_begin,
+                  filt_arena_.data() + filt_begin_[f],
+                  filt_count_[f] * sizeof(std::uint32_t));
+    }
+    filt_begin_[f] = new_begin;
+    filt_cap_[f] = new_cap;
+  }
+  filt_arena_[filt_begin_[f] + filt_count_[f]++] = l;
+  ++filt_live_;
+}
+
+void FlowSimulator::filt_remove(std::uint32_t f, std::uint32_t l) {
+  const std::uint32_t begin = filt_begin_[f];
+  const std::uint32_t count = filt_count_[f];
+  for (std::uint32_t k = 0; k < count; ++k) {
+    if (filt_arena_[begin + k] == l) {
+      filt_arena_[begin + k] = filt_arena_[begin + count - 1];
+      --filt_count_[f];
+      --filt_live_;
+      return;
+    }
+  }
+  // Unreachable while the pointwise list == flags invariant holds: a 1->0
+  // flip only happens on a link every member's list already contains.
+  assert(false && "filtered-list invariant violated");
+}
+
+void FlowSimulator::filt_build(std::uint32_t index) {
+  const auto links = flow_links(index);
+  const auto begin = static_cast<std::uint32_t>(filt_arena_.size());
+  // Tight block (cap == filtered count): flips are rare, and the first
+  // append just relocates the block with headroom.
+  std::uint32_t count = 0;
+  for (std::uint32_t l : links) {
+    if (flag_lt_cap_[l] != 0) {
+      filt_arena_.push_back(l);
+      ++count;
+    }
+  }
+  filt_begin_[index] = begin;
+  filt_count_[index] = count;
+  filt_cap_[index] = count;
+  filt_live_ += count;
+}
+
+void FlowSimulator::maybe_compact_filt() {
+  if (filt_arena_.size() < 1024 || filt_arena_.size() < filt_live_ * 2) {
+    return;
+  }
+  // Rewrite every live block into a fresh arena (keeping tight caps);
+  // abandoned blocks from departures and relocations are dropped. Blocks sit
+  // at arbitrary offsets (relocations append at the tail in flip order), so
+  // an in-place slide could overwrite a block not yet copied — same reason
+  // the membership pool's repack builds a new arena. Amortized O(1) per
+  // mutation.
+  soa::AlignedVec<std::uint32_t> packed;
+  packed.resize(filt_live_);  // uninitialized; every live block copied below
+  std::uint32_t at = 0;
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    const std::uint32_t count = filt_count_[i];
+    if (count != 0) {
+      std::memcpy(packed.data() + at, filt_arena_.data() + filt_begin_[i],
+                  count * sizeof(std::uint32_t));
+    }
+    filt_begin_[i] = at;
+    filt_cap_[i] = count;
+    at += count;
+  }
+  filt_arena_ = std::move(packed);
+}
+
 void FlowSimulator::maybe_compact_links() {
+  maybe_compact_filt();
   // Repack once dead blocks outweigh live data. Offsets (not pointers)
   // reference the arena, so moving blocks means rewriting link_begin and
   // the membership entries' slot back-references.
@@ -271,18 +454,18 @@ void FlowSimulator::maybe_compact_links() {
   flow_links_scratch_.reserve(live_hops_);
   adj_pos_scratch_.clear();
   adj_pos_scratch_.reserve(live_hops_);
-  for (auto& flow : active_) {
+  for (std::size_t i = 0; i < active_.size(); ++i) {
     const auto begin = static_cast<std::uint32_t>(flow_links_scratch_.size());
-    const std::size_t end = flow.link_begin + flow.link_count;
-    for (std::size_t s = flow.link_begin; s < end; ++s) {
-      const std::size_t r = flow_links_[s];
+    const std::size_t end = flow_lbegin_[i] + flow_lcount_[i];
+    for (std::size_t s = flow_lbegin_[i]; s < end; ++s) {
+      const std::uint32_t r = flow_links_[s];
       const std::uint32_t pos = flow_adj_pos_[s];
-      link_flows_[r][pos].slot =
-          static_cast<std::uint32_t>(flow_links_scratch_.size());
+      link_flows_.set_slot(r, pos,
+                           static_cast<std::uint32_t>(flow_links_scratch_.size()));
       flow_links_scratch_.push_back(r);
       adj_pos_scratch_.push_back(pos);
     }
-    flow.link_begin = begin;
+    flow_lbegin_[i] = begin;
   }
   flow_links_.swap(flow_links_scratch_);
   flow_adj_pos_.swap(adj_pos_scratch_);
@@ -291,10 +474,8 @@ void FlowSimulator::maybe_compact_links() {
 void FlowSimulator::settle_progress(Seconds now) {
   const double dt = (now - last_settle_).value();
   if (dt > 0.0) {
-    for (auto& flow : active_) {
-      flow.remaining_bits -= flow.rate_bps * dt;
-      if (flow.remaining_bits < 0.0) flow.remaining_bits = 0.0;
-    }
+    soa::settle(flow_remaining_.data(), flow_rate_bps_.data(), dt,
+                active_.size());
   }
   last_settle_ = now;
 }
@@ -305,22 +486,21 @@ void FlowSimulator::set_directed_rate(Seconds now, std::size_t index,
   directed_rate_bps_[index].set(now, value);
 }
 
-std::vector<std::size_t> FlowSimulator::directed_indices_of(
-    const Path& path) const {
-  std::vector<std::size_t> indices;
-  indices.reserve(path.links.size());
+void FlowSimulator::directed_indices_of(const Path& path,
+                                        std::vector<std::uint32_t>& out) const {
+  out.clear();
+  out.reserve(path.links.size());
   NodeId at = path.src;
   for (LinkId lid : path.links) {
     const Link& link = graph_.link(lid);
     const int dir = (at == link.a) ? 0 : 1;
-    indices.push_back(DirectedLink{lid, dir}.index());
+    out.push_back(static_cast<std::uint32_t>(DirectedLink{lid, dir}.index()));
     at = link.other(at);
   }
-  return indices;
 }
 
 bool FlowSimulator::route_flow(NodeId src, NodeId dst, FlowId id,
-                               std::vector<std::size_t>& out) {
+                               std::vector<std::uint32_t>& out) {
   if (config_.use_route_cache) {
     const bool record = events_ != nullptr && events_->enabled();
     const std::uint64_t misses_before =
@@ -338,27 +518,27 @@ bool FlowSimulator::route_flow(NodeId src, NodeId dst, FlowId id,
       const LinkId lid = selected->link(i);
       const Link& link = graph_.link(lid);
       const int dir = (at == link.a) ? 0 : 1;
-      out.push_back(DirectedLink{lid, dir}.index());
+      out.push_back(static_cast<std::uint32_t>(DirectedLink{lid, dir}.index()));
       at = link.other(at);
     }
     return true;
   }
   const auto path = router_.ecmp_route(src, dst, id, config_.max_ecmp_paths);
   if (!path) return false;
-  out = directed_indices_of(*path);
+  directed_indices_of(*path, out);
   return true;
 }
 
-bool FlowSimulator::path_alive(const ActiveFlow& flow) const {
-  for (std::size_t idx : flow_links(flow)) {
+bool FlowSimulator::path_alive(std::size_t i) const {
+  const NodeId dst = active_[i].spec.dst;
+  for (std::uint32_t idx : flow_links(i)) {
     const auto lid = static_cast<LinkId>(idx / 2);
     if (!router_.link_enabled_unchecked(lid)) return false;
     const Link& link = graph_.link(lid);
     // Direction 0 traverses a->b, so the node entered is b (and vice
     // versa); intermediate nodes must be enabled, the destination is exempt.
     const NodeId entered = (idx % 2 == 0) ? link.b : link.a;
-    if (entered != flow.spec.dst &&
-        !router_.node_enabled_unchecked(entered)) {
+    if (entered != dst && !router_.node_enabled_unchecked(entered)) {
       return false;
     }
   }
@@ -417,17 +597,29 @@ void FlowSimulator::apply_topology_change() {
   inst_.topology_changes.inc();
   const std::uint64_t flushes_before = route_cache_.stats().epoch_flushes;
   settle_progress(now);
+  if (config_.use_route_cache) {
+    // Warm the cache index for the whole reroute burst up front: the grouped
+    // per-flow lookups below then land on resident lines instead of
+    // serializing one table miss each. Strictly read-only, so the reroute /
+    // strand processing order (and with it the solver's tie-breaking) is
+    // exactly what it was without the pre-pass.
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      if (!path_alive(i)) {
+        route_cache_.prefetch(active_[i].spec.src, active_[i].spec.dst);
+      }
+    }
+  }
   // Re-validate every active flow's path; move broken ones to a surviving
   // ECMP path or park them on the stranded list.
   for (std::size_t i = 0; i < active_.size();) {
-    ActiveFlow& flow = active_[i];
-    if (path_alive(flow)) {
+    if (path_alive(i)) {
       ++i;
       continue;
     }
+    const ActiveFlow& flow = active_[i];
     if (route_flow(flow.spec.src, flow.spec.dst, flow.id, route_scratch_)) {
-      release_flow_links(flow);
-      store_flow_links(flow, static_cast<std::uint32_t>(i), route_scratch_);
+      release_flow_links(i);
+      store_flow_links(static_cast<std::uint32_t>(i), route_scratch_);
       inst_.reroutes.inc();
       if (events_) {
         events_->instant("topology", "flow.reroute", now, "flow",
@@ -435,7 +627,7 @@ void FlowSimulator::apply_topology_change() {
       }
       ++i;
     } else {
-      release_flow_links(flow);
+      release_flow_links(i);
       inst_.stranded.inc();
       if (events_) {
         // Close the in-flight span; a strand span runs until resume.
@@ -443,12 +635,8 @@ void FlowSimulator::apply_topology_change() {
         events_->begin_span("stranded", "flow.stranded", now, flow.id);
       }
       stranded_.push_back(
-          StrandedFlow{flow.id, flow.spec, flow.remaining_bits, now});
-      if (i + 1 != active_.size()) {
-        std::swap(active_[i], active_.back());
-        renumber_flow_links(active_[i], static_cast<std::uint32_t>(i));
-      }
-      active_.pop_back();
+          StrandedFlow{flow.id, flow.spec, flow_remaining_[i], now});
+      swap_remove_active(i);
     }
   }
   // A recovery may have reconnected previously stranded flows.
@@ -461,32 +649,34 @@ void FlowSimulator::apply_topology_change() {
 }
 
 void FlowSimulator::retry_stranded(Seconds now) {
+  if (config_.use_route_cache) {
+    // Same batching as apply_topology_change: sweep the whole parked list
+    // through the cache index before the routing loop.
+    for (const StrandedFlow& parked : stranded_) {
+      route_cache_.prefetch(parked.spec.src, parked.spec.dst);
+    }
+  }
   for (std::size_t i = 0; i < stranded_.size();) {
     StrandedFlow& parked = stranded_[i];
-    ActiveFlow flow;
     if (!route_flow(parked.spec.src, parked.spec.dst, parked.id,
                     route_scratch_)) {
       ++i;
       continue;
     }
-    store_flow_links(flow, static_cast<std::uint32_t>(active_.size()),
+    push_active(parked.id, parked.spec, parked.remaining_bits, now);
+    store_flow_links(static_cast<std::uint32_t>(active_.size() - 1),
                      route_scratch_);
-    flow.id = parked.id;
-    flow.spec = parked.spec;
-    flow.remaining_bits = parked.remaining_bits;
-    flow.admitted = now;
     const double stranded_for = (now - parked.stranded_at).value();
     strand_durations_.push_back(stranded_for);
     stranded_bit_seconds_done_ += stranded_for * parked.remaining_bits;
     inst_.resumed.inc();
     if (events_) {
-      events_->end_span("stranded", "flow.stranded", now, flow.id);
-      events_->begin_span("flows", "flow", now, flow.id, "bits",
-                          flow.remaining_bits);
+      events_->end_span("stranded", "flow.stranded", now, parked.id);
+      events_->begin_span("flows", "flow", now, parked.id, "bits",
+                          parked.remaining_bits);
     }
     if (i + 1 != stranded_.size()) std::swap(stranded_[i], stranded_.back());
     stranded_.pop_back();
-    active_.push_back(std::move(flow));
   }
 }
 
@@ -498,11 +688,11 @@ double FlowSimulator::stranded_bit_seconds(Seconds now) const {
   return total;
 }
 
-bool FlowSimulator::try_fast_arrival(Seconds now, ActiveFlow& flow) {
+bool FlowSimulator::try_fast_arrival(Seconds now, std::size_t i) {
   if (!config_.incremental_reallocation) return false;
   const double cap_bps = config_.flow_rate_cap.bits_per_second();
   if (cap_bps <= 0.0) return false;
-  for (std::size_t r : flow_links(flow)) {
+  for (std::uint32_t r : flow_links(i)) {
     if (carried_bps_[r] + cap_bps >
         directed_capacity_bps_[r] * kUnsaturatedFraction) {
       return false;
@@ -512,23 +702,22 @@ bool FlowSimulator::try_fast_arrival(Seconds now, ActiveFlow& flow) {
   // max-min rate is its cap and nobody else's bottleneck moves. Membership
   // changed here, so refresh the persistent binding flags (the member lists
   // already include this flow).
-  flow.rate_bps = cap_bps;
-  for (std::size_t r : flow_links(flow)) {
+  flow_rate_bps_[i] = cap_bps;
+  for (std::uint32_t r : flow_links(i)) {
     set_directed_rate(now, r, carried_bps_[r] + cap_bps);
-    flag_lt_cap_[r] =
-        directed_capacity_bps_[r] /
-                    static_cast<double>(link_flows_[r].size()) <
-                cap_bps
-            ? 1
-            : 0;
+    set_share_flag(r, directed_capacity_bps_[r] /
+                               static_cast<double>(link_flows_.count(r)) <
+                           cap_bps
+                       ? 1
+                       : 0);
   }
   inst_.fast_arrivals.inc();
   return true;
 }
 
-bool FlowSimulator::try_fast_departure(Seconds now, const ActiveFlow& flow) {
+bool FlowSimulator::try_fast_departure(Seconds now, std::size_t i) {
   if (!config_.incremental_reallocation) return false;
-  for (std::size_t r : flow_links(flow)) {
+  for (std::uint32_t r : flow_links(i)) {
     if (carried_bps_[r] >= directed_capacity_bps_[r] * kUnsaturatedFraction) {
       return false;
     }
@@ -538,15 +727,16 @@ bool FlowSimulator::try_fast_departure(Seconds now, const ActiveFlow& flow) {
   // flags with the post-departure counts (the caller releases the flow's
   // membership right after this, so exclude it here).
   const double cap_bps = config_.flow_rate_cap.bits_per_second();
-  for (std::size_t r : flow_links(flow)) {
-    set_directed_rate(now, r, std::max(0.0, carried_bps_[r] - flow.rate_bps));
+  const double rate = flow_rate_bps_[i];
+  for (std::uint32_t r : flow_links(i)) {
+    set_directed_rate(now, r, std::max(0.0, carried_bps_[r] - rate));
     if (cap_bps > 0.0) {
-      const std::size_t n = link_flows_[r].size() - 1;
-      flag_lt_cap_[r] =
-          n != 0 &&
-                  directed_capacity_bps_[r] / static_cast<double>(n) < cap_bps
-              ? 1
-              : 0;
+      const std::uint32_t n = link_flows_.count(r) - 1;
+      set_share_flag(
+          r, n != 0 && directed_capacity_bps_[r] / static_cast<double>(n) <
+                           cap_bps
+                 ? 1
+                 : 0);
     }
   }
   inst_.fast_departures.inc();
@@ -574,12 +764,13 @@ void FlowSimulator::reallocate(Seconds now) {
     // arrays — no copies, and the solver reuses its workspace.
     problem_.clear();
     problem_.reserve(active_.size());
-    for (const auto& flow : active_) {
-      problem_.push_back({flow_links(flow), cap_bps > 0.0 ? cap_bps : 0.0});
-    }
-    const auto& rates = solver_.solve(problem_, directed_capacity_bps_);
     for (std::size_t i = 0; i < active_.size(); ++i) {
-      active_[i].rate_bps = rates[i];
+      problem_.push_back({flow_links(i), cap_bps > 0.0 ? cap_bps : 0.0});
+    }
+    const auto rates = solver_.solve(problem_, directed_capacity_bps_);
+    if (!active_.empty()) {
+      std::memcpy(flow_rate_bps_.data(), rates.data(),
+                  active_.size() * sizeof(double));
     }
   }
 
@@ -588,23 +779,24 @@ void FlowSimulator::reallocate(Seconds now) {
     // changed or the membership itself did, and bind_sub_links_ lists
     // exactly those links — recompute them from the membership lists —
     // plus seed links whose last flow departed, which drop to zero.
-    for (std::size_t r : bind_sub_links_) {
+    for (std::uint32_t r : bind_sub_links_) {
       double sum = 0.0;
-      for (const LinkFlowRef& m : link_flows_[r]) {
-        sum += active_[m.flow].rate_bps;
+      for (std::uint32_t f : link_flows_.flows(r)) {
+        sum += flow_rate_bps_[f];
       }
       if (sum != carried_bps_[r]) set_directed_rate(now, r, sum);
     }
-    for (std::size_t r : seed_links_) {
-      if (link_flows_[r].empty() && carried_bps_[r] != 0.0) {
+    for (std::uint32_t r : seed_links_) {
+      if (link_flows_.empty(r) && carried_bps_[r] != 0.0) {
         set_directed_rate(now, r, 0.0);
       }
     }
   } else {
     carried_scratch_.assign(directed_capacity_bps_.size(), 0.0);
-    for (const auto& flow : active_) {
-      for (std::size_t r : flow_links(flow)) {
-        carried_scratch_[r] += flow.rate_bps;
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      const double rate = flow_rate_bps_[i];
+      for (std::uint32_t r : flow_links(i)) {
+        carried_scratch_[r] += rate;
       }
     }
     for (std::size_t r = 0; r < carried_scratch_.size(); ++r) {
@@ -619,7 +811,7 @@ void FlowSimulator::reallocate(Seconds now) {
     const bool binding = config_.incremental_reallocation && cap_bps > 0.0;
     events_->instant(
         "solver", targeted ? "solve.seeded" : "solve.full", now, "flows",
-        static_cast<double>(binding ? bind_flows_.size() : active_.size()));
+        static_cast<double>(binding ? bind_discovered_ : active_.size()));
   }
   schedule_next_completion();
   update_flow_gauges();
@@ -644,6 +836,7 @@ bool FlowSimulator::reallocate_binding_subset(double cap_bps) {
   }
 
   bind_flows_.clear();
+  std::size_t capped_direct = 0;  // closure flows assigned the cap directly
   if (!seed_valid_) {
     // Full evaluation with a tight-candidate refinement. A link can freeze
     // flows (and thus couple them) only if its capacity can actually be
@@ -667,52 +860,54 @@ bool FlowSimulator::reallocate_binding_subset(double cap_bps) {
     if (bind_lb_.size() < active_.size()) {
       bind_lb_.resize(active_.size(), 0.0);
     }
-    for (std::size_t r : touched_links_) {
+    for (std::uint32_t r : touched_links_) {
       bind_share0_[r] =
           directed_capacity_bps_[r] /
-          static_cast<double>(link_flows_[r].size());
+          static_cast<double>(link_flows_.count(r));
       bind_slb_[r] = 0.0;
       bind_sub_[r] = 0.0;
     }
     for (std::size_t i = 0; i < active_.size(); ++i) {
       double lb = cap_bps;
-      for (std::size_t r : flow_links(active_[i])) {
+      for (std::uint32_t r : flow_links(i)) {
         lb = std::min(lb, bind_share0_[r]);
       }
       lb *= kDown;
       bind_lb_[i] = lb;
-      for (std::size_t r : flow_links(active_[i])) bind_slb_[r] += lb;
+      for (std::uint32_t r : flow_links(i)) bind_slb_[r] += lb;
     }
     for (std::size_t i = 0; i < active_.size(); ++i) {
       const double lb = bind_lb_[i];
       double ub = cap_bps;
-      for (std::size_t r : flow_links(active_[i])) {
+      for (std::uint32_t r : flow_links(i)) {
         ub = std::min(ub,
                       directed_capacity_bps_[r] - (bind_slb_[r] - lb) * kDown);
       }
       ub = std::max(ub, 0.0) * kUp;
-      for (std::size_t r : flow_links(active_[i])) bind_sub_[r] += ub;
+      for (std::uint32_t r : flow_links(i)) bind_sub_[r] += ub;
     }
-    for (std::size_t r : touched_links_) {
+    for (std::uint32_t r : touched_links_) {
       bind_flag_[r] = directed_capacity_bps_[r] <= bind_sub_[r] * kUp ? 1 : 0;
       // Rebuild the persistent share flags too: a full evaluation is the
       // one place capacities may have changed under them (topology events
-      // land here), and it visits every populated link anyway.
-      flag_lt_cap_[r] = bind_share0_[r] < cap_bps ? 1 : 0;
+      // land here), and it visits every populated link anyway. Flips
+      // propagate into the filtered lists, so those survive capacity
+      // changes without a rebuild.
+      set_share_flag(r, bind_share0_[r] < cap_bps ? 1 : 0);
     }
     // Every flow crossing a binding candidate goes to the solver, everyone
     // else gets the cap.
     for (std::size_t i = 0; i < active_.size(); ++i) {
       bool crosses = false;
-      for (std::size_t r : flow_links(active_[i])) {
+      for (std::uint32_t r : flow_links(i)) {
         if (bind_flag_[r] != 0) {
           crosses = true;
           break;
         }
       }
-      if (crosses) bind_flows_.push_back(i);
+      if (crosses) bind_flows_.push_back(static_cast<std::uint32_t>(i));
     }
-    for (auto& flow : active_) flow.rate_bps = cap_bps;
+    std::fill_n(flow_rate_bps_.data(), active_.size(), cap_bps);
   } else {
     // Seeded walk: the cheap share0 < cap flag suffices. It covers every
     // link that can freeze below the cap in the NEW state (freezing below
@@ -726,13 +921,13 @@ bool FlowSimulator::reallocate_binding_subset(double cap_bps) {
     // only this event's seeds need new divisions here (the same division
     // the solver uses to seed its heap, so the comparison sees the exact
     // doubles the filling starts from).
-    for (std::size_t r : seed_links_) {
-      if (link_flows_[r].empty()) continue;
-      flag_lt_cap_[r] = directed_capacity_bps_[r] /
-                                static_cast<double>(link_flows_[r].size()) <
+    for (std::uint32_t r : seed_links_) {
+      if (link_flows_.empty(r)) continue;
+      set_share_flag(r, directed_capacity_bps_[r] /
+                                static_cast<double>(link_flows_.count(r)) <
                             cap_bps
                         ? 1
-                        : 0;
+                        : 0);
     }
     // Seeded closure: the event changed flow counts only on the seed links,
     // so only flows reachable from them — across a seed link directly, or
@@ -742,65 +937,81 @@ bool FlowSimulator::reallocate_binding_subset(double cap_bps) {
     // subproblem inputs are unchanged, so a fresh solve would reproduce the
     // same doubles.
     // The walk doubles as the problem build: each flow is discovered exactly
-    // once, so its solver view — the flow's links filtered down to the
-    // flagged ones, flattened into the arena — is laid down on the spot,
-    // alongside the deduplicated link lists. Filtering is exact in seeded
-    // mode: the flag is "full-population equal share below the cap", and the
-    // subproblem share of an unflagged link is at least its full share
-    // (fewer flows, same capacity), so its heap key never drops below the
-    // cap: the cap branch beats it in every round (ties included via the
-    // gate's >= and the exact branch's <=), it never becomes the tight
-    // link, and its residual bookkeeping is write-only. Dropping it changes
-    // no decision and no computed double — but shrinks the solver's
-    // counting, CSR, heap, and freeze work to the contended core. A closure
-    // flow crossing no flagged link gets an empty resource set and freezes
-    // at the cap, which is exactly its max-min rate. (The full-mode
-    // candidate flag has no such share bound, so full solves keep the
-    // unfiltered lists.)
-    problem_.clear();
+    // once, so its solver row — the flow's incrementally-maintained filtered
+    // link list (see filt_links / set_share_flag), streamed into the solver
+    // CSR arena — is laid down on the spot, alongside the deduplicated link
+    // lists. Filtering is exact in seeded mode: the flag is
+    // "full-population equal share below the cap", and the subproblem share
+    // of an unflagged link is at least its full share (fewer flows, same
+    // capacity), so its heap key never drops below the cap: the cap branch
+    // beats it in every round (ties included via the gate's >= and the
+    // exact branch's <=), it never becomes the tight link, and its residual
+    // bookkeeping is write-only. Dropping it changes no decision and no
+    // computed double — but shrinks the solver's counting, CSR, heap, and
+    // freeze work to the contended core. A closure flow with an empty
+    // filtered list would freeze at exactly the cap with zero link
+    // interaction, so it bypasses the solver and takes the cap directly.
+    // Discovery order (and with it solver row order) follows the filtered
+    // lists' internal order, which is arbitrary; the solution is row-order
+    // independent because every freeze in one filling round subtracts the
+    // same value. (The full-mode candidate flag has no such share bound, so
+    // full solves keep the unfiltered lists.)
     bind_sub_links_.clear();
     bind_solver_links_.clear();
     bind_solver_arena_.clear();
-    bind_solver_arena_.reserve(live_hops_);  // spans must survive growth
+    bind_solver_start_.clear();
+    bind_solver_start_.push_back(0);
     bind_stack_.clear();
-    for (std::size_t r : seed_links_) {
+    for (std::uint32_t r : seed_links_) {
       // Seed links with no remaining flows (e.g. a departed flow's last
       // link) have nothing to walk.
-      if (link_flows_[r].empty()) continue;
+      if (link_flows_.empty(r)) continue;
       if (bind_link_seen_[r] == bind_gen_) continue;
       bind_link_seen_[r] = bind_gen_;
       if (flag_lt_cap_[r] != 0) bind_solver_links_.push_back(r);
       bind_stack_.push_back(r);
     }
     while (!bind_stack_.empty()) {
-      const std::size_t r = bind_stack_.back();
+      const std::uint32_t r = bind_stack_.back();
       bind_stack_.pop_back();
-      for (const LinkFlowRef& m : link_flows_[r]) {
-        const std::size_t f = m.flow;
+      for (std::uint32_t f : link_flows_.flows(r)) {
         if (bind_flow_seen_[f] == bind_gen_) continue;
         bind_flow_seen_[f] = bind_gen_;
-        bind_flows_.push_back(f);
-        const std::size_t begin = bind_solver_arena_.size();
-        for (std::size_t l : flow_links(active_[f])) {
-          if (flag_lt_cap_[l] != 0) {
-            bind_solver_arena_.push_back(l);
-            if (bind_link_seen_[l] != bind_gen_) {
-              bind_link_seen_[l] = bind_gen_;
-              bind_solver_links_.push_back(l);
-              bind_stack_.push_back(l);
+        const auto filtered = filt_links(f);
+        if (filtered.empty()) {
+          // No binding candidate on the path: the max-min rate is the cap.
+          // If that changes the cached rate, the flow's links join the
+          // writeback list exactly as a solver-row rate change would.
+          ++capped_direct;
+          if (flow_rate_bps_[f] != cap_bps) {
+            flow_rate_bps_[f] = cap_bps;
+            for (std::uint32_t l : flow_links(f)) {
+              if (bind_sub_seen_[l] != bind_gen_) {
+                bind_sub_seen_[l] = bind_gen_;
+                bind_sub_links_.push_back(l);
+              }
             }
           }
+          continue;
         }
-        problem_.push_back({{bind_solver_arena_.data() + begin,
-                             bind_solver_arena_.size() - begin},
-                            cap_bps});
+        bind_flows_.push_back(f);
+        for (std::uint32_t l : filtered) {
+          bind_solver_arena_.push_back(l);
+          if (bind_link_seen_[l] != bind_gen_) {
+            bind_link_seen_[l] = bind_gen_;
+            bind_solver_links_.push_back(l);
+            bind_stack_.push_back(l);
+          }
+        }
+        bind_solver_start_.push_back(
+            static_cast<std::uint32_t>(bind_solver_arena_.size()));
       }
     }
     // Live seed links changed membership (the event's own flow arrived or
     // departed there), so their sums move even if every member keeps its
     // rate. Dead seed links are zeroed by the writeback directly.
-    for (std::size_t r : seed_links_) {
-      if (link_flows_[r].empty()) continue;
+    for (std::uint32_t r : seed_links_) {
+      if (link_flows_.empty(r)) continue;
       if (bind_sub_seen_[r] != bind_gen_) {
         bind_sub_seen_[r] = bind_gen_;
         bind_sub_links_.push_back(r);
@@ -808,20 +1019,25 @@ bool FlowSimulator::reallocate_binding_subset(double cap_bps) {
     }
   }
 
+  bind_discovered_ = bind_flows_.size() + capped_direct;
   if (!bind_flows_.empty()) {
     if (!seed_valid_) {
       problem_.clear();
-      for (std::size_t f : bind_flows_) {
-        problem_.push_back({flow_links(active_[f]), cap_bps});
+      for (std::uint32_t f : bind_flows_) {
+        problem_.push_back({flow_links(f), cap_bps});
       }
     }
     // Sparse solve: only the links the subproblem crosses are reset in the
-    // solver's resource-indexed workspace.
-    const auto& rates = solver_.solve_on(
-        problem_, directed_capacity_bps_,
-        seed_valid_ ? std::span<const std::size_t>(bind_solver_links_)
-                    : std::span<const std::size_t>(touched_links_),
-        cap_bps);
+    // solver's resource-indexed workspace. The seeded path hands the solver
+    // its pre-flattened CSR directly (zero-copy, no per-row views).
+    const auto rates =
+        seed_valid_
+            ? solver_.solve_arena(bind_solver_arena_, bind_solver_start_,
+                                  directed_capacity_bps_, bind_solver_links_,
+                                  cap_bps)
+            : solver_.solve_on(problem_, directed_capacity_bps_,
+                               std::span<const std::uint32_t>(touched_links_),
+                               cap_bps);
     if (seed_valid_) {
       // Collect the links whose carried sums can have moved: a sum changes
       // only when a member flow's rate changed or the membership itself did
@@ -829,10 +1045,10 @@ bool FlowSimulator::reallocate_binding_subset(double cap_bps) {
       // bit-for-bit, so skipping them equals the recompute-and-compare the
       // writeback would have done.
       for (std::size_t j = 0; j < bind_flows_.size(); ++j) {
-        ActiveFlow& flow = active_[bind_flows_[j]];
-        if (flow.rate_bps == rates[j]) continue;
-        flow.rate_bps = rates[j];
-        for (std::size_t r : flow_links(flow)) {
+        const std::uint32_t f = bind_flows_[j];
+        if (flow_rate_bps_[f] == rates[j]) continue;
+        flow_rate_bps_[f] = rates[j];
+        for (std::uint32_t r : flow_links(f)) {
           if (bind_sub_seen_[r] != bind_gen_) {
             bind_sub_seen_[r] = bind_gen_;
             bind_sub_links_.push_back(r);
@@ -841,10 +1057,12 @@ bool FlowSimulator::reallocate_binding_subset(double cap_bps) {
       }
     } else {
       for (std::size_t j = 0; j < bind_flows_.size(); ++j) {
-        active_[bind_flows_[j]].rate_bps = rates[j];
+        flow_rate_bps_[bind_flows_[j]] = rates[j];
       }
     }
-    inst_.binding_subset_flows.inc(bind_flows_.size());
+  }
+  if (bind_discovered_ != 0) {
+    inst_.binding_subset_flows.inc(bind_discovered_);
   }
   inst_.binding_solves.inc();
   return seed_valid_;
@@ -855,21 +1073,16 @@ void FlowSimulator::schedule_next_completion() {
     engine_.cancel(*completion_event_);
     completion_event_.reset();
   }
-  double earliest = std::numeric_limits<double>::infinity();
   // Most flows run at the uniform cap; for them one division after a
   // min-scan of remaining bits gives exactly min(remaining / cap), because
   // correctly-rounded division by a positive constant is monotone — the
-  // same double the per-flow divisions would produce.
+  // same double the per-flow divisions would produce. The scan itself is a
+  // dense pass over the rate/remaining SoA columns (vectorized kernel).
   const double cap_bps = config_.flow_rate_cap.bits_per_second();
-  double capped_bits = std::numeric_limits<double>::infinity();
-  for (const auto& flow : active_) {
-    if (flow.rate_bps <= 0.0) continue;  // stalled (fully contended/disabled)
-    if (flow.rate_bps == cap_bps) {
-      capped_bits = std::min(capped_bits, flow.remaining_bits);
-    } else {
-      earliest = std::min(earliest, flow.remaining_bits / flow.rate_bps);
-    }
-  }
+  double earliest;
+  double capped_bits;
+  soa::completion_scan(flow_remaining_.data(), flow_rate_bps_.data(), cap_bps,
+                       active_.size(), &earliest, &capped_bits);
   if (std::isfinite(capped_bits)) {
     earliest = std::min(earliest, capped_bits / cap_bps);
   }
@@ -885,7 +1098,7 @@ void FlowSimulator::complete_due_flows(Seconds now) {
   bool all_fast = true;
   seed_links_.clear();
   for (std::size_t i = 0; i < active_.size();) {
-    if (active_[i].remaining_bits > kEpsBits) {
+    if (flow_remaining_[i] > kEpsBits) {
       ++i;
       continue;
     }
@@ -900,17 +1113,13 @@ void FlowSimulator::complete_due_flows(Seconds now) {
     any = true;
     // Departures free capacity only on their own links; remember them as
     // binding-subset seeds in case this event needs a re-solve.
-    const auto links = flow_links(active_[i]);
+    const auto links = flow_links(i);
     seed_links_.insert(seed_links_.end(), links.begin(), links.end());
-    all_fast = all_fast && try_fast_departure(now, active_[i]);
-    release_flow_links(active_[i]);
+    all_fast = all_fast && try_fast_departure(now, i);
+    release_flow_links(i);
     // Swap-and-pop: active-flow order carries no meaning (records and
     // listeners are per-flow), and mid-vector erase is O(n).
-    if (i + 1 != active_.size()) {
-      std::swap(active_[i], active_.back());
-      renumber_flow_links(active_[i], static_cast<std::uint32_t>(i));
-    }
-    active_.pop_back();
+    swap_remove_active(i);
     if (completion_listener_) completion_listener_(completed_.back());
   }
   if (!any) {

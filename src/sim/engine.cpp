@@ -1,18 +1,36 @@
 #include "netpp/sim/engine.h"
 
 #include <stdexcept>
+#include <utility>
 
 namespace netpp {
+
+namespace {
+
+constexpr std::uint64_t kSlotMask = 0xffffffffull;
+
+}  // namespace
 
 SimEngine::EventId SimEngine::schedule_at(Seconds at, Callback fn) {
   if (at < now_) {
     throw std::invalid_argument("cannot schedule an event in the past");
   }
   if (!fn) throw std::invalid_argument("event callback must not be empty");
-  const EventId id = next_seq_++;
-  queue_.push(Entry{at.value(), id, std::move(fn)});
-  pending_.insert(id);
-  return id;
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  ++s.gen;  // stale handles and queue entries for this slot die here
+  s.live = true;
+  s.fn = std::move(fn);
+  queue_.push(Entry{at.value(), next_seq_++, slot, s.gen});
+  ++live_;
+  return (static_cast<EventId>(s.gen) << 32) | slot;
 }
 
 SimEngine::EventId SimEngine::schedule_after(Seconds delay, Callback fn) {
@@ -23,17 +41,33 @@ SimEngine::EventId SimEngine::schedule_after(Seconds delay, Callback fn) {
 }
 
 bool SimEngine::cancel(EventId id) {
-  // Lazy cancellation: the queue entry is skipped when popped.
-  return pending_.erase(id) > 0;
+  const auto slot = static_cast<std::uint32_t>(id & kSlotMask);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slots_.size()) return false;
+  Slot& s = slots_[slot];
+  if (!s.live || s.gen != gen) return false;  // already fired or cancelled
+  s.live = false;
+  s.fn = nullptr;  // release captured state eagerly
+  free_slots_.push_back(slot);
+  --live_;
+  // The queue entry stays behind (lazy deletion): its generation no longer
+  // matches once the slot is reused, and a dead slot fails the live check.
+  return true;
 }
 
 bool SimEngine::pop_and_run() {
   while (!queue_.empty()) {
-    Entry top = std::move(const_cast<Entry&>(queue_.top()));
+    const Entry top = queue_.top();
     queue_.pop();
-    if (pending_.erase(top.seq) == 0) continue;  // was cancelled
+    Slot& s = slots_[top.slot];
+    if (!s.live || s.gen != top.gen) continue;  // was cancelled
+    Callback fn = std::move(s.fn);
+    s.fn = nullptr;
+    s.live = false;
+    free_slots_.push_back(top.slot);
+    --live_;
     now_ = Seconds{top.at};
-    top.fn();
+    fn();
     return true;
   }
   return false;
@@ -52,7 +86,8 @@ std::size_t SimEngine::run_until(Seconds until) {
   std::size_t executed = 0;
   while (!queue_.empty()) {
     const Entry& top = queue_.top();
-    if (pending_.find(top.seq) == pending_.end()) {
+    const Slot& s = slots_[top.slot];
+    if (!s.live || s.gen != top.gen) {
       queue_.pop();  // cancelled entry; discard
       continue;
     }

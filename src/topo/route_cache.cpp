@@ -159,6 +159,22 @@ std::optional<RouteCache::PathRef> RouteCache::route(NodeId src, NodeId dst,
   return view.path(h % view.size());
 }
 
+void RouteCache::prefetch(NodeId src, NodeId dst) const {
+  const Graph& graph = router_.graph();
+  if (src >= graph.num_nodes() || dst >= graph.num_nodes() || src == dst) {
+    return;
+  }
+  const CanonicalKey key = canonicalize(src, dst);
+  const std::size_t mask = keys_.size() - 1;
+  const std::size_t slot = key_slot(pair_key(key.a, key.b), mask);
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(keys_.data() + slot, 0, 1);
+  __builtin_prefetch(slots_.data() + slot, 0, 1);
+#else
+  (void)slot;
+#endif
+}
+
 RouteResult RouteCache::find_paths_copy(NodeId src, NodeId dst) {
   const PathSetView view = find_paths(src, dst);
   RouteResult out;

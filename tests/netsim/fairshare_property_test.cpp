@@ -12,79 +12,13 @@
 #include <limits>
 #include <vector>
 
+#include "fairshare_reference.h"
 #include "netpp/sim/random.h"
 
 namespace netpp {
 namespace {
 
-// The pre-optimization solver, kept verbatim as the semantic reference.
-std::vector<double> max_min_fair_rates_reference(
-    const std::vector<FairShareFlow>& flows,
-    const std::vector<double>& capacities) {
-  const std::size_t num_flows = flows.size();
-  const std::size_t num_res = capacities.size();
-
-  std::vector<double> rate(num_flows, 0.0);
-  std::vector<bool> frozen(num_flows, false);
-  std::vector<double> residual = capacities;
-  std::vector<std::size_t> active_on(num_res, 0);
-
-  std::vector<std::vector<std::size_t>> flows_on(num_res);
-  for (std::size_t f = 0; f < num_flows; ++f) {
-    for (std::size_t r : flows[f].resources) {
-      flows_on[r].push_back(f);
-      ++active_on[r];
-    }
-  }
-
-  constexpr double kInf = std::numeric_limits<double>::infinity();
-  std::size_t remaining = num_flows;
-  while (remaining > 0) {
-    double link_share = kInf;
-    std::size_t tight_link = num_res;
-    for (std::size_t r = 0; r < num_res; ++r) {
-      if (active_on[r] == 0) continue;
-      const double share = residual[r] / static_cast<double>(active_on[r]);
-      if (share < link_share) {
-        link_share = share;
-        tight_link = r;
-      }
-    }
-    double cap_level = kInf;
-    std::size_t capped_flow = num_flows;
-    for (std::size_t f = 0; f < num_flows; ++f) {
-      if (frozen[f]) continue;
-      if (flows[f].cap > 0.0 && flows[f].cap < cap_level) {
-        cap_level = flows[f].cap;
-        capped_flow = f;
-      }
-    }
-    if (tight_link == num_res && capped_flow == num_flows) break;
-    if (cap_level <= link_share) {
-      frozen[capped_flow] = true;
-      rate[capped_flow] = cap_level;
-      --remaining;
-      for (std::size_t r : flows[capped_flow].resources) {
-        residual[r] -= cap_level;
-        if (residual[r] < 0.0) residual[r] = 0.0;
-        --active_on[r];
-      }
-      continue;
-    }
-    for (std::size_t f : flows_on[tight_link]) {
-      if (frozen[f]) continue;
-      frozen[f] = true;
-      rate[f] = link_share;
-      --remaining;
-      for (std::size_t r : flows[f].resources) {
-        residual[r] -= link_share;
-        if (residual[r] < 0.0) residual[r] = 0.0;
-        --active_on[r];
-      }
-    }
-  }
-  return rate;
-}
+using netpp::testing::max_min_fair_rates_reference;
 
 void expect_bit_identical(const std::vector<FairShareFlow>& flows,
                           const std::vector<double>& caps,

@@ -1,0 +1,68 @@
+# Runs the perf scoreboard gate: records same-machine reference scores with
+# `bench_scoreboard --write-reference`, then scores the fixed scenario suite
+# against them with the same binary, which exits non-zero in Release builds
+# on a >10% regression of any scored row.
+#
+# Reference and measurement MUST come from the same binary: two binaries
+# running the identical source loop differ by up to ~20% from code layout
+# and link order alone (far past the 10% gate), and regenerating on the
+# current machine is equally load-bearing — the checked-in
+# BENCH_flowsim.json was recorded elsewhere, so raw-ratio gating against it
+# would measure the CI runner, not the code. A pre-recorded reference (e.g.
+# an earlier bench_scoreboard run on this machine) can be passed instead.
+#
+# The gate retries up to ATTEMPTS times, regenerating the reference fresh
+# each attempt so both sides of the ratio are sampled close together; a
+# real regression fails every attempt, scheduler noise does not.
+#
+# Usage:
+#   cmake -DBENCH_DIR=<dir with bench binaries> [-DREFERENCE=<json>]
+#         [-DROUNDS=3] [-DATTEMPTS=3] -P check_scoreboard.cmake
+if(NOT DEFINED BENCH_DIR)
+  message(FATAL_ERROR "check_scoreboard.cmake needs BENCH_DIR")
+endif()
+if(NOT DEFINED ROUNDS)
+  set(ROUNDS 3)
+endif()
+if(NOT DEFINED ATTEMPTS)
+  set(ATTEMPTS 3)
+endif()
+
+set(regenerate FALSE)
+if(NOT DEFINED REFERENCE)
+  set(regenerate TRUE)
+  set(REFERENCE "${BENCH_DIR}/scoreboard_reference.json")
+endif()
+
+foreach(attempt RANGE 1 ${ATTEMPTS})
+  if(regenerate)
+    execute_process(
+      COMMAND ${BENCH_DIR}/bench_scoreboard
+              --write-reference=${REFERENCE} --rounds=${ROUNDS}
+      RESULT_VARIABLE exit_code
+      ERROR_VARIABLE stderr_text
+    )
+    if(NOT exit_code EQUAL 0)
+      message(FATAL_ERROR
+        "reference regeneration failed (${exit_code}): ${stderr_text}")
+    endif()
+  endif()
+
+  execute_process(
+    COMMAND ${BENCH_DIR}/bench_scoreboard
+            --reference=${REFERENCE} --rounds=${ROUNDS}
+    RESULT_VARIABLE exit_code
+  )
+  if(exit_code EQUAL 0)
+    if(attempt GREATER 1)
+      message(STATUS
+        "perf scoreboard gate passed on attempt ${attempt}/${ATTEMPTS}")
+    endif()
+    return()
+  endif()
+  message(STATUS
+    "perf scoreboard attempt ${attempt}/${ATTEMPTS} failed (${exit_code})")
+endforeach()
+
+message(FATAL_ERROR
+  "perf scoreboard gate failed on all ${ATTEMPTS} attempts")

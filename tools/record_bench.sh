@@ -1,0 +1,50 @@
+#!/usr/bin/env sh
+# One-step regeneration of the checked-in perf reference BENCH_flowsim.json:
+# configures a Release build (Google Benchmark built from source so
+# library_build_type records "release"), builds the gate binaries, then
+# records the scale-gate timings plus every scoreboard suite row
+# (scoreboard_*_ms, measured by bench_scoreboard itself so later
+# bench_scoreboard runs score against numbers from the same binary) and the
+# telemetry idle overhead as context fields.
+#
+# Usage: tools/record_bench.sh [build-dir]   (default: <repo>/build-record)
+# Env:   NETPP_RECORD_MIN_TIME  --benchmark_min_time for the record run
+#                               (default 0.5 — long enough for stable means)
+set -eu
+
+root=$(cd "$(dirname "$0")/.." && pwd)
+build=${1:-"$root/build-record"}
+min_time=${NETPP_RECORD_MIN_TIME:-0.5}
+
+# NETPP_BENCHMARK_FROM_SOURCE=ON needs network access at configure time;
+# fall back to the system package (AUTO) when the fetch fails, since the
+# netpp_build_type context field stays the authoritative cross-check.
+if ! cmake -S "$root" -B "$build" -DCMAKE_BUILD_TYPE=Release \
+    -DNETPP_BENCHMARK_FROM_SOURCE=ON; then
+  echo "record_bench.sh: from-source benchmark fetch failed;" \
+    "falling back to the system library" >&2
+  cmake -S "$root" -B "$build" -DCMAKE_BUILD_TYPE=Release \
+    -DNETPP_BENCHMARK_FROM_SOURCE=AUTO
+fi
+cmake --build "$build" -j "$(nproc)" \
+  --target bench_flowsim_scale bench_telemetry_overhead bench_scoreboard
+
+echo "record_bench.sh: measuring telemetry idle overhead..." >&2
+pct=$("$build/bench/bench_telemetry_overhead" --gate-only)
+
+echo "record_bench.sh: measuring scoreboard context rows..." >&2
+context_args=""
+for kv in $("$build/bench/bench_scoreboard" --record); do
+  context_args="$context_args --benchmark_context=$kv"
+done
+
+echo "record_bench.sh: recording BENCH_flowsim.json..." >&2
+# shellcheck disable=SC2086  # context_args is a deliberate word list
+"$build/bench/bench_flowsim_scale" \
+  --benchmark_format=json \
+  --benchmark_out="$root/BENCH_flowsim.json" \
+  --benchmark_min_time="$min_time" \
+  --benchmark_context=telemetry_idle_overhead_pct="$pct" \
+  $context_args
+
+echo "record_bench.sh: wrote $root/BENCH_flowsim.json" >&2
