@@ -102,6 +102,20 @@ class DegradedModeController {
     note_power_change();
   }
 
+  /// Serializes the controller's power bookkeeping: failed/desired/pending
+  /// masks, the powered-count integrator, and the (time, FIFO seq) of every
+  /// in-flight wake event. Call at an event boundary.
+  void save_state(state::SnapshotWriter& w) const;
+  /// Restores into a controller built over the same topology; re-registers
+  /// the pending wake events with their original FIFO sequence numbers (the
+  /// engine clock must already be restored). Runs check_invariants().
+  void restore_state(state::SnapshotReader& r);
+  /// Cross-checks the wake bookkeeping (every pending flag has exactly one
+  /// scheduled wake) and that the powered-count integrator's current value
+  /// matches the simulator's live enablement. Throws
+  /// std::invalid_argument("DegradedModeController: constraint").
+  void check_invariants() const;
+
  private:
   /// Demands scaled by (1 + min_headroom).
   [[nodiscard]] std::vector<TrafficDemand> inflated_demands() const;
@@ -113,6 +127,11 @@ class DegradedModeController {
   [[nodiscard]] bool live_fabric_satisfiable() const;
   void park_now(NodeId sw);
   void wake_later(NodeId sw);
+  /// Wake-event body: clears the pending record for `sw` and powers it on
+  /// unless the wake was overtaken (re-parked or failed while booting). A
+  /// named member (not an anonymous closure) so restores can re-register
+  /// pending wakes verbatim.
+  void complete_wake(NodeId sw);
   void retailor_and_apply();
   void wake_all_parked();
   void note_power_change();
@@ -129,6 +148,13 @@ class DegradedModeController {
   std::vector<bool> desired_on_;
   /// Wake already scheduled (a repeat failure must not double-schedule).
   std::vector<bool> wake_pending_;
+  /// The scheduled wake event per pending switch (parallel bookkeeping to
+  /// wake_pending_), kept so snapshots can serialize in-flight wakes.
+  struct PendingWake {
+    NodeId sw = kInvalidNode;
+    SimEngine::EventId event = 0;
+  };
+  std::vector<PendingWake> pending_wakes_;
   TimeWeighted powered_count_;
   telemetry::EventLog* events_ = nullptr;
   telemetry::Gauge powered_gauge_;

@@ -66,4 +66,93 @@ struct FaultExperimentResult {
     const BuiltTopology& topology, const std::vector<FlowSpec>& workload,
     const FaultSchedule& schedule, const FaultExperimentConfig& config);
 
+/// The resumable form of run_fault_experiment: owns the engine, router,
+/// simulator, injector, and controller for one experiment, and can stop at
+/// any event boundary, serialize everything, and later continue from a
+/// restored snapshot — with the hard guarantee that the resumed run is
+/// bit-identical to the uninterrupted one.
+///
+///   // straight-line
+///   FaultExperimentRun a{topology, workload, schedule, config};
+///   a.run();
+///   auto result = a.finish();
+///
+///   // save mid-run, restore into a fresh object, continue
+///   FaultExperimentRun b{topology, workload, schedule, config};
+///   b.run_until(t);
+///   state::SnapshotWriter w; b.save_state(w);
+///   state::SnapshotReader r{w.take()};
+///   FaultExperimentRun c{topology, workload, schedule, config, r};
+///   c.run();  // finish() now bit-matches `result`
+///
+/// The restoring constructor must receive the same topology, workload,
+/// schedule, and config the snapshot was taken with; mismatches are rejected
+/// with std::invalid_argument, never undefined behavior.
+class FaultExperimentRun {
+ public:
+  /// Fresh run: wires telemetry, runs the initial tailoring pass (when
+  /// configured), arms the injector, and submits the workload. The topology
+  /// and telemetry bundle must outlive the run.
+  FaultExperimentRun(const BuiltTopology& topology,
+                     const std::vector<FlowSpec>& workload,
+                     const FaultSchedule& schedule,
+                     const FaultExperimentConfig& config);
+
+  /// Restored run: builds the same shell, then restores every component
+  /// (engine clock first) from `r` and audits the invariants.
+  FaultExperimentRun(const BuiltTopology& topology,
+                     const std::vector<FlowSpec>& workload,
+                     const FaultSchedule& schedule,
+                     const FaultExperimentConfig& config,
+                     state::SnapshotReader& r);
+
+  FaultExperimentRun(const FaultExperimentRun&) = delete;
+  FaultExperimentRun& operator=(const FaultExperimentRun&) = delete;
+
+  /// Advances the engine to `until` (an event boundary: no callback is ever
+  /// interrupted mid-flight).
+  void run_until(Seconds until) { engine_.run_until(until); }
+  /// Drains the engine (runs the experiment to the end).
+  void run() { engine_.run(); }
+
+  /// Serializes the whole experiment: orchestrator header, simulator,
+  /// injector, controller, and (when a telemetry bundle is attached) the
+  /// metric registry and sampler. Call at an event boundary.
+  void save_state(state::SnapshotWriter& w) const;
+
+  /// Folds the observable state into the experiment result (and refreshes
+  /// the end-of-run telemetry metrics when a bundle is attached). Call
+  /// after run(); calling mid-run reports the state so far.
+  [[nodiscard]] FaultExperimentResult finish();
+
+  [[nodiscard]] SimEngine& engine() { return engine_; }
+  [[nodiscard]] FlowSimulator& sim() { return sim_; }
+  [[nodiscard]] const FlowSimulator& sim() const { return sim_; }
+  [[nodiscard]] DegradedModeController& controller() { return controller_; }
+  [[nodiscard]] FaultInjector& injector() { return injector_; }
+  [[nodiscard]] const TailorResult& tailoring() const { return tailoring_; }
+
+  /// Runs every component's invariant audit (simulator, controller); also
+  /// invoked automatically at the end of a restore.
+  void check_invariants() const;
+
+ private:
+  /// Shell shared by both constructors (member wiring, telemetry hookup).
+  FaultExperimentRun(const BuiltTopology& topology,
+                     const std::vector<FlowSpec>& workload,
+                     const FaultSchedule& schedule,
+                     const FaultExperimentConfig& config, bool fresh);
+  void wire_telemetry();
+
+  const BuiltTopology& topology_;
+  FaultExperimentConfig config_;
+  std::size_t flows_submitted_ = 0;
+  SimEngine engine_;
+  Router router_;
+  FlowSimulator sim_;
+  DegradedModeController controller_;
+  FaultInjector injector_;
+  TailorResult tailoring_;
+};
+
 }  // namespace netpp

@@ -18,6 +18,7 @@
 
 #include "netpp/faults/fault_model.h"
 #include "netpp/netsim/flowsim.h"
+#include "netpp/state/snapshot.h"
 
 namespace netpp {
 
@@ -58,15 +59,37 @@ class FaultInjector {
 
   [[nodiscard]] const FaultSchedule& schedule() const { return schedule_; }
 
+  /// Serializes the injection progress: per-fault applied/repaired flags,
+  /// the (time, FIFO seq) of every not-yet-fired failure/repair event, the
+  /// pre-fault enablement map, and the application log. Call at an event
+  /// boundary on an armed injector.
+  void save_state(state::SnapshotWriter& w) const;
+  /// Restores into a freshly constructed (un-armed) injector over the same
+  /// schedule; re-registers the pending failure/repair events with their
+  /// original FIFO sequence numbers (the engine clock must already be
+  /// restored). The injector counts as armed afterwards.
+  void restore_state(state::SnapshotReader& r);
+
  private:
   void apply(std::size_t index);
   void repair(std::size_t index);
+
+  /// Event bookkeeping for one fault: the scheduled handles and whether each
+  /// side already fired — what a snapshot needs to re-register exactly the
+  /// still-pending events.
+  struct Scheduled {
+    SimEngine::EventId apply_event = 0;
+    SimEngine::EventId repair_event = 0;
+    bool applied = false;
+    bool repaired = false;
+  };
 
   FlowSimulator& sim_;
   FaultSchedule schedule_;
   /// Device enablement before each fault, restored on repair.
   std::vector<bool> was_enabled_;
   std::vector<double> prior_factor_;
+  std::vector<Scheduled> scheduled_;
   std::vector<Outcome> log_;
   Listener listener_;
   telemetry::EventLog* events_ = nullptr;

@@ -73,6 +73,10 @@ class MaxMinSolver {
   };
   [[nodiscard]] const SolveStats& stats() const { return stats_; }
 
+  /// Snapshot restore: overwrites the lifetime totals verbatim (the scratch
+  /// arenas are rebuilt by the next solve and carry no cross-call state).
+  void restore_stats(const SolveStats& s) { stats_ = s; }
+
   /// Computes max-min fair rates. `capacities[r]` is the capacity of
   /// resource r (>= 0; a zero-capacity resource pins the flows crossing it
   /// to rate 0). Returns one rate per flow, in input order; the view stays

@@ -15,12 +15,14 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "netpp/netsim/fairshare.h"
 #include "netpp/netsim/soa.h"
 #include "netpp/sim/engine.h"
 #include "netpp/sim/stats.h"
+#include "netpp/state/snapshot.h"
 #include "netpp/telemetry/telemetry.h"
 #include "netpp/topo/graph.h"
 #include "netpp/topo/route_cache.h"
@@ -227,6 +229,40 @@ class FlowSimulator {
   [[nodiscard]] const Graph& graph() const { return graph_; }
   [[nodiscard]] SimEngine& engine() { return engine_; }
 
+  // --- Snapshot / restore (see docs/MODELS.md, "Snapshot format") ---
+  //
+  // save_state() serializes every piece of order-sensitive simulator state
+  // verbatim — active flows with their SoA rate/remaining columns, the
+  // link->flow membership arenas including dead blocks, carried-rate sums,
+  // the route cache, the shared router's enablement masks, pending
+  // injections, and the scheduled completion event's (time, FIFO seq) pair —
+  // so a restored run replays the exact same floating-point operations in
+  // the exact same order as the uninterrupted run. Call only at an event
+  // boundary (never from inside a simulator callback).
+  //
+  // restore_state() overwrites this simulator (which must have been built
+  // over the same graph with the same Config) with the snapshot image and
+  // re-registers the pending events on the engine with their original FIFO
+  // sequence numbers. The engine's clock must already have been restored
+  // (SimEngine::restore_clock) by the orchestrator. check_invariants() runs
+  // automatically at the end; corrupt snapshots throw
+  // std::invalid_argument("FlowSimulator: ..."/"SnapshotReader: ...").
+  //
+  // Deliberate exclusions (behavior-neutral, documented in docs/MODELS.md):
+  // the binding-walk generation stamps restart at zero (identical results
+  // until the 2^32-solve wrap, which the walk already handles), and
+  // listeners/event-log attachments are reconstructed by the caller.
+  void save_state(state::SnapshotWriter& w) const;
+  void restore_state(state::SnapshotReader& r);
+
+  /// Structural self-check, callable at any event boundary: per-link rate
+  /// feasibility (carried <= capacity, carried == sum of member rates),
+  /// conservation of remaining bits (0 <= remaining <= size), arena /
+  /// membership / back-pointer agreement, filtered-list-vs-flag agreement,
+  /// and cache-vs-router epoch/enablement agreement. Throws
+  /// std::invalid_argument("FlowSimulator: constraint") on violation.
+  void check_invariants() const;
+
  private:
   // Cold per-flow identity. The hot per-event scalars — current rate,
   // remaining volume, and the flow's arena block (begin/count into
@@ -249,6 +285,14 @@ class FlowSimulator {
   };
 
   void admit(FlowSpec spec, FlowId id);
+  /// Injection-event body: looks up and erases the pending submission for
+  /// `id`, then admits it. The indirection (instead of capturing the spec in
+  /// the scheduled closure) is what lets save_state() serialize not-yet-
+  /// admitted flows and restore_state() re-register their injection events.
+  void admit_pending(FlowId id);
+  /// Rejects NaN/negative rate caps, zero path budgets, and non-positive
+  /// link capacities up front ("FlowSimulator::Config: constraint").
+  void validate_config() const;
   void settle_progress(Seconds now);
   void reallocate(Seconds now);
   /// Binding-subset reallocation (uniform cap only): solves max-min on just
@@ -389,6 +433,18 @@ class FlowSimulator {
     void set_slot(std::size_t r, std::uint32_t pos, std::uint32_t slot) {
       slot_of_[blocks_[r].begin + pos] = slot;
     }
+    [[nodiscard]] std::size_t live() const { return live_; }
+    /// Back-pointer read used by the invariant checks.
+    [[nodiscard]] std::uint32_t slot_at(std::size_t r, std::uint32_t pos) const {
+      return slot_of_[blocks_[r].begin + pos];
+    }
+
+    /// Serializes the arenas verbatim — block table (begin/count/cap, dead
+    /// space included) and the full flow/slot columns — so post-restore
+    /// membership iteration order and relocation timing match the
+    /// uninterrupted run exactly.
+    void save_state(state::SnapshotWriter& w) const;
+    void restore_state(state::SnapshotReader& r);
 
    private:
     struct Block {
@@ -546,6 +602,14 @@ class FlowSimulator {
   FlowId next_id_ = 1;
   Seconds last_settle_{};
   std::optional<SimEngine::EventId> completion_event_;
+  /// Submitted flows whose injection event has not fired yet, keyed by flow
+  /// id. Tracked so snapshots can serialize them and restores re-register
+  /// the injection events with their original FIFO sequence numbers.
+  struct PendingSubmit {
+    FlowSpec spec;
+    SimEngine::EventId event = 0;
+  };
+  std::unordered_map<FlowId, PendingSubmit> pending_submits_;
   LoadListener listener_;
   CompletionListener completion_listener_;
 };

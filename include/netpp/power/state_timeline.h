@@ -30,6 +30,7 @@
 #include <span>
 #include <vector>
 
+#include "netpp/state/snapshot.h"
 #include "netpp/units.h"
 
 namespace netpp {
@@ -168,6 +169,26 @@ class PowerStateTimeline {
     return wakes_ + parks_ + level_changes_;
   }
 
+  /// Trace start time (integration origin; snapshot/invariant support).
+  [[nodiscard]] Seconds start() const { return Seconds{start_}; }
+
+  // --- Snapshot / audit --------------------------------------------------
+
+  /// Serializes tracks, pending wakes, integrators, and counters. The power
+  /// functions and transition listener are not serialized — the owner
+  /// re-installs them after restore.
+  void save_state(state::SnapshotWriter& w) const;
+  /// Restores a save_state() image into a timeline constructed with the
+  /// same component count and transition rules; audits invariants before
+  /// accepting. Throws std::invalid_argument("PowerStateTimeline: ...") on
+  /// mismatch or corruption.
+  void restore_state(state::SnapshotReader& r);
+  /// Audits internal consistency (valid states, finite integrators,
+  /// residency sums covering [start, now], pending wakes referencing waking
+  /// components). Throws std::invalid_argument("PowerStateTimeline: ...")
+  /// on violation. Called automatically by restore_state().
+  void check_invariants() const;
+
  private:
   struct PendingWake {
     int component;
@@ -182,6 +203,7 @@ class PowerStateTimeline {
   PowerFn baseline_fn_;
   TransitionListener transition_listener_;
 
+  double start_ = 0.0;
   double now_ = 0.0;
   double energy_j_ = 0.0;
   double baseline_j_ = 0.0;

@@ -49,6 +49,29 @@ class SimEngine {
   /// cancelled before.
   bool cancel(EventId id);
 
+  /// Absolute time of a pending event. Throws std::logic_error on a stale
+  /// handle. Snapshot support: components record (time, seq) of their
+  /// pending events so a restore can re-register them verbatim.
+  [[nodiscard]] Seconds event_time(EventId id) const;
+
+  /// FIFO tie-break sequence number of a pending event. Throws
+  /// std::logic_error on a stale handle.
+  [[nodiscard]] std::uint64_t event_seq(EventId id) const;
+
+  /// Next FIFO sequence number to be assigned (monotone event counter).
+  [[nodiscard]] std::uint64_t next_seq() const { return next_seq_; }
+
+  /// Snapshot restore: drops every pending event and resets the clock and
+  /// the FIFO counter to the snapshotted values. Components re-register
+  /// their pending events afterwards via restore_event_at().
+  void restore_clock(Seconds now, std::uint64_t next_seq);
+
+  /// Snapshot restore: schedules `fn` at `at` with the original FIFO
+  /// sequence number `seq` (< next_seq()), so restored events fire in
+  /// exactly the order of the uninterrupted run regardless of the order
+  /// components re-register them in.
+  EventId restore_event_at(Seconds at, std::uint64_t seq, Callback fn);
+
   /// Runs until the queue drains. Returns the number of events executed.
   std::size_t run();
 
@@ -75,11 +98,15 @@ class SimEngine {
   };
   struct Slot {
     Callback fn;
-    std::uint32_t gen = 0;  // bumped on every (re)allocation of the slot
+    double at = 0.0;         // scheduled time (for snapshotting)
+    std::uint64_t seq = 0;   // FIFO tie-break (for snapshotting)
+    std::uint32_t gen = 0;   // bumped on every (re)allocation of the slot
     bool live = false;
   };
 
   bool pop_and_run();
+  const Slot& checked_slot(EventId id) const;
+  EventId push_event(double at, std::uint64_t seq, Callback fn);
 
   Seconds now_{};
   std::uint64_t next_seq_ = 0;

@@ -49,6 +49,13 @@ class Rng {
   /// Creates an independent child stream (for per-component determinism).
   Rng split();
 
+  /// Raw xoshiro256** state (snapshot support).
+  [[nodiscard]] const std::array<std::uint64_t, 4>& state() const {
+    return s_;
+  }
+  /// Snapshot restore: overwrites the generator state verbatim.
+  void set_state(const std::array<std::uint64_t, 4>& s) { s_ = s; }
+
  private:
   std::array<std::uint64_t, 4> s_{};
 };

@@ -24,6 +24,25 @@ class SummaryStat {
   [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
   [[nodiscard]] double sum() const { return sum_; }
 
+  /// Raw Welford accumulator (snapshot support; not derivable bitwise from
+  /// variance()).
+  [[nodiscard]] double m2() const { return m2_; }
+  /// Raw extrema including the +/-inf empty-state sentinels (min()/max()
+  /// report 0 when empty, which is not bitwise restorable).
+  [[nodiscard]] double raw_min() const { return min_; }
+  [[nodiscard]] double raw_max() const { return max_; }
+
+  /// Snapshot restore: overwrites every accumulator verbatim.
+  void restore(std::uint64_t n, double mean, double m2, double sum, double min,
+               double max) {
+    n_ = n;
+    mean_ = mean;
+    m2_ = m2;
+    sum_ = sum;
+    min_ = min;
+    max_ = max;
+  }
+
  private:
   std::uint64_t n_ = 0;
   double mean_ = 0.0;
@@ -53,6 +72,17 @@ class TimeWeighted {
   [[nodiscard]] double average(Seconds until) const;
 
   [[nodiscard]] Seconds last_change() const { return last_; }
+  [[nodiscard]] Seconds start() const { return start_; }
+  /// Integral accumulated through last_change() (snapshot support).
+  [[nodiscard]] double accumulated() const { return integral_; }
+
+  /// Snapshot restore: overwrites the signal state verbatim.
+  void restore(Seconds start, Seconds last, double value, double integral) {
+    start_ = start;
+    last_ = last;
+    value_ = value;
+    integral_ = integral;
+  }
 
  private:
   Seconds start_;
@@ -80,6 +110,10 @@ class Histogram {
   /// q in [0, 1]; linear interpolation inside the containing bin. Values in
   /// the under/overflow buckets clamp to lo/hi.
   [[nodiscard]] double quantile(double q) const;
+
+  /// Snapshot restore: `bins` must match the constructed bin count.
+  void restore(const std::vector<std::uint64_t>& bins, std::uint64_t underflow,
+               std::uint64_t overflow, std::uint64_t total);
 
  private:
   double lo_, hi_, width_;

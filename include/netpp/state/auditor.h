@@ -1,0 +1,67 @@
+// InvariantAuditor: one handle that runs every registered component's
+// internal-consistency audit at any event boundary.
+//
+// Each simulated component with mutable cross-referencing state exposes a
+// `check_invariants()` member that cross-checks its books — rate feasibility
+// per link, conservation of remaining bits, timeline residency sums,
+// route-cache-vs-router agreement, wake bookkeeping — and throws
+// std::invalid_argument("TypeName: constraint") on the first violation.
+// The auditor collects those members (plus any ad-hoc closures) so a
+// harness can assert the whole world is coherent with one call: between
+// events, after a fault storm, and automatically after every snapshot
+// restore.
+//
+// Audits are read-only: a passing audit changes nothing, and a failing one
+// throws before any state is touched. Auditing is O(live state) per
+// component — cheap enough for tests and chaos harnesses, not meant for
+// per-event use in benchmarks.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace netpp {
+class FlowSimulator;
+class DegradedModeController;
+class FaultExperimentRun;
+class PowerStateTimeline;
+}  // namespace netpp
+
+namespace netpp::state {
+
+class InvariantAuditor {
+ public:
+  /// Registers a named ad-hoc check. The callable must be read-only and
+  /// throw std::invalid_argument("TypeName: constraint") on violation.
+  void add(std::string name, std::function<void()> check);
+
+  /// Typed registrations — each forwards to the component's own
+  /// check_invariants(). The component must outlive the auditor.
+  void watch(const FlowSimulator& sim);
+  void watch(const DegradedModeController& controller);
+  void watch(const FaultExperimentRun& run);
+  void watch(const PowerStateTimeline& timeline);
+
+  /// Runs every registered check in registration order; the first failure
+  /// propagates (std::invalid_argument with the offending component's
+  /// "TypeName: constraint" message).
+  void audit();
+
+  [[nodiscard]] std::size_t num_checks() const { return checks_.size(); }
+  /// Completed (fully passing) audit passes.
+  [[nodiscard]] std::size_t audits_passed() const { return audits_passed_; }
+  /// Registered check names, in registration order.
+  [[nodiscard]] std::vector<std::string> check_names() const;
+
+ private:
+  struct Check {
+    std::string name;
+    std::function<void()> fn;
+  };
+  std::vector<Check> checks_;
+  std::size_t audits_passed_ = 0;
+};
+
+}  // namespace netpp::state

@@ -1,0 +1,146 @@
+// Versioned binary snapshot format for deterministic save/restore.
+//
+// A snapshot is a flat byte buffer: an 8-byte magic ("NPPSNAP1"), a u32
+// format version, and a sequence of named sections. Each section carries its
+// name, a u64 payload length prefix, and a CRC32 of the payload, so a reader
+// can reject truncation, corruption, and version skew with a typed
+// "SnapshotReader: constraint" error instead of undefined behaviour.
+//
+// Doubles are serialized as their raw IEEE-754 bit pattern (little-endian
+// u64), which round-trips every value exactly — including negative zero,
+// infinities, NaN payloads, and subnormals — equivalent to printing and
+// re-parsing hexfloats but without the text detour. This is what lets a run
+// resumed from a snapshot be bit-identical to the uninterrupted run: no
+// serialization rounding can perturb a carried sum or an event time.
+//
+// The writer/reader pair is deliberately dumb: sections are written and read
+// in one fixed order per snapshot kind (the order is part of the format).
+// Components stream their state through small scalar/vector accessors; there
+// is no reflection and no schema evolution beyond the version gate.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace netpp::state {
+
+/// Snapshot format version written by this build. Readers reject anything
+/// else; there is no cross-version migration.
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over `len` bytes. `seed` chains
+/// incremental computation; pass the previous return value to continue.
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t len,
+                                  std::uint32_t seed = 0);
+
+/// Appends named, length-prefixed, CRC-protected sections to a byte buffer.
+/// Scalar puts are only legal between begin_section/end_section.
+class SnapshotWriter {
+ public:
+  SnapshotWriter();
+
+  void begin_section(std::string_view name);
+  void end_section();
+
+  void put_u8(std::uint8_t v) { raw(&v, 1); }
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_i64(std::int64_t v) { put_u64(static_cast<std::uint64_t>(v)); }
+  /// Exact bit-pattern serialization; round-trips every double bitwise.
+  void put_f64(double v) { put_u64(std::bit_cast<std::uint64_t>(v)); }
+  /// u64 length prefix + raw bytes.
+  void put_string(std::string_view s);
+
+  void put_u8_vec(const std::vector<std::uint8_t>& v);
+  void put_u32_vec(const std::vector<std::uint32_t>& v);
+  void put_u64_vec(const std::vector<std::uint64_t>& v);
+  /// u64 count + little-endian u32s; works for any contiguous uint32 storage
+  /// (std::vector, AlignedVec) via pointer + count.
+  void put_u32_array(const std::uint32_t* data, std::size_t count);
+  /// Same, for uint8 storage.
+  void put_u8_array(const std::uint8_t* data, std::size_t count);
+  /// u64 count + per-element bit patterns; works for any contiguous doubles
+  /// (std::vector, AlignedVec) via pointer + count.
+  void put_f64_array(const double* data, std::size_t count);
+  void put_f64_vec(const std::vector<double>& v) {
+    put_f64_array(v.data(), v.size());
+  }
+
+  /// Finished snapshot bytes. Must not be called with a section open.
+  [[nodiscard]] const std::vector<std::uint8_t>& buffer() const;
+
+  /// Writes the finished snapshot to `path` (binary, overwrite). Throws
+  /// std::runtime_error on I/O failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  void raw(const void* data, std::size_t len);
+
+  std::vector<std::uint8_t> buffer_;    // header + closed sections
+  std::vector<std::uint8_t> payload_;   // open section under construction
+  std::string section_name_;
+  bool section_open_ = false;
+};
+
+/// Sequential reader over a snapshot buffer. The constructor validates the
+/// magic and version; open_section validates name, length, and CRC before
+/// any payload byte is interpreted. Every malformed input path throws
+/// std::invalid_argument("SnapshotReader: ...") — never UB.
+class SnapshotReader {
+ public:
+  explicit SnapshotReader(std::vector<std::uint8_t> buffer);
+
+  /// Reads `path` fully and constructs a reader over it. Throws
+  /// std::invalid_argument("SnapshotReader: ...") if unreadable.
+  static SnapshotReader from_file(const std::string& path);
+
+  /// Opens the next section, which must be named `expected`; verifies the
+  /// payload CRC up front.
+  void open_section(std::string_view expected);
+  /// Closes the current section; the payload must be fully consumed.
+  void close_section();
+
+  [[nodiscard]] std::uint8_t get_u8();
+  [[nodiscard]] bool get_bool() { return get_u8() != 0; }
+  [[nodiscard]] std::uint32_t get_u32();
+  [[nodiscard]] std::uint64_t get_u64();
+  [[nodiscard]] std::int64_t get_i64() {
+    return static_cast<std::int64_t>(get_u64());
+  }
+  [[nodiscard]] double get_f64() { return std::bit_cast<double>(get_u64()); }
+  [[nodiscard]] std::string get_string();
+
+  [[nodiscard]] std::vector<std::uint8_t> get_u8_vec();
+  [[nodiscard]] std::vector<std::uint32_t> get_u32_vec();
+  [[nodiscard]] std::vector<std::uint64_t> get_u64_vec();
+  /// Reads the u64 count; it must equal `count` (callers size their
+  /// destination from separately-serialized structure first).
+  void get_u32_array(std::uint32_t* out, std::size_t count);
+  void get_u8_array(std::uint8_t* out, std::size_t count);
+  /// Reads the u64 count; it must equal `count` (callers size their
+  /// destination from separately-serialized structure first).
+  void get_f64_array(double* out, std::size_t count);
+  [[nodiscard]] std::vector<double> get_f64_vec();
+
+  /// True once every section has been consumed.
+  [[nodiscard]] bool at_end() const { return pos_ == buffer_.size(); }
+
+ private:
+  void need(std::size_t n, std::string_view what);
+  [[noreturn]] void fail(std::string_view constraint) const;
+  std::uint32_t read_u32_at(std::size_t pos) const;
+  std::uint64_t read_u64_at(std::size_t pos) const;
+
+  std::vector<std::uint8_t> buffer_;
+  std::size_t pos_ = 0;          // next unread byte in buffer_
+  std::size_t section_end_ = 0;  // one past the open section's payload
+  std::string section_name_;
+  bool section_open_ = false;
+};
+
+}  // namespace netpp::state

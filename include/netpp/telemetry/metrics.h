@@ -23,6 +23,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "netpp/state/snapshot.h"
+
 namespace netpp::telemetry {
 
 enum class MetricKind { kCounter, kGauge, kHistogram };
@@ -174,6 +176,14 @@ class MetricRegistry {
   /// the name is absent or of a different kind.
   [[nodiscard]] std::uint64_t counter_value(const std::string& name) const;
   [[nodiscard]] double gauge_value(const std::string& name) const;
+
+  /// Serializes every metric (identity + values) in registration order.
+  void save_state(state::SnapshotWriter& w) const;
+  /// Restores a save_state() image: finds-or-creates each metric in saved
+  /// order and overwrites its value(s). Instruments already registered keep
+  /// their slots (handles stay valid); kind or histogram-bound mismatches
+  /// throw the usual "MetricRegistry: ..." errors.
+  void restore_state(state::SnapshotReader& r);
 
  private:
   struct Entry {

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "netpp/sim/engine.h"
+#include "netpp/state/snapshot.h"
 #include "netpp/telemetry/metrics.h"
 #include "netpp/units.h"
 
@@ -72,6 +73,14 @@ class TimeSeriesSampler {
   [[nodiscard]] const std::vector<double>& series_values(std::size_t i) const {
     return series_[i].values;
   }
+
+  /// Serializes period, cadence state, and every series' rows. Only the
+  /// event-driven mode round-trips; an armed sampler's self-rearming events
+  /// are not snapshotted.
+  void save_state(state::SnapshotWriter& w) const;
+  /// Restores a save_state() image; re-tracks each series by name against
+  /// this sampler's registry.
+  void restore_state(state::SnapshotReader& r);
 
  private:
   struct Series {

@@ -30,6 +30,7 @@
 #include <optional>
 #include <vector>
 
+#include "netpp/state/snapshot.h"
 #include "netpp/topo/routing.h"
 
 namespace netpp {
@@ -149,6 +150,23 @@ class RouteCache {
 
   [[nodiscard]] RouteCacheStats stats() const;
   [[nodiscard]] const Router& router() const { return router_; }
+
+  /// Serializes the full cache contents — table, entries, path pool, epoch,
+  /// and counters — so a restored run replays the same hit/miss sequence
+  /// (the counters feed metrics that must match bitwise).
+  void save_state(state::SnapshotWriter& w) const;
+  /// Restores a save_state() image. The attachment maps are structural
+  /// (rebuilt by the constructor) and are validated, not overwritten.
+  void restore_state(state::SnapshotReader& r);
+
+  /// Cache-vs-router agreement audit: when the cache is current (its epoch
+  /// matches the router's), every kOk entry's paths must be walkable on the
+  /// live topology — consecutive links share a node, every link is enabled,
+  /// and every transit node is enabled (the canonical endpoints are exempt,
+  /// matching Router semantics). A stale cache is trivially in agreement
+  /// (it flushes on the next lookup). Throws
+  /// std::invalid_argument("RouteCache: constraint") on violation.
+  void check_agreement() const;
 
  private:
   struct Entry {

@@ -5,6 +5,7 @@
 #include <cassert>
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
 #include <vector>
 
 #include "netpp/topo/graph.h"
@@ -94,6 +95,29 @@ class Router {
   /// Cached routing state (RouteCache) self-invalidates by comparing epochs
   /// instead of being flushed eagerly on every toggle.
   [[nodiscard]] std::uint64_t topology_epoch() const { return epoch_; }
+
+  /// Raw enable masks (snapshot support).
+  [[nodiscard]] const std::vector<std::uint8_t>& node_mask() const {
+    return node_enabled_;
+  }
+  [[nodiscard]] const std::vector<std::uint8_t>& link_mask() const {
+    return link_enabled_;
+  }
+
+  /// Snapshot restore: overwrites both masks and the epoch verbatim. Mask
+  /// sizes must match this router's graph.
+  void restore_enablement(const std::vector<std::uint8_t>& nodes,
+                          const std::vector<std::uint8_t>& links,
+                          std::uint64_t epoch) {
+    if (nodes.size() != node_enabled_.size() ||
+        links.size() != link_enabled_.size()) {
+      throw std::invalid_argument(
+          "Router: restored mask sizes do not match the graph");
+    }
+    node_enabled_ = nodes;
+    link_enabled_ = links;
+    epoch_ = epoch;
+  }
 
   /// One shortest path (BFS, hop count), or nullopt if disconnected.
   /// Direct early-exit BFS: stops the moment dst is labeled, then walks the

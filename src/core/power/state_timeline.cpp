@@ -1,13 +1,16 @@
 #include "netpp/power/state_timeline.h"
 
+#include <cmath>
 #include <limits>
 #include <stdexcept>
+
+#include "netpp/validation.h"
 
 namespace netpp {
 
 PowerStateTimeline::PowerStateTimeline(int num_components,
                                        TransitionRules rules, Seconds start)
-    : rules_(rules), now_(start.value()) {
+    : rules_(rules), start_(start.value()), now_(start.value()) {
   if (num_components < 1) {
     throw std::invalid_argument(
         "PowerStateTimeline: needs at least one component");
@@ -156,6 +159,126 @@ double PowerStateTimeline::next_event() const {
     earliest = earliest < wake.deadline ? earliest : wake.deadline;
   }
   return earliest;
+}
+
+void PowerStateTimeline::save_state(state::SnapshotWriter& w) const {
+  w.begin_section("power_timeline");
+  w.put_f64(rules_.wake_latency.value());
+  w.put_f64(rules_.min_dwell.value());
+  w.put_f64(rules_.level_hysteresis);
+  w.put_u64(tracks_.size());
+  for (const auto& t : tracks_) {
+    w.put_u8(static_cast<std::uint8_t>(t.state));
+    w.put_f64(t.level);
+    w.put_f64(t.load);
+  }
+  w.put_f64_vec(dwell_anchor_);
+  w.put_u64(pending_.size());
+  for (const auto& p : pending_) {
+    w.put_u32(static_cast<std::uint32_t>(p.component));
+    w.put_f64(p.deadline);
+  }
+  w.put_f64(start_);
+  w.put_f64(now_);
+  w.put_f64(energy_j_);
+  w.put_f64(baseline_j_);
+  for (double r : residency_) w.put_f64(r);
+  w.put_f64(level_time_);
+  w.put_u64(wakes_);
+  w.put_u64(parks_);
+  w.put_u64(level_changes_);
+  w.end_section();
+}
+
+void PowerStateTimeline::restore_state(state::SnapshotReader& r) {
+  r.open_section("power_timeline");
+  const double wake_latency = r.get_f64();
+  const double min_dwell = r.get_f64();
+  const double hysteresis = r.get_f64();
+  validation::require(wake_latency == rules_.wake_latency.value() &&
+                          min_dwell == rules_.min_dwell.value() &&
+                          hysteresis == rules_.level_hysteresis,
+                      "PowerStateTimeline",
+                      "snapshot transition rules do not match this timeline");
+  const std::uint64_t n = r.get_u64();
+  validation::require(n == tracks_.size(), "PowerStateTimeline",
+                      "snapshot component count does not match this timeline");
+  std::vector<ComponentTrack> tracks(tracks_.size());
+  for (auto& t : tracks) {
+    const std::uint8_t s = r.get_u8();
+    validation::require(s < kNumPowerStates, "PowerStateTimeline",
+                        "snapshot holds an invalid power state");
+    t.state = static_cast<PowerState>(s);
+    t.level = r.get_f64();
+    t.load = r.get_f64();
+  }
+  std::vector<double> anchors(tracks_.size());
+  r.get_f64_array(anchors.data(), anchors.size());
+  const std::uint64_t num_pending = r.get_u64();
+  validation::require(num_pending <= tracks_.size(), "PowerStateTimeline",
+                      "snapshot has more pending wakes than components");
+  std::vector<PendingWake> pending(static_cast<std::size_t>(num_pending));
+  for (auto& p : pending) {
+    const std::uint32_t component = r.get_u32();
+    validation::require(component < tracks_.size(), "PowerStateTimeline",
+                        "snapshot pending wake references a bad component");
+    p.component = static_cast<int>(component);
+    p.deadline = r.get_f64();
+  }
+  tracks_ = std::move(tracks);
+  dwell_anchor_ = std::move(anchors);
+  pending_ = std::move(pending);
+  start_ = r.get_f64();
+  now_ = r.get_f64();
+  energy_j_ = r.get_f64();
+  baseline_j_ = r.get_f64();
+  for (double& res : residency_) res = r.get_f64();
+  level_time_ = r.get_f64();
+  wakes_ = static_cast<std::size_t>(r.get_u64());
+  parks_ = static_cast<std::size_t>(r.get_u64());
+  level_changes_ = static_cast<std::size_t>(r.get_u64());
+  r.close_section();
+  check_invariants();
+}
+
+void PowerStateTimeline::check_invariants() const {
+  const auto req = [](bool ok, std::string_view constraint) {
+    validation::require(ok, "PowerStateTimeline", constraint);
+  };
+  req(std::isfinite(start_) && std::isfinite(now_) && now_ >= start_,
+      "clock must be finite and at or after the trace start");
+  req(std::isfinite(energy_j_) && energy_j_ >= 0.0,
+      "energy integral must be finite and non-negative");
+  req(std::isfinite(baseline_j_) && baseline_j_ >= 0.0,
+      "baseline energy integral must be finite and non-negative");
+  for (const auto& t : tracks_) {
+    req(std::isfinite(t.level) && std::isfinite(t.load),
+        "track level and load must be finite");
+  }
+  std::size_t waking = 0;
+  for (const auto& t : tracks_) {
+    waking += t.state == PowerState::kWaking ? 1 : 0;
+  }
+  req(pending_.size() == waking,
+      "every pending wake must pair with exactly one waking component");
+  for (const auto& p : pending_) {
+    req(tracks_[static_cast<std::size_t>(p.component)].state ==
+            PowerState::kWaking,
+        "pending wake must reference a waking component");
+    req(std::isfinite(p.deadline), "pending wake deadline must be finite");
+  }
+  // Residency sums: every component contributes dt to exactly one state per
+  // advance, so the total must cover [start, now] x components.
+  double total = 0.0;
+  for (double res : residency_) {
+    req(std::isfinite(res) && res >= 0.0,
+        "residency must be finite and non-negative");
+    total += res;
+  }
+  const double expected = (now_ - start_) * static_cast<double>(tracks_.size());
+  const double tol = 1e-9 * (expected > 1.0 ? expected : 1.0);
+  req(std::abs(total - expected) <= tol,
+      "residency totals must cover [start, now] across all components");
 }
 
 void PowerStateTimeline::advance_to(Seconds t) {

@@ -1,0 +1,390 @@
+#include "netpp/state/snapshot.h"
+
+#include <array>
+#include <fstream>
+#include <stdexcept>
+
+#include "netpp/validation.h"
+
+namespace netpp::state {
+
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'N', 'P', 'P', 'S', 'N', 'A', 'P', '1'};
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t seed) {
+  const auto& table = crc_table();
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = seed ^ 0xffffffffu;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = table[(c ^ bytes[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotWriter
+
+SnapshotWriter::SnapshotWriter() {
+  buffer_.insert(buffer_.end(), kMagic.begin(), kMagic.end());
+  for (int shift = 0; shift < 32; shift += 8) {
+    buffer_.push_back(
+        static_cast<std::uint8_t>((kSnapshotVersion >> shift) & 0xffu));
+  }
+}
+
+void SnapshotWriter::raw(const void* data, std::size_t len) {
+  if (!section_open_) {
+    throw std::logic_error("SnapshotWriter: put outside a section");
+  }
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  payload_.insert(payload_.end(), bytes, bytes + len);
+}
+
+void SnapshotWriter::put_u32(std::uint32_t v) {
+  std::uint8_t le[4];
+  for (int i = 0; i < 4; ++i) {
+    le[i] = static_cast<std::uint8_t>((v >> (8 * i)) & 0xffu);
+  }
+  raw(le, sizeof(le));
+}
+
+void SnapshotWriter::put_u64(std::uint64_t v) {
+  std::uint8_t le[8];
+  for (int i = 0; i < 8; ++i) {
+    le[i] = static_cast<std::uint8_t>((v >> (8 * i)) & 0xffu);
+  }
+  raw(le, sizeof(le));
+}
+
+void SnapshotWriter::put_string(std::string_view s) {
+  put_u64(s.size());
+  raw(s.data(), s.size());
+}
+
+void SnapshotWriter::put_u8_vec(const std::vector<std::uint8_t>& v) {
+  put_u64(v.size());
+  raw(v.data(), v.size());
+}
+
+void SnapshotWriter::put_u32_vec(const std::vector<std::uint32_t>& v) {
+  put_u64(v.size());
+  for (std::uint32_t x : v) put_u32(x);
+}
+
+void SnapshotWriter::put_u64_vec(const std::vector<std::uint64_t>& v) {
+  put_u64(v.size());
+  for (std::uint64_t x : v) put_u64(x);
+}
+
+void SnapshotWriter::put_f64_array(const double* data, std::size_t count) {
+  put_u64(count);
+  for (std::size_t i = 0; i < count; ++i) put_f64(data[i]);
+}
+
+void SnapshotWriter::put_u32_array(const std::uint32_t* data,
+                                   std::size_t count) {
+  put_u64(count);
+  for (std::size_t i = 0; i < count; ++i) put_u32(data[i]);
+}
+
+void SnapshotWriter::put_u8_array(const std::uint8_t* data, std::size_t count) {
+  put_u64(count);
+  raw(data, count);
+}
+
+void SnapshotWriter::begin_section(std::string_view name) {
+  if (section_open_) {
+    throw std::logic_error("SnapshotWriter: section already open");
+  }
+  if (name.empty() || name.size() > 255) {
+    throw std::logic_error("SnapshotWriter: section name must be 1..255 bytes");
+  }
+  section_name_.assign(name);
+  payload_.clear();
+  section_open_ = true;
+}
+
+void SnapshotWriter::end_section() {
+  if (!section_open_) {
+    throw std::logic_error("SnapshotWriter: no section open");
+  }
+  // Section framing: u32 name length, name bytes, u64 payload length,
+  // u32 CRC32(payload), payload bytes.
+  const auto emit_u32 = [this](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buffer_.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xffu));
+    }
+  };
+  const auto emit_u64 = [this](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      buffer_.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xffu));
+    }
+  };
+  emit_u32(static_cast<std::uint32_t>(section_name_.size()));
+  buffer_.insert(buffer_.end(), section_name_.begin(), section_name_.end());
+  emit_u64(payload_.size());
+  emit_u32(crc32(payload_.data(), payload_.size()));
+  buffer_.insert(buffer_.end(), payload_.begin(), payload_.end());
+  payload_.clear();
+  section_open_ = false;
+}
+
+const std::vector<std::uint8_t>& SnapshotWriter::buffer() const {
+  if (section_open_) {
+    throw std::logic_error("SnapshotWriter: buffer() with a section open");
+  }
+  return buffer_;
+}
+
+void SnapshotWriter::write_file(const std::string& path) const {
+  const auto& bytes = buffer();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("SnapshotWriter: cannot open " + path);
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    throw std::runtime_error("SnapshotWriter: short write to " + path);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotReader
+
+void SnapshotReader::fail(std::string_view constraint) const {
+  validation::fail("SnapshotReader", constraint);
+}
+
+SnapshotReader::SnapshotReader(std::vector<std::uint8_t> buffer)
+    : buffer_(std::move(buffer)) {
+  if (buffer_.size() < kMagic.size() + 4) {
+    fail("buffer shorter than the snapshot header");
+  }
+  if (std::memcmp(buffer_.data(), kMagic.data(), kMagic.size()) != 0) {
+    fail("bad magic, not a netpp snapshot");
+  }
+  const std::uint32_t version = read_u32_at(kMagic.size());
+  if (version != kSnapshotVersion) {
+    fail("unsupported snapshot version " + std::to_string(version) +
+         " (expected " + std::to_string(kSnapshotVersion) + ")");
+  }
+  pos_ = kMagic.size() + 4;
+}
+
+SnapshotReader SnapshotReader::from_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    validation::fail("SnapshotReader", "cannot open " + path);
+  }
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  if (size > 0) {
+    in.read(reinterpret_cast<char*>(bytes.data()), size);
+    if (!in) {
+      validation::fail("SnapshotReader", "short read from " + path);
+    }
+  }
+  return SnapshotReader(std::move(bytes));
+}
+
+std::uint32_t SnapshotReader::read_u32_at(std::size_t pos) const {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(buffer_[pos + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t SnapshotReader::read_u64_at(std::size_t pos) const {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(buffer_[pos + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  return v;
+}
+
+void SnapshotReader::need(std::size_t n, std::string_view what) {
+  const std::size_t limit = section_open_ ? section_end_ : buffer_.size();
+  if (n > limit - pos_) {
+    fail("truncated snapshot reading " + std::string(what) +
+         (section_open_ ? " in section '" + section_name_ + "'" : ""));
+  }
+}
+
+void SnapshotReader::open_section(std::string_view expected) {
+  if (section_open_) {
+    throw std::logic_error("SnapshotReader: section already open");
+  }
+  // Frame header: u32 name length + name + u64 payload length + u32 CRC.
+  if (buffer_.size() - pos_ < 4) fail("truncated section header");
+  const std::uint32_t name_len = read_u32_at(pos_);
+  if (name_len == 0 || name_len > 255 ||
+      buffer_.size() - pos_ - 4 < name_len) {
+    fail("corrupt section name length");
+  }
+  std::string name(reinterpret_cast<const char*>(buffer_.data() + pos_ + 4),
+                   name_len);
+  if (name != expected) {
+    fail("expected section '" + std::string(expected) + "', found '" + name +
+         "'");
+  }
+  std::size_t p = pos_ + 4 + name_len;
+  if (buffer_.size() - p < 12) fail("truncated section frame of '" + name + "'");
+  const std::uint64_t payload_len = read_u64_at(p);
+  const std::uint32_t expected_crc = read_u32_at(p + 8);
+  p += 12;
+  if (payload_len > buffer_.size() - p) {
+    fail("truncated payload of section '" + name + "'");
+  }
+  const std::uint32_t actual_crc =
+      crc32(buffer_.data() + p, static_cast<std::size_t>(payload_len));
+  if (actual_crc != expected_crc) {
+    fail("CRC mismatch in section '" + name + "'");
+  }
+  pos_ = p;
+  section_end_ = p + static_cast<std::size_t>(payload_len);
+  section_name_ = std::move(name);
+  section_open_ = true;
+}
+
+void SnapshotReader::close_section() {
+  if (!section_open_) {
+    throw std::logic_error("SnapshotReader: no section open");
+  }
+  if (pos_ != section_end_) {
+    fail("trailing bytes in section '" + section_name_ + "'");
+  }
+  section_open_ = false;
+  section_name_.clear();
+}
+
+std::uint8_t SnapshotReader::get_u8() {
+  need(1, "u8");
+  return buffer_[pos_++];
+}
+
+std::uint32_t SnapshotReader::get_u32() {
+  need(4, "u32");
+  const std::uint32_t v = read_u32_at(pos_);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t SnapshotReader::get_u64() {
+  need(8, "u64");
+  const std::uint64_t v = read_u64_at(pos_);
+  pos_ += 8;
+  return v;
+}
+
+std::string SnapshotReader::get_string() {
+  const std::uint64_t len = get_u64();
+  need(static_cast<std::size_t>(len), "string payload");
+  std::string s(reinterpret_cast<const char*>(buffer_.data() + pos_),
+                static_cast<std::size_t>(len));
+  pos_ += static_cast<std::size_t>(len);
+  return s;
+}
+
+std::vector<std::uint8_t> SnapshotReader::get_u8_vec() {
+  const std::uint64_t count = get_u64();
+  need(static_cast<std::size_t>(count), "u8 vector payload");
+  std::vector<std::uint8_t> v(buffer_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                              buffer_.begin() +
+                                  static_cast<std::ptrdiff_t>(pos_ + count));
+  pos_ += static_cast<std::size_t>(count);
+  return v;
+}
+
+std::vector<std::uint32_t> SnapshotReader::get_u32_vec() {
+  const std::uint64_t count = get_u64();
+  need(static_cast<std::size_t>(count) * 4, "u32 vector payload");
+  std::vector<std::uint32_t> v(static_cast<std::size_t>(count));
+  for (auto& x : v) {
+    x = read_u32_at(pos_);
+    pos_ += 4;
+  }
+  return v;
+}
+
+std::vector<std::uint64_t> SnapshotReader::get_u64_vec() {
+  const std::uint64_t count = get_u64();
+  need(static_cast<std::size_t>(count) * 8, "u64 vector payload");
+  std::vector<std::uint64_t> v(static_cast<std::size_t>(count));
+  for (auto& x : v) {
+    x = read_u64_at(pos_);
+    pos_ += 8;
+  }
+  return v;
+}
+
+void SnapshotReader::get_f64_array(double* out, std::size_t count) {
+  const std::uint64_t stored = get_u64();
+  if (stored != count) {
+    fail("f64 array count mismatch in section '" + section_name_ + "'");
+  }
+  need(count * 8, "f64 array payload");
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = std::bit_cast<double>(read_u64_at(pos_));
+    pos_ += 8;
+  }
+}
+
+void SnapshotReader::get_u32_array(std::uint32_t* out, std::size_t count) {
+  const std::uint64_t stored = get_u64();
+  if (stored != count) {
+    fail("u32 array count mismatch in section '" + section_name_ + "'");
+  }
+  need(count * 4, "u32 array payload");
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = read_u32_at(pos_);
+    pos_ += 4;
+  }
+}
+
+void SnapshotReader::get_u8_array(std::uint8_t* out, std::size_t count) {
+  const std::uint64_t stored = get_u64();
+  if (stored != count) {
+    fail("u8 array count mismatch in section '" + section_name_ + "'");
+  }
+  need(count, "u8 array payload");
+  if (count > 0) std::memcpy(out, buffer_.data() + pos_, count);
+  pos_ += count;
+}
+
+std::vector<double> SnapshotReader::get_f64_vec() {
+  const std::uint64_t count = get_u64();
+  need(static_cast<std::size_t>(count) * 8, "f64 vector payload");
+  std::vector<double> v(static_cast<std::size_t>(count));
+  for (auto& x : v) {
+    x = std::bit_cast<double>(read_u64_at(pos_));
+    pos_ += 8;
+  }
+  return v;
+}
+
+}  // namespace netpp::state

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
+
+#include "netpp/validation.h"
 
 namespace netpp {
 
@@ -166,16 +169,27 @@ void DegradedModeController::wake_later(NodeId sw) {
     events_->instant("degraded_mode", "emergency_wake", sim_.engine().now(),
                      "switch", static_cast<double>(sw));
   }
-  sim_.engine().schedule_after(config_.wake_latency, [this, sw] {
-    wake_pending_[sw] = false;
-    // The wake may have been overtaken by a re-park decision or a failure
-    // of the switch itself while it was booting.
-    if (!desired_on_[sw] || failed_node_[sw]) return;
-    if (!sim_.router().node_enabled(sw)) {
-      sim_.set_node_enabled(sw, true);
-      note_power_change();
+  const SimEngine::EventId event = sim_.engine().schedule_after(
+      config_.wake_latency, [this, sw] { complete_wake(sw); });
+  pending_wakes_.push_back(PendingWake{sw, event});
+}
+
+void DegradedModeController::complete_wake(NodeId sw) {
+  wake_pending_[sw] = false;
+  for (std::size_t i = 0; i < pending_wakes_.size(); ++i) {
+    if (pending_wakes_[i].sw == sw) {
+      pending_wakes_.erase(pending_wakes_.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+      break;
     }
-  });
+  }
+  // The wake may have been overtaken by a re-park decision or a failure
+  // of the switch itself while it was booting.
+  if (!desired_on_[sw] || failed_node_[sw]) return;
+  if (!sim_.router().node_enabled(sw)) {
+    sim_.set_node_enabled(sw, true);
+    note_power_change();
+  }
 }
 
 std::size_t DegradedModeController::powered_switches() const {
@@ -194,6 +208,101 @@ void DegradedModeController::note_power_change() {
 
 double DegradedModeController::powered_switch_seconds(Seconds until) const {
   return powered_count_.integral(until);
+}
+
+namespace {
+
+void put_bool_vec(state::SnapshotWriter& w, const std::vector<bool>& v) {
+  w.put_u64(v.size());
+  for (const bool b : v) w.put_bool(b);
+}
+
+void get_bool_vec(state::SnapshotReader& r, std::vector<bool>& v,
+                  std::size_t expected, const char* what) {
+  if (static_cast<std::size_t>(r.get_u64()) != expected) {
+    validation::fail("DegradedModeController",
+                     std::string("snapshot ") + what +
+                         " mask does not match the topology");
+  }
+  v.assign(expected, false);
+  for (std::size_t i = 0; i < expected; ++i) v[i] = r.get_bool();
+}
+
+}  // namespace
+
+void DegradedModeController::save_state(state::SnapshotWriter& w) const {
+  const SimEngine& engine = sim_.engine();
+  w.begin_section("degraded_mode");
+  put_bool_vec(w, failed_node_);
+  put_bool_vec(w, failed_link_);
+  put_bool_vec(w, desired_on_);
+  put_bool_vec(w, wake_pending_);
+  w.put_u64(pending_wakes_.size());
+  for (const PendingWake& p : pending_wakes_) {
+    w.put_u32(p.sw);
+    w.put_f64(engine.event_time(p.event).value());
+    w.put_u64(engine.event_seq(p.event));
+  }
+  w.put_f64(powered_count_.start().value());
+  w.put_f64(powered_count_.last_change().value());
+  w.put_f64(powered_count_.current());
+  w.put_f64(powered_count_.accumulated());
+  w.put_u64(emergency_wakes_);
+  w.put_u64(retailor_passes_);
+  w.end_section();
+}
+
+void DegradedModeController::restore_state(state::SnapshotReader& r) {
+  SimEngine& engine = sim_.engine();
+  r.open_section("degraded_mode");
+  const std::size_t num_nodes = topology_.graph.num_nodes();
+  get_bool_vec(r, failed_node_, num_nodes, "failed-node");
+  get_bool_vec(r, failed_link_, topology_.graph.num_links(), "failed-link");
+  get_bool_vec(r, desired_on_, num_nodes, "desired-power");
+  get_bool_vec(r, wake_pending_, num_nodes, "wake-pending");
+  const auto num_wakes = static_cast<std::size_t>(r.get_u64());
+  pending_wakes_.clear();
+  pending_wakes_.reserve(num_wakes);
+  for (std::size_t i = 0; i < num_wakes; ++i) {
+    const NodeId sw = r.get_u32();
+    if (sw >= num_nodes || !wake_pending_[sw]) {
+      validation::fail("DegradedModeController",
+                       "snapshot wake event lacks a matching pending flag");
+    }
+    const Seconds at{r.get_f64()};
+    const std::uint64_t seq = r.get_u64();
+    const SimEngine::EventId event =
+        engine.restore_event_at(at, seq, [this, sw] { complete_wake(sw); });
+    pending_wakes_.push_back(PendingWake{sw, event});
+  }
+  const double start = r.get_f64();
+  const double last = r.get_f64();
+  const double value = r.get_f64();
+  const double integral = r.get_f64();
+  powered_count_.restore(Seconds{start}, Seconds{last}, value, integral);
+  emergency_wakes_ = static_cast<std::size_t>(r.get_u64());
+  retailor_passes_ = static_cast<std::size_t>(r.get_u64());
+  r.close_section();
+  check_invariants();
+}
+
+void DegradedModeController::check_invariants() const {
+  std::size_t flagged = 0;
+  for (const bool pending : wake_pending_) {
+    if (pending) ++flagged;
+  }
+  validation::require(
+      flagged == pending_wakes_.size(), "DegradedModeController",
+      "every pending wake flag must pair with exactly one scheduled wake");
+  for (const PendingWake& p : pending_wakes_) {
+    validation::require(p.sw < wake_pending_.size() && wake_pending_[p.sw],
+                        "DegradedModeController",
+                        "scheduled wakes must reference pending switches");
+  }
+  const double powered = static_cast<double>(powered_switches());
+  validation::require(
+      powered_count_.current() == powered, "DegradedModeController",
+      "the powered-count integrator must track the live enablement");
 }
 
 }  // namespace netpp

@@ -1,101 +1,206 @@
 #include "netpp/faults/experiment.h"
 
+#include <cstdint>
+
 #include "netpp/sim/engine.h"
 #include "netpp/topo/routing.h"
+#include "netpp/validation.h"
 
 namespace netpp {
 
-FaultExperimentResult run_fault_experiment(
-    const BuiltTopology& topology, const std::vector<FlowSpec>& workload,
-    const FaultSchedule& schedule, const FaultExperimentConfig& config) {
-  SimEngine engine;
-  Router router{topology.graph};
+namespace {
+
+FlowSimulator::Config effective_sim_config(
+    const FaultExperimentConfig& config) {
   FlowSimulator::Config sim_config = config.sim;
   sim_config.strand_unroutable = true;
   sim_config.telemetry = config.telemetry;
-  FlowSimulator sim{topology.graph, router, engine, sim_config};
+  return sim_config;
+}
 
-  DegradedModeController controller{sim, topology, config.demands,
-                                    config.degraded};
-  FaultInjector injector{sim, schedule};
-  injector.set_listener(controller.listener());
+}  // namespace
 
-  telemetry::Telemetry* tel = config.telemetry;
-  if (tel != nullptr) {
-    injector.set_event_log(&tel->events());
-    controller.set_event_log(&tel->events());
-    controller.set_powered_gauge(
-        tel->metrics().gauge("faults.powered_switches"));
-    if (tel->sampler().enabled()) {
-      telemetry::TimeSeriesSampler& sampler = tel->sampler();
-      sampler.track("netsim.active_flows");
-      sampler.track("netsim.stranded_flows");
-      sampler.track("netsim.mean_link_utilization");
-      sampler.track("faults.powered_switches");
-      sampler.track("faults.fabric_watts");
-      // The expensive gauges (O(links) utilization scan) are refreshed only
-      // when a row is actually due, then the row is taken. Sampling rides on
-      // reallocation events, so it never extends the event horizon.
-      sim.set_load_listener([&sim, &controller, tel,
-                             switch_power = config.switch_power](Seconds now) {
-        telemetry::TimeSeriesSampler& s = tel->sampler();
-        if (!s.due(now)) return;
-        telemetry::MetricRegistry& m = tel->metrics();
-        m.gauge("netsim.mean_link_utilization")
-            .set(sim.current_mean_utilization());
-        const double powered =
-            static_cast<double>(controller.powered_switches());
-        m.gauge("faults.powered_switches").set(powered);
-        m.gauge("faults.fabric_watts").set(powered * switch_power.value());
-        s.sample(now);
-      });
-    }
+FaultExperimentRun::FaultExperimentRun(const BuiltTopology& topology,
+                                       const std::vector<FlowSpec>& workload,
+                                       const FaultSchedule& schedule,
+                                       const FaultExperimentConfig& config,
+                                       bool fresh)
+    : topology_(topology),
+      config_(config),
+      flows_submitted_(workload.size()),
+      router_(topology.graph),
+      sim_(topology.graph, router_, engine_, effective_sim_config(config)),
+      controller_(sim_, topology, config.demands, config.degraded),
+      injector_(sim_, schedule) {
+  injector_.set_listener(controller_.listener());
+  wire_telemetry();
+  if (fresh) {
+    if (config_.tailor) tailoring_ = controller_.tailor_initial();
+    injector_.arm();
+    for (const FlowSpec& spec : workload) sim_.submit(spec);
   }
+}
 
+FaultExperimentRun::FaultExperimentRun(const BuiltTopology& topology,
+                                       const std::vector<FlowSpec>& workload,
+                                       const FaultSchedule& schedule,
+                                       const FaultExperimentConfig& config)
+    : FaultExperimentRun(topology, workload, schedule, config,
+                         /*fresh=*/true) {}
+
+FaultExperimentRun::FaultExperimentRun(const BuiltTopology& topology,
+                                       const std::vector<FlowSpec>& workload,
+                                       const FaultSchedule& schedule,
+                                       const FaultExperimentConfig& config,
+                                       state::SnapshotReader& r)
+    : FaultExperimentRun(topology, workload, schedule, config,
+                         /*fresh=*/false) {
+  r.open_section("fault_experiment");
+  if (r.get_bool() != config_.tailor) {
+    validation::fail("FaultExperimentRun",
+                     "snapshot tailoring mode does not match the config");
+  }
+  if (static_cast<std::size_t>(r.get_u64()) != flows_submitted_) {
+    validation::fail("FaultExperimentRun",
+                     "snapshot workload size does not match");
+  }
+  const bool has_telemetry = r.get_bool();
+  if (has_telemetry != (config_.telemetry != nullptr)) {
+    validation::fail("FaultExperimentRun",
+                     "snapshot telemetry attachment does not match");
+  }
+  const bool has_sampler = r.get_bool();
+  const bool live_sampler =
+      config_.telemetry != nullptr && config_.telemetry->sampler().enabled();
+  if (has_sampler != live_sampler) {
+    validation::fail("FaultExperimentRun",
+                     "snapshot sampler attachment does not match");
+  }
+  const Seconds now{r.get_f64()};
+  const std::uint64_t next_seq = r.get_u64();
+  tailoring_.feasible = r.get_bool();
+  tailoring_.switches_off_fraction = r.get_f64();
+  tailoring_.powered_on = r.get_u32_vec();
+  tailoring_.powered_off = r.get_u32_vec();
+  r.close_section();
+
+  // Clock first: every component re-registers its pending events against
+  // the restored (now, next_seq) bounds.
+  engine_.restore_clock(now, next_seq);
+  sim_.restore_state(r);
+  injector_.restore_state(r);
+  controller_.restore_state(r);
+  if (config_.telemetry != nullptr) {
+    config_.telemetry->metrics().restore_state(r);
+    if (has_sampler) config_.telemetry->sampler().restore_state(r);
+  }
+  check_invariants();
+}
+
+void FaultExperimentRun::save_state(state::SnapshotWriter& w) const {
+  const bool has_sampler =
+      config_.telemetry != nullptr && config_.telemetry->sampler().enabled();
+  w.begin_section("fault_experiment");
+  w.put_bool(config_.tailor);
+  w.put_u64(flows_submitted_);
+  w.put_bool(config_.telemetry != nullptr);
+  w.put_bool(has_sampler);
+  w.put_f64(engine_.now().value());
+  w.put_u64(engine_.next_seq());
+  w.put_bool(tailoring_.feasible);
+  w.put_f64(tailoring_.switches_off_fraction);
+  w.put_u32_vec(tailoring_.powered_on);
+  w.put_u32_vec(tailoring_.powered_off);
+  w.end_section();
+  sim_.save_state(w);
+  injector_.save_state(w);
+  controller_.save_state(w);
+  if (config_.telemetry != nullptr) {
+    config_.telemetry->metrics().save_state(w);
+    if (has_sampler) config_.telemetry->sampler().save_state(w);
+  }
+}
+
+void FaultExperimentRun::check_invariants() const {
+  sim_.check_invariants();
+  controller_.check_invariants();
+}
+
+void FaultExperimentRun::wire_telemetry() {
+  telemetry::Telemetry* tel = config_.telemetry;
+  if (tel == nullptr) return;
+  injector_.set_event_log(&tel->events());
+  controller_.set_event_log(&tel->events());
+  controller_.set_powered_gauge(
+      tel->metrics().gauge("faults.powered_switches"));
+  if (tel->sampler().enabled()) {
+    telemetry::TimeSeriesSampler& sampler = tel->sampler();
+    sampler.track("netsim.active_flows");
+    sampler.track("netsim.stranded_flows");
+    sampler.track("netsim.mean_link_utilization");
+    sampler.track("faults.powered_switches");
+    sampler.track("faults.fabric_watts");
+    // The expensive gauges (O(links) utilization scan) are refreshed only
+    // when a row is actually due, then the row is taken. Sampling rides on
+    // reallocation events, so it never extends the event horizon.
+    sim_.set_load_listener(
+        [this, tel, switch_power = config_.switch_power](Seconds now) {
+          telemetry::TimeSeriesSampler& s = tel->sampler();
+          if (!s.due(now)) return;
+          telemetry::MetricRegistry& m = tel->metrics();
+          m.gauge("netsim.mean_link_utilization")
+              .set(sim_.current_mean_utilization());
+          const double powered =
+              static_cast<double>(controller_.powered_switches());
+          m.gauge("faults.powered_switches").set(powered);
+          m.gauge("faults.fabric_watts").set(powered * switch_power.value());
+          s.sample(now);
+        });
+  }
+}
+
+FaultExperimentResult FaultExperimentRun::finish() {
+  const Seconds end = engine_.now();
   FaultExperimentResult result;
-  if (config.tailor) result.tailoring = controller.tailor_initial();
-  injector.arm();
-  for (const FlowSpec& spec : workload) sim.submit(spec);
-  engine.run();
-
-  const Seconds end = engine.now();
-  result.realloc = sim.realloc_stats();
-  result.emergency_wakes = controller.emergency_wakes();
-  result.retailor_passes = controller.retailor_passes();
-  result.powered_at_end = controller.powered_switches();
+  result.tailoring = tailoring_;
+  result.realloc = sim_.realloc_stats();
+  result.emergency_wakes = controller_.emergency_wakes();
+  result.retailor_passes = controller_.retailor_passes();
+  result.powered_at_end = controller_.powered_switches();
   result.end = end;
-  result.fct = sim.fct_stats();
+  result.fct = sim_.fct_stats();
 
   ResilienceInput input;
-  input.flows_submitted = workload.size();
-  input.flows_completed = sim.completed().size();
-  input.flows_stranded_at_end = sim.stranded_flows();
-  input.faults_injected = injector.faults_applied();
-  input.flows_rerouted = sim.realloc_stats().reroutes;
-  input.strand_events = sim.realloc_stats().stranded;
-  input.stranded_bit_seconds = sim.stranded_bit_seconds(end);
-  for (const FlowRecord& record : sim.completed()) {
+  input.flows_submitted = flows_submitted_;
+  input.flows_completed = sim_.completed().size();
+  input.flows_stranded_at_end = sim_.stranded_flows();
+  input.faults_injected = injector_.faults_applied();
+  input.flows_rerouted = sim_.realloc_stats().reroutes;
+  input.strand_events = sim_.realloc_stats().stranded;
+  input.stranded_bit_seconds = sim_.stranded_bit_seconds(end);
+  for (const FlowRecord& record : sim_.completed()) {
     input.flow_seconds += record.fct().value();
   }
-  input.strand_durations = sim.strand_durations();
-  input.powered_switch_seconds = controller.powered_switch_seconds(end);
+  input.strand_durations = sim_.strand_durations();
+  input.powered_switch_seconds = controller_.powered_switch_seconds(end);
   input.all_on_switch_seconds =
-      static_cast<double>(topology.switches.size()) * end.value();
-  input.switch_power = config.switch_power;
+      static_cast<double>(topology_.switches.size()) * end.value();
+  input.switch_power = config_.switch_power;
   input.duration = end;
   result.report = build_resilience_report(input);
 
+  telemetry::Telemetry* tel = config_.telemetry;
   if (tel != nullptr) {
-    sim.flush_metrics();
+    sim_.flush_metrics();
     telemetry::MetricRegistry& m = tel->metrics();
-    m.counter("faults.injected").set(injector.faults_applied());
+    m.counter("faults.injected").set(injector_.faults_applied());
     m.counter("faults.emergency_wakes").set(result.emergency_wakes);
     m.counter("faults.retailor_passes").set(result.retailor_passes);
     m.gauge("faults.powered_switches")
         .set(static_cast<double>(result.powered_at_end));
     m.gauge("faults.fabric_watts")
         .set(static_cast<double>(result.powered_at_end) *
-             config.switch_power.value());
+             config_.switch_power.value());
     m.gauge("faults.powered_switch_seconds")
         .set(input.powered_switch_seconds);
     m.gauge("faults.all_on_switch_seconds").set(input.all_on_switch_seconds);
@@ -106,6 +211,14 @@ FaultExperimentResult run_fault_experiment(
     m.gauge("faults.stranded_bit_seconds").set(input.stranded_bit_seconds);
   }
   return result;
+}
+
+FaultExperimentResult run_fault_experiment(
+    const BuiltTopology& topology, const std::vector<FlowSpec>& workload,
+    const FaultSchedule& schedule, const FaultExperimentConfig& config) {
+  FaultExperimentRun run{topology, workload, schedule, config};
+  run.run();
+  return run.finish();
 }
 
 }  // namespace netpp

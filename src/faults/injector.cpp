@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "netpp/validation.h"
+
 namespace netpp {
 
 namespace {
@@ -31,14 +33,17 @@ void FaultInjector::arm() {
   if (armed_) throw std::logic_error("FaultInjector: already armed");
   armed_ = true;
   SimEngine& engine = sim_.engine();
+  scheduled_.resize(schedule_.faults.size());
   for (std::size_t i = 0; i < schedule_.faults.size(); ++i) {
-    engine.schedule_at(schedule_.faults[i].at, [this, i] { apply(i); });
-    engine.schedule_at(schedule_.faults[i].recover_at,
-                       [this, i] { repair(i); });
+    scheduled_[i].apply_event =
+        engine.schedule_at(schedule_.faults[i].at, [this, i] { apply(i); });
+    scheduled_[i].repair_event = engine.schedule_at(
+        schedule_.faults[i].recover_at, [this, i] { repair(i); });
   }
 }
 
 void FaultInjector::apply(std::size_t index) {
+  scheduled_[index].applied = true;
   const FaultSpec& f = schedule_.faults[index];
   if (events_) {
     const bool on_node = f.kind == FaultKind::kSwitchDown;
@@ -73,6 +78,7 @@ void FaultInjector::apply(std::size_t index) {
 }
 
 void FaultInjector::repair(std::size_t index) {
+  scheduled_[index].repaired = true;
   const FaultSpec& f = schedule_.faults[index];
   if (events_) {
     events_->end_span("faults", fault_event_name(f.kind), sim_.engine().now(),
@@ -91,6 +97,106 @@ void FaultInjector::repair(std::size_t index) {
       break;
   }
   if (listener_) listener_(f, /*recovery=*/true);
+}
+
+void FaultInjector::save_state(state::SnapshotWriter& w) const {
+  if (!armed_) {
+    throw std::logic_error("FaultInjector: save_state before arm()");
+  }
+  const SimEngine& engine = sim_.engine();
+  w.begin_section("fault_injector");
+  w.put_u64(schedule_.faults.size());
+  for (std::size_t i = 0; i < schedule_.faults.size(); ++i) {
+    const Scheduled& s = scheduled_[i];
+    w.put_bool(s.applied);
+    w.put_bool(s.repaired);
+    if (!s.applied) {
+      w.put_f64(engine.event_time(s.apply_event).value());
+      w.put_u64(engine.event_seq(s.apply_event));
+    }
+    if (!s.repaired) {
+      w.put_f64(engine.event_time(s.repair_event).value());
+      w.put_u64(engine.event_seq(s.repair_event));
+    }
+    w.put_bool(was_enabled_[i]);
+    w.put_f64(prior_factor_[i]);
+  }
+  w.put_u64(log_.size());
+  for (const Outcome& o : log_) {
+    w.put_u8(static_cast<std::uint8_t>(o.spec.kind));
+    w.put_u32(o.spec.node);
+    w.put_u32(o.spec.link);
+    w.put_f64(o.spec.at.value());
+    w.put_f64(o.spec.recover_at.value());
+    w.put_f64(o.spec.capacity_factor);
+    w.put_u64(o.flows_rerouted);
+    w.put_u64(o.flows_stranded);
+  }
+  w.end_section();
+}
+
+void FaultInjector::restore_state(state::SnapshotReader& r) {
+  validation::require(!armed_, "FaultInjector",
+                      "restore must target a freshly constructed injector");
+  SimEngine& engine = sim_.engine();
+  r.open_section("fault_injector");
+  if (static_cast<std::size_t>(r.get_u64()) != schedule_.faults.size()) {
+    validation::fail("FaultInjector",
+                     "snapshot fault count does not match the schedule");
+  }
+  scheduled_.assign(schedule_.faults.size(), Scheduled{});
+  for (std::size_t i = 0; i < schedule_.faults.size(); ++i) {
+    Scheduled& s = scheduled_[i];
+    s.applied = r.get_bool();
+    s.repaired = r.get_bool();
+    if (s.repaired && !s.applied) {
+      validation::fail("FaultInjector",
+                       "snapshot marks a fault repaired before it applied");
+    }
+    if (!s.applied) {
+      const Seconds at{r.get_f64()};
+      const std::uint64_t seq = r.get_u64();
+      s.apply_event =
+          engine.restore_event_at(at, seq, [this, i] { apply(i); });
+    }
+    if (!s.repaired) {
+      const Seconds at{r.get_f64()};
+      const std::uint64_t seq = r.get_u64();
+      s.repair_event =
+          engine.restore_event_at(at, seq, [this, i] { repair(i); });
+    }
+    was_enabled_[i] = r.get_bool();
+    prior_factor_[i] = r.get_f64();
+  }
+  const auto num_log = static_cast<std::size_t>(r.get_u64());
+  std::size_t applied_count = 0;
+  for (const Scheduled& s : scheduled_) {
+    if (s.applied) ++applied_count;
+  }
+  if (num_log != applied_count) {
+    validation::fail("FaultInjector",
+                     "snapshot log length must match the applied faults");
+  }
+  log_.clear();
+  log_.reserve(num_log);
+  for (std::size_t i = 0; i < num_log; ++i) {
+    Outcome o;
+    const std::uint8_t kind = r.get_u8();
+    if (kind > static_cast<std::uint8_t>(FaultKind::kLinkDegraded)) {
+      validation::fail("FaultInjector", "snapshot holds an invalid fault kind");
+    }
+    o.spec.kind = static_cast<FaultKind>(kind);
+    o.spec.node = r.get_u32();
+    o.spec.link = r.get_u32();
+    o.spec.at = Seconds{r.get_f64()};
+    o.spec.recover_at = Seconds{r.get_f64()};
+    o.spec.capacity_factor = r.get_f64();
+    o.flows_rerouted = r.get_u64();
+    o.flows_stranded = r.get_u64();
+    log_.push_back(o);
+  }
+  r.close_section();
+  armed_ = true;
 }
 
 }  // namespace netpp

@@ -67,9 +67,20 @@ LoadTrace NodeLoadRecorder::load_trace(NodeId node, int num_channels,
   if (times_.empty()) {
     throw std::logic_error("no samples recorded");
   }
-  if (end <= times_.back()) {
+  if (end < times_.back()) {
     throw std::invalid_argument(
-        "NodeLoadRecorder: end must be after the last sample");
+        "NodeLoadRecorder: end must not precede the last sample");
+  }
+  // A recording that ends exactly on the last sample's boundary drops that
+  // sample instead of emitting a zero-width final segment (which the trace
+  // validation rejects as a non-increasing segment start).
+  std::size_t usable = times_.size();
+  if (end == times_.back()) {
+    --usable;
+    if (usable == 0) {
+      throw std::invalid_argument(
+          "NodeLoadRecorder: end must be after the first sample");
+    }
   }
   const auto& info = info_.at(node);
 
@@ -83,7 +94,7 @@ LoadTrace NodeLoadRecorder::load_trace(NodeId node, int num_channels,
 
   LoadTrace trace;
   trace.end = end;
-  for (std::size_t s = 0; s < times_.size(); ++s) {
+  for (std::size_t s = 0; s < usable; ++s) {
     std::vector<double> loads(channels, 0.0);
     for (std::size_t i = 0; i < it->second[s].size(); ++i) {
       loads[i % channels] += it->second[s][i];

@@ -78,6 +78,7 @@ FlowSimulator::FlowSimulator(const Graph& graph, Router& router,
       engine_(engine),
       config_(config),
       route_cache_(router, RouteCache::Config{config.max_ecmp_paths, true}) {
+  validate_config();
   directed_capacity_bps_.reserve(graph.num_links() * 2);
   directed_rate_bps_.reserve(graph.num_links() * 2);
   for (const auto& link : graph.links()) {
@@ -102,6 +103,25 @@ FlowSimulator::FlowSimulator(const Graph& graph, Router& router,
 FlowSimulator::FlowSimulator(const Graph& graph, Router& router,
                              SimEngine& engine)
     : FlowSimulator(graph, router, engine, Config{}) {}
+
+void FlowSimulator::validate_config() const {
+  validation::require(config_.max_ecmp_paths >= 1, "FlowSimulator::Config",
+                      "max_ecmp_paths must be at least 1");
+  const double cap = config_.flow_rate_cap.value();
+  validation::require(std::isfinite(cap) && cap >= 0.0,
+                      "FlowSimulator::Config",
+                      "flow_rate_cap must be finite and non-negative "
+                      "(0 disables the cap)");
+  // The Graph constructor rejects non-positive capacities, but a simulator
+  // over a zero-capacity link would divide by zero in the share seeding;
+  // keep the guard local too.
+  for (const auto& link : graph_.links()) {
+    validation::require(std::isfinite(link.capacity.value()) &&
+                            link.capacity.value() > 0.0,
+                        "FlowSimulator::Config",
+                        "every link capacity must be finite and positive");
+  }
+}
 
 FlowSimulator::~FlowSimulator() { flush_metrics(); }
 
@@ -216,8 +236,18 @@ FlowId FlowSimulator::submit(const FlowSpec& spec) {
   validation::require_finite(spec.start.value(), "FlowSpec",
                              "start time must be finite");
   const FlowId id = next_id_++;
-  engine_.schedule_at(spec.start, [this, spec, id] { admit(spec, id); });
+  const SimEngine::EventId event =
+      engine_.schedule_at(spec.start, [this, id] { admit_pending(id); });
+  pending_submits_.emplace(id, PendingSubmit{spec, event});
   return id;
+}
+
+void FlowSimulator::admit_pending(FlowId id) {
+  const auto it = pending_submits_.find(id);
+  assert(it != pending_submits_.end());
+  const FlowSpec spec = it->second.spec;
+  pending_submits_.erase(it);
+  admit(spec, id);
 }
 
 void FlowSimulator::admit(FlowSpec spec, FlowId id) {

@@ -11,11 +11,8 @@ constexpr std::uint64_t kSlotMask = 0xffffffffull;
 
 }  // namespace
 
-SimEngine::EventId SimEngine::schedule_at(Seconds at, Callback fn) {
-  if (at < now_) {
-    throw std::invalid_argument("cannot schedule an event in the past");
-  }
-  if (!fn) throw std::invalid_argument("event callback must not be empty");
+SimEngine::EventId SimEngine::push_event(double at, std::uint64_t seq,
+                                         Callback fn) {
   std::uint32_t slot;
   if (!free_slots_.empty()) {
     slot = free_slots_.back();
@@ -28,9 +25,19 @@ SimEngine::EventId SimEngine::schedule_at(Seconds at, Callback fn) {
   ++s.gen;  // stale handles and queue entries for this slot die here
   s.live = true;
   s.fn = std::move(fn);
-  queue_.push(Entry{at.value(), next_seq_++, slot, s.gen});
+  s.at = at;
+  s.seq = seq;
+  queue_.push(Entry{at, seq, slot, s.gen});
   ++live_;
   return (static_cast<EventId>(s.gen) << 32) | slot;
+}
+
+SimEngine::EventId SimEngine::schedule_at(Seconds at, Callback fn) {
+  if (at < now_) {
+    throw std::invalid_argument("cannot schedule an event in the past");
+  }
+  if (!fn) throw std::invalid_argument("event callback must not be empty");
+  return push_event(at.value(), next_seq_++, std::move(fn));
 }
 
 SimEngine::EventId SimEngine::schedule_after(Seconds delay, Callback fn) {
@@ -53,6 +60,45 @@ bool SimEngine::cancel(EventId id) {
   // The queue entry stays behind (lazy deletion): its generation no longer
   // matches once the slot is reused, and a dead slot fails the live check.
   return true;
+}
+
+const SimEngine::Slot& SimEngine::checked_slot(EventId id) const {
+  const auto slot = static_cast<std::uint32_t>(id & kSlotMask);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slots_.size() || !slots_[slot].live || slots_[slot].gen != gen) {
+    throw std::logic_error("SimEngine: stale event handle");
+  }
+  return slots_[slot];
+}
+
+Seconds SimEngine::event_time(EventId id) const {
+  return Seconds{checked_slot(id).at};
+}
+
+std::uint64_t SimEngine::event_seq(EventId id) const {
+  return checked_slot(id).seq;
+}
+
+void SimEngine::restore_clock(Seconds now, std::uint64_t next_seq) {
+  queue_ = {};
+  slots_.clear();
+  free_slots_.clear();
+  live_ = 0;
+  now_ = now;
+  next_seq_ = next_seq;
+}
+
+SimEngine::EventId SimEngine::restore_event_at(Seconds at, std::uint64_t seq,
+                                               Callback fn) {
+  if (at < now_) {
+    throw std::invalid_argument("cannot schedule an event in the past");
+  }
+  if (seq >= next_seq_) {
+    throw std::invalid_argument(
+        "restored event seq must predate the restored FIFO counter");
+  }
+  if (!fn) throw std::invalid_argument("event callback must not be empty");
+  return push_event(at.value(), seq, std::move(fn));
 }
 
 bool SimEngine::pop_and_run() {

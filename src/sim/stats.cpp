@@ -67,6 +67,18 @@ void Histogram::add(double x) {
   }
 }
 
+void Histogram::restore(const std::vector<std::uint64_t>& bins,
+                        std::uint64_t underflow, std::uint64_t overflow,
+                        std::uint64_t total) {
+  if (bins.size() != bins_.size()) {
+    throw std::invalid_argument("Histogram: restore bin count mismatch");
+  }
+  bins_ = bins;
+  underflow_ = underflow;
+  overflow_ = overflow;
+  total_ = total;
+}
+
 double Histogram::quantile(double q) const {
   if (q < 0.0 || q > 1.0) {
     throw std::invalid_argument("Histogram: quantile q not in [0,1]");

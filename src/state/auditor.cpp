@@ -1,0 +1,48 @@
+#include "netpp/state/auditor.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "netpp/faults/degraded_mode.h"
+#include "netpp/faults/experiment.h"
+#include "netpp/netsim/flowsim.h"
+#include "netpp/power/state_timeline.h"
+
+namespace netpp::state {
+
+void InvariantAuditor::add(std::string name, std::function<void()> check) {
+  if (!check) {
+    throw std::invalid_argument("InvariantAuditor: check must be callable");
+  }
+  checks_.push_back(Check{std::move(name), std::move(check)});
+}
+
+void InvariantAuditor::watch(const FlowSimulator& sim) {
+  add("FlowSimulator", [&sim] { sim.check_invariants(); });
+}
+
+void InvariantAuditor::watch(const DegradedModeController& controller) {
+  add("DegradedModeController", [&controller] { controller.check_invariants(); });
+}
+
+void InvariantAuditor::watch(const FaultExperimentRun& run) {
+  add("FaultExperimentRun", [&run] { run.check_invariants(); });
+}
+
+void InvariantAuditor::watch(const PowerStateTimeline& timeline) {
+  add("PowerStateTimeline", [&timeline] { timeline.check_invariants(); });
+}
+
+void InvariantAuditor::audit() {
+  for (const Check& check : checks_) check.fn();
+  ++audits_passed_;
+}
+
+std::vector<std::string> InvariantAuditor::check_names() const {
+  std::vector<std::string> names;
+  names.reserve(checks_.size());
+  for (const Check& check : checks_) names.push_back(check.name);
+  return names;
+}
+
+}  // namespace netpp::state

@@ -118,6 +118,78 @@ std::vector<MetricSample> MetricRegistry::snapshot() const {
   return out;
 }
 
+void MetricRegistry::save_state(state::SnapshotWriter& w) const {
+  w.begin_section("metrics");
+  w.put_u64(entries_.size());
+  for (const Entry& entry : entries_) {
+    w.put_string(entry.name);
+    w.put_string(entry.unit);
+    w.put_string(entry.help);
+    w.put_u8(static_cast<std::uint8_t>(entry.kind));
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        w.put_u64(entry.counter.value);
+        break;
+      case MetricKind::kGauge:
+        w.put_f64(entry.gauge.value);
+        break;
+      case MetricKind::kHistogram:
+        w.put_f64_vec(entry.histogram.bounds);
+        w.put_u64_vec(entry.histogram.buckets);
+        w.put_u64(entry.histogram.count);
+        w.put_f64(entry.histogram.sum);
+        w.put_f64(entry.histogram.min);
+        w.put_f64(entry.histogram.max);
+        break;
+    }
+  }
+  w.end_section();
+}
+
+void MetricRegistry::restore_state(state::SnapshotReader& r) {
+  r.open_section("metrics");
+  const std::uint64_t n = r.get_u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::string name = r.get_string();
+    const std::string unit = r.get_string();
+    const std::string help = r.get_string();
+    const std::uint8_t kind = r.get_u8();
+    validation::require(
+        kind <= static_cast<std::uint8_t>(MetricKind::kHistogram),
+        "MetricRegistry", "snapshot holds an invalid metric kind");
+    switch (static_cast<MetricKind>(kind)) {
+      case MetricKind::kCounter: {
+        Entry& entry = find_or_create(name, MetricKind::kCounter, unit, help);
+        entry.counter.value = r.get_u64();
+        break;
+      }
+      case MetricKind::kGauge: {
+        Entry& entry = find_or_create(name, MetricKind::kGauge, unit, help);
+        entry.gauge.value = r.get_f64();
+        break;
+      }
+      case MetricKind::kHistogram: {
+        auto bounds = r.get_f64_vec();
+        // Route through histogram() so bound validation and the
+        // re-registration mismatch check both apply.
+        (void)histogram(name, bounds, unit, help);
+        Entry& entry = find_or_create(name, MetricKind::kHistogram, unit, help);
+        auto buckets = r.get_u64_vec();
+        validation::require(buckets.size() == entry.histogram.buckets.size(),
+                            "MetricRegistry",
+                            "snapshot histogram bucket count mismatch");
+        entry.histogram.buckets = std::move(buckets);
+        entry.histogram.count = r.get_u64();
+        entry.histogram.sum = r.get_f64();
+        entry.histogram.min = r.get_f64();
+        entry.histogram.max = r.get_f64();
+        break;
+      }
+    }
+  }
+  r.close_section();
+}
+
 std::uint64_t MetricRegistry::counter_value(const std::string& name) const {
   return find(name, MetricKind::kCounter).counter.value;
 }

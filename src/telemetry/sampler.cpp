@@ -37,6 +37,52 @@ void TimeSeriesSampler::sample(Seconds now) {
   next_due_ = now.value() + period_.value();
 }
 
+void TimeSeriesSampler::save_state(state::SnapshotWriter& w) const {
+  w.begin_section("sampler");
+  w.put_f64(period_.value());
+  w.put_f64(next_due_);
+  w.put_u64(times_.size());
+  for (Seconds t : times_) w.put_f64(t.value());
+  w.put_u64(series_.size());
+  for (const Series& s : series_) {
+    w.put_string(s.name);
+    w.put_f64_vec(s.values);
+  }
+  w.end_section();
+}
+
+void TimeSeriesSampler::restore_state(state::SnapshotReader& r) {
+  r.open_section("sampler");
+  const double period = r.get_f64();
+  validation::require(std::isfinite(period) && period >= 0.0,
+                      "TimeSeriesSampler",
+                      "snapshot period must be finite and non-negative");
+  const double next_due = r.get_f64();
+  const std::uint64_t num_times = r.get_u64();
+  std::vector<Seconds> times;
+  times.reserve(static_cast<std::size_t>(num_times));
+  for (std::uint64_t i = 0; i < num_times; ++i) {
+    times.emplace_back(r.get_f64());
+  }
+  const std::uint64_t num_series = r.get_u64();
+  std::vector<Series> series;
+  series.reserve(static_cast<std::size_t>(num_series));
+  for (std::uint64_t i = 0; i < num_series; ++i) {
+    Series s;
+    s.name = r.get_string();
+    s.gauge = registry_.gauge(s.name);
+    s.values = r.get_f64_vec();
+    validation::require(s.values.size() == times.size(), "TimeSeriesSampler",
+                        "snapshot series rows must align with the time axis");
+    series.push_back(std::move(s));
+  }
+  period_ = Seconds{period};
+  next_due_ = next_due;
+  times_ = std::move(times);
+  series_ = std::move(series);
+  r.close_section();
+}
+
 void TimeSeriesSampler::arm(SimEngine& engine, Seconds until) {
   validation::require(period_.value() > 0.0, "TimeSeriesSampler",
                       "arm() needs a positive period");

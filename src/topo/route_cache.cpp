@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "netpp/validation.h"
+
 namespace netpp {
 
 namespace {
@@ -184,6 +186,121 @@ RouteResult RouteCache::find_paths_copy(NodeId src, NodeId dst) {
     out.paths.push_back(Path{src, dst, view.path(i).links()});
   }
   return out;
+}
+
+void RouteCache::save_state(state::SnapshotWriter& w) const {
+  w.begin_section("route_cache");
+  w.put_u64(static_cast<std::uint64_t>(config_.max_paths));
+  w.put_bool(config_.symmetry);
+  w.put_u64_vec(keys_);
+  w.put_u32_vec(slots_);
+  w.put_u64(occupied_);
+  w.put_u64(entries_.size());
+  for (const Entry& e : entries_) {
+    w.put_u32(e.begin);
+    w.put_u32(e.num_paths);
+    w.put_u32(e.hops);
+    w.put_u8(static_cast<std::uint8_t>(e.status));
+  }
+  w.put_u32_vec(pool_);
+  w.put_u64(epoch_);
+  w.put_u64(hits_);
+  w.put_u64(misses_);
+  w.put_u64(epoch_flushes_);
+  w.end_section();
+}
+
+void RouteCache::restore_state(state::SnapshotReader& r) {
+  r.open_section("route_cache");
+  const auto max_paths = static_cast<std::size_t>(r.get_u64());
+  const bool symmetry = r.get_bool();
+  if (max_paths != config_.max_paths || symmetry != config_.symmetry) {
+    validation::fail("RouteCache",
+                     "snapshot config does not match this cache's config");
+  }
+  auto keys = r.get_u64_vec();
+  auto slots = r.get_u32_vec();
+  const std::uint64_t occupied = r.get_u64();
+  if (keys.empty() || (keys.size() & (keys.size() - 1)) != 0 ||
+      keys.size() != slots.size() || occupied > keys.size()) {
+    validation::fail("RouteCache", "corrupt snapshot hash table");
+  }
+  const std::uint64_t num_entries = r.get_u64();
+  std::vector<Entry> entries(static_cast<std::size_t>(num_entries));
+  for (Entry& e : entries) {
+    e.begin = r.get_u32();
+    e.num_paths = r.get_u32();
+    e.hops = r.get_u32();
+    const std::uint8_t status = r.get_u8();
+    if (status > static_cast<std::uint8_t>(RouteStatus::kDisconnected)) {
+      validation::fail("RouteCache", "corrupt snapshot route status");
+    }
+    e.status = static_cast<RouteStatus>(status);
+  }
+  auto pool = r.get_u32_vec();
+  for (const Entry& e : entries) {
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(e.num_paths) * e.hops;
+    if (e.begin > pool.size() || span > pool.size() - e.begin) {
+      validation::fail("RouteCache", "snapshot entry spans past the path pool");
+    }
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (keys[i] != kEmptyKey && slots[i] >= entries.size()) {
+      validation::fail("RouteCache", "snapshot slot points past the entries");
+    }
+  }
+  keys_ = std::move(keys);
+  slots_ = std::move(slots);
+  occupied_ = static_cast<std::size_t>(occupied);
+  entries_ = std::move(entries);
+  pool_ = std::move(pool);
+  epoch_ = r.get_u64();
+  hits_ = r.get_u64();
+  misses_ = r.get_u64();
+  epoch_flushes_ = r.get_u64();
+  r.close_section();
+}
+
+void RouteCache::check_agreement() const {
+  if (epoch_ != router_.topology_epoch()) return;  // stale: flushes lazily
+  const Graph& graph = router_.graph();
+  for (std::size_t slot = 0; slot < keys_.size(); ++slot) {
+    if (keys_[slot] == kEmptyKey) continue;
+    const auto a = static_cast<NodeId>(keys_[slot] >> 32);
+    const auto b = static_cast<NodeId>(keys_[slot] & 0xffffffffu);
+    const Entry& e = entries_[slots_[slot]];
+    if (e.status != RouteStatus::kOk) continue;
+    for (std::uint32_t p = 0; p < e.num_paths; ++p) {
+      NodeId at = a;
+      for (std::uint32_t h = 0; h < e.hops; ++h) {
+        const LinkId l = pool_[e.begin + p * e.hops + h];
+        if (l >= graph.num_links()) {
+          validation::fail("RouteCache",
+                           "cached path references a link outside the graph");
+        }
+        const Link& link = graph.link(l);
+        if (link.a != at && link.b != at) {
+          validation::fail("RouteCache",
+                           "cached path links do not form a walk");
+        }
+        if (!router_.link_enabled(l)) {
+          validation::fail("RouteCache",
+                           "current-epoch cached path crosses a disabled link");
+        }
+        at = link.other(at);
+        if (h + 1 < e.hops && at != b && !router_.node_enabled(at)) {
+          validation::fail(
+              "RouteCache",
+              "current-epoch cached path transits a disabled node");
+        }
+      }
+      if (at != b) {
+        validation::fail("RouteCache",
+                         "cached path does not reach the canonical endpoint");
+      }
+    }
+  }
 }
 
 RouteCacheStats RouteCache::stats() const {

@@ -134,19 +134,46 @@ TEST(NodeLoadRecorder, SingleSampleYieldsOneSegment) {
   EXPECT_DOUBLE_EQ(trace.loads[0][0], 0.0);
 }
 
-TEST(NodeLoadRecorder, EndMustBeAfterTheLastSample) {
-  // The open final segment needs an explicit end — truncating to the last
-  // sample would silently drop it.
+TEST(NodeLoadRecorder, EndMustNotPrecedeTheLastSample) {
+  // The open final segment needs an explicit end — truncating before the
+  // last sample would silently drop recorded load.
   Rig rig;
   NodeLoadRecorder recorder{rig.sim, {rig.leaf}};
   recorder.sample(0.0_s);
   recorder.sample(1.0_s);
-  EXPECT_THROW((void)recorder.load_trace(rig.leaf, 1, 1.0_s),
-               std::invalid_argument);
   EXPECT_THROW((void)recorder.load_trace(rig.leaf, 1, 0.5_s),
                std::invalid_argument);
   EXPECT_NO_THROW((void)recorder.load_trace(rig.leaf, 1, 1.5_s));
   EXPECT_THROW((void)recorder.load_trace(rig.leaf, 0, 1.5_s),
+               std::invalid_argument);
+}
+
+TEST(NodeLoadRecorder, EndOnSegmentBoundaryDropsTheZeroWidthSegment) {
+  // Regression: a recording that ends exactly at its last sample time used
+  // to throw; it must instead drop the zero-width final segment — the last
+  // sample carries no duration, and emitting it would fail the trace's
+  // strictly-increasing segment validation.
+  Rig rig;
+  NodeLoadRecorder recorder{rig.sim, {rig.leaf}};
+  recorder.sample(0.0_s);
+  recorder.sample(1.0_s);
+  recorder.sample(2.0_s);
+
+  const LoadTrace trace = recorder.load_trace(rig.leaf, 1, 2.0_s);
+  EXPECT_NO_THROW(trace.validate());
+  ASSERT_EQ(trace.num_segments(), 1u);  // equal idle loads collapse to one
+  EXPECT_DOUBLE_EQ(trace.times.front().value(), 0.0);
+  EXPECT_DOUBLE_EQ(trace.end.value(), 2.0);
+  EXPECT_DOUBLE_EQ(trace.segment_end(0).value(), 2.0);
+
+  // The adapters inherit the fix.
+  EXPECT_NO_THROW(recorder.aggregate_trace(rig.leaf, 2.0_s).validate());
+  EXPECT_NO_THROW(recorder.pipeline_trace(rig.leaf, 2, 2.0_s).validate(2));
+
+  // A single sample that lands exactly on the end has no width at all.
+  NodeLoadRecorder lone{rig.sim, {rig.leaf}};
+  lone.sample(1.0_s);
+  EXPECT_THROW((void)lone.load_trace(rig.leaf, 1, 1.0_s),
                std::invalid_argument);
 }
 

@@ -1,0 +1,310 @@
+// Snapshot format contract: exact round-tripping (doubles bitwise, arrays,
+// strings), and typed "SnapshotReader: constraint" rejection of every
+// malformed input — truncation, corruption, version skew, wrong section
+// order, unconsumed payload — never UB. Plus the InvariantAuditor's
+// check-registry semantics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "netpp/state/auditor.h"
+#include "netpp/state/snapshot.h"
+
+namespace netpp::state {
+namespace {
+
+std::vector<std::uint8_t> one_section_snapshot() {
+  SnapshotWriter w;
+  w.begin_section("demo");
+  w.put_u32(7);
+  w.put_f64(3.25);
+  w.put_string("hello");
+  w.end_section();
+  return w.buffer();
+}
+
+TEST(Snapshot, ScalarsRoundTripBitwise) {
+  SnapshotWriter w;
+  w.begin_section("scalars");
+  w.put_u8(0xab);
+  w.put_bool(true);
+  w.put_bool(false);
+  w.put_u32(0xdeadbeef);
+  w.put_u64(0x0123456789abcdefULL);
+  w.put_i64(-42);
+  w.put_string("§unicode✓");
+  w.end_section();
+
+  SnapshotReader r{w.buffer()};
+  r.open_section("scalars");
+  EXPECT_EQ(r.get_u8(), 0xab);
+  EXPECT_TRUE(r.get_bool());
+  EXPECT_FALSE(r.get_bool());
+  EXPECT_EQ(r.get_u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.get_u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.get_i64(), -42);
+  EXPECT_EQ(r.get_string(), "§unicode✓");
+  r.close_section();
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Snapshot, DoublesRoundTripEveryBitPattern) {
+  // The bit-identity guarantee hinges on these: -0.0, infinities, NaN
+  // payloads, subnormals, and values that decimal text would round.
+  const double values[] = {
+      0.0,
+      -0.0,
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::quiet_NaN(),
+      std::numeric_limits<double>::denorm_min(),
+      -std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::max(),
+      std::numeric_limits<double>::epsilon(),
+      0.1 + 0.2,  // != 0.3: must survive exactly
+      1.0 / 3.0,
+  };
+  SnapshotWriter w;
+  w.begin_section("doubles");
+  for (double v : values) w.put_f64(v);
+  w.end_section();
+
+  SnapshotReader r{w.buffer()};
+  r.open_section("doubles");
+  for (double v : values) {
+    const double got = r.get_f64();
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(got),
+              std::bit_cast<std::uint64_t>(v));
+  }
+  r.close_section();
+}
+
+TEST(Snapshot, VectorsAndArraysRoundTrip) {
+  const std::vector<std::uint8_t> u8s{1, 2, 255};
+  const std::vector<std::uint32_t> u32s{0, 42, 0xffffffffu};
+  const std::vector<std::uint64_t> u64s{1ULL << 63, 7};
+  const std::vector<double> f64s{-1.5, 2.5e300, -0.0};
+  SnapshotWriter w;
+  w.begin_section("vecs");
+  w.put_u8_vec(u8s);
+  w.put_u32_vec(u32s);
+  w.put_u64_vec(u64s);
+  w.put_f64_vec(f64s);
+  w.put_u32_array(u32s.data(), u32s.size());
+  w.put_u8_array(u8s.data(), u8s.size());
+  w.put_u8_array(nullptr, 0);  // empty arrays are legal
+  w.end_section();
+
+  SnapshotReader r{w.buffer()};
+  r.open_section("vecs");
+  EXPECT_EQ(r.get_u8_vec(), u8s);
+  EXPECT_EQ(r.get_u32_vec(), u32s);
+  EXPECT_EQ(r.get_u64_vec(), u64s);
+  EXPECT_EQ(r.get_f64_vec(), f64s);
+  std::vector<std::uint32_t> u32_out(u32s.size());
+  r.get_u32_array(u32_out.data(), u32_out.size());
+  EXPECT_EQ(u32_out, u32s);
+  std::vector<std::uint8_t> u8_out(u8s.size());
+  r.get_u8_array(u8_out.data(), u8_out.size());
+  EXPECT_EQ(u8_out, u8s);
+  r.get_u8_array(nullptr, 0);
+  r.close_section();
+}
+
+TEST(Snapshot, ArrayCountMismatchIsTyped) {
+  SnapshotWriter w;
+  w.begin_section("s");
+  const std::uint32_t three[] = {1, 2, 3};
+  w.put_u32_array(three, 3);
+  w.end_section();
+  SnapshotReader r{w.buffer()};
+  r.open_section("s");
+  std::uint32_t out[2];
+  EXPECT_THROW(r.get_u32_array(out, 2), std::invalid_argument);
+}
+
+TEST(Snapshot, MultipleSectionsReadInOrder) {
+  SnapshotWriter w;
+  w.begin_section("first");
+  w.put_u32(1);
+  w.end_section();
+  w.begin_section("second");
+  w.put_u32(2);
+  w.end_section();
+
+  SnapshotReader r{w.buffer()};
+  r.open_section("first");
+  EXPECT_EQ(r.get_u32(), 1u);
+  r.close_section();
+  r.open_section("second");
+  EXPECT_EQ(r.get_u32(), 2u);
+  r.close_section();
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Snapshot, WrongSectionNameRejected) {
+  SnapshotReader r{one_section_snapshot()};
+  EXPECT_THROW(r.open_section("other"), std::invalid_argument);
+}
+
+TEST(Snapshot, BadMagicRejected) {
+  auto bytes = one_section_snapshot();
+  bytes[0] ^= 0xff;
+  EXPECT_THROW(SnapshotReader{bytes}, std::invalid_argument);
+}
+
+TEST(Snapshot, WrongVersionRejected) {
+  auto bytes = one_section_snapshot();
+  bytes[8] ^= 0xff;  // version u32 follows the 8-byte magic
+  EXPECT_THROW(SnapshotReader{bytes}, std::invalid_argument);
+}
+
+TEST(Snapshot, EveryTruncationRejectedNotUB) {
+  const auto bytes = one_section_snapshot();
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    std::vector<std::uint8_t> cut(bytes.begin(),
+                                  bytes.begin() + static_cast<long>(len));
+    EXPECT_THROW(
+        {
+          SnapshotReader r{std::move(cut)};
+          r.open_section("demo");
+          (void)r.get_u32();
+          (void)r.get_f64();
+          (void)r.get_string();
+          r.close_section();
+        },
+        std::invalid_argument)
+        << "truncated to " << len << " bytes";
+  }
+}
+
+TEST(Snapshot, EverySingleByteCorruptionRejected) {
+  // Any flipped payload/frame byte must surface as a typed error — either a
+  // CRC mismatch, a frame validation failure, or a value-level constraint.
+  const auto bytes = one_section_snapshot();
+  for (std::size_t i = 12; i < bytes.size(); ++i) {  // past magic+version
+    auto corrupt = bytes;
+    corrupt[i] ^= 0x01;
+    try {
+      SnapshotReader r{std::move(corrupt)};
+      r.open_section("demo");
+      (void)r.get_u32();
+      (void)r.get_f64();
+      (void)r.get_string();
+      r.close_section();
+      // A flip inside the f64 payload changes the value but stays a valid
+      // frame only if the CRC also matched — impossible for 1-bit flips.
+      FAIL() << "corruption at byte " << i << " was not detected";
+    } catch (const std::invalid_argument&) {
+      // expected
+    }
+  }
+}
+
+TEST(Snapshot, TrailingGarbageRejected) {
+  auto bytes = one_section_snapshot();
+  bytes.push_back(0x00);
+  SnapshotReader r{std::move(bytes)};
+  r.open_section("demo");
+  (void)r.get_u32();
+  (void)r.get_f64();
+  (void)r.get_string();
+  r.close_section();
+  EXPECT_FALSE(r.at_end());
+  EXPECT_THROW(r.open_section("next"), std::invalid_argument);
+}
+
+TEST(Snapshot, UnconsumedPayloadRejectedOnClose) {
+  SnapshotReader r{one_section_snapshot()};
+  r.open_section("demo");
+  (void)r.get_u32();
+  EXPECT_THROW(r.close_section(), std::invalid_argument);
+}
+
+TEST(Snapshot, ReadingPastSectionEndRejected) {
+  SnapshotReader r{one_section_snapshot()};
+  r.open_section("demo");
+  (void)r.get_u32();
+  (void)r.get_f64();
+  (void)r.get_string();
+  EXPECT_THROW((void)r.get_u64(), std::invalid_argument);
+}
+
+TEST(Snapshot, WriterMisuseIsLogicError) {
+  SnapshotWriter w;
+  EXPECT_THROW(w.put_u32(1), std::logic_error);  // no section open
+  w.begin_section("s");
+  EXPECT_THROW(w.begin_section("t"), std::logic_error);  // nested
+  EXPECT_THROW((void)w.buffer(), std::logic_error);      // still open
+  w.end_section();
+  EXPECT_THROW(w.end_section(), std::logic_error);  // nothing open
+}
+
+TEST(Snapshot, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/snapshot_test.nppsnap";
+  SnapshotWriter w;
+  w.begin_section("file");
+  w.put_f64(-0.0);
+  w.put_u64(99);
+  w.end_section();
+  w.write_file(path);
+
+  SnapshotReader r = SnapshotReader::from_file(path);
+  r.open_section("file");
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(r.get_f64()),
+            std::bit_cast<std::uint64_t>(-0.0));
+  EXPECT_EQ(r.get_u64(), 99u);
+  r.close_section();
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, MissingFileRejected) {
+  EXPECT_THROW(SnapshotReader::from_file("/nonexistent/path.nppsnap"),
+               std::invalid_argument);
+}
+
+TEST(Snapshot, Crc32MatchesKnownVector) {
+  // The IEEE 802.3 check value for "123456789".
+  const char* s = "123456789";
+  EXPECT_EQ(crc32(s, 9), 0xcbf43926u);
+  // Chained computation equals one-shot.
+  EXPECT_EQ(crc32(s + 4, 5, crc32(s, 4)), crc32(s, 9));
+}
+
+TEST(InvariantAuditor, RunsChecksInOrderAndCounts) {
+  InvariantAuditor auditor;
+  std::vector<int> order;
+  auditor.add("a", [&order] { order.push_back(1); });
+  auditor.add("b", [&order] { order.push_back(2); });
+  EXPECT_EQ(auditor.num_checks(), 2u);
+  EXPECT_EQ(auditor.check_names(), (std::vector<std::string>{"a", "b"}));
+  auditor.audit();
+  auditor.audit();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 1, 2}));
+  EXPECT_EQ(auditor.audits_passed(), 2u);
+}
+
+TEST(InvariantAuditor, FailurePropagatesAndDoesNotCountAsPassed) {
+  InvariantAuditor auditor;
+  auditor.add("ok", [] {});
+  auditor.add("bad", [] {
+    throw std::invalid_argument("Component: books must balance");
+  });
+  EXPECT_THROW(auditor.audit(), std::invalid_argument);
+  EXPECT_EQ(auditor.audits_passed(), 0u);
+}
+
+TEST(InvariantAuditor, RejectsUncallableCheck) {
+  InvariantAuditor auditor;
+  EXPECT_THROW(auditor.add("null", std::function<void()>{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace netpp::state

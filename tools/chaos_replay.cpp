@@ -1,0 +1,350 @@
+// Seeded chaos harness for the snapshot/restore subsystem.
+//
+// Each seed composes a randomized scenario — Poisson traffic over a
+// leaf-spine fabric, a generated fault storm, a degraded-mode policy, and
+// (sometimes) an attached telemetry bundle — then runs it three ways:
+//
+//   1. straight-line: run to the end, hash the final state snapshot;
+//   2. chaos: interrupt the run at 1-3 random event boundaries, snapshot,
+//      restore into a fresh object (sometimes forking twice from the same
+//      bytes and checking the forks agree), continue, hash the final state;
+//   3. sabotage: flip one random byte of a mid-run snapshot and require the
+//      typed "SnapshotReader:"/component rejection instead of UB.
+//
+// A separate stage drives a PowerStateTimeline through a pseudorandom
+// transition sequence with a mid-drive save/restore and compares energy
+// integrals bitwise.
+//
+// Any divergence between the chaos run's final hash and the straight-line
+// hash — or any non-typed failure on damaged input — is a determinism bug;
+// the tool prints it and exits non-zero. The CI chaos job runs this under
+// ASan/UBSan.
+//
+//   chaos_replay [--seeds N] [--verbose]
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "netpp/faults/experiment.h"
+#include "netpp/power/state_timeline.h"
+#include "netpp/state/snapshot.h"
+#include "netpp/telemetry/telemetry.h"
+#include "netpp/topo/builders.h"
+#include "netpp/traffic/generators.h"
+
+namespace {
+
+using namespace netpp;
+using namespace netpp::literals;
+
+/// splitmix64: tiny deterministic PRNG for scenario composition. Kept local
+/// so the harness never depends on ambient randomness.
+struct Rng {
+  std::uint64_t state;
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  /// Uniform in [0, n).
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) {
+    const double u =
+        static_cast<double>(next() >> 11) * 0x1.0p-53;  // [0, 1)
+    return lo + (hi - lo) * u;
+  }
+  bool chance(double p) { return uniform(0.0, 1.0) < p; }
+};
+
+struct Scenario {
+  BuiltTopology topo;
+  std::vector<FlowSpec> workload;
+  FaultSchedule schedule;
+  FaultExperimentConfig config;
+  bool telemetry = false;
+  bool sampler = false;
+};
+
+Scenario make_scenario(Rng& rng) {
+  const int leaves = 2 + static_cast<int>(rng.below(3));
+  Scenario s{build_leaf_spine(leaves, 2, 2, 100_Gbps, 100_Gbps),
+             {}, {}, {}, false, false};
+
+  PoissonTrafficConfig traffic;
+  traffic.arrivals_per_second = rng.uniform(30.0, 90.0);
+  traffic.max_size = Bits::from_gigabits(rng.uniform(1.0, 3.0));
+  traffic.duration = Seconds{1.0};
+  traffic.seed = rng.next();
+  s.workload = make_poisson_traffic(s.topo.hosts, traffic);
+
+  // Fault storm: seeded generator over both device classes, short MTBF so
+  // several faults land inside the run.
+  FaultGeneratorConfig faults;
+  faults.switches = DeviceReliability{Seconds{rng.uniform(0.8, 2.5)},
+                                      Seconds{rng.uniform(0.2, 0.6)}};
+  faults.links = DeviceReliability{Seconds{rng.uniform(1.5, 4.0)},
+                                   Seconds{rng.uniform(0.2, 0.6)}};
+  faults.degraded_fraction = 0.25;
+  faults.horizon = Seconds{2.0};
+  faults.seed = rng.next();
+  s.schedule = FaultGenerator{faults}.generate(s.topo.graph);
+
+  s.config.tailor = rng.chance(0.5);
+  const std::uint64_t policy = rng.below(3);
+  s.config.degraded.policy = policy == 0   ? DegradedPolicy::kNone
+                             : policy == 1 ? DegradedPolicy::kEmergencyWakeAll
+                                           : DegradedPolicy::kRetailor;
+  s.config.degraded.wake_latency = Seconds::from_milliseconds(30.0);
+  s.config.degraded.min_headroom = rng.chance(0.5) ? 0.0 : 0.1;
+  for (std::size_t i = 0; i < s.topo.hosts.size(); ++i) {
+    s.config.demands.push_back(TrafficDemand{
+        s.topo.hosts[i], s.topo.hosts[(i + 1) % s.topo.hosts.size()],
+        15_Gbps});
+  }
+  s.telemetry = rng.chance(0.5);
+  s.sampler = s.telemetry && rng.chance(0.5);
+  return s;
+}
+
+std::unique_ptr<telemetry::Telemetry> make_bundle(const Scenario& s) {
+  if (!s.telemetry) return nullptr;
+  telemetry::TelemetryConfig config;
+  config.events = true;
+  config.sample_period = Seconds{s.sampler ? 0.05 : 0.0};
+  return std::make_unique<telemetry::Telemetry>(config);
+}
+
+std::uint32_t snapshot_hash(const FaultExperimentRun& run) {
+  state::SnapshotWriter w;
+  run.save_state(w);
+  return state::crc32(w.buffer().data(), w.buffer().size());
+}
+
+bool verbose = false;
+
+/// One seed's fault-experiment chaos cycle. Returns false on divergence.
+bool chaos_fault_experiment(std::uint64_t seed) {
+  Rng rng{0x700d0000u + seed};
+  const Scenario s = make_scenario(rng);
+
+  // Straight-line reference.
+  auto tel_a = make_bundle(s);
+  FaultExperimentConfig config_a = s.config;
+  config_a.telemetry = tel_a.get();
+  FaultExperimentRun a{s.topo, s.workload, s.schedule, config_a};
+  a.run();
+  (void)a.finish();
+  const std::uint32_t want = snapshot_hash(a);
+
+  // Chaos run: random interrupt/restore cycles, occasionally forked.
+  auto tel = make_bundle(s);
+  FaultExperimentConfig config_b = s.config;
+  config_b.telemetry = tel.get();
+  auto run = std::make_unique<FaultExperimentRun>(s.topo, s.workload,
+                                                  s.schedule, config_b);
+  const int cuts = 1 + static_cast<int>(rng.below(3));
+  double at = 0.0;
+  std::vector<std::uint8_t> sabotage_bytes;
+  for (int c = 0; c < cuts; ++c) {
+    at += rng.uniform(0.1, 0.6);
+    run->run_until(Seconds{at});
+    run->check_invariants();
+    state::SnapshotWriter w;
+    run->save_state(w);
+    if (sabotage_bytes.empty()) sabotage_bytes = w.buffer();
+
+    if (rng.chance(0.4)) {
+      // Fork: two restores from the same bytes must agree with each other.
+      auto tel_f1 = make_bundle(s);
+      auto tel_f2 = make_bundle(s);
+      FaultExperimentConfig cf1 = s.config;
+      cf1.telemetry = tel_f1.get();
+      FaultExperimentConfig cf2 = s.config;
+      cf2.telemetry = tel_f2.get();
+      state::SnapshotReader r1{w.buffer()};
+      state::SnapshotReader r2{w.buffer()};
+      FaultExperimentRun f1{s.topo, s.workload, s.schedule, cf1, r1};
+      FaultExperimentRun f2{s.topo, s.workload, s.schedule, cf2, r2};
+      f1.run();
+      f2.run();
+      if (snapshot_hash(f1) != snapshot_hash(f2)) {
+        std::fprintf(stderr, "seed %llu: forks diverged at cut %d\n",
+                     static_cast<unsigned long long>(seed), c);
+        return false;
+      }
+    }
+
+    // Continue from the snapshot in a fresh object (drop the old one).
+    auto tel_next = make_bundle(s);
+    FaultExperimentConfig config_c = s.config;
+    config_c.telemetry = tel_next.get();
+    state::SnapshotReader r{w.buffer()};
+    run = std::make_unique<FaultExperimentRun>(s.topo, s.workload, s.schedule,
+                                               config_c, r);
+    tel = std::move(tel_next);
+  }
+  run->run();
+  (void)run->finish();
+  const std::uint32_t got = snapshot_hash(*run);
+  if (got != want) {
+    std::fprintf(stderr,
+                 "seed %llu: chaos run hash %08x != straight-line %08x\n",
+                 static_cast<unsigned long long>(seed), got, want);
+    return false;
+  }
+
+  // Sabotage: one flipped byte (past the header) must be rejected with a
+  // typed error — never accepted, never UB.
+  if (sabotage_bytes.size() > 16) {
+    const std::size_t pos = 12 + rng.below(sabotage_bytes.size() - 12);
+    sabotage_bytes[pos] ^= 0x01;
+    try {
+      auto tel_x = make_bundle(s);
+      FaultExperimentConfig config_x = s.config;
+      config_x.telemetry = tel_x.get();
+      state::SnapshotReader r{sabotage_bytes};
+      FaultExperimentRun x{s.topo, s.workload, s.schedule, config_x, r};
+      std::fprintf(stderr,
+                   "seed %llu: corrupted snapshot (byte %zu) was accepted\n",
+                   static_cast<unsigned long long>(seed), pos);
+      return false;
+    } catch (const std::invalid_argument&) {
+      // expected: typed rejection
+    }
+  }
+  return true;
+}
+
+/// One seed's PowerStateTimeline drive with a mid-drive save/restore fork.
+bool chaos_timeline(std::uint64_t seed) {
+  Rng rng{0x11e11e00u + seed};
+  const int components = 4 + static_cast<int>(rng.below(13));
+  TransitionRules rules;
+  rules.wake_latency = Seconds{rng.uniform(0.0, 0.05)};
+  rules.min_dwell = Seconds{rng.uniform(0.0, 0.1)};
+  rules.level_hysteresis = rng.chance(0.5) ? 0.0 : 0.1;
+
+  const auto power = [](std::span<const ComponentTrack> tracks) {
+    double watts = 0.0;
+    for (const auto& t : tracks) {
+      if (t.state == PowerState::kOn) watts += 50.0 + 250.0 * t.level;
+      if (t.state == PowerState::kWaking || t.state == PowerState::kSleep)
+        watts += 50.0;
+    }
+    return Watts{watts};
+  };
+  const auto baseline = [](std::span<const ComponentTrack> tracks) {
+    return Watts{300.0 * static_cast<double>(tracks.size())};
+  };
+
+  // The same pseudorandom op tape drives both the reference and the resumed
+  // timeline; replay determinism comes from sharing the tape, not the RNG.
+  struct Op {
+    int kind;  // 0 wake_one, 1 park_one, 2 request_level, 3 advance
+    int component;
+    double value;
+  };
+  std::vector<Op> tape;
+  double t = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const int kind = static_cast<int>(rng.below(4));
+    Op op{kind, static_cast<int>(rng.below(
+                    static_cast<std::uint64_t>(components))),
+          0.0};
+    if (kind == 2) op.value = rng.uniform(0.2, 1.0);
+    if (kind == 3) {
+      t += rng.uniform(0.001, 0.05);
+      op.value = t;
+    }
+    tape.push_back(op);
+  }
+
+  const auto drive = [&](PowerStateTimeline& tl, std::size_t from,
+                         std::size_t to) {
+    for (std::size_t i = from; i < to; ++i) {
+      const Op& op = tape[i];
+      switch (op.kind) {
+        case 0: (void)tl.wake_one(); break;
+        case 1: (void)tl.park_one(); break;
+        case 2: (void)tl.request_level(op.component, op.value); break;
+        default: tl.advance_to(Seconds{op.value}); break;
+      }
+    }
+  };
+
+  PowerStateTimeline ref{components, rules};
+  ref.set_power_model(power, baseline);
+  drive(ref, 0, tape.size());
+  state::SnapshotWriter end_ref;
+  ref.save_state(end_ref);
+
+  const std::size_t cut = tape.size() / 2 + rng.below(tape.size() / 4);
+  PowerStateTimeline half{components, rules};
+  half.set_power_model(power, baseline);
+  drive(half, 0, cut);
+  state::SnapshotWriter mid;
+  half.save_state(mid);
+
+  PowerStateTimeline resumed{components, rules};
+  state::SnapshotReader r{mid.buffer()};
+  resumed.restore_state(r);
+  resumed.set_power_model(power, baseline);
+  drive(resumed, cut, tape.size());
+  state::SnapshotWriter end_resumed;
+  resumed.save_state(end_resumed);
+
+  if (end_ref.buffer() != end_resumed.buffer()) {
+    std::fprintf(stderr, "seed %llu: timeline resume diverged at op %zu\n",
+                 static_cast<unsigned long long>(seed), cut);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seeds = 16;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
+      seeds = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      verbose = true;
+    } else {
+      std::fprintf(stderr, "usage: chaos_replay [--seeds N] [--verbose]\n");
+      return 2;
+    }
+  }
+
+  std::uint64_t failures = 0;
+  for (std::uint64_t seed = 0; seed < seeds; ++seed) {
+    bool ok = true;
+    try {
+      ok = chaos_fault_experiment(seed) && chaos_timeline(seed);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "seed %llu: unexpected exception: %s\n",
+                   static_cast<unsigned long long>(seed), e.what());
+      ok = false;
+    }
+    if (!ok) ++failures;
+    if (verbose || !ok) {
+      std::printf("seed %llu: %s\n", static_cast<unsigned long long>(seed),
+                  ok ? "ok" : "FAILED");
+    }
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "chaos_replay: %llu of %llu seeds failed\n",
+                 static_cast<unsigned long long>(failures),
+                 static_cast<unsigned long long>(seeds));
+    return 1;
+  }
+  std::printf("chaos_replay: %llu seeds ok\n",
+              static_cast<unsigned long long>(seeds));
+  return 0;
+}

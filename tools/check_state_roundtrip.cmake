@@ -1,0 +1,71 @@
+# Snapshot round-trip smoke test for the netpp_cli --save-state/--load-state
+# flags, and fixture setup for the snapshot error-path tests.
+#
+#   faults: the straight-line run's report must match the save-then-restore
+#           run's report byte for byte (the bit-identity contract, observed
+#           through the CSV table).
+#   mech:   the metrics JSON re-exported from a restored registry must match
+#           the JSON exported by the live run.
+#
+# Also writes truncated/corrupted copies of the faults snapshot (via the
+# snapcorrupt helper) for the cli_error_snapshot_* tests that follow.
+#
+# Usage: cmake -DCLI=<netpp_cli> -DCORRUPT=<snapcorrupt> -DOUT_DIR=<dir>
+#              -P check_state_roundtrip.cmake
+if(NOT DEFINED CLI OR NOT DEFINED CORRUPT OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "check_state_roundtrip.cmake needs CLI, CORRUPT, OUT_DIR")
+endif()
+
+function(run_cli out_var)
+  execute_process(
+    COMMAND ${CLI} ${ARGN}
+    RESULT_VARIABLE exit_code
+    OUTPUT_VARIABLE stdout_text
+    ERROR_VARIABLE stderr_text
+  )
+  if(NOT exit_code EQUAL 0)
+    message(FATAL_ERROR
+      "netpp_cli ${ARGN} failed (${exit_code}): ${stderr_text}")
+  endif()
+  set(${out_var} "${stdout_text}" PARENT_SCOPE)
+endfunction()
+
+set(snap "${OUT_DIR}/faults.snap")
+
+# --- faults: straight-line vs save-at-2.5s-then-restore ----------------------
+run_cli(straight faults --seed 7 --csv)
+run_cli(ignored faults --seed 7 --save-state ${snap})
+run_cli(resumed faults --seed 7 --load-state ${snap} --csv)
+if(NOT straight STREQUAL resumed)
+  message(FATAL_ERROR
+    "faults restore diverged from the straight-line run\n"
+    "--- straight ---\n${straight}\n--- resumed ---\n${resumed}")
+endif()
+
+# --- mech: live metrics export vs restored-registry re-export ---------------
+run_cli(ignored mech --iters 2 --save-state ${OUT_DIR}/mech.snap
+  --metrics-out ${OUT_DIR}/mech_live.json)
+run_cli(ignored mech --load-state ${OUT_DIR}/mech.snap
+  --metrics-out ${OUT_DIR}/mech_restored.json)
+file(READ ${OUT_DIR}/mech_live.json live_json)
+file(READ ${OUT_DIR}/mech_restored.json restored_json)
+if(NOT live_json STREQUAL restored_json)
+  message(FATAL_ERROR
+    "mech metrics JSON diverged after registry restore\n"
+    "--- live ---\n${live_json}\n--- restored ---\n${restored_json}")
+endif()
+
+# --- damaged-snapshot fixtures for the cli_error_snapshot_* tests -----------
+foreach(damage "truncate;100;faults_truncated.snap" "flip;40;faults_corrupt.snap")
+  list(GET damage 0 mode)
+  list(GET damage 1 arg)
+  list(GET damage 2 name)
+  execute_process(
+    COMMAND ${CORRUPT} ${snap} ${OUT_DIR}/${name} ${mode} ${arg}
+    RESULT_VARIABLE exit_code
+    ERROR_VARIABLE stderr_text
+  )
+  if(NOT exit_code EQUAL 0)
+    message(FATAL_ERROR "snapcorrupt ${mode} failed: ${stderr_text}")
+  endif()
+endforeach()

@@ -10,9 +10,11 @@
 //   netpp_cli faults [--mtbf S] [--mttr S] [--seed N]
 //                    [--policy none|wake-all|re-tailor] [--headroom H] [--csv]
 //                    [--trace-out F] [--metrics-out F] [--sample-period S]
+//                    [--save-state F [--save-at T]] [--load-state F]
 //   netpp_cli mech [--stack all|dynamic|tailor|park|rate] [--iters N]
 //                  [--volume GBIT] [--horizon S] [--ocs N] [--csv]
 //                  [--trace-out F] [--metrics-out F]
+//                  [--save-state F] [--load-state F]
 //   netpp_cli telemetry [faults flags] [--trace-out F] [--metrics-out F]
 //   netpp_cli help
 //
@@ -22,6 +24,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -32,6 +35,7 @@
 #include "netpp/cluster/cluster.h"
 #include "netpp/faults/experiment.h"
 #include "netpp/mech/composite.h"
+#include "netpp/state/snapshot.h"
 #include "netpp/telemetry/export.h"
 #include "netpp/telemetry/telemetry.h"
 #include "netpp/traffic/generators.h"
@@ -61,6 +65,10 @@ struct Options {
   std::string trace_out;
   std::string metrics_out;
   double sample_period_s = 0.02;
+  // snapshot save/restore (faults / mech subcommands)
+  std::string save_state;
+  std::string load_state;
+  double save_at_s = -1.0;  ///< <0 means the subcommand default
 };
 
 int error_out(const std::string& message) {
@@ -96,7 +104,16 @@ int usage(std::FILE* out) {
       "telemetry outputs (faults/mech/telemetry):\n"
       "              --trace-out FILE.json    Chrome trace (Perfetto)\n"
       "              --metrics-out FILE.json  metrics dump\n"
-      "              --sample-period S        time-series cadence\n");
+      "              --sample-period S        time-series cadence\n"
+      "snapshots (faults/mech):\n"
+      "              --save-state FILE        faults: run to --save-at (default\n"
+      "                                       half the fault horizon), snapshot,\n"
+      "                                       stop; mech: snapshot the final\n"
+      "                                       metric registry after the run\n"
+      "              --load-state FILE        faults: restore and continue to\n"
+      "                                       the end; mech: restore the metric\n"
+      "                                       registry and re-export it\n"
+      "              --save-at T              faults snapshot time (seconds)\n");
   return out == stdout ? 0 : 2;
 }
 
@@ -126,7 +143,8 @@ bool parse(int argc, char** argv, Options& opt) {
         flag == "--ratio" || flag == "--prop" || flag == "--mtbf" ||
         flag == "--mttr" || flag == "--headroom" || flag == "--seed" ||
         flag == "--iters" || flag == "--volume" || flag == "--horizon" ||
-        flag == "--ocs" || flag == "--sample-period";
+        flag == "--ocs" || flag == "--sample-period" ||
+        flag == "--save-state" || flag == "--load-state" || flag == "--save-at";
     if (!known_flag) {
       error_out("unknown flag '" + flag + "' (see 'netpp_cli help')");
       return false;
@@ -168,6 +186,14 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.metrics_out = value_str;
       continue;
     }
+    if (flag == "--save-state") {
+      opt.save_state = value_str;
+      continue;
+    }
+    if (flag == "--load-state") {
+      opt.load_state = value_str;
+      continue;
+    }
     char* parse_end = nullptr;
     const double value = std::strtod(value_str.c_str(), &parse_end);
     if (parse_end == value_str.c_str() || *parse_end != '\0') {
@@ -200,6 +226,8 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.mech_ocs_devices = static_cast<int>(value);
     } else if (flag == "--sample-period" && value >= 0) {
       opt.sample_period_s = value;
+    } else if (flag == "--save-at" && value >= 0) {
+      opt.save_at_s = value;
     } else {
       error_out("bad value '" + value_str + "' for flag '" + flag + "'");
       return false;
@@ -347,30 +375,40 @@ int cmd_sensitivity(const Options& opt) {
   return 0;
 }
 
-/// The canned `faults` scenario: 4x4 leaf-spine fabric, ring all-reduce
-/// training traffic, topology tailored to the ring demand before the run
-/// (the power-proportional operating point the paper argues for).
-FaultExperimentResult run_canned_fault_scenario(const Options& opt,
-                                                telemetry::Telemetry* tel) {
-  const BuiltTopology topo = build_leaf_spine(4, 4, 4, 100_Gbps, 100_Gbps);
+/// The canned `faults` scenario pieces: 4x4 leaf-spine fabric, ring
+/// all-reduce training traffic, topology tailored to the ring demand before
+/// the run (the power-proportional operating point the paper argues for).
+/// Kept as data so --save-state/--load-state can rebuild the identical shell
+/// around a snapshot.
+struct CannedFaultScenario {
+  BuiltTopology topo;
+  std::vector<FlowSpec> workload;
+  FaultSchedule schedule;
+  FaultExperimentConfig config;
+  Seconds fault_horizon{5.0};
+};
+
+CannedFaultScenario make_canned_fault_scenario(const Options& opt,
+                                               telemetry::Telemetry* tel) {
+  CannedFaultScenario s{build_leaf_spine(4, 4, 4, 100_Gbps, 100_Gbps),
+                        {}, {}, {}, Seconds{5.0}};
   MlTrafficConfig traffic;
   traffic.compute_time = Seconds{0.3};
   traffic.comm_allowance = Seconds{0.5};
   traffic.volume_per_host = Bits::from_gigabits(12.0);
   traffic.iterations = 6;
-  const auto workload = make_ml_training_traffic(topo.hosts, traffic).flows;
+  s.workload = make_ml_training_traffic(s.topo.hosts, traffic).flows;
 
-  FaultExperimentConfig config;
-  config.tailor = true;
-  config.degraded.policy = opt.policy;
-  config.degraded.min_headroom = opt.headroom;
-  config.telemetry = tel;
-  for (std::size_t i = 0; i < topo.hosts.size(); ++i) {
-    config.demands.push_back(TrafficDemand{
-        topo.hosts[i], topo.hosts[(i + 1) % topo.hosts.size()], 30_Gbps});
+  s.config.tailor = true;
+  s.config.degraded.policy = opt.policy;
+  s.config.degraded.min_headroom = opt.headroom;
+  s.config.telemetry = tel;
+  for (std::size_t i = 0; i < s.topo.hosts.size(); ++i) {
+    s.config.demands.push_back(TrafficDemand{
+        s.topo.hosts[i], s.topo.hosts[(i + 1) % s.topo.hosts.size()],
+        30_Gbps});
   }
 
-  FaultSchedule schedule;
   if (opt.mtbf_s > 0.0) {
     FaultGeneratorConfig faults;
     faults.switches =
@@ -378,17 +416,58 @@ FaultExperimentResult run_canned_fault_scenario(const Options& opt,
     faults.links =
         DeviceReliability{Seconds{opt.mtbf_s * 2.0}, Seconds{opt.mttr_s}};
     faults.degraded_fraction = 0.25;
-    faults.horizon = Seconds{5.0};
+    faults.horizon = s.fault_horizon;
     faults.seed = opt.fault_seed;
-    schedule = FaultGenerator{faults}.generate(topo.graph);
+    s.schedule = FaultGenerator{faults}.generate(s.topo.graph);
   }
+  return s;
+}
 
-  return run_fault_experiment(topo, workload, schedule, config);
+FaultExperimentResult run_canned_fault_scenario(const Options& opt,
+                                                telemetry::Telemetry* tel) {
+  const CannedFaultScenario s = make_canned_fault_scenario(opt, tel);
+  return run_fault_experiment(s.topo, s.workload, s.schedule, s.config);
 }
 
 int cmd_faults(const Options& opt) {
+  if (!opt.save_state.empty() && !opt.load_state.empty()) {
+    return error_out("--save-state and --load-state are mutually exclusive");
+  }
   const auto tel = make_cli_telemetry(opt, /*sampled=*/true);
-  const auto result = run_canned_fault_scenario(opt, tel.get());
+  FaultExperimentResult result;
+  try {
+    if (!opt.save_state.empty()) {
+      // Run the canned scenario to the snapshot point, serialize everything,
+      // and stop: a later --load-state continues bit-identically.
+      const CannedFaultScenario s = make_canned_fault_scenario(opt, tel.get());
+      const Seconds save_at{opt.save_at_s >= 0.0
+                                ? opt.save_at_s
+                                : s.fault_horizon.value() / 2.0};
+      FaultExperimentRun run{s.topo, s.workload, s.schedule, s.config};
+      run.run_until(save_at);
+      state::SnapshotWriter w;
+      run.save_state(w);
+      w.write_file(opt.save_state);
+      std::printf("saved state at t=%s to %s\n", to_string(save_at).c_str(),
+                  opt.save_state.c_str());
+      return 0;
+    }
+    if (!opt.load_state.empty()) {
+      const CannedFaultScenario s = make_canned_fault_scenario(opt, tel.get());
+      auto r = state::SnapshotReader::from_file(opt.load_state);
+      FaultExperimentRun run{s.topo, s.workload, s.schedule, s.config, r};
+      if (!r.at_end()) {
+        throw std::invalid_argument(
+            "SnapshotReader: trailing bytes after the experiment snapshot");
+      }
+      run.run();
+      result = run.finish();
+    } else {
+      result = run_canned_fault_scenario(opt, tel.get());
+    }
+  } catch (const std::exception& e) {
+    return error_out(e.what());
+  }
   Table table{{"metric", "value"}};
   table.add_row({"switches parked initially",
                  std::to_string(result.tailoring.powered_off.size())});
@@ -455,6 +534,38 @@ int cmd_telemetry(const Options& opt) {
 }
 
 int cmd_mech(const Options& opt) {
+  if (!opt.save_state.empty() && !opt.load_state.empty()) {
+    return error_out("--save-state and --load-state are mutually exclusive");
+  }
+  if (!opt.load_state.empty()) {
+    // Offline restore: load a saved metric registry into a fresh bundle and
+    // re-export it, without re-running the simulation.
+    try {
+      telemetry::MetricRegistry metrics;
+      auto r = state::SnapshotReader::from_file(opt.load_state);
+      metrics.restore_state(r);
+      if (!r.at_end()) {
+        throw std::invalid_argument(
+            "SnapshotReader: trailing bytes after the metrics snapshot");
+      }
+      Table table{{"metric", "value"}};
+      table.add_row({"metrics restored", std::to_string(metrics.size())});
+      table.add_row(
+          {"combined savings",
+           fmt_percent(metrics.gauge_value("composite.combined_savings"), 2)});
+      print_table(table, opt.csv);
+      if (!opt.metrics_out.empty()) {
+        std::string error;
+        const std::string json = telemetry::to_metrics_json(metrics);
+        if (!telemetry::write_file(opt.metrics_out, json, error)) {
+          return error_out(error);
+        }
+      }
+      return 0;
+    } catch (const std::exception& e) {
+      return error_out(e.what());
+    }
+  }
   // Canned scenario: k=4 fat tree at 100 G running phase-structured ML
   // training, with a ring all-reduce demand matrix that tailoring must keep
   // satisfiable. The composed stack (tailoring -> parking -> rate
@@ -476,7 +587,9 @@ int cmd_mech(const Options& opt) {
       opt.stack == "all" || opt.stack == "dynamic" || opt.stack == "rate";
   config.parking.switch_capacity = Gbps{4 * 100.0};  // 4 ports at 100 G
   config.num_ocs_devices = opt.mech_ocs_devices;
-  const auto tel = make_cli_telemetry(opt, /*sampled=*/false);
+  // --save-state needs a registry to snapshot even without --metrics-out.
+  const auto tel = make_cli_telemetry(opt, /*sampled=*/false,
+                                      /*force=*/!opt.save_state.empty());
   config.telemetry = tel.get();
 
   std::vector<TrafficDemand> demands;
@@ -518,6 +631,16 @@ int cmd_mech(const Options& opt) {
       {"sustained value ($/yr)", fmt(value.annual_savings.value(), 0)});
   table.add_row({"avoided CO2 (t/yr)", fmt(value.annual_co2_tons, 3)});
   print_table(table, opt.csv);
+  if (!opt.save_state.empty()) {
+    try {
+      state::SnapshotWriter w;
+      tel->metrics().save_state(w);
+      w.write_file(opt.save_state);
+    } catch (const std::exception& e) {
+      return error_out(e.what());
+    }
+    std::printf("saved metric registry to %s\n", opt.save_state.c_str());
+  }
   if (tel != nullptr) return write_telemetry_outputs(opt, *tel);
   return 0;
 }

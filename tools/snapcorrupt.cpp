@@ -1,0 +1,51 @@
+// Test helper: damages a snapshot file in a controlled way so the CLI error
+// tests can feed truncated / corrupted snapshots to netpp_cli and assert the
+// one-line "SnapshotReader: ..." rejection contract.
+//
+//   snapcorrupt <in> <out> truncate <byte-count>
+//   snapcorrupt <in> <out> flip <byte-offset>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+int main(int argc, char** argv) {
+  if (argc != 5) {
+    std::fprintf(stderr,
+                 "usage: snapcorrupt <in> <out> truncate <n> | flip <pos>\n");
+    return 2;
+  }
+  std::ifstream in{argv[1], std::ios::binary};
+  if (!in) {
+    std::fprintf(stderr, "snapcorrupt: cannot read %s\n", argv[1]);
+    return 2;
+  }
+  std::vector<char> bytes{std::istreambuf_iterator<char>{in},
+                          std::istreambuf_iterator<char>{}};
+  const std::string mode = argv[3];
+  const auto arg = static_cast<std::size_t>(std::strtoull(argv[4], nullptr, 10));
+  if (mode == "truncate") {
+    if (arg > bytes.size()) {
+      std::fprintf(stderr, "snapcorrupt: truncation beyond end of file\n");
+      return 2;
+    }
+    bytes.resize(arg);
+  } else if (mode == "flip") {
+    if (arg >= bytes.size()) {
+      std::fprintf(stderr, "snapcorrupt: flip offset beyond end of file\n");
+      return 2;
+    }
+    bytes[arg] = static_cast<char>(bytes[arg] ^ 0x20);
+  } else {
+    std::fprintf(stderr, "snapcorrupt: unknown mode '%s'\n", mode.c_str());
+    return 2;
+  }
+  std::ofstream out{argv[2], std::ios::binary | std::ios::trunc};
+  if (!out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()))) {
+    std::fprintf(stderr, "snapcorrupt: cannot write %s\n", argv[2]);
+    return 2;
+  }
+  return 0;
+}
