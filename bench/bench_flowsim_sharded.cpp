@@ -1,0 +1,124 @@
+// Sharded-simulation scale gate: can the pod-sharded driver hold a
+// datacenter-scale standing flow population, and what does sharding buy
+// end-to-end on one workload?
+//
+// The scenario (bench/workloads.h, make_sharded_workload) puts a standing
+// population of NIC-capped flows on the k=8 pod fabric with a staggered
+// completing subset. Every completion event costs an O(active) settle +
+// completion scan in the owning simulator, so sharding divides the dominant
+// cost: S shards each settle active/S resident flows, and the completing
+// events themselves land spread across shards. The speedup is algorithmic —
+// it holds at one worker thread — and worker threads then parallelize the
+// window phase on top of it.
+//
+//   - BM_ShardedMillion/S: the 1M-flow gate at S shards, one run per
+//     iteration (Iterations(1): a run is seconds long and tears down a
+//     seven-figure flow table; gbench repetition adds nothing). The
+//     acceptance ratio is BM_ShardedMillion/1 vs BM_ShardedMillion/4.
+//   - BM_ShardedSmoke/S: the same scenario at 50k flows — CI-sized; the
+//     perf scoreboard's sharded_1m_smoke row measures this workload at
+//     2 shards through the same run_sharded_workload helper.
+//
+// `--record` skips google-benchmark and prints key=value lines for
+// tools/record_bench.sh to inject as context into BENCH_flowsim.json
+// (sharded_1m_shard{1,4}_ms and the sharded_1m_speedup_x4 ratio).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+
+#include "bench_util.h"
+#include "workloads.h"
+
+namespace {
+
+using namespace netpp;
+
+void BM_ShardedMillion(benchmark::State& state) {
+  const auto flows = bench::make_sharded_workload(bench::kSharded1MFlows,
+                                                  bench::kSharded1MCompleting);
+  bench::ShardedRun last;
+  for (auto _ : state) {
+    last = bench::run_sharded_workload(
+        flows, static_cast<std::size_t>(state.range(0)));
+    benchmark::DoNotOptimize(last.completed);
+  }
+  state.counters["shards"] = static_cast<double>(state.range(0));
+  state.counters["flows"] = static_cast<double>(flows.size());
+  state.counters["completed"] = static_cast<double>(last.completed);
+  state.counters["in_flight"] = static_cast<double>(last.in_flight);
+}
+BENCHMARK(BM_ShardedMillion)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ShardedSmoke(benchmark::State& state) {
+  const auto flows = bench::make_sharded_workload(
+      bench::kShardedSmokeFlows, bench::kShardedSmokeCompleting);
+  bench::ShardedRun last;
+  for (auto _ : state) {
+    last = bench::run_sharded_workload(
+        flows, static_cast<std::size_t>(state.range(0)));
+    benchmark::DoNotOptimize(last.completed);
+  }
+  state.counters["shards"] = static_cast<double>(state.range(0));
+  state.counters["completed"] = static_cast<double>(last.completed);
+}
+BENCHMARK(BM_ShardedSmoke)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+double wall_ms_once(std::size_t shards,
+                    const std::vector<netpp::FlowSpec>& flows) {
+  timespec start{};
+  clock_gettime(CLOCK_MONOTONIC, &start);
+  const auto run = bench::run_sharded_workload(flows, shards);
+  timespec stop{};
+  clock_gettime(CLOCK_MONOTONIC, &stop);
+  benchmark::DoNotOptimize(run.completed);
+  return static_cast<double>(stop.tv_sec - start.tv_sec) * 1e3 +
+         static_cast<double>(stop.tv_nsec - start.tv_nsec) / 1e6;
+}
+
+/// Record mode: one 1-shard and one 4-shard run of the 1M workload,
+/// best-of-2 wall clock each, printed as context rows for record_bench.sh.
+int record_main() {
+  const auto flows = bench::make_sharded_workload(bench::kSharded1MFlows,
+                                                  bench::kSharded1MCompleting);
+  double s1 = 1e300;
+  double s4 = 1e300;
+  for (int round = 0; round < 2; ++round) {
+    std::fprintf(stderr, "bench_flowsim_sharded: 1M record round %d...\n",
+                 round + 1);
+    const double a = wall_ms_once(1, flows);
+    const double b = wall_ms_once(4, flows);
+    if (a < s1) s1 = a;
+    if (b < s4) s4 = b;
+  }
+  std::printf("sharded_1m_shard1_ms=%.1f\n", s1);
+  std::printf("sharded_1m_shard4_ms=%.1f\n", s4);
+  std::printf("sharded_1m_speedup_x4=%.2f\n", s1 / s4);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--record") == 0) return record_main();
+  }
+  netpp::bench::print_banner(
+      "Sharded flow-simulation scale gate - k=8 fat tree, 8 pods");
+  std::printf(
+      "Standing NIC-capped population with a staggered completing subset;\n"
+      "BM_ShardedMillion holds 1M+ concurrent flows and its 1-vs-4-shard\n"
+      "ratio is the end-to-end sharding speedup. JSON:"
+      " --benchmark_format=json.\n\n");
+  return netpp::bench::run_benchmarks(argc, argv);
+}

@@ -8,6 +8,7 @@
 //   route_churn/100k      <-> scoreboard_route_churn_100k_ms
 //   fault_storm           <-> scoreboard_fault_storm_ms
 //   composite_stack       <-> scoreboard_composite_stack_ms
+//   sharded_1m_smoke      <-> scoreboard_sharded_1m_smoke_ms
 //   telemetry_idle        absolute gate (< 2%), reference display-only
 //
 // Reference numbers MUST come from this binary (--write-reference in CI,
@@ -133,6 +134,17 @@ double measure_composite_stack(int rounds) {
   });
 }
 
+// CI-sized cut of the bench_flowsim_sharded 1M gate: the same standing-
+// population scenario at 50k flows, run through the 2-shard barrier loop.
+double measure_sharded_smoke(int rounds) {
+  const auto flows = bench::make_sharded_workload(
+      bench::kShardedSmokeFlows, bench::kShardedSmokeCompleting);
+  return best_of_ms(rounds, [&] {
+    const auto run = bench::run_sharded_workload(flows, 2);
+    benchmark::DoNotOptimize(run.completed);
+  });
+}
+
 /// One measurement of every suite row, in a fixed order. Both sides of
 /// every gate ratio come from this function (in different processes of the
 /// same binary), so the statistic and the code layout match by construction.
@@ -143,6 +155,7 @@ struct SuiteMeasurements {
   double route_churn_ms;
   double fault_storm_ms;
   double composite_stack_ms;
+  double sharded_smoke_ms;
   double telemetry_idle_pct;
 };
 
@@ -154,6 +167,7 @@ SuiteMeasurements measure_suite(int rounds) {
   m.route_churn_ms = measure_route_churn(rounds);
   m.fault_storm_ms = measure_fault_storm(rounds);
   m.composite_stack_ms = measure_composite_stack(rounds);
+  m.sharded_smoke_ms = measure_sharded_smoke(rounds);
   m.telemetry_idle_pct = bench::measure_idle_overhead_pct(rounds);
   return m;
 }
@@ -186,6 +200,7 @@ bool write_reference(const std::string& path, const SuiteMeasurements& m) {
       {"scoreboard_route_churn_100k_ms", m.route_churn_ms},
       {"scoreboard_fault_storm_ms", m.fault_storm_ms},
       {"scoreboard_composite_stack_ms", m.composite_stack_ms},
+      {"scoreboard_sharded_1m_smoke_ms", m.sharded_smoke_ms},
   };
   const std::size_t n = sizeof rows / sizeof rows[0];
   for (std::size_t i = 0; i < n; ++i) {
@@ -250,6 +265,7 @@ int main(int argc, char** argv) {
       std::printf("scoreboard_fault_storm_ms=%.3f\n", m.fault_storm_ms);
       std::printf("scoreboard_composite_stack_ms=%.3f\n",
                   m.composite_stack_ms);
+      std::printf("scoreboard_sharded_1m_smoke_ms=%.3f\n", m.sharded_smoke_ms);
     }
     return 0;
   }
@@ -293,6 +309,9 @@ int main(int argc, char** argv) {
                            m.fault_storm_ms));
   rows.push_back(ratio_row("composite_stack", "scoreboard_composite_stack_ms",
                            m.composite_stack_ms));
+  rows.push_back(ratio_row("sharded_1m_smoke",
+                           "scoreboard_sharded_1m_smoke_ms",
+                           m.sharded_smoke_ms));
   {
     bench::ScoreRow telemetry;
     telemetry.name = "telemetry_idle";
@@ -315,6 +334,7 @@ int main(int argc, char** argv) {
       [](int r) { return measure_route_churn(r); },
       [](int r) { return measure_fault_storm(r); },
       [](int r) { return measure_composite_stack(r); },
+      [](int r) { return measure_sharded_smoke(r); },
       [](int r) { return bench::measure_idle_overhead_pct(r); },
   };
   bench::ScoreboardReport report = bench::score_rows(rows, ref);

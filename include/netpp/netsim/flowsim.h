@@ -263,6 +263,49 @@ class FlowSimulator {
   /// std::invalid_argument("FlowSimulator: constraint") on violation.
   void check_invariants() const;
 
+  // --- Sharded-driver hooks (see netpp/netsim/sharded.h) ---
+  //
+  // The sharded driver reconciles the two halves of a cross-shard flow at
+  // its bounded-lag barriers: settle each involved shard to the barrier
+  // time, read the halves' remaining volumes, raise the faster half to the
+  // slower half's value (rate = min of the halves at window granularity),
+  // and re-derive the completion event. The hooks are allocation-free and
+  // leave rates and the carried-sum bookkeeping untouched, so
+  // check_invariants() holds across any raise sequence. Only call them at
+  // event boundaries (never from inside a simulator callback).
+
+  /// Settles flow progress to the engine's current time (idempotent; a
+  /// second call at the same time is a no-op, so barrier settles compose
+  /// with the simulator's own event-driven settles).
+  void settle_to_now() { settle_progress(engine_.now()); }
+
+  /// Identity of the active flow at `index`. Indices are positions in the
+  /// active-flow columns and stay valid only until the next event.
+  [[nodiscard]] FlowId active_flow_id(std::size_t index) const {
+    return active_[index].id;
+  }
+  [[nodiscard]] std::uint64_t active_flow_tag(std::size_t index) const {
+    return active_[index].spec.tag;
+  }
+
+  /// The remaining-volume column (parallel to active-flow indices), as of
+  /// the last settle.
+  [[nodiscard]] std::span<const double> remaining_bits() const {
+    return {flow_remaining_.data(), active_.size()};
+  }
+
+  /// Raises active flow `index`'s remaining volume to `bits` (must not be
+  /// below the current value or above the flow's size, modulo the
+  /// completion epsilon). Rates are untouched, so per-link feasibility is
+  /// preserved; call settle_to_now() first and reschedule_completion()
+  /// after the batch of raises.
+  void set_remaining_bits(std::size_t index, double bits);
+
+  /// Cancels and re-derives the completion event from the current
+  /// remaining/rate columns (the tail of every reallocation), for use after
+  /// a set_remaining_bits batch.
+  void reschedule_completion() { schedule_next_completion(); }
+
  private:
   // Cold per-flow identity. The hot per-event scalars — current rate,
   // remaining volume, and the flow's arena block (begin/count into
@@ -304,6 +347,13 @@ class FlowSimulator {
   /// is the same allocation.
   bool reallocate_binding_subset(double cap_bps);
   void schedule_next_completion();
+  /// Completion (re)scheduling after a fast arrival: the new flow is the
+  /// only one whose completion estimate changed and it runs exactly at the
+  /// uniform cap, so min(current event time, now + remaining / cap)
+  /// replaces the full completion scan — O(1) instead of O(active flows).
+  /// The ulp-level slack between a kept event time and a freshly scanned
+  /// one is absorbed by complete_due_flows' nothing-due reschedule guard.
+  void schedule_completion_for_cap_arrival(std::size_t index);
   void complete_due_flows(Seconds now);
   /// Arrival fast path: if the new flow (already in active_, at index i) can
   /// run at its cap without saturating any link it crosses, no other

@@ -1,0 +1,231 @@
+// Pod-sharded flow simulation for multi-pod datacenter scale.
+//
+// ShardedFlowSimulator partitions a layered fabric by pod (topo/pods.h) and
+// runs one complete FlowSimulator per shard — its own shard-local graph,
+// Router, RouteCache, SimEngine, solver arenas, and telemetry registry — so
+// the per-event costs that dominate at scale (completion scans, solver
+// closures, route BFS) touch one pod group's state instead of the whole
+// fabric. Shards advance in bounded-lag windows under one global clock:
+// workers run each shard's event loop to the next barrier, then a serial
+// barrier phase drains completions and reconciles cross-shard flows.
+//
+// Cross-shard flows are split at the shard boundary into an ingress half
+// (src -> gateway in the source shard) and an egress half (gateway -> dst in
+// the destination shard); the gateway is a single node standing in for the
+// collapsed core layer, reachable over per-agg links carrying the aggregate
+// capacity of that agg's core uplinks. At every barrier the two halves are
+// reconciled by min-progress: the half that ran ahead is pulled back to the
+// slower half's remaining volume, which is exactly "the flow's end-to-end
+// rate is the min of its halves" at window granularity. The flow completes
+// when both halves have; its completion time is the later of the two.
+//
+// Determinism: workers only ever run disjoint shards inside a window, and
+// everything that crosses shards — completion draining, half reconciliation,
+// fault routing — happens in the serial barrier phase in fixed shard /
+// submission order. Results are therefore bit-identical regardless of the
+// worker-thread count (the SweepRunner discipline). With one shard the
+// local topology is a verbatim copy of the global graph and no flow is ever
+// split, so the single-shard configuration is bit-identical to a plain
+// FlowSimulator driven over the same submissions (pinned by
+// tests/netsim/flowsim_sharded_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "netpp/netsim/flowsim.h"
+#include "netpp/sim/engine.h"
+#include "netpp/state/snapshot.h"
+#include "netpp/telemetry/telemetry.h"
+#include "netpp/topo/graph.h"
+#include "netpp/topo/pods.h"
+#include "netpp/topo/routing.h"
+
+namespace netpp {
+
+class ShardedFlowSimulator {
+ public:
+  struct Config {
+    /// Shards to partition the fabric into. Pods are assigned contiguously
+    /// (assign_pods_contiguous); must be in [1, num_pods].
+    std::size_t num_shards = 1;
+    /// Worker-thread ceiling for the window phase; 0 draws everything the
+    /// shared thread budget (netpp/sim/thread_budget.h) allows. Never
+    /// affects results, only wall-clock.
+    std::size_t num_threads = 0;
+    /// Bounded-lag window: barriers sit on the multiples of this interval
+    /// (plus every run_until() boundary). Smaller windows track cross-shard
+    /// rate coupling more tightly; larger windows amortize barrier cost.
+    Seconds barrier_interval{0.01};
+    /// Per-shard simulator configuration. `telemetry` must stay null: each
+    /// shard owns a private registry (merged_metrics() merges them); a
+    /// shared bundle would race under worker threads.
+    FlowSimulator::Config shard;
+  };
+
+  /// `graph` must outlive the simulator. Throws std::invalid_argument for
+  /// an unpartitionable graph or an out-of-range shard count.
+  ShardedFlowSimulator(const Graph& graph, Config config);
+
+  /// Submits a flow between global host ids for injection at `spec.start`
+  /// (>= now(); legal between run_until calls, not from callbacks). Returns
+  /// the driver-level flow id. spec.tag is the caller's tag, carried into
+  /// the completion record.
+  FlowId submit(const FlowSpec& spec);
+
+  /// Advances every shard to `until` in bounded-lag windows.
+  void run_until(Seconds until);
+
+  /// The global clock (the last barrier time).
+  [[nodiscard]] Seconds now() const { return now_; }
+
+  // --- Dynamic topology (global ids; legal between run_until calls) ---
+  //
+  // Pod-local devices route to the owning shard's simulator. Core switches
+  // and boundary links have no per-shard counterpart once the core is
+  // collapsed; their failures rescale the owning agg's gateway-link
+  // capacity to the surviving fraction of its core uplinks (a full outage
+  // disables the gateway link).
+
+  void set_node_enabled(NodeId id, bool enabled);
+  void set_link_enabled(LinkId id, bool enabled);
+  void set_link_capacity_factor(LinkId id, double factor);
+
+  // --- Results ---
+
+  /// Completed user flows, in barrier-drain order (deterministic). Records
+  /// carry the original global spec and driver flow ids; a cross-shard
+  /// flow's finish time is the later of its halves'.
+  [[nodiscard]] const std::vector<FlowRecord>& completed() const {
+    return completed_;
+  }
+  [[nodiscard]] const SummaryStat& fct_stats() const { return fct_; }
+  /// Shard-resident active flows, summed (a cross-shard flow counts once
+  /// per live half).
+  [[nodiscard]] std::size_t active_flows() const;
+  /// User flows submitted but not yet completed (pending, active, or
+  /// stranded).
+  [[nodiscard]] std::size_t flows_in_flight() const {
+    return flows_.size() - completed_.size();
+  }
+  [[nodiscard]] std::size_t stranded_flows() const;
+  [[nodiscard]] std::size_t unroutable_flows() const;
+  /// Reallocation / fault counters summed across shards.
+  [[nodiscard]] FlowSimulator::ReallocStats realloc_stats() const;
+
+  [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
+  [[nodiscard]] const FlowSimulator& shard(std::size_t s) const {
+    return *shards_[s]->sim;
+  }
+  [[nodiscard]] const ShardTopology& shard_topology(std::size_t s) const {
+    return shards_[s]->topo;
+  }
+  [[nodiscard]] const PodPartition& partition() const { return partition_; }
+
+  /// Every shard's metric registry merged into one sample list: counters,
+  /// gauges, and histogram buckets sum per metric name (registration order
+  /// of shard 0, then first appearance). The per-shard registries stay
+  /// intact; this is the export view.
+  [[nodiscard]] std::vector<telemetry::MetricSample> merged_metrics() const;
+
+  // --- Snapshot / restore ---
+  //
+  // Same discipline as FlowSimulator::save_state: call only at a barrier
+  // (which is the only time the caller holds the clock anyway). The image
+  // is one driver section — global clock and barrier cursor, the user-flow
+  // table with cross-half bookkeeping, fault state — followed by each
+  // shard's engine clock and full FlowSimulator image in shard order.
+  // restore_state overwrites an identically configured simulator over the
+  // same graph; a resumed run is bit-identical to the uninterrupted one
+  // (checked by tools/chaos_replay).
+  void save_state(state::SnapshotWriter& w) const;
+  void restore_state(state::SnapshotReader& r);
+
+  /// Runs every shard's structural audit plus the driver's own cross-flow
+  /// bookkeeping checks. Throws std::invalid_argument on violation.
+  void check_invariants() const;
+
+ private:
+  /// One user-visible flow. Cross-shard flows track both halves; intra
+  /// flows complete directly off the owning shard's record.
+  struct FlowEntry {
+    FlowSpec spec;  // global ids, caller tag
+    FlowId id = 0;  // driver-level flow id
+    std::uint32_t src_shard = 0;
+    std::uint32_t dst_shard = 0;  // == src_shard for intra flows
+    /// Half finish times, < 0 while pending (cross flows only).
+    double finished_src = -1.0;
+    double finished_dst = -1.0;
+    bool completed = false;
+    /// Barrier scratch (valid when the stamp matches barrier_gen_).
+    std::uint32_t seen_src = 0;
+    std::uint32_t seen_dst = 0;
+    std::uint32_t index_src = 0;
+    std::uint32_t index_dst = 0;
+    double remaining_src = 0.0;
+    double remaining_dst = 0.0;
+
+    [[nodiscard]] bool cross() const { return src_shard != dst_shard; }
+  };
+
+  struct Shard {
+    ShardTopology topo;
+    std::unique_ptr<Router> router;
+    std::unique_ptr<SimEngine> engine;
+    std::unique_ptr<telemetry::Telemetry> telemetry;
+    std::unique_ptr<FlowSimulator> sim;
+    /// completed() entries already drained by a barrier.
+    std::size_t completed_cursor = 0;
+    /// Live (submitted, not yet drained-complete) cross halves resident in
+    /// this shard; the barrier skips the settle + scan when zero.
+    std::size_t live_cross_halves = 0;
+  };
+
+  /// Per-boundary-link fault state (global boundary links only).
+  struct BoundaryState {
+    bool enabled = true;
+    double factor = 1.0;
+  };
+
+  [[nodiscard]] std::uint32_t shard_of_node(NodeId global) const;
+  void advance_shards(Seconds target);
+  void barrier_sync();
+  void drain_completions();
+  void reconcile_cross_flows();
+  void complete_entry(FlowEntry& entry, double finished);
+  /// Recomputes and applies one gateway link's effective capacity from the
+  /// boundary/core fault state.
+  void refresh_gateway_link(std::size_t shard, std::size_t gl_index);
+  void refresh_agg_of_boundary_link(LinkId global_link);
+
+  const Graph& graph_;
+  Config config_;
+  PodPartition partition_;
+  std::vector<int> shard_of_pod_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Boundary-link and core-switch fault state (S > 1 only; with one shard
+  /// faults pass straight through to the verbatim-copy simulator).
+  std::unordered_map<LinkId, BoundaryState> boundary_state_;
+  std::unordered_map<NodeId, bool> core_enabled_;
+  /// Boundary link -> (shard, gateway-link index) of the owning agg.
+  std::unordered_map<LinkId, std::pair<std::uint32_t, std::uint32_t>>
+      gateway_of_boundary_;
+  /// Gateway links currently disabled because their effective capacity hit
+  /// zero (keyed by (shard << 32) | gl_index).
+  std::unordered_map<std::uint64_t, bool> gateway_link_disabled_;
+
+  std::vector<FlowEntry> flows_;
+  std::vector<FlowRecord> completed_;
+  SummaryStat fct_;
+  FlowId next_id_ = 1;
+  Seconds now_{};
+  /// Completed barrier count on the barrier_interval grid (the next grid
+  /// barrier sits at (grid_cursor_ + 1) * barrier_interval).
+  std::uint64_t grid_cursor_ = 0;
+  std::uint32_t barrier_gen_ = 0;
+};
+
+}  // namespace netpp

@@ -18,7 +18,10 @@
 namespace netpp {
 
 struct SweepConfig {
-  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  /// Worker-thread ceiling; 0 means the shared thread budget
+  /// (netpp/sim/thread_budget.h — NETPP_THREAD_BUDGET, else hardware
+  /// concurrency). Each run additionally leases its workers from that
+  /// budget, so nested pools degrade gracefully instead of oversubscribing.
   std::size_t num_threads = 0;
   /// Base seed all per-scenario seeds derive from.
   std::uint64_t base_seed = 0x9e3779b97f4a7c15ULL;

@@ -1,0 +1,104 @@
+// Process-wide worker-thread budget.
+//
+// Several components spin up worker pools: SweepRunner fans scenarios out,
+// ShardedFlowSimulator runs shard windows on workers. When they nest — a
+// sweep whose scenarios each run a sharded simulation — independently sized
+// pools oversubscribe the machine (threads^2). This header is the single
+// knob both draw from: a budget of concurrent workers (default: hardware
+// concurrency, overridable programmatically or via NETPP_THREAD_BUDGET),
+// and an RAII lease that carves a share out of it.
+//
+// Leases only size pools; they never change results. Every pool built on
+// top of this (SweepRunner, the sharded barrier loop) is bit-deterministic
+// in its worker count by construction, so a smaller grant under contention
+// affects wall-clock only.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <thread>
+
+namespace netpp::thread_budget {
+
+namespace detail {
+
+inline std::atomic<std::size_t>& configured() {
+  static std::atomic<std::size_t> value{0};  // 0 = unset, use the default
+  return value;
+}
+
+inline std::atomic<std::size_t>& leased() {
+  static std::atomic<std::size_t> value{0};
+  return value;
+}
+
+inline std::size_t default_pool_size() {
+  static const std::size_t value = [] {
+    if (const char* env = std::getenv("NETPP_THREAD_BUDGET")) {
+      const long parsed = std::strtol(env, nullptr, 10);
+      if (parsed > 0) return static_cast<std::size_t>(parsed);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return static_cast<std::size_t>(hw > 0 ? hw : 1);
+  }();
+  return value;
+}
+
+}  // namespace detail
+
+/// Sets the process-wide budget of concurrent workers. 0 restores the
+/// default (NETPP_THREAD_BUDGET, else hardware concurrency).
+inline void set_pool_size(std::size_t n) {
+  detail::configured().store(n, std::memory_order_relaxed);
+}
+
+/// The configured budget.
+[[nodiscard]] inline std::size_t pool_size() {
+  const std::size_t configured =
+      detail::configured().load(std::memory_order_relaxed);
+  return configured != 0 ? configured : detail::default_pool_size();
+}
+
+/// Workers currently leased across the process.
+[[nodiscard]] inline std::size_t in_use() {
+  return detail::leased().load(std::memory_order_relaxed);
+}
+
+/// RAII share of the budget. Requests `requested` workers (0 = everything
+/// available) and is granted min(requested, budget - in_use), floored at 1
+/// so a fully-leased budget degrades nested components to inline execution
+/// instead of deadlocking them.
+class ThreadLease {
+ public:
+  explicit ThreadLease(std::size_t requested) {
+    auto& leased = detail::leased();
+    const std::size_t budget = pool_size();
+    std::size_t current = leased.load(std::memory_order_relaxed);
+    for (;;) {
+      const std::size_t available =
+          budget > current ? budget - current : 0;
+      std::size_t want = requested == 0 ? available
+                                        : (requested < available ? requested
+                                                                 : available);
+      if (want == 0) want = 1;  // degrade to inline, never to zero workers
+      if (leased.compare_exchange_weak(current, current + want,
+                                       std::memory_order_relaxed)) {
+        granted_ = want;
+        return;
+      }
+    }
+  }
+  ~ThreadLease() {
+    detail::leased().fetch_sub(granted_, std::memory_order_relaxed);
+  }
+  ThreadLease(const ThreadLease&) = delete;
+  ThreadLease& operator=(const ThreadLease&) = delete;
+
+  [[nodiscard]] std::size_t granted() const { return granted_; }
+
+ private:
+  std::size_t granted_ = 0;
+};
+
+}  // namespace netpp::thread_budget

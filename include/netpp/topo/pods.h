@@ -1,0 +1,102 @@
+// Pod partition extraction and shard-local topology construction.
+//
+// The sharded flow simulator (netpp/netsim/sharded.h) splits a multi-pod
+// fabric into independent per-pod simulators. The partition is structural,
+// not name-based: nodes at or above the core tier form the core layer, and
+// pods are the connected components of what remains (aggregation and edge
+// switches plus their hosts). This works for any layered topology the
+// builders produce and for hand-built graphs with consistent tiers.
+//
+// A shard's local topology is the union of its pods copied verbatim, plus a
+// single *gateway* node standing in for the entire core layer: each
+// aggregation switch's core uplinks collapse into one aggregate-capacity
+// link to the gateway. Traffic between pods of the same shard transits the
+// gateway; traffic leaving the shard terminates at it (the other half of
+// the flow runs in the destination shard). The single-shard configuration
+// copies the global graph verbatim — same node and link ids, core included —
+// which is what pins ShardedFlowSimulator with one shard bit-identical to
+// the plain FlowSimulator.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netpp/topo/graph.h"
+
+namespace netpp {
+
+/// Structural pod partition of a layered topology.
+struct PodPartition {
+  /// pod_of_node value for core-layer nodes.
+  static constexpr int kCore = -1;
+
+  /// Per node: pod index, or kCore for nodes at tier >= core_tier.
+  std::vector<int> pod_of_node;
+  std::size_t num_pods = 0;
+  /// Member nodes of each pod, ascending node id. Pods are numbered by
+  /// their smallest member node id, so the numbering is reproducible.
+  std::vector<std::vector<NodeId>> pod_nodes;
+  /// Links with exactly one core endpoint, ascending link id.
+  std::vector<LinkId> boundary_links;
+  /// The tier threshold the partition was extracted with.
+  int core_tier = 3;
+
+  [[nodiscard]] bool is_core(NodeId n) const {
+    return pod_of_node.at(n) == kCore;
+  }
+};
+
+/// Extracts the pod partition of `graph`: nodes with tier >= core_tier are
+/// the core; pods are the connected components of the subgraph induced by
+/// the remaining nodes. Core-to-core links are rejected (multi-stage cores
+/// have no single-gateway collapse) with std::invalid_argument, as is a
+/// graph with no non-core nodes.
+[[nodiscard]] PodPartition make_pod_partition(const Graph& graph,
+                                              int core_tier = 3);
+
+/// One shard's local topology (see the file comment for the model).
+struct ShardTopology {
+  Graph graph;
+  /// Global node id -> shard-local id (kInvalidNode when not in the shard).
+  std::vector<NodeId> local_of_global;
+  /// Shard-local node id -> global id (the gateway maps to kInvalidNode).
+  std::vector<NodeId> global_of_local;
+  /// Global link id -> shard-local id for intra-shard links (kInvalidLink
+  /// for links of other shards, boundary links, and core links).
+  std::vector<LinkId> local_link_of_global;
+  /// The collapsed-core gateway node, kInvalidNode in the verbatim-copy
+  /// (single-shard) configuration.
+  NodeId gateway = kInvalidNode;
+
+  /// One aggregate link per aggregation switch with core uplinks.
+  struct GatewayLink {
+    LinkId local_link = kInvalidLink;  ///< agg <-> gateway link in `graph`
+    NodeId global_agg = kInvalidNode;  ///< the aggregation switch, global id
+    /// The global boundary links this link aggregates, ascending link id.
+    std::vector<LinkId> global_links;
+    double total_capacity_bps = 0.0;  ///< sum over global_links
+  };
+  std::vector<GatewayLink> gateway_links;
+
+  [[nodiscard]] bool verbatim() const { return gateway == kInvalidNode; }
+};
+
+/// Builds shard `shard`'s local topology under the pod-to-shard assignment
+/// `shard_of_pod`. When every pod maps to `shard` the global graph is
+/// copied verbatim (ids preserved, no gateway). Otherwise the shard's pods
+/// are copied in ascending global id order (nodes, then intra-pod links)
+/// and the core collapses into a gateway: one agg <-> gateway link per
+/// aggregation switch, carrying the sum of that switch's core-uplink
+/// capacities, appended in ascending agg id order.
+[[nodiscard]] ShardTopology build_shard_topology(
+    const Graph& graph, const PodPartition& partition,
+    const std::vector<int>& shard_of_pod, int shard);
+
+/// Contiguous pod-to-shard assignment: `num_pods` pods split into
+/// `num_shards` nearly equal consecutive blocks (front blocks get the
+/// remainder). Throws std::invalid_argument when num_shards is zero or
+/// exceeds num_pods.
+[[nodiscard]] std::vector<int> assign_pods_contiguous(std::size_t num_pods,
+                                                      std::size_t num_shards);
+
+}  // namespace netpp

@@ -278,7 +278,7 @@ void FlowSimulator::admit(FlowSpec spec, FlowId id) {
   const std::size_t index = active_.size() - 1;
   store_flow_links(static_cast<std::uint32_t>(index), route_scratch_);
   if (try_fast_arrival(now, index)) {
-    schedule_next_completion();
+    schedule_completion_for_cap_arrival(index);
     update_flow_gauges();
     if (listener_) listener_(now);
   } else {
@@ -1119,6 +1119,38 @@ void FlowSimulator::schedule_next_completion() {
   if (!std::isfinite(earliest)) return;
   completion_event_ = engine_.schedule_after(
       Seconds{earliest}, [this] { complete_due_flows(engine_.now()); });
+}
+
+void FlowSimulator::schedule_completion_for_cap_arrival(std::size_t index) {
+  // try_fast_arrival only succeeds with a positive uniform cap, and it just
+  // set this flow's rate to exactly that cap — the same division the
+  // completion scan's capped-flow path would perform.
+  const double cap_bps = config_.flow_rate_cap.bits_per_second();
+  const double delay = flow_remaining_[index] / cap_bps;
+  if (!std::isfinite(delay)) return;
+  if (completion_event_.has_value()) {
+    if (engine_.event_time(*completion_event_).value() <=
+        engine_.now().value() + delay) {
+      // An earlier (or equal) completion is already scheduled; the new
+      // flow cannot beat it, and nobody else's estimate moved.
+      return;
+    }
+    engine_.cancel(*completion_event_);
+    completion_event_.reset();
+  }
+  completion_event_ = engine_.schedule_after(
+      Seconds{delay}, [this] { complete_due_flows(engine_.now()); });
+}
+
+void FlowSimulator::set_remaining_bits(std::size_t index, double bits) {
+  validation::require(index < active_.size(), "FlowSimulator",
+                      "set_remaining_bits index must name an active flow");
+  validation::require(
+      std::isfinite(bits) && bits + kEpsBits >= flow_remaining_[index] &&
+          bits <= active_[index].spec.size.value() + kEpsBits,
+      "FlowSimulator",
+      "set_remaining_bits may only raise remaining within [current, size]");
+  flow_remaining_[index] = bits;
 }
 
 void FlowSimulator::complete_due_flows(Seconds now) {

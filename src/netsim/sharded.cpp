@@ -1,0 +1,710 @@
+#include "netpp/netsim/sharded.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "netpp/sim/thread_budget.h"
+#include "netpp/validation.h"
+
+namespace netpp {
+
+namespace {
+
+constexpr const char* kName = "ShardedFlowSimulator";
+
+/// Verbatim single-shard topology: the global graph copied with identical
+/// node and link ids and no gateway. Built directly (not through
+/// build_shard_topology) so one-shard operation works on any graph the
+/// plain FlowSimulator accepts, partitionable or not.
+ShardTopology make_verbatim_topology(const Graph& graph) {
+  ShardTopology topo;
+  for (const Node& n : graph.nodes()) topo.graph.add_node(n.kind, n.tier, n.name);
+  for (const Link& l : graph.links())
+    topo.graph.add_link(l.a, l.b, l.capacity, l.optical);
+  topo.local_of_global.resize(graph.num_nodes());
+  topo.global_of_local.resize(graph.num_nodes());
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+    topo.local_of_global[n] = n;
+    topo.global_of_local[n] = n;
+  }
+  topo.local_link_of_global.resize(graph.num_links());
+  for (LinkId l = 0; l < graph.num_links(); ++l)
+    topo.local_link_of_global[l] = l;
+  return topo;
+}
+
+/// All-in-one-pod fallback partition for single-shard operation on graphs
+/// make_pod_partition rejects (no core layer, multi-stage core).
+PodPartition make_trivial_partition(const Graph& graph) {
+  PodPartition p;
+  p.pod_of_node.assign(graph.num_nodes(), 0);
+  p.num_pods = 1;
+  p.pod_nodes.resize(1);
+  p.pod_nodes[0].resize(graph.num_nodes());
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) p.pod_nodes[0][n] = n;
+  return p;
+}
+
+}  // namespace
+
+ShardedFlowSimulator::ShardedFlowSimulator(const Graph& graph, Config config)
+    : graph_(graph), config_(std::move(config)) {
+  validation::require(config_.num_shards >= 1, kName,
+                      "num_shards must be at least 1");
+  validation::require(
+      std::isfinite(config_.barrier_interval.value()) &&
+          config_.barrier_interval.value() > 0.0,
+      kName, "barrier_interval must be finite and positive");
+  validation::require(config_.shard.telemetry == nullptr, kName,
+                      "shard config must not carry a telemetry bundle (each "
+                      "shard owns a private registry; see merged_metrics)");
+  validation::require(graph_.num_nodes() > 0, kName,
+                      "graph must not be empty");
+
+  std::vector<ShardTopology> topologies;
+  if (config_.num_shards == 1) {
+    try {
+      partition_ = make_pod_partition(graph_);
+    } catch (const std::invalid_argument&) {
+      partition_ = make_trivial_partition(graph_);
+    }
+    shard_of_pod_.assign(partition_.num_pods, 0);
+    topologies.push_back(make_verbatim_topology(graph_));
+  } else {
+    partition_ = make_pod_partition(graph_);
+    shard_of_pod_ =
+        assign_pods_contiguous(partition_.num_pods, config_.num_shards);
+    topologies.reserve(config_.num_shards);
+    for (std::size_t s = 0; s < config_.num_shards; ++s) {
+      topologies.push_back(build_shard_topology(
+          graph_, partition_, shard_of_pod_, static_cast<int>(s)));
+    }
+  }
+
+  shards_.reserve(topologies.size());
+  for (std::size_t s = 0; s < topologies.size(); ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->topo = std::move(topologies[s]);
+    shard->router = std::make_unique<Router>(shard->topo.graph);
+    shard->engine = std::make_unique<SimEngine>();
+    telemetry::TelemetryConfig tcfg;
+    tcfg.events = false;
+    tcfg.sample_period = Seconds{0.0};
+    shard->telemetry = std::make_unique<telemetry::Telemetry>(tcfg);
+    FlowSimulator::Config scfg = config_.shard;
+    scfg.telemetry = shard->telemetry.get();
+    shard->sim = std::make_unique<FlowSimulator>(
+        shard->topo.graph, *shard->router, *shard->engine, scfg);
+    for (std::size_t g = 0; g < shard->topo.gateway_links.size(); ++g) {
+      for (const LinkId l : shard->topo.gateway_links[g].global_links) {
+        gateway_of_boundary_.emplace(
+            l, std::make_pair(static_cast<std::uint32_t>(s),
+                              static_cast<std::uint32_t>(g)));
+      }
+    }
+    shards_.push_back(std::move(shard));
+  }
+}
+
+std::uint32_t ShardedFlowSimulator::shard_of_node(NodeId global) const {
+  validation::require(global < graph_.num_nodes(), kName,
+                      "flow endpoint must be a node of the graph");
+  const int pod = partition_.pod_of_node[global];
+  validation::require(pod != PodPartition::kCore, kName,
+                      "flow endpoints must be pod-local nodes, not core");
+  return static_cast<std::uint32_t>(shard_of_pod_[static_cast<std::size_t>(pod)]);
+}
+
+FlowId ShardedFlowSimulator::submit(const FlowSpec& spec) {
+  validation::require(spec.start.value() + 1e-15 >= now_.value(), kName,
+                      "flow start must not precede the current barrier time");
+  FlowEntry entry;
+  entry.spec = spec;
+  entry.id = next_id_++;
+  entry.src_shard = shard_of_node(spec.src);
+  entry.dst_shard = shard_of_node(spec.dst);
+  const std::uint64_t f = flows_.size();
+
+  if (entry.src_shard == entry.dst_shard) {
+    Shard& s = *shards_[entry.src_shard];
+    FlowSpec local = spec;
+    local.src = s.topo.local_of_global[spec.src];
+    local.dst = s.topo.local_of_global[spec.dst];
+    local.tag = 2 * f;
+    s.sim->submit(local);
+  } else {
+    Shard& src = *shards_[entry.src_shard];
+    Shard& dst = *shards_[entry.dst_shard];
+    FlowSpec ingress = spec;
+    ingress.src = src.topo.local_of_global[spec.src];
+    ingress.dst = src.topo.gateway;
+    ingress.tag = 2 * f + 1;
+    src.sim->submit(ingress);
+    ++src.live_cross_halves;
+    FlowSpec egress = spec;
+    egress.src = dst.topo.gateway;
+    egress.dst = dst.topo.local_of_global[spec.dst];
+    egress.tag = 2 * f + 1;
+    dst.sim->submit(egress);
+    ++dst.live_cross_halves;
+  }
+  flows_.push_back(entry);
+  return entry.id;
+}
+
+void ShardedFlowSimulator::run_until(Seconds until) {
+  validation::require(
+      std::isfinite(until.value()) && until.value() + 1e-15 >= now_.value(),
+      kName, "run_until target must be finite and not precede now");
+  const double interval = config_.barrier_interval.value();
+  while (now_.value() < until.value()) {
+    // Barriers sit on the fixed grid cursor * interval (recomputed by
+    // multiplication, never accumulated) plus the caller's boundary, so the
+    // window sequence — and with it every cross-shard exchange — is the
+    // same no matter how the caller slices its run_until calls.
+    const double next_grid =
+        static_cast<double>(grid_cursor_ + 1) * interval;
+    const bool grid_hit = next_grid <= until.value();
+    const Seconds target{grid_hit ? next_grid : until.value()};
+    advance_shards(target);
+    now_ = target;
+    barrier_sync();
+    if (grid_hit) ++grid_cursor_;
+  }
+}
+
+void ShardedFlowSimulator::advance_shards(Seconds target) {
+  const std::size_t n = shards_.size();
+  const std::size_t requested =
+      config_.num_threads != 0 ? config_.num_threads : thread_budget::pool_size();
+  const thread_budget::ThreadLease lease{std::min(requested, n)};
+  const std::size_t workers = std::min(lease.granted(), n);
+
+  if (workers <= 1 || n == 1) {
+    for (auto& shard : shards_) shard->engine->run_until(target);
+    return;
+  }
+
+  // Workers claim whole shards; two workers never touch the same shard, and
+  // nothing cross-shard happens until the serial barrier phase, so the only
+  // shared state is the claim counter.
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  std::size_t first_error_shard = std::numeric_limits<std::size_t>::max();
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t s = next.fetch_add(1, std::memory_order_relaxed);
+      if (s >= shards_.size()) return;
+      try {
+        shards_[s]->engine->run_until(target);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (s < first_error_shard) {
+          first_error_shard = s;
+          first_error = std::current_exception();
+        }
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (auto& thread : pool) thread.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void ShardedFlowSimulator::barrier_sync() {
+  drain_completions();
+  reconcile_cross_flows();
+}
+
+void ShardedFlowSimulator::drain_completions() {
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    const auto& records = shard.sim->completed();
+    for (std::size_t i = shard.completed_cursor; i < records.size(); ++i) {
+      const FlowRecord& rec = records[i];
+      FlowEntry& entry = flows_[rec.spec.tag >> 1];
+      if ((rec.spec.tag & 1) == 0) {
+        complete_entry(entry, rec.finished.value());
+        continue;
+      }
+      if (static_cast<std::uint32_t>(s) == entry.src_shard) {
+        entry.finished_src = rec.finished.value();
+      } else {
+        entry.finished_dst = rec.finished.value();
+      }
+      --shard.live_cross_halves;
+      if (entry.finished_src >= 0.0 && entry.finished_dst >= 0.0) {
+        complete_entry(entry,
+                       std::max(entry.finished_src, entry.finished_dst));
+      }
+    }
+    shard.completed_cursor = records.size();
+  }
+}
+
+void ShardedFlowSimulator::complete_entry(FlowEntry& entry, double finished) {
+  entry.completed = true;
+  FlowRecord record;
+  record.id = entry.id;
+  record.spec = entry.spec;
+  record.finished = Seconds{finished};
+  fct_.add(record.fct().value());
+  completed_.push_back(record);
+}
+
+void ShardedFlowSimulator::reconcile_cross_flows() {
+  bool any = false;
+  for (const auto& shard : shards_) any = any || shard->live_cross_halves > 0;
+  if (!any) return;
+
+  const std::uint32_t gen = ++barrier_gen_;
+  std::vector<std::uint32_t> touched;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    if (shard.live_cross_halves == 0) continue;
+    shard.sim->settle_to_now();
+    const auto remaining = shard.sim->remaining_bits();
+    const std::size_t active = shard.sim->active_flows();
+    for (std::size_t i = 0; i < active; ++i) {
+      const std::uint64_t tag = shard.sim->active_flow_tag(i);
+      if ((tag & 1) == 0) continue;
+      const std::uint32_t f = static_cast<std::uint32_t>(tag >> 1);
+      FlowEntry& entry = flows_[f];
+      if (entry.seen_src != gen && entry.seen_dst != gen) touched.push_back(f);
+      if (static_cast<std::uint32_t>(s) == entry.src_shard) {
+        entry.seen_src = gen;
+        entry.index_src = static_cast<std::uint32_t>(i);
+        entry.remaining_src = remaining[i];
+      } else {
+        entry.seen_dst = gen;
+        entry.index_dst = static_cast<std::uint32_t>(i);
+        entry.remaining_dst = remaining[i];
+      }
+    }
+  }
+
+  // Raise the faster half of every live pair to the slower half's remaining
+  // volume: the end-to-end rate is min(halves) at window granularity.
+  // Halves whose partner is pending, stranded, or already finished run
+  // unconstrained this window. Raises leave rates untouched, so per-link
+  // feasibility is preserved; dirty shards re-derive their completion event
+  // once at the end.
+  std::vector<std::uint8_t> dirty(shards_.size(), 0);
+  for (const std::uint32_t f : touched) {
+    FlowEntry& entry = flows_[f];
+    if (entry.seen_src != gen || entry.seen_dst != gen) continue;
+    const double r = std::max(entry.remaining_src, entry.remaining_dst);
+    if (entry.remaining_src < r) {
+      shards_[entry.src_shard]->sim->set_remaining_bits(entry.index_src, r);
+      dirty[entry.src_shard] = 1;
+    } else if (entry.remaining_dst < r) {
+      shards_[entry.dst_shard]->sim->set_remaining_bits(entry.index_dst, r);
+      dirty[entry.dst_shard] = 1;
+    }
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (dirty[s]) shards_[s]->sim->reschedule_completion();
+  }
+}
+
+// --- Faults ---
+
+void ShardedFlowSimulator::set_node_enabled(NodeId id, bool enabled) {
+  validation::require(id < graph_.num_nodes(), kName,
+                      "node id out of range");
+  if (shards_.size() == 1) {
+    shards_[0]->sim->set_node_enabled(id, enabled);
+    return;
+  }
+  const int pod = partition_.pod_of_node[id];
+  if (pod == PodPartition::kCore) {
+    core_enabled_[id] = enabled;
+    for (const Adjacency& adj : graph_.neighbors(id)) {
+      refresh_agg_of_boundary_link(adj.link);
+    }
+    return;
+  }
+  Shard& shard = *shards_[static_cast<std::size_t>(shard_of_pod_[pod])];
+  shard.sim->set_node_enabled(shard.topo.local_of_global[id], enabled);
+}
+
+void ShardedFlowSimulator::set_link_enabled(LinkId id, bool enabled) {
+  validation::require(id < graph_.num_links(), kName,
+                      "link id out of range");
+  if (shards_.size() == 1) {
+    shards_[0]->sim->set_link_enabled(id, enabled);
+    return;
+  }
+  const auto boundary = gateway_of_boundary_.find(id);
+  if (boundary != gateway_of_boundary_.end()) {
+    boundary_state_[id].enabled = enabled;
+    refresh_gateway_link(boundary->second.first, boundary->second.second);
+    return;
+  }
+  const int pod = partition_.pod_of_node[graph_.link(id).a];
+  Shard& shard = *shards_[static_cast<std::size_t>(shard_of_pod_[pod])];
+  shard.sim->set_link_enabled(shard.topo.local_link_of_global[id], enabled);
+}
+
+void ShardedFlowSimulator::set_link_capacity_factor(LinkId id, double factor) {
+  validation::require(id < graph_.num_links(), kName,
+                      "link id out of range");
+  validation::require(std::isfinite(factor) && factor > 0.0 && factor <= 1.0,
+                      kName, "capacity factor must be in (0, 1]");
+  if (shards_.size() == 1) {
+    shards_[0]->sim->set_link_capacity_factor(id, factor);
+    return;
+  }
+  const auto boundary = gateway_of_boundary_.find(id);
+  if (boundary != gateway_of_boundary_.end()) {
+    boundary_state_[id].factor = factor;
+    refresh_gateway_link(boundary->second.first, boundary->second.second);
+    return;
+  }
+  const int pod = partition_.pod_of_node[graph_.link(id).a];
+  Shard& shard = *shards_[static_cast<std::size_t>(shard_of_pod_[pod])];
+  shard.sim->set_link_capacity_factor(shard.topo.local_link_of_global[id],
+                                      factor);
+}
+
+void ShardedFlowSimulator::refresh_agg_of_boundary_link(LinkId global_link) {
+  const auto it = gateway_of_boundary_.find(global_link);
+  if (it == gateway_of_boundary_.end()) return;
+  refresh_gateway_link(it->second.first, it->second.second);
+}
+
+void ShardedFlowSimulator::refresh_gateway_link(std::size_t shard,
+                                                std::size_t gl_index) {
+  Shard& s = *shards_[shard];
+  const ShardTopology::GatewayLink& gl = s.topo.gateway_links[gl_index];
+  double effective = 0.0;
+  for (const LinkId l : gl.global_links) {
+    const Link& link = graph_.link(l);
+    const NodeId core = partition_.is_core(link.a) ? link.a : link.b;
+    const auto ce = core_enabled_.find(core);
+    if (ce != core_enabled_.end() && !ce->second) continue;
+    const auto bs = boundary_state_.find(l);
+    if (bs != boundary_state_.end()) {
+      if (!bs->second.enabled) continue;
+      effective += link.capacity.bits_per_second() * bs->second.factor;
+    } else {
+      effective += link.capacity.bits_per_second();
+    }
+  }
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(shard) << 32) | gl_index;
+  const bool was_disabled = gateway_link_disabled_.count(key) != 0;
+  if (effective <= 0.0) {
+    if (!was_disabled) {
+      s.sim->set_link_enabled(gl.local_link, false);
+      gateway_link_disabled_.emplace(key, true);
+    }
+    return;
+  }
+  const double factor = effective / gl.total_capacity_bps;
+  s.sim->set_link_capacity_factor(gl.local_link, factor);
+  if (was_disabled) {
+    s.sim->set_link_enabled(gl.local_link, true);
+    gateway_link_disabled_.erase(key);
+  }
+}
+
+// --- Results ---
+
+std::size_t ShardedFlowSimulator::active_flows() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->sim->active_flows();
+  return total;
+}
+
+std::size_t ShardedFlowSimulator::stranded_flows() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->sim->stranded_flows();
+  return total;
+}
+
+std::size_t ShardedFlowSimulator::unroutable_flows() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->sim->unroutable_flows();
+  return total;
+}
+
+FlowSimulator::ReallocStats ShardedFlowSimulator::realloc_stats() const {
+  FlowSimulator::ReallocStats total;
+  for (const auto& shard : shards_) {
+    const FlowSimulator::ReallocStats& s = shard->sim->realloc_stats();
+    total.full_solves += s.full_solves;
+    total.fast_arrivals += s.fast_arrivals;
+    total.fast_departures += s.fast_departures;
+    total.binding_solves += s.binding_solves;
+    total.binding_subset_flows += s.binding_subset_flows;
+    total.topology_changes += s.topology_changes;
+    total.reroutes += s.reroutes;
+    total.stranded += s.stranded;
+    total.resumed += s.resumed;
+    total.route_cache.hits += s.route_cache.hits;
+    total.route_cache.misses += s.route_cache.misses;
+    total.route_cache.epoch_flushes += s.route_cache.epoch_flushes;
+    total.route_cache.entries += s.route_cache.entries;
+    total.route_cache.pool_bytes += s.route_cache.pool_bytes;
+  }
+  return total;
+}
+
+std::vector<telemetry::MetricSample> ShardedFlowSimulator::merged_metrics()
+    const {
+  std::vector<telemetry::MetricSample> merged;
+  std::unordered_map<std::string, std::size_t> index;
+  for (const auto& shard : shards_) {
+    shard->sim->flush_metrics();
+    for (telemetry::MetricSample& sample :
+         shard->telemetry->metrics().snapshot()) {
+      const auto it = index.find(sample.name);
+      if (it == index.end()) {
+        index.emplace(sample.name, merged.size());
+        merged.push_back(std::move(sample));
+        continue;
+      }
+      telemetry::MetricSample& into = merged[it->second];
+      validation::require(into.kind == sample.kind, kName,
+                          "merged metric kinds must agree across shards");
+      into.value += sample.value;
+      into.count += sample.count;
+      if (sample.count > 0) {
+        if (into.count == sample.count || sample.min < into.min)
+          into.min = sample.min;
+        if (into.count == sample.count || sample.max > into.max)
+          into.max = sample.max;
+      }
+      if (!sample.buckets.empty()) {
+        validation::require(into.bounds == sample.bounds, kName,
+                            "merged histogram bounds must agree across shards");
+        for (std::size_t b = 0; b < sample.buckets.size(); ++b)
+          into.buckets[b] += sample.buckets[b];
+      }
+    }
+  }
+  return merged;
+}
+
+// --- Snapshot / restore ---
+
+void ShardedFlowSimulator::save_state(state::SnapshotWriter& w) const {
+  w.begin_section("sharded");
+  // Config echo: restore targets must be built identically.
+  w.put_u64(config_.num_shards);
+  w.put_f64(config_.barrier_interval.value());
+  w.put_u64(config_.shard.max_ecmp_paths);
+  w.put_f64(config_.shard.flow_rate_cap.value());
+  w.put_bool(config_.shard.use_route_cache);
+  w.put_bool(config_.shard.incremental_reallocation);
+  w.put_bool(config_.shard.strand_unroutable);
+
+  w.put_f64(now_.value());
+  w.put_u64(grid_cursor_);
+  w.put_u64(next_id_);
+  w.put_u64(fct_.count());
+  w.put_f64(fct_.mean());
+  w.put_f64(fct_.m2());
+  w.put_f64(fct_.sum());
+  w.put_f64(fct_.raw_min());
+  w.put_f64(fct_.raw_max());
+
+  w.put_u64(flows_.size());
+  for (const FlowEntry& e : flows_) {
+    w.put_u32(e.spec.src);
+    w.put_u32(e.spec.dst);
+    w.put_f64(e.spec.size.value());
+    w.put_f64(e.spec.start.value());
+    w.put_u64(e.spec.tag);
+    w.put_u64(e.id);
+    w.put_u32(e.src_shard);
+    w.put_u32(e.dst_shard);
+    w.put_f64(e.finished_src);
+    w.put_f64(e.finished_dst);
+    w.put_bool(e.completed);
+  }
+  // Records rebuild their specs from the flow table: driver ids are
+  // assigned sequentially from 1, so id - 1 indexes flows_.
+  w.put_u64(completed_.size());
+  for (const FlowRecord& r : completed_) {
+    w.put_u64(r.id);
+    w.put_f64(r.finished.value());
+  }
+
+  // Fault state, sorted by id for a canonical image.
+  std::vector<std::pair<LinkId, BoundaryState>> boundary(
+      boundary_state_.begin(), boundary_state_.end());
+  std::sort(boundary.begin(), boundary.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w.put_u64(boundary.size());
+  for (const auto& [link, bs] : boundary) {
+    w.put_u32(link);
+    w.put_bool(bs.enabled);
+    w.put_f64(bs.factor);
+  }
+  std::vector<std::pair<NodeId, bool>> cores(core_enabled_.begin(),
+                                             core_enabled_.end());
+  std::sort(cores.begin(), cores.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w.put_u64(cores.size());
+  for (const auto& [node, enabled] : cores) {
+    w.put_u32(node);
+    w.put_bool(enabled);
+  }
+  std::vector<std::uint64_t> disabled;
+  disabled.reserve(gateway_link_disabled_.size());
+  for (const auto& [key, value] : gateway_link_disabled_) {
+    (void)value;
+    disabled.push_back(key);
+  }
+  std::sort(disabled.begin(), disabled.end());
+  w.put_u64_vec(disabled);
+
+  for (const auto& shard : shards_) {
+    w.put_u64(shard->completed_cursor);
+    w.put_u64(shard->live_cross_halves);
+    w.put_f64(shard->engine->now().value());
+    w.put_u64(shard->engine->next_seq());
+  }
+  w.end_section();
+
+  for (const auto& shard : shards_) shard->sim->save_state(w);
+}
+
+void ShardedFlowSimulator::restore_state(state::SnapshotReader& r) {
+  r.open_section("sharded");
+  validation::require(r.get_u64() == config_.num_shards, kName,
+                      "restored num_shards must match");
+  validation::require(r.get_f64() == config_.barrier_interval.value(), kName,
+                      "restored barrier_interval must match");
+  validation::require(r.get_u64() == config_.shard.max_ecmp_paths, kName,
+                      "restored max_ecmp_paths must match");
+  validation::require(r.get_f64() == config_.shard.flow_rate_cap.value(),
+                      kName, "restored flow_rate_cap must match");
+  validation::require(r.get_bool() == config_.shard.use_route_cache, kName,
+                      "restored use_route_cache must match");
+  validation::require(
+      r.get_bool() == config_.shard.incremental_reallocation, kName,
+      "restored incremental_reallocation must match");
+  validation::require(r.get_bool() == config_.shard.strand_unroutable, kName,
+                      "restored strand_unroutable must match");
+
+  now_ = Seconds{r.get_f64()};
+  grid_cursor_ = r.get_u64();
+  next_id_ = r.get_u64();
+  {
+    const std::uint64_t n = r.get_u64();
+    const double mean = r.get_f64();
+    const double m2 = r.get_f64();
+    const double sum = r.get_f64();
+    const double min = r.get_f64();
+    const double max = r.get_f64();
+    fct_ = SummaryStat{};
+    fct_.restore(n, mean, m2, sum, min, max);
+  }
+
+  flows_.clear();
+  flows_.resize(r.get_u64());
+  for (FlowEntry& e : flows_) {
+    e.spec.src = r.get_u32();
+    e.spec.dst = r.get_u32();
+    e.spec.size = Bits{r.get_f64()};
+    e.spec.start = Seconds{r.get_f64()};
+    e.spec.tag = r.get_u64();
+    e.id = r.get_u64();
+    e.src_shard = r.get_u32();
+    e.dst_shard = r.get_u32();
+    e.finished_src = r.get_f64();
+    e.finished_dst = r.get_f64();
+    e.completed = r.get_bool();
+  }
+  completed_.clear();
+  completed_.resize(r.get_u64());
+  for (FlowRecord& rec : completed_) {
+    rec.id = r.get_u64();
+    validation::require(rec.id >= 1 && rec.id <= flows_.size(), kName,
+                        "restored completion references an unknown flow");
+    rec.spec = flows_[rec.id - 1].spec;
+    rec.finished = Seconds{r.get_f64()};
+  }
+
+  boundary_state_.clear();
+  for (std::uint64_t i = 0, n = r.get_u64(); i < n; ++i) {
+    const LinkId link = r.get_u32();
+    BoundaryState bs;
+    bs.enabled = r.get_bool();
+    bs.factor = r.get_f64();
+    boundary_state_.emplace(link, bs);
+  }
+  core_enabled_.clear();
+  for (std::uint64_t i = 0, n = r.get_u64(); i < n; ++i) {
+    const NodeId node = r.get_u32();
+    core_enabled_[node] = r.get_bool();
+  }
+  gateway_link_disabled_.clear();
+  for (const std::uint64_t key : r.get_u64_vec()) {
+    gateway_link_disabled_.emplace(key, true);
+  }
+
+  struct Clock {
+    double now;
+    std::uint64_t seq;
+  };
+  std::vector<Clock> clocks(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s]->completed_cursor = r.get_u64();
+    shards_[s]->live_cross_halves = r.get_u64();
+    clocks[s].now = r.get_f64();
+    clocks[s].seq = r.get_u64();
+  }
+  r.close_section();
+
+  barrier_gen_ = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s]->engine->restore_clock(Seconds{clocks[s].now}, clocks[s].seq);
+    shards_[s]->sim->restore_state(r);
+  }
+  check_invariants();
+}
+
+void ShardedFlowSimulator::check_invariants() const {
+  for (const auto& shard : shards_) shard->sim->check_invariants();
+  validation::require(completed_.size() <= flows_.size(), kName,
+                      "completed count must not exceed submissions");
+  validation::require(fct_.count() == completed_.size(), kName,
+                      "fct stats must count exactly the completed flows");
+  std::vector<std::size_t> live(shards_.size(), 0);
+  std::size_t done = 0;
+  for (const FlowEntry& e : flows_) {
+    if (e.completed) ++done;
+    if (!e.cross()) continue;
+    validation::require(e.completed == (e.finished_src >= 0.0 &&
+                                        e.finished_dst >= 0.0),
+                        kName,
+                        "a cross flow completes exactly when both halves do");
+    if (e.finished_src < 0.0) ++live[e.src_shard];
+    if (e.finished_dst < 0.0) ++live[e.dst_shard];
+  }
+  validation::require(done == completed_.size(), kName,
+                      "completed flags must agree with the record list");
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    validation::require(live[s] == shards_[s]->live_cross_halves, kName,
+                        "live cross-half counters must match the flow table");
+    validation::require(
+        shards_[s]->completed_cursor == shards_[s]->sim->completed().size(),
+        kName, "barrier cursors must be fully drained at a barrier");
+  }
+}
+
+}  // namespace netpp

@@ -6,6 +6,8 @@
 #include <mutex>
 #include <thread>
 
+#include "netpp/sim/thread_budget.h"
+
 namespace netpp {
 
 namespace {
@@ -20,10 +22,8 @@ std::uint64_t splitmix64(std::uint64_t x) {
 }  // namespace
 
 SweepRunner::SweepRunner(SweepConfig config)
-    : num_threads_(config.num_threads != 0
-                       ? config.num_threads
-                       : std::max<std::size_t>(
-                             1, std::thread::hardware_concurrency())),
+    : num_threads_(config.num_threads != 0 ? config.num_threads
+                                           : thread_budget::pool_size()),
       base_seed_(config.base_seed) {}
 
 std::uint64_t SweepRunner::scenario_seed(std::size_t index) const {
@@ -36,7 +36,12 @@ std::uint64_t SweepRunner::scenario_seed(std::size_t index) const {
 void SweepRunner::run_indexed(std::size_t n,
                               const std::function<void(std::size_t)>& task) {
   if (n == 0) return;
-  const std::size_t workers = std::min(num_threads_, n);
+  // Lease workers from the shared budget so a sweep whose scenarios spin up
+  // their own pools (sharded simulations) does not oversubscribe the
+  // machine. The grant only sizes the pool; per-scenario seeding and
+  // pre-sized result slots keep results independent of it.
+  const thread_budget::ThreadLease lease{std::min(num_threads_, n)};
+  const std::size_t workers = std::min(lease.granted(), n);
 
   std::atomic<std::size_t> next{0};
   std::mutex error_mutex;

@@ -1,0 +1,176 @@
+#include "netpp/topo/pods.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace netpp {
+
+PodPartition make_pod_partition(const Graph& graph, int core_tier) {
+  const std::size_t n = graph.num_nodes();
+  PodPartition out;
+  out.core_tier = core_tier;
+  out.pod_of_node.assign(n, PodPartition::kCore);
+
+  std::size_t non_core = 0;
+  for (const Node& node : graph.nodes()) {
+    if (node.tier < core_tier) ++non_core;
+  }
+  if (non_core == 0) {
+    throw std::invalid_argument(
+        "PodPartition: graph has no nodes below the core tier");
+  }
+
+  // Flood-fill the non-core subgraph. Seeds are visited in ascending node
+  // id, so pod numbering is reproducible: pod k has the k-th smallest
+  // unvisited seed as its smallest member.
+  std::vector<NodeId> queue;
+  for (NodeId seed = 0; seed < n; ++seed) {
+    if (graph.node(seed).tier >= core_tier ||
+        out.pod_of_node[seed] != PodPartition::kCore) {
+      continue;
+    }
+    const int pod = static_cast<int>(out.num_pods++);
+    out.pod_nodes.emplace_back();
+    queue.clear();
+    queue.push_back(seed);
+    out.pod_of_node[seed] = pod;
+    while (!queue.empty()) {
+      const NodeId at = queue.back();
+      queue.pop_back();
+      out.pod_nodes[pod].push_back(at);
+      for (const Adjacency& adj : graph.neighbors(at)) {
+        if (graph.node(adj.neighbor).tier >= core_tier) continue;
+        if (out.pod_of_node[adj.neighbor] != PodPartition::kCore) continue;
+        out.pod_of_node[adj.neighbor] = pod;
+        queue.push_back(adj.neighbor);
+      }
+    }
+    std::sort(out.pod_nodes[pod].begin(), out.pod_nodes[pod].end());
+  }
+
+  for (const Link& link : graph.links()) {
+    const bool a_core = graph.node(link.a).tier >= core_tier;
+    const bool b_core = graph.node(link.b).tier >= core_tier;
+    if (a_core && b_core) {
+      throw std::invalid_argument(
+          "PodPartition: core-to-core links are not supported (link " +
+          std::to_string(link.id) + ")");
+    }
+    if (a_core != b_core) out.boundary_links.push_back(link.id);
+  }
+  return out;
+}
+
+std::vector<int> assign_pods_contiguous(std::size_t num_pods,
+                                        std::size_t num_shards) {
+  if (num_shards == 0 || num_shards > num_pods) {
+    throw std::invalid_argument(
+        "PodPartition: num_shards must be in [1, num_pods]");
+  }
+  std::vector<int> shard_of_pod(num_pods);
+  const std::size_t base = num_pods / num_shards;
+  const std::size_t extra = num_pods % num_shards;
+  std::size_t pod = 0;
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    const std::size_t count = base + (s < extra ? 1 : 0);
+    for (std::size_t i = 0; i < count; ++i) {
+      shard_of_pod[pod++] = static_cast<int>(s);
+    }
+  }
+  return shard_of_pod;
+}
+
+ShardTopology build_shard_topology(const Graph& graph,
+                                   const PodPartition& partition,
+                                   const std::vector<int>& shard_of_pod,
+                                   int shard) {
+  if (shard_of_pod.size() != partition.num_pods) {
+    throw std::invalid_argument(
+        "PodPartition: shard assignment size does not match the pod count");
+  }
+  const bool whole = std::all_of(shard_of_pod.begin(), shard_of_pod.end(),
+                                 [shard](int s) { return s == shard; });
+
+  ShardTopology out;
+  out.local_of_global.assign(graph.num_nodes(), kInvalidNode);
+  out.global_of_local.clear();
+  out.local_link_of_global.assign(graph.num_links(), kInvalidLink);
+
+  if (whole) {
+    // Verbatim copy: same node and link ids, core included, no gateway.
+    // This is the single-shard configuration that stays bit-identical to
+    // the plain FlowSimulator over the original graph.
+    for (const Node& node : graph.nodes()) {
+      const NodeId local = out.graph.add_node(node.kind, node.tier, node.name);
+      out.local_of_global[node.id] = local;
+      out.global_of_local.push_back(node.id);
+    }
+    for (const Link& link : graph.links()) {
+      out.local_link_of_global[link.id] = out.graph.add_link(
+          link.a, link.b, link.capacity, link.optical);
+    }
+    return out;
+  }
+
+  const auto in_shard = [&](NodeId n) {
+    const int pod = partition.pod_of_node[n];
+    return pod != PodPartition::kCore && shard_of_pod[pod] == shard;
+  };
+
+  // Nodes in ascending global id order, then the gateway last: local ids
+  // are a pure function of the partition, independent of shard count.
+  for (const Node& node : graph.nodes()) {
+    if (!in_shard(node.id)) continue;
+    const NodeId local = out.graph.add_node(node.kind, node.tier, node.name);
+    out.local_of_global[node.id] = local;
+    out.global_of_local.push_back(node.id);
+  }
+  if (out.global_of_local.empty()) {
+    throw std::invalid_argument("PodPartition: shard has no pods");
+  }
+  out.gateway =
+      out.graph.add_node(NodeKind::kSwitch, partition.core_tier, "gateway");
+  out.global_of_local.push_back(kInvalidNode);
+
+  // Intra-shard links in ascending global link id order.
+  for (const Link& link : graph.links()) {
+    if (!in_shard(link.a) || !in_shard(link.b)) continue;
+    out.local_link_of_global[link.id] =
+        out.graph.add_link(out.local_of_global[link.a],
+                           out.local_of_global[link.b], link.capacity,
+                           link.optical);
+  }
+
+  // Collapse each member agg's core uplinks into one gateway link. Boundary
+  // links are ascending by construction, and each switch's links group by
+  // the non-core endpoint in first-appearance order — which is ascending
+  // agg id because graph builders add a switch's uplinks consecutively; to
+  // stay robust for hand-built graphs, gather per agg first, then emit in
+  // ascending agg id order.
+  std::vector<std::vector<LinkId>> uplinks_of_local(
+      out.graph.num_nodes());
+  for (const LinkId lid : partition.boundary_links) {
+    const Link& link = graph.link(lid);
+    const NodeId side = partition.is_core(link.a) ? link.b : link.a;
+    if (!in_shard(side)) continue;
+    uplinks_of_local[out.local_of_global[side]].push_back(lid);
+  }
+  for (NodeId local = 0; local < uplinks_of_local.size(); ++local) {
+    const auto& uplinks = uplinks_of_local[local];
+    if (uplinks.empty()) continue;
+    ShardTopology::GatewayLink gl;
+    gl.global_agg = out.global_of_local[local];
+    gl.global_links = uplinks;
+    for (const LinkId lid : uplinks) {
+      gl.total_capacity_bps += graph.link(lid).capacity.bits_per_second();
+    }
+    const bool optical = graph.link(uplinks.front()).optical;
+    gl.local_link = out.graph.add_link(
+        local, out.gateway, Gbps{gl.total_capacity_bps / 1e9}, optical);
+    out.gateway_links.push_back(std::move(gl));
+  }
+  return out;
+}
+
+}  // namespace netpp

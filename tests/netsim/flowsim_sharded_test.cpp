@@ -1,0 +1,387 @@
+// Sharded flow simulation equivalence suite.
+//
+// The contracts under test (see netpp/netsim/sharded.h):
+//   1. One shard is bit-identical to a plain FlowSimulator over the same
+//      submissions — same ids, same completion times, same stats.
+//   2. For a fixed shard count, results are bit-identical regardless of the
+//      worker-thread count (1, 2, and 4 workers here; the TSan job runs
+//      this file to prove the window phase is race-free).
+//   3. Cross-shard flows obey the min-progress coupling: the end-to-end
+//      completion time tracks the bottleneck half.
+//   4. Mid-run faults (core kill, pod-local agg kill, recovery) keep every
+//      shard's invariants intact and strand/resume flows correctly.
+//   5. A run resumed from save_state/restore_state is bit-identical to the
+//      uninterrupted run.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "netpp/netsim/flowsim.h"
+#include "netpp/netsim/sharded.h"
+#include "netpp/sim/thread_budget.h"
+#include "netpp/state/snapshot.h"
+#include "netpp/topo/builders.h"
+#include "netpp/topo/pods.h"
+#include "netpp/traffic/generators.h"
+
+namespace netpp {
+namespace {
+
+using namespace netpp::literals;
+
+std::vector<FlowSpec> poisson_workload(const BuiltTopology& topo,
+                                       double rate, double duration,
+                                       std::uint64_t seed) {
+  PoissonTrafficConfig tcfg;
+  tcfg.arrivals_per_second = rate;
+  tcfg.duration = Seconds{duration};
+  tcfg.min_size = Bits::from_gigabits(0.2);
+  tcfg.max_size = Bits::from_gigabits(4.0);
+  tcfg.seed = seed;
+  return make_poisson_traffic(topo.hosts, tcfg);
+}
+
+/// Bitwise comparison of two completion sequences.
+void expect_identical_results(const ShardedFlowSimulator& a,
+                              const std::vector<FlowRecord>& b_completed,
+                              const SummaryStat& b_fct) {
+  ASSERT_EQ(a.completed().size(), b_completed.size());
+  for (std::size_t i = 0; i < b_completed.size(); ++i) {
+    const FlowRecord& ra = a.completed()[i];
+    const FlowRecord& rb = b_completed[i];
+    ASSERT_EQ(ra.id, rb.id) << "record " << i;
+    EXPECT_EQ(ra.finished.value(), rb.finished.value()) << "record " << i;
+    EXPECT_EQ(ra.spec.src, rb.spec.src);
+    EXPECT_EQ(ra.spec.dst, rb.spec.dst);
+    EXPECT_EQ(ra.spec.tag, rb.spec.tag);
+  }
+  EXPECT_EQ(a.fct_stats().count(), b_fct.count());
+  EXPECT_EQ(a.fct_stats().mean(), b_fct.mean());
+  EXPECT_EQ(a.fct_stats().m2(), b_fct.m2());
+  EXPECT_EQ(a.fct_stats().sum(), b_fct.sum());
+}
+
+// --- Pod partition / shard topology unit checks ---
+
+TEST(PodPartition, FatTreeStructure) {
+  const auto topo = build_fat_tree(4, 100_Gbps);
+  const PodPartition p = make_pod_partition(topo.graph);
+  EXPECT_EQ(p.num_pods, 4u);
+  // k=4: each pod holds 2 edge + 2 agg switches and 4 hosts.
+  for (const auto& pod : p.pod_nodes) EXPECT_EQ(pod.size(), 8u);
+  // Every agg has k/2 = 2 core uplinks; 8 aggs -> 16 boundary links.
+  EXPECT_EQ(p.boundary_links.size(), 16u);
+  std::size_t cores = 0;
+  for (NodeId n = 0; n < topo.graph.num_nodes(); ++n) {
+    if (p.is_core(n)) {
+      ++cores;
+      EXPECT_GE(topo.graph.node(n).tier, 3);
+    }
+  }
+  EXPECT_EQ(cores, 4u);
+}
+
+TEST(PodPartition, ContiguousAssignment) {
+  const auto assign = assign_pods_contiguous(8, 4);
+  EXPECT_EQ(assign, (std::vector<int>{0, 0, 1, 1, 2, 2, 3, 3}));
+  const auto uneven = assign_pods_contiguous(5, 2);
+  EXPECT_EQ(uneven, (std::vector<int>{0, 0, 0, 1, 1}));
+  EXPECT_THROW(assign_pods_contiguous(4, 0), std::invalid_argument);
+  EXPECT_THROW(assign_pods_contiguous(4, 5), std::invalid_argument);
+}
+
+TEST(ShardTopology, GatewayCollapse) {
+  const auto topo = build_fat_tree(4, 100_Gbps);
+  const PodPartition p = make_pod_partition(topo.graph);
+  const auto assign = assign_pods_contiguous(p.num_pods, 2);
+  const ShardTopology st = build_shard_topology(topo.graph, p, assign, 0);
+  ASSERT_FALSE(st.verbatim());
+  // Two pods of 8 nodes plus the gateway.
+  EXPECT_EQ(st.graph.num_nodes(), 17u);
+  // Four aggs in the shard, one gateway link each, at 2 x 100G aggregate.
+  ASSERT_EQ(st.gateway_links.size(), 4u);
+  for (const auto& gl : st.gateway_links) {
+    EXPECT_EQ(gl.global_links.size(), 2u);
+    EXPECT_DOUBLE_EQ(gl.total_capacity_bps, 200e9);
+    EXPECT_DOUBLE_EQ(st.graph.link(gl.local_link).capacity.bits_per_second(),
+                     200e9);
+  }
+  // Mappings are mutually inverse over the shard's nodes.
+  for (NodeId local = 0; local < st.graph.num_nodes(); ++local) {
+    const NodeId global = st.global_of_local[local];
+    if (global == kInvalidNode) {
+      EXPECT_EQ(local, st.gateway);
+      continue;
+    }
+    EXPECT_EQ(st.local_of_global[global], local);
+  }
+}
+
+// --- Contract 1: one shard == plain FlowSimulator, bitwise ---
+
+TEST(ShardedFlowSim, SingleShardBitIdenticalToFlowSimulator) {
+  const auto topo = build_fat_tree(4, 100_Gbps);
+  const auto flows = poisson_workload(topo, 300.0, 2.0, 42);
+  const Seconds horizon{3.5};
+
+  SimEngine engine;
+  Router router{topo.graph};
+  FlowSimulator::Config cfg;
+  cfg.flow_rate_cap = 25_Gbps;
+  FlowSimulator plain{topo.graph, router, engine, cfg};
+  for (const auto& f : flows) plain.submit(f);
+  engine.run_until(horizon);
+
+  ShardedFlowSimulator::Config scfg;
+  scfg.num_shards = 1;
+  scfg.shard.flow_rate_cap = 25_Gbps;
+  ShardedFlowSimulator sharded{topo.graph, scfg};
+  for (const auto& f : flows) sharded.submit(f);
+  sharded.run_until(horizon);
+
+  expect_identical_results(sharded, plain.completed(), plain.fct_stats());
+  EXPECT_EQ(sharded.active_flows(), plain.active_flows());
+  sharded.check_invariants();
+}
+
+TEST(ShardedFlowSim, SingleShardBitIdenticalUnderFaults) {
+  const auto topo = build_fat_tree(4, 100_Gbps);
+  const auto flows = poisson_workload(topo, 250.0, 2.0, 7);
+
+  SimEngine engine;
+  Router router{topo.graph};
+  FlowSimulator::Config cfg;
+  cfg.flow_rate_cap = 25_Gbps;
+  cfg.strand_unroutable = true;
+  FlowSimulator plain{topo.graph, router, engine, cfg};
+  for (const auto& f : flows) plain.submit(f);
+
+  ShardedFlowSimulator::Config scfg;
+  scfg.num_shards = 1;
+  scfg.shard.flow_rate_cap = 25_Gbps;
+  scfg.shard.strand_unroutable = true;
+  ShardedFlowSimulator sharded{topo.graph, scfg};
+  for (const auto& f : flows) sharded.submit(f);
+
+  // Kill an aggregation switch and a core mid-run, then recover both.
+  const NodeId agg = topo.graph.nodes_at_tier(2).front();
+  const NodeId core = topo.graph.nodes_at_tier(3).front();
+  engine.run_until(Seconds{0.5});
+  sharded.run_until(Seconds{0.5});
+  plain.set_node_enabled(agg, false);
+  plain.set_node_enabled(core, false);
+  sharded.set_node_enabled(agg, false);
+  sharded.set_node_enabled(core, false);
+  engine.run_until(Seconds{1.2});
+  sharded.run_until(Seconds{1.2});
+  plain.set_node_enabled(agg, true);
+  plain.set_node_enabled(core, true);
+  sharded.set_node_enabled(agg, true);
+  sharded.set_node_enabled(core, true);
+  engine.run_until(Seconds{3.5});
+  sharded.run_until(Seconds{3.5});
+
+  expect_identical_results(sharded, plain.completed(), plain.fct_stats());
+  EXPECT_EQ(sharded.stranded_flows(), plain.stranded_flows());
+  EXPECT_EQ(sharded.realloc_stats().reroutes, plain.realloc_stats().reroutes);
+  sharded.check_invariants();
+}
+
+// --- Contract 2: fixed shards, bit-identical across worker counts ---
+
+TEST(ShardedFlowSim, BitIdenticalAcrossWorkerThreadCounts) {
+  // Raise the process thread budget so the requested worker counts are
+  // actually granted (the suite also runs on single-core CI hosts).
+  thread_budget::set_pool_size(4);
+  const auto topo = build_fat_tree(4, 100_Gbps);
+  const auto flows = poisson_workload(topo, 400.0, 2.0, 123);
+  const Seconds horizon{3.0};
+
+  std::vector<FlowRecord> reference;
+  SummaryStat reference_fct;
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    ShardedFlowSimulator::Config scfg;
+    scfg.num_shards = 2;
+    scfg.num_threads = threads;
+    scfg.shard.flow_rate_cap = 25_Gbps;
+    ShardedFlowSimulator sim{topo.graph, scfg};
+    for (const auto& f : flows) sim.submit(f);
+    sim.run_until(horizon);
+    sim.check_invariants();
+    if (threads == 1) {
+      reference = sim.completed();
+      reference_fct = sim.fct_stats();
+      EXPECT_GT(reference.size(), 0u);
+      continue;
+    }
+    expect_identical_results(sim, reference, reference_fct);
+  }
+}
+
+// --- Contract 3: min-progress coupling across the gateway ---
+
+TEST(ShardedFlowSim, CrossShardFlowTracksBottleneckHalf) {
+  const auto topo = build_fat_tree(4, 100_Gbps);
+  const NodeId src = topo.hosts.front();  // pod 0 -> shard 0
+  const NodeId dst = topo.hosts.back();   // pod 3 -> shard 1
+
+  // Degrade the destination host's access link to 5%: the egress half is
+  // the 5 Gbps bottleneck while the ingress half could run at line rate.
+  LinkId access = kInvalidLink;
+  for (const Link& l : topo.graph.links()) {
+    if (l.a == dst || l.b == dst) access = l.id;
+  }
+  ASSERT_NE(access, kInvalidLink);
+
+  ShardedFlowSimulator::Config scfg;
+  scfg.num_shards = 2;
+  ShardedFlowSimulator sim{topo.graph, scfg};
+  sim.set_link_capacity_factor(access, 0.05);
+  sim.submit({src, dst, Bits::from_gigabits(3.0), Seconds{0.0}, 99});
+  sim.run_until(Seconds{1.0});
+
+  // Plain-simulator ground truth: 3 Gb over a 5 Gbps bottleneck = 0.6 s.
+  ASSERT_EQ(sim.completed().size(), 1u);
+  EXPECT_NEAR(sim.completed().front().finished.value(), 0.6, 1e-9);
+  EXPECT_EQ(sim.completed().front().spec.tag, 99u);
+  EXPECT_EQ(sim.flows_in_flight(), 0u);
+  sim.check_invariants();
+}
+
+TEST(ShardedFlowSim, CrossShardConservationManyShards) {
+  const auto topo = build_fat_tree(4, 100_Gbps);
+  const auto flows = poisson_workload(topo, 400.0, 1.5, 5);
+
+  ShardedFlowSimulator::Config scfg;
+  scfg.num_shards = 4;  // one pod per shard: every inter-pod flow splits
+  scfg.shard.flow_rate_cap = 25_Gbps;
+  ShardedFlowSimulator sim{topo.graph, scfg};
+  for (const auto& f : flows) sim.submit(f);
+  sim.run_until(Seconds{20.0});
+
+  // The workload is light and the horizon generous: everything finishes.
+  EXPECT_EQ(sim.completed().size(), flows.size());
+  EXPECT_EQ(sim.flows_in_flight(), 0u);
+  EXPECT_EQ(sim.active_flows(), 0u);
+  EXPECT_EQ(sim.fct_stats().count(), flows.size());
+  sim.check_invariants();
+
+  // The merged metric view agrees with the summed stats view.
+  const auto metrics = sim.merged_metrics();
+  double fast_arrivals = -1.0;
+  for (const auto& m : metrics) {
+    if (m.name == "netsim.realloc.fast_arrivals") fast_arrivals = m.value;
+  }
+  EXPECT_DOUBLE_EQ(fast_arrivals,
+                   static_cast<double>(sim.realloc_stats().fast_arrivals));
+}
+
+// --- Contract 4: faults against the collapsed core ---
+
+TEST(ShardedFlowSim, SpineKillStrandsAndRecovers) {
+  const auto topo = build_fat_tree(4, 100_Gbps);
+  const NodeId src = topo.hosts.front();
+  const NodeId dst = topo.hosts.back();
+
+  ShardedFlowSimulator::Config scfg;
+  scfg.num_shards = 2;
+  scfg.shard.strand_unroutable = true;
+  ShardedFlowSimulator sim{topo.graph, scfg};
+  sim.submit({src, dst, Bits::from_gigabits(400.0), Seconds{0.0}, 1});
+  sim.run_until(Seconds{0.1});
+  EXPECT_EQ(sim.stranded_flows(), 0u);
+
+  // Kill the entire core: every gateway link loses all its capacity, both
+  // halves strand, and the shard invariants must hold throughout.
+  for (const NodeId core : topo.graph.nodes_at_tier(3)) {
+    sim.set_node_enabled(core, false);
+  }
+  sim.run_until(Seconds{0.2});
+  EXPECT_EQ(sim.stranded_flows(), 2u);  // both halves parked
+  EXPECT_EQ(sim.completed().size(), 0u);
+  sim.check_invariants();
+
+  // Recovery resumes both halves with their remaining volume.
+  for (const NodeId core : topo.graph.nodes_at_tier(3)) {
+    sim.set_node_enabled(core, true);
+  }
+  sim.run_until(Seconds{10.0});
+  EXPECT_EQ(sim.stranded_flows(), 0u);
+  ASSERT_EQ(sim.completed().size(), 1u);
+  EXPECT_GE(sim.realloc_stats().resumed, 2u);
+  sim.check_invariants();
+}
+
+TEST(ShardedFlowSim, PartialCoreDegradationRescalesGateway) {
+  const auto topo = build_fat_tree(4, 100_Gbps);
+  ShardedFlowSimulator::Config scfg;
+  scfg.num_shards = 2;
+  ShardedFlowSimulator sim{topo.graph, scfg};
+
+  // Degrading one of an agg's two core uplinks to 50% leaves the gateway
+  // link at 75% of its 200G aggregate.
+  const PodPartition& p = sim.partition();
+  const LinkId boundary = p.boundary_links.front();
+  sim.set_link_capacity_factor(boundary, 0.5);
+
+  const ShardTopology& st = sim.shard_topology(0);
+  bool found = false;
+  for (const auto& gl : st.gateway_links) {
+    for (const LinkId l : gl.global_links) {
+      if (l != boundary) continue;
+      found = true;
+      EXPECT_DOUBLE_EQ(sim.shard(0).link_capacity_factor(gl.local_link),
+                       0.75);
+    }
+  }
+  EXPECT_TRUE(found);
+  // Full restoration returns the gateway link to exactly 1.0.
+  sim.set_link_capacity_factor(boundary, 1.0);
+  for (const auto& gl : st.gateway_links) {
+    for (const LinkId l : gl.global_links) {
+      if (l != boundary) continue;
+      EXPECT_DOUBLE_EQ(sim.shard(0).link_capacity_factor(gl.local_link), 1.0);
+    }
+  }
+  sim.check_invariants();
+}
+
+// --- Contract 5: snapshot / resume bit-identity ---
+
+TEST(ShardedFlowSim, SnapshotResumeBitIdentical) {
+  const auto topo = build_fat_tree(4, 100_Gbps);
+  const auto flows = poisson_workload(topo, 300.0, 2.0, 31);
+  const Seconds pause{1.0};
+  const Seconds horizon{3.0};
+
+  ShardedFlowSimulator::Config scfg;
+  scfg.num_shards = 2;
+  scfg.shard.flow_rate_cap = 25_Gbps;
+
+  // Uninterrupted run.
+  ShardedFlowSimulator straight{topo.graph, scfg};
+  for (const auto& f : flows) straight.submit(f);
+  straight.run_until(horizon);
+
+  // Interrupted twin: pause, snapshot, restore into a fresh simulator,
+  // continue.
+  ShardedFlowSimulator first{topo.graph, scfg};
+  for (const auto& f : flows) first.submit(f);
+  first.run_until(pause);
+  state::SnapshotWriter writer;
+  first.save_state(writer);
+
+  ShardedFlowSimulator resumed{topo.graph, scfg};
+  state::SnapshotReader reader{writer.buffer()};
+  resumed.restore_state(reader);
+  EXPECT_EQ(resumed.now().value(), pause.value());
+  resumed.run_until(horizon);
+
+  expect_identical_results(resumed, straight.completed(),
+                           straight.fct_stats());
+  EXPECT_EQ(resumed.active_flows(), straight.active_flows());
+  resumed.check_invariants();
+}
+
+}  // namespace
+}  // namespace netpp

@@ -15,6 +15,13 @@
 // transition sequence with a mid-drive save/restore and compares energy
 // integrals bitwise.
 //
+// A sharded stage runs randomized Poisson traffic through a 2-shard
+// ShardedFlowSimulator on a small multi-pod fat tree with a mid-run link
+// outage, interrupts it at a random barrier, restores into a fresh
+// simulator, and requires the resumed run's final snapshot to match the
+// straight-line run's bytes exactly (plus the same one-flipped-byte typed
+// rejection as the fault-experiment stage).
+//
 // Any divergence between the chaos run's final hash and the straight-line
 // hash — or any non-typed failure on damaged input — is a determinism bug;
 // the tool prints it and exits non-zero. The CI chaos job runs this under
@@ -30,6 +37,7 @@
 #include <vector>
 
 #include "netpp/faults/experiment.h"
+#include "netpp/netsim/sharded.h"
 #include "netpp/power/state_timeline.h"
 #include "netpp/state/snapshot.h"
 #include "netpp/telemetry/telemetry.h"
@@ -307,6 +315,96 @@ bool chaos_timeline(std::uint64_t seed) {
   return true;
 }
 
+/// One seed's sharded-simulator resume cycle: straight-line vs
+/// interrupt/restore/continue on a 2-shard multi-pod run, compared by final
+/// snapshot bytes. Returns false on divergence.
+bool chaos_sharded(std::uint64_t seed) {
+  Rng rng{0x54a6dead0000u + seed};
+  const BuiltTopology topo = build_fat_tree(4, 100_Gbps);
+
+  PoissonTrafficConfig traffic;
+  traffic.arrivals_per_second = rng.uniform(150.0, 400.0);
+  traffic.max_size = Bits::from_gigabits(rng.uniform(1.0, 3.0));
+  traffic.duration = Seconds{1.5};
+  traffic.seed = rng.next();
+  const std::vector<FlowSpec> flows =
+      make_poisson_traffic(topo.hosts, traffic);
+
+  ShardedFlowSimulator::Config cfg;
+  cfg.num_shards = 2;
+  cfg.shard.flow_rate_cap = 25_Gbps;
+
+  // One mid-run outage window on a random link at fixed times, so the
+  // interrupted run replays the same fault tape after its restore.
+  const LinkId faulted =
+      static_cast<LinkId>(rng.below(topo.graph.num_links()));
+  constexpr double kHorizon = 2.0;
+  const auto drive = [&](ShardedFlowSimulator& sim, double from, double to) {
+    const struct { double at; bool enabled; } ops[] = {{0.6, false},
+                                                       {1.2, true}};
+    for (const auto& op : ops) {
+      if (op.at <= from || op.at > to) continue;
+      sim.run_until(Seconds{op.at});
+      sim.set_link_enabled(faulted, op.enabled);
+    }
+    sim.run_until(Seconds{to});
+  };
+  const auto sharded_hash = [](const ShardedFlowSimulator& sim) {
+    state::SnapshotWriter w;
+    sim.save_state(w);
+    return state::crc32(w.buffer().data(), w.buffer().size());
+  };
+
+  // Straight-line reference.
+  ShardedFlowSimulator a{topo.graph, cfg};
+  for (const auto& f : flows) a.submit(f);
+  drive(a, 0.0, kHorizon);
+  const std::uint32_t want = sharded_hash(a);
+
+  // Interrupted run: cut at a random barrier, restore into a fresh
+  // simulator, and continue over the rest of the tape.
+  const double at = rng.uniform(0.1, 1.9);
+  ShardedFlowSimulator b{topo.graph, cfg};
+  for (const auto& f : flows) b.submit(f);
+  drive(b, 0.0, at);
+  b.check_invariants();
+  state::SnapshotWriter mid;
+  b.save_state(mid);
+
+  ShardedFlowSimulator c{topo.graph, cfg};
+  state::SnapshotReader r{mid.buffer()};
+  c.restore_state(r);
+  drive(c, at, kHorizon);
+  const std::uint32_t got = sharded_hash(c);
+  if (got != want) {
+    std::fprintf(stderr,
+                 "seed %llu: sharded resume hash %08x != straight-line %08x "
+                 "(cut at %.3f)\n",
+                 static_cast<unsigned long long>(seed), got, want, at);
+    return false;
+  }
+
+  // Sabotage: one flipped byte past the header must be rejected typed.
+  std::vector<std::uint8_t> bytes = mid.buffer();
+  if (bytes.size() > 16) {
+    const std::size_t pos = 12 + rng.below(bytes.size() - 12);
+    bytes[pos] ^= 0x01;
+    try {
+      ShardedFlowSimulator x{topo.graph, cfg};
+      state::SnapshotReader rx{bytes};
+      x.restore_state(rx);
+      std::fprintf(
+          stderr,
+          "seed %llu: corrupted sharded snapshot (byte %zu) was accepted\n",
+          static_cast<unsigned long long>(seed), pos);
+      return false;
+    } catch (const std::invalid_argument&) {
+      // expected: typed rejection
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -326,7 +424,8 @@ int main(int argc, char** argv) {
   for (std::uint64_t seed = 0; seed < seeds; ++seed) {
     bool ok = true;
     try {
-      ok = chaos_fault_experiment(seed) && chaos_timeline(seed);
+      ok = chaos_fault_experiment(seed) && chaos_timeline(seed) &&
+           chaos_sharded(seed);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "seed %llu: unexpected exception: %s\n",
                    static_cast<unsigned long long>(seed), e.what());

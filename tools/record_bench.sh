@@ -4,12 +4,25 @@
 # library_build_type records "release"), builds the gate binaries, then
 # records the scale-gate timings plus every scoreboard suite row
 # (scoreboard_*_ms, measured by bench_scoreboard itself so later
-# bench_scoreboard runs score against numbers from the same binary) and the
-# telemetry idle overhead as context fields.
+# bench_scoreboard runs score against numbers from the same binary), the
+# sharded 1M-flow gate (sharded_1m_*, measured by bench_flowsim_sharded
+# --record), and the telemetry idle overhead as context fields.
+#
+# The recorded JSON is verified before it is kept: a reference whose
+# library_build_type is not "release" (a Debug system libbenchmark crept in)
+# is deleted and the script fails, rather than silently checking in numbers
+# timed through a Debug harness.
 #
 # Usage: tools/record_bench.sh [build-dir]   (default: <repo>/build-record)
 # Env:   NETPP_RECORD_MIN_TIME  --benchmark_min_time for the record run
 #                               (default 0.5 — long enough for stable means)
+#        NETPP_RECORD_ALLOW_DEBUG_LIB=1
+#                               keep a recording made through a Debug
+#                               libbenchmark harness anyway. Only for
+#                               machines where the from-source Release build
+#                               is unobtainable (FetchContent needs network
+#                               access); the JSON stays self-describing via
+#                               its library_build_type field.
 set -eu
 
 root=$(cd "$(dirname "$0")/.." && pwd)
@@ -17,8 +30,9 @@ build=${1:-"$root/build-record"}
 min_time=${NETPP_RECORD_MIN_TIME:-0.5}
 
 # NETPP_BENCHMARK_FROM_SOURCE=ON needs network access at configure time;
-# fall back to the system package (AUTO) when the fetch fails, since the
-# netpp_build_type context field stays the authoritative cross-check.
+# fall back to the system package (AUTO) when the fetch fails. The fallback
+# can only produce a valid record if the system library happens to be a
+# Release build — the library_build_type check below enforces that.
 if ! cmake -S "$root" -B "$build" -DCMAKE_BUILD_TYPE=Release \
     -DNETPP_BENCHMARK_FROM_SOURCE=ON; then
   echo "record_bench.sh: from-source benchmark fetch failed;" \
@@ -27,7 +41,8 @@ if ! cmake -S "$root" -B "$build" -DCMAKE_BUILD_TYPE=Release \
     -DNETPP_BENCHMARK_FROM_SOURCE=AUTO
 fi
 cmake --build "$build" -j "$(nproc)" \
-  --target bench_flowsim_scale bench_telemetry_overhead bench_scoreboard
+  --target bench_flowsim_scale bench_flowsim_sharded \
+  bench_telemetry_overhead bench_scoreboard
 
 echo "record_bench.sh: measuring telemetry idle overhead..." >&2
 pct=$("$build/bench/bench_telemetry_overhead" --gate-only)
@@ -38,6 +53,11 @@ for kv in $("$build/bench/bench_scoreboard" --record); do
   context_args="$context_args --benchmark_context=$kv"
 done
 
+echo "record_bench.sh: measuring sharded 1M gate (1 vs 4 shards)..." >&2
+for kv in $("$build/bench/bench_flowsim_sharded" --record); do
+  context_args="$context_args --benchmark_context=$kv"
+done
+
 echo "record_bench.sh: recording BENCH_flowsim.json..." >&2
 # shellcheck disable=SC2086  # context_args is a deliberate word list
 "$build/bench/bench_flowsim_scale" \
@@ -45,6 +65,26 @@ echo "record_bench.sh: recording BENCH_flowsim.json..." >&2
   --benchmark_out="$root/BENCH_flowsim.json" \
   --benchmark_min_time="$min_time" \
   --benchmark_context=telemetry_idle_overhead_pct="$pct" \
+  --benchmark_context=num_threads="$(nproc)" \
+  --benchmark_context=num_shards=4 \
   $context_args
+
+# A Debug libbenchmark times every loop through a Debug harness; numbers
+# recorded that way are not comparable to Release references. Refuse them
+# (NETPP_RECORD_ALLOW_DEBUG_LIB=1 keeps the file, loudly, for machines that
+# cannot build the library from source).
+if ! grep -q '"library_build_type": "release"' "$root/BENCH_flowsim.json"; then
+  if [ "${NETPP_RECORD_ALLOW_DEBUG_LIB:-0}" = "1" ]; then
+    echo "record_bench.sh: WARNING - libbenchmark harness is a Debug build;" \
+      "keeping the recording because NETPP_RECORD_ALLOW_DEBUG_LIB=1." >&2
+  else
+    rm -f "$root/BENCH_flowsim.json"
+    echo "record_bench.sh: FAIL - libbenchmark was not built Release" \
+      "(library_build_type != \"release\"); discarded the recording." >&2
+    echo "record_bench.sh: rerun with network access so" \
+      "NETPP_BENCHMARK_FROM_SOURCE=ON can fetch and build it from source." >&2
+    exit 1
+  fi
+fi
 
 echo "record_bench.sh: wrote $root/BENCH_flowsim.json" >&2
