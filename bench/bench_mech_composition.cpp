@@ -66,6 +66,24 @@ void BM_RunCompositeFullStack(benchmark::State& state) {
 }
 BENCHMARK(BM_RunCompositeFullStack)->Unit(benchmark::kMillisecond);
 
+void BM_RunCompositeShardedBackend(benchmark::State& state) {
+  // The same stack through the sharded backend: the workload runs on the
+  // pod-partitioned fabric with per-pod power domains, pricing the barrier
+  // loop and shard merge against the single-engine run above.
+  bench::CompositeScenario sc = bench::make_composite_scenario(2.0);
+  sc.config.backend.kind = BackendKind::kSharded;
+  sc.config.backend.num_shards = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const CompositeReport report =
+        run_composite(sc.topo, sc.workload, sc.demands, sc.horizon, sc.config);
+    benchmark::DoNotOptimize(report.combined_savings);
+  }
+}
+BENCHMARK(BM_RunCompositeShardedBackend)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_StackedPolicySingleSwitch(benchmark::State& state) {
   // The per-switch inner loop: one StackedSwitchPolicy over a recorded
   // trace, isolated from the flow simulation.

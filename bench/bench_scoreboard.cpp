@@ -8,6 +8,7 @@
 //   route_churn/100k      <-> scoreboard_route_churn_100k_ms
 //   fault_storm           <-> scoreboard_fault_storm_ms
 //   composite_stack       <-> scoreboard_composite_stack_ms
+//   sharded_composite_smoke <-> scoreboard_sharded_composite_smoke_ms
 //   sharded_1m_smoke      <-> scoreboard_sharded_1m_smoke_ms
 //   telemetry_idle        absolute gate (< 2%), reference display-only
 //
@@ -134,6 +135,21 @@ double measure_composite_stack(int rounds) {
   });
 }
 
+// The composite stack on the sharded backend: same scenario as
+// composite_stack but the workload runs through the 4-shard barrier loop
+// with per-pod power domains, pricing the backend seam plus the
+// shard-merge overhead.
+double measure_sharded_composite(int rounds) {
+  bench::CompositeScenario sc = bench::make_composite_scenario(2.0);
+  sc.config.backend.kind = BackendKind::kSharded;
+  sc.config.backend.num_shards = 4;
+  return best_of_ms(rounds, [&] {
+    const CompositeReport report =
+        run_composite(sc.topo, sc.workload, sc.demands, sc.horizon, sc.config);
+    benchmark::DoNotOptimize(report.combined_savings);
+  });
+}
+
 // CI-sized cut of the bench_flowsim_sharded 1M gate: the same standing-
 // population scenario at 50k flows, run through the 2-shard barrier loop.
 double measure_sharded_smoke(int rounds) {
@@ -155,6 +171,7 @@ struct SuiteMeasurements {
   double route_churn_ms;
   double fault_storm_ms;
   double composite_stack_ms;
+  double sharded_composite_ms;
   double sharded_smoke_ms;
   double telemetry_idle_pct;
 };
@@ -167,6 +184,7 @@ SuiteMeasurements measure_suite(int rounds) {
   m.route_churn_ms = measure_route_churn(rounds);
   m.fault_storm_ms = measure_fault_storm(rounds);
   m.composite_stack_ms = measure_composite_stack(rounds);
+  m.sharded_composite_ms = measure_sharded_composite(rounds);
   m.sharded_smoke_ms = measure_sharded_smoke(rounds);
   m.telemetry_idle_pct = bench::measure_idle_overhead_pct(rounds);
   return m;
@@ -200,6 +218,7 @@ bool write_reference(const std::string& path, const SuiteMeasurements& m) {
       {"scoreboard_route_churn_100k_ms", m.route_churn_ms},
       {"scoreboard_fault_storm_ms", m.fault_storm_ms},
       {"scoreboard_composite_stack_ms", m.composite_stack_ms},
+      {"scoreboard_sharded_composite_smoke_ms", m.sharded_composite_ms},
       {"scoreboard_sharded_1m_smoke_ms", m.sharded_smoke_ms},
   };
   const std::size_t n = sizeof rows / sizeof rows[0];
@@ -265,6 +284,8 @@ int main(int argc, char** argv) {
       std::printf("scoreboard_fault_storm_ms=%.3f\n", m.fault_storm_ms);
       std::printf("scoreboard_composite_stack_ms=%.3f\n",
                   m.composite_stack_ms);
+      std::printf("scoreboard_sharded_composite_smoke_ms=%.3f\n",
+                  m.sharded_composite_ms);
       std::printf("scoreboard_sharded_1m_smoke_ms=%.3f\n", m.sharded_smoke_ms);
     }
     return 0;
@@ -309,6 +330,9 @@ int main(int argc, char** argv) {
                            m.fault_storm_ms));
   rows.push_back(ratio_row("composite_stack", "scoreboard_composite_stack_ms",
                            m.composite_stack_ms));
+  rows.push_back(ratio_row("sharded_composite_smoke",
+                           "scoreboard_sharded_composite_smoke_ms",
+                           m.sharded_composite_ms));
   rows.push_back(ratio_row("sharded_1m_smoke",
                            "scoreboard_sharded_1m_smoke_ms",
                            m.sharded_smoke_ms));
@@ -334,6 +358,7 @@ int main(int argc, char** argv) {
       [](int r) { return measure_route_churn(r); },
       [](int r) { return measure_fault_storm(r); },
       [](int r) { return measure_composite_stack(r); },
+      [](int r) { return measure_sharded_composite(r); },
       [](int r) { return measure_sharded_smoke(r); },
       [](int r) { return bench::measure_idle_overhead_pct(r); },
   };

@@ -27,7 +27,7 @@
 
 #include "netpp/faults/injector.h"
 #include "netpp/mech/ocs.h"
-#include "netpp/netsim/flowsim.h"
+#include "netpp/netsim/backend.h"
 #include "netpp/sim/stats.h"
 #include "netpp/topo/builders.h"
 
@@ -58,7 +58,8 @@ class DegradedModeController {
  public:
   /// All references must outlive the controller. `demands` is the job's
   /// steady-state demand matrix (the tailoring input).
-  DegradedModeController(FlowSimulator& sim, const BuiltTopology& topology,
+  DegradedModeController(SimulatorBackend& backend,
+                         const BuiltTopology& topology,
                          std::vector<TrafficDemand> demands,
                          DegradedModeConfig config);
 
@@ -108,7 +109,7 @@ class DegradedModeController {
   void save_state(state::SnapshotWriter& w) const;
   /// Restores into a controller built over the same topology; re-registers
   /// the pending wake events with their original FIFO sequence numbers (the
-  /// engine clock must already be restored). Runs check_invariants().
+  /// backend clock must already be restored). Runs check_invariants().
   void restore_state(state::SnapshotReader& r);
   /// Cross-checks the wake bookkeeping (every pending flag has exactly one
   /// scheduled wake) and that the powered-count integrator's current value
@@ -122,6 +123,8 @@ class DegradedModeController {
   /// A router with exactly the failed devices masked (parked switches
   /// enabled), i.e. the hardware that could be powered right now.
   [[nodiscard]] Router surviving_router() const;
+  /// A router mirroring the backend's live enablement (failures + parks).
+  [[nodiscard]] Router live_router() const;
   /// Whether the live fabric (failures + parked switches + degraded links)
   /// still satisfies the headroom-inflated demands.
   [[nodiscard]] bool live_fabric_satisfiable() const;
@@ -136,7 +139,7 @@ class DegradedModeController {
   void wake_all_parked();
   void note_power_change();
 
-  FlowSimulator& sim_;
+  SimulatorBackend& backend_;
   const BuiltTopology& topology_;
   std::vector<TrafficDemand> demands_;
   DegradedModeConfig config_;
@@ -152,7 +155,7 @@ class DegradedModeController {
   /// wake_pending_), kept so snapshots can serialize in-flight wakes.
   struct PendingWake {
     NodeId sw = kInvalidNode;
-    SimEngine::EventId event = 0;
+    SimulatorBackend::ControlId event = 0;
   };
   std::vector<PendingWake> pending_wakes_;
   TimeWeighted powered_count_;

@@ -2,21 +2,26 @@
 // + degraded-mode policy -> ResilienceReport.
 //
 // This is the harness behind bench_fault_resilience, the `netpp_cli faults`
-// subcommand, and the integration tests: it wires a FlowSimulator, an
-// optional initial tailoring pass, a FaultInjector, and a
-// DegradedModeController together, runs the engine dry, and folds the
+// subcommand, and the integration tests: it wires a simulator backend
+// (single FlowSimulator or pod-sharded, per FaultExperimentConfig::backend),
+// an optional initial tailoring pass, a FaultInjector, and a
+// DegradedModeController together, runs the backend dry, and folds the
 // observable state into a ResilienceInput/ResilienceReport. Everything is a
 // pure function of its inputs (seeded faults, deterministic simulator), so
-// two calls with the same arguments are bit-identical.
+// two calls with the same arguments are bit-identical — including across
+// sharded worker-thread counts.
 #pragma once
 
 #include <vector>
+
+#include <memory>
 
 #include "netpp/analysis/resilience.h"
 #include "netpp/faults/degraded_mode.h"
 #include "netpp/faults/fault_model.h"
 #include "netpp/faults/injector.h"
 #include "netpp/mech/ocs.h"
+#include "netpp/netsim/backend.h"
 #include "netpp/netsim/flowsim.h"
 #include "netpp/topo/builders.h"
 
@@ -36,6 +41,13 @@ struct FaultExperimentConfig {
   /// Per-switch draw used to convert powered-switch-seconds to energy.
   Watts switch_power{350.0};
   FlowSimulator::Config sim{};
+  /// Which simulator runs the experiment. The default single backend is
+  /// bit-identical to the pre-seam harness; the sharded backend fires the
+  /// fault/wake control events at bounded-lag barriers. On the sharded
+  /// backend the per-shard simulators keep private registries (read the
+  /// backend's sim_metrics()), while faults.* metrics still land in
+  /// `telemetry` below.
+  BackendConfig backend{};
   /// Optional telemetry bundle (must outlive the call). When set, the
   /// simulator/injector/controller share its registry and event log, the
   /// sampler (if a period is configured) records the fault-experiment time
@@ -109,11 +121,11 @@ class FaultExperimentRun {
   FaultExperimentRun(const FaultExperimentRun&) = delete;
   FaultExperimentRun& operator=(const FaultExperimentRun&) = delete;
 
-  /// Advances the engine to `until` (an event boundary: no callback is ever
-  /// interrupted mid-flight).
-  void run_until(Seconds until) { engine_.run_until(until); }
-  /// Drains the engine (runs the experiment to the end).
-  void run() { engine_.run(); }
+  /// Advances the backend to `until` (an event boundary: no callback is
+  /// ever interrupted mid-flight).
+  void run_until(Seconds until) { backend_->run_until(until); }
+  /// Drains the backend (runs the experiment to the end).
+  void run() { backend_->run(); }
 
   /// Serializes the whole experiment: orchestrator header, simulator,
   /// injector, controller, and (when a telemetry bundle is attached) the
@@ -125,14 +137,16 @@ class FaultExperimentRun {
   /// after run(); calling mid-run reports the state so far.
   [[nodiscard]] FaultExperimentResult finish();
 
-  [[nodiscard]] SimEngine& engine() { return engine_; }
-  [[nodiscard]] FlowSimulator& sim() { return sim_; }
-  [[nodiscard]] const FlowSimulator& sim() const { return sim_; }
+  [[nodiscard]] SimulatorBackend& backend() { return *backend_; }
+  [[nodiscard]] const SimulatorBackend& backend() const { return *backend_; }
+  /// Shard 0's simulator — the whole fabric on the single backend (the
+  /// pre-seam accessor the tests and the state auditor use).
+  [[nodiscard]] FlowSimulator& sim() { return backend_->shard_sim(0); }
   [[nodiscard]] DegradedModeController& controller() { return controller_; }
   [[nodiscard]] FaultInjector& injector() { return injector_; }
   [[nodiscard]] const TailorResult& tailoring() const { return tailoring_; }
 
-  /// Runs every component's invariant audit (simulator, controller); also
+  /// Runs every component's invariant audit (backend, controller); also
   /// invoked automatically at the end of a restore.
   void check_invariants() const;
 
@@ -147,9 +161,7 @@ class FaultExperimentRun {
   const BuiltTopology& topology_;
   FaultExperimentConfig config_;
   std::size_t flows_submitted_ = 0;
-  SimEngine engine_;
-  Router router_;
-  FlowSimulator sim_;
+  std::unique_ptr<SimulatorBackend> backend_;
   DegradedModeController controller_;
   FaultInjector injector_;
   TailorResult tailoring_;

@@ -1,11 +1,14 @@
-// Fault injector: binds a FaultSchedule to a running FlowSimulator.
+// Fault injector: binds a FaultSchedule to a running simulator backend.
 //
-// `arm()` schedules every failure and repair onto the simulator's event
-// engine. A failure applies the fault through the FlowSimulator's dynamic
-// topology API (so affected flows are re-routed or stranded immediately);
-// a repair restores the device to the enablement state it had before the
-// fault — a switch that was parked by a power mechanism stays parked after
-// its repair unless a policy decides otherwise.
+// `arm()` schedules every failure and repair as control-plane events on the
+// backend (netsim/backend.h). A failure applies the fault through the
+// backend's dynamic topology API (so affected flows are re-routed or
+// stranded immediately); a repair restores the device to the enablement
+// state it had before the fault — a switch that was parked by a power
+// mechanism stays parked after its repair unless a policy decides otherwise.
+// On the single backend the control events ride the simulator's own engine
+// (bit-identical to the pre-seam injector); on the sharded backend they
+// fire at bounded-lag barriers, where cross-shard mutation is legal.
 //
 // Degraded-mode policies (emergency wake, re-tailoring — see
 // faults/degraded_mode.h) attach as a listener and run after each
@@ -17,7 +20,7 @@
 #include <vector>
 
 #include "netpp/faults/fault_model.h"
-#include "netpp/netsim/flowsim.h"
+#include "netpp/netsim/backend.h"
 #include "netpp/state/snapshot.h"
 
 namespace netpp {
@@ -37,9 +40,9 @@ class FaultInjector {
     std::uint64_t flows_stranded = 0;
   };
 
-  /// `sim` must outlive the injector. The schedule is copied and validated
-  /// against the simulator's graph.
-  FaultInjector(FlowSimulator& sim, FaultSchedule schedule);
+  /// `backend` must outlive the injector. The schedule is copied and
+  /// validated against the backend's graph.
+  FaultInjector(SimulatorBackend& backend, FaultSchedule schedule);
 
   /// Schedules all failure/repair events. Call once, before running the
   /// engine past the first failure time.
@@ -66,7 +69,7 @@ class FaultInjector {
   void save_state(state::SnapshotWriter& w) const;
   /// Restores into a freshly constructed (un-armed) injector over the same
   /// schedule; re-registers the pending failure/repair events with their
-  /// original FIFO sequence numbers (the engine clock must already be
+  /// original FIFO sequence numbers (the backend clock must already be
   /// restored). The injector counts as armed afterwards.
   void restore_state(state::SnapshotReader& r);
 
@@ -78,13 +81,13 @@ class FaultInjector {
   /// side already fired — what a snapshot needs to re-register exactly the
   /// still-pending events.
   struct Scheduled {
-    SimEngine::EventId apply_event = 0;
-    SimEngine::EventId repair_event = 0;
+    SimulatorBackend::ControlId apply_event = 0;
+    SimulatorBackend::ControlId repair_event = 0;
     bool applied = false;
     bool repaired = false;
   };
 
-  FlowSimulator& sim_;
+  SimulatorBackend& backend_;
   FaultSchedule schedule_;
   /// Device enablement before each fault, restored on repair.
   std::vector<bool> was_enabled_;

@@ -1,0 +1,72 @@
+// Backend-agnostic load-trace recording for the experiment drivers.
+//
+// BackendLoadRecorder generalizes NodeLoadRecorder across the simulator
+// seam: one per-shard recorder, each attached as its own shard's load
+// listener, so every shard samples its switches at its own reallocation
+// events (worker-thread safe — an observer only ever touches its shard).
+// On the single backend this degenerates to exactly the one-recorder wiring
+// the drivers used before the seam, which is what keeps the recorded traces
+// bit-identical.
+//
+// When the sharded backend collapses the core layer into per-shard gateway
+// nodes, core switches have no per-switch trace. The recorder instead
+// exposes the *aggregate* core signal: each shard's gateway trace, merged
+// across shards weighted by gateway capacity — the cross-pod load signal
+// core-layer policies (mech/core_parking.h) park against.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "netpp/mech/load_trace.h"
+#include "netpp/mech/trace_recorder.h"
+#include "netpp/netsim/backend.h"
+#include "netpp/topo/graph.h"
+
+namespace netpp {
+
+class BackendLoadRecorder {
+ public:
+  /// Prepares one NodeLoadRecorder per shard covering the shard-resident
+  /// subset of `nodes` (plus the gateway node when the core is collapsed).
+  /// Listeners are NOT attached yet — call attach() after the driver's
+  /// initial topology mutations, mirroring the pre-seam wiring order.
+  BackendLoadRecorder(SimulatorBackend& backend,
+                      const std::vector<NodeId>& nodes);
+
+  /// Attaches every shard's load listener and records the t=now() sample.
+  void attach();
+
+  /// Whether `node` has a per-node trace (false for core switches once the
+  /// core is collapsed).
+  [[nodiscard]] bool has_node(NodeId node) const;
+
+  /// The node's recorded samples as a `num_channels`-wide LoadTrace (see
+  /// NodeLoadRecorder::load_trace). Throws std::logic_error for a node
+  /// without a per-node trace.
+  [[nodiscard]] LoadTrace node_trace(NodeId node, int num_channels,
+                                     Seconds end) const;
+
+  /// Aggregate core-layer load (single channel, fraction of total gateway
+  /// capacity): per-shard gateway traces merged over the union of their
+  /// sample times, weighted by each gateway's aggregate capacity. Only
+  /// meaningful when the backend collapses the core (throws otherwise).
+  [[nodiscard]] LoadTrace core_trace(Seconds end) const;
+
+ private:
+  struct ShardRecorder {
+    std::unique_ptr<NodeLoadRecorder> recorder;
+    const ShardTopology* topo = nullptr;  ///< null: global ids verbatim
+    double gateway_capacity_bps = 0.0;
+  };
+
+  static constexpr std::uint32_t kNoShard = 0xffffffffu;
+
+  SimulatorBackend& backend_;
+  std::vector<ShardRecorder> shards_;
+  /// node id -> owning shard (kNoShard for collapsed-core switches).
+  std::vector<std::uint32_t> owner_;
+};
+
+}  // namespace netpp

@@ -20,11 +20,13 @@
 #include <string_view>
 #include <vector>
 
+#include "netpp/mech/core_parking.h"
 #include "netpp/mech/load_trace.h"
 #include "netpp/mech/mechanism.h"
 #include "netpp/mech/ocs.h"
 #include "netpp/mech/parking.h"
 #include "netpp/mech/rateadapt.h"
+#include "netpp/netsim/backend.h"
 #include "netpp/netsim/flowsim.h"
 #include "netpp/topo/builders.h"
 
@@ -74,6 +76,19 @@ class StackedSwitchPolicy : public MechanismPolicy {
   double offered_ = 0.0;  ///< switch-aggregate load of the current segment
 };
 
+/// Per-pod / core-layer power-domain scoping of the composed stack.
+struct PowerDomainsConfig {
+  /// Average-power budget per pod domain (0 = unbudgeted). Reported as
+  /// within_budget per DomainReport; budgets do not alter the mechanisms.
+  Watts pod_budget{0.0};
+  /// Average-power budget for the core-layer domain (0 = unbudgeted).
+  Watts core_budget{0.0};
+  /// Core-layer parking (mech/core_parking.h): prices core switches flat
+  /// and, when the backend collapses the core, parks them against the
+  /// aggregate cross-pod load.
+  CoreParkingConfig core{};
+};
+
 struct CompositeConfig {
   bool tailor = true;      ///< §4.2 static: OCS topology tailoring
   bool park = true;        ///< §4.4 dynamic: pipeline parking
@@ -85,6 +100,13 @@ struct CompositeConfig {
   /// tailored stage (the "is the addition worth it?" bookkeeping).
   int num_ocs_devices = 0;
   OcsOverheadModel ocs{};
+  /// Which simulator runs the workload. The default single backend is
+  /// bit-identical to the pre-seam driver; the sharded backend opens
+  /// multi-pod scale and switches the core tier to aggregate-load policies
+  /// (see docs/MODELS.md, "Backend-agnostic experiments").
+  BackendConfig backend{};
+  /// Per-pod and core-layer domain accounting/budgets.
+  PowerDomainsConfig domains{};
   /// Optional telemetry bundle (must outlive the call). The combined-stack
   /// per-switch mechanism runs record their transitions/breakpoints into
   /// the event log and accumulate "mech.<name>.*" metrics; the composite
@@ -97,6 +119,20 @@ struct CompositeStageResult {
   std::string name;
   Joules energy{};
   double savings = 0.0;  ///< vs the all-on baseline
+};
+
+/// One power domain's share of the combined stack: a pod ("pod<i>", the
+/// structural pods of topo/pods.h) or the core layer ("core", which also
+/// carries the OCS draw when tailoring is enabled).
+struct DomainReport {
+  std::string name;
+  std::size_t switches = 0;
+  Joules energy{};           ///< combined stack, this domain's switches
+  Joules baseline_energy{};  ///< all-on, same switches
+  double savings = 0.0;
+  Watts average_power{};
+  Watts budget{};  ///< 0 = unbudgeted
+  bool within_budget = true;
 };
 
 struct CompositeReport {
@@ -118,6 +154,9 @@ struct CompositeReport {
   Bits dropped{};
   Watts average_power{};
   Watts baseline_average_power{};
+  /// Per-pod + core breakdown of the combined stack (empty when the
+  /// topology has no structural pod partition).
+  std::vector<DomainReport> domains;
 };
 
 /// Runs the enabled mechanism stack (and each enabled mechanism alone) over

@@ -1,0 +1,67 @@
+// Core-layer switch parking from aggregate cross-pod load.
+//
+// The per-pod mechanism analyses never touch the core tier: once the
+// sharded backend collapses the core into per-shard gateways, there is no
+// per-core-switch load trace to drive a StackedSwitchPolicy with. What the
+// fabric does expose is the aggregate core signal — the fraction of total
+// core-facing capacity the pods are pushing through the gateways
+// (BackendLoadRecorder::core_trace). CoreParkingPolicy parks whole core
+// switches against that signal: the same reactive hysteresis as pipeline
+// parking (§4.4), lifted a tier — wake another core switch when aggregate
+// load exceeds hi of the provisioned fraction, park one when it would fit
+// under lo of one fewer. ECMP spreads cross-pod traffic near-uniformly over
+// the core, so "k of N switches powered" serves k/N of core capacity, which
+// is exactly the pipeline-concentration argument at datacenter scale.
+//
+// Power is flat per powered-or-waking switch (the §2 observation: a
+// switch's draw is dominated by load-independent terms), so parked core
+// switches are where the savings come from.
+#pragma once
+
+#include <string_view>
+
+#include "netpp/mech/mechanism.h"
+#include "netpp/units.h"
+
+namespace netpp {
+
+struct CoreParkingConfig {
+  /// Flat draw of one powered (or waking) core switch.
+  Watts switch_power{350.0};
+  /// Core switches take much longer to bring back than pipelines: boot,
+  /// link bring-up, routing reconvergence.
+  Seconds wake_latency{Seconds::from_milliseconds(50.0)};
+  /// Reactive hysteresis on the aggregate core load (same semantics as
+  /// ParkingConfig's thresholds, over switches instead of pipelines).
+  double hi_threshold = 0.85;
+  double lo_threshold = 0.60;
+  /// Core switches that must stay powered (fault headroom / connectivity).
+  int min_active = 1;
+};
+
+/// Parks whole core switches against a single-channel aggregate core-load
+/// trace. `load_scale` rescales the trace's load fractions to the policy's
+/// capacity base (e.g. total-core-capacity fractions driving a
+/// surviving-subset policy: scale = total / surviving).
+class CoreParkingPolicy : public MechanismPolicy {
+ public:
+  CoreParkingPolicy(CoreParkingConfig config, int num_switches,
+                    double load_scale = 1.0);
+
+  [[nodiscard]] std::string_view name() const override {
+    return "core-parking";
+  }
+  [[nodiscard]] PowerStateTimeline make_timeline(
+      const LoadTrace& trace) override;
+  void observe(const LoadSegment& seg, PowerStateTimeline& timeline) override;
+
+  [[nodiscard]] const CoreParkingConfig& config() const { return config_; }
+  [[nodiscard]] int num_switches() const { return switches_; }
+
+ private:
+  CoreParkingConfig config_;
+  int switches_ = 0;
+  double load_scale_ = 1.0;
+};
+
+}  // namespace netpp

@@ -221,6 +221,14 @@ class FlowSimulator {
   /// event.
   [[nodiscard]] double current_mean_utilization() const;
 
+  /// The sums behind current_mean_utilization(), so a multi-shard driver
+  /// can merge utilization exactly instead of averaging ratios.
+  struct UtilizationTotals {
+    double carried_bps = 0.0;
+    double capacity_bps = 0.0;
+  };
+  [[nodiscard]] UtilizationTotals utilization_totals() const;
+
   /// Mirrors the point-in-time values (route-cache and solver totals,
   /// active/completed/stranded/unroutable gauges) into the registry.
   /// Called automatically on destruction; call before exporting mid-run.

@@ -31,6 +31,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -78,6 +79,12 @@ class ShardedFlowSimulator {
   /// Advances every shard to `until` in bounded-lag windows.
   void run_until(Seconds until);
 
+  /// Drains every pending event. Multi-shard fabrics advance one grid
+  /// window at a time so no barrier ever lands on a data-dependent event
+  /// time; a lone shard runs its engine dry and lands now() on the final
+  /// event, matching the plain FlowSimulator.
+  void run();
+
   /// The global clock (the last barrier time).
   [[nodiscard]] Seconds now() const { return now_; }
 
@@ -92,6 +99,14 @@ class ShardedFlowSimulator {
   void set_node_enabled(NodeId id, bool enabled);
   void set_link_enabled(LinkId id, bool enabled);
   void set_link_capacity_factor(LinkId id, double factor);
+
+  /// Global-id fault-state queries, the read side of the setters above.
+  /// Core switches and boundary links answer from the driver's own fault
+  /// state once the core is collapsed; pod-local devices answer from the
+  /// owning shard's router/simulator.
+  [[nodiscard]] bool node_enabled(NodeId id) const;
+  [[nodiscard]] bool link_enabled(LinkId id) const;
+  [[nodiscard]] double link_capacity_factor(LinkId id) const;
 
   // --- Results ---
 
@@ -114,9 +129,26 @@ class ShardedFlowSimulator {
   [[nodiscard]] std::size_t unroutable_flows() const;
   /// Reallocation / fault counters summed across shards.
   [[nodiscard]] FlowSimulator::ReallocStats realloc_stats() const;
+  /// Stranded demand integral (bit-seconds) summed across shards.
+  [[nodiscard]] double stranded_bit_seconds(Seconds now) const;
+  /// Every shard's resume durations concatenated in shard order.
+  [[nodiscard]] std::vector<double> strand_durations() const;
+  /// Mean utilization across every shard-local directed link, merged from
+  /// the per-shard carried/capacity sums (not an average of ratios). With
+  /// one shard this is exactly the plain simulator's value.
+  [[nodiscard]] double current_mean_utilization() const;
+  /// Absolute time of the earliest pending event across every shard engine,
+  /// +infinity when all are drained. Meaningful between run_until calls.
+  [[nodiscard]] double next_event_time();
 
   [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
   [[nodiscard]] const FlowSimulator& shard(std::size_t s) const {
+    return *shards_[s]->sim;
+  }
+  /// Mutable per-shard simulator access for wiring per-shard observers
+  /// (load-trace recorders). An observer attached here fires on a worker
+  /// thread inside the window phase and must touch only its own shard.
+  [[nodiscard]] FlowSimulator& shard_mutable(std::size_t s) {
     return *shards_[s]->sim;
   }
   [[nodiscard]] const ShardTopology& shard_topology(std::size_t s) const {
@@ -125,10 +157,20 @@ class ShardedFlowSimulator {
   [[nodiscard]] const PodPartition& partition() const { return partition_; }
 
   /// Every shard's metric registry merged into one sample list: counters,
-  /// gauges, and histogram buckets sum per metric name (registration order
-  /// of shard 0, then first appearance). The per-shard registries stay
-  /// intact; this is the export view.
+  /// gauges, and histogram buckets sum per metric name. Counter values are
+  /// re-derived from the exact-integer merged counts (no double-sum drift)
+  /// and the result is sorted by metric name, so the export is byte-stable
+  /// across shard counts. The per-shard registries stay intact; this is the
+  /// export view.
   [[nodiscard]] std::vector<telemetry::MetricSample> merged_metrics() const;
+
+  /// Listener called after every barrier (completions drained, cross flows
+  /// reconciled) with the barrier time — the sharded analogue of
+  /// FlowSimulator's load listener, at window granularity.
+  using BarrierListener = std::function<void(Seconds)>;
+  void set_barrier_listener(BarrierListener listener) {
+    barrier_listener_ = std::move(listener);
+  }
 
   // --- Snapshot / restore ---
   //
@@ -226,6 +268,7 @@ class ShardedFlowSimulator {
   /// barrier sits at (grid_cursor_ + 1) * barrier_interval).
   std::uint64_t grid_cursor_ = 0;
   std::uint32_t barrier_gen_ = 0;
+  BarrierListener barrier_listener_;
 };
 
 }  // namespace netpp

@@ -85,6 +85,12 @@ class SimEngine {
   [[nodiscard]] bool empty() const { return live_ == 0; }
   [[nodiscard]] std::size_t pending_events() const { return live_; }
 
+  /// Absolute time of the next live event, or +infinity when the queue is
+  /// empty. Prunes stale (cancelled/superseded) queue entries as a side
+  /// effect, which is why this is non-const; the live event set is
+  /// untouched.
+  [[nodiscard]] double next_event_time();
+
  private:
   struct Entry {
     double at;

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "netpp/telemetry/event_log.h"
 #include "netpp/telemetry/metrics.h"
@@ -25,6 +26,14 @@ namespace netpp::telemetry {
 /// "help", "value", ...}]}. Histograms carry count/sum/min/max plus
 /// bounds/buckets arrays.
 [[nodiscard]] std::string to_metrics_json(const MetricRegistry& registry);
+
+/// Same document over already-snapshotted samples — the form merged
+/// multi-registry sources produce (e.g. ShardedFlowSimulator's
+/// merged_metrics()). Counters serialize from the exact integer `count`
+/// field, so a sum of per-shard counters never round-trips through a
+/// double; sample order is preserved verbatim.
+[[nodiscard]] std::string to_metrics_json(
+    const std::vector<MetricSample>& samples);
 
 /// Serializes the sampler's rows as CSV: header "time_s,<series...>", one
 /// row per sample.

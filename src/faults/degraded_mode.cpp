@@ -10,9 +10,9 @@
 namespace netpp {
 
 DegradedModeController::DegradedModeController(
-    FlowSimulator& sim, const BuiltTopology& topology,
+    SimulatorBackend& backend, const BuiltTopology& topology,
     std::vector<TrafficDemand> demands, DegradedModeConfig config)
-    : sim_(sim),
+    : backend_(backend),
       topology_(topology),
       demands_(std::move(demands)),
       config_(config),
@@ -21,7 +21,7 @@ DegradedModeController::DegradedModeController(
       desired_on_(topology.graph.num_nodes(), true),
       wake_pending_(topology.graph.num_nodes(), false),
       powered_count_(static_cast<double>(topology.switches.size()),
-                     sim.engine().now()) {
+                     backend.now()) {
   if (!std::isfinite(config_.min_headroom) || config_.min_headroom < 0.0) {
     throw std::invalid_argument(
         "DegradedModeConfig: min_headroom must be finite and >= 0");
@@ -50,13 +50,24 @@ Router DegradedModeController::surviving_router() const {
   return router;
 }
 
+Router DegradedModeController::live_router() const {
+  Router router{topology_.graph};
+  for (NodeId n = 0; n < topology_.graph.num_nodes(); ++n) {
+    if (!backend_.node_enabled(n)) router.set_node_enabled(n, false);
+  }
+  for (LinkId l = 0; l < topology_.graph.num_links(); ++l) {
+    if (!backend_.link_enabled(l)) router.set_link_enabled(l, false);
+  }
+  return router;
+}
+
 bool DegradedModeController::live_fabric_satisfiable() const {
   std::vector<double> factors;
   factors.reserve(topology_.graph.num_links());
   for (LinkId l = 0; l < topology_.graph.num_links(); ++l) {
-    factors.push_back(sim_.link_capacity_factor(l));
+    factors.push_back(backend_.link_capacity_factor(l));
   }
-  return demands_satisfiable(sim_.router(), inflated_demands(),
+  return demands_satisfiable(live_router(), inflated_demands(),
                              config_.tailor, factors);
 }
 
@@ -98,9 +109,9 @@ void DegradedModeController::on_event(const FaultSpec& fault, bool recovery) {
     if (fault.kind == FaultKind::kSwitchDown) {
       // The injector restored the switch's pre-fault enablement; reconcile
       // with what this controller wants now.
-      const bool enabled = sim_.router().node_enabled(fault.node);
+      const bool enabled = backend_.node_enabled(fault.node);
       if (!desired_on_[fault.node] && enabled) {
-        sim_.set_node_enabled(fault.node, false);
+        backend_.set_node_enabled(fault.node, false);
       } else if (desired_on_[fault.node] && !enabled) {
         wake_later(fault.node);
       }
@@ -125,7 +136,7 @@ void DegradedModeController::on_event(const FaultSpec& fault, bool recovery) {
 void DegradedModeController::retailor_and_apply() {
   ++retailor_passes_;
   if (events_) {
-    events_->instant("degraded_mode", "retailor", sim_.engine().now());
+    events_->instant("degraded_mode", "retailor", backend_.now());
   }
   const TailorResult tailored = tailor_topology_on(
       surviving_router(), topology_, inflated_demands(), config_.tailor);
@@ -151,25 +162,24 @@ void DegradedModeController::wake_all_parked() {
 
 void DegradedModeController::park_now(NodeId sw) {
   desired_on_[sw] = false;
-  if (!failed_node_[sw] && sim_.router().node_enabled(sw)) {
-    sim_.set_node_enabled(sw, false);
+  if (!failed_node_[sw] && backend_.node_enabled(sw)) {
+    backend_.set_node_enabled(sw, false);
     note_power_change();
   }
 }
 
 void DegradedModeController::wake_later(NodeId sw) {
   desired_on_[sw] = true;
-  if (failed_node_[sw] || wake_pending_[sw] ||
-      sim_.router().node_enabled(sw)) {
+  if (failed_node_[sw] || wake_pending_[sw] || backend_.node_enabled(sw)) {
     return;
   }
   wake_pending_[sw] = true;
   ++emergency_wakes_;
   if (events_) {
-    events_->instant("degraded_mode", "emergency_wake", sim_.engine().now(),
+    events_->instant("degraded_mode", "emergency_wake", backend_.now(),
                      "switch", static_cast<double>(sw));
   }
-  const SimEngine::EventId event = sim_.engine().schedule_after(
+  const SimulatorBackend::ControlId event = backend_.schedule_control_after(
       config_.wake_latency, [this, sw] { complete_wake(sw); });
   pending_wakes_.push_back(PendingWake{sw, event});
 }
@@ -186,8 +196,8 @@ void DegradedModeController::complete_wake(NodeId sw) {
   // The wake may have been overtaken by a re-park decision or a failure
   // of the switch itself while it was booting.
   if (!desired_on_[sw] || failed_node_[sw]) return;
-  if (!sim_.router().node_enabled(sw)) {
-    sim_.set_node_enabled(sw, true);
+  if (!backend_.node_enabled(sw)) {
+    backend_.set_node_enabled(sw, true);
     note_power_change();
   }
 }
@@ -195,14 +205,14 @@ void DegradedModeController::complete_wake(NodeId sw) {
 std::size_t DegradedModeController::powered_switches() const {
   std::size_t powered = 0;
   for (NodeId sw : topology_.switches) {
-    if (sim_.router().node_enabled(sw)) ++powered;
+    if (backend_.node_enabled(sw)) ++powered;
   }
   return powered;
 }
 
 void DegradedModeController::note_power_change() {
   const double powered = static_cast<double>(powered_switches());
-  powered_count_.set(sim_.engine().now(), powered);
+  powered_count_.set(backend_.now(), powered);
   powered_gauge_.set(powered);
 }
 
@@ -231,7 +241,6 @@ void get_bool_vec(state::SnapshotReader& r, std::vector<bool>& v,
 }  // namespace
 
 void DegradedModeController::save_state(state::SnapshotWriter& w) const {
-  const SimEngine& engine = sim_.engine();
   w.begin_section("degraded_mode");
   put_bool_vec(w, failed_node_);
   put_bool_vec(w, failed_link_);
@@ -240,8 +249,8 @@ void DegradedModeController::save_state(state::SnapshotWriter& w) const {
   w.put_u64(pending_wakes_.size());
   for (const PendingWake& p : pending_wakes_) {
     w.put_u32(p.sw);
-    w.put_f64(engine.event_time(p.event).value());
-    w.put_u64(engine.event_seq(p.event));
+    w.put_f64(backend_.control_time(p.event).value());
+    w.put_u64(backend_.control_seq(p.event));
   }
   w.put_f64(powered_count_.start().value());
   w.put_f64(powered_count_.last_change().value());
@@ -253,7 +262,6 @@ void DegradedModeController::save_state(state::SnapshotWriter& w) const {
 }
 
 void DegradedModeController::restore_state(state::SnapshotReader& r) {
-  SimEngine& engine = sim_.engine();
   r.open_section("degraded_mode");
   const std::size_t num_nodes = topology_.graph.num_nodes();
   get_bool_vec(r, failed_node_, num_nodes, "failed-node");
@@ -271,8 +279,8 @@ void DegradedModeController::restore_state(state::SnapshotReader& r) {
     }
     const Seconds at{r.get_f64()};
     const std::uint64_t seq = r.get_u64();
-    const SimEngine::EventId event =
-        engine.restore_event_at(at, seq, [this, sw] { complete_wake(sw); });
+    const SimulatorBackend::ControlId event =
+        backend_.restore_control_at(at, seq, [this, sw] { complete_wake(sw); });
     pending_wakes_.push_back(PendingWake{sw, event});
   }
   const double start = r.get_f64();

@@ -14,7 +14,11 @@ FlowSimulator::Config effective_sim_config(
     const FaultExperimentConfig& config) {
   FlowSimulator::Config sim_config = config.sim;
   sim_config.strand_unroutable = true;
-  sim_config.telemetry = config.telemetry;
+  // The sharded backend's per-shard simulators keep private registries (the
+  // backend merges them in sim_metrics()); only the single backend writes
+  // its netsim.* metrics straight into the experiment bundle.
+  sim_config.telemetry =
+      config.backend.kind == BackendKind::kSingle ? config.telemetry : nullptr;
   return sim_config;
 }
 
@@ -28,16 +32,16 @@ FaultExperimentRun::FaultExperimentRun(const BuiltTopology& topology,
     : topology_(topology),
       config_(config),
       flows_submitted_(workload.size()),
-      router_(topology.graph),
-      sim_(topology.graph, router_, engine_, effective_sim_config(config)),
-      controller_(sim_, topology, config.demands, config.degraded),
-      injector_(sim_, schedule) {
+      backend_(make_backend(topology.graph, config.backend,
+                            effective_sim_config(config))),
+      controller_(*backend_, topology, config.demands, config.degraded),
+      injector_(*backend_, schedule) {
   injector_.set_listener(controller_.listener());
   wire_telemetry();
   if (fresh) {
     if (config_.tailor) tailoring_ = controller_.tailor_initial();
     injector_.arm();
-    for (const FlowSpec& spec : workload) sim_.submit(spec);
+    for (const FlowSpec& spec : workload) backend_->submit(spec);
   }
 }
 
@@ -59,6 +63,11 @@ FaultExperimentRun::FaultExperimentRun(const BuiltTopology& topology,
   if (r.get_bool() != config_.tailor) {
     validation::fail("FaultExperimentRun",
                      "snapshot tailoring mode does not match the config");
+  }
+  if (static_cast<BackendKind>(r.get_u8()) != config_.backend.kind ||
+      static_cast<std::size_t>(r.get_u64()) != config_.backend.num_shards) {
+    validation::fail("FaultExperimentRun",
+                     "snapshot backend does not match the config");
   }
   if (static_cast<std::size_t>(r.get_u64()) != flows_submitted_) {
     validation::fail("FaultExperimentRun",
@@ -84,10 +93,10 @@ FaultExperimentRun::FaultExperimentRun(const BuiltTopology& topology,
   tailoring_.powered_off = r.get_u32_vec();
   r.close_section();
 
-  // Clock first: every component re-registers its pending events against
-  // the restored (now, next_seq) bounds.
-  engine_.restore_clock(now, next_seq);
-  sim_.restore_state(r);
+  // Clock first: every component re-registers its pending control events
+  // against the restored (now, next_seq) bounds.
+  backend_->restore_clock(now, next_seq);
+  backend_->restore_sim(r);
   injector_.restore_state(r);
   controller_.restore_state(r);
   if (config_.telemetry != nullptr) {
@@ -102,17 +111,19 @@ void FaultExperimentRun::save_state(state::SnapshotWriter& w) const {
       config_.telemetry != nullptr && config_.telemetry->sampler().enabled();
   w.begin_section("fault_experiment");
   w.put_bool(config_.tailor);
+  w.put_u8(static_cast<std::uint8_t>(config_.backend.kind));
+  w.put_u64(config_.backend.num_shards);
   w.put_u64(flows_submitted_);
   w.put_bool(config_.telemetry != nullptr);
   w.put_bool(has_sampler);
-  w.put_f64(engine_.now().value());
-  w.put_u64(engine_.next_seq());
+  w.put_f64(backend_->now().value());
+  w.put_u64(backend_->control_next_seq());
   w.put_bool(tailoring_.feasible);
   w.put_f64(tailoring_.switches_off_fraction);
   w.put_u32_vec(tailoring_.powered_on);
   w.put_u32_vec(tailoring_.powered_off);
   w.end_section();
-  sim_.save_state(w);
+  backend_->save_sim(w);
   injector_.save_state(w);
   controller_.save_state(w);
   if (config_.telemetry != nullptr) {
@@ -122,7 +133,7 @@ void FaultExperimentRun::save_state(state::SnapshotWriter& w) const {
 }
 
 void FaultExperimentRun::check_invariants() const {
-  sim_.check_invariants();
+  backend_->check_invariants();
   controller_.check_invariants();
 }
 
@@ -143,13 +154,13 @@ void FaultExperimentRun::wire_telemetry() {
     // The expensive gauges (O(links) utilization scan) are refreshed only
     // when a row is actually due, then the row is taken. Sampling rides on
     // reallocation events, so it never extends the event horizon.
-    sim_.set_load_listener(
+    backend_->set_load_listener(
         [this, tel, switch_power = config_.switch_power](Seconds now) {
           telemetry::TimeSeriesSampler& s = tel->sampler();
           if (!s.due(now)) return;
           telemetry::MetricRegistry& m = tel->metrics();
           m.gauge("netsim.mean_link_utilization")
-              .set(sim_.current_mean_utilization());
+              .set(backend_->current_mean_utilization());
           const double powered =
               static_cast<double>(controller_.powered_switches());
           m.gauge("faults.powered_switches").set(powered);
@@ -160,28 +171,28 @@ void FaultExperimentRun::wire_telemetry() {
 }
 
 FaultExperimentResult FaultExperimentRun::finish() {
-  const Seconds end = engine_.now();
+  const Seconds end = backend_->now();
   FaultExperimentResult result;
   result.tailoring = tailoring_;
-  result.realloc = sim_.realloc_stats();
+  result.realloc = backend_->realloc_stats();
   result.emergency_wakes = controller_.emergency_wakes();
   result.retailor_passes = controller_.retailor_passes();
   result.powered_at_end = controller_.powered_switches();
   result.end = end;
-  result.fct = sim_.fct_stats();
+  result.fct = backend_->fct_stats();
 
   ResilienceInput input;
   input.flows_submitted = flows_submitted_;
-  input.flows_completed = sim_.completed().size();
-  input.flows_stranded_at_end = sim_.stranded_flows();
+  input.flows_completed = backend_->completed().size();
+  input.flows_stranded_at_end = backend_->stranded_flows();
   input.faults_injected = injector_.faults_applied();
-  input.flows_rerouted = sim_.realloc_stats().reroutes;
-  input.strand_events = sim_.realloc_stats().stranded;
-  input.stranded_bit_seconds = sim_.stranded_bit_seconds(end);
-  for (const FlowRecord& record : sim_.completed()) {
+  input.flows_rerouted = backend_->realloc_stats().reroutes;
+  input.strand_events = backend_->realloc_stats().stranded;
+  input.stranded_bit_seconds = backend_->stranded_bit_seconds(end);
+  for (const FlowRecord& record : backend_->completed()) {
     input.flow_seconds += record.fct().value();
   }
-  input.strand_durations = sim_.strand_durations();
+  input.strand_durations = backend_->strand_durations();
   input.powered_switch_seconds = controller_.powered_switch_seconds(end);
   input.all_on_switch_seconds =
       static_cast<double>(topology_.switches.size()) * end.value();
@@ -191,7 +202,7 @@ FaultExperimentResult FaultExperimentRun::finish() {
 
   telemetry::Telemetry* tel = config_.telemetry;
   if (tel != nullptr) {
-    sim_.flush_metrics();
+    backend_->flush_metrics();
     telemetry::MetricRegistry& m = tel->metrics();
     m.counter("faults.injected").set(injector_.faults_applied());
     m.counter("faults.emergency_wakes").set(result.emergency_wakes);

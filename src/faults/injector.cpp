@@ -22,9 +22,9 @@ const char* fault_event_name(FaultKind kind) {
 
 }  // namespace
 
-FaultInjector::FaultInjector(FlowSimulator& sim, FaultSchedule schedule)
-    : sim_(sim), schedule_(std::move(schedule)) {
-  schedule_.validate(sim_.graph());
+FaultInjector::FaultInjector(SimulatorBackend& backend, FaultSchedule schedule)
+    : backend_(backend), schedule_(std::move(schedule)) {
+  schedule_.validate(backend_.graph());
   was_enabled_.assign(schedule_.faults.size(), true);
   prior_factor_.assign(schedule_.faults.size(), 1.0);
 }
@@ -32,12 +32,11 @@ FaultInjector::FaultInjector(FlowSimulator& sim, FaultSchedule schedule)
 void FaultInjector::arm() {
   if (armed_) throw std::logic_error("FaultInjector: already armed");
   armed_ = true;
-  SimEngine& engine = sim_.engine();
   scheduled_.resize(schedule_.faults.size());
   for (std::size_t i = 0; i < schedule_.faults.size(); ++i) {
-    scheduled_[i].apply_event =
-        engine.schedule_at(schedule_.faults[i].at, [this, i] { apply(i); });
-    scheduled_[i].repair_event = engine.schedule_at(
+    scheduled_[i].apply_event = backend_.schedule_control_at(
+        schedule_.faults[i].at, [this, i] { apply(i); });
+    scheduled_[i].repair_event = backend_.schedule_control_at(
         schedule_.faults[i].recover_at, [this, i] { repair(i); });
   }
 }
@@ -48,27 +47,27 @@ void FaultInjector::apply(std::size_t index) {
   if (events_) {
     const bool on_node = f.kind == FaultKind::kSwitchDown;
     events_->begin_span(
-        "faults", fault_event_name(f.kind), sim_.engine().now(), index,
+        "faults", fault_event_name(f.kind), backend_.now(), index,
         on_node ? "node" : "link",
         static_cast<double>(on_node ? f.node : f.link));
   }
-  const auto before = sim_.realloc_stats();
+  const auto before = backend_.realloc_stats();
   switch (f.kind) {
     case FaultKind::kSwitchDown:
-      was_enabled_[index] = sim_.router().node_enabled(f.node);
-      sim_.set_node_enabled(f.node, false);
+      was_enabled_[index] = backend_.node_enabled(f.node);
+      backend_.set_node_enabled(f.node, false);
       break;
     case FaultKind::kLinkDown:
-      was_enabled_[index] = sim_.router().link_enabled(f.link);
-      sim_.set_link_enabled(f.link, false);
+      was_enabled_[index] = backend_.link_enabled(f.link);
+      backend_.set_link_enabled(f.link, false);
       break;
     case FaultKind::kLinkDegraded:
-      prior_factor_[index] = sim_.link_capacity_factor(f.link);
-      sim_.set_link_capacity_factor(
+      prior_factor_[index] = backend_.link_capacity_factor(f.link);
+      backend_.set_link_capacity_factor(
           f.link, f.capacity_factor * prior_factor_[index]);
       break;
   }
-  const auto after = sim_.realloc_stats();
+  const auto after = backend_.realloc_stats();
   Outcome outcome;
   outcome.spec = f;
   outcome.flows_rerouted = after.reroutes - before.reroutes;
@@ -81,19 +80,19 @@ void FaultInjector::repair(std::size_t index) {
   scheduled_[index].repaired = true;
   const FaultSpec& f = schedule_.faults[index];
   if (events_) {
-    events_->end_span("faults", fault_event_name(f.kind), sim_.engine().now(),
+    events_->end_span("faults", fault_event_name(f.kind), backend_.now(),
                       index);
   }
   switch (f.kind) {
     case FaultKind::kSwitchDown:
       // Restore the pre-fault state: a parked switch stays parked.
-      sim_.set_node_enabled(f.node, was_enabled_[index]);
+      backend_.set_node_enabled(f.node, was_enabled_[index]);
       break;
     case FaultKind::kLinkDown:
-      sim_.set_link_enabled(f.link, was_enabled_[index]);
+      backend_.set_link_enabled(f.link, was_enabled_[index]);
       break;
     case FaultKind::kLinkDegraded:
-      sim_.set_link_capacity_factor(f.link, prior_factor_[index]);
+      backend_.set_link_capacity_factor(f.link, prior_factor_[index]);
       break;
   }
   if (listener_) listener_(f, /*recovery=*/true);
@@ -103,7 +102,6 @@ void FaultInjector::save_state(state::SnapshotWriter& w) const {
   if (!armed_) {
     throw std::logic_error("FaultInjector: save_state before arm()");
   }
-  const SimEngine& engine = sim_.engine();
   w.begin_section("fault_injector");
   w.put_u64(schedule_.faults.size());
   for (std::size_t i = 0; i < schedule_.faults.size(); ++i) {
@@ -111,12 +109,12 @@ void FaultInjector::save_state(state::SnapshotWriter& w) const {
     w.put_bool(s.applied);
     w.put_bool(s.repaired);
     if (!s.applied) {
-      w.put_f64(engine.event_time(s.apply_event).value());
-      w.put_u64(engine.event_seq(s.apply_event));
+      w.put_f64(backend_.control_time(s.apply_event).value());
+      w.put_u64(backend_.control_seq(s.apply_event));
     }
     if (!s.repaired) {
-      w.put_f64(engine.event_time(s.repair_event).value());
-      w.put_u64(engine.event_seq(s.repair_event));
+      w.put_f64(backend_.control_time(s.repair_event).value());
+      w.put_u64(backend_.control_seq(s.repair_event));
     }
     w.put_bool(was_enabled_[i]);
     w.put_f64(prior_factor_[i]);
@@ -138,7 +136,6 @@ void FaultInjector::save_state(state::SnapshotWriter& w) const {
 void FaultInjector::restore_state(state::SnapshotReader& r) {
   validation::require(!armed_, "FaultInjector",
                       "restore must target a freshly constructed injector");
-  SimEngine& engine = sim_.engine();
   r.open_section("fault_injector");
   if (static_cast<std::size_t>(r.get_u64()) != schedule_.faults.size()) {
     validation::fail("FaultInjector",
@@ -157,13 +154,13 @@ void FaultInjector::restore_state(state::SnapshotReader& r) {
       const Seconds at{r.get_f64()};
       const std::uint64_t seq = r.get_u64();
       s.apply_event =
-          engine.restore_event_at(at, seq, [this, i] { apply(i); });
+          backend_.restore_control_at(at, seq, [this, i] { apply(i); });
     }
     if (!s.repaired) {
       const Seconds at{r.get_f64()};
       const std::uint64_t seq = r.get_u64();
       s.repair_event =
-          engine.restore_event_at(at, seq, [this, i] { repair(i); });
+          backend_.restore_control_at(at, seq, [this, i] { repair(i); });
     }
     was_enabled_[i] = r.get_bool();
     prior_factor_[i] = r.get_f64();

@@ -1,0 +1,109 @@
+#include "netpp/mech/backend_recorder.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace netpp {
+
+BackendLoadRecorder::BackendLoadRecorder(SimulatorBackend& backend,
+                                         const std::vector<NodeId>& nodes)
+    : backend_(backend) {
+  owner_.assign(backend_.graph().num_nodes(), kNoShard);
+  const std::size_t shard_count = backend_.shard_count();
+  shards_.resize(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    ShardRecorder& rec = shards_[s];
+    rec.topo = backend_.shard_topology(s);
+    std::vector<NodeId> local_nodes;
+    for (const NodeId node : nodes) {
+      const NodeId local =
+          rec.topo != nullptr ? rec.topo->local_of_global[node] : node;
+      if (local == kInvalidNode) continue;
+      local_nodes.push_back(local);
+      owner_[node] = static_cast<std::uint32_t>(s);
+    }
+    if (rec.topo != nullptr && !rec.topo->verbatim()) {
+      local_nodes.push_back(rec.topo->gateway);
+      for (const ShardTopology::GatewayLink& gl : rec.topo->gateway_links) {
+        rec.gateway_capacity_bps += gl.total_capacity_bps;
+      }
+    }
+    rec.recorder = std::make_unique<NodeLoadRecorder>(backend_.shard_sim(s),
+                                                      std::move(local_nodes));
+  }
+}
+
+void BackendLoadRecorder::attach() {
+  const Seconds now = backend_.now();
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    backend_.shard_sim(s).set_load_listener(shards_[s].recorder->listener());
+    shards_[s].recorder->sample(now);
+  }
+}
+
+bool BackendLoadRecorder::has_node(NodeId node) const {
+  return node < owner_.size() && owner_[node] != kNoShard;
+}
+
+LoadTrace BackendLoadRecorder::node_trace(NodeId node, int num_channels,
+                                          Seconds end) const {
+  if (!has_node(node)) {
+    throw std::logic_error(
+        "BackendLoadRecorder: node has no per-node trace (collapsed core "
+        "switch or unknown node)");
+  }
+  const ShardRecorder& rec = shards_[owner_[node]];
+  const NodeId local =
+      rec.topo != nullptr ? rec.topo->local_of_global[node] : node;
+  return rec.recorder->load_trace(local, num_channels, end);
+}
+
+LoadTrace BackendLoadRecorder::core_trace(Seconds end) const {
+  if (!backend_.core_collapsed()) {
+    throw std::logic_error(
+        "BackendLoadRecorder: core_trace requires a collapsed core (sharded "
+        "backend with more than one shard)");
+  }
+  // Per-shard gateway traces, then a capacity-weighted merge over the union
+  // of their sample times. Each boundary link is aggregated by exactly one
+  // shard's gateway, so the weighted mean is the true fraction of total
+  // core-facing capacity carried.
+  std::vector<LoadTrace> traces;
+  std::vector<double> weights;
+  std::vector<Seconds> times;
+  for (const ShardRecorder& rec : shards_) {
+    LoadTrace trace = rec.recorder->load_trace(rec.topo->gateway, 1, end);
+    times.insert(times.end(), trace.times.begin(), trace.times.end());
+    traces.push_back(std::move(trace));
+    weights.push_back(rec.gateway_capacity_bps);
+  }
+  std::sort(times.begin(), times.end(),
+            [](Seconds a, Seconds b) { return a.value() < b.value(); });
+  times.erase(std::unique(times.begin(), times.end(),
+                          [](Seconds a, Seconds b) {
+                            return a.value() == b.value();
+                          }),
+              times.end());
+
+  double total_weight = 0.0;
+  for (const double w : weights) total_weight += w;
+
+  LoadTrace merged;
+  merged.end = end;
+  for (const Seconds t : times) {
+    double load = 0.0;
+    for (std::size_t s = 0; s < traces.size(); ++s) {
+      load += weights[s] * traces[s].load_at(t, 0);
+    }
+    load = total_weight > 0.0 ? load / total_weight : 0.0;
+    // Collapse consecutive identical segments, mirroring
+    // NodeLoadRecorder::load_trace.
+    if (!merged.loads.empty() && merged.loads.back()[0] == load) continue;
+    merged.times.push_back(t);
+    merged.loads.push_back({load});
+  }
+  merged.validate();
+  return merged;
+}
+
+}  // namespace netpp

@@ -4,10 +4,11 @@
 #include <map>
 #include <memory>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
-#include "netpp/mech/trace_recorder.h"
-#include "netpp/topo/routing.h"
+#include "netpp/mech/backend_recorder.h"
+#include "netpp/topo/pods.h"
 
 namespace netpp {
 
@@ -178,27 +179,27 @@ double StackedSwitchPolicy::capacity_fraction(
 
 namespace {
 
-/// One FlowSimulator run of the workload with `disabled` switches off;
-/// records every switch's per-pipeline load trace.
-struct FabricRun {
-  SimEngine engine;
-  Router router;
-  FlowSimulator sim;
-  NodeLoadRecorder recorder;
+/// One backend run of the workload with `disabled` switches off; records
+/// every pod switch's per-pipeline load trace (and, when the backend
+/// collapses the core, the aggregate gateway signal). The construction
+/// order — recorder built, switches disabled, listeners attached, flows
+/// submitted, run drained — is exactly the pre-seam FabricRun sequence, so
+/// the single backend's traces are bit-identical to it.
+struct BackendRun {
+  std::unique_ptr<SimulatorBackend> backend;
+  BackendLoadRecorder recorder;
 
-  FabricRun(const BuiltTopology& topo, const std::vector<FlowSpec>& workload,
-            const std::vector<NodeId>& disabled)
-      : router(topo.graph),
-        sim(topo.graph, router, engine),
-        recorder(sim, topo.switches) {
-    for (NodeId off : disabled) sim.set_node_enabled(off, false);
-    sim.set_load_listener(recorder.listener());
-    recorder.sample(Seconds{0.0});
-    for (const auto& flow : workload) sim.submit(flow);
-    engine.run();
+  BackendRun(const BuiltTopology& topo, const std::vector<FlowSpec>& workload,
+             const std::vector<NodeId>& disabled, const BackendConfig& config)
+      : backend(make_backend(topo.graph, config, FlowSimulator::Config{})),
+        recorder(*backend, topo.switches) {
+    for (NodeId off : disabled) backend->set_node_enabled(off, false);
+    recorder.attach();
+    for (const auto& flow : workload) backend->submit(flow);
+    backend->run();
   }
 
-  [[nodiscard]] double makespan() const { return engine.now().value(); }
+  [[nodiscard]] double makespan() const { return backend->now().value(); }
 };
 
 struct StageTotals {
@@ -208,6 +209,9 @@ struct StageTotals {
   std::size_t parks = 0;
   std::size_t levels = 0;
   double dropped_bits = 0.0;
+  /// Per-switch shares of energy_j/baseline_j, for domain attribution.
+  std::map<NodeId, double> switch_energy_j;
+  std::map<NodeId, double> switch_baseline_j;
 };
 
 StageTotals run_stage(const std::map<NodeId, LoadTrace>& traces,
@@ -226,6 +230,8 @@ StageTotals run_stage(const std::map<NodeId, LoadTrace>& traces,
     totals.parks += report.park_transitions;
     totals.levels += report.level_transitions;
     totals.dropped_bits += report.dropped.value();
+    totals.switch_energy_j.emplace(sw, report.energy.value());
+    totals.switch_baseline_j.emplace(sw, report.baseline_energy.value());
   }
   return totals;
 }
@@ -261,11 +267,11 @@ CompositeReport run_composite(const BuiltTopology& topology,
   // Simulate the workload on the full fabric (baseline + dynamic-only
   // stages) and, when tailoring bites, on the tailored fabric (survivors
   // carry the rerouted traffic). Both runs share one energy window.
-  const FabricRun full_run{topology, workload, {}};
-  std::unique_ptr<FabricRun> tailored_run;
+  const BackendRun full_run{topology, workload, {}, config.backend};
+  std::unique_ptr<BackendRun> tailored_run;
   if (tailored) {
-    tailored_run = std::make_unique<FabricRun>(topology, workload,
-                                               report.tailoring.powered_off);
+    tailored_run = std::make_unique<BackendRun>(
+        topology, workload, report.tailoring.powered_off, config.backend);
   }
   double end_s = std::max(horizon.value(), full_run.makespan() + 1e-9);
   if (tailored_run) {
@@ -274,21 +280,86 @@ CompositeReport run_composite(const BuiltTopology& topology,
   const Seconds end{end_s};
   report.horizon = end;
 
+  // A collapsed core (multi-shard backend) has no per-core-switch traces:
+  // the pod tier keeps the per-switch stacked analysis, the core tier moves
+  // to the aggregate-load accounting below.
+  const bool collapsed = full_run.backend->core_collapsed();
+  std::vector<NodeId> pod_switches;
+  std::vector<NodeId> core_switches;
+  for (NodeId sw : topology.switches) {
+    if (!collapsed || full_run.recorder.has_node(sw)) {
+      pod_switches.push_back(sw);
+    } else {
+      core_switches.push_back(sw);
+    }
+  }
+  std::vector<NodeId> powered_pod;
+  std::size_t core_surviving = 0;
+  for (NodeId sw : powered) {
+    if (!collapsed || full_run.recorder.has_node(sw)) {
+      powered_pod.push_back(sw);
+    } else {
+      ++core_surviving;
+    }
+  }
+
   std::map<NodeId, LoadTrace> full_traces;
   std::map<NodeId, LoadTrace> tailored_traces;
-  for (NodeId sw : topology.switches) {
-    full_traces.emplace(sw, full_run.recorder.load_trace(sw, pipes, end));
+  for (NodeId sw : pod_switches) {
+    full_traces.emplace(sw, full_run.recorder.node_trace(sw, pipes, end));
     if (tailored_run) {
       tailored_traces.emplace(
-          sw, tailored_run->recorder.load_trace(sw, pipes, end));
+          sw, tailored_run->recorder.node_trace(sw, pipes, end));
     }
   }
   const auto& stack_traces = tailored ? tailored_traces : full_traces;
 
   // All-on baseline over the full fabric.
   const StageTotals baseline =
-      run_stage(full_traces, topology.switches, config, false, false);
-  report.baseline_energy = Joules{baseline.energy_j};
+      run_stage(full_traces, pod_switches, config, false, false);
+
+  // Core-layer accounting when the core is collapsed: flat per-switch draw
+  // (§2: load-independent terms dominate), parked against the aggregate
+  // cross-pod gateway load when parking is enabled. All four terms stay 0.0
+  // on a verbatim-core backend, leaving the composition bit-identical.
+  double core_all_j = 0.0;            // every core switch on, whole window
+  double core_tailored_flat_j = 0.0;  // tailoring survivors on, no parking
+  double core_park_alone_j = 0.0;     // parking alone over the full fabric
+  double core_stack_j = 0.0;          // the combined stack's core share
+  std::size_t core_wakes = 0;
+  std::size_t core_parks = 0;
+  if (collapsed && !core_switches.empty()) {
+    const double per_switch_j =
+        config.domains.core.switch_power.value() * end.value();
+    const int n_core = static_cast<int>(core_switches.size());
+    core_all_j = per_switch_j * n_core;
+    core_tailored_flat_j = per_switch_j * static_cast<double>(core_surviving);
+    if (config.park) {
+      CoreParkingPolicy alone{config.domains.core, n_core};
+      core_park_alone_j =
+          run_mechanism(full_run.recorder.core_trace(end), alone).energy.value();
+    }
+    if (config.park && core_surviving > 0) {
+      // The stack parks the tailoring survivors; the gateway trace is in
+      // total-core-capacity fractions, so rescale to the surviving base.
+      const double scale =
+          static_cast<double>(n_core) / static_cast<double>(core_surviving);
+      CoreParkingPolicy policy{config.domains.core,
+                               static_cast<int>(core_surviving), scale};
+      const MechanismReport core_report = run_mechanism(
+          tailored_run ? tailored_run->recorder.core_trace(end)
+                       : full_run.recorder.core_trace(end),
+          policy, config.telemetry);
+      core_stack_j = core_report.energy.value();
+      core_wakes = core_report.wake_transitions;
+      core_parks = core_report.park_transitions;
+    } else {
+      core_stack_j = core_tailored_flat_j;
+    }
+  }
+
+  const double baseline_total_j = baseline.energy_j + core_all_j;
+  report.baseline_energy = Joules{baseline_total_j};
 
   const double ocs_energy_j =
       tailored ? config.ocs.config().ocs_power.value() * config.num_ocs_devices *
@@ -299,8 +370,8 @@ CompositeReport run_composite(const BuiltTopology& topology,
     CompositeStageResult single;
     single.name = std::move(name);
     single.energy = Joules{energy_j};
-    single.savings = baseline.energy_j > 0.0
-                         ? 1.0 - energy_j / baseline.energy_j
+    single.savings = baseline_total_j > 0.0
+                         ? 1.0 - energy_j / baseline_total_j
                          : 0.0;
     report.best_single_savings =
         std::max(report.best_single_savings, single.savings);
@@ -310,37 +381,107 @@ CompositeReport run_composite(const BuiltTopology& topology,
   // Each enabled mechanism alone, against the same baseline.
   if (config.tailor) {
     const StageTotals alone =
-        tailored ? run_stage(tailored_traces, powered, config, false, false)
+        tailored ? run_stage(tailored_traces, powered_pod, config, false, false)
                  : baseline;
-    add_single("tailoring", alone.energy_j + ocs_energy_j);
+    add_single("tailoring",
+               alone.energy_j + core_tailored_flat_j + ocs_energy_j);
   }
   if (config.park) {
     const StageTotals alone =
-        run_stage(full_traces, topology.switches, config, true, false);
-    add_single("parking", alone.energy_j);
+        run_stage(full_traces, pod_switches, config, true, false);
+    add_single("parking", alone.energy_j + core_park_alone_j);
   }
   if (config.rate_adapt) {
     const StageTotals alone =
-        run_stage(full_traces, topology.switches, config, false, true);
-    add_single("rate-adaptation", alone.energy_j);
+        run_stage(full_traces, pod_switches, config, false, true);
+    add_single("rate-adaptation", alone.energy_j + core_all_j);
   }
 
   // The full enabled stack (the only telemetered stage: its per-switch
   // transitions and breakpoints are the events worth tracing).
   const StageTotals stacked =
-      run_stage(stack_traces, powered, config, config.park, config.rate_adapt,
-                config.telemetry);
-  const double combined_j = stacked.energy_j + ocs_energy_j;
+      run_stage(stack_traces, powered_pod, config, config.park,
+                config.rate_adapt, config.telemetry);
+  const double combined_j = stacked.energy_j + core_stack_j + ocs_energy_j;
   report.energy = Joules{combined_j};
-  report.combined_savings = baseline.energy_j > 0.0
-                                ? 1.0 - combined_j / baseline.energy_j
+  report.combined_savings = baseline_total_j > 0.0
+                                ? 1.0 - combined_j / baseline_total_j
                                 : 0.0;
-  report.wake_transitions = stacked.wakes;
-  report.park_transitions = stacked.parks;
+  report.wake_transitions = stacked.wakes + core_wakes;
+  report.park_transitions = stacked.parks + core_parks;
   report.level_transitions = stacked.levels;
   report.dropped = Bits{stacked.dropped_bits};
   report.average_power = Watts{combined_j / end.value()};
-  report.baseline_average_power = Watts{baseline.energy_j / end.value()};
+  report.baseline_average_power = Watts{baseline_total_j / end.value()};
+
+  // Per-pod + core power-domain attribution of the combined stack. The
+  // partition is structural (topo/pods.h); topologies without one (no core
+  // tier, or a flat graph) report no domains.
+  bool have_partition = true;
+  PodPartition partition;
+  try {
+    partition = make_pod_partition(topology.graph);
+  } catch (const std::invalid_argument&) {
+    have_partition = false;
+  }
+  if (have_partition) {
+    const auto switch_sum = [](const std::map<NodeId, double>& per_switch,
+                               const std::vector<NodeId>& members) {
+      // Switches absent from the stage map (tailored off) cost nothing.
+      double sum = 0.0;
+      for (NodeId sw : members) {
+        const auto it = per_switch.find(sw);
+        if (it != per_switch.end()) sum += it->second;
+      }
+      return sum;
+    };
+    const auto make_domain = [&](std::string name, std::size_t count,
+                                 double energy_j, double baseline_j,
+                                 Watts budget) {
+      DomainReport domain;
+      domain.name = std::move(name);
+      domain.switches = count;
+      domain.energy = Joules{energy_j};
+      domain.baseline_energy = Joules{baseline_j};
+      domain.savings =
+          baseline_j > 0.0 ? 1.0 - energy_j / baseline_j : 0.0;
+      domain.average_power = Watts{energy_j / end.value()};
+      domain.budget = budget;
+      domain.within_budget = budget.value() <= 0.0 ||
+                             domain.average_power.value() <= budget.value();
+      return domain;
+    };
+
+    std::vector<std::vector<NodeId>> pod_members(partition.num_pods);
+    std::vector<NodeId> core_members;
+    for (NodeId sw : topology.switches) {
+      const int pod = partition.pod_of_node.at(sw);
+      if (pod == PodPartition::kCore) {
+        core_members.push_back(sw);
+      } else {
+        pod_members[static_cast<std::size_t>(pod)].push_back(sw);
+      }
+    }
+    for (std::size_t p = 0; p < partition.num_pods; ++p) {
+      report.domains.push_back(make_domain(
+          "pod" + std::to_string(p), pod_members[p].size(),
+          switch_sum(stacked.switch_energy_j, pod_members[p]),
+          switch_sum(baseline.switch_baseline_j, pod_members[p]),
+          config.domains.pod_budget));
+    }
+    // The core domain also carries the OCS draw: tailoring's stitching
+    // hardware lives in the core layer.
+    const double core_energy_j =
+        (collapsed ? core_stack_j
+                   : switch_sum(stacked.switch_energy_j, core_members)) +
+        ocs_energy_j;
+    const double core_baseline_j =
+        collapsed ? core_all_j
+                  : switch_sum(baseline.switch_baseline_j, core_members);
+    report.domains.push_back(make_domain("core", core_members.size(),
+                                         core_energy_j, core_baseline_j,
+                                         config.domains.core_budget));
+  }
 
   if (config.telemetry != nullptr) {
     telemetry::MetricRegistry& m = config.telemetry->metrics();
@@ -348,12 +489,19 @@ CompositeReport run_composite(const BuiltTopology& topology,
     m.counter("composite.parks").set(report.park_transitions);
     m.counter("composite.level_changes").set(report.level_transitions);
     m.gauge("composite.energy_joules", "joules").set(combined_j);
-    m.gauge("composite.baseline_joules", "joules").set(baseline.energy_j);
+    m.gauge("composite.baseline_joules", "joules").set(baseline_total_j);
     m.gauge("composite.combined_savings").set(report.combined_savings);
     m.gauge("composite.best_single_savings")
         .set(report.best_single_savings);
     m.gauge("composite.dropped_bits", "bits").set(stacked.dropped_bits);
     m.gauge("composite.horizon_seconds", "seconds").set(end.value());
+    for (const DomainReport& domain : report.domains) {
+      const std::string prefix = "composite.domain." + domain.name;
+      m.gauge(prefix + ".energy_joules", "joules").set(domain.energy.value());
+      m.gauge(prefix + ".savings").set(domain.savings);
+      m.gauge(prefix + ".within_budget")
+          .set(domain.within_budget ? 1.0 : 0.0);
+    }
   }
   return report;
 }

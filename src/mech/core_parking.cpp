@@ -1,0 +1,114 @@
+#include "netpp/mech/core_parking.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "netpp/mech/parking.h"
+
+namespace netpp {
+
+CoreParkingPolicy::CoreParkingPolicy(CoreParkingConfig config,
+                                     int num_switches, double load_scale)
+    : config_(config), switches_(num_switches), load_scale_(load_scale) {
+  if (switches_ < 1) {
+    throw std::invalid_argument(
+        "CoreParkingPolicy: need at least one core switch");
+  }
+  if (config_.min_active < 1 || config_.min_active > switches_) {
+    throw std::invalid_argument(
+        "CoreParkingPolicy: min_active must be in [1, num_switches]");
+  }
+  if (config_.hi_threshold <= 0.0 || config_.hi_threshold > 1.0 ||
+      config_.lo_threshold < 0.0 ||
+      config_.lo_threshold >= config_.hi_threshold) {
+    throw std::invalid_argument(
+        "CoreParkingPolicy: need 0 <= lo_threshold < hi_threshold <= 1");
+  }
+  if (config_.wake_latency.value() < 0.0) {
+    throw std::invalid_argument(
+        "CoreParkingPolicy: wake latency must be non-negative");
+  }
+  if (!(std::isfinite(load_scale_) && load_scale_ > 0.0)) {
+    throw std::invalid_argument(
+        "CoreParkingPolicy: load_scale must be finite and positive");
+  }
+  if (config_.switch_power.value() < 0.0 ||
+      !std::isfinite(config_.switch_power.value())) {
+    throw std::invalid_argument(
+        "CoreParkingPolicy: switch_power must be finite and non-negative");
+  }
+}
+
+PowerStateTimeline CoreParkingPolicy::make_timeline(const LoadTrace& trace) {
+  if (trace.channels() != 1) {
+    throw std::invalid_argument(
+        "CoreParkingPolicy: trace must be single-channel aggregate core "
+        "load");
+  }
+  PowerStateTimeline timeline{
+      switches_, TransitionRules{config_.wake_latency, Seconds{0.0}, 0.0},
+      trace.times.front()};
+  const double per_switch = config_.switch_power.value();
+  timeline.set_power_model(
+      // Flat draw per powered-or-waking switch; parked switches draw
+      // nothing (that is the whole mechanism).
+      [per_switch](std::span<const ComponentTrack> tracks) {
+        double watts = 0.0;
+        for (const auto& track : tracks) {
+          if (track.state == PowerState::kOn ||
+              track.state == PowerState::kWaking) {
+            watts += per_switch;
+          }
+        }
+        return Watts{watts};
+      },
+      // Baseline: every core switch always on.
+      [per_switch, this](std::span<const ComponentTrack> /*tracks*/) {
+        return Watts{per_switch * switches_};
+      });
+  return timeline;
+}
+
+void CoreParkingPolicy::observe(const LoadSegment& seg,
+                                PowerStateTimeline& timeline) {
+  const double offered =
+      std::min(1.0, seg.loads.front() * load_scale_);
+
+  // The same reactive fixed-point as the pipeline policies, over switches:
+  // detail::reactive_parking_target only reads the thresholds, so a shim
+  // ParkingConfig keeps one hysteresis implementation for both tiers.
+  ParkingConfig shim;
+  shim.hi_threshold = config_.hi_threshold;
+  shim.lo_threshold = config_.lo_threshold;
+  for (int guard = 0; guard <= switches_; ++guard) {
+    const int provisioned = timeline.provisioned();
+    const int target = std::clamp(
+        detail::reactive_parking_target(shim, switches_, offered, provisioned),
+        config_.min_active, switches_);
+    if (target == provisioned) break;
+    if (target > provisioned) {
+      for (int k = provisioned; k < target; ++k) timeline.wake_one();
+    } else {
+      int excess = provisioned - target;
+      while (excess > 0 && timeline.cancel_last_wake()) --excess;
+      while (excess > 0 &&
+             timeline.count(PowerState::kOn) > config_.min_active) {
+        timeline.park_one();
+        --excess;
+      }
+    }
+  }
+
+  // Load bookkeeping: the powered set carries the offered core load spread
+  // evenly (ECMP), concentrated onto fewer switches as others park.
+  const int active = timeline.count(PowerState::kOn);
+  const double concentrated =
+      active > 0 ? std::min(1.0, offered * switches_ / active) : 0.0;
+  for (int c = 0; c < switches_; ++c) {
+    timeline.set_load(
+        c, timeline.track(c).state == PowerState::kOn ? concentrated : 0.0);
+  }
+}
+
+}  // namespace netpp

@@ -215,13 +215,17 @@ const FlowSimulator::ReallocStats& FlowSimulator::realloc_stats() const {
 }
 
 double FlowSimulator::current_mean_utilization() const {
-  double carried = 0.0;
-  double capacity = 0.0;
+  const UtilizationTotals t = utilization_totals();
+  return t.capacity_bps > 0.0 ? t.carried_bps / t.capacity_bps : 0.0;
+}
+
+FlowSimulator::UtilizationTotals FlowSimulator::utilization_totals() const {
+  UtilizationTotals t;
   for (std::size_t r = 0; r < directed_capacity_bps_.size(); ++r) {
-    carried += carried_bps_[r];
-    capacity += directed_capacity_bps_[r];
+    t.carried_bps += carried_bps_[r];
+    t.capacity_bps += directed_capacity_bps_[r];
   }
-  return capacity > 0.0 ? carried / capacity : 0.0;
+  return t;
 }
 
 FlowId FlowSimulator::submit(const FlowSpec& spec) {

@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "netpp/sim/thread_budget.h"
 #include "netpp/validation.h"
@@ -176,7 +177,31 @@ void ShardedFlowSimulator::run_until(Seconds until) {
     advance_shards(target);
     now_ = target;
     barrier_sync();
+    if (barrier_listener_) barrier_listener_(now_);
     if (grid_hit) ++grid_cursor_;
+  }
+}
+
+void ShardedFlowSimulator::run() {
+  const double interval = config_.barrier_interval.value();
+  if (shards_.size() == 1) {
+    // No cross-shard windows to respect: run the engine dry so now() lands
+    // exactly on the last event, as the plain FlowSimulator would.
+    shards_[0]->engine->run();
+    now_ = shards_[0]->engine->now();
+    while (static_cast<double>(grid_cursor_ + 1) * interval <= now_.value()) {
+      ++grid_cursor_;
+    }
+    barrier_sync();
+    if (barrier_listener_) barrier_listener_(now_);
+    return;
+  }
+  // Draining window by window keeps every barrier on the fixed grid: the
+  // barrier sequence stays a pure function of the grid and the caller's
+  // explicit run_until boundaries, never of event times, so an interrupted
+  // run replays the straight-line run exactly.
+  while (std::isfinite(next_event_time())) {
+    run_until(Seconds{static_cast<double>(grid_cursor_ + 1) * interval});
   }
 }
 
@@ -227,14 +252,28 @@ void ShardedFlowSimulator::barrier_sync() {
 }
 
 void ShardedFlowSimulator::drain_completions() {
+  // Every completion is drained at the first barrier at or after its finish
+  // time, but callers may add extra barriers anywhere by splitting their
+  // run_until windows, which changes how completions batch per barrier. The
+  // drain therefore collects first and applies in (finish time, flow id)
+  // order: batches partition completions into time intervals, so sorted
+  // batches concatenate to the same global sequence no matter where the
+  // windows were cut, keeping completed_ — and the FctAccumulator's fold
+  // order — a pure function of the flow dynamics.
+  struct Pending {
+    std::size_t flow;
+    double finished;
+  };
+  std::vector<Pending> ready;
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     Shard& shard = *shards_[s];
     const auto& records = shard.sim->completed();
     for (std::size_t i = shard.completed_cursor; i < records.size(); ++i) {
       const FlowRecord& rec = records[i];
-      FlowEntry& entry = flows_[rec.spec.tag >> 1];
+      const std::size_t flow = rec.spec.tag >> 1;
+      FlowEntry& entry = flows_[flow];
       if ((rec.spec.tag & 1) == 0) {
-        complete_entry(entry, rec.finished.value());
+        ready.push_back({flow, rec.finished.value()});
         continue;
       }
       if (static_cast<std::uint32_t>(s) == entry.src_shard) {
@@ -244,12 +283,23 @@ void ShardedFlowSimulator::drain_completions() {
       }
       --shard.live_cross_halves;
       if (entry.finished_src >= 0.0 && entry.finished_dst >= 0.0) {
-        complete_entry(entry,
-                       std::max(entry.finished_src, entry.finished_dst));
+        ready.push_back(
+            {flow, std::max(entry.finished_src, entry.finished_dst)});
       }
     }
     shard.completed_cursor = records.size();
   }
+  if (shards_.size() > 1) {
+    // A lone shard's records are already in the host sim's event order;
+    // re-sorting same-time ties there would break bit-identity with the
+    // plain FlowSimulator.
+    std::sort(ready.begin(), ready.end(),
+              [this](const Pending& a, const Pending& b) {
+                if (a.finished != b.finished) return a.finished < b.finished;
+                return flows_[a.flow].id < flows_[b.flow].id;
+              });
+  }
+  for (const Pending& p : ready) complete_entry(flows_[p.flow], p.finished);
 }
 
 void ShardedFlowSimulator::complete_entry(FlowEntry& entry, double finished) {
@@ -377,6 +427,40 @@ void ShardedFlowSimulator::set_link_capacity_factor(LinkId id, double factor) {
                                       factor);
 }
 
+bool ShardedFlowSimulator::node_enabled(NodeId id) const {
+  validation::require(id < graph_.num_nodes(), kName, "node id out of range");
+  if (shards_.size() == 1) return shards_[0]->sim->router().node_enabled(id);
+  const int pod = partition_.pod_of_node[id];
+  if (pod == PodPartition::kCore) {
+    const auto it = core_enabled_.find(id);
+    return it == core_enabled_.end() || it->second;
+  }
+  const Shard& shard = *shards_[static_cast<std::size_t>(shard_of_pod_[pod])];
+  return shard.sim->router().node_enabled(shard.topo.local_of_global[id]);
+}
+
+bool ShardedFlowSimulator::link_enabled(LinkId id) const {
+  validation::require(id < graph_.num_links(), kName, "link id out of range");
+  if (shards_.size() == 1) return shards_[0]->sim->router().link_enabled(id);
+  const auto boundary = boundary_state_.find(id);
+  if (boundary != boundary_state_.end()) return boundary->second.enabled;
+  if (gateway_of_boundary_.count(id) != 0) return true;  // untouched boundary
+  const int pod = partition_.pod_of_node[graph_.link(id).a];
+  const Shard& shard = *shards_[static_cast<std::size_t>(shard_of_pod_[pod])];
+  return shard.sim->router().link_enabled(shard.topo.local_link_of_global[id]);
+}
+
+double ShardedFlowSimulator::link_capacity_factor(LinkId id) const {
+  validation::require(id < graph_.num_links(), kName, "link id out of range");
+  if (shards_.size() == 1) return shards_[0]->sim->link_capacity_factor(id);
+  const auto boundary = boundary_state_.find(id);
+  if (boundary != boundary_state_.end()) return boundary->second.factor;
+  if (gateway_of_boundary_.count(id) != 0) return 1.0;  // untouched boundary
+  const int pod = partition_.pod_of_node[graph_.link(id).a];
+  const Shard& shard = *shards_[static_cast<std::size_t>(shard_of_pod_[pod])];
+  return shard.sim->link_capacity_factor(shard.topo.local_link_of_global[id]);
+}
+
 void ShardedFlowSimulator::refresh_agg_of_boundary_link(LinkId global_link) {
   const auto it = gateway_of_boundary_.find(global_link);
   if (it == gateway_of_boundary_.end()) return;
@@ -461,6 +545,43 @@ FlowSimulator::ReallocStats ShardedFlowSimulator::realloc_stats() const {
   return total;
 }
 
+double ShardedFlowSimulator::stranded_bit_seconds(Seconds now) const {
+  double total = 0.0;
+  for (const auto& shard : shards_) {
+    total += shard->sim->stranded_bit_seconds(now);
+  }
+  return total;
+}
+
+std::vector<double> ShardedFlowSimulator::strand_durations() const {
+  std::vector<double> all;
+  for (const auto& shard : shards_) {
+    const std::vector<double>& d = shard->sim->strand_durations();
+    all.insert(all.end(), d.begin(), d.end());
+  }
+  return all;
+}
+
+double ShardedFlowSimulator::current_mean_utilization() const {
+  FlowSimulator::UtilizationTotals total;
+  for (const auto& shard : shards_) {
+    const FlowSimulator::UtilizationTotals t =
+        shard->sim->utilization_totals();
+    total.carried_bps += t.carried_bps;
+    total.capacity_bps += t.capacity_bps;
+  }
+  return total.capacity_bps > 0.0 ? total.carried_bps / total.capacity_bps
+                                  : 0.0;
+}
+
+double ShardedFlowSimulator::next_event_time() {
+  double next = std::numeric_limits<double>::infinity();
+  for (const auto& shard : shards_) {
+    next = std::min(next, shard->engine->next_event_time());
+  }
+  return next;
+}
+
 std::vector<telemetry::MetricSample> ShardedFlowSimulator::merged_metrics()
     const {
   std::vector<telemetry::MetricSample> merged;
@@ -494,6 +615,18 @@ std::vector<telemetry::MetricSample> ShardedFlowSimulator::merged_metrics()
       }
     }
   }
+  // Counters accumulate exactly in the integer `count`; the double `value`
+  // must mirror it rather than a shard-order-dependent double sum. Name
+  // order (not shard-0 registration order) keeps the export byte-stable
+  // across shard counts.
+  for (telemetry::MetricSample& sample : merged) {
+    if (sample.kind == telemetry::MetricKind::kCounter) {
+      sample.value = static_cast<double>(sample.count);
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const telemetry::MetricSample& a,
+               const telemetry::MetricSample& b) { return a.name < b.name; });
   return merged;
 }
 
@@ -579,7 +712,14 @@ void ShardedFlowSimulator::save_state(state::SnapshotWriter& w) const {
   }
   w.end_section();
 
-  for (const auto& shard : shards_) shard->sim->save_state(w);
+  for (const auto& shard : shards_) {
+    shard->sim->save_state(w);
+    // Attached shard sims keep their counters (realloc stats, solver
+    // stats) in the shard's private registry, which the attached-sim
+    // snapshot skips — the orchestrator owns it, so serialize it here.
+    shard->sim->flush_metrics();
+    shard->telemetry->metrics().save_state(w);
+  }
 }
 
 void ShardedFlowSimulator::restore_state(state::SnapshotReader& r) {
@@ -674,6 +814,7 @@ void ShardedFlowSimulator::restore_state(state::SnapshotReader& r) {
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     shards_[s]->engine->restore_clock(Seconds{clocks[s].now}, clocks[s].seq);
     shards_[s]->sim->restore_state(r);
+    shards_[s]->telemetry->metrics().restore_state(r);
   }
   check_invariants();
 }

@@ -1,5 +1,6 @@
 #include "netpp/sim/engine.h"
 
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
@@ -146,5 +147,15 @@ std::size_t SimEngine::run_until(Seconds until) {
 }
 
 bool SimEngine::step() { return pop_and_run(); }
+
+double SimEngine::next_event_time() {
+  while (!queue_.empty()) {
+    const Entry& top = queue_.top();
+    const Slot& s = slots_[top.slot];
+    if (s.live && s.gen == top.gen) return top.at;
+    queue_.pop();  // cancelled entry; discard
+  }
+  return std::numeric_limits<double>::infinity();
+}
 
 }  // namespace netpp

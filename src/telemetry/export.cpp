@@ -139,10 +139,14 @@ std::string to_chrome_trace_json(const EventLog& log,
 }
 
 std::string to_metrics_json(const MetricRegistry& registry) {
+  return to_metrics_json(registry.snapshot());
+}
+
+std::string to_metrics_json(const std::vector<MetricSample>& samples) {
   std::string out;
   out += "{\"netpp_metrics_version\":1,\"metrics\":[\n";
   bool first = true;
-  for (const MetricSample& m : registry.snapshot()) {
+  for (const MetricSample& m : samples) {
     if (!first) out += ",\n";
     first = false;
     out += "{\"name\":";

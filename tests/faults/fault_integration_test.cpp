@@ -95,16 +95,14 @@ class KillPoweredSpine : public ::testing::Test {
   };
 
   Run run_policy(DegradedPolicy policy, double min_headroom = 0.0) {
-    SimEngine engine;
-    Router router{topo_.graph};
-    FlowSimulator sim{topo_.graph, router, engine, config_};
+    const auto backend = make_backend(topo_.graph, BackendConfig{}, config_);
 
     DegradedModeConfig degraded;
     degraded.policy = policy;
     degraded.min_headroom = min_headroom;
     degraded.wake_latency = Seconds::from_milliseconds(50.0);
-    DegradedModeController controller{sim, topo_, ring_demands(topo_, 20_Gbps),
-                                      degraded};
+    DegradedModeController controller{*backend, topo_,
+                                      ring_demands(topo_, 20_Gbps), degraded};
     const TailorResult tailored = controller.tailor_initial();
     EXPECT_TRUE(tailored.feasible);
     EXPECT_FALSE(tailored.powered_off.empty())
@@ -124,23 +122,23 @@ class KillPoweredSpine : public ::testing::Test {
       }
     }
     EXPECT_FALSE(schedule.empty());
-    FaultInjector injector{sim, schedule};
+    FaultInjector injector{*backend, schedule};
     injector.set_listener(controller.listener());
     injector.arm();
 
     const auto workload = ring_workload(topo_);
-    for (const auto& spec : workload) sim.submit(spec);
-    engine.run();
+    for (const auto& spec : workload) backend->submit(spec);
+    backend->run();
 
     Run result;
-    result.completed = sim.completed().size();
+    result.completed = backend->completed().size();
     result.submitted = workload.size();
-    result.stranded_at_end = sim.stranded_flows();
+    result.stranded_at_end = backend->stranded_flows();
     result.parked_initially = tailored.powered_off.size();
     result.emergency_wakes = controller.emergency_wakes();
     result.retailor_passes = controller.retailor_passes();
-    result.strand_durations = sim.strand_durations();
-    result.end = engine.now();
+    result.strand_durations = backend->strand_durations();
+    result.end = backend->now();
     return result;
   }
 
@@ -184,15 +182,13 @@ TEST(DegradedMode, ExcessHeadroomKeepsWholeFabricPowered) {
   // parks nothing — headroom trades energy for resilience, never the
   // other way around.
   const auto topo = build_leaf_spine(2, 2, 2, 100_Gbps, 100_Gbps);
-  SimEngine engine;
-  Router router{topo.graph};
   FlowSimulator::Config sim_config;
   sim_config.strand_unroutable = true;
-  FlowSimulator sim{topo.graph, router, engine, sim_config};
+  const auto backend = make_backend(topo.graph, BackendConfig{}, sim_config);
 
   DegradedModeConfig degraded;
   degraded.min_headroom = 5.0;  // 20G ring inflated to 120G > any link
-  DegradedModeController controller{sim, topo, ring_demands(topo, 20_Gbps),
+  DegradedModeController controller{*backend, topo, ring_demands(topo, 20_Gbps),
                                     degraded};
   const TailorResult tailored = controller.tailor_initial();
   EXPECT_FALSE(tailored.feasible);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "netpp/topo/builders.h"
 
 namespace netpp {
@@ -13,14 +15,14 @@ using namespace netpp::literals;
 /// two ECMP paths (one per spine).
 struct TwoSpine {
   BuiltTopology topo = build_leaf_spine(2, 2, 1, 100_Gbps, 100_Gbps);
-  SimEngine engine;
-  Router router{topo.graph};
   FlowSimulator::Config config = [] {
     FlowSimulator::Config c;
     c.strand_unroutable = true;
     return c;
   }();
-  FlowSimulator sim{topo.graph, router, engine, config};
+  std::unique_ptr<SimulatorBackend> backend =
+      make_backend(topo.graph, BackendConfig{}, config);
+  SimulatorBackend& sim = *backend;
 
   /// Select switches by tier (leaves are tier 1, spines tier 2) rather than
   /// by position in `switches`, whose order is a builder detail.
@@ -53,7 +55,7 @@ TEST(FaultInjector, SpineFailureReroutesAndFlowCompletes) {
   schedule.faults.push_back(switch_down(t.spine(0), 0.2, 5.0));
   FaultInjector injector{t.sim, schedule};
   injector.arm();
-  t.engine.run();
+  t.sim.run();
 
   ASSERT_EQ(t.sim.completed().size(), 1u);
   EXPECT_EQ(t.sim.stranded_flows(), 0u);
@@ -72,7 +74,7 @@ TEST(FaultInjector, AllSpinesDownStrandsThenResumes) {
   schedule.faults.push_back(switch_down(t.spine(1), 0.2, 1.5));
   FaultInjector injector{t.sim, schedule};
   injector.arm();
-  t.engine.run();
+  t.sim.run();
 
   // Stranded at 0.2 with 80 Gbit left; spine 0 repairs at 1.0 -> resumes and
   // finishes 0.8 s later.
@@ -83,7 +85,7 @@ TEST(FaultInjector, AllSpinesDownStrandsThenResumes) {
   ASSERT_EQ(t.sim.strand_durations().size(), 1u);
   EXPECT_NEAR(t.sim.strand_durations()[0], 0.8, 1e-9);
   // 80 Gbit stranded for 0.8 s.
-  EXPECT_NEAR(t.sim.stranded_bit_seconds(t.engine.now()), 80e9 * 0.8, 1e3);
+  EXPECT_NEAR(t.sim.stranded_bit_seconds(t.sim.now()), 80e9 * 0.8, 1e3);
 }
 
 TEST(FaultInjector, RepairRestoresPreFaultParkedState) {
@@ -94,9 +96,9 @@ TEST(FaultInjector, RepairRestoresPreFaultParkedState) {
   schedule.faults.push_back(switch_down(t.spine(1), 0.1, 0.5));
   FaultInjector injector{t.sim, schedule};
   injector.arm();
-  t.engine.run();
+  t.sim.run();
   // The repair must NOT silently power on a switch a policy parked.
-  EXPECT_FALSE(t.sim.router().node_enabled(t.spine(1)));
+  EXPECT_FALSE(t.sim.node_enabled(t.spine(1)));
 }
 
 TEST(FaultInjector, DegradedLinkSlowsAndRecovers) {
@@ -124,7 +126,7 @@ TEST(FaultInjector, DegradedLinkSlowsAndRecovers) {
                         Bits::from_gigabits(100.0), 0.0_s, 0});
   FaultInjector injector{t.sim, schedule};
   injector.arm();
-  t.engine.run();
+  t.sim.run();
 
   // 1 s at 50 G (50 Gbit done), then 0.5 s at full rate: finishes at 1.5 s.
   ASSERT_EQ(t.sim.completed().size(), 1u);
@@ -143,7 +145,7 @@ TEST(FaultInjector, ListenerSeesFailureAndRecovery) {
     recoveries.push_back(recovery);
   });
   injector.arm();
-  t.engine.run();
+  t.sim.run();
   ASSERT_EQ(recoveries.size(), 2u);
   EXPECT_FALSE(recoveries[0]);
   EXPECT_TRUE(recoveries[1]);

@@ -1,0 +1,93 @@
+// Fixed experiment-driver scenarios for the backend golden-equivalence
+// suite (backend_equivalence_test.cpp). The expectations pinned there were
+// recorded by backend_golden_record_main.cpp against the pre-backend-seam
+// drivers (run_composite / run_fault_experiment wired directly to
+// FlowSimulator), so the single-simulator backend — and the sharded backend
+// at shard=1 — must reproduce them bit-identically. Everything here is a
+// pure function of its inputs: fixed topologies, seeded fault schedules,
+// deterministic traffic.
+#pragma once
+
+#include <vector>
+
+#include "netpp/faults/experiment.h"
+#include "netpp/faults/fault_model.h"
+#include "netpp/mech/composite.h"
+#include "netpp/topo/builders.h"
+#include "netpp/traffic/generators.h"
+
+namespace netpp::golden {
+
+/// k=4 fat tree at 100G: the `netpp_cli mech` fabric. 4 pods of 4 switches
+/// plus 4 core switches — partitionable, so the sharded backend can run the
+/// identical scenario at shard counts 1, 2, and 4.
+inline BuiltTopology composite_topology() {
+  return build_fat_tree(4, Gbps{100.0});
+}
+
+struct CompositeScenario {
+  std::vector<FlowSpec> workload;
+  std::vector<TrafficDemand> demands;
+  Seconds horizon{4.0};
+  CompositeConfig config;
+};
+
+/// Phase-structured ML training over the fat tree with a ring demand matrix
+/// — the full tailor+park+rate stack, as `netpp_cli mech --iters 2` runs it.
+inline CompositeScenario composite_scenario(const BuiltTopology& topo) {
+  CompositeScenario s;
+  MlTrafficConfig traffic;
+  traffic.compute_time = Seconds{0.9};
+  traffic.comm_allowance = Seconds{0.1};
+  traffic.iterations = 2;
+  traffic.volume_per_host = Bits::from_gigabits(2.0);
+  s.workload = make_ml_training_traffic(topo.hosts, traffic).flows;
+  for (std::size_t i = 0; i < topo.hosts.size(); ++i) {
+    s.demands.push_back(TrafficDemand{
+        topo.hosts[i], topo.hosts[(i + 1) % topo.hosts.size()], Gbps{5.0}});
+  }
+  s.config.parking.switch_capacity = Gbps{4 * 100.0};
+  s.config.num_ocs_devices = 4;
+  return s;
+}
+
+/// Same fat tree for the fault study (leaf-spine has no tier-3 core, so a
+/// sharded run could never split it).
+inline BuiltTopology fault_topology() { return composite_topology(); }
+
+struct FaultScenario {
+  std::vector<FlowSpec> workload;
+  FaultSchedule schedule;
+  FaultExperimentConfig config;
+};
+
+/// Seeded fault storm over tailored ML traffic: switches at MTBF 10 s /
+/// MTTR 0.5 s, links at double the MTBF, a quarter of link faults degraded.
+inline FaultScenario fault_scenario(const BuiltTopology& topo,
+                                    DegradedPolicy policy) {
+  FaultScenario s;
+  MlTrafficConfig traffic;
+  traffic.compute_time = Seconds{0.3};
+  traffic.comm_allowance = Seconds{0.5};
+  traffic.volume_per_host = Bits::from_gigabits(12.0);
+  traffic.iterations = 6;
+  s.workload = make_ml_training_traffic(topo.hosts, traffic).flows;
+
+  s.config.tailor = true;
+  s.config.degraded.policy = policy;
+  for (std::size_t i = 0; i < topo.hosts.size(); ++i) {
+    s.config.demands.push_back(TrafficDemand{
+        topo.hosts[i], topo.hosts[(i + 1) % topo.hosts.size()], Gbps{30.0}});
+  }
+
+  FaultGeneratorConfig faults;
+  faults.switches = DeviceReliability{Seconds{10.0}, Seconds{0.5}};
+  faults.links = DeviceReliability{Seconds{20.0}, Seconds{0.5}};
+  faults.degraded_fraction = 0.25;
+  faults.horizon = Seconds{5.0};
+  faults.seed = 7;
+  s.schedule = FaultGenerator{faults}.generate(topo.graph);
+  return s;
+}
+
+}  // namespace netpp::golden

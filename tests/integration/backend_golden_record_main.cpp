@@ -1,0 +1,93 @@
+// Re-prints the expectations for backend_equivalence_test.cpp as
+// ready-to-paste C++ (hexfloat doubles, exact integers). Recorded once
+// against the pre-backend-seam drivers; run again only after a deliberate
+// behavior change — the suite's whole point is that the backend refactor
+// does NOT change these values. Not registered with CMake; compile by hand
+// against the tree under test.
+#include <cstdio>
+
+#include "backend_golden_inputs.h"
+
+namespace {
+
+using namespace netpp;
+
+void field(const char* name, double v) {
+  std::printf("  %s = %a;  // %.17g\n", name, v, v);
+}
+void field(const char* name, std::size_t v) {
+  std::printf("  %s = %zu;\n", name, v);
+}
+
+void print_composite(const char* tag, const CompositeReport& r) {
+  std::printf("{  // %s\n", tag);
+  field("e.horizon_s", r.horizon.value());
+  field("e.baseline_j", r.baseline_energy.value());
+  field("e.energy_j", r.energy.value());
+  field("e.combined_savings", r.combined_savings);
+  field("e.best_single_savings", r.best_single_savings);
+  field("e.singles", r.singles.size());
+  for (const auto& single : r.singles) {
+    std::printf("  // single %s\n", single.name.c_str());
+    field("  energy_j", single.energy.value());
+    field("  savings", single.savings);
+  }
+  field("e.tailored_off", r.tailoring.powered_off.size());
+  field("e.wakes", r.wake_transitions);
+  field("e.parks", r.park_transitions);
+  field("e.levels", r.level_transitions);
+  field("e.dropped_bits", r.dropped.value());
+  field("e.average_power_w", r.average_power.value());
+  field("e.baseline_power_w", r.baseline_average_power.value());
+  std::printf("}\n");
+}
+
+void print_fault(const char* tag, const FaultExperimentResult& r) {
+  std::printf("{  // %s\n", tag);
+  field("e.availability", r.report.availability);
+  field("e.completion_rate", r.report.completion_rate);
+  field("e.stranded_gbit_s", r.report.stranded_demand_gbit_seconds);
+  field("e.mean_recovery_s", r.report.mean_recovery.value());
+  field("e.p99_recovery_s", r.report.p99_recovery.value());
+  field("e.energy_delta", r.report.energy_delta);
+  field("e.faults_injected", r.report.faults_injected);
+  field("e.flows_rerouted", static_cast<std::size_t>(r.report.flows_rerouted));
+  field("e.strand_events", static_cast<std::size_t>(r.report.strand_events));
+  field("e.emergency_wakes", r.emergency_wakes);
+  field("e.retailor_passes", r.retailor_passes);
+  field("e.powered_at_end", r.powered_at_end);
+  field("e.end_s", r.end.value());
+  field("e.fct_count", r.fct.count());
+  field("e.fct_mean_s", r.fct.mean());
+  field("e.fct_max_s", r.fct.max());
+  field("e.tailored_off", r.tailoring.powered_off.size());
+  std::printf("}\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace netpp;
+  {
+    const BuiltTopology topo = golden::composite_topology();
+    const golden::CompositeScenario s = golden::composite_scenario(topo);
+    print_composite("composite full stack",
+                    run_composite(topo, s.workload, s.demands, s.horizon,
+                                  s.config));
+  }
+  {
+    const BuiltTopology topo = golden::fault_topology();
+    const golden::FaultScenario s =
+        golden::fault_scenario(topo, DegradedPolicy::kRetailor);
+    print_fault("faults re-tailor",
+                run_fault_experiment(topo, s.workload, s.schedule, s.config));
+  }
+  {
+    const BuiltTopology topo = golden::fault_topology();
+    const golden::FaultScenario s =
+        golden::fault_scenario(topo, DegradedPolicy::kEmergencyWakeAll);
+    print_fault("faults wake-all",
+                run_fault_experiment(topo, s.workload, s.schedule, s.config));
+  }
+  return 0;
+}

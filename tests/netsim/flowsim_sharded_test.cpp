@@ -14,10 +14,13 @@
 //      uninterrupted run.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
 #include <vector>
 
 #include "netpp/netsim/flowsim.h"
 #include "netpp/netsim/sharded.h"
+#include "netpp/telemetry/export.h"
 #include "netpp/sim/thread_budget.h"
 #include "netpp/state/snapshot.h"
 #include "netpp/topo/builders.h"
@@ -381,6 +384,56 @@ TEST(ShardedFlowSim, SnapshotResumeBitIdentical) {
                            straight.fct_stats());
   EXPECT_EQ(resumed.active_flows(), straight.active_flows());
   resumed.check_invariants();
+}
+
+// --- Contract 6: merged-metrics export stability ---
+
+std::vector<telemetry::MetricSample> run_and_merge(const BuiltTopology& topo,
+                                                   std::size_t shards,
+                                                   std::size_t threads) {
+  const auto flows = poisson_workload(topo, 300.0, 1.5, 19);
+  ShardedFlowSimulator::Config scfg;
+  scfg.num_shards = shards;
+  scfg.num_threads = threads;
+  scfg.shard.flow_rate_cap = 25_Gbps;
+  ShardedFlowSimulator sim{topo.graph, scfg};
+  for (const auto& f : flows) sim.submit(f);
+  sim.run_until(Seconds{6.0});
+  return sim.merged_metrics();
+}
+
+TEST(ShardedFlowSim, MergedMetricsExportByteStable) {
+  thread_budget::set_pool_size(4);
+  const auto topo = build_fat_tree(4, 100_Gbps);
+
+  // Counters survive the merge as exact integers: the double `value`
+  // mirrors the integer `count` (never a shard-order-dependent double
+  // sum), and the export serializes the integer field.
+  const auto merged4 = run_and_merge(topo, 4, 1);
+  ASSERT_FALSE(merged4.empty());
+  for (const auto& m : merged4) {
+    if (m.kind != telemetry::MetricKind::kCounter) continue;
+    EXPECT_EQ(m.value, static_cast<double>(m.count)) << m.name;
+  }
+
+  // Metric order is name-sorted — the same schema regardless of how many
+  // shards (each with its own registration order) fed the merge.
+  const auto names_of = [](const std::vector<telemetry::MetricSample>& v) {
+    std::vector<std::string> names;
+    names.reserve(v.size());
+    for (const auto& m : v) names.push_back(m.name);
+    return names;
+  };
+  const auto names4 = names_of(merged4);
+  EXPECT_TRUE(std::is_sorted(names4.begin(), names4.end()));
+  EXPECT_EQ(names_of(run_and_merge(topo, 1, 1)), names4);
+  EXPECT_EQ(names_of(run_and_merge(topo, 2, 1)), names4);
+
+  // For a fixed shard count the run is bit-identical across worker counts,
+  // so the serialized export must be byte-identical too.
+  const std::string bytes1 = telemetry::to_metrics_json(merged4);
+  EXPECT_EQ(telemetry::to_metrics_json(run_and_merge(topo, 4, 2)), bytes1);
+  EXPECT_EQ(telemetry::to_metrics_json(run_and_merge(topo, 4, 4)), bytes1);
 }
 
 }  // namespace

@@ -22,6 +22,12 @@
 // straight-line run's bytes exactly (plus the same one-flipped-byte typed
 // rejection as the fault-experiment stage).
 //
+// A sharded-backend stage runs the full fault-experiment driver (injector,
+// degraded-mode controller, control-plane events) over the 2-shard backend
+// on a fat tree, resumes from a mid-run snapshot, and additionally requires
+// the snapshot's backend echo to reject a restore under a different shard
+// count.
+//
 // Any divergence between the chaos run's final hash and the straight-line
 // hash — or any non-typed failure on damaged input — is a determinism bug;
 // the tool prints it and exits non-zero. The CI chaos job runs this under
@@ -405,6 +411,85 @@ bool chaos_sharded(std::uint64_t seed) {
   return true;
 }
 
+/// One seed's sharded-BACKEND experiment cycle: the full fault-experiment
+/// driver (injector + degraded-mode controller) over the 2-shard backend,
+/// interrupted at a random time and resumed from its snapshot. The resumed
+/// run must hash identically to the straight-line run, and the snapshot's
+/// backend echo must reject a restore under a different shard count.
+bool chaos_sharded_experiment(std::uint64_t seed) {
+  Rng rng{0xbac0de0000u + seed};
+  Scenario s = make_scenario(rng);
+  // Swap the leaf-spine for a pod-partitionable fabric and rebuild the
+  // pieces that depend on it; the rest of the random scenario carries over.
+  s.topo = build_fat_tree(4, 100_Gbps);
+  PoissonTrafficConfig traffic;
+  traffic.arrivals_per_second = rng.uniform(60.0, 150.0);
+  traffic.max_size = Bits::from_gigabits(rng.uniform(1.0, 3.0));
+  traffic.duration = Seconds{1.0};
+  traffic.seed = rng.next();
+  s.workload = make_poisson_traffic(s.topo.hosts, traffic);
+  FaultGeneratorConfig faults;
+  faults.switches = DeviceReliability{Seconds{rng.uniform(0.8, 2.5)},
+                                      Seconds{rng.uniform(0.2, 0.6)}};
+  faults.links = DeviceReliability{Seconds{rng.uniform(1.5, 4.0)},
+                                   Seconds{rng.uniform(0.2, 0.6)}};
+  faults.degraded_fraction = 0.25;
+  faults.horizon = Seconds{2.0};
+  faults.seed = rng.next();
+  s.schedule = FaultGenerator{faults}.generate(s.topo.graph);
+  s.config.demands.clear();
+  for (std::size_t i = 0; i < s.topo.hosts.size(); ++i) {
+    s.config.demands.push_back(TrafficDemand{
+        s.topo.hosts[i], s.topo.hosts[(i + 1) % s.topo.hosts.size()],
+        15_Gbps});
+  }
+  s.config.telemetry = nullptr;
+  s.config.backend.kind = BackendKind::kSharded;
+  s.config.backend.num_shards = 2;
+
+  // Straight-line reference.
+  FaultExperimentRun a{s.topo, s.workload, s.schedule, s.config};
+  a.run();
+  (void)a.finish();
+  const std::uint32_t want = snapshot_hash(a);
+
+  // Interrupted run: cut once, restore into a fresh backend, continue.
+  FaultExperimentRun b{s.topo, s.workload, s.schedule, s.config};
+  b.run_until(Seconds{rng.uniform(0.2, 1.5)});
+  b.check_invariants();
+  state::SnapshotWriter mid;
+  b.save_state(mid);
+
+  state::SnapshotReader r{mid.buffer()};
+  FaultExperimentRun c{s.topo, s.workload, s.schedule, s.config, r};
+  c.run();
+  (void)c.finish();
+  const std::uint32_t got = snapshot_hash(c);
+  if (got != want) {
+    std::fprintf(
+        stderr,
+        "seed %llu: sharded experiment resume hash %08x != straight %08x\n",
+        static_cast<unsigned long long>(seed), got, want);
+    return false;
+  }
+
+  // The snapshot embeds its backend: restoring under a different shard
+  // count must be a typed rejection, not a silent mismatch.
+  try {
+    FaultExperimentConfig wrong = s.config;
+    wrong.backend.num_shards = 1;
+    state::SnapshotReader rw{mid.buffer()};
+    FaultExperimentRun x{s.topo, s.workload, s.schedule, wrong, rw};
+    std::fprintf(stderr,
+                 "seed %llu: shard-count-mismatched snapshot was accepted\n",
+                 static_cast<unsigned long long>(seed));
+    return false;
+  } catch (const std::invalid_argument&) {
+    // expected: typed rejection
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -425,7 +510,7 @@ int main(int argc, char** argv) {
     bool ok = true;
     try {
       ok = chaos_fault_experiment(seed) && chaos_timeline(seed) &&
-           chaos_sharded(seed);
+           chaos_sharded(seed) && chaos_sharded_experiment(seed);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "seed %llu: unexpected exception: %s\n",
                    static_cast<unsigned long long>(seed), e.what());

@@ -61,6 +61,9 @@ struct Options {
   double mech_volume_gbit = 2.0;
   double mech_horizon_s = 4.0;
   int mech_ocs_devices = 4;
+  // simulator backend (faults / mech subcommands)
+  std::string backend = "single";
+  std::size_t shards = 1;
   // telemetry outputs (faults / mech / telemetry subcommands)
   std::string trace_out;
   std::string metrics_out;
@@ -101,6 +104,11 @@ int usage(std::FILE* out) {
       "              --policy none|wake-all|re-tailor\n"
       "mech flags:   --stack all|dynamic|tailor|park|rate --iters N\n"
       "              --volume GBIT --horizon S --ocs N\n"
+      "backend (faults/mech):\n"
+      "              --backend single|sharded simulator backend (sharded\n"
+      "                                       faults runs the k=4 fat tree;\n"
+      "                                       the default is leaf-spine)\n"
+      "              --shards N               sharded pod shards (>= 1)\n"
       "telemetry outputs (faults/mech/telemetry):\n"
       "              --trace-out FILE.json    Chrome trace (Perfetto)\n"
       "              --metrics-out FILE.json  metrics dump\n"
@@ -144,7 +152,8 @@ bool parse(int argc, char** argv, Options& opt) {
         flag == "--mttr" || flag == "--headroom" || flag == "--seed" ||
         flag == "--iters" || flag == "--volume" || flag == "--horizon" ||
         flag == "--ocs" || flag == "--sample-period" ||
-        flag == "--save-state" || flag == "--load-state" || flag == "--save-at";
+        flag == "--save-state" || flag == "--load-state" ||
+        flag == "--save-at" || flag == "--backend" || flag == "--shards";
     if (!known_flag) {
       error_out("unknown flag '" + flag + "' (see 'netpp_cli help')");
       return false;
@@ -176,6 +185,15 @@ bool parse(int argc, char** argv, Options& opt) {
         error_out("unknown policy '" + value_str + "'");
         return false;
       }
+      continue;
+    }
+    if (flag == "--backend") {
+      if (value_str != "single" && value_str != "sharded") {
+        error_out("unknown backend '" + value_str +
+                  "' (expected single|sharded)");
+        return false;
+      }
+      opt.backend = value_str;
       continue;
     }
     if (flag == "--trace-out") {
@@ -224,6 +242,9 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.mech_horizon_s = value;
     } else if (flag == "--ocs" && value >= 0) {
       opt.mech_ocs_devices = static_cast<int>(value);
+    } else if (flag == "--shards" && value >= 1 &&
+               value == static_cast<double>(static_cast<std::size_t>(value))) {
+      opt.shards = static_cast<std::size_t>(value);
     } else if (flag == "--sample-period" && value >= 0) {
       opt.sample_period_s = value;
     } else if (flag == "--save-at" && value >= 0) {
@@ -233,6 +254,20 @@ bool parse(int argc, char** argv, Options& opt) {
       return false;
     }
   }
+  return true;
+}
+
+/// Builds the experiment backend from --backend/--shards. Returns false
+/// (after the one-line diagnostic) on an inconsistent combination.
+bool make_backend_config(const Options& opt, BackendConfig& backend) {
+  if (opt.backend == "single" && opt.shards > 1) {
+    error_out("--shards " + std::to_string(opt.shards) +
+              " requires --backend sharded");
+    return false;
+  }
+  backend.kind = opt.backend == "sharded" ? BackendKind::kSharded
+                                          : BackendKind::kSingle;
+  backend.num_shards = opt.shards;
   return true;
 }
 
@@ -389,9 +424,15 @@ struct CannedFaultScenario {
 };
 
 CannedFaultScenario make_canned_fault_scenario(const Options& opt,
+                                               const BackendConfig& backend,
                                                telemetry::Telemetry* tel) {
-  CannedFaultScenario s{build_leaf_spine(4, 4, 4, 100_Gbps, 100_Gbps),
+  // The sharded backend needs a pod-partitionable fabric (tier-3 core), so
+  // it swaps the canned leaf-spine for the k=4 fat tree `mech` runs on.
+  CannedFaultScenario s{backend.kind == BackendKind::kSharded
+                            ? build_fat_tree(4, 100_Gbps)
+                            : build_leaf_spine(4, 4, 4, 100_Gbps, 100_Gbps),
                         {}, {}, {}, Seconds{5.0}};
+  s.config.backend = backend;
   MlTrafficConfig traffic;
   traffic.compute_time = Seconds{0.3};
   traffic.comm_allowance = Seconds{0.5};
@@ -424,8 +465,9 @@ CannedFaultScenario make_canned_fault_scenario(const Options& opt,
 }
 
 FaultExperimentResult run_canned_fault_scenario(const Options& opt,
+                                                const BackendConfig& backend,
                                                 telemetry::Telemetry* tel) {
-  const CannedFaultScenario s = make_canned_fault_scenario(opt, tel);
+  const CannedFaultScenario s = make_canned_fault_scenario(opt, backend, tel);
   return run_fault_experiment(s.topo, s.workload, s.schedule, s.config);
 }
 
@@ -433,13 +475,16 @@ int cmd_faults(const Options& opt) {
   if (!opt.save_state.empty() && !opt.load_state.empty()) {
     return error_out("--save-state and --load-state are mutually exclusive");
   }
+  BackendConfig backend;
+  if (!make_backend_config(opt, backend)) return 2;
   const auto tel = make_cli_telemetry(opt, /*sampled=*/true);
   FaultExperimentResult result;
   try {
     if (!opt.save_state.empty()) {
       // Run the canned scenario to the snapshot point, serialize everything,
       // and stop: a later --load-state continues bit-identically.
-      const CannedFaultScenario s = make_canned_fault_scenario(opt, tel.get());
+      const CannedFaultScenario s =
+          make_canned_fault_scenario(opt, backend, tel.get());
       const Seconds save_at{opt.save_at_s >= 0.0
                                 ? opt.save_at_s
                                 : s.fault_horizon.value() / 2.0};
@@ -453,7 +498,8 @@ int cmd_faults(const Options& opt) {
       return 0;
     }
     if (!opt.load_state.empty()) {
-      const CannedFaultScenario s = make_canned_fault_scenario(opt, tel.get());
+      const CannedFaultScenario s =
+          make_canned_fault_scenario(opt, backend, tel.get());
       auto r = state::SnapshotReader::from_file(opt.load_state);
       FaultExperimentRun run{s.topo, s.workload, s.schedule, s.config, r};
       if (!r.at_end()) {
@@ -463,7 +509,7 @@ int cmd_faults(const Options& opt) {
       run.run();
       result = run.finish();
     } else {
-      result = run_canned_fault_scenario(opt, tel.get());
+      result = run_canned_fault_scenario(opt, backend, tel.get());
     }
   } catch (const std::exception& e) {
     return error_out(e.what());
@@ -504,10 +550,15 @@ int cmd_faults(const Options& opt) {
 
 int cmd_telemetry(const Options& opt) {
   // Telemetry demo: the faults scenario with every instrument attached,
-  // summarized. --trace-out / --metrics-out save the artifacts.
+  // summarized. --trace-out / --metrics-out save the artifacts. The sharded
+  // backend keeps the netsim registry per shard, so this demo (which reads
+  // the shared registry) is single-backend only.
+  if (opt.backend != "single" || opt.shards != 1) {
+    return error_out("'telemetry' supports only --backend single");
+  }
   const auto tel =
       make_cli_telemetry(opt, /*sampled=*/true, /*force=*/true);
-  const auto result = run_canned_fault_scenario(opt, tel.get());
+  const auto result = run_canned_fault_scenario(opt, BackendConfig{}, tel.get());
   const telemetry::MetricRegistry& m = tel->metrics();
 
   Table table{{"metric", "value"}};
@@ -537,6 +588,8 @@ int cmd_mech(const Options& opt) {
   if (!opt.save_state.empty() && !opt.load_state.empty()) {
     return error_out("--save-state and --load-state are mutually exclusive");
   }
+  BackendConfig backend;
+  if (!make_backend_config(opt, backend)) return 2;
   if (!opt.load_state.empty()) {
     // Offline restore: load a saved metric registry into a fresh bundle and
     // re-export it, without re-running the simulation.
@@ -587,6 +640,7 @@ int cmd_mech(const Options& opt) {
       opt.stack == "all" || opt.stack == "dynamic" || opt.stack == "rate";
   config.parking.switch_capacity = Gbps{4 * 100.0};  // 4 ports at 100 G
   config.num_ocs_devices = opt.mech_ocs_devices;
+  config.backend = backend;
   // --save-state needs a registry to snapshot even without --metrics-out.
   const auto tel = make_cli_telemetry(opt, /*sampled=*/false,
                                       /*force=*/!opt.save_state.empty());
@@ -599,8 +653,13 @@ int cmd_mech(const Options& opt) {
                                     5_Gbps});
   }
 
-  const CompositeReport report = run_composite(
-      topo, workload, demands, Seconds{opt.mech_horizon_s}, config);
+  CompositeReport report;
+  try {
+    report = run_composite(topo, workload, demands,
+                           Seconds{opt.mech_horizon_s}, config);
+  } catch (const std::exception& e) {
+    return error_out(e.what());
+  }
   const MechanismValue value = mechanism_value(
       report.baseline_energy, report.energy, report.horizon);
 
@@ -627,6 +686,11 @@ int cmd_mech(const Options& opt) {
   table.add_row(
       {"level transitions", std::to_string(report.level_transitions)});
   table.add_row({"dropped (Mbit)", fmt(report.dropped.value() / 1e6, 3)});
+  for (const auto& d : report.domains) {
+    table.add_row({"domain " + d.name + " savings",
+                   fmt_percent(d.savings, 2) + " (" +
+                       fmt(d.average_power.value(), 1) + " W)"});
+  }
   table.add_row(
       {"sustained value ($/yr)", fmt(value.annual_savings.value(), 0)});
   table.add_row({"avoided CO2 (t/yr)", fmt(value.annual_co2_tons, 3)});
