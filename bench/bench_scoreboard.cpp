@@ -10,6 +10,7 @@
 //   composite_stack       <-> scoreboard_composite_stack_ms
 //   sharded_composite_smoke <-> scoreboard_sharded_composite_smoke_ms
 //   sharded_1m_smoke      <-> scoreboard_sharded_1m_smoke_ms
+//   serve_qps             <-> scoreboard_serve_qps_ms
 //   telemetry_idle        absolute gate (< 2%), reference display-only
 //
 // Reference numbers MUST come from this binary (--write-reference in CI,
@@ -45,6 +46,7 @@
 #include "bench_util.h"
 #include "netpp/mech/composite.h"
 #include "netpp/netsim/fairshare.h"
+#include "netpp/serve/engine.h"
 #include "netpp/topo/route_cache.h"
 #include "netpp/topo/routing.h"
 #include "scoreboard.h"
@@ -161,6 +163,40 @@ double measure_sharded_smoke(int rounds) {
   });
 }
 
+// The warm serving hot path behind netpp_serve: a persistent QueryEngine
+// answering a fixed 16-query what-if batch every iteration. The baselines
+// and composite caches warm up on the first pass; the steady state this row
+// prices is what a long-running server actually spends per batch — fault-
+// baseline forks + replays, composite-cache hits, and result rendering
+// (result_cache off so every answer is recomputed).
+double measure_serve_qps(int rounds) {
+  serve::QueryEngine engine{serve::EngineConfig{.result_cache = false}};
+  const char* const queries[] = {
+      R"({"command":"faults","seed":7,"output":"csv"})",
+      R"({"command":"faults","seed":7,"output":"table"})",
+      R"({"command":"faults","seed":7,"output":"metrics"})",
+      R"({"command":"faults","seed":7,"backend":"sharded","shards":2,"output":"csv"})",
+      R"({"command":"mech","iters":2,"output":"csv"})",
+      R"({"command":"mech","stack":"dynamic","iters":2,"output":"csv"})",
+      R"({"command":"mech","stack":"tailor","iters":2,"output":"csv"})",
+      R"({"command":"mech","stack":"park","iters":2,"output":"csv"})",
+      R"({"command":"mech","stack":"rate","iters":2,"output":"csv"})",
+      R"({"command":"mech","iters":2,"ocs":2,"output":"csv"})",
+      R"({"command":"mech","iters":2,"ocs":8,"output":"csv"})",
+      R"({"command":"mech","iters":2,"pod_budget_w":500,"core_budget_w":200,"output":"csv"})",
+      R"({"command":"mech","iters":2,"output":"table"})",
+      R"({"command":"savings","prop":0.85,"output":"csv"})",
+      R"({"command":"cluster","gpus":8192,"output":"csv"})",
+      R"({"command":"cluster","output":"table"})",
+  };
+  serve::JsonValue batch = serve::JsonValue::make_array();
+  for (const char* q : queries) batch.push_back(serve::parse_json(q));
+  return best_of_ms(rounds, [&] {
+    const serve::JsonValue responses = engine.handle(batch);
+    benchmark::DoNotOptimize(responses.as_array().size());
+  });
+}
+
 /// One measurement of every suite row, in a fixed order. Both sides of
 /// every gate ratio come from this function (in different processes of the
 /// same binary), so the statistic and the code layout match by construction.
@@ -173,6 +209,7 @@ struct SuiteMeasurements {
   double composite_stack_ms;
   double sharded_composite_ms;
   double sharded_smoke_ms;
+  double serve_qps_ms;
   double telemetry_idle_pct;
 };
 
@@ -186,6 +223,7 @@ SuiteMeasurements measure_suite(int rounds) {
   m.composite_stack_ms = measure_composite_stack(rounds);
   m.sharded_composite_ms = measure_sharded_composite(rounds);
   m.sharded_smoke_ms = measure_sharded_smoke(rounds);
+  m.serve_qps_ms = measure_serve_qps(rounds);
   m.telemetry_idle_pct = bench::measure_idle_overhead_pct(rounds);
   return m;
 }
@@ -220,6 +258,7 @@ bool write_reference(const std::string& path, const SuiteMeasurements& m) {
       {"scoreboard_composite_stack_ms", m.composite_stack_ms},
       {"scoreboard_sharded_composite_smoke_ms", m.sharded_composite_ms},
       {"scoreboard_sharded_1m_smoke_ms", m.sharded_smoke_ms},
+      {"scoreboard_serve_qps_ms", m.serve_qps_ms},
   };
   const std::size_t n = sizeof rows / sizeof rows[0];
   for (std::size_t i = 0; i < n; ++i) {
@@ -287,6 +326,7 @@ int main(int argc, char** argv) {
       std::printf("scoreboard_sharded_composite_smoke_ms=%.3f\n",
                   m.sharded_composite_ms);
       std::printf("scoreboard_sharded_1m_smoke_ms=%.3f\n", m.sharded_smoke_ms);
+      std::printf("scoreboard_serve_qps_ms=%.3f\n", m.serve_qps_ms);
     }
     return 0;
   }
@@ -336,6 +376,8 @@ int main(int argc, char** argv) {
   rows.push_back(ratio_row("sharded_1m_smoke",
                            "scoreboard_sharded_1m_smoke_ms",
                            m.sharded_smoke_ms));
+  rows.push_back(ratio_row("serve_qps", "scoreboard_serve_qps_ms",
+                           m.serve_qps_ms));
   {
     bench::ScoreRow telemetry;
     telemetry.name = "telemetry_idle";
@@ -360,6 +402,7 @@ int main(int argc, char** argv) {
       [](int r) { return measure_composite_stack(r); },
       [](int r) { return measure_sharded_composite(r); },
       [](int r) { return measure_sharded_smoke(r); },
+      [](int r) { return measure_serve_qps(r); },
       [](int r) { return bench::measure_idle_overhead_pct(r); },
   };
   bench::ScoreboardReport report = bench::score_rows(rows, ref);

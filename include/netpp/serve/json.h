@@ -1,0 +1,87 @@
+// Minimal, dependency-free JSON for the serve protocol.
+//
+// The query server speaks strict JSON: a small recursive-descent parser
+// (objects, arrays, strings with escapes, doubles, booleans, null) that
+// rejects malformed input with a one-line "Json: ..." diagnostic, and a
+// serializer whose output is deterministic (object members keep insertion
+// order, integral doubles print without a fraction). No reflection, no
+// schema: the query layer (serve/query.h) walks JsonValue by hand, which is
+// what lets it produce field-precise typed errors.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace netpp::serve {
+
+enum class JsonKind : std::uint8_t {
+  kNull,
+  kBool,
+  kNumber,
+  kString,
+  kArray,
+  kObject,
+};
+
+/// "null" / "boolean" / "number" / "string" / "array" / "object".
+[[nodiscard]] const char* to_string(JsonKind kind);
+
+/// A parsed JSON value. Object members preserve insertion order so
+/// serialization is deterministic and responses read the way they were
+/// built.
+class JsonValue {
+ public:
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() = default;  // null
+  static JsonValue make_bool(bool v);
+  static JsonValue make_number(double v);
+  static JsonValue make_string(std::string v);
+  static JsonValue make_array();
+  static JsonValue make_object();
+
+  [[nodiscard]] JsonKind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == JsonKind::kNull; }
+
+  /// Typed accessors; throw std::logic_error on a kind mismatch (the query
+  /// layer checks kinds first and reports its own typed errors).
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<JsonValue>& as_array() const;
+  [[nodiscard]] const std::vector<Member>& as_object() const;
+
+  /// Object lookup; nullptr when absent (or not an object).
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  /// Builders.
+  void push_back(JsonValue v);                      // array
+  void set(std::string key, JsonValue v);           // object (append)
+
+  /// Serializes the value on one line (no trailing newline). Strings are
+  /// escaped per RFC 8259; numbers print via shortest-round-trip %.17g with
+  /// integral values rendered without a fraction.
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  JsonKind kind_ = JsonKind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<Member> object_;
+};
+
+/// Parses exactly one JSON document from `text` (leading/trailing
+/// whitespace allowed, anything else after the value rejected). Throws
+/// std::invalid_argument("Json: ...") on malformed input.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
+
+/// Escapes `s` as a JSON string literal including the quotes.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+}  // namespace netpp::serve

@@ -1,0 +1,89 @@
+// The netpp_serve wire protocol: framing, typed errors, response envelopes.
+//
+// A serve connection is a stream of frames, each a u32 little-endian payload
+// length followed by that many bytes of UTF-8 JSON — one query (or one
+// batch array of queries) per frame, one response frame back. The --stdin
+// pipe mode uses newline-delimited JSON instead of length prefixes; both
+// modes share the same JSON schema and the same typed error taxonomy.
+//
+// Every way a request can be rejected has a stable machine-readable code
+// (ErrorCode below), carried by ServeError through the query/engine layers
+// and rendered into the error envelope:
+//
+//   {"ok":false,"id":7,"error":{"code":"out_of_range","field":"mttr_s",
+//    "message":"mttr_s must be > 0"}}
+//
+// so clients can branch on `code`/`field` without parsing prose.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "netpp/serve/json.h"
+
+namespace netpp::serve {
+
+/// Machine-readable rejection taxonomy. The string forms (to_string) are
+/// the wire contract; tests pin them.
+enum class ErrorCode : std::uint8_t {
+  kBadFrame,         ///< unreadable framing: oversize length, mid-frame EOF
+  kBadJson,          ///< the payload is not a JSON document
+  kBadRequest,       ///< JSON is fine but the request shape is wrong
+  kUnknownCommand,   ///< "command" names no query kind
+  kUnknownField,     ///< a field the command's schema does not define
+  kBadValue,         ///< wrong JSON type or unknown enum string for a field
+  kOutOfRange,       ///< a numeric field outside its accepted range
+  kBackendMismatch,  ///< inconsistent backend/shard combination
+  kCorruptBaseline,  ///< a warm baseline image failed snapshot validation
+  kInternal,         ///< unexpected failure while answering
+};
+
+/// "bad_frame" / "bad_json" / "bad_request" / "unknown_command" /
+/// "unknown_field" / "bad_value" / "out_of_range" / "backend_mismatch" /
+/// "corrupt_baseline" / "internal".
+[[nodiscard]] const char* to_string(ErrorCode code);
+
+/// A typed rejection. `field` names the offending query field where one
+/// exists ("" for request-level errors like bad framing).
+class ServeError : public std::runtime_error {
+ public:
+  ServeError(ErrorCode code, std::string field, const std::string& message)
+      : std::runtime_error(message), code_(code), field_(std::move(field)) {}
+
+  [[nodiscard]] ErrorCode code() const { return code_; }
+  [[nodiscard]] const std::string& field() const { return field_; }
+
+ private:
+  ErrorCode code_;
+  std::string field_;
+};
+
+/// Response envelopes. `id` echoes the query's "id" member when it carried
+/// one (JSON null otherwise) so batched clients can correlate.
+[[nodiscard]] JsonValue make_ok_response(const JsonValue& id,
+                                         JsonValue result);
+[[nodiscard]] JsonValue make_error_response(const JsonValue& id,
+                                            ErrorCode code,
+                                            std::string_view field,
+                                            std::string_view message);
+
+/// Frame limits: a frame longer than this is rejected with kBadFrame before
+/// any allocation (a garbage length prefix must not look like a 4 GiB
+/// request).
+inline constexpr std::size_t kMaxFrameBytes = 16u << 20;
+
+/// Encodes `payload` as a length-prefixed frame (u32 LE + bytes).
+[[nodiscard]] std::string encode_frame(std::string_view payload);
+
+/// Reads one frame from `fd`. Returns false on clean EOF at a frame
+/// boundary; throws ServeError(kBadFrame) on an oversize length or EOF
+/// mid-frame. Retries EINTR.
+bool read_frame(int fd, std::string& payload);
+
+/// Writes one length-prefixed frame to `fd`. Throws ServeError(kInternal)
+/// if the peer vanishes mid-write.
+void write_frame(int fd, std::string_view payload);
+
+}  // namespace netpp::serve

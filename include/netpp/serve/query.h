@@ -1,0 +1,52 @@
+// Query parsing: strict JSON-object → typed Query, field-precise errors.
+//
+// A query is a JSON object selecting one canned analysis and overriding its
+// knobs, mirroring the netpp_cli flag surface one-to-one:
+//
+//   {"command":"mech","stack":"dynamic","ocs":8,"output":"csv","id":3}
+//
+// Commands: "cluster", "savings", "faults", "mech". Every command accepts
+// "id" (echoed in the response) and "output" ("csv" | "table" | "metrics");
+// the rest of the schema is per-command, and parsing is strict: a field the
+// command does not define is rejected with unknown_field, a wrong JSON type
+// or unknown enum string with bad_value, a number outside the CLI-accepted
+// range with out_of_range, and an inconsistent backend/shard combination
+// with backend_mismatch — all as ServeError, rendered into the typed error
+// envelope by the engine.
+#pragma once
+
+#include <string>
+
+#include "netpp/serve/json.h"
+#include "netpp/serve/protocol.h"
+#include "netpp/serve/scenarios.h"
+
+namespace netpp::serve {
+
+enum class QueryKind : std::uint8_t { kCluster, kSavings, kFaults, kMech };
+enum class QueryOutput : std::uint8_t { kCsv, kTable, kMetrics };
+
+/// "cluster" / "savings" / "faults" / "mech".
+[[nodiscard]] const char* to_string(QueryKind kind);
+/// "csv" / "table" / "metrics".
+[[nodiscard]] const char* to_string(QueryOutput output);
+
+struct Query {
+  QueryKind kind = QueryKind::kCluster;
+  QueryOutput output = QueryOutput::kCsv;
+  /// The query's "id" member, echoed verbatim in the response envelope
+  /// (JSON null when the query carried none).
+  JsonValue id;
+  /// The scenario knobs after applying the query's overrides to the CLI
+  /// defaults.
+  ScenarioOptions opt;
+};
+
+/// Parses one query object. Throws ServeError on any schema violation.
+[[nodiscard]] Query parse_query(const JsonValue& request);
+
+/// Canonical result-cache key: two queries with equal keys are answered
+/// with byte-identical payloads (the echoed id is not part of the key).
+[[nodiscard]] std::string cache_key(const Query& query);
+
+}  // namespace netpp::serve

@@ -1,10 +1,14 @@
 #include "netpp/mech/composite.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
+#include <tuple>
 #include <utility>
 
 #include "netpp/mech/backend_recorder.h"
@@ -177,7 +181,9 @@ double StackedSwitchPolicy::capacity_fraction(
   return static_cast<double>(timeline.count(PowerState::kOn)) / pipes_;
 }
 
-namespace {
+// Named (not anonymous) so CompositeCache::Impl can hold these types without
+// tripping GCC's subobject-linkage warning.
+namespace composite_impl {
 
 /// One backend run of the workload with `disabled` switches off; records
 /// every pod switch's per-pipeline load trace (and, when the backend
@@ -236,7 +242,77 @@ StageTotals run_stage(const std::map<NodeId, LoadTrace>& traces,
   return totals;
 }
 
-}  // namespace
+/// Fingerprint of the scenario axes the cache memoizes over. Two calls with
+/// equal fingerprints that nonetheless differ (hash-collision style) would
+/// need identical topology sizes, workload volume, demand matrices, and
+/// mechanism knobs — outside what the serve engine (or any sane caller) can
+/// construct by accident; the fingerprint is a guard rail, not a key.
+std::string scenario_fingerprint(const BuiltTopology& topology,
+                                 const std::vector<FlowSpec>& workload,
+                                 const std::vector<TrafficDemand>& demands,
+                                 const CompositeConfig& config) {
+  double flow_bits = 0.0;
+  for (const FlowSpec& flow : workload) flow_bits += flow.size.value();
+  double demand_bps = 0.0;
+  for (const TrafficDemand& demand : demands) {
+    demand_bps += demand.rate.bits_per_second();
+  }
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "nodes=%zu|switches=%zu|hosts=%zu|flows=%zu|bits=%.17g|demands=%zu"
+      "|dbps=%.17g|backend=%d|shards=%zu|pipes=%d|cap=%.17g|hi=%.17g"
+      "|lo=%.17g|minf=%.17g|rhead=%.17g|tailor_util=%.17g",
+      topology.graph.num_nodes(), topology.switches.size(),
+      topology.hosts.size(), workload.size(), flow_bits, demands.size(),
+      demand_bps, static_cast<int>(config.backend.kind),
+      config.backend.num_shards, config.parking.model.config().num_pipelines,
+      config.parking.switch_capacity.bits_per_second(),
+      config.parking.hi_threshold, config.parking.lo_threshold,
+      config.rate.min_frequency, config.rate.headroom,
+      config.tailor_config.satisfaction);
+  return std::string{buf};
+}
+
+}  // namespace composite_impl
+
+using composite_impl::BackendRun;
+using composite_impl::StageTotals;
+using composite_impl::run_stage;
+using composite_impl::scenario_fingerprint;
+
+struct CompositeCache::Impl {
+  std::mutex mutex;
+  std::string fingerprint;  ///< empty until the first run stamps it
+  bool has_tailoring = false;
+  TailorResult tailoring;
+  /// Backend runs keyed by the disabled-switch set ({} = full fabric).
+  std::map<std::vector<NodeId>, std::unique_ptr<BackendRun>> runs;
+  /// Extracted pod-switch traces keyed by (disabled set, energy window).
+  std::map<std::pair<std::vector<NodeId>, double>, std::map<NodeId, LoadTrace>>
+      traces;
+  /// Stage totals keyed by (traces' disabled set, window, powered set,
+  /// park, rate).
+  std::map<std::tuple<std::vector<NodeId>, double, std::vector<NodeId>, bool,
+                      bool>,
+           StageTotals>
+      stages;
+  std::size_t sim_reuses = 0;
+  std::size_t stage_reuses = 0;
+};
+
+CompositeCache::CompositeCache() : impl_(std::make_unique<Impl>()) {}
+CompositeCache::~CompositeCache() = default;
+
+std::size_t CompositeCache::sim_reuses() const {
+  const std::lock_guard<std::mutex> lock{impl_->mutex};
+  return impl_->sim_reuses;
+}
+
+std::size_t CompositeCache::stage_reuses() const {
+  const std::lock_guard<std::mutex> lock{impl_->mutex};
+  return impl_->stage_reuses;
+}
 
 CompositeReport run_composite(const BuiltTopology& topology,
                               const std::vector<FlowSpec>& workload,
@@ -253,11 +329,40 @@ CompositeReport run_composite(const BuiltTopology& topology,
   CompositeReport report;
   report.switches_total = topology.switches.size();
 
+  // Warm-state cache: stamped to one scenario on first use, serializing
+  // concurrent callers for the duration of the call. Everything consulted
+  // below is a deterministic pure function of the scenario, so hits are
+  // bit-identical to recomputation.
+  CompositeCache::Impl* cache =
+      config.cache != nullptr ? config.cache->impl_.get() : nullptr;
+  std::unique_lock<std::mutex> cache_lock;
+  if (cache != nullptr) {
+    cache_lock = std::unique_lock<std::mutex>{cache->mutex};
+    std::string fingerprint =
+        scenario_fingerprint(topology, workload, demands, config);
+    if (cache->fingerprint.empty()) {
+      cache->fingerprint = std::move(fingerprint);
+    } else if (cache->fingerprint != fingerprint) {
+      throw std::invalid_argument(
+          "CompositeCache: cache reused across different scenarios (expected "
+          "one cache per topology/workload/backend combination)");
+    }
+  }
+
   // Static stage first: tailoring decides which switches are powered, and
   // therefore which fabric the dynamic stages observe.
   std::vector<NodeId> powered = topology.switches;
   if (config.tailor) {
-    report.tailoring = tailor_topology(topology, demands, config.tailor_config);
+    if (cache != nullptr && cache->has_tailoring) {
+      report.tailoring = cache->tailoring;
+    } else {
+      report.tailoring =
+          tailor_topology(topology, demands, config.tailor_config);
+      if (cache != nullptr) {
+        cache->tailoring = report.tailoring;
+        cache->has_tailoring = true;
+      }
+    }
     if (!report.tailoring.powered_off.empty()) {
       powered = report.tailoring.powered_on;
     }
@@ -267,12 +372,25 @@ CompositeReport run_composite(const BuiltTopology& topology,
   // Simulate the workload on the full fabric (baseline + dynamic-only
   // stages) and, when tailoring bites, on the tailored fabric (survivors
   // carry the rerouted traffic). Both runs share one energy window.
-  const BackendRun full_run{topology, workload, {}, config.backend};
-  std::unique_ptr<BackendRun> tailored_run;
-  if (tailored) {
-    tailored_run = std::make_unique<BackendRun>(
-        topology, workload, report.tailoring.powered_off, config.backend);
-  }
+  std::deque<BackendRun> local_runs;
+  const auto obtain_run =
+      [&](const std::vector<NodeId>& disabled) -> const BackendRun& {
+    if (cache != nullptr) {
+      const auto it = cache->runs.find(disabled);
+      if (it != cache->runs.end()) {
+        ++cache->sim_reuses;
+        return *it->second;
+      }
+      auto run = std::make_unique<BackendRun>(topology, workload, disabled,
+                                              config.backend);
+      return *cache->runs.emplace(disabled, std::move(run)).first->second;
+    }
+    local_runs.emplace_back(topology, workload, disabled, config.backend);
+    return local_runs.back();
+  };
+  const BackendRun& full_run = obtain_run({});
+  const BackendRun* tailored_run =
+      tailored ? &obtain_run(report.tailoring.powered_off) : nullptr;
   double end_s = std::max(horizon.value(), full_run.makespan() + 1e-9);
   if (tailored_run) {
     end_s = std::max(end_s, tailored_run->makespan() + 1e-9);
@@ -303,20 +421,67 @@ CompositeReport run_composite(const BuiltTopology& topology,
     }
   }
 
-  std::map<NodeId, LoadTrace> full_traces;
-  std::map<NodeId, LoadTrace> tailored_traces;
-  for (NodeId sw : pod_switches) {
-    full_traces.emplace(sw, full_run.recorder.node_trace(sw, pipes, end));
-    if (tailored_run) {
-      tailored_traces.emplace(
-          sw, tailored_run->recorder.node_trace(sw, pipes, end));
+  std::deque<std::map<NodeId, LoadTrace>> local_traces;
+  const std::vector<NodeId> no_disabled;
+  const auto obtain_traces =
+      [&](const BackendRun& run, const std::vector<NodeId>& disabled)
+      -> const std::map<NodeId, LoadTrace>& {
+    const auto build = [&] {
+      std::map<NodeId, LoadTrace> traces;
+      for (NodeId sw : pod_switches) {
+        traces.emplace(sw, run.recorder.node_trace(sw, pipes, end));
+      }
+      return traces;
+    };
+    if (cache != nullptr) {
+      const auto key = std::make_pair(disabled, end.value());
+      const auto it = cache->traces.find(key);
+      if (it != cache->traces.end()) return it->second;
+      return cache->traces.emplace(key, build()).first->second;
     }
-  }
+    local_traces.push_back(build());
+    return local_traces.back();
+  };
+  const auto& full_traces = obtain_traces(full_run, no_disabled);
+  const std::map<NodeId, LoadTrace> no_traces;
+  const auto& tailored_traces =
+      tailored_run ? obtain_traces(*tailored_run, report.tailoring.powered_off)
+                   : no_traces;
   const auto& stack_traces = tailored ? tailored_traces : full_traces;
 
+  // Per-stage mechanism totals, memoized for un-telemetered stages; a
+  // telemetered stage always re-runs so its events/metrics are emitted
+  // every call (the recomputed totals are identical by determinism).
+  std::deque<StageTotals> local_stages;
+  const auto obtain_stage =
+      [&](const std::vector<NodeId>& traces_disabled,
+          const std::map<NodeId, LoadTrace>& traces,
+          const std::vector<NodeId>& stage_powered, bool park, bool rate,
+          telemetry::Telemetry* telemetry) -> const StageTotals& {
+    if (cache != nullptr) {
+      auto key = std::make_tuple(traces_disabled, end.value(), stage_powered,
+                                 park, rate);
+      if (telemetry == nullptr) {
+        const auto it = cache->stages.find(key);
+        if (it != cache->stages.end()) {
+          ++cache->stage_reuses;
+          return it->second;
+        }
+      }
+      StageTotals totals =
+          run_stage(traces, stage_powered, config, park, rate, telemetry);
+      return cache->stages.insert_or_assign(std::move(key), std::move(totals))
+          .first->second;
+    }
+    local_stages.push_back(
+        run_stage(traces, stage_powered, config, park, rate, telemetry));
+    return local_stages.back();
+  };
+
   // All-on baseline over the full fabric.
-  const StageTotals baseline =
-      run_stage(full_traces, pod_switches, config, false, false);
+  const StageTotals& baseline = obtain_stage(no_disabled, full_traces,
+                                             pod_switches, false, false,
+                                             nullptr);
 
   // Core-layer accounting when the core is collapsed: flat per-switch draw
   // (§2: load-independent terms dominate), parked against the aggregate
@@ -380,28 +545,32 @@ CompositeReport run_composite(const BuiltTopology& topology,
 
   // Each enabled mechanism alone, against the same baseline.
   if (config.tailor) {
-    const StageTotals alone =
-        tailored ? run_stage(tailored_traces, powered_pod, config, false, false)
+    const StageTotals& alone =
+        tailored ? obtain_stage(report.tailoring.powered_off, tailored_traces,
+                                powered_pod, false, false, nullptr)
                  : baseline;
     add_single("tailoring",
                alone.energy_j + core_tailored_flat_j + ocs_energy_j);
   }
   if (config.park) {
-    const StageTotals alone =
-        run_stage(full_traces, pod_switches, config, true, false);
+    const StageTotals& alone =
+        obtain_stage(no_disabled, full_traces, pod_switches, true, false,
+                     nullptr);
     add_single("parking", alone.energy_j + core_park_alone_j);
   }
   if (config.rate_adapt) {
-    const StageTotals alone =
-        run_stage(full_traces, pod_switches, config, false, true);
+    const StageTotals& alone =
+        obtain_stage(no_disabled, full_traces, pod_switches, false, true,
+                     nullptr);
     add_single("rate-adaptation", alone.energy_j + core_all_j);
   }
 
   // The full enabled stack (the only telemetered stage: its per-switch
   // transitions and breakpoints are the events worth tracing).
-  const StageTotals stacked =
-      run_stage(stack_traces, powered_pod, config, config.park,
-                config.rate_adapt, config.telemetry);
+  const StageTotals& stacked =
+      obtain_stage(tailored ? report.tailoring.powered_off : no_disabled,
+                   stack_traces, powered_pod, config.park, config.rate_adapt,
+                   config.telemetry);
   const double combined_j = stacked.energy_j + core_stack_j + ocs_energy_j;
   report.energy = Joules{combined_j};
   report.combined_savings = baseline_total_j > 0.0

@@ -1,0 +1,122 @@
+#include "netpp/serve/protocol.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+namespace netpp::serve {
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kBadFrame: return "bad_frame";
+    case ErrorCode::kBadJson: return "bad_json";
+    case ErrorCode::kBadRequest: return "bad_request";
+    case ErrorCode::kUnknownCommand: return "unknown_command";
+    case ErrorCode::kUnknownField: return "unknown_field";
+    case ErrorCode::kBadValue: return "bad_value";
+    case ErrorCode::kOutOfRange: return "out_of_range";
+    case ErrorCode::kBackendMismatch: return "backend_mismatch";
+    case ErrorCode::kCorruptBaseline: return "corrupt_baseline";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "internal";
+}
+
+JsonValue make_ok_response(const JsonValue& id, JsonValue result) {
+  JsonValue response = JsonValue::make_object();
+  response.set("ok", JsonValue::make_bool(true));
+  response.set("id", id);
+  response.set("result", std::move(result));
+  return response;
+}
+
+JsonValue make_error_response(const JsonValue& id, ErrorCode code,
+                              std::string_view field,
+                              std::string_view message) {
+  JsonValue error = JsonValue::make_object();
+  error.set("code", JsonValue::make_string(to_string(code)));
+  if (!field.empty()) {
+    error.set("field", JsonValue::make_string(std::string{field}));
+  }
+  error.set("message", JsonValue::make_string(std::string{message}));
+  JsonValue response = JsonValue::make_object();
+  response.set("ok", JsonValue::make_bool(false));
+  response.set("id", id);
+  response.set("error", std::move(error));
+  return response;
+}
+
+std::string encode_frame(std::string_view payload) {
+  const auto n = static_cast<std::uint32_t>(payload.size());
+  std::string frame;
+  frame.reserve(4 + payload.size());
+  for (int i = 0; i < 4; ++i) {
+    frame.push_back(static_cast<char>((n >> (8 * i)) & 0xff));
+  }
+  frame.append(payload);
+  return frame;
+}
+
+namespace {
+
+/// Reads exactly `n` bytes. Returns the count read (short only at EOF).
+std::size_t read_fully(int fd, char* buf, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, buf + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw ServeError{ErrorCode::kBadFrame, "",
+                       std::string{"read failed: "} + std::strerror(errno)};
+    }
+    if (r == 0) break;
+    got += static_cast<std::size_t>(r);
+  }
+  return got;
+}
+
+}  // namespace
+
+bool read_frame(int fd, std::string& payload) {
+  char header[4];
+  const std::size_t header_got = read_fully(fd, header, sizeof header);
+  if (header_got == 0) return false;  // clean EOF between frames
+  if (header_got < sizeof header) {
+    throw ServeError{ErrorCode::kBadFrame, "",
+                     "connection closed inside a frame header"};
+  }
+  std::uint32_t n = 0;
+  for (int i = 0; i < 4; ++i) {
+    n |= static_cast<std::uint32_t>(static_cast<unsigned char>(header[i]))
+         << (8 * i);
+  }
+  if (n > kMaxFrameBytes) {
+    throw ServeError{ErrorCode::kBadFrame, "",
+                     "frame length " + std::to_string(n) +
+                         " exceeds the " + std::to_string(kMaxFrameBytes) +
+                         "-byte limit"};
+  }
+  payload.resize(n);
+  if (n > 0 && read_fully(fd, payload.data(), n) < n) {
+    throw ServeError{ErrorCode::kBadFrame, "",
+                     "connection closed inside a frame payload"};
+  }
+  return true;
+}
+
+void write_frame(int fd, std::string_view payload) {
+  const std::string frame = encode_frame(payload);
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t w = ::write(fd, frame.data() + sent, frame.size() - sent);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw ServeError{ErrorCode::kInternal, "",
+                       std::string{"write failed: "} + std::strerror(errno)};
+    }
+    sent += static_cast<std::size_t>(w);
+  }
+}
+
+}  // namespace netpp::serve

@@ -1,0 +1,315 @@
+#include "netpp/serve/query.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace netpp::serve {
+
+const char* to_string(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kCluster: return "cluster";
+    case QueryKind::kSavings: return "savings";
+    case QueryKind::kFaults: return "faults";
+    case QueryKind::kMech: return "mech";
+  }
+  return "cluster";
+}
+
+const char* to_string(QueryOutput output) {
+  switch (output) {
+    case QueryOutput::kCsv: return "csv";
+    case QueryOutput::kTable: return "table";
+    case QueryOutput::kMetrics: return "metrics";
+  }
+  return "csv";
+}
+
+namespace {
+
+double require_number(const JsonValue& value, const std::string& field) {
+  if (value.kind() != JsonKind::kNumber) {
+    throw ServeError{ErrorCode::kBadValue, field,
+                     "\"" + field + "\" must be a number, got " +
+                         to_string(value.kind())};
+  }
+  return value.as_number();
+}
+
+const std::string& require_string(const JsonValue& value,
+                                  const std::string& field) {
+  if (value.kind() != JsonKind::kString) {
+    throw ServeError{ErrorCode::kBadValue, field,
+                     "\"" + field + "\" must be a string, got " +
+                         to_string(value.kind())};
+  }
+  return value.as_string();
+}
+
+void require_range(bool ok, const std::string& field,
+                   const std::string& constraint) {
+  if (!ok) {
+    throw ServeError{ErrorCode::kOutOfRange, field,
+                     "\"" + field + "\" " + constraint};
+  }
+}
+
+long long require_integer(const JsonValue& value, const std::string& field) {
+  const double v = require_number(value, field);
+  if (v != std::floor(v) || std::fabs(v) > 9.007199254740992e15) {
+    throw ServeError{ErrorCode::kBadValue, field,
+                     "\"" + field + "\" must be an integer"};
+  }
+  return static_cast<long long>(v);
+}
+
+[[noreturn]] void unknown_field(QueryKind kind, const std::string& field) {
+  throw ServeError{ErrorCode::kUnknownField, field,
+                   std::string{"\""} + to_string(kind) +
+                       "\" queries have no field \"" + field + "\""};
+}
+
+}  // namespace
+
+Query parse_query(const JsonValue& request) {
+  if (request.kind() != JsonKind::kObject) {
+    throw ServeError{ErrorCode::kBadRequest, "",
+                     std::string{"a query must be a JSON object, got "} +
+                         to_string(request.kind())};
+  }
+  Query query;
+  const JsonValue* command = request.find("command");
+  if (command == nullptr) {
+    throw ServeError{ErrorCode::kBadRequest, "command",
+                     "query needs a \"command\" member"};
+  }
+  const std::string& name = require_string(*command, "command");
+  if (name == "cluster") {
+    query.kind = QueryKind::kCluster;
+  } else if (name == "savings") {
+    query.kind = QueryKind::kSavings;
+  } else if (name == "faults") {
+    query.kind = QueryKind::kFaults;
+  } else if (name == "mech") {
+    query.kind = QueryKind::kMech;
+  } else {
+    throw ServeError{ErrorCode::kUnknownCommand, "command",
+                     "unknown command \"" + name +
+                         "\" (expected cluster|savings|faults|mech)"};
+  }
+
+  const bool simulated =
+      query.kind == QueryKind::kFaults || query.kind == QueryKind::kMech;
+  ScenarioOptions& opt = query.opt;
+  for (const auto& [key, value] : request.as_object()) {
+    if (key == "command") continue;
+    if (key == "id") {
+      if (value.kind() == JsonKind::kArray ||
+          value.kind() == JsonKind::kObject) {
+        throw ServeError{ErrorCode::kBadValue, "id",
+                         std::string{"\"id\" must be a scalar, got "} +
+                             to_string(value.kind())};
+      }
+      query.id = value;
+      continue;
+    }
+    if (key == "output") {
+      const std::string& out = require_string(value, "output");
+      if (out == "csv") {
+        query.output = QueryOutput::kCsv;
+      } else if (out == "table") {
+        query.output = QueryOutput::kTable;
+      } else if (out == "metrics") {
+        if (!simulated) {
+          throw ServeError{
+              ErrorCode::kBadValue, "output",
+              "output \"metrics\" is only available for faults and mech "
+              "queries"};
+        }
+        query.output = QueryOutput::kMetrics;
+      } else {
+        throw ServeError{ErrorCode::kBadValue, "output",
+                         "unknown output \"" + out +
+                             "\" (expected csv|table|metrics)"};
+      }
+      continue;
+    }
+    // Backend selection, shared by the simulated commands.
+    if (simulated && key == "backend") {
+      const std::string& backend = require_string(value, "backend");
+      if (backend == "single") {
+        opt.backend.kind = BackendKind::kSingle;
+      } else if (backend == "sharded") {
+        opt.backend.kind = BackendKind::kSharded;
+      } else {
+        throw ServeError{ErrorCode::kBadValue, "backend",
+                         "unknown backend \"" + backend +
+                             "\" (expected single|sharded)"};
+      }
+      continue;
+    }
+    if (simulated && key == "shards") {
+      const long long shards = require_integer(value, "shards");
+      require_range(shards >= 1, "shards", "must be >= 1");
+      opt.backend.num_shards = static_cast<std::size_t>(shards);
+      continue;
+    }
+    // Analytics knobs (cluster / savings).
+    if (query.kind == QueryKind::kCluster ||
+        query.kind == QueryKind::kSavings) {
+      if (key == "gpus") {
+        const double gpus = require_number(value, key);
+        require_range(gpus > 0.0, key, "must be > 0");
+        opt.cluster.num_gpus = gpus;
+        continue;
+      }
+      if (key == "gbps") {
+        const double gbps = require_number(value, key);
+        require_range(gbps > 0.0, key, "must be > 0");
+        opt.cluster.bandwidth_per_gpu = Gbps{gbps};
+        continue;
+      }
+      if (key == "ratio") {
+        const double ratio = require_number(value, key);
+        require_range(ratio >= 0.0 && ratio <= 1.0, key,
+                      "must be in [0, 1]");
+        opt.cluster.communication_ratio = ratio;
+        continue;
+      }
+      if (query.kind == QueryKind::kSavings && key == "prop") {
+        const double prop = require_number(value, key);
+        require_range(prop >= 0.0 && prop <= 1.0, key, "must be in [0, 1]");
+        opt.prop = prop;
+        continue;
+      }
+      unknown_field(query.kind, key);
+    }
+    if (query.kind == QueryKind::kFaults) {
+      if (key == "mtbf_s") {
+        const double mtbf = require_number(value, key);
+        require_range(mtbf >= 0.0, key, "must be >= 0");
+        opt.mtbf_s = mtbf;
+        continue;
+      }
+      if (key == "mttr_s") {
+        const double mttr = require_number(value, key);
+        require_range(mttr > 0.0, key, "must be > 0");
+        opt.mttr_s = mttr;
+        continue;
+      }
+      if (key == "headroom") {
+        const double headroom = require_number(value, key);
+        require_range(headroom >= 0.0, key, "must be >= 0");
+        opt.headroom = headroom;
+        continue;
+      }
+      if (key == "seed") {
+        const long long seed = require_integer(value, key);
+        require_range(seed >= 0, key, "must be >= 0");
+        opt.fault_seed = static_cast<std::uint64_t>(seed);
+        continue;
+      }
+      if (key == "policy") {
+        const std::string& policy = require_string(value, key);
+        if (policy == "none") {
+          opt.policy = DegradedPolicy::kNone;
+        } else if (policy == "wake-all") {
+          opt.policy = DegradedPolicy::kEmergencyWakeAll;
+        } else if (policy == "re-tailor") {
+          opt.policy = DegradedPolicy::kRetailor;
+        } else {
+          throw ServeError{ErrorCode::kBadValue, key,
+                           "unknown policy \"" + policy +
+                               "\" (expected none|wake-all|re-tailor)"};
+        }
+        continue;
+      }
+      if (key == "sample_period_s") {
+        const double period = require_number(value, key);
+        require_range(period >= 0.0, key, "must be >= 0");
+        opt.sample_period_s = period;
+        continue;
+      }
+      unknown_field(query.kind, key);
+    }
+    if (query.kind == QueryKind::kMech) {
+      if (key == "stack") {
+        const std::string& stack = require_string(value, key);
+        if (stack != "all" && stack != "dynamic" && stack != "tailor" &&
+            stack != "park" && stack != "rate") {
+          throw ServeError{
+              ErrorCode::kBadValue, key,
+              "unknown stack \"" + stack +
+                  "\" (expected all|dynamic|tailor|park|rate)"};
+        }
+        opt.stack = stack;
+        continue;
+      }
+      if (key == "iters") {
+        const long long iters = require_integer(value, key);
+        require_range(iters > 0, key, "must be > 0");
+        opt.mech_iterations = static_cast<int>(iters);
+        continue;
+      }
+      if (key == "volume_gbit") {
+        const double volume = require_number(value, key);
+        require_range(volume > 0.0, key, "must be > 0");
+        opt.mech_volume_gbit = volume;
+        continue;
+      }
+      if (key == "horizon_s") {
+        const double horizon = require_number(value, key);
+        require_range(horizon > 0.0, key, "must be > 0");
+        opt.mech_horizon_s = horizon;
+        continue;
+      }
+      if (key == "ocs") {
+        const long long ocs = require_integer(value, key);
+        require_range(ocs >= 0, key, "must be >= 0");
+        opt.mech_ocs_devices = static_cast<int>(ocs);
+        continue;
+      }
+      if (key == "pod_budget_w") {
+        const double budget = require_number(value, key);
+        require_range(budget >= 0.0, key, "must be >= 0");
+        opt.pod_budget_w = budget;
+        continue;
+      }
+      if (key == "core_budget_w") {
+        const double budget = require_number(value, key);
+        require_range(budget >= 0.0, key, "must be >= 0");
+        opt.core_budget_w = budget;
+        continue;
+      }
+      unknown_field(query.kind, key);
+    }
+  }
+
+  if (opt.backend.kind == BackendKind::kSingle && opt.backend.num_shards > 1) {
+    throw ServeError{ErrorCode::kBackendMismatch, "shards",
+                     "shards " + std::to_string(opt.backend.num_shards) +
+                         " requires backend \"sharded\""};
+  }
+  return query;
+}
+
+std::string cache_key(const Query& query) {
+  char buf[512];
+  const ScenarioOptions& o = query.opt;
+  std::snprintf(
+      buf, sizeof buf,
+      "%s|%s|gpus=%.17g|gbps=%.17g|ratio=%.17g|prop=%.17g"
+      "|mtbf=%.17g|mttr=%.17g|head=%.17g|seed=%llu|policy=%d|sp=%.17g"
+      "|stack=%s|iters=%d|vol=%.17g|hor=%.17g|ocs=%d|podb=%.17g|coreb=%.17g"
+      "|backend=%d|shards=%zu",
+      to_string(query.kind), to_string(query.output), o.cluster.num_gpus,
+      o.cluster.bandwidth_per_gpu.value(), o.cluster.communication_ratio,
+      o.prop, o.mtbf_s, o.mttr_s, o.headroom,
+      static_cast<unsigned long long>(o.fault_seed),
+      static_cast<int>(o.policy), o.sample_period_s, o.stack.c_str(),
+      o.mech_iterations, o.mech_volume_gbit, o.mech_horizon_s,
+      o.mech_ocs_devices, o.pod_budget_w, o.core_budget_w,
+      static_cast<int>(o.backend.kind), o.backend.num_shards);
+  return std::string{buf};
+}
+
+}  // namespace netpp::serve

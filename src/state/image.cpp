@@ -1,0 +1,39 @@
+#include "netpp/state/image.h"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "netpp/validation.h"
+
+namespace netpp::state {
+
+StateImage StateImage::from_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    validation::fail("SnapshotReader", "cannot open " + path);
+  }
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  if (size > 0) {
+    in.read(reinterpret_cast<char*>(bytes.data()), size);
+    if (!in) {
+      validation::fail("SnapshotReader", "short read from " + path);
+    }
+  }
+  return StateImage{std::move(bytes)};
+}
+
+void StateImage::write_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("StateImage: cannot open " + path);
+  }
+  out.write(reinterpret_cast<const char*>(bytes_.data()),
+            static_cast<std::streamsize>(bytes_.size()));
+  if (!out) {
+    throw std::runtime_error("StateImage: short write to " + path);
+  }
+}
+
+}  // namespace netpp::state

@@ -1,0 +1,137 @@
+# The serve <-> CLI byte-identity contract, pinned at the process level.
+#
+# For every canned analysis (and both simulator backends) the payload a
+# netpp_serve query returns must be byte-identical to the stdout of the
+# equivalent one-shot netpp_cli run — the two front ends share scenario
+# construction and rendering (netpp/serve/scenarios.h), and the serve
+# engine's warm-state forks restore bit-exact state, so any divergence is a
+# regression in one of those guarantees.
+#
+# Two angles:
+#   * --oneshot: the cold path. Payload printed verbatim, compared with
+#     STREQUAL against the CLI stdout (csv, table, and metrics outputs).
+#   * --stdin: the warm path. One process answers a table query (which
+#     builds the warm baseline / composite cache) and then the csv query of
+#     the same scenario — a different result-cache key, so the second
+#     answer is produced by forking warm state. Its JSON-escaped payload
+#     must embed the CLI's csv bytes exactly.
+#
+# Usage: cmake -DCLI=<netpp_cli> -DSERVE=<netpp_serve> -DOUT_DIR=<dir>
+#              -P check_serve_equivalence.cmake
+if(NOT DEFINED CLI OR NOT DEFINED SERVE OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "check_serve_equivalence.cmake needs CLI, SERVE, OUT_DIR")
+endif()
+
+function(run_tool out_var)
+  execute_process(
+    COMMAND ${ARGN}
+    RESULT_VARIABLE exit_code
+    OUTPUT_VARIABLE stdout_text
+    ERROR_VARIABLE stderr_text
+  )
+  if(NOT exit_code EQUAL 0)
+    message(FATAL_ERROR "${ARGN} failed (${exit_code}): ${stderr_text}")
+  endif()
+  set(${out_var} "${stdout_text}" PARENT_SCOPE)
+endfunction()
+
+# One query payload vs one CLI stdout, byte for byte.
+function(check_pair name query)
+  run_tool(serve_out ${SERVE} --oneshot ${query})
+  run_tool(cli_out ${CLI} ${ARGN})
+  if(NOT serve_out STREQUAL cli_out)
+    message(FATAL_ERROR
+      "${name}: serve payload != cli stdout\n--- serve ---\n${serve_out}\n"
+      "--- cli ---\n${cli_out}")
+  endif()
+endfunction()
+
+check_pair(cluster_table "{\"command\":\"cluster\",\"output\":\"table\"}"
+  cluster)
+check_pair(cluster_csv
+  "{\"command\":\"cluster\",\"gpus\":8192,\"gbps\":800,\"output\":\"csv\"}"
+  cluster --gpus 8192 --gbps 800 --csv)
+check_pair(savings_csv
+  "{\"command\":\"savings\",\"prop\":0.85,\"output\":\"csv\"}"
+  savings --prop 0.85 --csv)
+check_pair(faults_csv "{\"command\":\"faults\",\"seed\":7,\"output\":\"csv\"}"
+  faults --seed 7 --csv)
+check_pair(faults_policy_csv
+  "{\"command\":\"faults\",\"seed\":7,\"policy\":\"wake-all\",\"headroom\":0.1,\"output\":\"csv\"}"
+  faults --seed 7 --policy wake-all --headroom 0.1 --csv)
+check_pair(faults_sharded_csv
+  "{\"command\":\"faults\",\"seed\":7,\"backend\":\"sharded\",\"shards\":2,\"output\":\"csv\"}"
+  faults --seed 7 --backend sharded --shards 2 --csv)
+check_pair(mech_csv "{\"command\":\"mech\",\"iters\":2,\"output\":\"csv\"}"
+  mech --iters 2 --csv)
+check_pair(mech_dynamic_csv
+  "{\"command\":\"mech\",\"stack\":\"dynamic\",\"iters\":2,\"output\":\"csv\"}"
+  mech --stack dynamic --iters 2 --csv)
+check_pair(mech_sharded_budget_csv
+  "{\"command\":\"mech\",\"iters\":2,\"backend\":\"sharded\",\"shards\":4,\"pod_budget_w\":500,\"core_budget_w\":200,\"output\":\"csv\"}"
+  mech --iters 2 --backend sharded --shards 4
+  --pod-budget 500 --core-budget 200 --csv)
+
+# Metrics output: the serve payload vs the CLI's --metrics-out file.
+run_tool(ignored ${CLI} faults --seed 7
+  --metrics-out ${OUT_DIR}/serve_eq_faults.metrics.json)
+file(READ ${OUT_DIR}/serve_eq_faults.metrics.json cli_metrics)
+run_tool(serve_metrics ${SERVE} --oneshot
+  "{\"command\":\"faults\",\"seed\":7,\"output\":\"metrics\"}")
+if(NOT serve_metrics STREQUAL cli_metrics)
+  message(FATAL_ERROR
+    "faults metrics: serve payload != cli --metrics-out file\n"
+    "--- serve ---\n${serve_metrics}\n--- cli ---\n${cli_metrics}")
+endif()
+
+run_tool(ignored ${CLI} mech --iters 2
+  --metrics-out ${OUT_DIR}/serve_eq_mech.metrics.json)
+file(READ ${OUT_DIR}/serve_eq_mech.metrics.json cli_metrics)
+run_tool(serve_metrics ${SERVE} --oneshot
+  "{\"command\":\"mech\",\"iters\":2,\"output\":\"metrics\"}")
+if(NOT serve_metrics STREQUAL cli_metrics)
+  message(FATAL_ERROR
+    "mech metrics: serve payload != cli --metrics-out file\n"
+    "--- serve ---\n${serve_metrics}\n--- cli ---\n${cli_metrics}")
+endif()
+
+# Warm path: table first (builds the warm state), csv second (forks it).
+# The csv answer must embed the CLI's csv bytes, JSON-escaped.
+function(check_warm name table_query csv_query)
+  file(WRITE ${OUT_DIR}/serve_eq_${name}.ndjson
+    "${table_query}\n${csv_query}\n")
+  execute_process(
+    COMMAND ${SERVE} --stdin
+    INPUT_FILE ${OUT_DIR}/serve_eq_${name}.ndjson
+    RESULT_VARIABLE exit_code
+    OUTPUT_VARIABLE serve_out
+    ERROR_VARIABLE stderr_text
+  )
+  if(NOT exit_code EQUAL 0)
+    message(FATAL_ERROR
+      "${name}: netpp_serve --stdin failed (${exit_code}): ${stderr_text}")
+  endif()
+  run_tool(cli_out ${CLI} ${ARGN})
+  string(REPLACE "\\" "\\\\" escaped "${cli_out}")
+  string(REPLACE "\"" "\\\"" escaped "${escaped}")
+  string(REPLACE "\n" "\\n" escaped "${escaped}")
+  string(FIND "${serve_out}" "\"payload\":\"${escaped}\"" found_at)
+  if(found_at EQUAL -1)
+    message(FATAL_ERROR
+      "${name}: warm csv answer does not embed the CLI csv bytes\n"
+      "--- serve ---\n${serve_out}\n--- cli (escaped) ---\n${escaped}")
+  endif()
+endfunction()
+
+check_warm(faults
+  "{\"command\":\"faults\",\"seed\":7,\"output\":\"table\"}"
+  "{\"command\":\"faults\",\"seed\":7,\"output\":\"csv\"}"
+  faults --seed 7 --csv)
+check_warm(mech
+  "{\"command\":\"mech\",\"iters\":2,\"output\":\"table\"}"
+  "{\"command\":\"mech\",\"iters\":2,\"output\":\"csv\"}"
+  mech --iters 2 --csv)
+check_warm(faults_sharded
+  "{\"command\":\"faults\",\"seed\":7,\"backend\":\"sharded\",\"shards\":2,\"output\":\"table\"}"
+  "{\"command\":\"faults\",\"seed\":7,\"backend\":\"sharded\",\"shards\":2,\"output\":\"csv\"}"
+  faults --seed 7 --backend sharded --shards 2 --csv)

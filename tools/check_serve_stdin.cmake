@@ -1,0 +1,78 @@
+# netpp_serve --stdin smoke: one process, a mixed NDJSON session covering ok
+# envelopes, id echoing, a batch array, typed errors, and malformed JSON —
+# one response line per request line, in order.
+#
+# Usage: cmake -DSERVE=<netpp_serve> -DOUT_DIR=<dir> -P check_serve_stdin.cmake
+if(NOT DEFINED SERVE OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "check_serve_stdin.cmake needs SERVE, OUT_DIR")
+endif()
+
+set(input ${OUT_DIR}/serve_stdin_session.ndjson)
+file(WRITE ${input} "\
+{\"command\":\"cluster\",\"output\":\"csv\",\"id\":1}
+[{\"command\":\"savings\",\"prop\":0.5,\"id\":2},{\"command\":\"mech\",\"iters\":2,\"id\":3}]
+{\"command\":\"faults\",\"mttr_s\":0,\"id\":4}
+{\"command\":\"warp\",\"id\":5}
+{\"command\":\"mech\",\"frobnicate\":1,\"id\":6}
+{\"command\":\"faults\",\"backend\":\"single\",\"shards\":4,\"id\":7}
+this is not json
+{\"command\":\"faults\",\"seed\":\"7\",\"id\":8}
+")
+
+execute_process(
+  COMMAND ${SERVE} --stdin --stats
+  INPUT_FILE ${input}
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE stdout_text
+  ERROR_VARIABLE stderr_text
+)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR
+    "netpp_serve --stdin failed (${exit_code}): ${stderr_text}")
+endif()
+
+# One response line per request line.
+string(REGEX REPLACE "\n$" "" trimmed "${stdout_text}")
+string(REPLACE "\n" ";" lines "${trimmed}")
+list(LENGTH lines num_lines)
+if(NOT num_lines EQUAL 8)
+  message(FATAL_ERROR
+    "expected 8 response lines, got ${num_lines}:\n${stdout_text}")
+endif()
+
+# (line index, must-contain literal) pairs pinning the wire contract.
+function(expect_line index)
+  list(GET lines ${index} line)
+  foreach(needle IN LISTS ARGN)
+    string(FIND "${line}" "${needle}" found_at)
+    if(found_at EQUAL -1)
+      message(FATAL_ERROR
+        "response ${index} does not contain '${needle}': ${line}")
+    endif()
+  endforeach()
+endfunction()
+
+expect_line(0 "\"ok\":true" "\"id\":1" "\"command\":\"cluster\"")
+expect_line(1 "\"id\":2" "\"id\":3" "\"command\":\"savings\""
+  "\"command\":\"mech\"")
+expect_line(2 "\"ok\":false" "\"id\":4" "\"code\":\"out_of_range\""
+  "\"field\":\"mttr_s\"")
+expect_line(3 "\"ok\":false" "\"id\":5" "\"code\":\"unknown_command\"")
+expect_line(4 "\"ok\":false" "\"id\":6" "\"code\":\"unknown_field\""
+  "\"field\":\"frobnicate\"")
+expect_line(5 "\"ok\":false" "\"id\":7" "\"code\":\"backend_mismatch\"")
+expect_line(6 "\"ok\":false" "\"code\":\"bad_json\"")
+expect_line(7 "\"ok\":false" "\"id\":8" "\"code\":\"bad_value\""
+  "\"field\":\"seed\"")
+
+# The batch line is an array of two envelopes.
+list(GET lines 1 batch)
+if(NOT batch MATCHES "^\\[.*\\]$")
+  message(FATAL_ERROR "batch response is not a JSON array: ${batch}")
+endif()
+
+# --stats lands on stderr, after the listening banner-free stdin session.
+string(FIND "${stderr_text}" "netpp_serve: stats: queries=" stats_at)
+if(stats_at EQUAL -1)
+  message(FATAL_ERROR "expected --stats output on stderr: ${stderr_text}")
+endif()

@@ -1,10 +1,14 @@
-# Asserts a netpp_cli error path: non-zero exit plus exactly one
-# `netpp_cli: error: ...` diagnostic line on stderr.
+# Asserts a CLI-contract error path: non-zero exit plus exactly one
+# `<tool>: error: ...` diagnostic line on stderr. PREFIX defaults to the
+# netpp_cli contract; netpp_serve's error tests pass their own.
 #
 # Usage: cmake -DCLI=<path> -DCLI_ARGS=<semicolon-list> -DPATTERN=<regex>
-#              -P expect_cli_error.cmake
+#              [-DPREFIX=<literal>] -P expect_cli_error.cmake
 if(NOT DEFINED CLI OR NOT DEFINED CLI_ARGS OR NOT DEFINED PATTERN)
   message(FATAL_ERROR "expect_cli_error.cmake needs CLI, CLI_ARGS, PATTERN")
+endif()
+if(NOT DEFINED PREFIX)
+  set(PREFIX "netpp_cli: error: ")
 endif()
 
 execute_process(
@@ -18,9 +22,10 @@ if(exit_code EQUAL 0)
   message(FATAL_ERROR
     "expected a non-zero exit from: ${CLI} ${CLI_ARGS}\nstderr: ${stderr_text}")
 endif()
-if(NOT stderr_text MATCHES "netpp_cli: error: ")
+string(FIND "${stderr_text}" "${PREFIX}" prefix_at)
+if(prefix_at EQUAL -1)
   message(FATAL_ERROR
-    "expected a 'netpp_cli: error:' diagnostic, got: ${stderr_text}")
+    "expected a '${PREFIX}' diagnostic, got: ${stderr_text}")
 endif()
 if(NOT stderr_text MATCHES "${PATTERN}")
   message(FATAL_ERROR

@@ -13,6 +13,7 @@
 //                    [--save-state F [--save-at T]] [--load-state F]
 //   netpp_cli mech [--stack all|dynamic|tailor|park|rate] [--iters N]
 //                  [--volume GBIT] [--horizon S] [--ocs N] [--csv]
+//                  [--pod-budget W] [--core-budget W]
 //                  [--trace-out F] [--metrics-out F]
 //                  [--save-state F] [--load-state F]
 //   netpp_cli telemetry [faults flags] [--trace-out F] [--metrics-out F]
@@ -35,39 +36,29 @@
 #include "netpp/cluster/cluster.h"
 #include "netpp/faults/experiment.h"
 #include "netpp/mech/composite.h"
+#include "netpp/serve/scenarios.h"
 #include "netpp/state/snapshot.h"
 #include "netpp/telemetry/export.h"
 #include "netpp/telemetry/telemetry.h"
-#include "netpp/traffic/generators.h"
 
 namespace {
 
 using namespace netpp;
 using namespace netpp::literals;
 
+/// The scenario knobs live in serve::ScenarioOptions — the single struct
+/// both this CLI and netpp_serve parse into, so a serve query and the
+/// equivalent one-shot run are the same scenario by construction.
 struct Options {
-  ClusterConfig cluster;
-  double prop = 0.5;
+  serve::ScenarioOptions scenario;
   bool csv = false;
-  // faults subcommand
-  double mtbf_s = 10.0;  ///< 0 disables fault injection
-  double mttr_s = 0.5;
-  double headroom = 0.0;
-  std::uint64_t fault_seed = 1;
-  DegradedPolicy policy = DegradedPolicy::kRetailor;
-  // mech subcommand
-  std::string stack = "all";
-  int mech_iterations = 4;
-  double mech_volume_gbit = 2.0;
-  double mech_horizon_s = 4.0;
-  int mech_ocs_devices = 4;
-  // simulator backend (faults / mech subcommands)
+  // simulator backend (faults / mech subcommands); validated into
+  // scenario.backend by make_backend_config.
   std::string backend = "single";
   std::size_t shards = 1;
   // telemetry outputs (faults / mech / telemetry subcommands)
   std::string trace_out;
   std::string metrics_out;
-  double sample_period_s = 0.02;
   // snapshot save/restore (faults / mech subcommands)
   std::string save_state;
   std::string load_state;
@@ -104,6 +95,8 @@ int usage(std::FILE* out) {
       "              --policy none|wake-all|re-tailor\n"
       "mech flags:   --stack all|dynamic|tailor|park|rate --iters N\n"
       "              --volume GBIT --horizon S --ocs N\n"
+      "              --pod-budget W --core-budget W   per-domain average-\n"
+      "                                       power budgets (0 = unbudgeted)\n"
       "backend (faults/mech):\n"
       "              --backend single|sharded simulator backend (sharded\n"
       "                                       faults runs the k=4 fat tree;\n"
@@ -151,7 +144,8 @@ bool parse(int argc, char** argv, Options& opt) {
         flag == "--ratio" || flag == "--prop" || flag == "--mtbf" ||
         flag == "--mttr" || flag == "--headroom" || flag == "--seed" ||
         flag == "--iters" || flag == "--volume" || flag == "--horizon" ||
-        flag == "--ocs" || flag == "--sample-period" ||
+        flag == "--ocs" || flag == "--pod-budget" ||
+        flag == "--core-budget" || flag == "--sample-period" ||
         flag == "--save-state" || flag == "--load-state" ||
         flag == "--save-at" || flag == "--backend" || flag == "--shards";
     if (!known_flag) {
@@ -171,16 +165,16 @@ bool parse(int argc, char** argv, Options& opt) {
         error_out("unknown stack '" + value_str + "'");
         return false;
       }
-      opt.stack = value_str;
+      opt.scenario.stack = value_str;
       continue;
     }
     if (flag == "--policy") {
       if (value_str == "none") {
-        opt.policy = DegradedPolicy::kNone;
+        opt.scenario.policy = DegradedPolicy::kNone;
       } else if (value_str == "wake-all") {
-        opt.policy = DegradedPolicy::kEmergencyWakeAll;
+        opt.scenario.policy = DegradedPolicy::kEmergencyWakeAll;
       } else if (value_str == "re-tailor") {
-        opt.policy = DegradedPolicy::kRetailor;
+        opt.scenario.policy = DegradedPolicy::kRetailor;
       } else {
         error_out("unknown policy '" + value_str + "'");
         return false;
@@ -219,34 +213,38 @@ bool parse(int argc, char** argv, Options& opt) {
       return false;
     }
     if (flag == "--gpus" && value > 0) {
-      opt.cluster.num_gpus = value;
+      opt.scenario.cluster.num_gpus = value;
     } else if (flag == "--gbps" && value > 0) {
-      opt.cluster.bandwidth_per_gpu = Gbps{value};
+      opt.scenario.cluster.bandwidth_per_gpu = Gbps{value};
     } else if (flag == "--ratio" && value >= 0 && value <= 1) {
-      opt.cluster.communication_ratio = value;
+      opt.scenario.cluster.communication_ratio = value;
     } else if (flag == "--prop" && value >= 0 && value <= 1) {
-      opt.prop = value;
+      opt.scenario.prop = value;
     } else if (flag == "--mtbf" && value >= 0) {
-      opt.mtbf_s = value;
+      opt.scenario.mtbf_s = value;
     } else if (flag == "--mttr" && value > 0) {
-      opt.mttr_s = value;
+      opt.scenario.mttr_s = value;
     } else if (flag == "--headroom" && value >= 0) {
-      opt.headroom = value;
+      opt.scenario.headroom = value;
     } else if (flag == "--seed" && value >= 0) {
-      opt.fault_seed = static_cast<std::uint64_t>(value);
+      opt.scenario.fault_seed = static_cast<std::uint64_t>(value);
     } else if (flag == "--iters" && value > 0) {
-      opt.mech_iterations = static_cast<int>(value);
+      opt.scenario.mech_iterations = static_cast<int>(value);
     } else if (flag == "--volume" && value > 0) {
-      opt.mech_volume_gbit = value;
+      opt.scenario.mech_volume_gbit = value;
     } else if (flag == "--horizon" && value > 0) {
-      opt.mech_horizon_s = value;
+      opt.scenario.mech_horizon_s = value;
     } else if (flag == "--ocs" && value >= 0) {
-      opt.mech_ocs_devices = static_cast<int>(value);
+      opt.scenario.mech_ocs_devices = static_cast<int>(value);
+    } else if (flag == "--pod-budget" && value >= 0) {
+      opt.scenario.pod_budget_w = value;
+    } else if (flag == "--core-budget" && value >= 0) {
+      opt.scenario.core_budget_w = value;
     } else if (flag == "--shards" && value >= 1 &&
                value == static_cast<double>(static_cast<std::size_t>(value))) {
       opt.shards = static_cast<std::size_t>(value);
     } else if (flag == "--sample-period" && value >= 0) {
-      opt.sample_period_s = value;
+      opt.scenario.sample_period_s = value;
     } else if (flag == "--save-at" && value >= 0) {
       opt.save_at_s = value;
     } else {
@@ -257,17 +255,17 @@ bool parse(int argc, char** argv, Options& opt) {
   return true;
 }
 
-/// Builds the experiment backend from --backend/--shards. Returns false
+/// Validates --backend/--shards into opt.scenario.backend. Returns false
 /// (after the one-line diagnostic) on an inconsistent combination.
-bool make_backend_config(const Options& opt, BackendConfig& backend) {
+bool make_backend_config(Options& opt) {
   if (opt.backend == "single" && opt.shards > 1) {
     error_out("--shards " + std::to_string(opt.shards) +
               " requires --backend sharded");
     return false;
   }
-  backend.kind = opt.backend == "sharded" ? BackendKind::kSharded
-                                          : BackendKind::kSingle;
-  backend.num_shards = opt.shards;
+  opt.scenario.backend.kind = opt.backend == "sharded" ? BackendKind::kSharded
+                                                       : BackendKind::kSingle;
+  opt.scenario.backend.num_shards = opt.shards;
   return true;
 }
 
@@ -306,33 +304,13 @@ std::unique_ptr<telemetry::Telemetry> make_cli_telemetry(const Options& opt,
   }
   telemetry::TelemetryConfig config;
   config.events = true;
-  config.sample_period = Seconds{sampled ? opt.sample_period_s : 0.0};
+  config.sample_period =
+      Seconds{sampled ? opt.scenario.sample_period_s : 0.0};
   return std::make_unique<telemetry::Telemetry>(config);
 }
 
 int cmd_cluster(const Options& opt) {
-  const ClusterModel cluster{opt.cluster};
-  Table table{{"metric", "value"}};
-  table.add_row({"GPUs", fmt(opt.cluster.num_gpus, 0)});
-  table.add_row(
-      {"bandwidth/GPU", to_string(opt.cluster.bandwidth_per_gpu)});
-  table.add_row({"switches", fmt(cluster.network().tree.switches, 1)});
-  table.add_row({"transceivers", fmt(cluster.network().transceivers, 0)});
-  table.add_row(
-      {"compute max (MW)",
-       fmt(cluster.compute_envelope().max_power().megawatts(), 3)});
-  table.add_row(
-      {"network max (MW)",
-       fmt(cluster.network_envelope().max_power().megawatts(), 3)});
-  table.add_row(
-      {"average power (MW)", fmt(cluster.average_total_power().megawatts(), 3)});
-  table.add_row({"peak power (MW)",
-                 fmt(cluster.peak_total_power().megawatts(), 3)});
-  table.add_row(
-      {"network share", fmt_percent(cluster.network_share_of_average())});
-  table.add_row({"network efficiency",
-                 fmt_percent(cluster.network_energy_efficiency())});
-  print_table(table, opt.csv);
+  print_table(serve::cluster_summary_table(opt.scenario.cluster), opt.csv);
   return 0;
 }
 
@@ -340,7 +318,7 @@ int cmd_table3(const Options& opt) {
   const std::vector<Gbps> bws = {100_Gbps, 200_Gbps, 400_Gbps, 800_Gbps,
                                  1600_Gbps};
   const std::vector<double> props = {0.10, 0.20, 0.50, 0.85, 1.00};
-  const auto rows = savings_table(opt.cluster, bws, props);
+  const auto rows = savings_table(opt.scenario.cluster, bws, props);
   Table table{{"bandwidth_gbps", "p10", "p20", "p50", "p85", "p100"}};
   for (const auto& row : rows) {
     std::vector<std::string> cells{fmt(row.bandwidth.value(), 0)};
@@ -376,23 +354,9 @@ int cmd_fig(const Options& opt, BudgetScenario scenario) {
 }
 
 int cmd_savings(const Options& opt) {
-  const auto cell = savings_at(opt.cluster, opt.cluster.bandwidth_per_gpu,
-                               opt.prop,
-                               opt.cluster.network_proportionality);
-  const CostModel cost;
-  Table table{{"metric", "value"}};
-  table.add_row({"proportionality", fmt(opt.prop, 2)});
-  table.add_row({"savings", fmt_percent(cell.savings_fraction)});
-  table.add_row(
-      {"absolute (kW)", fmt(cell.absolute_savings.kilowatts(), 1)});
-  table.add_row(
-      {"electricity ($/yr)",
-       fmt(cost.annual_electricity_savings(cell.absolute_savings).value(),
-           0)});
-  table.add_row(
-      {"with cooling ($/yr)",
-       fmt(cost.annual_total_savings(cell.absolute_savings).value(), 0)});
-  print_table(table, opt.csv);
+  print_table(
+      serve::savings_cell_table(opt.scenario.cluster, opt.scenario.prop),
+      opt.csv);
   return 0;
 }
 
@@ -410,81 +374,26 @@ int cmd_sensitivity(const Options& opt) {
   return 0;
 }
 
-/// The canned `faults` scenario pieces: 4x4 leaf-spine fabric, ring
-/// all-reduce training traffic, topology tailored to the ring demand before
-/// the run (the power-proportional operating point the paper argues for).
-/// Kept as data so --save-state/--load-state can rebuild the identical shell
-/// around a snapshot.
-struct CannedFaultScenario {
-  BuiltTopology topo;
-  std::vector<FlowSpec> workload;
-  FaultSchedule schedule;
-  FaultExperimentConfig config;
-  Seconds fault_horizon{5.0};
-};
-
-CannedFaultScenario make_canned_fault_scenario(const Options& opt,
-                                               const BackendConfig& backend,
-                                               telemetry::Telemetry* tel) {
-  // The sharded backend needs a pod-partitionable fabric (tier-3 core), so
-  // it swaps the canned leaf-spine for the k=4 fat tree `mech` runs on.
-  CannedFaultScenario s{backend.kind == BackendKind::kSharded
-                            ? build_fat_tree(4, 100_Gbps)
-                            : build_leaf_spine(4, 4, 4, 100_Gbps, 100_Gbps),
-                        {}, {}, {}, Seconds{5.0}};
-  s.config.backend = backend;
-  MlTrafficConfig traffic;
-  traffic.compute_time = Seconds{0.3};
-  traffic.comm_allowance = Seconds{0.5};
-  traffic.volume_per_host = Bits::from_gigabits(12.0);
-  traffic.iterations = 6;
-  s.workload = make_ml_training_traffic(s.topo.hosts, traffic).flows;
-
-  s.config.tailor = true;
-  s.config.degraded.policy = opt.policy;
-  s.config.degraded.min_headroom = opt.headroom;
-  s.config.telemetry = tel;
-  for (std::size_t i = 0; i < s.topo.hosts.size(); ++i) {
-    s.config.demands.push_back(TrafficDemand{
-        s.topo.hosts[i], s.topo.hosts[(i + 1) % s.topo.hosts.size()],
-        30_Gbps});
-  }
-
-  if (opt.mtbf_s > 0.0) {
-    FaultGeneratorConfig faults;
-    faults.switches =
-        DeviceReliability{Seconds{opt.mtbf_s}, Seconds{opt.mttr_s}};
-    faults.links =
-        DeviceReliability{Seconds{opt.mtbf_s * 2.0}, Seconds{opt.mttr_s}};
-    faults.degraded_fraction = 0.25;
-    faults.horizon = s.fault_horizon;
-    faults.seed = opt.fault_seed;
-    s.schedule = FaultGenerator{faults}.generate(s.topo.graph);
-  }
-  return s;
-}
-
 FaultExperimentResult run_canned_fault_scenario(const Options& opt,
-                                                const BackendConfig& backend,
                                                 telemetry::Telemetry* tel) {
-  const CannedFaultScenario s = make_canned_fault_scenario(opt, backend, tel);
+  const serve::CannedFaultScenario s =
+      serve::make_canned_fault_scenario(opt.scenario, tel);
   return run_fault_experiment(s.topo, s.workload, s.schedule, s.config);
 }
 
-int cmd_faults(const Options& opt) {
+int cmd_faults(Options& opt) {
   if (!opt.save_state.empty() && !opt.load_state.empty()) {
     return error_out("--save-state and --load-state are mutually exclusive");
   }
-  BackendConfig backend;
-  if (!make_backend_config(opt, backend)) return 2;
+  if (!make_backend_config(opt)) return 2;
   const auto tel = make_cli_telemetry(opt, /*sampled=*/true);
   FaultExperimentResult result;
   try {
     if (!opt.save_state.empty()) {
       // Run the canned scenario to the snapshot point, serialize everything,
       // and stop: a later --load-state continues bit-identically.
-      const CannedFaultScenario s =
-          make_canned_fault_scenario(opt, backend, tel.get());
+      const serve::CannedFaultScenario s =
+          serve::make_canned_fault_scenario(opt.scenario, tel.get());
       const Seconds save_at{opt.save_at_s >= 0.0
                                 ? opt.save_at_s
                                 : s.fault_horizon.value() / 2.0};
@@ -498,8 +407,8 @@ int cmd_faults(const Options& opt) {
       return 0;
     }
     if (!opt.load_state.empty()) {
-      const CannedFaultScenario s =
-          make_canned_fault_scenario(opt, backend, tel.get());
+      const serve::CannedFaultScenario s =
+          serve::make_canned_fault_scenario(opt.scenario, tel.get());
       auto r = state::SnapshotReader::from_file(opt.load_state);
       FaultExperimentRun run{s.topo, s.workload, s.schedule, s.config, r};
       if (!r.at_end()) {
@@ -509,41 +418,12 @@ int cmd_faults(const Options& opt) {
       run.run();
       result = run.finish();
     } else {
-      result = run_canned_fault_scenario(opt, backend, tel.get());
+      result = run_canned_fault_scenario(opt, tel.get());
     }
   } catch (const std::exception& e) {
     return error_out(e.what());
   }
-  Table table{{"metric", "value"}};
-  table.add_row({"switches parked initially",
-                 std::to_string(result.tailoring.powered_off.size())});
-  table.add_row({"faults injected",
-                 std::to_string(result.report.faults_injected)});
-  table.add_row(
-      {"flows rerouted", std::to_string(result.report.flows_rerouted)});
-  table.add_row(
-      {"strand events", std::to_string(result.report.strand_events)});
-  table.add_row({"availability", fmt_percent(result.report.availability, 2)});
-  table.add_row({"stranded demand (Gbit*s)",
-                 fmt(result.report.stranded_demand_gbit_seconds, 3)});
-  table.add_row(
-      {"mean recovery", to_string(result.report.mean_recovery)});
-  table.add_row({"p99 recovery", to_string(result.report.p99_recovery)});
-  table.add_row(
-      {"completion rate", fmt_percent(result.report.completion_rate, 2)});
-  table.add_row({"emergency wakes", std::to_string(result.emergency_wakes)});
-  table.add_row({"re-tailor passes", std::to_string(result.retailor_passes)});
-  table.add_row(
-      {"energy vs all-on", fmt_percent(result.report.energy_delta, 1)});
-  const RouteCacheStats& rc = result.realloc.route_cache;
-  table.add_row({"route-cache hits", std::to_string(rc.hits)});
-  table.add_row({"route-cache misses", std::to_string(rc.misses)});
-  table.add_row(
-      {"route-cache epoch flushes", std::to_string(rc.epoch_flushes)});
-  table.add_row({"route-cache entries", std::to_string(rc.entries)});
-  table.add_row({"route-cache resident KiB",
-                 fmt(static_cast<double>(rc.pool_bytes) / 1024.0, 1)});
-  print_table(table, opt.csv);
+  print_table(serve::faults_summary_table(result), opt.csv);
   if (tel != nullptr) return write_telemetry_outputs(opt, *tel);
   return 0;
 }
@@ -558,7 +438,7 @@ int cmd_telemetry(const Options& opt) {
   }
   const auto tel =
       make_cli_telemetry(opt, /*sampled=*/true, /*force=*/true);
-  const auto result = run_canned_fault_scenario(opt, BackendConfig{}, tel.get());
+  const auto result = run_canned_fault_scenario(opt, tel.get());
   const telemetry::MetricRegistry& m = tel->metrics();
 
   Table table{{"metric", "value"}};
@@ -584,12 +464,11 @@ int cmd_telemetry(const Options& opt) {
   return write_telemetry_outputs(opt, *tel);
 }
 
-int cmd_mech(const Options& opt) {
+int cmd_mech(Options& opt) {
   if (!opt.save_state.empty() && !opt.load_state.empty()) {
     return error_out("--save-state and --load-state are mutually exclusive");
   }
-  BackendConfig backend;
-  if (!make_backend_config(opt, backend)) return 2;
+  if (!make_backend_config(opt)) return 2;
   if (!opt.load_state.empty()) {
     // Offline restore: load a saved metric registry into a fresh bundle and
     // re-export it, without re-running the simulation.
@@ -619,82 +498,22 @@ int cmd_mech(const Options& opt) {
       return error_out(e.what());
     }
   }
-  // Canned scenario: k=4 fat tree at 100 G running phase-structured ML
-  // training, with a ring all-reduce demand matrix that tailoring must keep
-  // satisfiable. The composed stack (tailoring -> parking -> rate
-  // adaptation) is priced against the all-on baseline and against each
-  // mechanism alone.
-  const BuiltTopology topo = build_fat_tree(4, 100_Gbps);
-  MlTrafficConfig traffic;
-  traffic.compute_time = Seconds{0.9};
-  traffic.comm_allowance = Seconds{0.1};
-  traffic.iterations = opt.mech_iterations;
-  traffic.volume_per_host = Bits::from_gigabits(opt.mech_volume_gbit);
-  const auto workload = make_ml_training_traffic(topo.hosts, traffic).flows;
-
-  CompositeConfig config;
-  config.tailor = opt.stack == "all" || opt.stack == "tailor";
-  config.park =
-      opt.stack == "all" || opt.stack == "dynamic" || opt.stack == "park";
-  config.rate_adapt =
-      opt.stack == "all" || opt.stack == "dynamic" || opt.stack == "rate";
-  config.parking.switch_capacity = Gbps{4 * 100.0};  // 4 ports at 100 G
-  config.num_ocs_devices = opt.mech_ocs_devices;
-  config.backend = backend;
+  // The canned scenario (and the summary rendering below) are shared with
+  // netpp_serve — serve/scenarios.h is the single definition of both.
+  serve::CannedMechScenario s = serve::make_canned_mech_scenario(opt.scenario);
   // --save-state needs a registry to snapshot even without --metrics-out.
   const auto tel = make_cli_telemetry(opt, /*sampled=*/false,
                                       /*force=*/!opt.save_state.empty());
-  config.telemetry = tel.get();
-
-  std::vector<TrafficDemand> demands;
-  for (std::size_t i = 0; i < topo.hosts.size(); ++i) {
-    demands.push_back(TrafficDemand{topo.hosts[i],
-                                    topo.hosts[(i + 1) % topo.hosts.size()],
-                                    5_Gbps});
-  }
+  s.config.telemetry = tel.get();
 
   CompositeReport report;
   try {
-    report = run_composite(topo, workload, demands,
-                           Seconds{opt.mech_horizon_s}, config);
+    report = run_composite(s.topo, s.workload, s.demands, s.horizon,
+                           s.config);
   } catch (const std::exception& e) {
     return error_out(e.what());
   }
-  const MechanismValue value = mechanism_value(
-      report.baseline_energy, report.energy, report.horizon);
-
-  Table table{{"metric", "value"}};
-  table.add_row({"stack", opt.stack});
-  table.add_row({"switches", std::to_string(report.switches_total)});
-  table.add_row({"switches tailored off",
-                 std::to_string(report.tailoring.powered_off.size())});
-  table.add_row({"horizon (s)", fmt(report.horizon.value(), 3)});
-  table.add_row(
-      {"baseline power (W)", fmt(report.baseline_average_power.value(), 1)});
-  table.add_row({"stack power (W)", fmt(report.average_power.value(), 1)});
-  table.add_row({"baseline energy (kJ)",
-                 fmt(report.baseline_energy.value() / 1e3, 3)});
-  table.add_row({"stack energy (kJ)", fmt(report.energy.value() / 1e3, 3)});
-  for (const auto& single : report.singles) {
-    table.add_row({single.name + " savings", fmt_percent(single.savings, 2)});
-  }
-  table.add_row(
-      {"best single savings", fmt_percent(report.best_single_savings, 2)});
-  table.add_row({"combined savings", fmt_percent(report.combined_savings, 2)});
-  table.add_row({"wake transitions", std::to_string(report.wake_transitions)});
-  table.add_row({"park transitions", std::to_string(report.park_transitions)});
-  table.add_row(
-      {"level transitions", std::to_string(report.level_transitions)});
-  table.add_row({"dropped (Mbit)", fmt(report.dropped.value() / 1e6, 3)});
-  for (const auto& d : report.domains) {
-    table.add_row({"domain " + d.name + " savings",
-                   fmt_percent(d.savings, 2) + " (" +
-                       fmt(d.average_power.value(), 1) + " W)"});
-  }
-  table.add_row(
-      {"sustained value ($/yr)", fmt(value.annual_savings.value(), 0)});
-  table.add_row({"avoided CO2 (t/yr)", fmt(value.annual_co2_tons, 3)});
-  print_table(table, opt.csv);
+  print_table(serve::mech_summary_table(opt.scenario.stack, report), opt.csv);
   if (!opt.save_state.empty()) {
     try {
       state::SnapshotWriter w;

@@ -1,0 +1,47 @@
+#!/bin/sh
+# Socket-mode smoke test: start netpp_serve on a unix socket, run the
+# concurrent-client stress driver against it, shut the server down, and
+# propagate the driver's status. CI reuses this under ASan/UBSan.
+#
+# Usage: serve_socket_smoke.sh <netpp_serve> <serve_stress> <socket-path>
+#                               [clients] [rounds]
+set -u
+
+if [ "$#" -lt 3 ] || [ "$#" -gt 5 ]; then
+  echo "usage: $0 <netpp_serve> <serve_stress> <socket-path> [clients] [rounds]" >&2
+  exit 2
+fi
+SERVE=$1
+STRESS=$2
+SOCKET=$3
+CLIENTS=${4:-4}
+ROUNDS=${5:-3}
+
+rm -f "$SOCKET"
+"$SERVE" --socket "$SOCKET" --stats &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null; wait "$SERVER_PID" 2>/dev/null' EXIT
+
+# Wait for the listener (the server unlinks + binds before accepting).
+tries=0
+while [ ! -S "$SOCKET" ]; do
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "serve_socket_smoke: server exited before binding $SOCKET" >&2
+    exit 1
+  fi
+  tries=$((tries + 1))
+  if [ "$tries" -gt 300 ]; then
+    echo "serve_socket_smoke: timed out waiting for $SOCKET" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+"$STRESS" --socket "$SOCKET" --clients "$CLIENTS" --rounds "$ROUNDS"
+STATUS=$?
+
+kill "$SERVER_PID" 2>/dev/null
+wait "$SERVER_PID" 2>/dev/null
+trap - EXIT
+rm -f "$SOCKET"
+exit "$STATUS"
